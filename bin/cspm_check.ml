@@ -1,0 +1,98 @@
+(* cspm_check — a miniature FDR: load a CSPm script and run its assert
+   declarations (trace/failures refinement, deadlock and divergence
+   freedom), printing counterexample traces for failures. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let run path max_states list_only dot =
+  match Cspm.Elaborate.load_string (read_file path) with
+  | exception Cspm.Parser.Parse_error (msg, pos) ->
+    Format.eprintf "%s:%a: syntax error: %s@." path Cspm.Ast.pp_pos pos msg;
+    2
+  | exception Cspm.Lexer.Lex_error (msg, pos) ->
+    Format.eprintf "%s:%a: lexical error: %s@." path Cspm.Ast.pp_pos pos msg;
+    2
+  | exception Cspm.Elaborate.Elab_error (msg, pos) ->
+    (match pos with
+     | Some pos -> Format.eprintf "%s:%a: %s@." path Cspm.Ast.pp_pos pos msg
+     | None -> Format.eprintf "%s: %s@." path msg);
+    2
+  | loaded ->
+    if Option.is_some dot then begin
+      let name = Option.get dot in
+      match Csp.Defs.proc loaded.Cspm.Elaborate.defs name with
+      | None ->
+        Format.eprintf "%s: no process named %s@." path name;
+        2
+      | Some (_ :: _, _) ->
+        Format.eprintf "%s: %s takes parameters; --dot needs a closed process@."
+          path name;
+        2
+      | Some ([], _) ->
+        let lts =
+          Csp.Lts.compile ~max_states loaded.Cspm.Elaborate.defs
+            (Csp.Proc.Call (name, []))
+        in
+        print_string (Csp.Lts.to_dot lts);
+        0
+    end
+    else if list_only then begin
+      List.iter
+        (fun (a, _) -> Format.printf "%a@." Cspm.Print.pp_assertion a)
+        loaded.Cspm.Elaborate.assertions;
+      0
+    end
+    else begin
+      let outcomes = Cspm.Check.run ~max_states loaded in
+      Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
+      let failures =
+        List.length
+          (List.filter
+             (fun o -> not (Csp.Refine.holds o.Cspm.Check.result))
+             outcomes)
+      in
+      Format.printf "%d assertion(s), %d failure(s)@." (List.length outcomes)
+        failures;
+      if failures = 0 then 0 else 1
+    end
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SCRIPT" ~doc:"CSPm script to check.")
+
+let max_states_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:"State bound for compilation and product exploration.")
+
+let list_arg =
+  Arg.(
+    value & flag
+    & info [ "l"; "list" ] ~doc:"List the assertions without running them.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"PROCESS"
+        ~doc:
+          "Instead of checking, print the named process's state graph in \
+           Graphviz format (FDR's visualisation role).")
+
+let cmd =
+  let doc = "run the assert declarations of a CSPm script" in
+  Cmd.v
+    (Cmd.info "cspm_check" ~version:"1.0.0" ~doc)
+    Term.(const run $ file_arg $ max_states_arg $ list_arg $ dot_arg)
+
+let () = exit (Cmd.eval' cmd)

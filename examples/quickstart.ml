@@ -1,0 +1,74 @@
+(* Quickstart: model a toy ECU in CSPm, check a security property, and
+   read a counterexample.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let script =
+  {|
+-- A door-lock ECU: it must never unlock while the vehicle is moving.
+nametype Speed = {0..3}
+
+channel speed : Speed       -- periodic speed report on the bus
+channel lockCmd             -- lock request
+channel unlockCmd           -- unlock request
+channel unlocked            -- the actuator fires
+
+-- The implementation model (as a model extractor would produce it):
+-- the ECU tracks the last speed report and honours unlock requests
+-- only when stationary... except the developer compared with <= 1
+-- instead of == 0.
+ECU(v) =
+     speed?s -> ECU(s)
+  [] lockCmd -> ECU(v)
+  [] unlockCmd -> (if v <= 1 then unlocked -> ECU(v) else ECU(v))
+
+-- The security property: between a speed report above zero and the
+-- next zero report, the actuator must not fire.
+SAFE = speed?s -> (if s == 0 then SAFE else MOVING) [] lockCmd -> SAFE
+    [] unlockCmd -> SAFE [] unlocked -> SAFE
+MOVING = speed?s -> (if s == 0 then SAFE else MOVING) [] lockCmd -> MOVING
+    [] unlockCmd -> MOVING
+
+assert SAFE [T= ECU(0)
+assert ECU(0) :[deadlock free]
+|}
+
+let () =
+  print_endline "Loading the CSPm script...";
+  let loaded = Cspm.Elaborate.load_string script in
+  let outcomes = Cspm.Check.run loaded in
+  Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
+  (* The refinement fails: the counterexample trace shows the flaw.
+     Reading it: a speed report of 1 (moving slowly), then an unlock
+     request, then the actuator fires. *)
+  (match
+     List.find_opt
+       (fun o -> not (Csp.Refine.holds o.Cspm.Check.result))
+       outcomes
+   with
+   | Some { Cspm.Check.result = Csp.Refine.Fails cex; _ } ->
+     Format.printf "@.The flaw, as a trace: %a@."
+       Csp.Pretty.pp_trace cex.Csp.Refine.trace
+   | _ -> print_endline "unexpected: every assertion passed");
+  (* Fix the comparison and re-check. *)
+  print_endline "\nApplying the fix (v <= 1 becomes v == 0) and re-checking...";
+  let replace ~sub ~by s =
+    let sl = String.length sub in
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i <= String.length s - sl do
+      if String.sub s !i sl = sub then begin
+        Buffer.add_string buf by;
+        i := !i + sl
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.add_string buf (String.sub s !i (String.length s - !i));
+    Buffer.contents buf
+  in
+  let fixed = replace ~sub:"v <= 1" ~by:"v == 0" script in
+  let outcomes = Cspm.Check.run (Cspm.Elaborate.load_string fixed) in
+  Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes

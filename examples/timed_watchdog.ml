@@ -1,0 +1,101 @@
+(* The tock-timed translation (the paper's Section VII-B future-work item,
+   implemented): a watchdog ECU that must raise an alarm if the engine
+   controller stops sending its heartbeat — a deadline property that the
+   untimed model cannot even express.
+
+   Run with: dune exec examples/timed_watchdog.exe *)
+
+let dbc =
+  "BU_: ENGINE WATCHDOG\n\
+   BO_ 16 heartbeat: 1 ENGINE\n\
+   \ SG_ seq : 0|2@1+ (1,0) [0|3] \"\" WATCHDOG\n\
+   BO_ 32 alarm: 1 WATCHDOG\n\
+   \ SG_ code : 0|2@1+ (1,0) [0|3] \"\" ENGINE\n"
+
+(* The watchdog re-arms a 30 ms timeout on every heartbeat; if it expires,
+   the alarm goes out. *)
+let watchdog_src =
+  {|
+variables {
+  message alarm mAlarm;
+  msTimer deadline;
+}
+on start { setTimer(deadline, 30); }
+on message heartbeat {
+  setTimer(deadline, 30);   // heartbeat arrived in time: re-arm
+}
+on timer deadline {
+  mAlarm.code = 1;
+  output(mAlarm);
+}
+|}
+
+let () =
+  let config =
+    {
+      Extractor.Extract.default_config with
+      timed = true;
+      tock_ms = 10;  (* one tock = 10 ms, so the deadline is 3 tocks *)
+    }
+  in
+  let system =
+    Extractor.Pipeline.build_from_sources ~config ~dbc
+      [ "WATCHDOG", watchdog_src ]
+  in
+  print_endline "Timed model extracted from the watchdog CAPL source:";
+  print_endline (Extractor.Pipeline.emit_script system);
+
+  let defs = system.Extractor.Pipeline.defs in
+  let watchdog = system.Extractor.Pipeline.composed in
+
+  (* Deadline property 1: the alarm never fires while heartbeats keep
+     coming faster than the deadline. The environment below emits a
+     heartbeat every 2 tocks. *)
+  Csp.Defs.define_proc defs "PUNCTUAL" []
+    (Csp.Proc.send "tock" []
+       (Csp.Proc.send "tock" []
+          (Csp.Proc.send "heartbeat" [ Csp.Value.Int 0 ]
+             (Csp.Proc.Call ("PUNCTUAL", [])))));
+  let healthy =
+    Csp.Proc.Par
+      ( Csp.Proc.Call ("PUNCTUAL", []),
+        Csp.Eventset.chans [ "tock"; "heartbeat" ],
+        watchdog )
+  in
+  let no_alarm =
+    Security.Properties.never defs
+      ~alphabet:(Csp.Eventset.chans [ "tock"; "heartbeat"; "alarm" ])
+      ~forbidden:(Csp.Eventset.chan "alarm")
+  in
+  Format.printf "punctual heartbeats => no alarm: %a@.@." Csp.Refine.pp_result
+    (Csp.Refine.traces_refines defs ~spec:no_alarm ~impl:healthy);
+
+  (* Deadline property 2: if the engine goes silent, the alarm fires after
+     exactly three tocks — no earlier, no later. *)
+  Csp.Defs.define_proc defs "SILENT" []
+    (Csp.Proc.send "tock" [] (Csp.Proc.Call ("SILENT", [])));
+  let dead_engine =
+    Csp.Proc.Par
+      ( Csp.Proc.Call ("SILENT", []),
+        Csp.Eventset.chans [ "tock"; "heartbeat" ],
+        watchdog )
+  in
+  (* spec: exactly three tocks, then the alarm, then time flows again *)
+  Csp.Defs.define_proc defs "DEADLINE" []
+    (Csp.Proc.send "tock" []
+       (Csp.Proc.send "tock" []
+          (Csp.Proc.send "tock" []
+             (Csp.Proc.send "alarm" [ Csp.Value.Int 1 ]
+                (Csp.Proc.Run (Csp.Eventset.chans [ "tock" ]))))));
+  Format.printf "silent engine => alarm after exactly 30 ms: %a@."
+    Csp.Refine.pp_result
+    (Csp.Refine.traces_refines defs ~spec:(Csp.Proc.Call ("DEADLINE", []))
+       ~impl:dead_engine);
+
+  (* And in the failures model: the alarm is not just possible but
+     unavoidable (the watchdog cannot refuse it). *)
+  Format.printf "alarm is inevitable (failures model): %a@."
+    Csp.Refine.pp_result
+    (Csp.Refine.failures_refines defs
+       ~spec:(Csp.Proc.Call ("DEADLINE", []))
+       ~impl:dead_engine)

@@ -1,0 +1,146 @@
+(* A second automotive security case study: UDS SecurityAccess (ISO 14229
+   service 0x27). A diagnostic tester unlocks protected ECU services with
+   a seed/key handshake:
+
+     tester -> ECU : requestSeed
+     ECU    -> tester : seed s          (should be unpredictable)
+     tester -> ECU : key f(s)           (f is the OEM-secret algorithm)
+     ECU    : unlock if the key matches
+
+   The secret algorithm is modelled as a MAC under an OEM key the attacker
+   does not hold, so the Dolev-Yao intruder can only replay keys it has
+   captured. Three verdicts fall out of refinement checking:
+
+   1. with no captured material, neither ECU variant can be unlocked;
+   2. a flawed ECU that issues a CONSTANT seed is unlocked by replaying
+      one captured key;
+   3. even the random-seed ECU falls to the same replay when the seed
+      space is tiny — the checker exhibits the seed-collision run — and
+      survives once the collision is excluded. Seed entropy, not the
+      handshake shape, carries the security.
+
+   Run with: dune exec examples/uds_security.exe *)
+
+module P = Csp.Proc
+module E = Csp.Expr
+module V = Csp.Value
+
+let alg_key = Security.Crypto.key "kAlg"
+
+let uds_key s = Security.Crypto.mac alg_key s
+let e_mac k v = E.Ctor ("mac", [ k; v ])
+let e_alg_key = E.Ctor ("key", [ E.sym "kAlg" ])
+
+(* seed_mode: how the ECU picks seeds *)
+type seed_mode =
+  | Constant_seed  (* the flaw: always 0 *)
+  | Random_seed  (* internal choice over the whole space *)
+  | Fresh_seed  (* random, excluding the attacker's captured seed *)
+
+let build ~seed_mode ~captured =
+  let defs = Csp.Defs.create () in
+  Csp.Defs.declare_nametype defs "Seed" (Csp.Ty.Int_range (0, 3));
+  Csp.Defs.declare_datatype defs "KeyName" [ "kAlg", [] ];
+  Csp.Defs.declare_datatype defs "Key" [ "key", [ Csp.Ty.Named "KeyName" ] ];
+  Csp.Defs.declare_datatype defs "Mac"
+    [ "mac", [ Csp.Ty.Named "Key"; Csp.Ty.Named "Seed" ] ];
+  Csp.Defs.declare_datatype defs "Agent" [ "tester", []; "ecu", [] ];
+  Csp.Defs.declare_datatype defs "Pkt"
+    [
+      "reqSeed", [];
+      "seedP", [ Csp.Ty.Named "Seed" ];
+      "keyP", [ Csp.Ty.Named "Mac" ];
+      "writeReq", [];
+    ];
+  Csp.Defs.declare_channel defs "send"
+    [ Csp.Ty.Named "Agent"; Csp.Ty.Named "Agent"; Csp.Ty.Named "Pkt" ];
+  Csp.Defs.declare_channel defs "recv"
+    [ Csp.Ty.Named "Agent"; Csp.Ty.Named "Pkt" ];
+  Csp.Defs.declare_channel defs "unlocked" [ Csp.Ty.Named "Seed" ];
+  let recv_e p cont = P.Prefix ("recv", [ P.Out (E.sym "ecu"); P.Out p ], cont) in
+  let send_e p cont =
+    P.Prefix ("send", [ P.Out (E.sym "ecu"); P.Out (E.sym "tester"); P.Out p ], cont)
+  in
+  (* UNLOCKED: the protected service is now reachable *)
+  Csp.Defs.define_proc defs "UNLOCKED" []
+    (recv_e (E.sym "writeReq") (P.Call ("UNLOCKED", [])));
+  (* ECU: the seed/key gate *)
+  let await_key s_expr =
+    P.Ext_over
+      ( "m",
+        E.Ty_dom (Csp.Ty.Named "Mac"),
+        recv_e
+          (E.Ctor ("keyP", [ E.Var "m" ]))
+          (P.If
+             ( E.Bin (E.Eq, E.Var "m", e_mac e_alg_key s_expr),
+               P.Prefix
+                 ("unlocked", [ P.Out s_expr ], P.Call ("UNLOCKED", [])),
+               P.Call ("ECU", []) )) )
+  in
+  let challenge =
+    match seed_mode with
+    | Constant_seed ->
+      send_e (E.Ctor ("seedP", [ E.int 0 ])) (await_key (E.int 0))
+    | Random_seed ->
+      P.Int_over
+        ( "s",
+          E.Ty_dom (Csp.Ty.Named "Seed"),
+          send_e (E.Ctor ("seedP", [ E.Var "s" ])) (await_key (E.Var "s")) )
+    | Fresh_seed ->
+      P.Int_over
+        ( "s",
+          E.Range (E.int 1, E.int 3),
+          send_e (E.Ctor ("seedP", [ E.Var "s" ])) (await_key (E.Var "s")) )
+  in
+  Csp.Defs.define_proc defs "ECU" [] (recv_e (E.sym "reqSeed") challenge);
+  (* the intruder is the network; agents = just the ECU (tester absent:
+     we are asking what an attacker can do alone) *)
+  let config =
+    { Security.Intruder.send_chan = "send"; recv_chan = "recv";
+      knowledge = captured }
+  in
+  let intruder = Security.Intruder.define defs config in
+  let system =
+    Security.Intruder.compose (P.Call ("ECU", []))
+      ~medium:(P.Call (intruder, [])) config
+  in
+  defs, system
+
+let check_never_unlocked ~seed_mode ~captured =
+  let defs, system = build ~seed_mode ~captured in
+  let spec =
+    Security.Properties.never defs
+      ~alphabet:(Csp.Eventset.chans [ "send"; "recv"; "unlocked" ])
+      ~forbidden:(Csp.Eventset.chan "unlocked")
+  in
+  Csp.Refine.traces_refines defs ~spec ~impl:system
+
+let report name result =
+  match result with
+  | Csp.Refine.Holds stats ->
+    Format.printf "%-52s SECURE (%d states)@." name stats.Csp.Refine.pairs
+  | Csp.Refine.Fails cex ->
+    Format.printf "%-52s UNLOCKED by the attacker:@." name;
+    Format.printf "    %s@." (Csp.Pretty.trace_to_string cex.Csp.Refine.trace)
+
+let () =
+  print_endline "UDS SecurityAccess (0x27) under a Dolev-Yao attacker";
+  print_endline "====================================================\n";
+  print_endline "1. Attacker with no captured material:";
+  report "   constant-seed ECU"
+    (check_never_unlocked ~seed_mode:Constant_seed ~captured:[]);
+  report "   random-seed ECU"
+    (check_never_unlocked ~seed_mode:Random_seed ~captured:[]);
+  print_endline
+    "\n2. Attacker who captured one key (for seed 0) in an earlier session:";
+  let captured = [ uds_key (V.Int 0) ] in
+  report "   constant-seed ECU (replay attack expected)"
+    (check_never_unlocked ~seed_mode:Constant_seed ~captured);
+  report "   random-seed ECU (seed collision expected!)"
+    (check_never_unlocked ~seed_mode:Random_seed ~captured);
+  report "   fresh-seed ECU (collision excluded)"
+    (check_never_unlocked ~seed_mode:Fresh_seed ~captured);
+  print_endline
+    "\nThe random-seed counterexample is the point: with a tiny seed space\n\
+     the handshake is replayable whenever the seed repeats — seed entropy,\n\
+     not the challenge-response shape, carries UDS SecurityAccess."

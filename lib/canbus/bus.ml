@@ -1,0 +1,105 @@
+type node_id = int
+
+type node = {
+  name : string;
+  rx : Frame.t -> unit;
+}
+
+type pending = {
+  src : node_id;
+  frame : Frame.t;
+  arrival : int;  (* tie-break: FIFO per arrival *)
+}
+
+type t = {
+  bitrate : int;
+  sched : Scheduler.t;
+  log : Trace_log.t;
+  mutable nodes : node array;
+  mutable queue : pending list;
+  mutable busy : bool;
+  mutable seq : int;
+}
+
+let create ?(bitrate = 500_000) sched =
+  {
+    bitrate;
+    sched;
+    log = Trace_log.create ();
+    nodes = [||];
+    queue = [];
+    busy = false;
+    seq = 0;
+  }
+
+let scheduler t = t.sched
+let log t = t.log
+
+let attach t ~name ~rx =
+  let id = Array.length t.nodes in
+  t.nodes <- Array.append t.nodes [| { name; rx } |];
+  id
+
+let node_name t id = t.nodes.(id).name
+
+let frame_duration t frame =
+  (* microseconds on the wire, rounded up *)
+  let bits = Frame.bit_length frame in
+  ((bits * 1_000_000) + t.bitrate - 1) / t.bitrate
+
+let pending_frames t = List.length t.queue + if t.busy then 1 else 0
+
+(* Start transmitting the highest-priority pending frame, if the bus is
+   idle. Delivery happens when the frame completes. *)
+let rec arbitrate t =
+  if (not t.busy) && t.queue <> [] then begin
+    let best =
+      List.fold_left
+        (fun acc p ->
+          match acc with
+          | None -> Some p
+          | Some q ->
+            let r = Frame.compare_priority p.frame q.frame in
+            if r < 0 || (r = 0 && p.arrival < q.arrival) then Some p else Some q)
+        None t.queue
+    in
+    match best with
+    | None -> ()
+    | Some winner ->
+      t.queue <- List.filter (fun p -> p.arrival <> winner.arrival) t.queue;
+      t.busy <- true;
+      let duration = frame_duration t winner.frame in
+      ignore
+        (Scheduler.after t.sched duration (fun () ->
+             t.busy <- false;
+             let src_name = t.nodes.(winner.src).name in
+             Trace_log.record t.log
+               {
+                 Trace_log.time = Scheduler.now t.sched;
+                 node = src_name;
+                 direction = Trace_log.Tx;
+                 frame = winner.frame;
+               };
+             Array.iteri
+               (fun i node ->
+                 if i <> winner.src then begin
+                   Trace_log.record t.log
+                     {
+                       Trace_log.time = Scheduler.now t.sched;
+                       node = src_name;
+                       direction = Trace_log.Rx node.name;
+                       frame = winner.frame;
+                     };
+                   node.rx winner.frame
+                 end)
+               t.nodes;
+             arbitrate t))
+  end
+
+let transmit t src frame =
+  let p = { src; frame; arrival = t.seq } in
+  t.seq <- t.seq + 1;
+  t.queue <- t.queue @ [ p ];
+  (* Defer arbitration to a zero-delay event so that frames queued at the
+     same instant by different nodes arbitrate together. *)
+  ignore (Scheduler.after t.sched 0 (fun () -> arbitrate t))

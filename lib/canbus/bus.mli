@@ -1,0 +1,31 @@
+(** The shared CAN bus: arbitration, transmission timing and delivery.
+
+    Transmission model: a node's [transmit] enqueues the frame; when the
+    bus is idle, the pending frame with the lowest identifier wins
+    arbitration (CAN's bitwise-dominant arbitration collapses to priority
+    order in a discrete-event model), occupies the bus for its nominal
+    duration at the configured bitrate, and is then delivered to every
+    attached node except the transmitter. *)
+
+type t
+
+type node_id
+
+val create : ?bitrate:int -> Scheduler.t -> t
+(** [bitrate] in bits/s (default 500_000 — a typical automotive CAN). *)
+
+val scheduler : t -> Scheduler.t
+val log : t -> Trace_log.t
+
+val attach : t -> name:string -> rx:(Frame.t -> unit) -> node_id
+(** Attach a node; [rx] fires (in attachment order) for every frame
+    transmitted by any other node. *)
+
+val node_name : t -> node_id -> string
+
+val transmit : t -> node_id -> Frame.t -> unit
+(** Queue a frame for arbitration. Multiple frames queued by one node keep
+    their order relative to each other. *)
+
+val pending_frames : t -> int
+(** Frames queued or in flight. *)

@@ -1,0 +1,55 @@
+type t = {
+  id : int;
+  extended : bool;
+  dlc : int;
+  data : int array;
+}
+
+exception Invalid_frame of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid_frame s)) fmt
+
+let max_standard_id = 0x7FF
+let max_extended_id = 0x1FFF_FFFF
+
+let make ?(extended = false) ~id bytes =
+  let max_id = if extended then max_extended_id else max_standard_id in
+  if id < 0 || id > max_id then fail "identifier 0x%X out of range" id;
+  let dlc = List.length bytes in
+  if dlc > 8 then fail "frame carries %d bytes (max 8)" dlc;
+  List.iter
+    (fun b -> if b < 0 || b > 255 then fail "data byte %d out of range" b)
+    bytes;
+  { id; extended; dlc; data = Array.of_list bytes }
+
+let data_byte f i =
+  if i < 0 then fail "negative data index %d" i
+  else if i < f.dlc then f.data.(i)
+  else 0
+
+let set_data_byte f i b =
+  if i < 0 || i > 7 then fail "data index %d out of range" i;
+  if b < 0 || b > 255 then fail "data byte %d out of range" b;
+  let dlc = max f.dlc (i + 1) in
+  let data = Array.make dlc 0 in
+  Array.blit f.data 0 data 0 f.dlc;
+  data.(i) <- b;
+  { f with dlc; data }
+
+let bit_length f =
+  let overhead = if f.extended then 64 else 44 in
+  overhead + (8 * f.dlc)
+
+let equal f1 f2 =
+  f1.id = f2.id && f1.extended = f2.extended && f1.dlc = f2.dlc
+  && Array.for_all2 ( = ) f1.data f2.data
+
+let compare_priority f1 f2 =
+  let r = compare f1.id f2.id in
+  if r <> 0 then r else compare f1.extended f2.extended
+
+let pp ppf f =
+  Format.fprintf ppf "0x%03X [%d]" f.id f.dlc;
+  Array.iter (fun b -> Format.fprintf ppf " %02X" b) f.data
+
+let to_string f = Format.asprintf "%a" pp f

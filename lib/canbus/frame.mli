@@ -1,0 +1,39 @@
+(** CAN data frames.
+
+    A classical CAN 2.0 frame: an 11-bit (or 29-bit extended) identifier,
+    a data-length code of 0..8, and up to eight data bytes. Identifiers
+    double as priorities: the lowest identifier wins arbitration. *)
+
+type t = {
+  id : int;  (** 11-bit standard or 29-bit extended identifier *)
+  extended : bool;
+  dlc : int;  (** data length code, 0..8 *)
+  data : int array;  (** [dlc] bytes, each 0..255 *)
+}
+
+exception Invalid_frame of string
+
+val make : ?extended:bool -> id:int -> int list -> t
+(** [make ~id bytes] builds a frame carrying [bytes].
+    @raise Invalid_frame if the id is out of range for its format, more
+    than 8 data bytes are given, or a byte is outside 0..255. *)
+
+val data_byte : t -> int -> int
+(** [data_byte f i] is byte [i], or 0 if [i >= dlc] (CAN receivers pad). *)
+
+val set_data_byte : t -> int -> int -> t
+(** Functional update of byte [i] (extends [dlc] if needed).
+    @raise Invalid_frame on a bad index or byte value. *)
+
+val bit_length : t -> int
+(** Nominal frame size on the wire, including overhead (44 bits + stuffing
+    ignored for the standard format, 64 + overhead for extended). *)
+
+val equal : t -> t -> bool
+val compare_priority : t -> t -> int
+(** Arbitration order: lower identifier first; extended loses to standard
+    at equal leading bits (approximated as standard-before-extended on equal
+    ids). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,51 @@
+type t = {
+  bus : Bus.t;
+  id : Bus.node_id;
+  name : string;
+  mutable start_handlers : (unit -> unit) list;  (* reverse order *)
+  mutable frame_handlers : (Frame.t -> unit) list;  (* reverse order *)
+  timers : (string, Scheduler.handle) Hashtbl.t;
+}
+
+let create bus ~name =
+  let rec node =
+    lazy
+      {
+        bus;
+        id = Bus.attach bus ~name ~rx:(fun frame -> dispatch frame);
+        name;
+        start_handlers = [];
+        frame_handlers = [];
+        timers = Hashtbl.create 4;
+      }
+  and dispatch frame =
+    List.iter (fun h -> h frame) (List.rev (Lazy.force node).frame_handlers)
+  in
+  Lazy.force node
+
+let name t = t.name
+let bus t = t.bus
+
+let on_start t h = t.start_handlers <- h :: t.start_handlers
+let on_frame t h = t.frame_handlers <- h :: t.frame_handlers
+
+let send t frame = Bus.transmit t.bus t.id frame
+
+let cancel_timer t ~name =
+  match Hashtbl.find_opt t.timers name with
+  | None -> ()
+  | Some handle ->
+    Scheduler.cancel (Bus.scheduler t.bus) handle;
+    Hashtbl.remove t.timers name
+
+let set_timer t ~name ~us action =
+  cancel_timer t ~name;
+  let sched = Bus.scheduler t.bus in
+  let handle =
+    Scheduler.after sched us (fun () ->
+        Hashtbl.remove t.timers name;
+        action ())
+  in
+  Hashtbl.replace t.timers name handle
+
+let start t = List.iter (fun h -> h ()) (List.rev t.start_handlers)

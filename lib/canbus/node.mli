@@ -1,0 +1,30 @@
+(** A programmable bus node: the simulation-side stand-in for an ECU.
+
+    Handlers are registered after creation (so nodes can refer to each
+    other's frames); [start] fires the start handlers, after which received
+    frames and timers drive the node. This is the execution substrate the
+    CAPL interpreter plugs into. *)
+
+type t
+
+val create : Bus.t -> name:string -> t
+val name : t -> string
+val bus : t -> Bus.t
+
+val on_start : t -> (unit -> unit) -> unit
+(** Register a start handler (several allowed; run in order). *)
+
+val on_frame : t -> (Frame.t -> unit) -> unit
+(** Register a frame handler; fires for every frame from other nodes. *)
+
+val send : t -> Frame.t -> unit
+(** Queue a frame for transmission on the bus. *)
+
+val set_timer : t -> name:string -> us:int -> (unit -> unit) -> unit
+(** (Re)arm a named one-shot timer (duration in microseconds); re-arming
+    cancels the previous one. *)
+
+val cancel_timer : t -> name:string -> unit
+
+val start : t -> unit
+(** Run the start handlers (at current simulation time). *)

@@ -1,0 +1,79 @@
+type handle = int
+
+(* Priority queue as a map from (time, sequence) to actions; small enough
+   simulations do not justify a binary heap. *)
+module Key = struct
+  type t = int * int  (* time, sequence *)
+  let compare (t1, s1) (t2, s2) =
+    let r = Int.compare t1 t2 in
+    if r <> 0 then r else Int.compare s1 s2
+end
+
+module Queue_map = Map.Make (Key)
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable queue : (handle * (unit -> unit)) Queue_map.t;
+  mutable cancelled : int list;
+  mutable next_handle : int;
+}
+
+let create () =
+  { now = 0; seq = 0; queue = Queue_map.empty; cancelled = []; next_handle = 0 }
+
+let now t = t.now
+
+let at t time action =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Scheduler.at: time %d is before now (%d)" time t.now);
+  let handle = t.next_handle in
+  t.next_handle <- t.next_handle + 1;
+  t.queue <- Queue_map.add (time, t.seq) (handle, action) t.queue;
+  t.seq <- t.seq + 1;
+  handle
+
+let after t delay action = at t (t.now + delay) action
+
+let cancel t handle = t.cancelled <- handle :: t.cancelled
+
+let pending t =
+  Queue_map.fold
+    (fun _ (h, _) acc -> if List.mem h t.cancelled then acc else acc + 1)
+    t.queue 0
+
+let step t =
+  let rec pop () =
+    match Queue_map.min_binding_opt t.queue with
+    | None -> false
+    | Some ((time, _seq) as key, (handle, action)) ->
+      t.queue <- Queue_map.remove key t.queue;
+      if List.mem handle t.cancelled then begin
+        t.cancelled <- List.filter (fun h -> h <> handle) t.cancelled;
+        pop ()
+      end
+      else begin
+        t.now <- time;
+        action ();
+        true
+      end
+  in
+  pop ()
+
+let run ?until ?(max_events = 1_000_000) t =
+  let fired = ref 0 in
+  let continue () =
+    if !fired >= max_events then false
+    else
+      match Queue_map.min_binding_opt t.queue with
+      | None -> false
+      | Some ((time, _), _) ->
+        (match until with
+         | Some limit when time > limit -> false
+         | _ -> true)
+  in
+  while continue () do
+    if step t then incr fired
+  done;
+  !fired

@@ -1,0 +1,36 @@
+(** Discrete-event scheduler with microsecond resolution.
+
+    Events fire in (time, insertion-sequence) order, so simultaneous events
+    run in the order they were scheduled — deterministic by construction,
+    which keeps simulation traces reproducible. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time in microseconds. *)
+
+val at : t -> int -> (unit -> unit) -> handle
+(** [at sched time action] schedules [action] at absolute [time].
+    @raise Invalid_argument if [time] is in the past. *)
+
+val after : t -> int -> (unit -> unit) -> handle
+(** [after sched delay action] schedules at [now + delay]. *)
+
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of events still scheduled. *)
+
+val step : t -> bool
+(** Fire the earliest event; [false] if none remain. *)
+
+val run : ?until:int -> ?max_events:int -> t -> int
+(** Fire events until the queue is empty, simulation time would pass
+    [until], or [max_events] (default 1_000_000) have fired; returns the
+    number of events fired. *)

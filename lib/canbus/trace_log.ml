@@ -1,0 +1,36 @@
+type direction =
+  | Tx
+  | Rx of string
+
+type entry = {
+  time : int;
+  node : string;
+  direction : direction;
+  frame : Frame.t;
+}
+
+type t = { mutable entries : entry list (* reverse chronological *) }
+
+let create () = { entries = [] }
+let record t entry = t.entries <- entry :: t.entries
+let entries t = List.rev t.entries
+
+let transmissions t =
+  List.filter (fun e -> e.direction = Tx) (entries t)
+
+let length t = List.length t.entries
+let clear t = t.entries <- []
+
+let pp_entry ppf e =
+  let dir =
+    match e.direction with
+    | Tx -> "tx"
+    | Rx receiver -> "rx->" ^ receiver
+  in
+  Format.fprintf ppf "%8d us  %-10s %-12s %a" e.time e.node dir Frame.pp
+    e.frame
+
+let pp ppf t =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    pp_entry ppf (entries t)

@@ -1,0 +1,28 @@
+(** Chronological record of bus activity, for assertions and conformance
+    checking against extracted CSP models. *)
+
+type direction =
+  | Tx  (** frame won arbitration and was transmitted *)
+  | Rx of string  (** frame delivered to the named node *)
+
+type entry = {
+  time : int;  (** microseconds *)
+  node : string;  (** transmitter *)
+  direction : direction;
+  frame : Frame.t;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** In chronological order. *)
+
+val transmissions : t -> entry list
+(** Only [Tx] entries. *)
+
+val length : t -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** Abstract syntax of CAN database ([.dbc]) files — the de-facto standard
+    format the paper's Section IV-B2 describes, covering the record types a
+    model extractor needs: network nodes ([BU_]), message frames ([BO_]),
+    signals ([SG_]), value tables ([VAL_]) and comments ([CM_]). *)
+
+type byte_order =
+  | Little_endian  (** [@1] — Intel *)
+  | Big_endian  (** [@0] — Motorola *)
+
+type signal = {
+  sig_name : string;
+  start_bit : int;
+  length : int;
+  byte_order : byte_order;
+  signed : bool;
+  factor : float;
+  offset : float;
+  minimum : float;
+  maximum : float;
+  unit : string;
+  receivers : string list;
+  multiplexing : string option;  (** raw [m0]/[M] indicator if present *)
+}
+
+type message = {
+  msg_id : int;
+  msg_name : string;
+  dlc : int;
+  sender : string;
+  signals : signal list;
+}
+
+type value_table = {
+  vt_msg_id : int;
+  vt_sig_name : string;
+  entries : (int * string) list;
+}
+
+type comment_target =
+  | Network
+  | Node of string
+  | Message of int
+  | Signal of int * string
+
+type comment = {
+  target : comment_target;
+  text : string;
+}
+
+type t = {
+  version : string option;
+  nodes : string list;  (** [BU_] network nodes *)
+  messages : message list;
+  value_tables : value_table list;
+  comments : comment list;
+}
+
+let empty =
+  { version = None; nodes = []; messages = []; value_tables = []; comments = [] }
+
+let find_message t id = List.find_opt (fun m -> m.msg_id = id) t.messages
+
+let find_message_by_name t name =
+  List.find_opt (fun m -> String.equal m.msg_name name) t.messages
+
+let find_value_table t msg_id sig_name =
+  List.find_opt
+    (fun vt -> vt.vt_msg_id = msg_id && String.equal vt.vt_sig_name sig_name)
+    t.value_tables

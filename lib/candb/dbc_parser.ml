@@ -1,0 +1,210 @@
+exception Parse_error of string * int
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (s, line))) fmt
+
+(* Tokenize one record: identifiers/numbers, quoted strings and the
+   punctuation DBC uses. *)
+type tok =
+  | Word of string
+  | Str of string
+  | Punct of char
+
+let tokenize lineno s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '"' then begin
+      incr i;
+      let start = !i in
+      while !i < n && s.[!i] <> '"' do
+        incr i
+      done;
+      if !i >= n then fail lineno "unterminated string";
+      toks := Str (String.sub s start (!i - start)) :: !toks;
+      incr i
+    end
+    else if is_word c then begin
+      let start = !i in
+      while !i < n && is_word s.[!i] do
+        incr i
+      done;
+      toks := Word (String.sub s start (!i - start)) :: !toks
+    end
+    else begin
+      toks := Punct c :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+let int_of_word lineno w =
+  match int_of_string_opt w with
+  | Some n -> n
+  | None -> fail lineno "expected an integer, got %s" w
+
+let float_of_word lineno w =
+  match float_of_string_opt w with
+  | Some f -> f
+  | None -> fail lineno "expected a number, got %s" w
+
+(* SG_ name [mux] : start|len@order sign (factor,offset) [min|max] "unit" rcv,rcv *)
+let parse_signal lineno toks =
+  let name, mux, rest =
+    match toks with
+    | Word name :: Word mux :: Punct ':' :: rest
+      when String.length mux > 0 && (mux.[0] = 'm' || mux.[0] = 'M') ->
+      name, Some mux, rest
+    | Word name :: Punct ':' :: rest -> name, None, rest
+    | _ -> fail lineno "malformed SG_ record"
+  in
+  match rest with
+  | Word start :: Punct '|' :: Word len :: Punct '@' :: Word order_sign :: rest
+    ->
+    let byte_order, signed =
+      match order_sign with
+      | "1+" -> Dbc_ast.Little_endian, false
+      | "1-" -> Dbc_ast.Little_endian, true
+      | "0+" -> Dbc_ast.Big_endian, false
+      | "0-" -> Dbc_ast.Big_endian, true
+      | _ -> fail lineno "malformed byte order/sign %s" order_sign
+    in
+    let factor, offset, rest =
+      match rest with
+      | Punct '(' :: Word f :: Punct ',' :: Word o :: Punct ')' :: rest ->
+        float_of_word lineno f, float_of_word lineno o, rest
+      | _ -> fail lineno "expected (factor,offset)"
+    in
+    let minimum, maximum, rest =
+      match rest with
+      | Punct '[' :: Word mn :: Punct '|' :: Word mx :: Punct ']' :: rest ->
+        float_of_word lineno mn, float_of_word lineno mx, rest
+      | _ -> fail lineno "expected [min|max]"
+    in
+    let unit, rest =
+      match rest with
+      | Str u :: rest -> u, rest
+      | _ -> fail lineno "expected a unit string"
+    in
+    let receivers =
+      List.filter_map
+        (function
+          | Word w -> Some w
+          | Punct ',' -> None
+          | _ -> None)
+        rest
+    in
+    {
+      Dbc_ast.sig_name = name;
+      start_bit = int_of_word lineno start;
+      length = int_of_word lineno len;
+      byte_order;
+      signed;
+      factor;
+      offset;
+      minimum;
+      maximum;
+      unit;
+      receivers;
+      multiplexing = mux;
+    }
+  | _ -> fail lineno "malformed SG_ layout"
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let version = ref None in
+  let nodes = ref [] in
+  let messages = ref [] in  (* reverse order; signals attach to the head *)
+  let value_tables = ref [] in
+  let comments = ref [] in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let trimmed = String.trim line in
+      if trimmed = "" then ()
+      else begin
+        let toks = tokenize lineno trimmed in
+        match toks with
+        | Word "VERSION" :: Str v :: _ -> version := Some v
+        | Word "BU_" :: Punct ':' :: rest ->
+          nodes :=
+            List.filter_map (function Word w -> Some w | _ -> None) rest
+        | Word "BO_" :: Word id :: Word name :: Punct ':' :: Word dlc
+          :: Word sender :: _ ->
+          (* BO_ may write "name:" without space; tokenizer splits on ':' *)
+          messages :=
+            {
+              Dbc_ast.msg_id = int_of_word lineno id;
+              msg_name = name;
+              dlc = int_of_word lineno dlc;
+              sender;
+              signals = [];
+            }
+            :: !messages
+        | Word "BO_" :: _ -> fail lineno "malformed BO_ record"
+        | Word "SG_" :: rest ->
+          (match !messages with
+           | [] -> fail lineno "SG_ record before any BO_"
+           | m :: ms ->
+             let s = parse_signal lineno rest in
+             messages :=
+               { m with Dbc_ast.signals = m.Dbc_ast.signals @ [ s ] } :: ms)
+        | Word "VAL_" :: Word id :: Word sig_name :: rest ->
+          let rec pairs acc = function
+            | Word v :: Str label :: rest ->
+              pairs ((int_of_word lineno v, label) :: acc) rest
+            | Punct ';' :: _ | [] -> List.rev acc
+            | _ -> fail lineno "malformed VAL_ entries"
+          in
+          value_tables :=
+            {
+              Dbc_ast.vt_msg_id = int_of_word lineno id;
+              vt_sig_name = sig_name;
+              entries = pairs [] rest;
+            }
+            :: !value_tables
+        | Word "CM_" :: rest ->
+          let target, text =
+            match rest with
+            | Word "BU_" :: Word node :: Str text :: _ ->
+              Dbc_ast.Node node, text
+            | Word "BO_" :: Word id :: Str text :: _ ->
+              Dbc_ast.Message (int_of_word lineno id), text
+            | Word "SG_" :: Word id :: Word sg :: Str text :: _ ->
+              Dbc_ast.Signal (int_of_word lineno id, sg), text
+            | Str text :: _ -> Dbc_ast.Network, text
+            | _ -> fail lineno "malformed CM_ record"
+          in
+          comments := { Dbc_ast.target; text } :: !comments
+        (* Skip the numerous record types a model extractor ignores. *)
+        | Word
+            ( "NS_" | "BS_" | "BA_" | "BA_DEF_" | "BA_DEF_DEF_" | "EV_"
+            | "VAL_TABLE_" | "SIG_VALTYPE_" | "SGTYPE_" | "CAT_" | "FILTER"
+            | "NS_DESC_" | "CM_ENV_" )
+          :: _ ->
+          ()
+        | Word _ :: _ | Punct _ :: _ | Str _ :: _ -> ()
+        | [] -> ()
+      end)
+    lines;
+  {
+    Dbc_ast.version = !version;
+    nodes = !nodes;
+    messages = List.rev !messages;
+    value_tables = List.rev !value_tables;
+    comments = List.rev !comments;
+  }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse content

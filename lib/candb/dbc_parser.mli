@@ -1,0 +1,14 @@
+(** Parser for CAN database ([.dbc]) text.
+
+    Handles the record types in {!Dbc_ast}; unknown record types
+    ([BA_], [NS_] blocks, [BS_], [EV_], ...) are skipped, as real-world
+    databases carry many vendor attributes a model extractor does not
+    need. *)
+
+exception Parse_error of string * int  (** message, line number *)
+
+val parse : string -> Dbc_ast.t
+(** @raise Parse_error on malformed [BU_]/[BO_]/[SG_]/[VAL_]/[CM_] records. *)
+
+val parse_file : string -> Dbc_ast.t
+(** Read and {!parse} a file. @raise Sys_error on IO failure. *)

@@ -1,0 +1,37 @@
+let raw_bounds (s : Dbc_ast.signal) =
+  (* raw = (phys - offset) / factor; only trust integral conversions *)
+  if s.Dbc_ast.factor = 0.0 then 0, 0
+  else begin
+    let lo = (s.Dbc_ast.minimum -. s.Dbc_ast.offset) /. s.Dbc_ast.factor in
+    let hi = (s.Dbc_ast.maximum -. s.Dbc_ast.offset) /. s.Dbc_ast.factor in
+    if Float.is_integer lo && Float.is_integer hi then
+      int_of_float lo, int_of_float hi
+    else 0, 0
+  end
+
+let signal (s : Dbc_ast.signal) =
+  let minimum, maximum = raw_bounds s in
+  {
+    Capl.Msgdb.sig_name = s.Dbc_ast.sig_name;
+    start_bit = s.Dbc_ast.start_bit;
+    length = s.Dbc_ast.length;
+    byte_order =
+      (match s.Dbc_ast.byte_order with
+       | Dbc_ast.Little_endian -> Capl.Msgdb.Little_endian
+       | Dbc_ast.Big_endian -> Capl.Msgdb.Big_endian);
+    signed = s.Dbc_ast.signed;
+    minimum;
+    maximum;
+  }
+
+let msgdb (db : Dbc_ast.t) =
+  Capl.Msgdb.of_messages
+    (List.map
+       (fun (m : Dbc_ast.message) ->
+         {
+           Capl.Msgdb.msg_name = m.Dbc_ast.msg_name;
+           msg_id = m.Dbc_ast.msg_id;
+           msg_dlc = m.Dbc_ast.dlc;
+           signals = List.map signal m.Dbc_ast.signals;
+         })
+       db.Dbc_ast.messages)

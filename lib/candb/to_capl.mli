@@ -1,0 +1,10 @@
+(** Adapter: parsed DBC database → CAPL-facing message database. *)
+
+val signal : Dbc_ast.signal -> Capl.Msgdb.signal
+(** Convert one signal's layout (used by frame decoding in conformance
+    checks as well as by {!msgdb}). *)
+
+val msgdb : Dbc_ast.t -> Capl.Msgdb.t
+(** Raw-value bounds are derived from the physical [min|max] through factor
+    and offset when the scaling is integral; otherwise the full bit range
+    is used. *)

@@ -1,0 +1,91 @@
+type config = {
+  max_domain : int;
+  channel_prefix : string;
+  use_value_tables : bool;
+}
+
+let default_config =
+  { max_domain = 256; channel_prefix = ""; use_value_tables = true }
+
+let capitalize s =
+  if s = "" then s else String.mapi (fun i c -> if i = 0 then Char.uppercase_ascii c else c) s
+
+let signal_type_name (m : Dbc_ast.message) (s : Dbc_ast.signal) =
+  capitalize m.Dbc_ast.msg_name ^ "_" ^ s.Dbc_ast.sig_name
+
+(* The raw range of a signal: prefer database [min|max] (through integral
+   scaling), fall back to the bit width. *)
+let raw_range (s : Dbc_ast.signal) =
+  let by_scaling =
+    if s.Dbc_ast.factor = 0.0 then None
+    else begin
+      let lo = (s.Dbc_ast.minimum -. s.Dbc_ast.offset) /. s.Dbc_ast.factor in
+      let hi = (s.Dbc_ast.maximum -. s.Dbc_ast.offset) /. s.Dbc_ast.factor in
+      if Float.is_integer lo && Float.is_integer hi && hi > lo then
+        Some (int_of_float lo, int_of_float hi)
+      else None
+    end
+  in
+  match by_scaling with
+  | Some r -> r
+  | None ->
+    let bits = min s.Dbc_ast.length 30 in
+    if s.Dbc_ast.signed then -(1 lsl (bits - 1)), (1 lsl (bits - 1)) - 1
+    else 0, (1 lsl bits) - 1
+
+let clamped_range config s =
+  let lo, hi = raw_range s in
+  if hi - lo + 1 > config.max_domain then 0, config.max_domain - 1, true
+  else lo, hi, false
+
+let has_full_value_table ?(config = default_config) (db : Dbc_ast.t)
+    (m : Dbc_ast.message) s =
+  if not config.use_value_tables then None
+  else
+    match Dbc_ast.find_value_table db m.Dbc_ast.msg_id s.Dbc_ast.sig_name with
+    | None -> None
+    | Some vt -> if vt.Dbc_ast.entries = [] then None else Some vt
+
+let abstracted_signals ?(config = default_config) (db : Dbc_ast.t) =
+  List.concat_map
+    (fun (m : Dbc_ast.message) ->
+      List.filter_map
+        (fun s ->
+          match has_full_value_table ~config db m s with
+          | Some _ -> None
+          | None ->
+            let _, _, clamped = clamped_range config s in
+            if clamped then Some (m.Dbc_ast.msg_name, s.Dbc_ast.sig_name)
+            else None)
+        m.Dbc_ast.signals)
+    db.Dbc_ast.messages
+
+let declare ?(config = default_config) (db : Dbc_ast.t) defs =
+  List.iter
+    (fun (m : Dbc_ast.message) ->
+      let field_tys =
+        List.map
+          (fun s ->
+            let ty_name = signal_type_name m s in
+            (match has_full_value_table ~config db m s with
+             | Some vt ->
+               (* enumerated signal: datatype with one constructor per
+                  named value *)
+               Csp.Defs.declare_datatype defs ty_name
+                 (List.map (fun (_, label) -> label, []) vt.Dbc_ast.entries)
+             | None ->
+               let lo, hi, _ = clamped_range config s in
+               Csp.Defs.declare_nametype defs ty_name
+                 (Csp.Ty.Int_range (lo, hi)));
+            Csp.Ty.Named ty_name)
+          m.Dbc_ast.signals
+      in
+      Csp.Defs.declare_channel defs
+        (config.channel_prefix ^ m.Dbc_ast.msg_name)
+        field_tys)
+    db.Dbc_ast.messages
+
+let to_defs ?config db =
+  let defs = Csp.Defs.create () in
+  declare ?config db defs;
+  defs

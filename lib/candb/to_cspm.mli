@@ -1,0 +1,42 @@
+(** DBC → CSPm declaration generation: the "second parser and model
+    generator ... to handle CAN database files, extracting message formats
+    as CSPm declarations for data types, name types, and data ranges" the
+    paper proposes as future work (Section VIII-A).
+
+    Each message becomes a channel whose fields are its signals; each
+    signal becomes a nametype over its raw-value range (clamped by
+    [max_domain] — data abstraction keeping the model finite), or a
+    datatype when the database carries a complete [VAL_] enumeration for
+    it. *)
+
+type config = {
+  max_domain : int;
+      (** upper bound on any one signal's domain size; larger ranges are
+          abstracted to [{0..max_domain-1}] (default 256) *)
+  channel_prefix : string;  (** prepended to channel names (default "") *)
+  use_value_tables : bool;
+      (** emit datatypes for [VAL_]-enumerated signals (default); when
+          false every signal becomes an integer nametype, which is what
+          the model extractor requires *)
+}
+
+val default_config : config
+
+val declare : ?config:config -> Dbc_ast.t -> Csp.Defs.t -> unit
+(** Add the database's nametypes/datatypes and channels to an existing
+    definition environment.
+    @raise Csp.Defs.Duplicate on name collisions. *)
+
+val to_defs : ?config:config -> Dbc_ast.t -> Csp.Defs.t
+(** A fresh environment holding only the database's declarations. *)
+
+val signal_type_name : Dbc_ast.message -> Dbc_ast.signal -> string
+(** The generated type name for a signal, e.g. [ReqSw_payload]. *)
+
+val clamped_range : config -> Dbc_ast.signal -> int * int * bool
+(** The (lo, hi, was_clamped) raw-value range used for a signal's
+    nametype; the model extractor wraps output values into it. *)
+
+val abstracted_signals : ?config:config -> Dbc_ast.t -> (string * string) list
+(** (message, signal) pairs whose domain was clamped by [max_domain] —
+    the documented over-approximation. *)

@@ -1,0 +1,155 @@
+(** Abstract syntax of the CAPL subset.
+
+    CAPL (Vector's Communication Access Programming Language) is a C-like,
+    event-driven language: a program has optional [includes] and
+    [variables] sections, a set of event procedures ([on message], [on
+    timer], [on key], [on start], ...) and user-defined functions. There is
+    no [main]. This AST covers the constructs the paper's grammar handled
+    ([on message], [output]) plus the "future work" constructs: functions,
+    data structures, control flow, timers and message-member access. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+type ty =
+  | T_int
+  | T_long
+  | T_int64
+  | T_byte
+  | T_word
+  | T_dword
+  | T_qword
+  | T_char
+  | T_float
+  | T_double
+  | T_void
+  | T_message of msg_selector
+  | T_timer  (** second-resolution timer *)
+  | T_ms_timer
+
+and msg_selector =
+  | Msg_name of string  (** [on message EngineData] *)
+  | Msg_id of int  (** [on message 0x123] *)
+  | Msg_any  (** [on message *] *)
+
+type unop =
+  | U_neg
+  | U_not
+  | U_bnot
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_mod
+  | B_shl | B_shr
+  | B_band | B_bor | B_bxor
+  | B_land | B_lor
+  | B_eq | B_neq | B_lt | B_le | B_gt | B_ge
+
+type assign_op =
+  | A_eq
+  | A_add | A_sub | A_mul | A_div | A_mod
+  | A_band | A_bor | A_bxor | A_shl | A_shr
+
+type expr =
+  | E_int of int
+  | E_float of float
+  | E_char of char
+  | E_string of string
+  | E_ident of string
+  | E_this  (** the message/timer that triggered the current handler *)
+  | E_member of expr * string  (** [m.signal], [m.id], [m.dlc], [m.time] *)
+  | E_index of expr * expr
+  | E_call of string * expr list
+  | E_method of expr * string * expr list  (** [m.byte(0)] *)
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_assign of assign_op * expr * expr
+  | E_incr of bool * bool * expr
+      (** [E_incr (is_increment, is_prefix, lvalue)] *)
+  | E_ternary of expr * expr * expr
+
+type var_decl = {
+  var_ty : ty;
+  var_name : string;
+  var_dims : int list;  (** array dimensions, outermost first *)
+  var_init : expr option;
+  var_pos : pos;
+}
+
+type stmt =
+  | S_expr of expr
+  | S_decl of var_decl list
+  | S_if of expr * stmt * stmt option
+  | S_while of expr * stmt
+  | S_do_while of stmt * expr
+  | S_for of stmt option * expr option * expr option * stmt
+  | S_switch of expr * switch_case list
+  | S_break
+  | S_continue
+  | S_return of expr option
+  | S_block of stmt list
+
+and switch_case = {
+  case_label : expr option;  (** [None] is [default:] *)
+  case_body : stmt list;
+}
+
+type event =
+  | Ev_start  (** [on start] *)
+  | Ev_prestart  (** [on preStart] *)
+  | Ev_stop  (** [on stopMeasurement] *)
+  | Ev_key of char
+  | Ev_timer of string
+  | Ev_message of msg_selector
+
+type handler = {
+  event : event;
+  body : stmt list;
+  handler_pos : pos;
+}
+
+type func = {
+  fn_ret : ty;
+  fn_name : string;
+  fn_params : (ty * string) list;
+  fn_body : stmt list;
+  fn_pos : pos;
+}
+
+type program = {
+  includes : string list;
+  variables : var_decl list;
+  handlers : handler list;
+  functions : func list;
+}
+
+let event_name = function
+  | Ev_start -> "start"
+  | Ev_prestart -> "preStart"
+  | Ev_stop -> "stopMeasurement"
+  | Ev_key c -> Printf.sprintf "key '%c'" c
+  | Ev_timer t -> "timer " ^ t
+  | Ev_message (Msg_name n) -> "message " ^ n
+  | Ev_message (Msg_id id) -> Printf.sprintf "message 0x%X" id
+  | Ev_message Msg_any -> "message *"
+
+let ty_name = function
+  | T_int -> "int"
+  | T_long -> "long"
+  | T_int64 -> "int64"
+  | T_byte -> "byte"
+  | T_word -> "word"
+  | T_dword -> "dword"
+  | T_qword -> "qword"
+  | T_char -> "char"
+  | T_float -> "float"
+  | T_double -> "double"
+  | T_void -> "void"
+  | T_message (Msg_name n) -> "message " ^ n
+  | T_message (Msg_id id) -> Printf.sprintf "message 0x%X" id
+  | T_message Msg_any -> "message *"
+  | T_timer -> "timer"
+  | T_ms_timer -> "msTimer"

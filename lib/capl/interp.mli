@@ -1,0 +1,84 @@
+(** Tree-walking interpreter for CAPL programs.
+
+    This is the reproduction's stand-in for CANoe's CAPL execution engine:
+    event procedures fire on simulated events (start, received frames,
+    timers, key presses), [output] transmits frames through the supplied
+    runtime, and [setTimer]/[cancelTimer] arm the runtime's timers. The
+    runtime is abstract so the interpreter can run against the CAN bus
+    simulator ({!Runtime}), or against a test harness. *)
+
+(** CAPL runtime values. *)
+type value =
+  | V_int of int
+  | V_float of float
+  | V_string of string
+  | V_msg of msg_obj
+  | V_array of cell array
+
+and cell = {
+  cell_ty : Ast.ty;
+  mutable cell_v : value;
+}
+
+and msg_obj = {
+  mutable m_id : int;
+  mutable m_dlc : int;
+  m_data : int array;  (** always 8 bytes *)
+  m_spec : Msgdb.message_spec option;
+}
+
+(** Environment callbacks the interpreter drives. *)
+type runtime = {
+  rt_output : msg_obj -> unit;
+  rt_set_timer : name:string -> us:int -> unit;
+  rt_cancel_timer : name:string -> unit;
+  rt_write : string -> unit;
+  rt_now_us : unit -> int;
+}
+
+val null_runtime : runtime
+(** Discards output and writes; timers are no-ops; time is always 0. *)
+
+exception Runtime_error of string
+
+type t
+
+val create : ?runtime:runtime -> ?db:Msgdb.t -> Ast.program -> t
+(** Initializes global variables (including message and timer objects).
+    @raise Runtime_error if an initializer fails. *)
+
+val program : t -> Ast.program
+val set_runtime : t -> runtime -> unit
+
+(** {1 Event injection} *)
+
+val fire_start : t -> unit
+val fire_prestart : t -> unit
+val fire_stop : t -> unit
+val fire_key : t -> char -> unit
+
+val fire_timer : t -> string -> unit
+(** Run the [on timer] handler for the named timer variable (no-op if the
+    program has none). *)
+
+val on_frame : t -> Canbus.Frame.t -> unit
+(** Dispatch a received frame to every matching [on message] handler
+    (exact name match, id match, then [*] handlers), binding [this]. *)
+
+(** {1 Introspection (tests, conformance checking)} *)
+
+val call_function : t -> string -> value list -> value
+(** Call a user-defined function directly.
+    @raise Runtime_error on unknown names or arity mismatch. *)
+
+val global : t -> string -> value
+(** Current value of a global variable.
+    @raise Runtime_error if undeclared. *)
+
+val set_global : t -> string -> value -> unit
+
+val frame_of_msg : msg_obj -> Canbus.Frame.t
+val msg_of_frame : ?db:Msgdb.t -> Canbus.Frame.t -> msg_obj
+
+val truthy : value -> bool
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,334 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | KW_includes | KW_variables | KW_on | KW_message | KW_timer | KW_msTimer
+  | KW_key | KW_this
+  | KW_int | KW_long | KW_int64 | KW_byte | KW_word | KW_dword | KW_qword
+  | KW_char | KW_float | KW_double | KW_void
+  | KW_if | KW_else | KW_while | KW_do | KW_for | KW_switch | KW_case
+  | KW_default | KW_break | KW_continue | KW_return
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | DOT | QUESTION
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PERCENT_ASSIGN | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN
+  | SHL_ASSIGN | SHR_ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS | MINUSMINUS
+  | SHL | SHR
+  | AMP | PIPE | CARET | TILDE
+  | AMPAMP | PIPEPIPE | BANG
+  | EQ | NEQ | LT | LE | GT | GE
+  | HASH_INCLUDE of string
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+let keyword = function
+  | "includes" -> Some KW_includes
+  | "variables" -> Some KW_variables
+  | "on" -> Some KW_on
+  | "message" -> Some KW_message
+  | "timer" -> Some KW_timer
+  | "msTimer" -> Some KW_msTimer
+  | "key" -> Some KW_key
+  | "this" -> Some KW_this
+  | "int" -> Some KW_int
+  | "long" -> Some KW_long
+  | "int64" -> Some KW_int64
+  | "byte" -> Some KW_byte
+  | "word" -> Some KW_word
+  | "dword" -> Some KW_dword
+  | "qword" -> Some KW_qword
+  | "char" -> Some KW_char
+  | "float" -> Some KW_float
+  | "double" -> Some KW_double
+  | "void" -> Some KW_void
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "do" -> Some KW_do
+  | "for" -> Some KW_for
+  | "switch" -> Some KW_switch
+  | "case" -> Some KW_case
+  | "default" -> Some KW_default
+  | "break" -> Some KW_break
+  | "continue" -> Some KW_continue
+  | "return" -> Some KW_return
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let tokens src =
+  let n = String.length src in
+  let line = ref 1 in
+  let col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; Ast.col = !col } in
+  let fail msg = raise (Lex_error (msg, pos ())) in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let advance () =
+    (match src.[!i] with
+     | '\n' ->
+       incr line;
+       col := 1
+     | _ -> incr col);
+    incr i
+  in
+  let advance_n k =
+    for _ = 1 to k do
+      advance ()
+    done
+  in
+  let read_escape () =
+    (* after the backslash *)
+    match peek 0 with
+    | Some 'n' -> advance (); '\n'
+    | Some 't' -> advance (); '\t'
+    | Some 'r' -> advance (); '\r'
+    | Some '0' -> advance (); '\000'
+    | Some '\\' -> advance (); '\\'
+    | Some '\'' -> advance (); '\''
+    | Some '"' -> advance (); '"'
+    | Some c -> advance (); c
+    | None -> fail "unterminated escape"
+  in
+  let acc = ref [] in
+  let emit tok p = acc := (tok, p) :: !acc in
+  let rec loop () =
+    if !i >= n then emit EOF (pos ())
+    else begin
+      let c = src.[!i] in
+      let p = pos () in
+      (match c with
+       | ' ' | '\t' | '\r' | '\n' -> advance ()
+       | '/' when peek 1 = Some '/' ->
+         while !i < n && src.[!i] <> '\n' do
+           advance ()
+         done
+       | '/' when peek 1 = Some '*' ->
+         advance_n 2;
+         let rec skip () =
+           if !i >= n then raise (Lex_error ("unterminated comment", p))
+           else if peek 0 = Some '*' && peek 1 = Some '/' then advance_n 2
+           else begin
+             advance ();
+             skip ()
+           end
+         in
+         skip ()
+       | '#' ->
+         (* #include "file" *)
+         advance ();
+         let start = !i in
+         while !i < n && is_ident_char src.[!i] do
+           advance ()
+         done;
+         let word = String.sub src start (!i - start) in
+         if word <> "include" then fail ("unknown directive #" ^ word);
+         while !i < n && (src.[!i] = ' ' || src.[!i] = '\t') do
+           advance ()
+         done;
+         let close =
+           match peek 0 with
+           | Some '"' -> '"'
+           | Some '<' -> '>'
+           | _ -> fail "expected a file name after #include"
+         in
+         advance ();
+         let fstart = !i in
+         while !i < n && src.[!i] <> close && src.[!i] <> '\n' do
+           advance ()
+         done;
+         if !i >= n || src.[!i] <> close then fail "unterminated include path";
+         let file = String.sub src fstart (!i - fstart) in
+         advance ();
+         emit (HASH_INCLUDE file) p
+       | '\'' ->
+         advance ();
+         let ch =
+           match peek 0 with
+           | Some '\\' ->
+             advance ();
+             read_escape ()
+           | Some c ->
+             advance ();
+             c
+           | None -> fail "unterminated character literal"
+         in
+         (match peek 0 with
+          | Some '\'' -> advance ()
+          | _ -> fail "unterminated character literal");
+         emit (CHAR ch) p
+       | '"' ->
+         advance ();
+         let buf = Buffer.create 16 in
+         let rec read () =
+           match peek 0 with
+           | None -> fail "unterminated string literal"
+           | Some '"' -> advance ()
+           | Some '\\' ->
+             advance ();
+             Buffer.add_char buf (read_escape ());
+             read ()
+           | Some c ->
+             advance ();
+             Buffer.add_char buf c;
+             read ()
+         in
+         read ();
+         emit (STRING (Buffer.contents buf)) p
+       | '{' -> advance (); emit LBRACE p
+       | '}' -> advance (); emit RBRACE p
+       | '(' -> advance (); emit LPAREN p
+       | ')' -> advance (); emit RPAREN p
+       | '[' -> advance (); emit LBRACKET p
+       | ']' -> advance (); emit RBRACKET p
+       | ';' -> advance (); emit SEMI p
+       | ',' -> advance (); emit COMMA p
+       | ':' -> advance (); emit COLON p
+       | '.' -> advance (); emit DOT p
+       | '?' -> advance (); emit QUESTION p
+       | '~' -> advance (); emit TILDE p
+       | '+' when peek 1 = Some '+' -> advance_n 2; emit PLUSPLUS p
+       | '+' when peek 1 = Some '=' -> advance_n 2; emit PLUS_ASSIGN p
+       | '+' -> advance (); emit PLUS p
+       | '-' when peek 1 = Some '-' -> advance_n 2; emit MINUSMINUS p
+       | '-' when peek 1 = Some '=' -> advance_n 2; emit MINUS_ASSIGN p
+       | '-' -> advance (); emit MINUS p
+       | '*' when peek 1 = Some '=' -> advance_n 2; emit STAR_ASSIGN p
+       | '*' -> advance (); emit STAR p
+       | '/' when peek 1 = Some '=' -> advance_n 2; emit SLASH_ASSIGN p
+       | '/' -> advance (); emit SLASH p
+       | '%' when peek 1 = Some '=' -> advance_n 2; emit PERCENT_ASSIGN p
+       | '%' -> advance (); emit PERCENT p
+       | '<' when peek 1 = Some '<' && peek 2 = Some '=' ->
+         advance_n 3;
+         emit SHL_ASSIGN p
+       | '<' when peek 1 = Some '<' -> advance_n 2; emit SHL p
+       | '<' when peek 1 = Some '=' -> advance_n 2; emit LE p
+       | '<' -> advance (); emit LT p
+       | '>' when peek 1 = Some '>' && peek 2 = Some '=' ->
+         advance_n 3;
+         emit SHR_ASSIGN p
+       | '>' when peek 1 = Some '>' -> advance_n 2; emit SHR p
+       | '>' when peek 1 = Some '=' -> advance_n 2; emit GE p
+       | '>' -> advance (); emit GT p
+       | '=' when peek 1 = Some '=' -> advance_n 2; emit EQ p
+       | '=' -> advance (); emit ASSIGN p
+       | '!' when peek 1 = Some '=' -> advance_n 2; emit NEQ p
+       | '!' -> advance (); emit BANG p
+       | '&' when peek 1 = Some '&' -> advance_n 2; emit AMPAMP p
+       | '&' when peek 1 = Some '=' -> advance_n 2; emit AMP_ASSIGN p
+       | '&' -> advance (); emit AMP p
+       | '|' when peek 1 = Some '|' -> advance_n 2; emit PIPEPIPE p
+       | '|' when peek 1 = Some '=' -> advance_n 2; emit PIPE_ASSIGN p
+       | '|' -> advance (); emit PIPE p
+       | '^' when peek 1 = Some '=' -> advance_n 2; emit CARET_ASSIGN p
+       | '^' -> advance (); emit CARET p
+       | '0' when peek 1 = Some 'x' || peek 1 = Some 'X' ->
+         advance_n 2;
+         let start = !i in
+         while !i < n && is_hex src.[!i] do
+           advance ()
+         done;
+         if !i = start then fail "empty hex literal";
+         emit (INT (int_of_string ("0x" ^ String.sub src start (!i - start)))) p
+       | c when is_digit c ->
+         let start = !i in
+         while !i < n && is_digit src.[!i] do
+           advance ()
+         done;
+         if
+           peek 0 = Some '.'
+           && match peek 1 with Some d when is_digit d -> true | _ -> false
+         then begin
+           advance ();
+           while !i < n && is_digit src.[!i] do
+             advance ()
+           done;
+           emit (FLOAT (float_of_string (String.sub src start (!i - start)))) p
+         end
+         else emit (INT (int_of_string (String.sub src start (!i - start)))) p
+       | c when is_ident_start c ->
+         let start = !i in
+         while !i < n && is_ident_char src.[!i] do
+           advance ()
+         done;
+         let name = String.sub src start (!i - start) in
+         (match keyword name with
+          | Some kw -> emit kw p
+          | None -> emit (IDENT name) p)
+       | c -> fail (Printf.sprintf "unexpected character %C" c));
+      if
+        match !acc with
+        | (EOF, _) :: _ -> false
+        | _ -> true
+      then loop ()
+    end
+  in
+  loop ();
+  (match !acc with
+   | (EOF, _) :: _ -> ()
+   | _ -> emit EOF (pos ()));
+  List.rev !acc
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | CHAR c -> Printf.sprintf "%C" c
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_includes -> "includes"
+  | KW_variables -> "variables"
+  | KW_on -> "on"
+  | KW_message -> "message"
+  | KW_timer -> "timer"
+  | KW_msTimer -> "msTimer"
+  | KW_key -> "key"
+  | KW_this -> "this"
+  | KW_int -> "int"
+  | KW_long -> "long"
+  | KW_int64 -> "int64"
+  | KW_byte -> "byte"
+  | KW_word -> "word"
+  | KW_dword -> "dword"
+  | KW_qword -> "qword"
+  | KW_char -> "char"
+  | KW_float -> "float"
+  | KW_double -> "double"
+  | KW_void -> "void"
+  | KW_if -> "if"
+  | KW_else -> "else"
+  | KW_while -> "while"
+  | KW_do -> "do"
+  | KW_for -> "for"
+  | KW_switch -> "switch"
+  | KW_case -> "case"
+  | KW_default -> "default"
+  | KW_break -> "break"
+  | KW_continue -> "continue"
+  | KW_return -> "return"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | COLON -> ":" | DOT -> "." | QUESTION -> "?"
+  | ASSIGN -> "=" | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*=" | SLASH_ASSIGN -> "/=" | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&=" | PIPE_ASSIGN -> "|=" | CARET_ASSIGN -> "^="
+  | SHL_ASSIGN -> "<<=" | SHR_ASSIGN -> ">>="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | SHL -> "<<" | SHR -> ">>"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | AMPAMP -> "&&" | PIPEPIPE -> "||" | BANG -> "!"
+  | EQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | HASH_INCLUDE f -> Printf.sprintf "#include %S" f
+  | EOF -> "<eof>"

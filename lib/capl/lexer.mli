@@ -1,0 +1,38 @@
+(** C-style lexer for CAPL: identifiers, decimal/hex integers, floats,
+    character and string literals, [//] and [/* */] comments, and the full
+    C operator set. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  (* keywords *)
+  | KW_includes | KW_variables | KW_on | KW_message | KW_timer | KW_msTimer
+  | KW_key | KW_this
+  | KW_int | KW_long | KW_int64 | KW_byte | KW_word | KW_dword | KW_qword
+  | KW_char | KW_float | KW_double | KW_void
+  | KW_if | KW_else | KW_while | KW_do | KW_for | KW_switch | KW_case
+  | KW_default | KW_break | KW_continue | KW_return
+  (* punctuation and operators *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | SEMI | COMMA | COLON | DOT | QUESTION
+  | ASSIGN | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN
+  | PERCENT_ASSIGN | AMP_ASSIGN | PIPE_ASSIGN | CARET_ASSIGN
+  | SHL_ASSIGN | SHR_ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | PLUSPLUS | MINUSMINUS
+  | SHL | SHR
+  | AMP | PIPE | CARET | TILDE
+  | AMPAMP | PIPEPIPE | BANG
+  | EQ | NEQ | LT | LE | GT | GE
+  | HASH_INCLUDE of string  (** [#include "file"] inside [includes] *)
+  | EOF
+
+exception Lex_error of string * Ast.pos
+
+val tokens : string -> (token * Ast.pos) list
+(** @raise Lex_error on unexpected characters or unterminated literals. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,99 @@
+type byte_order =
+  | Little_endian
+  | Big_endian
+
+type signal = {
+  sig_name : string;
+  start_bit : int;
+  length : int;
+  byte_order : byte_order;
+  signed : bool;
+  minimum : int;
+  maximum : int;
+}
+
+type message_spec = {
+  msg_name : string;
+  msg_id : int;
+  msg_dlc : int;
+  signals : signal list;
+}
+
+type t = { messages : message_spec list }
+
+let empty = { messages = [] }
+let of_messages messages = { messages }
+let messages t = t.messages
+
+let find_by_name t name =
+  List.find_opt (fun m -> String.equal m.msg_name name) t.messages
+
+let find_by_id t id = List.find_opt (fun m -> m.msg_id = id) t.messages
+
+let find_signal spec name =
+  List.find_opt (fun s -> String.equal s.sig_name name) spec.signals
+
+exception Signal_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Signal_error s)) fmt
+
+(* Bit positions of a signal, most significant first, as absolute bit
+   indices (byte_index * 8 + bit_in_byte, bit 0 = LSB of the byte). *)
+let bit_positions s =
+  match s.byte_order with
+  | Little_endian ->
+    (* LSB at start_bit, ascending *)
+    List.init s.length (fun i -> s.start_bit + (s.length - 1 - i))
+  | Big_endian ->
+    (* MSB at start_bit; walk downward within a byte, then to bit 7 of the
+       next byte (the DBC "sawtooth"). *)
+    let rec walk pos remaining acc =
+      if remaining = 0 then List.rev acc
+      else
+        let next = if pos mod 8 = 0 then pos + 15 else pos - 1 in
+        walk next (remaining - 1) (pos :: acc)
+    in
+    walk s.start_bit s.length []
+
+let check_range data positions name =
+  List.iter
+    (fun pos ->
+      let byte = pos / 8 in
+      if byte < 0 || byte >= Array.length data then
+        fail "signal %s overruns the frame data (bit %d)" name pos)
+    positions
+
+(* OCaml's native int is 63-bit; longer signals would overflow shifts. *)
+let check_length s =
+  if s.length < 1 || s.length > 62 then
+    fail "signal %s has unsupported bit length %d" s.sig_name s.length
+
+let decode_signal s data =
+  check_length s;
+  let positions = bit_positions s in
+  check_range data positions s.sig_name;
+  let raw =
+    List.fold_left
+      (fun acc pos ->
+        let byte = pos / 8 in
+        let bit = pos mod 8 in
+        (acc lsl 1) lor ((data.(byte) lsr bit) land 1))
+      0 positions
+  in
+  if s.signed && s.length > 0 && raw land (1 lsl (s.length - 1)) <> 0 then
+    raw - (1 lsl s.length)
+  else raw
+
+let encode_signal s data value =
+  check_length s;
+  let positions = bit_positions s in
+  check_range data positions s.sig_name;
+  let masked = value land ((1 lsl s.length) - 1) in
+  List.iteri
+    (fun i pos ->
+      let byte = pos / 8 in
+      let bit = pos mod 8 in
+      let v = (masked lsr (s.length - 1 - i)) land 1 in
+      if v = 1 then data.(byte) <- data.(byte) lor (1 lsl bit)
+      else data.(byte) <- data.(byte) land lnot (1 lsl bit))
+    positions

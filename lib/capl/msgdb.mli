@@ -1,0 +1,48 @@
+(** Message/signal metadata: the CAPL-facing view of a CAN database.
+
+    CAPL programs name messages ([on message EngineData]) and access signal
+    fields ([this.EngineSpeed]); both need the id/DLC/signal layout that a
+    [.dbc] database defines. [Candb.To_capl] builds one of these from a
+    parsed DBC file; tests build them directly. *)
+
+type byte_order =
+  | Little_endian  (** Intel: start bit is the LSB position *)
+  | Big_endian  (** Motorola: start bit is the MSB position *)
+
+type signal = {
+  sig_name : string;
+  start_bit : int;
+  length : int;  (** in bits, 1..64 *)
+  byte_order : byte_order;
+  signed : bool;
+  minimum : int;
+  maximum : int;  (** raw-value bounds; [0, 0] means unconstrained *)
+}
+
+type message_spec = {
+  msg_name : string;
+  msg_id : int;
+  msg_dlc : int;
+  signals : signal list;
+}
+
+type t
+
+val empty : t
+val of_messages : message_spec list -> t
+val messages : t -> message_spec list
+val find_by_name : t -> string -> message_spec option
+val find_by_id : t -> int -> message_spec option
+val find_signal : message_spec -> string -> signal option
+
+exception Signal_error of string
+
+val decode_signal : signal -> int array -> int
+(** Extract the raw signal value from frame data bytes (sign-extended if
+    the signal is signed).
+    @raise Signal_error if the signal overruns the data. *)
+
+val encode_signal : signal -> int array -> int -> unit
+(** Pack a raw value into the data bytes in place, truncating to the
+    signal's bit length.
+    @raise Signal_error if the signal overruns the data. *)

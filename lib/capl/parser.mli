@@ -1,0 +1,16 @@
+(** Recursive-descent parser for CAPL.
+
+    Produces an {!Ast.program} from source text: optional [includes] and
+    [variables] sections, event procedures and user functions, with full
+    C expression/statement syntax inside bodies. *)
+
+exception Parse_error of string * Ast.pos
+
+val program : string -> Ast.program
+(** @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+
+val expr : string -> Ast.expr
+(** Parse a single expression (for tests). *)
+
+val stmt : string -> Ast.stmt
+(** Parse a single statement (for tests). *)

@@ -1,0 +1,24 @@
+(** Static checks over a parsed CAPL program.
+
+    Catches the errors the CANoe compiler would reject: duplicate globals
+    and functions, undeclared identifiers, [this] outside a handler,
+    [output]/[setTimer]/[cancelTimer] applied to non-message/non-timer
+    operands, assignments to non-lvalues, [break]/[continue] outside loops
+    or switches, unknown message names (against the message database), and
+    unknown signals in member accesses where the message type is known. *)
+
+type error = {
+  where : string;  (** handler or function the error is in, or "globals" *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val check : ?db:Msgdb.t -> Ast.program -> error list
+(** Empty list means the program is well-formed. When [db] is supplied,
+    message selectors and signal names are validated against it. *)
+
+exception Semantic_error of error list
+
+val check_exn : ?db:Msgdb.t -> Ast.program -> unit
+(** @raise Semantic_error if {!check} reports anything. *)

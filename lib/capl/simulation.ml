@@ -1,0 +1,85 @@
+type node = {
+  node_name : string;
+  interp : Interp.t;
+  bus_node : Canbus.Node.t;
+  written : string Queue.t;
+}
+
+type t = {
+  bus : Canbus.Bus.t;
+  sched : Canbus.Scheduler.t;
+  node_list : node list;
+}
+
+exception Setup_error of string
+
+let create ?bitrate ?(db = Msgdb.empty) programs =
+  (* Check every program before wiring anything up. *)
+  let all_errors =
+    List.concat_map
+      (fun (name, prog) ->
+        List.map
+          (fun e -> Format.asprintf "%s: %a" name Sem.pp_error e)
+          (Sem.check ~db prog))
+      programs
+  in
+  if all_errors <> [] then
+    raise (Setup_error (String.concat "\n" all_errors));
+  let sched = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create ?bitrate sched in
+  let node_list =
+    List.map
+      (fun (name, prog) ->
+        let bus_node = Canbus.Node.create bus ~name in
+        let written = Queue.create () in
+        let interp = Interp.create ~db prog in
+        let runtime =
+          {
+            Interp.rt_output =
+              (fun m -> Canbus.Node.send bus_node (Interp.frame_of_msg m));
+            rt_set_timer =
+              (fun ~name:timer ~us ->
+                Canbus.Node.set_timer bus_node ~name:timer ~us (fun () ->
+                    Interp.fire_timer interp timer));
+            rt_cancel_timer =
+              (fun ~name:timer -> Canbus.Node.cancel_timer bus_node ~name:timer);
+            rt_write = (fun line -> Queue.add line written);
+            rt_now_us = (fun () -> Canbus.Scheduler.now sched);
+          }
+        in
+        Interp.set_runtime interp runtime;
+        Canbus.Node.on_frame bus_node (fun frame ->
+            Interp.on_frame interp frame);
+        { node_name = name; interp; bus_node; written })
+      programs
+  in
+  { bus; sched; node_list }
+
+let of_sources ?bitrate ?db sources =
+  create ?bitrate ?db
+    (List.map (fun (name, src) -> name, Parser.program src) sources)
+
+let bus t = t.bus
+let scheduler t = t.sched
+let log t = Canbus.Bus.log t.bus
+let nodes t = t.node_list
+
+let node t name =
+  match List.find_opt (fun n -> String.equal n.node_name name) t.node_list with
+  | Some n -> n
+  | None -> raise Not_found
+
+let start t =
+  List.iter (fun n -> Interp.fire_prestart n.interp) t.node_list;
+  List.iter (fun n -> Interp.fire_start n.interp) t.node_list
+
+let run ?until_ms ?max_events t =
+  let until = Option.map (fun ms -> ms * 1000) until_ms in
+  Canbus.Scheduler.run ?until ?max_events t.sched
+
+let press_key t name c = Interp.fire_key (node t name).interp c
+
+let transmissions t =
+  List.map
+    (fun e -> e.Canbus.Trace_log.node, e.Canbus.Trace_log.frame)
+    (Canbus.Trace_log.transmissions (log t))

@@ -1,0 +1,120 @@
+type report = {
+  accepted : bool;
+  trace : Csp.Event.t list;
+  rejected_at : int option;
+}
+
+let clamp_value config (s : Candb.Dbc_ast.signal) v =
+  let lo, hi, _ = Candb.To_cspm.clamped_range config s in
+  let size = hi - lo + 1 in
+  if v >= lo && v <= hi then v else lo + (((v - lo) mod size + size) mod size)
+
+let event_of_frame (system : Pipeline.system) frame =
+  match
+    Candb.Dbc_ast.find_message system.Pipeline.db frame.Canbus.Frame.id
+  with
+  | None -> None
+  | Some m ->
+    let data = Array.make 8 0 in
+    for i = 0 to frame.Canbus.Frame.dlc - 1 do
+      data.(i) <- Canbus.Frame.data_byte frame i
+    done;
+    let config = system.Pipeline.config.Extract.domain in
+    let args =
+      List.map
+        (fun (s : Candb.Dbc_ast.signal) ->
+          let capl_sig = Candb.To_capl.signal s in
+          let raw = Capl.Msgdb.decode_signal capl_sig data in
+          Csp.Value.Int (clamp_value config s raw))
+        m.Candb.Dbc_ast.signals
+    in
+    let chan = config.Candb.To_cspm.channel_prefix ^ m.Candb.Dbc_ast.msg_name in
+    Some (Csp.Event.event chan args)
+
+let trace_accepted ?(unknown_ok = true) (system : Pipeline.system) frames =
+  let defs = system.Pipeline.defs in
+  let step = Csp.Semantics.make_cached defs in
+  (* Only database-message channels are observable on the bus; timer and
+     key events are node-internal, so replay treats them like tau. *)
+  let config = system.Pipeline.config.Extract.domain in
+  let observable =
+    List.map
+      (fun (m : Candb.Dbc_ast.message) ->
+        config.Candb.To_cspm.channel_prefix ^ m.Candb.Dbc_ast.msg_name)
+      system.Pipeline.db.Candb.Dbc_ast.messages
+  in
+  let silent label =
+    match label with
+    | Csp.Event.Tau -> true
+    | Csp.Event.Tick -> false
+    | Csp.Event.Vis e -> not (List.mem e.Csp.Event.chan observable)
+  in
+  let tau_close terms =
+    let seen = Hashtbl.create 64 in
+    let rec go acc = function
+      | [] -> acc
+      | t :: rest ->
+        if Hashtbl.mem seen t then go acc rest
+        else begin
+          Hashtbl.replace seen t ();
+          let taus =
+            List.filter_map
+              (fun (l, target) -> if silent l then Some target else None)
+              (step t)
+          in
+          go (t :: acc) (taus @ rest)
+        end
+    in
+    go [] terms
+  in
+  let fenv = Csp.Defs.fenv defs in
+  let tys = Csp.Defs.ty_lookup defs in
+  let initial =
+    tau_close [ Csp.Proc.const_fold ~tys fenv system.Pipeline.composed ]
+  in
+  let events =
+    List.filter_map
+      (fun f ->
+        match event_of_frame system f with
+        | Some e -> Some (`Event e)
+        | None -> if unknown_ok then None else Some `Unknown)
+      frames
+  in
+  let rec walk states idx trace = function
+    | [] -> { accepted = true; trace = List.rev trace; rejected_at = None }
+    | `Unknown :: _ ->
+      { accepted = false; trace = List.rev trace; rejected_at = Some idx }
+    | `Event e :: rest ->
+      let targets =
+        List.concat_map
+          (fun t ->
+            List.filter_map
+              (fun (l, target) ->
+                match l with
+                | Csp.Event.Vis e' when Csp.Event.equal e e' -> Some target
+                | _ -> None)
+              (step t))
+          states
+      in
+      if targets = [] then
+        { accepted = false; trace = List.rev (e :: trace); rejected_at = Some idx }
+      else walk (tau_close targets) (idx + 1) (e :: trace) rest
+  in
+  walk initial 0 [] events
+
+let run_and_check ?(until_ms = 10_000) system sim =
+  Capl.Simulation.start sim;
+  let _ = Capl.Simulation.run ~until_ms sim in
+  let frames = List.map snd (Capl.Simulation.transmissions sim) in
+  trace_accepted system frames
+
+let pp_report ppf r =
+  if r.accepted then
+    Format.fprintf ppf "accepted (%d events)" (List.length r.trace)
+  else
+    Format.fprintf ppf "REJECTED at event %d of trace %a"
+      (Option.value ~default:(-1) r.rejected_at)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Csp.Event.pp)
+      r.trace

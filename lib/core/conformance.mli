@@ -1,0 +1,41 @@
+(** Translation-soundness checking: concrete CAPL executions against the
+    extracted CSP model.
+
+    The substitution argument of DESIGN.md: because we built the execution
+    substrate (CAN simulator + CAPL interpreter), we can check empirically
+    that every frame sequence the real (simulated) network produces is a
+    trace of the extracted model — i.e. the model extractor
+    over-approximates the implementation, which is what makes refinement
+    verdicts about the model meaningful for the implementation. *)
+
+type report = {
+  accepted : bool;
+  trace : Csp.Event.t list;  (** the observed bus trace, as model events *)
+  rejected_at : int option;  (** index of the first unacceptable event *)
+}
+
+val event_of_frame :
+  Pipeline.system -> Canbus.Frame.t -> Csp.Event.t option
+(** Map a bus frame to the model event: channel from the database message
+    name, arguments from decoded raw signal values, clamped exactly as the
+    extractor clamps signal domains. [None] if the frame's id is not in
+    the database. *)
+
+val trace_accepted :
+  ?unknown_ok:bool ->
+  Pipeline.system ->
+  Canbus.Frame.t list ->
+  report
+(** Replay the frames against the composed model by stepping through
+    tau-closures. Frames with unknown ids are skipped when [unknown_ok]
+    (default true), rejected otherwise. *)
+
+val run_and_check :
+  ?until_ms:int ->
+  Pipeline.system ->
+  Capl.Simulation.t ->
+  report
+(** Start and run the simulation, then check its transmission log against
+    the system model. *)
+
+val pp_report : Format.formatter -> report -> unit

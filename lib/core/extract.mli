@@ -1,0 +1,97 @@
+(** The model extractor: CAPL programs → CSP implementation models.
+
+    This is the paper's central contribution (Section III / Fig. 1): each
+    CAPL node becomes a recursive CSP process over channels derived from
+    the CAN database ({!Candb.To_cspm}), with:
+
+    - [on message M] event procedures as external-choice branches
+      [M?sig1?sig2 -> ...] whose bodies are translated statement by
+      statement;
+    - [output(m)] statements as output prefixes carrying the message
+      variable's symbolically-tracked signal values;
+    - tracked global variables as process parameters (finite data
+      abstraction: values live in [0..global_max] and arithmetic wraps);
+    - timers as boolean "armed" parameters: [setTimer] arms them,
+      [on timer] branches are guarded by the flag and fire on a dedicated
+      [timer_<node>_<name>] channel — the paper's untimed treatment of
+      time-triggered behaviour;
+    - [on key] procedures as branches on per-key channels;
+    - [on start] (and [preStart]) bodies folded into an entry process
+      [<NODE>_INIT] that runs once before the main loop.
+
+    Constructs outside the translatable fragment (unbounded loops,
+    byte-level access, float state, recursion) are reported as warnings
+    and over- or under-approximated as documented on each warning; with
+    [lenient = false] they raise {!Unsupported} instead. *)
+
+type config = {
+  domain : Candb.To_cspm.config;  (** signal-domain clamping *)
+  global_max : int;
+      (** tracked globals live in [0..global_max]; arithmetic wraps
+          (default 7) *)
+  track_globals : string list option;
+      (** [None] (default) tracks every integral global *)
+  max_unroll : int;  (** static loop-unroll bound (default 16) *)
+  lenient : bool;  (** warn-and-approximate instead of raising (default) *)
+  bus_medium : bool;
+      (** when true, [output] statements transmit on per-node
+          [tx_<node>_<msg>] channels that a BUS relay process (see
+          [Pipeline]) forwards to the broadcast [<msg>] channels; this is
+          the composition that admits {e multiple senders} per CAN
+          identifier (e.g. an attacker node injecting frames), which pure
+          multiway synchronization cannot express. Default false: direct
+          rendezvous, appropriate when every message has one sender *)
+  timed : bool;
+      (** tock-timed translation — the paper's Section VII-B "more
+          practical approach" to time. When true, a [tock] event marks the
+          passage of [tock_ms] milliseconds: [setTimer] arms an integer
+          countdown parameter, every [tock] decrements the armed
+          countdowns, and a timer's handler body runs at the tock on which
+          its countdown expires. When false (default), timers are untimed
+          armed-flags firing on nondeterministic [timer_*] events *)
+  tock_ms : int;  (** milliseconds of one [tock] (default 10) *)
+  max_ticks : int;
+      (** countdown parameters range over [0..max_ticks] (default 8);
+          longer durations clamp with a warning *)
+}
+
+val default_config : config
+
+type warning = {
+  where : string;  (** handler/function containing the construct *)
+  what : string;
+}
+
+val pp_warning : Format.formatter -> warning -> unit
+
+exception Unsupported of warning
+
+type node_model = {
+  process_name : string;  (** the main-loop process, e.g. [ECU] *)
+  entry_name : string;  (** the entry process including [on start] *)
+  alphabet : Csp.Eventset.t;  (** channels this node communicates on *)
+  tracked : string list;  (** tracked globals, in parameter order *)
+  timers : string list;  (** timer names, in parameter order *)
+  tx_channels : (string * string) list;
+      (** bus-medium mode: (tx channel, broadcast channel) pairs this node
+          transmits on *)
+  warnings : warning list;
+}
+
+val extract_into :
+  ?config:config ->
+  defs:Csp.Defs.t ->
+  db:Candb.Dbc_ast.t ->
+  node:string ->
+  Capl.Ast.program ->
+  node_model
+(** Translate one node's program, adding its process definitions (and its
+    timer/key channels) to [defs]. Message channels and signal types must
+    already be declared (see {!Candb.To_cspm.declare}) — several nodes
+    share them.
+    @raise Unsupported when [config.lenient] is false and the program
+    leaves the translatable fragment.
+    @raise Csp.Defs.Duplicate if the node name collides. *)
+
+val entry_call : node_model -> Csp.Proc.t
+(** The entry process call with initial arguments. *)

@@ -1,0 +1,116 @@
+exception Template_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Template_error s)) fmt
+
+type value =
+  | Scalar of string
+  | List of string list
+
+type piece =
+  | Text of string
+  | Placeholder of string * string option  (* attribute, separator *)
+
+type t = { pieces : piece list }
+
+type group = (string * t) list
+
+(* Parse "$name$" and "$name; separator=\", \"$" placeholders. *)
+let parse_placeholder body =
+  match String.index_opt body ';' with
+  | None -> Placeholder (String.trim body, None)
+  | Some i ->
+    let name = String.trim (String.sub body 0 i) in
+    let rest = String.trim (String.sub body (i + 1) (String.length body - i - 1)) in
+    let prefix = "separator=" in
+    if not (String.length rest > String.length prefix
+            && String.sub rest 0 (String.length prefix) = prefix)
+    then err "unknown placeholder option %S" rest;
+    let quoted =
+      String.sub rest (String.length prefix)
+        (String.length rest - String.length prefix)
+    in
+    let sep =
+      if String.length quoted >= 2 && quoted.[0] = '"'
+         && quoted.[String.length quoted - 1] = '"'
+      then String.sub quoted 1 (String.length quoted - 2)
+      else err "separator must be a quoted string, got %S" quoted
+    in
+    Placeholder (name, Some sep)
+
+let parse src =
+  let n = String.length src in
+  let pieces = ref [] in
+  let buf = Buffer.create 64 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      pieces := Text (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    if src.[!i] = '$' then begin
+      if !i + 1 < n && src.[!i + 1] = '$' then begin
+        Buffer.add_char buf '$';
+        i := !i + 2
+      end
+      else begin
+        match String.index_from_opt src (!i + 1) '$' with
+        | None -> err "unterminated placeholder starting at offset %d" !i
+        | Some close ->
+          flush_text ();
+          let body = String.sub src (!i + 1) (close - !i - 1) in
+          pieces := parse_placeholder body :: !pieces;
+          i := close + 1
+      end
+    end
+    else begin
+      Buffer.add_char buf src.[!i];
+      incr i
+    end
+  done;
+  flush_text ();
+  { pieces = List.rev !pieces }
+
+let render t attrs =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun piece ->
+      match piece with
+      | Text s -> Buffer.add_string buf s
+      | Placeholder (name, sep) ->
+        (match List.assoc_opt name attrs, sep with
+         | None, _ -> err "missing attribute %s" name
+         | Some (Scalar s), None -> Buffer.add_string buf s
+         | Some (Scalar _), Some _ ->
+           err "attribute %s is scalar but used with a separator" name
+         | Some (List items), Some sep ->
+           Buffer.add_string buf (String.concat sep items)
+         | Some (List _), None ->
+           err "attribute %s is a list; use $%s; separator=\"...\"$" name name))
+    t.pieces;
+  Buffer.contents buf
+
+let attributes t =
+  List.filter_map
+    (function
+      | Text _ -> None
+      | Placeholder (name, _) -> Some name)
+    t.pieces
+  |> List.sort_uniq String.compare
+
+let group members =
+  List.map
+    (fun (name, src) ->
+      match parse src with
+      | t -> name, t
+      | exception Template_error msg ->
+        err "template %s: %s" name msg)
+    members
+
+let lookup g name =
+  match List.assoc_opt name g with
+  | Some t -> t
+  | None -> err "no template named %s" name
+
+let render_in g name attrs = render (lookup g name) attrs

@@ -1,0 +1,40 @@
+(** A small StringTemplate-style engine.
+
+    The paper's translator uses ANTLR's StringTemplate to keep application
+    logic separate from output formatting; this module reproduces the part
+    the pipeline needs: named templates with [$attr$] placeholders,
+    list-valued attributes rendered with separators
+    ([$items; separator=", "$]), and [$$] as the escape for a literal
+    dollar sign. Templates are grouped so the emitter can swap a whole
+    output dialect by swapping the group. *)
+
+type t
+(** A compiled template. *)
+
+type group
+
+exception Template_error of string
+
+(** Attribute values: scalar strings or lists. *)
+type value =
+  | Scalar of string
+  | List of string list
+
+val parse : string -> t
+(** @raise Template_error on an unterminated [$...$] placeholder. *)
+
+val render : t -> (string * value) list -> string
+(** @raise Template_error on a missing attribute, or a list attribute used
+    without a separator (and vice versa). *)
+
+val attributes : t -> string list
+(** Placeholder names, sorted and deduplicated. *)
+
+val group : (string * string) list -> group
+(** Compile a named collection of templates.
+    @raise Template_error on a malformed member (the name is included). *)
+
+val lookup : group -> string -> t
+(** @raise Template_error if the group has no such template. *)
+
+val render_in : group -> string -> (string * value) list -> string

@@ -1,0 +1,217 @@
+module String_map = Map.Make (String)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Lit of Value.t
+  | Var of string
+  | Neg of t
+  | Not of t
+  | Bin of binop * t * t
+  | Tuple of t list
+  | Ctor of string * t list
+  | Set of t list
+  | Range of t * t
+  | Ty_dom of Ty.t
+  | Mem of t * t
+  | If of t * t * t
+  | App of string * t list
+
+exception Eval_error of string
+
+type env = Value.t String_map.t
+
+type fenv = string -> (string list * t) option
+
+let no_funcs _ = None
+
+let empty_env = String_map.empty
+let bind = String_map.add
+let bind_all bindings env =
+  List.fold_left (fun env (x, v) -> String_map.add x v env) env bindings
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let no_tys : Ty.lookup = fun _ -> None
+
+(* Recursion guard for user-defined functions. *)
+let max_app_depth = 10_000
+
+let arith op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then err "division by zero" else a / b
+  | Mod -> if b = 0 then err "modulo by zero" else ((a mod b) + b) mod b
+  | Eq | Neq | Lt | Le | Gt | Ge | And | Or -> assert false
+
+let eval ?(tys = no_tys) fenv env expr =
+  let rec scalar depth env expr =
+    match expr with
+    | Lit v -> v
+    | Var x ->
+      (match String_map.find_opt x env with
+       | Some v -> v
+       | None -> err "unbound variable %s" x)
+    | Neg e -> Value.Int (-Value.as_int (scalar depth env e))
+    | Not e -> Value.Bool (not (Value.as_bool (scalar depth env e)))
+    | Bin ((Add | Sub | Mul | Div | Mod) as op, e1, e2) ->
+      let a = Value.as_int (scalar depth env e1) in
+      let b = Value.as_int (scalar depth env e2) in
+      Value.Int (arith op a b)
+    | Bin (Eq, e1, e2) ->
+      Value.Bool (Value.equal (scalar depth env e1) (scalar depth env e2))
+    | Bin (Neq, e1, e2) ->
+      Value.Bool (not (Value.equal (scalar depth env e1) (scalar depth env e2)))
+    | Bin ((Lt | Le | Gt | Ge) as op, e1, e2) ->
+      let r = Value.compare (scalar depth env e1) (scalar depth env e2) in
+      Value.Bool
+        (match op with
+         | Lt -> r < 0
+         | Le -> r <= 0
+         | Gt -> r > 0
+         | Ge -> r >= 0
+         | Add | Sub | Mul | Div | Mod | Eq | Neq | And | Or -> assert false)
+    | Bin (And, e1, e2) ->
+      Value.Bool
+        (Value.as_bool (scalar depth env e1)
+         && Value.as_bool (scalar depth env e2))
+    | Bin (Or, e1, e2) ->
+      Value.Bool
+        (Value.as_bool (scalar depth env e1)
+         || Value.as_bool (scalar depth env e2))
+    | Tuple es -> Value.Tuple (List.map (scalar depth env) es)
+    | Ctor (c, es) -> Value.Ctor (c, List.map (scalar depth env) es)
+    | Set _ | Range _ | Ty_dom _ ->
+      err "set expression used in scalar position"
+    | Mem (e, s) ->
+      let v = scalar depth env e in
+      Value.Bool (List.exists (Value.equal v) (set depth env s))
+    | If (c, e1, e2) ->
+      if Value.as_bool (scalar depth env c) then scalar depth env e1
+      else scalar depth env e2
+    | App (f, args) ->
+      if depth > max_app_depth then err "function %s: recursion too deep" f;
+      (match fenv f with
+       | None -> err "unknown function %s" f
+       | Some (params, body) ->
+         if List.length params <> List.length args then
+           err "function %s: arity mismatch" f;
+         let values = List.map (scalar depth env) args in
+         let env' = bind_all (List.combine params values) empty_env in
+         scalar (depth + 1) env' body)
+  and set depth env expr =
+    match expr with
+    | Set es -> List.sort_uniq Value.compare (List.map (scalar depth env) es)
+    | Range (lo, hi) ->
+      let lo = Value.as_int (scalar depth env lo) in
+      let hi = Value.as_int (scalar depth env hi) in
+      if lo > hi then [] else List.init (hi - lo + 1) (fun i -> Value.Int (lo + i))
+    | Ty_dom ty -> Ty.domain tys ty
+    | If (c, e1, e2) ->
+      if Value.as_bool (scalar depth env c) then set depth env e1
+      else set depth env e2
+    | Lit _ | Var _ | Neg _ | Not _ | Bin _ | Tuple _ | Ctor _ | Mem _ | App _
+      -> err "scalar expression used in set position"
+  in
+  scalar 0 env expr
+
+let eval_set ?(tys = no_tys) fenv env expr =
+  let rec set env expr =
+    match expr with
+    | Set es ->
+      List.sort_uniq Value.compare (List.map (eval ~tys fenv env) es)
+    | Range (lo, hi) ->
+      let lo = Value.as_int (eval ~tys fenv env lo) in
+      let hi = Value.as_int (eval ~tys fenv env hi) in
+      if lo > hi then [] else List.init (hi - lo + 1) (fun i -> Value.Int (lo + i))
+    | Ty_dom ty -> Ty.domain tys ty
+    | If (c, e1, e2) ->
+      if Value.as_bool (eval ~tys fenv env c) then set env e1 else set env e2
+    | Lit _ | Var _ | Neg _ | Not _ | Bin _ | Tuple _ | Ctor _ | Mem _ | App _
+      -> err "scalar expression used in set position"
+  in
+  set env expr
+
+let eval_bool ?tys fenv env expr = Value.as_bool (eval ?tys fenv env expr)
+
+let free_vars expr =
+  let rec go acc = function
+    | Lit _ | Ty_dom _ -> acc
+    | Var x -> x :: acc
+    | Neg e | Not e -> go acc e
+    | Bin (_, e1, e2) | Range (e1, e2) | Mem (e1, e2) -> go (go acc e1) e2
+    | Tuple es | Ctor (_, es) | Set es | App (_, es) -> List.fold_left go acc es
+    | If (c, e1, e2) -> go (go (go acc c) e1) e2
+  in
+  List.sort_uniq String.compare (go [] expr)
+
+let rec subst resolve expr =
+  match expr with
+  | Lit _ | Ty_dom _ -> expr
+  | Var x ->
+    (match resolve x with
+     | Some v -> Lit v
+     | None -> expr)
+  | Neg e -> Neg (subst resolve e)
+  | Not e -> Not (subst resolve e)
+  | Bin (op, e1, e2) -> Bin (op, subst resolve e1, subst resolve e2)
+  | Tuple es -> Tuple (List.map (subst resolve) es)
+  | Ctor (c, es) -> Ctor (c, List.map (subst resolve) es)
+  | Set es -> Set (List.map (subst resolve) es)
+  | Range (e1, e2) -> Range (subst resolve e1, subst resolve e2)
+  | Mem (e1, e2) -> Mem (subst resolve e1, subst resolve e2)
+  | If (c, e1, e2) -> If (subst resolve c, subst resolve e1, subst resolve e2)
+  | App (f, es) -> App (f, List.map (subst resolve) es)
+
+let equal e1 e2 = Stdlib.compare e1 e2 = 0
+let compare = Stdlib.compare
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or"
+
+let rec pp ppf = function
+  | Lit v -> Value.pp ppf v
+  | Var x -> Format.pp_print_string ppf x
+  | Neg e -> Format.fprintf ppf "-(%a)" pp e
+  | Not e -> Format.fprintf ppf "not (%a)" pp e
+  | Bin (op, e1, e2) ->
+    Format.fprintf ppf "(%a %s %a)" pp e1 (binop_name op) pp e2
+  | Tuple es -> Format.fprintf ppf "(%a)" pp_list es
+  | Ctor (c, []) -> Format.pp_print_string ppf c
+  | Ctor (c, es) ->
+    Format.pp_print_string ppf c;
+    List.iter (fun e -> Format.fprintf ppf ".%a" pp_arg e) es
+  | Set es -> Format.fprintf ppf "{%a}" pp_list es
+  | Range (lo, hi) -> Format.fprintf ppf "{%a..%a}" pp lo pp hi
+  | Ty_dom ty -> Ty.pp ppf ty
+  | Mem (e, s) -> Format.fprintf ppf "member(%a, %a)" pp e pp s
+  | If (c, e1, e2) ->
+    Format.fprintf ppf "(if %a then %a else %a)" pp c pp e1 pp e2
+  | App (f, es) -> Format.fprintf ppf "%s(%a)" f pp_list es
+
+and pp_arg ppf e =
+  match e with
+  | Lit _ | Var _ | Ctor (_, []) -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+and pp_list ppf es =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp ppf es
+
+let to_string e = Format.asprintf "%a" pp e
+
+let int n = Lit (Value.Int n)
+let bool b = Lit (Value.Bool b)
+let sym s = Lit (Value.sym s)
+let var x = Var x
+let ( + ) e1 e2 = Bin (Add, e1, e2)
+let ( - ) e1 e2 = Bin (Sub, e1, e2)
+let ( = ) e1 e2 = Bin (Eq, e1, e2)
+let ( < ) e1 e2 = Bin (Lt, e1, e2)
+let ( && ) e1 e2 = Bin (And, e1, e2)

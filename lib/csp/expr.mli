@@ -1,0 +1,79 @@
+(** The CSPm-style expression language embedded in process terms.
+
+    Expressions appear as output fields of prefixes ([c!e]), conditions of
+    [if]-processes, arguments of named-process calls, and in set position
+    (replicated-choice ranges, input restrictions, membership tests).
+    Evaluation is strict and total over ground expressions; unbound
+    variables or type mismatches raise {!Eval_error}. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type t =
+  | Lit of Value.t
+  | Var of string
+  | Neg of t
+  | Not of t
+  | Bin of binop * t * t
+  | Tuple of t list
+  | Ctor of string * t list
+  | Set of t list  (** set literal [{e1, ..., en}] *)
+  | Range of t * t  (** integer range [{lo..hi}] *)
+  | Ty_dom of Ty.t  (** the domain of a type, used as a set *)
+  | Mem of t * t  (** membership [e member S] *)
+  | If of t * t * t
+  | App of string * t list  (** user-defined function application *)
+
+exception Eval_error of string
+
+type env = Value.t Map.Make(String).t
+
+type fenv = string -> (string list * t) option
+(** Resolver for user-defined functions: name to (parameters, body). *)
+
+val no_funcs : fenv
+
+val empty_env : env
+val bind : string -> Value.t -> env -> env
+val bind_all : (string * Value.t) list -> env -> env
+
+val eval : ?tys:Ty.lookup -> fenv -> env -> t -> Value.t
+(** Evaluate in scalar position. [tys] resolves [Ty_dom] references used
+    inside membership tests. Function applications are depth-limited to
+    guard against unbounded recursion.
+    @raise Eval_error on unbound variables, type mismatches, division by
+    zero, or evaluating a set in scalar position. *)
+
+val eval_set : ?tys:Ty.lookup -> fenv -> env -> t -> Value.t list
+(** Evaluate in set position, returning the sorted, deduplicated elements.
+    @raise Eval_error if the expression is not set-valued. *)
+
+val eval_bool : ?tys:Ty.lookup -> fenv -> env -> t -> bool
+
+val free_vars : t -> string list
+(** Free variables, sorted and deduplicated. *)
+
+val subst : (string -> Value.t option) -> t -> t
+(** Replace free variables by literal values where the resolver is defined. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+(** Comma-separated rendering. *)
+
+val to_string : t -> string
+
+(** Convenience constructors. *)
+
+val int : int -> t
+val bool : bool -> t
+val sym : string -> t
+val var : string -> t
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( && ) : t -> t -> t

@@ -1,0 +1,223 @@
+type t = {
+  initial : int;
+  states : Proc.t array;
+  transitions : (Event.label * int) list array;
+}
+
+exception State_limit of int
+
+module Proc_tbl = Hashtbl.Make (struct
+  type t = Proc.t
+  let equal = Proc.equal
+  let hash = Proc.hash
+end)
+
+let compile ?(max_states = 1_000_000) defs root =
+  let step = Semantics.make_cached defs in
+  let index = Proc_tbl.create 1024 in
+  let states = ref [] in  (* reverse order *)
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern term =
+    match Proc_tbl.find_opt index term with
+    | Some i -> i
+    | None ->
+      if !count >= max_states then raise (State_limit max_states);
+      let i = !count in
+      incr count;
+      Proc_tbl.replace index term i;
+      states := term :: !states;
+      Queue.add (i, term) queue;
+      i
+  in
+  let fenv = Defs.fenv defs in
+  let tys = Defs.ty_lookup defs in
+  let root = Proc.const_fold ~tys fenv root in
+  let initial = intern root in
+  let transitions = ref [] in  (* reverse order, aligned with states *)
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some (_, term) ->
+      (* States are dequeued in id order (FIFO), so consing transition lists
+         keeps them aligned with the (reversed) state list. *)
+      let ts = step term in
+      let ts = List.map (fun (l, target) -> l, intern target) ts in
+      transitions := ts :: !transitions;
+      drain ()
+  in
+  drain ();
+  {
+    initial;
+    states = Array.of_list (List.rev !states);
+    transitions = Array.of_list (List.rev !transitions);
+  }
+
+let num_states t = Array.length t.states
+
+let num_transitions t =
+  Array.fold_left (fun acc ts -> acc + List.length ts) 0 t.transitions
+
+let transitions_of t i = t.transitions.(i)
+let state_term t i = t.states.(i)
+
+let initials t i =
+  List.sort_uniq Event.compare_label (List.map fst t.transitions.(i))
+
+let is_stable t i =
+  not
+    (List.exists
+       (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
+       t.transitions.(i))
+
+let tau_successors t i =
+  List.filter_map
+    (fun (l, j) -> match l with Event.Tau -> Some j | _ -> None)
+    t.transitions.(i)
+
+module Int_set = Set.Make (Int)
+
+let tau_closure t seeds =
+  let rec go visited = function
+    | [] -> visited
+    | i :: rest ->
+      if Int_set.mem i visited then go visited rest
+      else go (Int_set.add i visited) (tau_successors t i @ rest)
+  in
+  Int_set.elements (go Int_set.empty seeds)
+
+let deadlocks t =
+  let result = ref [] in
+  Array.iteri
+    (fun i ts ->
+      if ts = [] && not (Proc.equal t.states.(i) Proc.Omega) then
+        result := i :: !result)
+    t.transitions;
+  List.rev !result
+
+let path_to t pred =
+  let n = num_states t in
+  let parent = Array.make n None in  (* (label, predecessor) *)
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  visited.(t.initial) <- true;
+  Queue.add t.initial queue;
+  let rec reconstruct acc i =
+    match parent.(i) with
+    | None -> acc
+    | Some (l, p) -> reconstruct (l :: acc) p
+  in
+  let rec search () =
+    match Queue.take_opt queue with
+    | None -> None
+    | Some i ->
+      if pred i then Some (reconstruct [] i, i)
+      else begin
+        List.iter
+          (fun (l, j) ->
+            if not visited.(j) then begin
+              visited.(j) <- true;
+              parent.(j) <- Some (l, i);
+              Queue.add j queue
+            end)
+          t.transitions.(i);
+        search ()
+      end
+  in
+  search ()
+
+let trace_path_to t pred =
+  match path_to t pred with
+  | None -> None
+  | Some (labels, i) ->
+    let trace =
+      List.filter_map
+        (fun l -> match l with Event.Vis e -> Some e | _ -> None)
+        labels
+    in
+    Some (trace, i)
+
+(* Tarjan's SCC over tau-edges only; a state diverges iff it belongs to a
+   tau-SCC of size >= 2 or has a tau self-loop. *)
+let divergences t =
+  let n = num_states t in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let divergent = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (tau_successors t v);
+    if lowlink.(v) = index.(v) then begin
+      (* pop the SCC rooted at v *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let scc = pop [] in
+      let self_loop w = List.exists (fun x -> x = w) (tau_successors t w) in
+      match scc with
+      | [ w ] -> if self_loop w then divergent := w :: !divergent
+      | _ :: _ :: _ -> divergent := scc @ !divergent
+      | [] -> ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.sort_uniq Int.compare !divergent
+
+let to_dot ?(max_label = 40) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph lts {\n  rankdir=LR;\n";
+  Array.iteri
+    (fun i term ->
+      let label = Proc.to_string term in
+      let label =
+        if String.length label > max_label then
+          String.sub label 0 (max_label - 3) ^ "..."
+        else label
+      in
+      let escaped = String.concat "\\\"" (String.split_on_char '\"' label) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  s%d [label=\"%d\", tooltip=\"%s\"%s];\n" i i escaped
+           (if i = t.initial then ", peripheries=2" else "")))
+    t.states;
+  Array.iteri
+    (fun i ts ->
+      List.iter
+        (fun (l, j) ->
+          match l with
+          | Event.Tau ->
+            Buffer.add_string buf
+              (Printf.sprintf "  s%d -> s%d [label=\"tau\", style=dashed];\n" i j)
+          | _ ->
+            Buffer.add_string buf
+              (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" i j
+                 (Event.label_to_string l)))
+        ts)
+    t.transitions;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%d states, %d transitions" (num_states t)
+    (num_transitions t)

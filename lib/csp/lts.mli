@@ -1,0 +1,56 @@
+(** Explicit labelled transition systems, compiled from process terms by
+    breadth-first exploration of the operational semantics. *)
+
+type t = {
+  initial : int;
+  states : Proc.t array;  (** index to the ground term it denotes *)
+  transitions : (Event.label * int) list array;  (** per-state, sorted *)
+}
+
+exception State_limit of int
+(** Raised by {!compile} when exploration exceeds the state bound; carries
+    the bound. *)
+
+val compile : ?max_states:int -> Defs.t -> Proc.t -> t
+(** Compile the reachable state graph of a ground term
+    (default [max_states] = [1_000_000]). Transition computation is
+    memoized per call. *)
+
+val num_states : t -> int
+val num_transitions : t -> int
+
+val transitions_of : t -> int -> (Event.label * int) list
+val state_term : t -> int -> Proc.t
+
+val initials : t -> int -> Event.label list
+(** Labels offered by a state (sorted, deduplicated). *)
+
+val is_stable : t -> int -> bool
+(** No outgoing [tau]. *)
+
+val tau_closure : t -> int list -> int list
+(** States reachable from the given set via zero or more [tau] steps
+    (sorted, deduplicated). *)
+
+val deadlocks : t -> int list
+(** Stable states with no transitions at all, excluding terminated
+    ([Omega]) states. *)
+
+val path_to : t -> (int -> bool) -> (Event.label list * int) option
+(** BFS for the first state satisfying the predicate; returns the label
+    path from the initial state. *)
+
+val trace_path_to : t -> (int -> bool) -> (Event.t list * int) option
+(** Like {!path_to} but keeps only visible events (the counterexample-trace
+    view of the path). *)
+
+val divergences : t -> int list
+(** States lying on a [tau]-cycle (each such state can diverge). *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+val to_dot : ?max_label:int -> t -> string
+(** Graphviz rendering of the state graph (the visualisation role of the
+    FDR GUI): states are numbered nodes (the initial one doubled), edges
+    are labelled with their event ([tau] dashed). State terms longer than
+    [max_label] characters (default 40) are elided in tooltips. *)

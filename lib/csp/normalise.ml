@@ -1,0 +1,114 @@
+type node = {
+  members : int list;  (* sorted, tau-closed *)
+  mutable edges : (Event.label * int) list;
+  mutable acceptances : Event.label list list;
+  mutable divergent : bool;
+}
+
+type t = {
+  nodes : node array;
+  initial : int;
+}
+
+module Members_tbl = Hashtbl.Make (struct
+  type t = int list
+  let equal = List.equal Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module Label_map = Map.Make (struct
+  type t = Event.label
+  let compare = Event.compare_label
+end)
+
+(* Keep only minimal sets under inclusion. *)
+let minimal_acceptances sets =
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let sets = List.sort_uniq Stdlib.compare sets in
+  List.filter
+    (fun a ->
+      not
+        (List.exists (fun b -> (not (Stdlib.compare a b = 0)) && subset b a) sets))
+    sets
+
+let normalise (lts : Lts.t) =
+  let diverging = Lts.divergences lts in
+  let index = Members_tbl.create 256 in
+  let nodes = ref [] in  (* reverse order *)
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern members =
+    match Members_tbl.find_opt index members with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      let node = { members; edges = []; acceptances = []; divergent = false } in
+      Members_tbl.replace index members i;
+      nodes := node :: !nodes;
+      Queue.add (i, node) queue;
+      i
+  in
+  let initial = intern (Lts.tau_closure lts [ lts.Lts.initial ]) in
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some (_, node) ->
+      (* Group non-tau successors of all members by label. *)
+      let by_label =
+        List.fold_left
+          (fun acc m ->
+            List.fold_left
+              (fun acc (l, j) ->
+                match l with
+                | Event.Tau -> acc
+                | Event.Tick | Event.Vis _ ->
+                  let old =
+                    Option.value ~default:[] (Label_map.find_opt l acc)
+                  in
+                  Label_map.add l (j :: old) acc)
+              acc
+              (Lts.transitions_of lts m))
+          Label_map.empty node.members
+      in
+      node.edges <-
+        Label_map.fold
+          (fun l targets acc -> (l, intern (Lts.tau_closure lts targets)) :: acc)
+          by_label []
+        |> List.sort (fun (l1, _) (l2, _) -> Event.compare_label l1 l2);
+      let stable_inits =
+        List.filter_map
+          (fun m ->
+            if Lts.is_stable lts m then
+              Some
+                (List.sort_uniq Event.compare_label
+                   (List.map fst (Lts.transitions_of lts m)))
+            else None)
+          node.members
+      in
+      node.acceptances <- minimal_acceptances stable_inits;
+      node.divergent <-
+        List.exists (fun m -> List.mem m diverging) node.members;
+      drain ()
+  in
+  drain ();
+  { nodes = Array.of_list (List.rev !nodes); initial }
+
+let initial t = t.initial
+let num_nodes t = Array.length t.nodes
+let members t i = t.nodes.(i).members
+let afters t i = t.nodes.(i).edges
+
+let after t i label =
+  List.find_map
+    (fun (l, j) -> if Event.equal_label l label then Some j else None)
+    t.nodes.(i).edges
+
+let acceptances t i = t.nodes.(i).acceptances
+
+let divergent t i = t.nodes.(i).divergent
+
+let can_terminate t i =
+  List.exists
+    (fun (l, _) -> match l with Event.Tick -> true | _ -> false)
+    t.nodes.(i).edges

@@ -1,0 +1,37 @@
+(** Specification normalization: determinization of an LTS by tau-closure
+    subset construction, as FDR does before a refinement check.
+
+    Each normal-form node is a tau-closed set of specification states; a
+    visible label (or [tick]) leads from one node to the tau-closure of the
+    union of its successors. Nodes also carry the minimal acceptance sets of
+    their stable member states, which is exactly what the stable-failures
+    refinement check needs. *)
+
+type t
+
+val normalise : Lts.t -> t
+
+val initial : t -> int
+val num_nodes : t -> int
+
+val members : t -> int -> int list
+(** The (sorted) underlying LTS states of a node. *)
+
+val afters : t -> int -> (Event.label * int) list
+(** Outgoing edges of a node; labels are visible events or [Tick], sorted
+    and unique per label. *)
+
+val after : t -> int -> Event.label -> int option
+(** Follow one label, if the specification allows it. *)
+
+val acceptances : t -> int -> Event.label list list
+(** Minimal acceptance sets: for each stable member state, its initials
+    (visible events and [Tick]); dominated (superset) acceptances removed.
+    Empty if the node has no stable member. *)
+
+val can_terminate : t -> int -> bool
+(** The node has a [Tick] edge. *)
+
+val divergent : t -> int -> bool
+(** Some member state of the node lies on a tau cycle — in the
+    failures-divergences model everything refines such a node. *)

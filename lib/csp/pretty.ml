@@ -1,0 +1,70 @@
+let rec pp_proc ppf (p : Proc.t) =
+  match p with
+  | Proc.Stop -> Format.pp_print_string ppf "Stop"
+  | Proc.Skip -> Format.pp_print_string ppf "Skip"
+  | Proc.Omega -> Format.pp_print_string ppf "Ω"
+  | Proc.Prefix (c, items, cont) ->
+    Format.pp_print_string ppf c;
+    List.iter
+      (fun item ->
+        match item with
+        | Proc.Out e -> Format.fprintf ppf "!%a" Expr.pp e
+        | Proc.In (x, None) -> Format.fprintf ppf "?%s" x
+        | Proc.In (x, Some s) -> Format.fprintf ppf "?%s:%a" x Expr.pp s)
+      items;
+    Format.fprintf ppf " → %a" pp_atom cont
+  | Proc.Ext (a, b) -> Format.fprintf ppf "%a □ %a" pp_atom a pp_atom b
+  | Proc.Int (a, b) -> Format.fprintf ppf "%a ⊓ %a" pp_atom a pp_atom b
+  | Proc.Seq (a, b) -> Format.fprintf ppf "%a ; %a" pp_atom a pp_atom b
+  | Proc.Par (a, set, b) ->
+    Format.fprintf ppf "%a ∥_%a %a" pp_atom a Eventset.pp set pp_atom b
+  | Proc.APar (a, sa, sb, b) ->
+    Format.fprintf ppf "%a %a∥%a %a" pp_atom a Eventset.pp sa Eventset.pp sb
+      pp_atom b
+  | Proc.Inter (a, b) -> Format.fprintf ppf "%a ||| %a" pp_atom a pp_atom b
+  | Proc.Interrupt (a, b) -> Format.fprintf ppf "%a △ %a" pp_atom a pp_atom b
+  | Proc.Timeout (a, b) -> Format.fprintf ppf "%a ▷ %a" pp_atom a pp_atom b
+  | Proc.Hide (a, set) ->
+    Format.fprintf ppf "%a \\ %a" pp_atom a Eventset.pp set
+  | Proc.Rename (a, m) ->
+    Format.fprintf ppf "%a⟦%a⟧" pp_atom a
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (x, y) -> Format.fprintf ppf "%s ↦ %s" x y))
+      m
+  | Proc.If (c, a, b) ->
+    Format.fprintf ppf "if %a then %a else %a" Expr.pp c pp_atom a pp_atom b
+  | Proc.Guard (c, a) -> Format.fprintf ppf "%a & %a" Expr.pp c pp_atom a
+  | Proc.Call (f, []) -> Format.pp_print_string ppf f
+  | Proc.Call (f, args) -> Format.fprintf ppf "%s(%a)" f Expr.pp_list args
+  | Proc.Ext_over (x, s, a) ->
+    Format.fprintf ppf "□ %s:%a • %a" x Expr.pp s pp_atom a
+  | Proc.Int_over (x, s, a) ->
+    Format.fprintf ppf "⊓ %s:%a • %a" x Expr.pp s pp_atom a
+  | Proc.Inter_over (x, s, a) ->
+    Format.fprintf ppf "||| %s:%a • %a" x Expr.pp s pp_atom a
+  | Proc.Run set -> Format.fprintf ppf "Run(%a)" Eventset.pp set
+  | Proc.Chaos set -> Format.fprintf ppf "Chaos(%a)" Eventset.pp set
+
+and pp_atom ppf p =
+  match p with
+  | Proc.Stop | Proc.Skip | Proc.Omega | Proc.Call _ | Proc.Run _
+  | Proc.Chaos _ ->
+    pp_proc ppf p
+  | _ -> Format.fprintf ppf "(%a)" pp_proc p
+
+let proc_to_string p = Format.asprintf "%a" pp_proc p
+
+let pp_label ppf = function
+  | Event.Tau -> Format.pp_print_string ppf "τ"
+  | Event.Tick -> Format.pp_print_string ppf "✓"
+  | Event.Vis e -> Event.pp ppf e
+
+let pp_trace ppf tr =
+  Format.fprintf ppf "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_label)
+    tr
+
+let trace_to_string tr = Format.asprintf "%a" pp_trace tr

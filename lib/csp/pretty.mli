@@ -1,0 +1,13 @@
+(** Blackboard-notation rendering of process terms, matching the paper's
+    Section IV-A2 syntax (e.g. [a → P □ Q], [P ⊓ Q], [P ∥ Q], [P ||| Q],
+    [P \ A]); useful for documentation and counterexample reports.
+
+    The machine-readable CSPm rendering lives in [Cspm.Print]. *)
+
+val pp_proc : Format.formatter -> Proc.t -> unit
+val proc_to_string : Proc.t -> string
+
+val pp_trace : Format.formatter -> Event.label list -> unit
+(** Angle-bracket trace notation: [⟨reqSw, rptSw, ✓⟩]. *)
+
+val trace_to_string : Event.label list -> string

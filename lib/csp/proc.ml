@@ -1,0 +1,266 @@
+type comm_item =
+  | Out of Expr.t
+  | In of string * Expr.t option
+
+type t =
+  | Stop
+  | Skip
+  | Omega
+  | Prefix of string * comm_item list * t
+  | Ext of t * t
+  | Int of t * t
+  | Seq of t * t
+  | Par of t * Eventset.t * t
+  | APar of t * Eventset.t * Eventset.t * t
+  | Inter of t * t
+  | Interrupt of t * t
+  | Timeout of t * t
+  | Hide of t * Eventset.t
+  | Rename of t * (string * string) list
+  | If of Expr.t * t * t
+  | Guard of Expr.t * t
+  | Call of string * Expr.t list
+  | Ext_over of string * Expr.t * t
+  | Int_over of string * Expr.t * t
+  | Inter_over of string * Expr.t * t
+  | Run of Eventset.t
+  | Chaos of Eventset.t
+
+let equal p1 p2 = Stdlib.compare p1 p2 = 0
+let compare = Stdlib.compare
+let hash (p : t) = Hashtbl.hash p
+
+(* Smart constructors collapsing stacked identical wrappers: recursion
+   through a hiding or renaming context (P = (a -> P) \ A) would otherwise
+   build unboundedly nested terms and an infinite state space. Both
+   rewrites are sound: hiding and renaming are idempotent for the same
+   set/mapping. *)
+let hide p set =
+  match p with
+  | Hide (q, set') when Eventset.equal set set' -> Hide (q, set)
+  | _ -> Hide (p, set)
+
+let rename p mapping =
+  match p with
+  | Rename (q, mapping') when mapping = mapping' -> Rename (q, mapping)
+  | _ -> Rename (p, mapping)
+
+let prefix c args p = Prefix (c, List.map (fun e -> Out e) args, p)
+let send c values p = prefix c (List.map (fun v -> Expr.Lit v) values) p
+let recv c xs p = Prefix (c, List.map (fun x -> In (x, None)) xs, p)
+
+let free_vars proc =
+  let add bound x acc = if List.mem x bound then acc else x :: acc in
+  let add_expr bound e acc =
+    List.fold_left (fun acc x -> add bound x acc) acc (Expr.free_vars e)
+  in
+  let rec go bound acc = function
+    | Stop | Skip | Omega | Run _ | Chaos _ -> acc
+    | Prefix (_, items, p) ->
+      let bound', acc =
+        List.fold_left
+          (fun (bound, acc) item ->
+            match item with
+            | Out e -> bound, add_expr bound e acc
+            | In (x, restr) ->
+              let acc =
+                match restr with
+                | None -> acc
+                | Some e -> add_expr bound e acc
+              in
+              x :: bound, acc)
+          (bound, acc) items
+      in
+      go bound' acc p
+    | Ext (p, q) | Int (p, q) | Seq (p, q) | Inter (p, q)
+    | Interrupt (p, q) | Timeout (p, q) ->
+      go bound (go bound acc p) q
+    | Par (p, _, q) | APar (p, _, _, q) -> go bound (go bound acc p) q
+    | Hide (p, _) | Rename (p, _) -> go bound acc p
+    | If (c, p, q) -> go bound (go bound (add_expr bound c acc) p) q
+    | Guard (c, p) -> go bound (add_expr bound c acc) p
+    | Call (_, args) ->
+      List.fold_left (fun acc e -> add_expr bound e acc) acc args
+    | Ext_over (x, s, p) | Int_over (x, s, p) | Inter_over (x, s, p) ->
+      go (x :: bound) (add_expr bound s acc) p
+  in
+  List.sort_uniq String.compare (go [] [] proc)
+
+let subst resolve proc =
+  let shadow resolve x y = if String.equal y x then None else resolve y in
+  let rec go resolve = function
+    | (Stop | Skip | Omega | Run _ | Chaos _) as p -> p
+    | Prefix (c, items, p) ->
+      let resolve', items =
+        List.fold_left
+          (fun (resolve, items) item ->
+            match item with
+            | Out e -> resolve, Out (Expr.subst resolve e) :: items
+            | In (x, restr) ->
+              let restr = Option.map (Expr.subst resolve) restr in
+              shadow resolve x, In (x, restr) :: items)
+          (resolve, []) items
+      in
+      Prefix (c, List.rev items, go resolve' p)
+    | Ext (p, q) -> Ext (go resolve p, go resolve q)
+    | Int (p, q) -> Int (go resolve p, go resolve q)
+    | Seq (p, q) -> Seq (go resolve p, go resolve q)
+    | Interrupt (p, q) -> Interrupt (go resolve p, go resolve q)
+    | Timeout (p, q) -> Timeout (go resolve p, go resolve q)
+    | Par (p, a, q) -> Par (go resolve p, a, go resolve q)
+    | APar (p, a, b, q) -> APar (go resolve p, a, b, go resolve q)
+    | Inter (p, q) -> Inter (go resolve p, go resolve q)
+    | Hide (p, a) -> Hide (go resolve p, a)
+    | Rename (p, m) -> Rename (go resolve p, m)
+    | If (c, p, q) -> If (Expr.subst resolve c, go resolve p, go resolve q)
+    | Guard (c, p) -> Guard (Expr.subst resolve c, go resolve p)
+    | Call (f, args) -> Call (f, List.map (Expr.subst resolve) args)
+    | Ext_over (x, s, p) ->
+      Ext_over (x, Expr.subst resolve s, go (shadow resolve x) p)
+    | Int_over (x, s, p) ->
+      Int_over (x, Expr.subst resolve s, go (shadow resolve x) p)
+    | Inter_over (x, s, p) ->
+      Inter_over (x, Expr.subst resolve s, go (shadow resolve x) p)
+  in
+  go resolve proc
+
+let const_fold ?tys fenv proc =
+  (* [bound] tracks in-scope binder variables; an expression folds to a
+     literal only when none of its free variables are bound binders (after
+     substitution, those are the only free variables left). *)
+  let foldable bound e =
+    not (List.exists (fun x -> List.mem x bound) (Expr.free_vars e))
+  in
+  let fold_expr bound e =
+    match e with
+    | Expr.Lit _ -> e
+    | _ ->
+      if foldable bound e then Expr.Lit (Expr.eval ?tys fenv Expr.empty_env e)
+      else e
+  in
+  let rec go bound = function
+    | (Stop | Skip | Omega | Run _ | Chaos _) as p -> p
+    | Prefix (c, items, p) ->
+      let bound', items =
+        List.fold_left
+          (fun (bound, items) item ->
+            match item with
+            | Out e -> bound, Out (fold_expr bound e) :: items
+            | In (x, restr) ->
+              (* restriction sets are set-valued: they are evaluated by the
+                 semantics when the prefix fires, never folded to a scalar *)
+              x :: bound, In (x, restr) :: items)
+          (bound, []) items
+      in
+      Prefix (c, List.rev items, go bound' p)
+    | Ext (p, q) -> Ext (go bound p, go bound q)
+    | Int (p, q) -> Int (go bound p, go bound q)
+    | Seq (p, q) -> Seq (go bound p, go bound q)
+    | Interrupt (p, q) -> Interrupt (go bound p, go bound q)
+    | Timeout (p, q) -> Timeout (go bound p, go bound q)
+    | Par (p, a, q) -> Par (go bound p, a, go bound q)
+    | APar (p, a, b, q) -> APar (go bound p, a, b, go bound q)
+    | Inter (p, q) -> Inter (go bound p, go bound q)
+    | Hide (p, a) -> hide (go bound p) a
+    | Rename (p, m) -> rename (go bound p) m
+    | If (c, p, q) ->
+      if foldable bound c then
+        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound p
+        else go bound q
+      else If (c, go bound p, go bound q)
+    | Guard (c, p) ->
+      if foldable bound c then
+        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound p else Stop
+      else Guard (c, go bound p)
+    | Call (f, args) -> Call (f, List.map (fold_expr bound) args)
+    | Ext_over (x, s, p) ->
+      expand_over bound x s p ~combine:(fun a b -> Ext (a, b)) ~unit_:Stop
+        ~rebuild:(fun s p -> Ext_over (x, s, p))
+    | Int_over (x, s, p) ->
+      expand_over bound x s p ~combine:(fun a b -> Int (a, b)) ~unit_:Stop
+        ~rebuild:(fun s p -> Int_over (x, s, p))
+    | Inter_over (x, s, p) ->
+      expand_over bound x s p ~combine:(fun a b -> Inter (a, b)) ~unit_:Skip
+        ~rebuild:(fun s p -> Inter_over (x, s, p))
+  and expand_over bound x s p ~combine ~unit_ ~rebuild =
+    if foldable bound s then begin
+      let values = Expr.eval_set ?tys fenv Expr.empty_env s in
+      match values with
+      | [] -> unit_
+      | v0 :: rest ->
+        let instance v =
+          let resolve y = if String.equal y x then Some v else None in
+          go bound (subst resolve p)
+        in
+        List.fold_left (fun acc v -> combine acc (instance v)) (instance v0) rest
+    end
+    else rebuild s (go (x :: bound) p)
+  in
+  go [] proc
+
+let size proc =
+  let rec go acc = function
+    | Stop | Skip | Omega | Run _ | Chaos _ -> acc + 1
+    | Prefix (_, _, p) | Hide (p, _) | Rename (p, _) | Guard (_, p)
+    | Ext_over (_, _, p) | Int_over (_, _, p) | Inter_over (_, _, p) ->
+      go (acc + 1) p
+    | Ext (p, q) | Int (p, q) | Seq (p, q) | Inter (p, q)
+    | Interrupt (p, q) | Timeout (p, q)
+    | Par (p, _, q) | APar (p, _, _, q) | If (_, p, q) ->
+      go (go (acc + 1) p) q
+    | Call _ -> acc + 1
+  in
+  go 0 proc
+
+let rec pp ppf = function
+  | Stop -> Format.pp_print_string ppf "STOP"
+  | Skip -> Format.pp_print_string ppf "SKIP"
+  | Omega -> Format.pp_print_string ppf "OMEGA"
+  | Prefix (c, items, p) ->
+    Format.pp_print_string ppf c;
+    List.iter
+      (fun item ->
+        match item with
+        | Out e -> Format.fprintf ppf "!%a" Expr.pp e
+        | In (x, None) -> Format.fprintf ppf "?%s" x
+        | In (x, Some s) -> Format.fprintf ppf "?%s:%a" x Expr.pp s)
+      items;
+    Format.fprintf ppf " -> %a" pp_atom p
+  | Ext (p, q) -> Format.fprintf ppf "%a [] %a" pp_atom p pp_atom q
+  | Int (p, q) -> Format.fprintf ppf "%a |~| %a" pp_atom p pp_atom q
+  | Seq (p, q) -> Format.fprintf ppf "%a; %a" pp_atom p pp_atom q
+  | Par (p, a, q) ->
+    Format.fprintf ppf "%a [|%a|] %a" pp_atom p Eventset.pp a pp_atom q
+  | APar (p, a, b, q) ->
+    Format.fprintf ppf "%a [%a||%a] %a" pp_atom p Eventset.pp a Eventset.pp b
+      pp_atom q
+  | Inter (p, q) -> Format.fprintf ppf "%a ||| %a" pp_atom p pp_atom q
+  | Interrupt (p, q) -> Format.fprintf ppf "%a /\\ %a" pp_atom p pp_atom q
+  | Timeout (p, q) -> Format.fprintf ppf "%a [> %a" pp_atom p pp_atom q
+  | Hide (p, a) -> Format.fprintf ppf "%a \\ %a" pp_atom p Eventset.pp a
+  | Rename (p, m) ->
+    Format.fprintf ppf "%a[[%a]]" pp_atom p
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (a, b) -> Format.fprintf ppf "%s <- %s" a b))
+      m
+  | If (c, p, q) ->
+    Format.fprintf ppf "if %a then %a else %a" Expr.pp c pp_atom p pp_atom q
+  | Guard (c, p) -> Format.fprintf ppf "%a & %a" Expr.pp c pp_atom p
+  | Call (f, []) -> Format.pp_print_string ppf f
+  | Call (f, args) -> Format.fprintf ppf "%s(%a)" f Expr.pp_list args
+  | Ext_over (x, s, p) ->
+    Format.fprintf ppf "[] %s : %a @@ %a" x Expr.pp s pp_atom p
+  | Int_over (x, s, p) ->
+    Format.fprintf ppf "|~| %s : %a @@ %a" x Expr.pp s pp_atom p
+  | Inter_over (x, s, p) ->
+    Format.fprintf ppf "||| %s : %a @@ %a" x Expr.pp s pp_atom p
+  | Run a -> Format.fprintf ppf "RUN(%a)" Eventset.pp a
+  | Chaos a -> Format.fprintf ppf "CHAOS(%a)" Eventset.pp a
+
+and pp_atom ppf p =
+  match p with
+  | Stop | Skip | Omega | Call _ | Run _ | Chaos _ -> pp ppf p
+  | _ -> Format.fprintf ppf "(%a)" pp p
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,92 @@
+(** CSP process terms.
+
+    This is the syntax of Section IV-A2 of the paper (Stop, prefix, external
+    choice, sequential composition, generalized parallel, interleaving)
+    extended with the operators the CSPm front end and the CAPL translator
+    need: internal choice, hiding, renaming, conditionals, boolean guards,
+    replicated choices, alphabetized parallel, [RUN] and [CHAOS], and named
+    recursive calls.
+
+    Process states explored by {!Lts} are {e ground} terms: every expression
+    outside the scope of an input binder has been folded to a literal by
+    {!const_fold}, so structural equality and hashing identify states. *)
+
+(** One field of a communication: output ([c!e] / [c.e]) or input ([c?x],
+    optionally restricted to a set [c?x:S]). Input binders scope over the
+    remaining fields and the continuation. *)
+type comm_item =
+  | Out of Expr.t
+  | In of string * Expr.t option
+
+type t =
+  | Stop
+  | Skip
+  | Omega  (** the terminated process (after [tick]); not user-written *)
+  | Prefix of string * comm_item list * t
+  | Ext of t * t
+  | Int of t * t
+  | Seq of t * t
+  | Par of t * Eventset.t * t  (** generalized parallel [P [|A|] Q] *)
+  | APar of t * Eventset.t * Eventset.t * t
+      (** alphabetized parallel [P [A||B] Q] *)
+  | Inter of t * t  (** interleaving [P ||| Q] *)
+  | Interrupt of t * t
+      (** [P /\ Q]: [P] runs until a (visible) event of [Q] occurs, which
+          takes over permanently *)
+  | Timeout of t * t
+      (** sliding choice [P [> Q]: [P] may be withdrawn silently in favour
+          of [Q] at any point before its first visible event *)
+  | Hide of t * Eventset.t
+  | Rename of t * (string * string) list  (** channel-to-channel renaming *)
+  | If of Expr.t * t * t
+  | Guard of Expr.t * t  (** CSPm boolean guard [b & P] *)
+  | Call of string * Expr.t list
+  | Ext_over of string * Expr.t * t  (** replicated external choice *)
+  | Int_over of string * Expr.t * t  (** replicated internal choice *)
+  | Inter_over of string * Expr.t * t  (** replicated interleaving *)
+  | Run of Eventset.t  (** [RUN(A)]: always offers every event of [A] *)
+  | Chaos of Eventset.t
+      (** [CHAOS(A)]: may nondeterministically accept or refuse [A] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val hide : t -> Eventset.t -> t
+(** [Hide] smart constructor that collapses [((p \ A) \ A)] to [p \ A]
+    (hiding is idempotent); keeps recursion through a hiding context
+    finite-state. Used by the operational semantics. *)
+
+val rename : t -> (string * string) list -> t
+(** Analogous collapsing constructor for [Rename]. *)
+
+val prefix : string -> Expr.t list -> t -> t
+(** [prefix c args p] is the all-output prefix [c.args -> p]. *)
+
+val send : string -> Value.t list -> t -> t
+(** Like {!prefix} with literal values. *)
+
+val recv : string -> string list -> t -> t
+(** [recv c xs p] is the all-input prefix [c?x1...?xn -> p]. *)
+
+val free_vars : t -> string list
+(** Variables not bound by an input binder or replicated-choice binder. *)
+
+val subst : (string -> Value.t option) -> t -> t
+(** Capture-avoiding substitution of values for free variables. *)
+
+val const_fold : ?tys:Ty.lookup -> Expr.fenv -> t -> t
+(** Normalize a term for use as an LTS state: evaluate every expression
+    whose free variables are all in scope-free position, resolve closed
+    [If]/[Guard], and expand replicated choices over closed sets ([Ext_over]
+    of an empty set becomes [Stop], [Inter_over] of an empty set becomes
+    [Skip], [Int_over] of an empty set becomes [Stop]).
+    @raise Expr.Eval_error on ill-typed closed expressions. *)
+
+val size : t -> int
+(** Number of constructors, for diagnostics and test generators. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering in CSPm-like notation. *)
+
+val to_string : t -> string

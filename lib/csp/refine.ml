@@ -1,0 +1,377 @@
+type violation =
+  | Trace_violation of Event.label
+  | Refusal_violation of {
+      offered : Event.label list;
+      acceptances : Event.label list list;
+    }
+  | Deadlock
+  | Divergence
+
+type counterexample = {
+  trace : Event.label list;
+  violation : violation;
+  impl_state : Proc.t;
+}
+
+type stats = {
+  impl_states : int;
+  spec_nodes : int;
+  pairs : int;
+}
+
+type result =
+  | Holds of stats
+  | Fails of counterexample
+
+type model =
+  | Traces
+  | Failures
+  | Failures_divergences
+
+exception State_limit of int
+
+module Proc_tbl = Hashtbl.Make (struct
+  type t = Proc.t
+  let equal = Proc.equal
+  let hash = Proc.hash
+end)
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash = Hashtbl.hash
+end)
+
+let visible_trace labels =
+  List.filter
+    (fun l -> match l with Event.Vis _ | Event.Tick -> true | Event.Tau -> false)
+    labels
+
+(* refusal_mode: what a stable implementation state must offer.
+   `None: traces only. `Acceptances: some minimal acceptance of the node
+   (stable-failures refinement). `Full: every label the normal form can
+   perform (the determinism check). *)
+let product_check ~refusal_mode ~max_states defs ~spec ~impl =
+  let spec_lts = Lts.compile ~max_states defs spec in
+  let norm = Normalise.normalise spec_lts in
+  let step = Semantics.make_cached defs in
+  let fenv = Defs.fenv defs in
+  let tys = Defs.ty_lookup defs in
+  let impl0 = Proc.const_fold ~tys fenv impl in
+  (* Intern implementation terms on the fly. *)
+  let impl_index = Proc_tbl.create 1024 in
+  let impl_term_of = Hashtbl.create 1024 in
+  let impl_count = ref 0 in
+  let intern_impl term =
+    match Proc_tbl.find_opt impl_index term with
+    | Some i -> i
+    | None ->
+      let i = !impl_count in
+      incr impl_count;
+      Proc_tbl.replace impl_index term i;
+      Hashtbl.replace impl_term_of i term;
+      i
+  in
+  let impl_term i = Hashtbl.find impl_term_of i in
+  (* Product pairs (impl state, normal-form node). *)
+  let pair_ids = Pair_tbl.create 4096 in
+  let pair_count = ref 0 in
+  let parents = Hashtbl.create 4096 in
+  (* pair id -> (label, parent pair id) option *)
+  let queue = Queue.create () in
+  let intern_pair parent pair =
+    if not (Pair_tbl.mem pair_ids pair) then begin
+      if !pair_count >= max_states then raise (State_limit max_states);
+      Pair_tbl.replace pair_ids pair !pair_count;
+      Hashtbl.replace parents !pair_count parent;
+      incr pair_count;
+      Queue.add pair queue
+    end
+  in
+  let rec trace_to id =
+    match Hashtbl.find parents id with
+    | None -> []
+    | Some (l, p) -> trace_to p @ [ l ]
+  in
+  let counterexample pair_id extra violation impl_i =
+    let labels = trace_to pair_id @ extra in
+    {
+      trace = visible_trace labels;
+      violation;
+      impl_state = impl_term impl_i;
+    }
+  in
+  intern_pair None (intern_impl impl0, Normalise.initial norm);
+  let rec search () =
+    match Queue.take_opt queue with
+    | None ->
+      Holds
+        {
+          impl_states = !impl_count;
+          spec_nodes = Normalise.num_nodes norm;
+          pairs = !pair_count;
+        }
+    | Some ((impl_i, node) as pair) ->
+      let pair_id = Pair_tbl.find pair_ids pair in
+      let term = impl_term impl_i in
+      let ts = step term in
+      let stable =
+        not
+          (List.exists
+             (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
+             ts)
+      in
+      let refusal_failure =
+        if refusal_mode <> `None && stable then begin
+          let offered =
+            List.sort_uniq Event.compare_label (List.map fst ts)
+          in
+          let accs =
+            match refusal_mode with
+            | `Acceptances -> Normalise.acceptances norm node
+            | `Full ->
+              [ List.sort_uniq Event.compare_label
+                  (List.map fst (Normalise.afters norm node)) ]
+            | `None -> []
+          in
+          let covered =
+            List.exists
+              (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
+              accs
+          in
+          if covered then None
+          else
+            Some
+              (counterexample pair_id []
+                 (Refusal_violation { offered; acceptances = accs })
+                 impl_i)
+        end
+        else None
+      in
+      (match refusal_failure with
+       | Some cex -> Fails cex
+       | None ->
+         let violation =
+           List.find_map
+             (fun (l, target) ->
+               match l with
+               | Event.Tau ->
+                 intern_pair (Some (l, pair_id)) (intern_impl target, node);
+                 None
+               | Event.Tick | Event.Vis _ ->
+                 (match Normalise.after norm node l with
+                  | Some node' ->
+                    intern_pair (Some (l, pair_id)) (intern_impl target, node');
+                    None
+                  | None ->
+                    Some
+                      (counterexample pair_id [ l ] (Trace_violation l) impl_i)))
+             ts
+         in
+         (match violation with
+          | Some cex -> Fails cex
+          | None -> search ()))
+  in
+  search ()
+
+(* Failures-divergences refinement: both sides are compiled to explicit
+   graphs (divergence detection needs the tau-SCCs of the implementation),
+   then the product is explored. Under a divergent specification node
+   everything is allowed, so that subtree is pruned; a divergent
+   implementation state under a non-divergent node is a violation. *)
+let fd_check ~max_states defs ~spec ~impl =
+  let spec_lts = Lts.compile ~max_states defs spec in
+  let norm = Normalise.normalise spec_lts in
+  let impl_lts = Lts.compile ~max_states defs impl in
+  let impl_div = Lts.divergences impl_lts in
+  let pair_ids = Pair_tbl.create 4096 in
+  let pair_count = ref 0 in
+  let parents = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let intern_pair parent pair =
+    if not (Pair_tbl.mem pair_ids pair) then begin
+      if !pair_count >= max_states then raise (State_limit max_states);
+      Pair_tbl.replace pair_ids pair !pair_count;
+      Hashtbl.replace parents !pair_count parent;
+      incr pair_count;
+      Queue.add pair queue
+    end
+  in
+  let rec trace_to id =
+    match Hashtbl.find parents id with
+    | None -> []
+    | Some (l, p) -> trace_to p @ [ l ]
+  in
+  let counterexample pair_id extra violation impl_i =
+    {
+      trace = visible_trace (trace_to pair_id @ extra);
+      violation;
+      impl_state = Lts.state_term impl_lts impl_i;
+    }
+  in
+  intern_pair None (impl_lts.Lts.initial, Normalise.initial norm);
+  let rec search () =
+    match Queue.take_opt queue with
+    | None ->
+      Holds
+        {
+          impl_states = Lts.num_states impl_lts;
+          spec_nodes = Normalise.num_nodes norm;
+          pairs = !pair_count;
+        }
+    | Some ((impl_i, node) as pair) ->
+      if Normalise.divergent norm node then search ()
+      else begin
+        let pair_id = Pair_tbl.find pair_ids pair in
+        if List.mem impl_i impl_div then
+          Fails (counterexample pair_id [] Divergence impl_i)
+        else begin
+          let ts = Lts.transitions_of impl_lts impl_i in
+          let stable = Lts.is_stable impl_lts impl_i in
+          let refusal_failure =
+            if stable then begin
+              let offered =
+                List.sort_uniq Event.compare_label (List.map fst ts)
+              in
+              let accs = Normalise.acceptances norm node in
+              if
+                List.exists
+                  (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
+                  accs
+              then None
+              else
+                Some
+                  (counterexample pair_id []
+                     (Refusal_violation { offered; acceptances = accs })
+                     impl_i)
+            end
+            else None
+          in
+          match refusal_failure with
+          | Some cex -> Fails cex
+          | None ->
+            let violation =
+              List.find_map
+                (fun (l, target) ->
+                  match l with
+                  | Event.Tau ->
+                    intern_pair (Some (l, pair_id)) (target, node);
+                    None
+                  | Event.Tick | Event.Vis _ ->
+                    (match Normalise.after norm node l with
+                     | Some node' ->
+                       intern_pair (Some (l, pair_id)) (target, node');
+                       None
+                     | None ->
+                       Some
+                         (counterexample pair_id [ l ] (Trace_violation l)
+                            impl_i)))
+                ts
+            in
+            (match violation with
+             | Some cex -> Fails cex
+             | None -> search ())
+        end
+      end
+  in
+  search ()
+
+let check ?(model = Traces) ?(max_states = 1_000_000) defs ~spec ~impl =
+  match model with
+  | Traces -> product_check ~refusal_mode:`None ~max_states defs ~spec ~impl
+  | Failures ->
+    product_check ~refusal_mode:`Acceptances ~max_states defs ~spec ~impl
+  | Failures_divergences -> fd_check ~max_states defs ~spec ~impl
+
+let traces_refines ?max_states defs ~spec ~impl =
+  check ~model:Traces ?max_states defs ~spec ~impl
+
+let failures_refines ?max_states defs ~spec ~impl =
+  check ~model:Failures ?max_states defs ~spec ~impl
+
+let fd_refines ?max_states defs ~spec ~impl =
+  check ~model:Failures_divergences ?max_states defs ~spec ~impl
+
+let lts_stats lts =
+  { impl_states = Lts.num_states lts; spec_nodes = 0; pairs = 0 }
+
+let deadlock_free ?(max_states = 1_000_000) defs proc =
+  let lts =
+    try Lts.compile ~max_states defs proc
+    with Lts.State_limit n -> raise (State_limit n)
+  in
+  match Lts.deadlocks lts with
+  | [] -> Holds (lts_stats lts)
+  | dead ->
+    let is_dead i = List.mem i dead in
+    (match Lts.path_to lts is_dead with
+     | None -> assert false
+     | Some (labels, i) ->
+       Fails
+         {
+           trace = visible_trace labels;
+           violation = Deadlock;
+           impl_state = Lts.state_term lts i;
+         })
+
+let divergence_free ?(max_states = 1_000_000) defs proc =
+  let lts =
+    try Lts.compile ~max_states defs proc
+    with Lts.State_limit n -> raise (State_limit n)
+  in
+  match Lts.divergences lts with
+  | [] -> Holds (lts_stats lts)
+  | div ->
+    let is_div i = List.mem i div in
+    (match Lts.path_to lts is_div with
+     | None -> assert false
+     | Some (labels, i) ->
+       Fails
+         {
+           trace = visible_trace labels;
+           violation = Divergence;
+           impl_state = Lts.state_term lts i;
+         })
+
+let deterministic ?(max_states = 1_000_000) defs proc =
+  product_check ~refusal_mode:`Full ~max_states defs ~spec:proc ~impl:proc
+
+let holds = function
+  | Holds _ -> true
+  | Fails _ -> false
+
+let pp_labels ppf labels =
+  match labels with
+  | [] -> Format.pp_print_string ppf "<>"
+  | _ ->
+    Format.fprintf ppf "<%a>"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Event.pp_label)
+      labels
+
+let pp_violation ppf = function
+  | Trace_violation l ->
+    Format.fprintf ppf "trace violation: implementation performs %a"
+      Event.pp_label l
+  | Refusal_violation { offered; acceptances } ->
+    Format.fprintf ppf
+      "refusal violation: stable state offers %a but the specification \
+       requires one of %a"
+      pp_labels offered
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " / ")
+         pp_labels)
+      acceptances
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+  | Divergence -> Format.pp_print_string ppf "divergence (tau cycle)"
+
+let pp_counterexample ppf cex =
+  Format.fprintf ppf "@[<v 2>counterexample:@ trace = %a@ %a@ state = %a@]"
+    pp_labels cex.trace pp_violation cex.violation Proc.pp cex.impl_state
+
+let pp_result ppf = function
+  | Holds stats ->
+    Format.fprintf ppf "holds (%d impl states, %d spec nodes, %d pairs)"
+      stats.impl_states stats.spec_nodes stats.pairs
+  | Fails cex -> Format.fprintf ppf "FAILS@ %a" pp_counterexample cex

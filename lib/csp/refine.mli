@@ -1,0 +1,91 @@
+(** Refinement checking, FDR-style.
+
+    [check ~spec ~impl] decides [spec ⊑ impl] in the traces or
+    stable-failures model by (1) compiling and normalizing the
+    specification, then (2) exploring the product of the implementation's
+    states (generated on the fly) with the normal-form nodes, breadth-first,
+    so a reported counterexample has minimal length.
+
+    Also provides deadlock and divergence checking of single processes. *)
+
+type violation =
+  | Trace_violation of Event.label
+      (** the implementation performed this label where the specification
+          forbids it *)
+  | Refusal_violation of {
+      offered : Event.label list;
+          (** what the stable implementation state offers *)
+      acceptances : Event.label list list;
+          (** the specification's minimal acceptance sets at that point *)
+    }
+  | Deadlock
+  | Divergence
+
+type counterexample = {
+  trace : Event.label list;
+      (** visible labels (and possibly a final [Tick]) from the initial
+          state to the violation; for trace violations the offending label
+          is included as the last element *)
+  violation : violation;
+  impl_state : Proc.t;  (** the implementation term at the violation *)
+}
+
+type stats = {
+  impl_states : int;  (** distinct implementation states visited *)
+  spec_nodes : int;  (** normal-form nodes of the specification *)
+  pairs : int;  (** product pairs visited *)
+}
+
+type result =
+  | Holds of stats
+  | Fails of counterexample
+
+type model =
+  | Traces
+  | Failures
+  | Failures_divergences
+      (** FDR's namesake FD model: failures refinement plus the condition
+          that the implementation may only diverge where the specification
+          does (below a divergent specification point, anything goes) *)
+
+exception State_limit of int
+
+val check :
+  ?model:model ->
+  ?max_states:int ->
+  Defs.t ->
+  spec:Proc.t ->
+  impl:Proc.t ->
+  result
+(** Default model is {!Traces}; [max_states] bounds both the specification
+    compilation and the number of product pairs (default [1_000_000]).
+    @raise State_limit if the bound is hit before a verdict. *)
+
+val traces_refines :
+  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+
+val failures_refines :
+  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+
+val fd_refines :
+  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+(** Failures-divergences refinement. Unlike the other checks, both sides
+    are fully compiled first (implementation divergence detection needs
+    the whole tau graph), so early counterexample exit does not avoid the
+    full state-space cost. *)
+
+val deadlock_free : ?max_states:int -> Defs.t -> Proc.t -> result
+val divergence_free : ?max_states:int -> Defs.t -> Proc.t -> result
+
+val deterministic : ?max_states:int -> Defs.t -> Proc.t -> result
+(** FDR's determinism check in the stable-failures model: [P] is
+    deterministic iff [normalise(P) ⊑F P], which this implements as a
+    failures self-refinement (the specification side is normalized
+    internally). A counterexample exhibits a trace after which [P] can
+    both accept and refuse the same event. *)
+
+val holds : result -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_result : Format.formatter -> result -> unit

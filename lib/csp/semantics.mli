@@ -1,0 +1,38 @@
+(** Operational semantics: the labelled-transition relation of process terms.
+
+    [transitions defs p] computes every transition of the ground term [p],
+    implementing the standard CSP firing rules (Roscoe): input prefixes are
+    expanded over the declared channel-field domains, generalized parallel
+    synchronizes on its interface set and on [tick] (the paper's
+    {m A \cup \{\checkmark\}}), sequential composition converts the left
+    operand's [tick] into [tau], and hiding converts hidden events into
+    [tau].
+
+    Invariant: every [Tick]-labelled transition targets {!Proc.Omega}, and
+    every target term is normalized with {!Proc.const_fold}, so terms can be
+    used directly as hash-table state keys. *)
+
+exception Unguarded of string
+(** Raised when unfolding named calls/conditionals more than the unfolding
+    limit without reaching a guarding operator — e.g. [P = P]. *)
+
+exception Ill_formed of string
+(** Raised on arity mismatches between a prefix and its channel
+    declaration, calls to unknown processes, or unbound variables in what
+    should be a ground term. *)
+
+val transitions : Defs.t -> Proc.t -> (Event.label * Proc.t) list
+(** All transitions, sorted and deduplicated. *)
+
+val cached : Defs.t -> Proc.t -> (Event.label * Proc.t) list
+(** Like {!transitions} with memoization keyed on the term; one shared cache
+    per [Defs.t] (weakly keyed by physical identity of the environment). *)
+
+val make_cached : Defs.t -> Proc.t -> (Event.label * Proc.t) list
+(** A fresh memoizing transition function with its own private cache. *)
+
+val initials : Defs.t -> Proc.t -> Event.label list
+(** The labels offered by the term (sorted, deduplicated). *)
+
+val is_stable : Defs.t -> Proc.t -> bool
+(** No outgoing [tau] transition. *)

@@ -1,0 +1,294 @@
+type trace = Event.label list
+
+type set = trace list
+
+exception Unguarded of string
+
+let compare_trace = List.compare Event.compare_label
+
+let normalize set = List.sort_uniq compare_trace set
+
+let is_prefix tr1 tr2 =
+  let rec go t1 t2 =
+    match t1, t2 with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs, y :: ys -> Event.equal_label x y && go xs ys
+  in
+  go tr1 tr2
+
+let hide set tr =
+  List.filter
+    (fun l ->
+      match l with
+      | Event.Vis e -> not (Eventset.mem set e)
+      | Event.Tau -> false
+      | Event.Tick -> true)
+    tr
+
+(* The paper's five merge equations, with [Tick] treated as a synchronized
+   pseudo-event (the {m A \cup \{\checkmark\}} of generalized parallel). *)
+let merge ~sync tr1 tr2 =
+  let synced l =
+    match l with
+    | Event.Tick -> true
+    | Event.Vis e -> sync e
+    | Event.Tau -> false
+  in
+  let rec go tr1 tr2 =
+    match tr1, tr2 with
+    | [], [] -> [ [] ]
+    | [], l :: rest ->
+      if synced l then [] else List.map (fun tr -> l :: tr) (go [] rest)
+    | l :: rest, [] ->
+      if synced l then [] else List.map (fun tr -> l :: tr) (go rest [])
+    | l1 :: rest1, l2 :: rest2 ->
+      let left =
+        if synced l1 then []
+        else List.map (fun tr -> l1 :: tr) (go rest1 tr2)
+      in
+      let right =
+        if synced l2 then []
+        else List.map (fun tr -> l2 :: tr) (go tr1 rest2)
+      in
+      let both =
+        if synced l1 && Event.equal_label l1 l2 then
+          List.map (fun tr -> l1 :: tr) (go rest1 rest2)
+        else []
+      in
+      left @ right @ both
+  in
+  normalize (go tr1 tr2)
+
+let prefix_closure set =
+  let rec prefixes tr =
+    match tr with
+    | [] -> [ [] ]
+    | l :: rest -> [] :: List.map (fun p -> l :: p) (prefixes rest)
+  in
+  normalize (List.concat_map prefixes set)
+
+let is_prefix_closed set =
+  List.for_all (fun tr -> List.exists (fun t -> compare_trace t tr = 0) set)
+    (prefix_closure set)
+
+let subset s1 s2 =
+  List.for_all (fun tr -> List.exists (fun t -> compare_trace t tr = 0) s2) s1
+
+let visible_length tr =
+  List.length (List.filter (fun l -> l <> Event.Tick) tr)
+
+(* Unfolding budget while no visible event is produced, mirroring
+   Semantics.unfold_limit. *)
+let unfold_limit = 1_000
+
+let of_proc ?(depth = 6) defs proc =
+  let fenv = Defs.fenv defs in
+  let tys = Defs.ty_lookup defs in
+  let fold p = Proc.const_fold ~tys fenv p in
+  let all_seqs events n =
+    (* every sequence over [events] of length <= n *)
+    let rec go n =
+      if n = 0 then [ [] ]
+      else
+        []
+        :: List.concat_map
+             (fun e -> List.map (fun tr -> Event.Vis e :: tr) (go (n - 1)))
+             events
+    in
+    normalize (go n)
+  in
+  let rec go unfolds n p =
+    if unfolds > unfold_limit then raise (Unguarded (Proc.to_string p));
+    match p with
+    | Proc.Stop | Proc.Omega -> [ [] ]
+    | Proc.Skip -> [ []; [ Event.Tick ] ]
+    | Proc.Prefix _ ->
+      (* Expand the (possibly input-binding) prefix into its ground
+         communications via the shared expansion, then apply the paper's
+         equation traces(e -> P) = {<>} u {<e> ^ tr | tr in traces(P)}. *)
+      let expansions = Semantics.transitions defs p in
+      if n = 0 then [ [] ]
+      else
+        []
+        :: List.concat_map
+             (fun (l, cont) ->
+               match l with
+               | Event.Vis _ ->
+                 List.map (fun tr -> l :: tr) (go 0 (n - 1) cont)
+               | Event.Tau | Event.Tick -> [])
+             expansions
+        |> normalize
+    | Proc.Ext (p1, p2) | Proc.Int (p1, p2) ->
+      normalize (go unfolds n p1 @ go unfolds n p2)
+    | Proc.Seq (p1, p2) ->
+      let t1 = go unfolds n p1 in
+      let incomplete =
+        List.filter (fun tr -> not (List.mem Event.Tick tr)) t1
+      in
+      let continued =
+        List.concat_map
+          (fun tr ->
+            match List.rev tr with
+            | Event.Tick :: rev_body ->
+              let body = List.rev rev_body in
+              let remaining = n - visible_length body in
+              List.map (fun tr2 -> body @ tr2) (go 0 remaining p2)
+            | _ -> [])
+          t1
+      in
+      normalize (incomplete @ continued)
+    | Proc.Par (p1, iface, p2) ->
+      let sync e = Eventset.mem iface e in
+      merge_sets ~sync (go unfolds n p1) (go unfolds n p2) n
+    | Proc.APar (p1, alpha_a, alpha_b, p2) ->
+      (* Restrict each side to its alphabet, then synchronize on the
+         intersection. *)
+      let t1 =
+        List.filter
+          (List.for_all (fun l ->
+               match l with
+               | Event.Vis e -> Eventset.mem alpha_a e
+               | Event.Tau | Event.Tick -> true))
+          (go unfolds n p1)
+      in
+      let t2 =
+        List.filter
+          (List.for_all (fun l ->
+               match l with
+               | Event.Vis e -> Eventset.mem alpha_b e
+               | Event.Tau | Event.Tick -> true))
+          (go unfolds n p2)
+      in
+      let sync e = Eventset.mem alpha_a e && Eventset.mem alpha_b e in
+      merge_sets ~sync t1 t2 n
+    | Proc.Inter (p1, p2) ->
+      merge_sets ~sync:(fun _ -> false) (go unfolds n p1) (go unfolds n p2) n
+    | Proc.Interrupt (p1, p2) ->
+      (* traces(P) u { s ^ t | s in traces(P) n Sigma*, t in traces(Q) } *)
+      let t1 = go unfolds n p1 in
+      let t2 = go unfolds n p2 in
+      let unfinished =
+        List.filter (fun tr -> not (List.mem Event.Tick tr)) t1
+      in
+      let combined =
+        List.concat_map
+          (fun s ->
+            let remaining = n - visible_length s in
+            List.filter_map
+              (fun t ->
+                if visible_length t <= remaining then Some (s @ t) else None)
+              t2)
+          unfinished
+      in
+      normalize (t1 @ combined)
+    | Proc.Timeout (p1, p2) ->
+      normalize (go unfolds n p1 @ go unfolds n p2)
+    | Proc.Hide (p1, set) ->
+      (* Hidden events do not count towards the visible-length bound, so
+         explore deeper underneath; the added slack is bounded. *)
+      let inner = go unfolds (n + n + 2) p1 in
+      normalize
+        (List.filter_map
+           (fun tr ->
+             let tr' = hide set tr in
+             if visible_length tr' <= n then Some tr' else None)
+           inner)
+    | Proc.Rename (p1, mapping) ->
+      let rename l =
+        match l with
+        | Event.Vis e ->
+          let chan =
+            match List.assoc_opt e.Event.chan mapping with
+            | Some c -> c
+            | None -> e.Event.chan
+          in
+          Event.Vis { e with Event.chan }
+        | Event.Tau | Event.Tick -> l
+      in
+      normalize (List.map (List.map rename) (go unfolds n p1))
+    | Proc.If _ | Proc.Guard _ | Proc.Ext_over _ | Proc.Int_over _
+    | Proc.Inter_over _ ->
+      let folded = fold p in
+      if Proc.equal folded p then raise (Unguarded (Proc.to_string p))
+      else go (unfolds + 1) n folded
+    | Proc.Call (f, args) ->
+      (match Defs.proc defs f with
+       | None -> raise (Unguarded ("unknown process " ^ f))
+       | Some (params, body) ->
+         let values =
+           List.map (fun e -> Expr.eval ~tys fenv Expr.empty_env e) args
+         in
+         let bindings = List.combine params values in
+         let resolve x = List.assoc_opt x bindings in
+         go (unfolds + 1) n (fold (Proc.subst resolve body)))
+    | Proc.Run set -> all_seqs (Defs.events_of defs set) n
+    | Proc.Chaos set -> all_seqs (Defs.events_of defs set) n
+  and merge_sets ~sync t1 t2 n =
+    List.concat_map
+      (fun tr1 -> List.concat_map (fun tr2 -> merge ~sync tr1 tr2) t2)
+      t1
+    |> List.filter (fun tr -> visible_length tr <= n)
+    |> normalize
+  in
+  go 0 depth (fold proc)
+
+let of_lts ?(depth = 6) lts =
+  let module Key = struct
+    type t = int list * int
+    let equal (m1, n1) (m2, n2) = n1 = n2 && List.equal Int.equal m1 m2
+    let hash = Hashtbl.hash
+  end in
+  let module Tbl = Hashtbl.Make (Key) in
+  let memo = Tbl.create 256 in
+  let rec go members n =
+    (* [members] is tau-closed and sorted. *)
+    match Tbl.find_opt memo (members, n) with
+    | Some set -> set
+    | None ->
+      let ticks =
+        if
+          List.exists
+            (fun m ->
+              List.exists
+                (fun (l, _) -> match l with Event.Tick -> true | _ -> false)
+                (Lts.transitions_of lts m))
+            members
+        then [ [ Event.Tick ] ]
+        else []
+      in
+      let continued =
+        if n = 0 then []
+        else
+          List.concat_map
+            (fun m ->
+              List.concat_map
+                (fun (l, j) ->
+                  match l with
+                  | Event.Vis _ ->
+                    List.map
+                      (fun tr -> l :: tr)
+                      (go (Lts.tau_closure lts [ j ]) (n - 1))
+                  | Event.Tau | Event.Tick -> [])
+                (Lts.transitions_of lts m))
+            members
+      in
+      let set = normalize (([] :: ticks) @ continued) in
+      Tbl.replace memo (members, n) set;
+      set
+  in
+  go (Lts.tau_closure lts [ lts.Lts.initial ]) depth
+
+let pp_trace ppf tr =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Event.pp_label)
+    tr
+
+let pp ppf set =
+  Format.fprintf ppf "{@[<hov>%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_trace)
+    set

@@ -1,0 +1,52 @@
+(** Finite-trace semantics, implemented literally from the recursive
+    equations of Section IV-A2 of the paper.
+
+    A trace is a sequence of visible events possibly terminated by [Tick]
+    (the paper's {m \Sigma^{*\checkmark}}). [of_proc] computes the trace set
+    denotationally by structural recursion with the paper's operator
+    equations; [of_lts] harvests the trace set from an explicit LTS. The
+    two agree on every process — a property the test suite checks — which
+    differentially validates the operational semantics against the paper's
+    definitions. *)
+
+type trace = Event.label list
+(** Visible labels, with [Tick] allowed only in final position. [Tau] never
+    appears in a trace. *)
+
+type set = trace list
+(** Sorted and deduplicated. *)
+
+exception Unguarded of string
+
+val of_proc : ?depth:int -> Defs.t -> Proc.t -> set
+(** Traces with at most [depth] (default 6) visible events, computed from
+    the paper's denotational equations.
+    @raise Unguarded on unguarded recursion. *)
+
+val of_lts : ?depth:int -> Lts.t -> set
+(** Traces of at most [depth] visible events harvested operationally. *)
+
+(** {1 Trace operators (paper Section IV-A2)} *)
+
+val is_prefix : trace -> trace -> bool
+(** [is_prefix tr1 tr2] is the paper's {m tr_1 \le tr_2}. *)
+
+val hide : Eventset.t -> trace -> trace
+(** [tr \ A]: drop events of [A] (and [Tick] is never hidden). *)
+
+val merge : sync:(Event.t -> bool) -> trace -> trace -> trace list
+(** [merge ~sync tr1 tr2] is the paper's {m tr_1 \|_A tr_2}: all ways of
+    interleaving the two traces while synchronizing events satisfying
+    [sync] and [Tick]. *)
+
+val prefix_closure : set -> set
+(** Close a trace set under prefixes. *)
+
+val is_prefix_closed : set -> bool
+
+val subset : set -> set -> bool
+(** Trace-set inclusion, i.e. the denotational statement of
+    {m Q \sqsubseteq_T P}. *)
+
+val pp_trace : Format.formatter -> trace -> unit
+val pp : Format.formatter -> set -> unit

@@ -1,0 +1,112 @@
+type t =
+  | Int_range of int * int
+  | Bool
+  | Named of string
+  | Tuple of t list
+
+type def =
+  | Alias of t
+  | Variants of (string * t list) list
+
+type lookup = string -> def option
+
+exception Domain_too_large of string
+exception Unknown_type of string
+
+let rec equal t1 t2 =
+  match t1, t2 with
+  | Int_range (a, b), Int_range (c, d) -> a = c && b = d
+  | Bool, Bool -> true
+  | Named n, Named m -> String.equal n m
+  | Tuple l1, Tuple l2 ->
+    List.length l1 = List.length l2 && List.for_all2 equal l1 l2
+  | (Int_range _ | Bool | Named _ | Tuple _), _ -> false
+
+let rec pp ppf = function
+  | Int_range (lo, hi) -> Format.fprintf ppf "{%d..%d}" lo hi
+  | Bool -> Format.pp_print_string ppf "Bool"
+  | Named n -> Format.pp_print_string ppf n
+  | Tuple tys ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      tys
+
+let to_string ty = Format.asprintf "%a" pp ty
+
+(* Cartesian product of domains, in lexicographic order. *)
+let product (domains : Value.t list list) : Value.t list list =
+  List.fold_right
+    (fun dom acc -> List.concat_map (fun v -> List.map (fun t -> v :: t) acc) dom)
+    domains [ [] ]
+
+let domain ?(limit = 100_000) lookup ty =
+  (* [seen] guards against recursive datatypes, which have no finite domain. *)
+  let budget = ref limit in
+  let spend n =
+    budget := !budget - n;
+    if !budget < 0 then raise (Domain_too_large (to_string ty))
+  in
+  let rec go seen ty =
+    match ty with
+    | Bool -> [ Value.Bool false; Value.Bool true ]
+    | Int_range (lo, hi) ->
+      if lo > hi then []
+      else begin
+        spend (hi - lo + 1);
+        List.init (hi - lo + 1) (fun i -> Value.Int (lo + i))
+      end
+    | Tuple tys ->
+      let doms = List.map (go seen) tys in
+      let prod = product doms in
+      spend (List.length prod);
+      List.map (fun vs -> Value.Tuple vs) prod
+    | Named n ->
+      if List.mem n seen then
+        raise (Unknown_type (n ^ " (recursive datatype has no finite domain)"));
+      (match lookup n with
+       | None -> raise (Unknown_type n)
+       | Some (Alias ty') -> go (n :: seen) ty'
+       | Some (Variants ctors) ->
+         let seen = n :: seen in
+         List.concat_map
+           (fun (c, arg_tys) ->
+             match arg_tys with
+             | [] -> [ Value.Ctor (c, []) ]
+             | _ ->
+               let doms = List.map (go seen) arg_tys in
+               let prod = product doms in
+               spend (List.length prod);
+               List.map (fun args -> Value.Ctor (c, args)) prod)
+           ctors)
+  in
+  let values = go [] ty in
+  List.sort_uniq Value.compare values
+
+let domain_size lookup ty = List.length (domain lookup ty)
+
+let contains lookup ty v =
+  let rec go seen ty v =
+    match ty, v with
+    | Bool, Value.Bool _ -> true
+    | Int_range (lo, hi), Value.Int n -> lo <= n && n <= hi
+    | Tuple tys, Value.Tuple vs ->
+      List.length tys = List.length vs && List.for_all2 (go seen) tys vs
+    | Named n, _ ->
+      if List.mem n seen then false
+      else begin
+        match lookup n with
+        | None -> raise (Unknown_type n)
+        | Some (Alias ty') -> go (n :: seen) ty' v
+        | Some (Variants ctors) ->
+          (match v with
+           | Value.Ctor (c, args) ->
+             (match List.assoc_opt c ctors with
+              | None -> false
+              | Some arg_tys ->
+                List.length arg_tys = List.length args
+                && List.for_all2 (go (n :: seen)) arg_tys args)
+           | Value.Int _ | Value.Bool _ | Value.Tuple _ -> false)
+      end
+    | (Bool | Int_range _ | Tuple _), _ -> false
+  in
+  go [] ty v

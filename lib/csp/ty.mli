@@ -1,0 +1,42 @@
+(** Finite data types for channel fields and datatype constructor arguments.
+
+    FDR-style refinement checking requires every channel field to range over
+    a finite, enumerable domain; input prefixes ([c?x]) are expanded over
+    that domain when transitions are computed. *)
+
+type t =
+  | Int_range of int * int  (** inclusive range, e.g. [{0..7}] *)
+  | Bool
+  | Named of string  (** reference to a declared datatype or nametype *)
+  | Tuple of t list
+
+(** What a type name stands for: either a CSPm [nametype] alias or a
+    [datatype] with constructors. *)
+type def =
+  | Alias of t
+  | Variants of (string * t list) list
+
+type lookup = string -> def option
+(** Resolver for named types, or [None] if the name is unknown. *)
+
+exception Domain_too_large of string
+exception Unknown_type of string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val domain : ?limit:int -> lookup -> t -> Value.t list
+(** [domain lookup ty] enumerates every value of [ty] in increasing order.
+
+    @param limit cap on domain size (default [100_000]).
+    @raise Domain_too_large if the enumeration exceeds [limit].
+    @raise Unknown_type on a dangling [Named] reference or a recursive
+      datatype (whose domain would be infinite). *)
+
+val domain_size : lookup -> t -> int
+(** Size of [domain lookup ty] without materializing it (same exceptions). *)
+
+val contains : lookup -> t -> Value.t -> bool
+(** [contains lookup ty v] tests domain membership structurally, without
+    enumerating the domain. *)

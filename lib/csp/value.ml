@@ -1,0 +1,86 @@
+type t =
+  | Int of int
+  | Bool of bool
+  | Ctor of string * t list
+  | Tuple of t list
+
+let sym s = Ctor (s, [])
+
+let rec equal v1 v2 =
+  match v1, v2 with
+  | Int a, Int b -> a = b
+  | Bool a, Bool b -> a = b
+  | Ctor (c, args1), Ctor (d, args2) ->
+    String.equal c d && equal_list args1 args2
+  | Tuple args1, Tuple args2 -> equal_list args1 args2
+  | (Int _ | Bool _ | Ctor _ | Tuple _), _ -> false
+
+and equal_list l1 l2 =
+  match l1, l2 with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | _ -> false
+
+let rec compare v1 v2 =
+  match v1, v2 with
+  | Int a, Int b -> Stdlib.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Bool a, Bool b -> Stdlib.compare a b
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Ctor (c, args1), Ctor (d, args2) ->
+    let r = String.compare c d in
+    if r <> 0 then r else compare_list args1 args2
+  | Ctor _, _ -> -1
+  | _, Ctor _ -> 1
+  | Tuple args1, Tuple args2 -> compare_list args1 args2
+
+and compare_list l1 l2 =
+  match l1, l2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let r = compare x y in
+    if r <> 0 then r else compare_list xs ys
+
+let rec hash v =
+  match v with
+  | Int n -> Hashtbl.hash (0, n)
+  | Bool b -> Hashtbl.hash (1, b)
+  | Ctor (c, args) -> List.fold_left hash_combine (Hashtbl.hash (2, c)) args
+  | Tuple args -> List.fold_left hash_combine (Hashtbl.hash 3) args
+
+and hash_combine acc v = (acc * 65599) + hash v
+
+let rec pp ppf v =
+  match v with
+  | Int n -> Format.pp_print_int ppf n
+  | Bool true -> Format.pp_print_string ppf "true"
+  | Bool false -> Format.pp_print_string ppf "false"
+  | Ctor (c, []) -> Format.pp_print_string ppf c
+  | Ctor (c, args) ->
+    Format.pp_print_string ppf c;
+    List.iter (fun a -> Format.fprintf ppf ".%a" pp_atom a) args
+  | Tuple args ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+
+(* Constructor fields with their own fields need parentheses so that
+   [c.(d.x).y] is not read as [c.d.x.y]. *)
+and pp_atom ppf v =
+  match v with
+  | Ctor (_, _ :: _) -> Format.fprintf ppf "(%a)" pp v
+  | Int _ | Bool _ | Ctor (_, []) | Tuple _ -> pp ppf v
+
+let to_string v = Format.asprintf "%a" pp v
+
+let as_int = function
+  | Int n -> n
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> invalid_arg ("Value.as_bool: " ^ to_string v)

@@ -1,0 +1,38 @@
+(** Ground data values carried by CSP events.
+
+    Values are the payloads communicated on channels: integers, booleans,
+    datatype constructor applications (e.g. [mac(k, reqSw)]) and tuples.
+    They form the leaves of process states, so they support total ordering,
+    structural equality and hashing. *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Ctor of string * t list  (** datatype constructor, possibly with fields *)
+  | Tuple of t list
+
+val sym : string -> t
+(** [sym s] is the nullary constructor [Ctor (s, [])]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val equal_list : t list -> t list -> bool
+val compare_list : t list -> t list -> int
+
+val pp : Format.formatter -> t -> unit
+(** CSPm-compatible rendering: constructor fields use dot notation
+    ([mac.K.reqSw]), tuples use parentheses. *)
+
+val pp_atom : Format.formatter -> t -> unit
+(** Like {!pp} but parenthesizes constructor applications with fields, for
+    use inside dotted event notation. *)
+
+val to_string : t -> string
+
+val as_int : t -> int
+(** @raise Invalid_argument if the value is not an [Int]. *)
+
+val as_bool : t -> bool
+(** @raise Invalid_argument if the value is not a [Bool]. *)

@@ -1,0 +1,95 @@
+(** Abstract syntax of the CSPm subset accepted by {!Parser}.
+
+    A single [term] grammar covers both scalar expressions and process
+    expressions, as in real CSPm, where the two share one namespace;
+    {!Elaborate} decides which is which. Positions are byte-based with
+    line/column for error reporting. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+(** One field of a communication in a prefix. *)
+type field =
+  | F_out of term  (** [!e] *)
+  | F_dot of term  (** [.e] *)
+  | F_in of string * term option  (** [?x] or [?x:S] *)
+
+and comm = {
+  chan : string;
+  fields : field list;
+}
+
+and term =
+  | T_num of int
+  | T_bool of bool
+  | T_id of string
+  | T_dot of term * term  (** dotted pair outside prefix position, [A.x] *)
+  | T_app of string * term list
+  | T_tuple of term list
+  | T_set of term list
+  | T_range of term * term  (** [{lo..hi}] *)
+  | T_chanset of term list
+      (** [{| c, d.1 |}] — channel productions, possibly with a value
+          prefix *)
+  | T_neg of term
+  | T_not of term
+  | T_bin of binop * term * term
+  | T_if of term * term * term
+  | T_stop
+  | T_skip
+  | T_prefix of comm * term
+  | T_extchoice of term * term
+  | T_intchoice of term * term
+  | T_seq of term * term
+  | T_par of term * term * term  (** [P [| A |] Q] *)
+  | T_apar of term * term * term * term  (** [P [ A || B ] Q] *)
+  | T_interleave of term * term
+  | T_interrupt of term * term  (** [P /\ Q] *)
+  | T_slide of term * term  (** [P [> Q] *)
+  | T_hide of term * term
+  | T_rename of term * (string * string) list
+  | T_guard of term * term  (** [b & P] *)
+  | T_repl of repl_kind * string * term * term  (** [[] x : S @ P] *)
+
+and repl_kind =
+  | R_ext
+  | R_int
+  | R_inter
+
+and binop =
+  | B_add | B_sub | B_mul | B_div | B_mod
+  | B_eq | B_neq | B_lt | B_le | B_gt | B_ge
+  | B_and | B_or
+
+(** Type expressions in channel/datatype/nametype declarations. *)
+type ty_expr =
+  | TE_name of string
+  | TE_range of int * int
+  | TE_bool
+  | TE_tuple of ty_expr list
+
+type model =
+  | M_traces  (** [[T=] *)
+  | M_failures  (** [[F=] *)
+  | M_failures_divergences  (** [[FD=] *)
+
+type assertion =
+  | A_refines of term * model * term
+  | A_deadlock_free of term
+  | A_divergence_free of term
+  | A_deterministic of term
+
+type decl =
+  | D_channel of string list * ty_expr list  (** [channel c, d : T.U] *)
+  | D_datatype of string * (string * ty_expr list) list
+  | D_nametype of string * ty_expr
+  | D_def of string * string list * term  (** [N(x, y) = body] *)
+  | D_assert of assertion
+
+type script = {
+  decls : (decl * pos) list;
+}

@@ -1,0 +1,49 @@
+type outcome = {
+  assertion : Ast.assertion;
+  pos : Ast.pos option;
+  result : Csp.Refine.result;
+}
+
+let run_assertion ?max_states (loaded : Elaborate.t) (a : Ast.assertion) =
+  let defs = loaded.Elaborate.defs in
+  match a with
+  | Ast.A_refines (spec_t, model, impl_t) ->
+    let spec = Elaborate.proc_of_term loaded spec_t in
+    let impl = Elaborate.proc_of_term loaded impl_t in
+    let model =
+      match model with
+      | Ast.M_traces -> Csp.Refine.Traces
+      | Ast.M_failures -> Csp.Refine.Failures
+      | Ast.M_failures_divergences -> Csp.Refine.Failures_divergences
+    in
+    Csp.Refine.check ~model ?max_states defs ~spec ~impl
+  | Ast.A_deadlock_free t ->
+    Csp.Refine.deadlock_free ?max_states defs (Elaborate.proc_of_term loaded t)
+  | Ast.A_divergence_free t ->
+    Csp.Refine.divergence_free ?max_states defs
+      (Elaborate.proc_of_term loaded t)
+  | Ast.A_deterministic t ->
+    Csp.Refine.deterministic ?max_states defs (Elaborate.proc_of_term loaded t)
+
+let run ?max_states (loaded : Elaborate.t) =
+  List.map
+    (fun (assertion, pos) ->
+      {
+        assertion;
+        pos = Some pos;
+        result = run_assertion ?max_states loaded assertion;
+      })
+    loaded.Elaborate.assertions
+
+let all_pass outcomes =
+  List.for_all (fun o -> Csp.Refine.holds o.result) outcomes
+
+let pp_outcome ppf o =
+  let status = if Csp.Refine.holds o.result then "PASS" else "FAIL" in
+  Format.fprintf ppf "@[<v 2>[%s] %a@ %a@]" status Print.pp_assertion
+    o.assertion Csp.Refine.pp_result o.result
+
+let pp_outcomes ppf outcomes =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    pp_outcome ppf outcomes

@@ -1,0 +1,23 @@
+(** Running the [assert] declarations of a loaded script — the
+    FDR-equivalent step of the paper's workflow (Fig. 1, "Refinement
+    checking"). *)
+
+type outcome = {
+  assertion : Ast.assertion;
+  pos : Ast.pos option;
+  result : Csp.Refine.result;
+}
+
+val run_assertion :
+  ?max_states:int -> Elaborate.t -> Ast.assertion -> Csp.Refine.result
+(** Elaborate the assertion's terms against the loaded script and run the
+    corresponding check ([T=] trace refinement, [F=] stable-failures
+    refinement, deadlock or divergence freedom). *)
+
+val run : ?max_states:int -> Elaborate.t -> outcome list
+(** Run every [assert] in script order. *)
+
+val all_pass : outcome list -> bool
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_outcomes : Format.formatter -> outcome list -> unit

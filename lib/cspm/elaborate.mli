@@ -1,0 +1,32 @@
+(** Elaboration of a parsed CSPm script into a {!Csp.Defs.t} environment
+    plus its [assert] declarations.
+
+    CSPm keeps processes, functions and values in one namespace; this module
+    classifies each top-level definition as a process or a function by a
+    fixpoint over the definition graph: a body containing a process
+    construct ([STOP], prefix, choice, parallel, ...) is a process, a body
+    whose head is a reference inherits the referent's class, and anything
+    else is a function. *)
+
+exception Elab_error of string * Ast.pos option
+
+type t = {
+  defs : Csp.Defs.t;
+  assertions : (Ast.assertion * Ast.pos) list;
+}
+
+val load : Ast.script -> t
+(** @raise Elab_error on unknown identifiers, undeclared channels, arity
+    mismatches, or an expression in process position (and vice versa). *)
+
+val load_string : string -> t
+(** Parse then {!load}.
+    @raise Parser.Parse_error or {!Lexer.Lex_error} on syntax errors. *)
+
+val proc_of_term : t -> Ast.term -> Csp.Proc.t
+(** Elaborate a closed process term against a loaded script (used by the
+    CLI and tests). *)
+
+val expr_of_term : t -> Ast.term -> Csp.Expr.t
+
+val eventset_of_term : t -> Ast.term -> Csp.Eventset.t

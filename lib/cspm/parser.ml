@@ -1,0 +1,664 @@
+exception Parse_error of string * Ast.pos
+
+type state = {
+  toks : (Lexer.token * Ast.pos) array;
+  mutable cursor : int;
+}
+
+let current st = fst st.toks.(st.cursor)
+let current_pos st = snd st.toks.(st.cursor)
+
+let fail st msg =
+  raise
+    (Parse_error
+       ( Printf.sprintf "%s (found %s)" msg
+           (Lexer.token_to_string (current st)),
+         current_pos st ))
+
+let advance st = if current st <> Lexer.EOF then st.cursor <- st.cursor + 1
+
+let eat st tok =
+  if current st = tok then advance st
+  else fail st (Printf.sprintf "expected %s" (Lexer.token_to_string tok))
+
+let eat_ident st =
+  match current st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Type expressions                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec ty_atom st : Ast.ty_expr =
+  match current st with
+  | Lexer.IDENT "Bool" ->
+    advance st;
+    Ast.TE_bool
+  | Lexer.IDENT name ->
+    advance st;
+    Ast.TE_name name
+  | Lexer.LBRACE ->
+    advance st;
+    let lo = num st in
+    eat st Lexer.DOTDOT;
+    let hi = num st in
+    eat st Lexer.RBRACE;
+    Ast.TE_range (lo, hi)
+  | Lexer.LPAREN ->
+    advance st;
+    let first = ty_atom st in
+    let rec more acc =
+      match current st with
+      | Lexer.COMMA ->
+        advance st;
+        more (ty_atom st :: acc)
+      | _ -> List.rev acc
+    in
+    let items = more [ first ] in
+    eat st Lexer.RPAREN;
+    (match items with
+     | [ single ] -> single
+     | _ -> Ast.TE_tuple items)
+  | _ -> fail st "expected a type"
+
+and num st =
+  match current st with
+  | Lexer.NUM n ->
+    advance st;
+    n
+  | Lexer.MINUS ->
+    advance st;
+    (match current st with
+     | Lexer.NUM n ->
+       advance st;
+       -n
+     | _ -> fail st "expected a number")
+  | _ -> fail st "expected a number"
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Loosest process level: hiding. *)
+let rec p_hide st =
+  let left = p_par st in
+  let rec loop left =
+    match current st with
+    | Lexer.BACKSLASH ->
+      advance st;
+      let set = atom st in
+      loop (Ast.T_hide (left, set))
+    | _ -> left
+  in
+  loop left
+
+and p_par st =
+  let left = p_choice st in
+  let rec loop left =
+    match current st with
+    | Lexer.LINTERFACE ->
+      advance st;
+      let set = p_hide st in
+      eat st Lexer.RINTERFACE;
+      let right = p_choice st in
+      loop (Ast.T_par (left, set, right))
+    | Lexer.LBRACKET ->
+      (* alphabetized parallel: [ A || B ] *)
+      advance st;
+      let a = p_hide st in
+      eat st Lexer.PARBAR;
+      let b = p_hide st in
+      eat st Lexer.RBRACKET;
+      let right = p_choice st in
+      loop (Ast.T_apar (left, a, b, right))
+    | Lexer.INTERLEAVE ->
+      advance st;
+      let right = p_choice st in
+      loop (Ast.T_interleave (left, right))
+    | _ -> left
+  in
+  loop left
+
+and p_choice st =
+  let left = p_interrupt st in
+  let rec loop left =
+    match current st with
+    | Lexer.EXTCHOICE ->
+      advance st;
+      let right = p_interrupt st in
+      loop (Ast.T_extchoice (left, right))
+    | Lexer.INTCHOICE ->
+      advance st;
+      let right = p_interrupt st in
+      loop (Ast.T_intchoice (left, right))
+    | _ -> left
+  in
+  loop left
+
+and p_interrupt st =
+  let left = p_seq st in
+  let rec loop left =
+    match current st with
+    | Lexer.INTERRUPT_OP ->
+      advance st;
+      let right = p_seq st in
+      loop (Ast.T_interrupt (left, right))
+    | Lexer.SLIDE ->
+      advance st;
+      let right = p_seq st in
+      loop (Ast.T_slide (left, right))
+    | _ -> left
+  in
+  loop left
+
+and p_seq st =
+  let left = p_guard st in
+  match current st with
+  | Lexer.SEMI ->
+    advance st;
+    let right = p_seq st in
+    Ast.T_seq (left, right)
+  | _ -> left
+
+and p_guard st =
+  let left = p_prefix st in
+  match current st with
+  | Lexer.AMP ->
+    advance st;
+    let right = p_guard st in
+    Ast.T_guard (left, right)
+  | _ -> left
+
+(* Prefix level: try to read [chan fields -> P]; if there is no arrow,
+   backtrack and read a scalar expression. *)
+and p_prefix st =
+  match current st with
+  | Lexer.IDENT chan ->
+    let saved = st.cursor in
+    (match try_comm st chan with
+     | Some comm when current st = Lexer.ARROW ->
+       advance st;
+       let cont = p_prefix st in
+       Ast.T_prefix (comm, cont)
+     | _ ->
+       st.cursor <- saved;
+       expr_or st)
+  | _ -> expr_or st
+
+(* Attempt to parse communication fields after a channel name. Returns
+   [None] (without restoring the cursor) if the shape cannot be a
+   communication; the caller restores. *)
+and try_comm st chan =
+  advance st;
+  (* consume the IDENT *)
+  let rec fields acc =
+    match current st with
+    | Lexer.BANG ->
+      advance st;
+      let e = comm_atom st in
+      fields (Ast.F_out e :: acc)
+    | Lexer.DOT ->
+      advance st;
+      let e = comm_atom st in
+      fields (Ast.F_dot e :: acc)
+    | Lexer.QUESTION ->
+      advance st;
+      let x =
+        match current st with
+        | Lexer.IDENT x ->
+          advance st;
+          x
+        | _ -> raise Exit
+      in
+      let restr =
+        match current st with
+        | Lexer.COLON ->
+          advance st;
+          Some (comm_atom st)
+        | _ -> None
+      in
+      fields (Ast.F_in (x, restr) :: acc)
+    | _ -> List.rev acc
+  in
+  match fields [] with
+  | fields -> Some { Ast.chan; fields }
+  | exception Exit -> None
+
+(* Atoms allowed as a communication field: tight expressions without
+   operators, so that [c!x+1] must be written [c!(x+1)]. *)
+and comm_atom st =
+  match current st with
+  | Lexer.NUM n ->
+    advance st;
+    Ast.T_num n
+  | Lexer.KW_true ->
+    advance st;
+    Ast.T_bool true
+  | Lexer.KW_false ->
+    advance st;
+    Ast.T_bool false
+  | Lexer.IDENT name ->
+    advance st;
+    (match current st with
+     | Lexer.LPAREN ->
+       advance st;
+       let args = term_list st in
+       eat st Lexer.RPAREN;
+       Ast.T_app (name, args)
+     | _ -> Ast.T_id name)
+  | Lexer.LPAREN ->
+    advance st;
+    let items = term_list st in
+    eat st Lexer.RPAREN;
+    (match items with
+     | [ single ] -> single
+     | _ -> Ast.T_tuple items)
+  | Lexer.LBRACE -> braces st
+  | _ -> fail st "expected a communication field"
+
+(* ------------------------------------------------------------------ *)
+(* Scalar expressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+and expr_or st =
+  let left = expr_and st in
+  let rec loop left =
+    match current st with
+    | Lexer.KW_or ->
+      advance st;
+      let right = expr_and st in
+      loop (Ast.T_bin (Ast.B_or, left, right))
+    | _ -> left
+  in
+  loop left
+
+and expr_and st =
+  let left = expr_cmp st in
+  let rec loop left =
+    match current st with
+    | Lexer.KW_and ->
+      advance st;
+      let right = expr_cmp st in
+      loop (Ast.T_bin (Ast.B_and, left, right))
+    | _ -> left
+  in
+  loop left
+
+and expr_cmp st =
+  let left = expr_add st in
+  let op =
+    match current st with
+    | Lexer.EQEQ -> Some Ast.B_eq
+    | Lexer.NEQ -> Some Ast.B_neq
+    | Lexer.LT -> Some Ast.B_lt
+    | Lexer.LE -> Some Ast.B_le
+    | Lexer.GT -> Some Ast.B_gt
+    | Lexer.GE -> Some Ast.B_ge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    let right = expr_add st in
+    Ast.T_bin (op, left, right)
+  | None -> left
+
+and expr_add st =
+  let left = expr_mul st in
+  let rec loop left =
+    match current st with
+    | Lexer.PLUS ->
+      advance st;
+      loop (Ast.T_bin (Ast.B_add, left, expr_mul st))
+    | Lexer.MINUS ->
+      advance st;
+      loop (Ast.T_bin (Ast.B_sub, left, expr_mul st))
+    | _ -> left
+  in
+  loop left
+
+and expr_mul st =
+  let left = expr_unary st in
+  let rec loop left =
+    match current st with
+    | Lexer.STAR ->
+      advance st;
+      loop (Ast.T_bin (Ast.B_mul, left, expr_unary st))
+    | Lexer.SLASH ->
+      advance st;
+      loop (Ast.T_bin (Ast.B_div, left, expr_unary st))
+    | Lexer.PERCENT ->
+      advance st;
+      loop (Ast.T_bin (Ast.B_mod, left, expr_unary st))
+    | _ -> left
+  in
+  loop left
+
+and expr_unary st =
+  match current st with
+  | Lexer.MINUS ->
+    advance st;
+    Ast.T_neg (expr_unary st)
+  | Lexer.KW_not ->
+    advance st;
+    Ast.T_not (expr_unary st)
+  | _ -> postfix st
+
+(* Dotted chains [a.b.c] and postfix renaming [P[[a <- b]]]. *)
+and postfix st =
+  let left = atom st in
+  let rec loop left =
+    match current st with
+    | Lexer.DOT ->
+      advance st;
+      let right = atom st in
+      loop (Ast.T_dot (left, right))
+    | Lexer.LRENAME ->
+      advance st;
+      let rec pairs acc =
+        let a = eat_ident st in
+        eat st Lexer.LARROW;
+        let b = eat_ident st in
+        match current st with
+        | Lexer.COMMA ->
+          advance st;
+          pairs ((a, b) :: acc)
+        | _ -> List.rev ((a, b) :: acc)
+      in
+      let mapping = pairs [] in
+      eat st Lexer.RRENAME;
+      loop (Ast.T_rename (left, mapping))
+    | _ -> left
+  in
+  loop left
+
+and atom st =
+  match current st with
+  | Lexer.NUM n ->
+    advance st;
+    Ast.T_num n
+  | Lexer.KW_true ->
+    advance st;
+    Ast.T_bool true
+  | Lexer.KW_false ->
+    advance st;
+    Ast.T_bool false
+  | Lexer.KW_stop ->
+    advance st;
+    Ast.T_stop
+  | Lexer.KW_skip ->
+    advance st;
+    Ast.T_skip
+  | Lexer.KW_if ->
+    advance st;
+    let cond = p_hide st in
+    eat st Lexer.KW_then;
+    let a = p_hide st in
+    eat st Lexer.KW_else;
+    let b = p_hide st in
+    Ast.T_if (cond, a, b)
+  | Lexer.EXTCHOICE -> replicated st Ast.R_ext
+  | Lexer.INTCHOICE -> replicated st Ast.R_int
+  | Lexer.INTERLEAVE -> replicated st Ast.R_inter
+  | Lexer.IDENT name ->
+    advance st;
+    (match current st with
+     | Lexer.LPAREN ->
+       advance st;
+       let args = term_list st in
+       eat st Lexer.RPAREN;
+       Ast.T_app (name, args)
+     | _ -> Ast.T_id name)
+  | Lexer.LPAREN ->
+    advance st;
+    let items = term_list st in
+    eat st Lexer.RPAREN;
+    (match items with
+     | [ single ] -> single
+     | _ -> Ast.T_tuple items)
+  | Lexer.LBRACE -> braces st
+  | Lexer.LCHANSET ->
+    advance st;
+    let rec names acc =
+      (* one production: an identifier optionally followed by .atom args *)
+      let c = eat_ident st in
+      let rec dots acc_t =
+        match current st with
+        | Lexer.DOT ->
+          advance st;
+          let arg = comm_atom st in
+          dots (Ast.T_dot (acc_t, arg))
+        | _ -> acc_t
+      in
+      let item = dots (Ast.T_id c) in
+      match current st with
+      | Lexer.COMMA ->
+        advance st;
+        names (item :: acc)
+      | _ -> List.rev (item :: acc)
+    in
+    let cs = names [] in
+    eat st Lexer.RCHANSET;
+    Ast.T_chanset cs
+  | _ -> fail st "expected an expression"
+
+and braces st =
+  (* { } , {e1, ..}, or {lo..hi} *)
+  eat st Lexer.LBRACE;
+  match current st with
+  | Lexer.RBRACE ->
+    advance st;
+    Ast.T_set []
+  | _ ->
+    let first = p_hide st in
+    (match current st with
+     | Lexer.DOTDOT ->
+       advance st;
+       let hi = p_hide st in
+       eat st Lexer.RBRACE;
+       Ast.T_range (first, hi)
+     | Lexer.COMMA ->
+       advance st;
+       let rec more acc =
+         let e = p_hide st in
+         match current st with
+         | Lexer.COMMA ->
+           advance st;
+           more (e :: acc)
+         | _ -> List.rev (e :: acc)
+       in
+       let rest = more [] in
+       eat st Lexer.RBRACE;
+       Ast.T_set (first :: rest)
+     | _ ->
+       eat st Lexer.RBRACE;
+       Ast.T_set [ first ])
+
+and replicated st kind =
+  advance st;
+  let x = eat_ident st in
+  eat st Lexer.COLON;
+  let set = p_choice st in
+  eat st Lexer.AT;
+  let body = p_hide st in
+  Ast.T_repl (kind, x, set, body)
+
+and term_list st =
+  match current st with
+  | Lexer.RPAREN -> []
+  | _ ->
+    let rec more acc =
+      let e = p_hide st in
+      match current st with
+      | Lexer.COMMA ->
+        advance st;
+        more (e :: acc)
+      | _ -> List.rev (e :: acc)
+    in
+    more []
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let channel_decl st =
+  eat st Lexer.KW_channel;
+  let rec names acc =
+    let c = eat_ident st in
+    match current st with
+    | Lexer.COMMA ->
+      advance st;
+      names (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  let cs = names [] in
+  let tys =
+    match current st with
+    | Lexer.COLON ->
+      advance st;
+      let rec more acc =
+        let ty = ty_atom st in
+        match current st with
+        | Lexer.DOT ->
+          advance st;
+          more (ty :: acc)
+        | _ -> List.rev (ty :: acc)
+      in
+      more []
+    | _ -> []
+  in
+  Ast.D_channel (cs, tys)
+
+let datatype_decl st =
+  eat st Lexer.KW_datatype;
+  let name = eat_ident st in
+  eat st Lexer.EQUALS;
+  let ctor () =
+    let c = eat_ident st in
+    let rec args acc =
+      match current st with
+      | Lexer.DOT ->
+        advance st;
+        args (ty_atom st :: acc)
+      | _ -> List.rev acc
+    in
+    c, args []
+  in
+  let rec ctors acc =
+    let c = ctor () in
+    match current st with
+    | Lexer.PIPE ->
+      advance st;
+      ctors (c :: acc)
+    | _ -> List.rev (c :: acc)
+  in
+  Ast.D_datatype (name, ctors [])
+
+let nametype_decl st =
+  eat st Lexer.KW_nametype;
+  let name = eat_ident st in
+  eat st Lexer.EQUALS;
+  let ty = ty_atom st in
+  Ast.D_nametype (name, ty)
+
+let assert_decl st =
+  eat st Lexer.KW_assert;
+  let left = p_hide st in
+  match current st with
+  | Lexer.REFINES_T ->
+    advance st;
+    let right = p_hide st in
+    Ast.D_assert (Ast.A_refines (left, Ast.M_traces, right))
+  | Lexer.REFINES_F ->
+    advance st;
+    let right = p_hide st in
+    Ast.D_assert (Ast.A_refines (left, Ast.M_failures, right))
+  | Lexer.REFINES_FD ->
+    advance st;
+    let right = p_hide st in
+    Ast.D_assert (Ast.A_refines (left, Ast.M_failures_divergences, right))
+  | Lexer.COLON_LBRACKET ->
+    advance st;
+    let kind = eat_ident st in
+    let () =
+      match current st with
+      | Lexer.IDENT "free" -> advance st
+      | _ when kind = "deterministic" -> ()
+      | _ -> fail st "expected 'free'"
+    in
+    (* optional model annotation like [F] or [FD]; note the trailing "]]"
+       lexes as RRENAME *)
+    (match current st with
+     | Lexer.LBRACKET ->
+       advance st;
+       let _ = eat_ident st in
+       (match current st with
+        | Lexer.RRENAME -> advance st
+        | _ ->
+          eat st Lexer.RBRACKET;
+          eat st Lexer.RBRACKET)
+     | _ -> eat st Lexer.RBRACKET);
+    (match kind with
+     | "deadlock" -> Ast.D_assert (Ast.A_deadlock_free left)
+     | "divergence" | "livelock" -> Ast.D_assert (Ast.A_divergence_free left)
+     | "deterministic" -> Ast.D_assert (Ast.A_deterministic left)
+     | _ ->
+       fail st
+         "expected 'deadlock', 'divergence', 'livelock' or 'deterministic'")
+  | _ -> fail st "expected a refinement or property assertion"
+
+let definition st =
+  let name = eat_ident st in
+  let params =
+    match current st with
+    | Lexer.LPAREN ->
+      advance st;
+      let rec more acc =
+        let x = eat_ident st in
+        match current st with
+        | Lexer.COMMA ->
+          advance st;
+          more (x :: acc)
+        | _ -> List.rev (x :: acc)
+      in
+      let ps = more [] in
+      eat st Lexer.RPAREN;
+      ps
+    | _ -> []
+  in
+  eat st Lexer.EQUALS;
+  let body = p_hide st in
+  Ast.D_def (name, params, body)
+
+let decl st =
+  let pos = current_pos st in
+  let d =
+    match current st with
+    | Lexer.KW_channel -> channel_decl st
+    | Lexer.KW_datatype -> datatype_decl st
+    | Lexer.KW_nametype -> nametype_decl st
+    | Lexer.KW_assert -> assert_decl st
+    | Lexer.IDENT _ -> definition st
+    | _ -> fail st "expected a declaration"
+  in
+  d, pos
+
+let script src =
+  let st = { toks = Array.of_list (Lexer.tokens src); cursor = 0 } in
+  let rec loop acc =
+    match current st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> loop (decl st :: acc)
+  in
+  { Ast.decls = loop [] }
+
+let term src =
+  let st = { toks = Array.of_list (Lexer.tokens src); cursor = 0 } in
+  let t = p_hide st in
+  (match current st with
+   | Lexer.EOF -> ()
+   | _ -> fail st "trailing input after term");
+  t

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the CSPm subset.
+
+    Operator precedence follows FDR (loosest to tightest): hiding [\ ],
+    parallel composition ([[|A|]], [[A||B]], [|||]), external/internal
+    choice, sequential composition [;], boolean guard [&], event prefix
+    [->], postfix renaming [[[a <- b]]]. Scalar expressions use the usual
+    arithmetic/comparison/boolean precedence. One [term] grammar covers
+    processes and expressions; [Elaborate] disambiguates. *)
+
+exception Parse_error of string * Ast.pos
+
+val script : string -> Ast.script
+(** Parse a whole script.
+    @raise Parse_error (or {!Lexer.Lex_error}) on malformed input. *)
+
+val term : string -> Ast.term
+(** Parse a single process/expression term (used by tests and the
+    [cspm_check] CLI's [--eval] mode). *)

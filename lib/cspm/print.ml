@@ -1,0 +1,248 @@
+let rec pp_ty ppf (ty : Csp.Ty.t) =
+  match ty with
+  | Csp.Ty.Int_range (lo, hi) -> Format.fprintf ppf "{%d..%d}" lo hi
+  | Csp.Ty.Bool -> Format.pp_print_string ppf "Bool"
+  | Csp.Ty.Named n -> Format.pp_print_string ppf n
+  | Csp.Ty.Tuple tys ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_ty)
+      tys
+
+let pp_eventset ppf (set : Csp.Eventset.t) = Csp.Eventset.pp ppf set
+
+(* An output field prints bare only when re-lexing cannot split it into
+   several fields: literals without dots, and variables. *)
+let expr_is_comm_atom (e : Csp.Expr.t) =
+  match e with
+  | Csp.Expr.Lit (Csp.Value.Int _ | Csp.Value.Bool _ | Csp.Value.Ctor (_, []))
+  | Csp.Expr.Var _ ->
+    true
+  | _ -> false
+
+let rec pp_proc ppf (p : Csp.Proc.t) =
+  match p with
+  | Csp.Proc.Stop -> Format.pp_print_string ppf "STOP"
+  | Csp.Proc.Skip | Csp.Proc.Omega -> Format.pp_print_string ppf "SKIP"
+  | Csp.Proc.Prefix (chan, items, cont) ->
+    Format.pp_print_string ppf chan;
+    List.iter
+      (fun item ->
+        match item with
+        | Csp.Proc.Out e ->
+          if expr_is_comm_atom e then Format.fprintf ppf "!%a" Csp.Expr.pp e
+          else Format.fprintf ppf "!(%a)" Csp.Expr.pp e
+        | Csp.Proc.In (x, None) -> Format.fprintf ppf "?%s" x
+        | Csp.Proc.In (x, Some s) ->
+          Format.fprintf ppf "?%s:(%a)" x Csp.Expr.pp s)
+      items;
+    Format.fprintf ppf " -> %a" pp_atom cont
+  | Csp.Proc.Ext (a, b) -> Format.fprintf ppf "%a [] %a" pp_atom a pp_atom b
+  | Csp.Proc.Int (a, b) -> Format.fprintf ppf "%a |~| %a" pp_atom a pp_atom b
+  | Csp.Proc.Seq (a, b) -> Format.fprintf ppf "%a; %a" pp_atom a pp_atom b
+  | Csp.Proc.Par (a, set, b) ->
+    Format.fprintf ppf "%a [| %a |] %a" pp_atom a pp_eventset set pp_atom b
+  | Csp.Proc.APar (a, sa, sb, b) ->
+    Format.fprintf ppf "%a [ %a || %a ] %a" pp_atom a pp_eventset sa
+      pp_eventset sb pp_atom b
+  | Csp.Proc.Inter (a, b) -> Format.fprintf ppf "%a ||| %a" pp_atom a pp_atom b
+  | Csp.Proc.Interrupt (a, b) ->
+    Format.fprintf ppf "%a /\\ %a" pp_atom a pp_atom b
+  | Csp.Proc.Timeout (a, b) -> Format.fprintf ppf "%a [> %a" pp_atom a pp_atom b
+  | Csp.Proc.Hide (a, set) ->
+    Format.fprintf ppf "%a \\ %a" pp_atom a pp_eventset set
+  | Csp.Proc.Rename (a, mapping) ->
+    Format.fprintf ppf "%a[[%a]]" pp_atom a
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (x, y) -> Format.fprintf ppf "%s <- %s" x y))
+      mapping
+  | Csp.Proc.If (c, a, b) ->
+    Format.fprintf ppf "if %a then %a else %a" Csp.Expr.pp c pp_atom a
+      pp_atom b
+  | Csp.Proc.Guard (c, a) ->
+    Format.fprintf ppf "%a & %a" Csp.Expr.pp c pp_atom a
+  | Csp.Proc.Call (f, []) -> Format.pp_print_string ppf f
+  | Csp.Proc.Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f Csp.Expr.pp_list args
+  | Csp.Proc.Ext_over (x, s, a) ->
+    Format.fprintf ppf "[] %s : %a @@ %a" x Csp.Expr.pp s pp_atom a
+  | Csp.Proc.Int_over (x, s, a) ->
+    Format.fprintf ppf "|~| %s : %a @@ %a" x Csp.Expr.pp s pp_atom a
+  | Csp.Proc.Inter_over (x, s, a) ->
+    Format.fprintf ppf "||| %s : %a @@ %a" x Csp.Expr.pp s pp_atom a
+  | Csp.Proc.Run set -> Format.fprintf ppf "RUN(%a)" pp_eventset set
+  | Csp.Proc.Chaos set -> Format.fprintf ppf "CHAOS(%a)" pp_eventset set
+
+and pp_atom ppf p =
+  match p with
+  | Csp.Proc.Stop | Csp.Proc.Skip | Csp.Proc.Omega | Csp.Proc.Call _
+  | Csp.Proc.Run _ | Csp.Proc.Chaos _ ->
+    pp_proc ppf p
+  | _ -> Format.fprintf ppf "(%a)" pp_proc p
+
+let proc_to_string p = Format.asprintf "%a" pp_proc p
+
+let rec pp_term ppf (t : Ast.term) =
+  match t with
+  | Ast.T_num n -> Format.pp_print_int ppf n
+  | Ast.T_bool b -> Format.pp_print_bool ppf b
+  | Ast.T_id x -> Format.pp_print_string ppf x
+  | Ast.T_dot (a, b) -> Format.fprintf ppf "%a.%a" pp_term a pp_term b
+  | Ast.T_app (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      args
+  | Ast.T_tuple items ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      items
+  | Ast.T_set items ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      items
+  | Ast.T_range (a, b) -> Format.fprintf ppf "{%a..%a}" pp_term a pp_term b
+  | Ast.T_chanset items ->
+    Format.fprintf ppf "{|%a|}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_term)
+      items
+  | Ast.T_neg a -> Format.fprintf ppf "-(%a)" pp_term a
+  | Ast.T_not a -> Format.fprintf ppf "not (%a)" pp_term a
+  | Ast.T_bin (op, a, b) ->
+    let name =
+      match op with
+      | Ast.B_add -> "+" | Ast.B_sub -> "-" | Ast.B_mul -> "*"
+      | Ast.B_div -> "/" | Ast.B_mod -> "%" | Ast.B_eq -> "=="
+      | Ast.B_neq -> "!=" | Ast.B_lt -> "<" | Ast.B_le -> "<="
+      | Ast.B_gt -> ">" | Ast.B_ge -> ">=" | Ast.B_and -> "and"
+      | Ast.B_or -> "or"
+    in
+    Format.fprintf ppf "(%a %s %a)" pp_term a name pp_term b
+  | Ast.T_if (c, a, b) ->
+    Format.fprintf ppf "if %a then %a else %a" pp_term c pp_term a pp_term b
+  | Ast.T_stop -> Format.pp_print_string ppf "STOP"
+  | Ast.T_skip -> Format.pp_print_string ppf "SKIP"
+  | Ast.T_prefix ({ Ast.chan; fields }, cont) ->
+    Format.pp_print_string ppf chan;
+    List.iter
+      (fun f ->
+        match f with
+        | Ast.F_out e -> Format.fprintf ppf "!%a" pp_term e
+        | Ast.F_dot e -> Format.fprintf ppf ".%a" pp_term e
+        | Ast.F_in (x, None) -> Format.fprintf ppf "?%s" x
+        | Ast.F_in (x, Some s) -> Format.fprintf ppf "?%s:%a" x pp_term s)
+      fields;
+    Format.fprintf ppf " -> %a" pp_term cont
+  | Ast.T_extchoice (a, b) ->
+    Format.fprintf ppf "(%a) [] (%a)" pp_term a pp_term b
+  | Ast.T_intchoice (a, b) ->
+    Format.fprintf ppf "(%a) |~| (%a)" pp_term a pp_term b
+  | Ast.T_seq (a, b) -> Format.fprintf ppf "(%a); (%a)" pp_term a pp_term b
+  | Ast.T_par (a, s, b) ->
+    Format.fprintf ppf "(%a) [| %a |] (%a)" pp_term a pp_term s pp_term b
+  | Ast.T_apar (a, sa, sb, b) ->
+    Format.fprintf ppf "(%a) [ %a || %a ] (%a)" pp_term a pp_term sa pp_term
+      sb pp_term b
+  | Ast.T_interleave (a, b) ->
+    Format.fprintf ppf "(%a) ||| (%a)" pp_term a pp_term b
+  | Ast.T_interrupt (a, b) ->
+    Format.fprintf ppf "(%a) /\\ (%a)" pp_term a pp_term b
+  | Ast.T_slide (a, b) -> Format.fprintf ppf "(%a) [> (%a)" pp_term a pp_term b
+  | Ast.T_hide (a, s) -> Format.fprintf ppf "(%a) \\ %a" pp_term a pp_term s
+  | Ast.T_rename (a, mapping) ->
+    Format.fprintf ppf "(%a)[[%a]]" pp_term a
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (x, y) -> Format.fprintf ppf "%s <- %s" x y))
+      mapping
+  | Ast.T_guard (c, p) -> Format.fprintf ppf "%a & (%a)" pp_term c pp_term p
+  | Ast.T_repl (kind, x, s, body) ->
+    let op =
+      match kind with
+      | Ast.R_ext -> "[]"
+      | Ast.R_int -> "|~|"
+      | Ast.R_inter -> "|||"
+    in
+    Format.fprintf ppf "%s %s : %a @@ (%a)" op x pp_term s pp_term body
+
+let pp_assertion ppf (a : Ast.assertion) =
+  match a with
+  | Ast.A_refines (spec, Ast.M_traces, impl) ->
+    Format.fprintf ppf "assert %a [T= %a" pp_term spec pp_term impl
+  | Ast.A_refines (spec, Ast.M_failures, impl) ->
+    Format.fprintf ppf "assert %a [F= %a" pp_term spec pp_term impl
+  | Ast.A_refines (spec, Ast.M_failures_divergences, impl) ->
+    Format.fprintf ppf "assert %a [FD= %a" pp_term spec pp_term impl
+  | Ast.A_deadlock_free p ->
+    Format.fprintf ppf "assert %a :[deadlock free]" pp_term p
+  | Ast.A_divergence_free p ->
+    Format.fprintf ppf "assert %a :[divergence free]" pp_term p
+  | Ast.A_deterministic p ->
+    Format.fprintf ppf "assert %a :[deterministic]" pp_term p
+
+let script ?header ?(assertions = []) defs =
+  let buf = Buffer.create 4096 in
+  let out fmt = Format.kasprintf (Buffer.add_string buf) fmt in
+  (match header with
+   | None -> ()
+   | Some text ->
+     String.split_on_char '\n' text
+     |> List.iter (fun line -> out "-- %s\n" line);
+     out "\n");
+  let nametypes = Csp.Defs.nametypes defs in
+  List.iter
+    (fun (name, ty) -> out "nametype %s = %a\n" name pp_ty ty)
+    nametypes;
+  let datatypes = Csp.Defs.datatypes defs in
+  List.iter
+    (fun (name, ctors) ->
+      let pp_ctor ppf (c, tys) =
+        Format.pp_print_string ppf c;
+        List.iter (fun ty -> Format.fprintf ppf ".%a" pp_ty ty) tys
+      in
+      out "datatype %s = %a\n" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+           pp_ctor)
+        ctors)
+    datatypes;
+  if nametypes <> [] || datatypes <> [] then out "\n";
+  List.iter
+    (fun (chan, tys) ->
+      match tys with
+      | [] -> out "channel %s\n" chan
+      | _ ->
+        out "channel %s : %a\n" chan
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ".")
+             pp_ty)
+          tys)
+    (Csp.Defs.channels defs);
+  out "\n";
+  List.iter
+    (fun (name, (params, body)) ->
+      match params with
+      | [] -> out "%s = %a\n" name Csp.Expr.pp body
+      | _ ->
+        out "%s(%s) = %a\n" name (String.concat ", " params) Csp.Expr.pp body)
+    (Csp.Defs.funcs defs);
+  List.iter
+    (fun (name, (params, body)) ->
+      match params with
+      | [] -> out "%s = %a\n" name pp_proc body
+      | _ -> out "%s(%s) = %a\n" name (String.concat ", " params) pp_proc body)
+    (Csp.Defs.procs defs);
+  if assertions <> [] then begin
+    out "\n";
+    List.iter (fun a -> out "%a\n" pp_assertion a) assertions
+  end;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** CSPm emission.
+
+    Renders engine objects ({!Csp.Proc.t}, {!Csp.Defs.t}) as CSPm source
+    text that {!Parser} accepts and {!Elaborate} loads back to an equivalent
+    environment — the round-trip the test suite checks. This is the
+    StringTemplate-output stage of the paper's pipeline: the model extractor
+    produces a [Csp.Defs.t] and this module turns it into the [.csp] script
+    of Fig. 3. *)
+
+val pp_proc : Format.formatter -> Csp.Proc.t -> unit
+(** Fully parenthesized CSPm process syntax. *)
+
+val proc_to_string : Csp.Proc.t -> string
+
+val pp_eventset : Format.formatter -> Csp.Eventset.t -> unit
+
+val pp_ty : Format.formatter -> Csp.Ty.t -> unit
+
+val pp_assertion : Format.formatter -> Ast.assertion -> unit
+
+val pp_term : Format.formatter -> Ast.term -> unit
+(** Render a parsed term back to source (used for assertion reports). *)
+
+val script :
+  ?header:string ->
+  ?assertions:Ast.assertion list ->
+  Csp.Defs.t ->
+  string
+(** Render a whole environment as a CSPm script: channel declarations,
+    datatypes, nametypes, function and process definitions, then [assert]
+    lines. [header] is emitted as a leading [--] comment block. *)

@@ -1,0 +1,155 @@
+module P = Csp.Proc
+module E = Csp.Expr
+
+let ver_set = E.Ty_dom (Csp.Ty.Named "Ver")
+let mac_set = E.Ty_dom (Csp.Ty.Named "Mac")
+
+let evmg = E.sym "vmg"
+let eecu = E.sym "ecu"
+let eserver = E.sym "server"
+
+let e_req_sw = E.sym "reqSw"
+let e_rpt_sw v = E.Ctor ("rptSw", [ v ])
+let e_req_app v m = E.Ctor ("reqApp", [ v; m ])
+let e_rpt_upd v = E.Ctor ("rptUpd", [ v ])
+let e_mac k v = E.Ctor ("mac", [ k; v ])
+let e_shared_key = E.Ctor ("key", [ E.sym "kShared" ])
+
+(* send.src.dst.p / recv.dst.p *)
+let send src dst p cont =
+  P.Prefix ("send", [ P.Out src; P.Out dst; P.Out p ], cont)
+
+let recv dst p cont = P.Prefix ("recv", [ P.Out dst; P.Out p ], cont)
+
+let define_ecu defs =
+  (* ECU(v, chk) — see the interface for the behaviour. *)
+  let continue_same = P.Call ("ECU", [ E.Var "v"; E.Var "chk" ]) in
+  let diagnose =
+    recv eecu e_req_sw
+      (send eecu evmg (e_rpt_sw (E.Var "v")) continue_same)
+  in
+  let apply =
+    P.Ext_over
+      ( "w",
+        ver_set,
+        P.Ext_over
+          ( "m",
+            mac_set,
+            recv eecu
+              (e_req_app (E.Var "w") (E.Var "m"))
+              (P.If
+                 ( E.Bin
+                     ( E.Or,
+                       E.Not (E.Var "chk"),
+                       E.Bin (E.Eq, E.Var "m", e_mac e_shared_key (E.Var "w"))
+                     ),
+                   P.Prefix
+                     ( "installed",
+                       [ P.Out (E.Var "w") ],
+                       send eecu evmg (e_rpt_upd (E.Var "w"))
+                         (P.Call ("ECU", [ E.Var "w"; E.Var "chk" ])) ),
+                   continue_same )) ) )
+  in
+  let ignore_stray =
+    P.Ext
+      ( P.Ext_over
+          ("w", ver_set, recv eecu (e_rpt_sw (E.Var "w")) continue_same),
+        P.Ext_over
+          ("w", ver_set, recv eecu (e_rpt_upd (E.Var "w")) continue_same) )
+  in
+  Csp.Defs.define_proc defs "ECU" [ "v"; "chk" ]
+    (P.Ext (P.Ext (diagnose, apply), ignore_stray))
+
+let define_vmg defs =
+  (* VMG(target) — diagnose, update if behind, repeat. *)
+  let restart = P.Call ("VMG", [ E.Var "target" ]) in
+  let await_report =
+    P.Ext_over
+      ("u", ver_set, recv evmg (e_rpt_upd (E.Var "u")) restart)
+  in
+  let update =
+    send evmg eecu
+      (e_req_app (E.Var "target") (e_mac e_shared_key (E.Var "target")))
+      await_report
+  in
+  let body =
+    send evmg eecu e_req_sw
+      (P.Ext_over
+         ( "w",
+           ver_set,
+           recv evmg (e_rpt_sw (E.Var "w"))
+             (P.If (E.Bin (E.Eq, E.Var "w", E.Var "target"), restart, update))
+         ))
+  in
+  Csp.Defs.define_proc defs "VMG" [ "target" ] body
+
+let define_server defs =
+  (* SERVER(latest): X.1373 extended exchange with the VMG. *)
+  let continue_ = P.Call ("SERVER", [ E.Var "latest" ]) in
+  let diagnose =
+    recv eserver (E.sym "diagnose")
+      (send eserver evmg
+         (E.Ctor ("update_check", [ E.Var "latest" ]))
+         continue_)
+  in
+  let grant =
+    P.Ext_over
+      ( "w",
+        ver_set,
+        recv eserver
+          (E.Ctor ("update_check", [ E.Var "w" ]))
+          (send eserver evmg
+             (E.Ctor ("update", [ E.Var "latest"; e_mac e_shared_key (E.Var "latest") ]))
+             continue_) )
+  in
+  let log_report =
+    P.Ext_over
+      ( "u",
+        ver_set,
+        recv eserver (E.Ctor ("update_report", [ E.Var "u" ])) continue_ )
+  in
+  Csp.Defs.define_proc defs "SERVER" [ "latest" ]
+    (P.Ext (P.Ext (diagnose, grant), log_report));
+  (* VMG_EXT: ask the server what is current, then run the vehicle-side
+     campaign against the ECU with the granted update. *)
+  let report =
+    P.Ext_over
+      ( "u",
+        ver_set,
+        recv evmg (e_rpt_upd (E.Var "u"))
+          (send evmg eserver
+             (E.Ctor ("update_report", [ E.Var "u" ]))
+             (P.Call ("VMG_EXT", []))) )
+  in
+  let forward_update =
+    P.Ext_over
+      ( "v",
+        ver_set,
+        P.Ext_over
+          ( "m",
+            mac_set,
+            recv evmg
+              (E.Ctor ("update", [ E.Var "v"; E.Var "m" ]))
+              (send evmg eecu (e_req_app (E.Var "v") (E.Var "m")) report) ) )
+  in
+  let after_check =
+    send evmg eserver
+      (E.Ctor ("update_check", [ E.Var "latest" ]))
+      forward_update
+  in
+  let vmg_ext =
+    send evmg eserver (E.sym "diagnose")
+      (P.Ext_over
+         ( "latest",
+           ver_set,
+           recv evmg (E.Ctor ("update_check", [ E.Var "latest" ])) after_check
+         ))
+  in
+  Csp.Defs.define_proc defs "VMG_EXT" [] vmg_ext
+
+let agents_with ~check_macs ~target ~initial =
+  P.Inter
+    ( P.Call ("VMG", [ E.int target ]),
+      P.Call ("ECU", [ E.int initial; E.bool check_macs ]) )
+
+let agents = agents_with ~check_macs:true ~target:1 ~initial:0

@@ -1,0 +1,32 @@
+(** CSP models of the X.1373 components (paper Fig. 2): the Vehicle Mobile
+    Gateway, the target ECU, and (extended scope) the update server.
+
+    These are specification-level implementation models — hand-written
+    counterparts of what the extractor produces from CAPL — communicating
+    through the directed [send]/[recv] channels so they can be composed
+    with the {!Security.Intruder} medium. *)
+
+val define_ecu : Csp.Defs.t -> unit
+(** Defines [ECU(v, chk)]: current software version [v]; when [chk] is
+    true the ECU verifies the MAC on [reqApp] against the shared key
+    (requirements R03/R05) and silently discards forgeries; when false it
+    installs any [reqApp] — the deliberately flawed variant. On a valid
+    update it performs [installed.w], reports [rptUpd.w] (R04) and
+    continues at version [w]. [reqSw] is always answered with
+    [rptSw.v] (R02). Stray packets are ignored. *)
+
+val define_vmg : Csp.Defs.t -> unit
+(** Defines [VMG(target)]: diagnose ([reqSw]/[rptSw], R01/R02), then if
+    the reported version differs from [target], request the update with a
+    MAC under the shared key (R03) and await [rptUpd] (R04); repeats. *)
+
+val define_server : Csp.Defs.t -> unit
+(** Extended scope only (after {!Messages.declare_extended}): defines
+    [SERVER(latest)] answering [diagnose] with [update_check.latest] and
+    granting [update.v.mac] on request, and [VMG_EXT] relaying between
+    server and ECU. *)
+
+val agents : Csp.Proc.t
+(** [VMG(1) ||| ECU(0, true)] — the secure demonstration pair. *)
+
+val agents_with : check_macs:bool -> target:int -> initial:int -> Csp.Proc.t

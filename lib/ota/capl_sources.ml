@@ -1,0 +1,108 @@
+let dbc =
+  "VERSION \"1.0\"\n\
+   BU_: VMG ECU\n\
+   BO_ 257 reqSw: 1 VMG\n\
+   \ SG_ ping : 0|2@1+ (1,0) [0|3] \"\" ECU\n\
+   BO_ 513 rptSw: 1 ECU\n\
+   \ SG_ version : 0|3@1+ (1,0) [0|7] \"\" VMG\n\
+   BO_ 258 reqApp: 2 VMG\n\
+   \ SG_ version : 0|3@1+ (1,0) [0|7] \"\" ECU\n\
+   \ SG_ tag : 8|3@1+ (1,0) [0|7] \"\" ECU\n\
+   BO_ 514 rptUpd: 1 ECU\n\
+   \ SG_ version : 0|3@1+ (1,0) [0|7] \"\" VMG\n\
+   CM_ BO_ 257 \"software inventory request (diagnose)\";\n\
+   CM_ BO_ 513 \"software list response\";\n\
+   CM_ BO_ 258 \"apply update module, authenticated by tag\";\n\
+   CM_ BO_ 514 \"software update result\";\n"
+
+let shared_secret = 5
+let checksum v = (v + shared_secret) mod 8
+
+let vmg =
+  Printf.sprintf
+    {q|
+// Vehicle Mobile Gateway: drives the X.1373 diagnose/update exchange.
+variables {
+  message reqSw mReq;
+  message reqApp mApp;
+  msTimer retry;
+  int target = 1;    // version this campaign installs
+}
+
+on start {
+  mReq.ping = 1;
+  output(mReq);
+  setTimer(retry, 50);
+}
+
+on timer retry {
+  // diagnosis was lost: ask again
+  mReq.ping = 1;
+  output(mReq);
+  setTimer(retry, 50);
+}
+
+on message rptSw {
+  cancelTimer(retry);
+  if (this.version < target) {
+    mApp.version = target;
+    mApp.tag = (target + %d) %% 8;   // MAC under the shared secret
+    output(mApp);
+  }
+}
+
+on message rptUpd {
+  write("update complete, ECU now at version %%d", this.version);
+}
+|q}
+    shared_secret
+
+let ecu_template ~check =
+  Printf.sprintf
+    {q|
+// Target ECU: update module per ITU-T X.1373.
+variables {
+  message rptSw mList;
+  message rptUpd mResult;
+  int version = 0;   // installed software version
+}
+
+int valid(int v, int tag) {
+  return tag == (v + %d) %% 8;
+}
+
+on message reqSw {
+  mList.version = version;
+  output(mList);
+}
+
+on message reqApp {
+%s
+}
+|q}
+    shared_secret
+    (if check then
+       "  if (valid(this.version, this.tag)) {\n\
+       \    version = this.version;\n\
+       \    mResult.version = version;\n\
+       \    output(mResult);\n\
+       \  }"
+     else
+       "  version = this.version;\n\
+       \  mResult.version = version;\n\
+       \  output(mResult);")
+
+let ecu = ecu_template ~check:true
+let ecu_nocheck = ecu_template ~check:false
+
+let sources = [ "VMG", vmg; "ECU", ecu ]
+let sources_flawed = [ "VMG", vmg; "ECU", ecu_nocheck ]
+
+let build_system ?(flawed = false) () =
+  Extractor.Pipeline.build_from_sources ~dbc
+    (if flawed then sources_flawed else sources)
+
+let simulation ?(flawed = false) () =
+  let db = Candb.To_capl.msgdb (Candb.Dbc_parser.parse dbc) in
+  Capl.Simulation.of_sources ~db
+    (if flawed then sources_flawed else sources)

@@ -1,0 +1,45 @@
+(** The demonstration network of the paper's Fig. 2 as concrete artifacts:
+    a CAN database and CAPL sources for the VMG and target ECU nodes,
+    implementing the Table II message exchange with a shared-secret
+    checksum standing in for the MAC (CAPL has no crypto library; the
+    checksum preserves the authentication structure — a forger who does
+    not know [shared_secret] cannot produce a valid tag for a new
+    version).
+
+    These sources feed the whole Fig. 1 workflow: they run on the CAN
+    simulator through the CAPL interpreter, and they translate through the
+    model extractor into the CSPm script of Fig. 3. *)
+
+val dbc : string
+(** CAN database: [reqSw] (0x101), [rptSw] (0x201), [reqApp] (0x102,
+    signals [version], [tag]), [rptUpd] (0x202). *)
+
+val shared_secret : int
+(** The checksum key both legitimate nodes hold (requirement R05). *)
+
+val checksum : int -> int
+(** [checksum v = (v + shared_secret) mod 8] — the stand-in MAC. *)
+
+val vmg : string
+(** CAPL source of the Vehicle Mobile Gateway node: diagnoses on start
+    (and cyclically on a timer), requests the update when the ECU is
+    behind the target version, logs the result. *)
+
+val ecu : string
+(** CAPL source of the target ECU: answers diagnosis, verifies the tag,
+    applies the update, reports the result. *)
+
+val ecu_nocheck : string
+(** The flawed ECU: skips tag verification (the security bug the checker
+    must find). *)
+
+val sources : (string * string) list
+(** [("VMG", vmg); ("ECU", ecu)]. *)
+
+val sources_flawed : (string * string) list
+
+val build_system : ?flawed:bool -> unit -> Extractor.Pipeline.system
+(** Run the extractor over the demo ([flawed] picks {!ecu_nocheck}). *)
+
+val simulation : ?flawed:bool -> unit -> Capl.Simulation.t
+(** The same sources attached to a simulated bus. *)

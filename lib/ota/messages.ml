@@ -1,0 +1,68 @@
+module V = Csp.Value
+module T = Csp.Ty
+
+let versions = 2
+
+let shared_key = Security.Crypto.key "kShared"
+let attacker_key = Security.Crypto.key "kAtt"
+let mac k v = Security.Crypto.mac k (V.Int v)
+
+let req_sw = V.sym "reqSw"
+let rpt_sw v = V.Ctor ("rptSw", [ V.Int v ])
+let req_app v m = V.Ctor ("reqApp", [ V.Int v; m ])
+let rpt_upd v = V.Ctor ("rptUpd", [ V.Int v ])
+
+let vmg = V.sym "vmg"
+let ecu = V.sym "ecu"
+let server = V.sym "server"
+
+let ver_ty = T.Named "Ver"
+
+let declare_common defs ~agents ~packet_ctors =
+  Csp.Defs.declare_nametype defs "Ver" (T.Int_range (0, versions - 1));
+  Csp.Defs.declare_datatype defs "KeyName" [ "kShared", []; "kAtt", [] ];
+  Csp.Defs.declare_datatype defs "Key" [ "key", [ T.Named "KeyName" ] ];
+  Csp.Defs.declare_datatype defs "Mac" [ "mac", [ T.Named "Key"; ver_ty ] ];
+  Csp.Defs.declare_datatype defs "Packet" packet_ctors;
+  Csp.Defs.declare_datatype defs "Agent" agents;
+  Csp.Defs.declare_channel defs "send"
+    [ T.Named "Agent"; T.Named "Agent"; T.Named "Packet" ];
+  Csp.Defs.declare_channel defs "recv" [ T.Named "Agent"; T.Named "Packet" ];
+  Csp.Defs.declare_channel defs "installed" [ ver_ty ]
+
+let basic_packets =
+  [
+    "reqSw", [];
+    "rptSw", [ ver_ty ];
+    "reqApp", [ ver_ty; T.Named "Mac" ];
+    "rptUpd", [ ver_ty ];
+  ]
+
+let declare defs =
+  declare_common defs
+    ~agents:[ "vmg", []; "ecu", [] ]
+    ~packet_ctors:basic_packets
+
+let declare_extended defs =
+  declare_common defs
+    ~agents:[ "vmg", []; "ecu", []; "server", [] ]
+    ~packet_ctors:
+      (basic_packets
+       @ [
+           "diagnose", [];
+           "update_check", [ ver_ty ];
+           "update", [ ver_ty; T.Named "Mac" ];
+           "update_report", [ ver_ty ];
+         ])
+
+let intruder_config ?knowledge () =
+  let default_knowledge =
+    (* the attacker owns kAtt and knows the public protocol vocabulary;
+       the shared key is NOT known (requirement R05) *)
+    [ attacker_key; req_sw ]
+  in
+  {
+    Security.Intruder.send_chan = "send";
+    recv_chan = "recv";
+    knowledge = Option.value ~default:default_knowledge knowledge;
+  }

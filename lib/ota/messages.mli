@@ -1,0 +1,58 @@
+(** Message and data-type declarations for the ITU-T X.1373 over-the-air
+    software-update case study (paper Section V, Table II).
+
+    The diagnose/update exchange of Table II is modelled at the
+    specification level with directed channels in the Ryan–Schneider
+    style:
+
+    - [send.src.dst.packet] — a component hands a packet to the network;
+    - [recv.dst.packet] — the network delivers a packet;
+    - [installed.v] — the ECU-internal observable "update module v was
+      applied" event (requirement R03);
+
+    and a finite packet datatype
+    [Packet = reqSw | rptSw.Ver | reqApp.Ver.Mac | rptUpd.Ver] where [Mac]
+    terms are the symbolic [mac.key.k.ver] values of {!Security.Crypto},
+    so the Dolev-Yao intruder's derivability rules apply directly. The
+    extended X.1373 message set of the paper's future work (diagnose /
+    update_check / update / update_report with the update server) is
+    declared by {!declare_extended}. *)
+
+val versions : int
+(** Software versions range over [{0..versions-1}] (2). *)
+
+val shared_key : Csp.Value.t
+(** [key.kShared] — the OEM/vehicle shared key of requirement R05. *)
+
+val attacker_key : Csp.Value.t
+(** [key.kAtt] — a key the attacker owns (for forged MACs). *)
+
+val mac : Csp.Value.t -> int -> Csp.Value.t
+(** [mac k v] is the symbolic MAC of version [v] under [k]. *)
+
+(** Packet constructors. *)
+
+val req_sw : Csp.Value.t
+val rpt_sw : int -> Csp.Value.t
+val req_app : int -> Csp.Value.t -> Csp.Value.t
+(** [req_app v m]: apply update module [v], authenticated by MAC [m]. *)
+
+val rpt_upd : int -> Csp.Value.t
+
+val vmg : Csp.Value.t
+val ecu : Csp.Value.t
+val server : Csp.Value.t
+
+val declare : Csp.Defs.t -> unit
+(** Declare [Ver], [KeyName], [Key], [Mac], [Packet], [Agent] (vmg, ecu)
+    and channels [send], [recv], [installed]. *)
+
+val declare_extended : Csp.Defs.t -> unit
+(** Also declare the update server agent and the four extended message
+    types ([diagnose], [update_check], [update], [update_report]) used by
+    the server/VMG leg. Call instead of {!declare}. *)
+
+val intruder_config :
+  ?knowledge:Csp.Value.t list -> unit -> Security.Intruder.config
+(** Channels wired to [send]/[recv]; default knowledge is the attacker's
+    own key plus all public packet parts (no shared key). *)

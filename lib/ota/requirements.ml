@@ -1,0 +1,251 @@
+module P = Csp.Proc
+module E = Csp.Expr
+module V = Csp.Value
+
+type check = {
+  id : string;
+  description : string;
+  result : Csp.Refine.result;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Event vocabulary                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let valid_req_app w = Messages.req_app w (Messages.mac Messages.shared_key w)
+
+let ev_vmg_req_sw =
+  Csp.Event.event "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ]
+
+let ev_ecu_rpt_sw v =
+  Csp.Event.event "send" [ Messages.ecu; Messages.vmg; Messages.rpt_sw v ]
+
+let ev_vmg_req_app w =
+  Csp.Event.event "send" [ Messages.vmg; Messages.ecu; valid_req_app w ]
+
+let ev_ecu_rpt_upd w =
+  Csp.Event.event "send" [ Messages.ecu; Messages.vmg; Messages.rpt_upd w ]
+
+let ev_recv_valid_app w =
+  Csp.Event.event "recv" [ Messages.ecu; valid_req_app w ]
+
+let ev_installed w = Csp.Event.event "installed" [ V.Int w ]
+
+let is_send_from agent (e : Csp.Event.t) =
+  String.equal e.Csp.Event.chan "send"
+  && match e.Csp.Event.args with
+     | src :: _ -> V.equal src agent
+     | [] -> false
+
+let is_installed (e : Csp.Event.t) = String.equal e.Csp.Event.chan "installed"
+
+let all_events (s : Scenario.t) = Csp.Defs.events_of s.Scenario.defs s.Scenario.alphabet
+
+(* External choice over concrete events, each continuing via [k]. *)
+let choice_over events k =
+  match events with
+  | [] -> P.Stop
+  | first :: rest ->
+    let branch e = P.send e.Csp.Event.chan e.Csp.Event.args (k e) in
+    List.fold_left (fun acc e -> P.Ext (acc, branch e)) (branch first) rest
+
+let versions = List.init Messages.versions Fun.id
+
+(* ------------------------------------------------------------------ *)
+(* R01: the first VMG transmission is the inventory request            *)
+(* ------------------------------------------------------------------ *)
+
+let r01 ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let all = all_events s in
+  let free_events =
+    List.filter (fun e -> not (is_send_from Messages.vmg e)) all
+  in
+  let body =
+    P.Ext
+      ( choice_over free_events (fun _ -> P.Call ("R01", [])),
+        P.send "send"
+          [ Messages.vmg; Messages.ecu; Messages.req_sw ]
+          (P.Run s.Scenario.alphabet) )
+  in
+  Csp.Defs.define_proc defs "R01" [] body;
+  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R01", []))
+    ~impl:s.Scenario.system
+
+(* ------------------------------------------------------------------ *)
+(* R02: SP02 — request/response alternation (paper Section V-B)        *)
+(* ------------------------------------------------------------------ *)
+
+let r02 ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let interesting =
+    ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions
+  in
+  let hidden = Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting) in
+  let impl = P.Hide (s.Scenario.system, hidden) in
+  let responses =
+    choice_over (List.map ev_ecu_rpt_sw versions) (fun _ -> P.Call ("SP02", []))
+  in
+  let body =
+    P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
+  in
+  Csp.Defs.define_proc defs "SP02" [] body;
+  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("SP02", [])) ~impl
+
+let r02_liveness ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let interesting = ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions in
+  let hidden =
+    Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting)
+  in
+  let impl = P.Hide (s.Scenario.system, hidden) in
+  (* the response version is the system's choice (internal choice), but a
+     response must come: the spec's acceptances are the singletons
+     {rptSw.v}, so a stable state refusing every response violates *)
+  let responses =
+    match
+      List.map
+        (fun e ->
+          P.send e.Csp.Event.chan e.Csp.Event.args (P.Call ("SP02L", [])))
+        (List.map ev_ecu_rpt_sw versions)
+    with
+    | [] -> P.Stop
+    | first :: rest -> List.fold_left (fun acc b -> P.Int (acc, b)) first rest
+  in
+  let body =
+    P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
+  in
+  Csp.Defs.define_proc defs "SP02L" [] body;
+  Csp.Refine.failures_refines ?max_states defs ~spec:(P.Call ("SP02L", []))
+    ~impl
+
+(* ------------------------------------------------------------------ *)
+(* R03: a validly MAC'd reqApp is applied before the ECU does anything
+   else                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let r03 ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let all = all_events s in
+  let valid_deliveries = List.map ev_recv_valid_app versions in
+  let is_valid_delivery e =
+    List.exists (Csp.Event.equal e) valid_deliveries
+  in
+  let quiet =
+    List.filter (fun e -> not (is_valid_delivery e)) all
+  in
+  let waiting_ok w =
+    (* while the ECU applies w, everything except ECU activity and further
+       valid deliveries may happen *)
+    List.filter
+      (fun e ->
+        (not (is_send_from Messages.ecu e))
+        && (not (is_installed e))
+        && not (is_valid_delivery e))
+      all
+    |> fun evs -> evs, ev_installed w
+  in
+  List.iter
+    (fun w ->
+      let evs, inst = waiting_ok w in
+      Csp.Defs.define_proc defs (Printf.sprintf "R03WAIT%d" w) []
+        (P.Ext
+           ( P.send inst.Csp.Event.chan inst.Csp.Event.args (P.Call ("R03", [])),
+             choice_over evs (fun _ ->
+                 P.Call (Printf.sprintf "R03WAIT%d" w, [])) )))
+    versions;
+  let body =
+    P.Ext
+      ( choice_over quiet (fun _ -> P.Call ("R03", [])),
+        choice_over valid_deliveries (fun e ->
+            match e.Csp.Event.args with
+            | [ _; V.Ctor ("reqApp", [ V.Int w; _ ]) ] ->
+              P.Call (Printf.sprintf "R03WAIT%d" w, [])
+            | _ -> assert false) )
+  in
+  Csp.Defs.define_proc defs "R03" [] body;
+  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R03", []))
+    ~impl:s.Scenario.system
+
+(* ------------------------------------------------------------------ *)
+(* R04: installation is followed by the update report                  *)
+(* ------------------------------------------------------------------ *)
+
+let r04 ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let all = all_events s in
+  let quiet = List.filter (fun e -> not (is_installed e)) all in
+  List.iter
+    (fun w ->
+      let report = ev_ecu_rpt_upd w in
+      let waiting =
+        List.filter
+          (fun e -> (not (is_send_from Messages.ecu e)) && not (is_installed e))
+          all
+      in
+      Csp.Defs.define_proc defs (Printf.sprintf "R04WAIT%d" w) []
+        (P.Ext
+           ( P.send report.Csp.Event.chan report.Csp.Event.args
+               (P.Call ("R04", [])),
+             choice_over waiting (fun _ ->
+                 P.Call (Printf.sprintf "R04WAIT%d" w, [])) )))
+    versions;
+  let body =
+    P.Ext
+      ( choice_over quiet (fun _ -> P.Call ("R04", [])),
+        choice_over (List.map ev_installed versions) (fun e ->
+            match e.Csp.Event.args with
+            | [ V.Int w ] -> P.Call (Printf.sprintf "R04WAIT%d" w, [])
+            | _ -> assert false) )
+  in
+  Csp.Defs.define_proc defs "R04" [] body;
+  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R04", []))
+    ~impl:s.Scenario.system
+
+(* ------------------------------------------------------------------ *)
+(* R05: update authenticity under the shared-key assumption            *)
+(* ------------------------------------------------------------------ *)
+
+let r05 ?max_states (s : Scenario.t) ~version =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let spec =
+    Security.Properties.precedes defs ~alphabet:s.Scenario.alphabet
+      ~trigger:(ev_vmg_req_app version) ~guarded:(ev_installed version)
+  in
+  Csp.Refine.traces_refines ?max_states defs ~spec ~impl:s.Scenario.system
+
+let run_all ?max_states s =
+  let checks =
+    [
+      ( "R01",
+        "VMG starts the update process with a software inventory request",
+        r01 ?max_states s );
+      ( "R02",
+        "every inventory request is answered with a software list (SP02)",
+        r02 ?max_states s );
+      ( "R03",
+        "a validly MAC'd apply-update message is applied by the ECU",
+        r03 ?max_states s );
+      ( "R04",
+        "completed installations are reported with an update result",
+        r04 ?max_states s );
+    ]
+    @ List.map
+        (fun w ->
+          ( Printf.sprintf "R05v%d" w,
+            Printf.sprintf
+              "version %d is installed only on a shared-key request" w,
+            r05 ?max_states s ~version:w ))
+        versions
+  in
+  List.map
+    (fun (id, description, result) -> { id; description; result })
+    checks
+
+let all_hold checks =
+  List.for_all (fun c -> Csp.Refine.holds c.result) checks
+
+let pp_check ppf c =
+  let status = if Csp.Refine.holds c.result then "PASS" else "FAIL" in
+  Format.fprintf ppf "@[<v 2>[%s] %s: %s@ %a@]" status c.id c.description
+    Csp.Refine.pp_result c.result

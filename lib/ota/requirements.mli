@@ -1,0 +1,43 @@
+(** The secure-update requirements of the paper's Table III as executable
+    refinement checks, plus the update-authenticity property that the
+    attack scenarios (S2) exercise.
+
+    | ID  | Requirement |
+    |-----|-------------|
+    | R01 | At start of the update process, the VMG sends a software inventory request |
+    | R02 | Every inventory request is answered with a software list response (the paper's SP02) |
+    | R03 | On receipt of a validly MAC'd apply-update message, the ECU applies the update |
+    | R04 | On completion of installation, the ECU sends the update result |
+    | R05 | Shared-key authenticity: an update module is installed only if the VMG requested it under the shared key |
+*)
+
+type check = {
+  id : string;
+  description : string;
+  result : Csp.Refine.result;
+}
+
+val r01 : ?max_states:int -> Scenario.t -> Csp.Refine.result
+val r02 : ?max_states:int -> Scenario.t -> Csp.Refine.result
+
+val r02_liveness : ?max_states:int -> Scenario.t -> Csp.Refine.result
+(** The availability strengthening of R02, checked in the stable-failures
+    model: the system must not only never produce a wrong
+    request/response order, it must never {e refuse} to continue the
+    diagnosis dialogue. Holds on the reliable medium; an intruder medium
+    may drop packets, so availability is expected to fail there — the
+    classic safety/liveness split the paper's Section IV-A1 alludes to
+    ("availability (liveness)"). *)
+
+val r03 : ?max_states:int -> Scenario.t -> Csp.Refine.result
+val r04 : ?max_states:int -> Scenario.t -> Csp.Refine.result
+
+val r05 : ?max_states:int -> Scenario.t -> version:int -> Csp.Refine.result
+(** Authenticity of installing [version] (checked per version because the
+    property is version-indexed). *)
+
+val run_all : ?max_states:int -> Scenario.t -> check list
+(** R01–R04 plus R05 for every version. *)
+
+val all_hold : check list -> bool
+val pp_check : Format.formatter -> check -> unit

@@ -1,0 +1,73 @@
+type medium =
+  | Reliable
+  | Intruder
+  | Intruder_with_shared_key
+
+type t = {
+  defs : Csp.Defs.t;
+  system : Csp.Proc.t;
+  medium : medium;
+  check_macs : bool;
+  alphabet : Csp.Eventset.t;
+}
+
+let make ?(check_macs = true) ?(medium = Reliable) () =
+  let defs = Csp.Defs.create () in
+  Messages.declare defs;
+  Agents.define_ecu defs;
+  Agents.define_vmg defs;
+  let config =
+    match medium with
+    | Reliable | Intruder -> Messages.intruder_config ()
+    | Intruder_with_shared_key ->
+      Messages.intruder_config
+        ~knowledge:[ Messages.attacker_key; Messages.shared_key ] ()
+  in
+  let medium_proc =
+    match medium with
+    | Reliable ->
+      Csp.Proc.Call (Security.Intruder.reliable_medium defs config, [])
+    | Intruder | Intruder_with_shared_key ->
+      Csp.Proc.Call (Security.Intruder.define defs config, [])
+  in
+  let agents = Agents.agents_with ~check_macs ~target:1 ~initial:0 in
+  let system = Security.Intruder.compose agents ~medium:medium_proc config in
+  {
+    defs;
+    system;
+    medium;
+    check_macs;
+    alphabet = Csp.Eventset.chans [ "send"; "recv"; "installed" ];
+  }
+
+let make_extended () =
+  let defs = Csp.Defs.create () in
+  Messages.declare_extended defs;
+  Agents.define_ecu defs;
+  Agents.define_server defs;
+  let config = Messages.intruder_config () in
+  let medium_proc =
+    Csp.Proc.Call (Security.Intruder.reliable_medium defs config, [])
+  in
+  let agents =
+    Csp.Proc.Inter
+      ( Csp.Proc.Inter
+          ( Csp.Proc.Call ("VMG_EXT", []),
+            Csp.Proc.Call
+              ("ECU", [ Csp.Expr.int 0; Csp.Expr.bool true ]) ),
+        Csp.Proc.Call ("SERVER", [ Csp.Expr.int 1 ]) )
+  in
+  let system = Security.Intruder.compose agents ~medium:medium_proc config in
+  {
+    defs;
+    system;
+    medium = Reliable;
+    check_macs = true;
+    alphabet = Csp.Eventset.chans [ "send"; "recv"; "installed" ];
+  }
+
+let deadlock_result ?max_states t =
+  Csp.Refine.deadlock_free ?max_states t.defs t.system
+
+let divergence_result ?max_states t =
+  Csp.Refine.divergence_free ?max_states t.defs t.system

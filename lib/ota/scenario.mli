@@ -1,0 +1,30 @@
+(** Assembled case-study systems: agents plus a medium, ready to check.
+
+    A scenario corresponds to one cell of the paper's evaluation space:
+    secure/flawed ECU × reliable network / Dolev-Yao intruder (optionally
+    with a leaked shared key). *)
+
+type medium =
+  | Reliable  (** faithful delivery — the no-attacker baseline *)
+  | Intruder  (** Dolev-Yao attacker owning [kAtt] but not the shared key *)
+  | Intruder_with_shared_key  (** compromised-key variant *)
+
+type t = {
+  defs : Csp.Defs.t;
+  system : Csp.Proc.t;  (** agents [|{send,recv}|] medium *)
+  medium : medium;
+  check_macs : bool;
+  alphabet : Csp.Eventset.t;  (** send, recv, installed *)
+}
+
+val make : ?check_macs:bool -> ?medium:medium -> unit -> t
+(** Fresh environment with {!Messages.declare}, both agents, the chosen
+    medium, and the composed system ([VMG(1) ||| ECU(0, chk)] against the
+    medium). Defaults: [check_macs = true], [medium = Reliable]. *)
+
+val make_extended : unit -> t
+(** The future-work scope: server + VMG_EXT + ECU over a reliable medium,
+    with the extended message set. *)
+
+val deadlock_result : ?max_states:int -> t -> Csp.Refine.result
+val divergence_result : ?max_states:int -> t -> Csp.Refine.result

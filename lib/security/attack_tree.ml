@@ -1,0 +1,103 @@
+type t =
+  | Action of Csp.Event.t
+  | Seq of t list
+  | Par of t list
+  | Or of t list
+
+let action chan args = Action (Csp.Event.event chan args)
+
+let compare_seq = List.compare Csp.Event.compare
+
+(* All interleavings of two sequences. *)
+let rec interleave s1 s2 =
+  match s1, s2 with
+  | [], s | s, [] -> [ s ]
+  | a :: r1, b :: r2 ->
+    List.map (fun s -> a :: s) (interleave r1 s2)
+    @ List.map (fun s -> b :: s) (interleave s1 r2)
+
+let rec sequences t =
+  let result =
+    match t with
+    | Action a -> [ [ a ] ]
+    | Seq parts ->
+      List.fold_left
+        (fun acc part ->
+          let tails = sequences part in
+          List.concat_map (fun s -> List.map (fun tl -> s @ tl) tails) acc)
+        [ [] ] parts
+    | Par parts ->
+      List.fold_left
+        (fun acc part ->
+          let others = sequences part in
+          List.concat_map
+            (fun s1 -> List.concat_map (fun s2 -> interleave s1 s2) others)
+            acc)
+        [ [] ] parts
+    | Or parts -> List.concat_map sequences parts
+  in
+  List.sort_uniq compare_seq result
+
+let rec to_proc t =
+  match t with
+  | Action a ->
+    Csp.Proc.Prefix
+      ( a.Csp.Event.chan,
+        List.map (fun v -> Csp.Proc.Out (Csp.Expr.Lit v)) a.Csp.Event.args,
+        Csp.Proc.Skip )
+  | Seq parts ->
+    (match parts with
+     | [] -> Csp.Proc.Skip
+     | first :: rest ->
+       List.fold_left
+         (fun acc p -> Csp.Proc.Seq (acc, to_proc p))
+         (to_proc first) rest)
+  | Par parts ->
+    (match parts with
+     | [] -> Csp.Proc.Skip
+     | first :: rest ->
+       List.fold_left
+         (fun acc p -> Csp.Proc.Inter (acc, to_proc p))
+         (to_proc first) rest)
+  | Or parts ->
+    (match parts with
+     | [] -> Csp.Proc.Stop
+     | first :: rest ->
+       List.fold_left
+         (fun acc p -> Csp.Proc.Ext (acc, to_proc p))
+         (to_proc first) rest)
+
+let events t =
+  let rec go acc = function
+    | Action a -> a :: acc
+    | Seq parts | Par parts | Or parts -> List.fold_left go acc parts
+  in
+  List.sort_uniq Csp.Event.compare (go [] t)
+
+let channels t =
+  List.sort_uniq String.compare
+    (List.map (fun e -> e.Csp.Event.chan) (events t))
+
+let size t =
+  let rec go acc = function
+    | Action _ -> acc + 1
+    | Seq parts | Par parts | Or parts -> List.fold_left go acc parts
+  in
+  go 0 t
+
+let rec pp ppf = function
+  | Action a -> Csp.Event.pp ppf a
+  | Seq parts -> pp_parts ppf "." parts
+  | Par parts -> pp_parts ppf "||" parts
+  | Or parts -> pp_parts ppf "OR" parts
+
+and pp_parts ppf op parts =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " %s " op)
+       pp)
+    parts
+
+let and_node children = Par children
+let ordered_and children = Seq children
+let or_node children = Or children

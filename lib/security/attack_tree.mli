@@ -1,0 +1,48 @@
+(** Attack trees as series-parallel (SP) graphs, with the paper's
+    Section IV-E semantics and the translation into CSP processes that the
+    paper cites from Cheah et al.
+
+    An SP graph denotes a set of action sequences:
+    - a single action {m \xrightarrow{a}} denotes [{<a>}];
+    - parallel composition {m G_1 \parallel G_2} denotes all interleavings
+      of the operands' sequences;
+    - sequential composition {m G_1 \cdot G_2} denotes their
+      concatenations;
+    - a set of graphs (OR over alternative attacks) denotes the union.
+
+    The CSP translation maps actions to event prefixes, [Seq] to [;],
+    [Par] to [|||] and [Or] to external choice; its maximal traces are
+    exactly the SP-graph sequences — a property the test suite checks. *)
+
+type t =
+  | Action of Csp.Event.t
+  | Seq of t list  (** {m G_1 \cdot G_2 \cdots} — attack steps in order *)
+  | Par of t list  (** steps that may interleave *)
+  | Or of t list  (** alternative attacks *)
+
+val action : string -> Csp.Value.t list -> t
+val sequences : t -> Csp.Event.t list list
+(** The paper's {m (G)} — all action sequences, sorted, deduplicated. *)
+
+val to_proc : t -> Csp.Proc.t
+(** CSP process whose complete traces are {!sequences} (each followed by
+    successful termination). *)
+
+val events : t -> Csp.Event.t list
+(** All actions mentioned (the attack alphabet), sorted, deduplicated. *)
+
+val channels : t -> string list
+
+val size : t -> int
+(** Number of action leaves. *)
+
+val pp : Format.formatter -> t -> unit
+
+val and_node : t list -> t
+(** Attack-tree vocabulary: an AND node whose children may run in any
+    order ([Par]). *)
+
+val ordered_and : t list -> t
+(** AND node with a required order ([Seq]). *)
+
+val or_node : t list -> t

@@ -1,0 +1,64 @@
+module V = Csp.Value
+
+let key name = V.Ctor ("key", [ V.sym name ])
+let pk agent = V.Ctor ("pk", [ agent ])
+let sk agent = V.Ctor ("sk", [ agent ])
+let pair a b = V.Ctor ("pair", [ a; b ])
+let senc k m = V.Ctor ("senc", [ k; m ])
+let aenc k m = V.Ctor ("aenc", [ k; m ])
+let mac k m = V.Ctor ("mac", [ k; m ])
+let sign k m = V.Ctor ("sig", [ k; m ])
+let nonce n = V.Ctor ("nonce", [ V.Int n ])
+
+let mem v set = List.exists (V.equal v) set
+
+(* Secret atoms: knowing them cannot be faked. *)
+let is_secret_atom = function
+  | V.Ctor (("key" | "sk" | "nonce"), _) -> true
+  | _ -> false
+
+(* One round of the opening rules. Constructors without a restricted rule
+   are transparent (free pairing-like data). *)
+let open_once knowledge =
+  List.concat_map
+    (fun term ->
+      match term with
+      | V.Ctor ("senc", [ k; m ]) -> if mem k knowledge then [ m ] else []
+      | V.Ctor ("aenc", [ V.Ctor ("pk", [ x ]); m ]) ->
+        if mem (sk x) knowledge then [ m ] else []
+      | V.Ctor ("sig", [ _; m ]) -> [ m ]
+      | V.Ctor (("mac" | "aenc" | "key" | "pk" | "sk" | "nonce"), _) -> []
+      | V.Ctor (_, args) -> args  (* transparent constructors *)
+      | V.Tuple items -> items
+      | V.Int _ | V.Bool _ -> [])
+    knowledge
+
+let analyze knowledge =
+  let rec fix current =
+    let opened = open_once current in
+    let fresh = List.filter (fun v -> not (mem v current)) opened in
+    if fresh = [] then current else fix (fresh @ current)
+  in
+  List.sort_uniq V.compare (fix knowledge)
+
+let rec synthesizable ~knowledge term =
+  if mem term knowledge then true
+  else
+    match term with
+    | V.Ctor _ when is_secret_atom term -> false
+    | V.Ctor (_, args) -> List.for_all (synthesizable ~knowledge) args
+    | V.Tuple items -> List.for_all (synthesizable ~knowledge) items
+    | V.Int _ | V.Bool _ -> true
+
+let derivable ~knowledge term = synthesizable ~knowledge:(analyze knowledge) term
+
+let secret_atoms term =
+  let rec go acc t =
+    if is_secret_atom t then t :: acc
+    else
+      match t with
+      | V.Ctor (_, args) -> List.fold_left go acc args
+      | V.Tuple items -> List.fold_left go acc items
+      | V.Int _ | V.Bool _ -> acc
+  in
+  List.sort_uniq V.compare (go [] term)

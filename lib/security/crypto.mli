@@ -1,0 +1,62 @@
+(** Symbolic cryptography over {!Csp.Value} terms, in the style of the
+    Dolev-Yao model the paper adopts (Section IV-E, citing Ryan &
+    Schneider): keys, pairing, symmetric/asymmetric encryption, MACs and
+    signatures are free constructors; an attacker can open or build a term
+    only according to the deduction rules below.
+
+    Deduction rules implemented by {!analyze} / {!synthesizable}:
+    - ordinary constructors (pairs, protocol message shapes) are
+      {e transparent}: components of a known term are known, and a term is
+      synthesizable from synthesizable components;
+    - symmetric encryption [senc(k, m)]: [m] is learned iff [k] is known;
+    - asymmetric encryption [aenc(pk(x), m)]: [m] is learned iff the
+      private key [sk(x)] is known; anyone can encrypt (public keys are
+      public);
+    - MAC [mac(k, m)]: opaque — reveals nothing (the MAC'd message
+      normally travels alongside in clear); synthesizable iff [k] and [m]
+      are, so an attacker without the key can only {e replay} MACs;
+    - signatures [sig(k, m)]: reveal [m] but require [k] to build;
+    - the secret atoms are [key], [sk] and [nonce] terms: they are never
+      synthesizable unless known. *)
+
+val key : string -> Csp.Value.t
+(** [key "kecu"] is a symmetric-key constant. *)
+
+val pk : Csp.Value.t -> Csp.Value.t
+(** Public key of an agent (public). *)
+
+val sk : Csp.Value.t -> Csp.Value.t
+(** Private key of an agent (secret atom). *)
+
+val pair : Csp.Value.t -> Csp.Value.t -> Csp.Value.t
+val senc : Csp.Value.t -> Csp.Value.t -> Csp.Value.t
+(** [senc k m]. *)
+
+val aenc : Csp.Value.t -> Csp.Value.t -> Csp.Value.t
+(** [aenc (pk x) m]. *)
+
+val mac : Csp.Value.t -> Csp.Value.t -> Csp.Value.t
+(** [mac k m]. *)
+
+val sign : Csp.Value.t -> Csp.Value.t -> Csp.Value.t
+val nonce : int -> Csp.Value.t
+
+val analyze : Csp.Value.t list -> Csp.Value.t list
+(** Closure of a knowledge set under the opening rules (fixpoint; sorted,
+    deduplicated). *)
+
+val synthesizable : knowledge:Csp.Value.t list -> Csp.Value.t -> bool
+(** Can the term be built from the (already analyzed) knowledge? Atoms
+    (ints, bools, plain symbols) are public and always synthesizable;
+    keys, private keys and nonces must be known explicitly. *)
+
+val derivable : knowledge:Csp.Value.t list -> Csp.Value.t -> bool
+(** [synthesizable ~knowledge:(analyze knowledge)] — the full Dolev-Yao
+    "can the attacker produce this" test. *)
+
+val is_secret_atom : Csp.Value.t -> bool
+(** [key], [sk] and [nonce] terms. *)
+
+val secret_atoms : Csp.Value.t -> Csp.Value.t list
+(** The secret atoms occurring syntactically in a term (sorted,
+    deduplicated) — what an attacker must possess to synthesize it. *)

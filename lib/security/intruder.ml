@@ -1,0 +1,240 @@
+module P = Csp.Proc
+module E = Csp.Expr
+
+type config = {
+  send_chan : string;
+  recv_chan : string;
+  knowledge : Csp.Value.t list;
+}
+
+exception Bad_config of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_config s)) fmt
+
+let payload_type defs config =
+  match Csp.Defs.channel_type defs config.send_chan with
+  | None -> fail "channel %s is not declared" config.send_chan
+  | Some [] -> fail "channel %s has no payload field" config.send_chan
+  | Some tys ->
+    (match Csp.Defs.channel_type defs config.recv_chan with
+     | None -> fail "channel %s is not declared" config.recv_chan
+     | Some recv_tys ->
+       if List.length recv_tys <> List.length tys - 1 then
+         fail "channel %s should have one field fewer than %s"
+           config.recv_chan config.send_chan;
+       List.nth tys (List.length tys - 1))
+
+let packet_universe defs config =
+  Csp.Defs.domain defs (payload_type defs config)
+
+let forgeable defs config =
+  let knowledge = Crypto.analyze config.knowledge in
+  List.filter
+    (fun p -> Crypto.synthesizable ~knowledge p)
+    (packet_universe defs config)
+
+let cell_name name = name ^ "_CELL"
+
+let define ?(name = "INTRUDER") defs config =
+  let packets = packet_universe defs config in
+  let forgeable_now = forgeable defs config in
+  (* CELL(p, known) =
+       send?src?dst!p -> CELL(p, true)
+       [] known & recv?dst!p -> CELL(p, known) *)
+  let cell = cell_name name in
+  let body =
+    P.Ext
+      ( P.Prefix
+          ( config.send_chan,
+            [ P.In ("src", None); P.In ("dst", None); P.Out (E.Var "p") ],
+            P.Call (cell, [ E.Var "p"; E.bool true ]) ),
+        P.Guard
+          ( E.Var "known",
+            P.Prefix
+              ( config.recv_chan,
+                [ P.In ("dst", None); P.Out (E.Var "p") ],
+                P.Call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
+  in
+  Csp.Defs.define_proc defs cell [ "p"; "known" ] body;
+  let intruder =
+    match packets with
+    | [] -> P.Stop
+    | first :: rest ->
+      let cell_for p =
+        let known = List.exists (Csp.Value.equal p) forgeable_now in
+        P.Call (cell, [ E.Lit p; E.bool known ])
+      in
+      List.fold_left
+        (fun acc p -> P.Inter (acc, cell_for p))
+        (cell_for first) rest
+  in
+  Csp.Defs.define_proc defs name [] intruder;
+  name
+
+exception Too_many_secrets of int
+
+let learnable_secrets defs config =
+  let universe = packet_universe defs config in
+  let initial = Crypto.analyze config.knowledge in
+  let all_secrets =
+    List.sort_uniq Csp.Value.compare
+      (List.concat_map Crypto.secret_atoms universe)
+  in
+  List.filter (fun s -> not (List.exists (Csp.Value.equal s) initial))
+    all_secrets
+
+(* What secrets does overhearing [p] reveal, under the initial knowledge?
+   (Packet-local approximation of layered encryption across packets.) *)
+let revealed_by initial_knowledge p =
+  let opened = Crypto.analyze (p :: initial_knowledge) in
+  List.filter Crypto.is_secret_atom opened
+
+let define_spy ?(name = "INTRUDER_SPY") defs config =
+  let universe = packet_universe defs config in
+  let initial = Crypto.analyze config.knowledge in
+  let secrets = learnable_secrets defs config in
+  if List.length secrets > 16 then
+    raise (Too_many_secrets (List.length secrets));
+  let params = List.mapi (fun i _ -> Printf.sprintf "s%d" i) secrets in
+  let forge_name = name ^ "_FORGE" in
+  (* Hearing branches: partition the universe by the set of secrets a
+     packet reveals; one branch per non-empty class (restricted input),
+     plus one catch-all for packets that reveal nothing. *)
+  let reveal_class p =
+    List.filter_map
+      (fun (s, param) ->
+        if List.exists (Csp.Value.equal s) (revealed_by initial p) then
+          Some param
+        else None)
+      (List.combine secrets params)
+  in
+  let classes =
+    List.fold_left
+      (fun acc p ->
+        let cls = reveal_class p in
+        match List.assoc_opt cls acc with
+        | Some ps -> (cls, p :: ps) :: List.remove_assoc cls acc
+        | None -> (cls, [ p ]) :: acc)
+      [] universe
+  in
+  let continue_with learned =
+    P.Call
+      ( forge_name,
+        List.map
+          (fun param ->
+            if List.mem param learned then E.bool true else E.Var param)
+          params )
+  in
+  let hear_branch (learned, packets) =
+    P.Prefix
+      ( config.send_chan,
+        [
+          P.In ("src", None);
+          P.In ("dst", None);
+          P.In ("p", Some (E.Set (List.map (fun p -> E.Lit p) packets)));
+        ],
+        continue_with learned )
+  in
+  (* Injection branches: a packet is injectable once each of its secret
+     atoms is either initially known or has its flag set. *)
+  let inject_branch p =
+    let needed =
+      List.filter
+        (fun s -> not (List.exists (Csp.Value.equal s) initial))
+        (Crypto.secret_atoms p)
+    in
+    if
+      List.exists
+        (fun s -> not (List.exists (Csp.Value.equal s) secrets))
+        needed
+    then None  (* needs a secret nothing can teach: never injectable *)
+    else begin
+      let guard =
+        List.fold_left
+          (fun acc s ->
+            let idx =
+              Option.get
+                (List.find_index (fun s' -> Csp.Value.equal s s') secrets)
+            in
+            E.Bin (E.And, acc, E.Var (List.nth params idx)))
+          (E.bool true) needed
+      in
+      Some
+        (P.Guard
+           ( guard,
+             P.Prefix
+               ( config.recv_chan,
+                 [ P.In ("dst", None); P.Out (E.Lit p) ],
+                 continue_with [] ) ))
+    end
+  in
+  let branches =
+    List.map hear_branch classes
+    @ List.filter_map inject_branch universe
+  in
+  let body =
+    match branches with
+    | [] -> P.Stop
+    | first :: rest -> List.fold_left (fun a b -> P.Ext (a, b)) first rest
+  in
+  Csp.Defs.define_proc defs forge_name params body;
+  (* Replay cells synchronized with the forger on overhearing. *)
+  let cells_name = name ^ "_CELLS" in
+  let cell = cell_name name in
+  let cell_body =
+    P.Ext
+      ( P.Prefix
+          ( config.send_chan,
+            [ P.In ("src", None); P.In ("dst", None); P.Out (E.Var "p") ],
+            P.Call (cell, [ E.Var "p"; E.bool true ]) ),
+        P.Guard
+          ( E.Var "known",
+            P.Prefix
+              ( config.recv_chan,
+                [ P.In ("dst", None); P.Out (E.Var "p") ],
+                P.Call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
+  in
+  Csp.Defs.define_proc defs cell [ "p"; "known" ] cell_body;
+  let forgeable_now =
+    List.filter (fun p -> Crypto.synthesizable ~knowledge:initial p) universe
+  in
+  let cells =
+    match universe with
+    | [] -> P.Stop
+    | first :: rest ->
+      let cell_for p =
+        let known = List.exists (Csp.Value.equal p) forgeable_now in
+        P.Call (cell, [ E.Lit p; E.bool known ])
+      in
+      List.fold_left
+        (fun acc p -> P.Inter (acc, cell_for p))
+        (cell_for first) rest
+  in
+  Csp.Defs.define_proc defs cells_name [] cells;
+  let spy =
+    P.Par
+      ( P.Call (cells_name, []),
+        Csp.Eventset.chan config.send_chan,
+        P.Call (forge_name, List.map (fun _ -> E.bool false) params) )
+  in
+  Csp.Defs.define_proc defs name [] spy;
+  name
+
+let reliable_medium ?(name = "MEDIUM") defs config =
+  (* sanity-check the channels *)
+  let _ = payload_type defs config in
+  let body =
+    P.Prefix
+      ( config.send_chan,
+        [ P.In ("src", None); P.In ("dst", None); P.In ("p", None) ],
+        P.Prefix
+          ( config.recv_chan,
+            [ P.Out (E.Var "dst"); P.Out (E.Var "p") ],
+            P.Call (name, []) ) )
+  in
+  Csp.Defs.define_proc defs name [] body;
+  name
+
+let alphabet config = Csp.Eventset.chans [ config.send_chan; config.recv_chan ]
+
+let compose agents ~medium config = P.Par (agents, alphabet config, medium)

@@ -1,0 +1,76 @@
+(** Dolev-Yao network intruder, in the Ryan–Schneider style the paper
+    cites: the attacker {e is} the medium.
+
+    Agents send [send.src.dst.packet] and receive [recv.dst.packet]; the
+    medium decides what is delivered. Two media are provided:
+
+    - {!reliable_medium}: a one-place buffer that faithfully relays every
+      packet — the no-attacker baseline;
+    - {!define} (the intruder): a parallel composition of one cell per
+      packet in the finite packet universe. A cell always overhears its
+      packet; it can deliver (inject) the packet to {e any} destination
+      once the packet is {e known} — known initially iff the packet is
+      derivable from the intruder's starting knowledge under the
+      {!Crypto} deduction rules (so MACs with unknown keys can only be
+      replayed after being overheard), or from the moment it is first
+      overheard. Delivery may also simply never happen: dropping and
+      reordering come for free.
+
+    The state space is [O(2^|packets|)] in the worst case; keep packet
+    universes small (the OTA case study uses about a dozen packets). *)
+
+type config = {
+  send_chan : string;
+      (** declared with fields [src, dst, payload] (payload last) *)
+  recv_chan : string;  (** declared with fields [dst, payload] *)
+  knowledge : Csp.Value.t list;  (** initial intruder knowledge *)
+}
+
+exception Bad_config of string
+
+val packet_universe : Csp.Defs.t -> config -> Csp.Value.t list
+(** The payload domain (from the last field of [send_chan]).
+    @raise Bad_config if the channels are undeclared or field counts are
+    wrong. *)
+
+val forgeable : Csp.Defs.t -> config -> Csp.Value.t list
+(** Packets derivable from the initial knowledge alone. *)
+
+val define : ?name:string -> Csp.Defs.t -> config -> string
+(** Define the intruder process (default name [INTRUDER]) and its cell in
+    [defs]; returns the process name.
+    @raise Bad_config / {!Csp.Defs.Duplicate}. *)
+
+val reliable_medium : ?name:string -> Csp.Defs.t -> config -> string
+(** Define the faithful one-place medium (default name [MEDIUM]). *)
+
+val learnable_secrets : Csp.Defs.t -> config -> Csp.Value.t list
+(** Secret atoms ({!Crypto.is_secret_atom}) that occur in the packet
+    universe but are not derivable from the initial knowledge — what the
+    lazy spy can hope to learn. *)
+
+exception Too_many_secrets of int
+
+val define_spy : ?name:string -> Csp.Defs.t -> config -> string
+(** The {e lazy spy} (Roscoe's construction): a stronger intruder than
+    {!define} that also {e synthesizes new packets from learned secrets}.
+    It is the parallel composition (synchronized on [send_chan]) of
+
+    - the replay cells of {!define}, and
+    - a forger process parameterized by one boolean per learnable secret:
+      overhearing a packet sets the flags for every secret the packet
+      reveals under the {!Crypto} rules (given the initial knowledge —
+      cross-packet layered encryption is approximated packet-locally); a
+      packet can be injected once every secret atom it contains is known.
+
+    This is the intruder that finds Lowe's attack on Needham-Schroeder
+    (re-encrypting a learned nonce to a new recipient), which pure replay
+    cannot.
+    @raise Too_many_secrets if more than 16 secrets are learnable. *)
+
+val alphabet : config -> Csp.Eventset.t
+(** [{| send, recv |}] — what agents synchronize with the medium on. *)
+
+val compose : Csp.Proc.t -> medium:Csp.Proc.t -> config -> Csp.Proc.t
+(** [compose agents ~medium config] is
+    [agents [| {| send, recv |} |] medium]. *)

@@ -1,0 +1,70 @@
+module P = Csp.Proc
+module E = Csp.Expr
+
+let request_response ?(name = "SP02") defs ~req ~resp =
+  let req_tys = Csp.Defs.channel_type defs req in
+  let resp_tys = Csp.Defs.channel_type defs resp in
+  (match req_tys, resp_tys with
+   | Some t1, Some t2
+     when List.length t1 = List.length t2 && List.for_all2 Csp.Ty.equal t1 t2
+     ->
+     ()
+   | Some _, Some _ ->
+     invalid_arg "request_response: channels have different field types"
+   | None, _ -> invalid_arg ("request_response: undeclared channel " ^ req)
+   | _, None -> invalid_arg ("request_response: undeclared channel " ^ resp));
+  let arity = List.length (Option.get req_tys) in
+  let vars = List.init arity (fun i -> Printf.sprintf "x%d" i) in
+  let body =
+    P.Prefix
+      ( req,
+        List.map (fun x -> P.In (x, None)) vars,
+        P.Prefix
+          ( resp,
+            List.map (fun x -> P.Out (E.Var x)) vars,
+            P.Call (name, []) ) )
+  in
+  Csp.Defs.define_proc defs name [] body;
+  P.Call (name, [])
+
+let alternation ?(name = "ALTERNATION") defs ~first ~second =
+  let arity chan =
+    match Csp.Defs.channel_type defs chan with
+    | Some tys -> List.length tys
+    | None -> invalid_arg ("alternation: undeclared channel " ^ chan)
+  in
+  let inputs chan prefix =
+    List.init (arity chan) (fun i ->
+        P.In (Printf.sprintf "%s%d" prefix i, None))
+  in
+  let body =
+    P.Prefix
+      ( first,
+        inputs first "a",
+        P.Prefix (second, inputs second "b", P.Call (name, [])) )
+  in
+  Csp.Defs.define_proc defs name [] body;
+  P.Call (name, [])
+
+let never _defs ~alphabet ~forbidden =
+  P.Run (Csp.Eventset.diff alphabet forbidden)
+
+let precedes ?(name = "PRECEDES") defs ~alphabet ~trigger ~guarded =
+  let events = Csp.Defs.events_of defs alphabet in
+  let before =
+    (* any event except [guarded]; [trigger] unlocks everything *)
+    List.filter_map
+      (fun e ->
+        if Csp.Event.equal e guarded then None
+        else if Csp.Event.equal e trigger then
+          Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.Run alphabet))
+        else Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.Call (name, []))))
+      events
+  in
+  let body =
+    match before with
+    | [] -> P.Stop
+    | first :: rest -> List.fold_left (fun acc b -> P.Ext (acc, b)) first rest
+  in
+  Csp.Defs.define_proc defs name [] body;
+  P.Call (name, [])

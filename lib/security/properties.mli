@@ -1,0 +1,43 @@
+(** Builders for security-property specification models — the abstract CSP
+    processes of Section V-B that implementation models are checked
+    against by trace refinement.
+
+    Each builder defines a named process in the environment and returns
+    the call; check with
+    [Csp.Refine.traces_refines defs ~spec ~impl:(restricted system)].
+    Builders that quantify over "all other events" take the relevant
+    alphabet explicitly, since trace refinement only constrains the events
+    the specification mentions. *)
+
+val request_response :
+  ?name:string ->
+  Csp.Defs.t ->
+  req:string ->
+  resp:string ->
+  Csp.Proc.t
+(** The paper's SP02 integrity property generalized over payloads:
+    [SP = req?x -> resp!x -> SP] — every request is answered by a response
+    carrying the same data, in strict alternation. The two channels must
+    be declared with identical field types. Default [name] is ["SP02"]. *)
+
+val alternation :
+  ?name:string -> Csp.Defs.t -> first:string -> second:string -> Csp.Proc.t
+(** Like {!request_response} but ignoring payloads: events on [first] and
+    [second] strictly alternate ([first] first). *)
+
+val never : Csp.Defs.t -> alphabet:Csp.Eventset.t -> forbidden:Csp.Eventset.t -> Csp.Proc.t
+(** Secrecy-style property: within [alphabet], events of [forbidden]
+    never occur — [RUN(alphabet \ forbidden)]. Check the {e whole} system
+    alphabet or hide the rest first. *)
+
+val precedes :
+  ?name:string ->
+  Csp.Defs.t ->
+  alphabet:Csp.Eventset.t ->
+  trigger:Csp.Event.t ->
+  guarded:Csp.Event.t ->
+  Csp.Proc.t
+(** Non-injective authentication / precedence: no [guarded] event occurs
+    before the first [trigger]; afterwards anything goes. Events are
+    enumerated from [alphabet], which must be finite in [defs]. Default
+    [name] is ["PRECEDES"]. *)

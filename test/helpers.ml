@@ -1,0 +1,86 @@
+(* Shared fixtures for the CSP engine tests: a small standard environment,
+   event/process builders, and a QCheck generator of random well-formed
+   ground processes used by the differential and round-trip properties. *)
+
+open Csp
+
+(* Channels: a, b, c carry one small int; tick-free [done_] is a bare
+   event channel. *)
+let make_defs () =
+  let defs = Defs.create () in
+  Defs.declare_channel defs "a" [ Ty.Int_range (0, 2) ];
+  Defs.declare_channel defs "b" [ Ty.Int_range (0, 2) ];
+  Defs.declare_channel defs "c" [ Ty.Int_range (0, 1) ];
+  Defs.declare_channel defs "done_" [];
+  defs
+
+let ev chan n = Event.event chan [ Value.Int n ]
+let ev0 chan = Event.event chan []
+
+let send chan n p = Proc.send chan [ Value.Int n ] p
+
+(* Labels helper *)
+let vis chan n = Event.Vis (ev chan n)
+
+let label = Alcotest.testable Event.pp_label Event.equal_label
+
+let proc_testable = Alcotest.testable Proc.pp Proc.equal
+
+let sorted_initials defs p = Semantics.initials defs p
+
+(* ------------------------------------------------------------------ *)
+(* Random ground processes over the standard environment.              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_proc : Proc.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let chan_gen = oneofl [ "a", 2; "b", 2; "c", 1 ] in
+  let leaf =
+    oneof
+      [
+        return Proc.Stop;
+        return Proc.Skip;
+        map
+          (fun (chan, hi) -> send chan hi Proc.Stop)
+          chan_gen;
+      ]
+  in
+  let set_gen =
+    oneof
+      [
+        map (fun c -> Eventset.chan c) (oneofl [ "a"; "b"; "c" ]);
+        return (Eventset.chans [ "a"; "b" ]);
+        return Eventset.empty;
+        map (fun n -> Eventset.events [ ev "a" n ]) (int_range 0 2);
+      ]
+  in
+  sized_size (int_range 0 8) @@ fix (fun self n ->
+      if n <= 0 then leaf
+      else
+        frequency
+          [
+            1, leaf;
+            3,
+            map2
+              (fun (chan, hi) p ->
+                let v = hi in
+                send chan v p)
+              chan_gen (self (n - 1));
+            2,
+            map
+              (fun p -> Proc.Prefix ("a", [ Proc.In ("x", None) ], p))
+              (self (n - 1));
+            2, map2 (fun p q -> Proc.Ext (p, q)) (self (n / 2)) (self (n / 2));
+            2, map2 (fun p q -> Proc.Int (p, q)) (self (n / 2)) (self (n / 2));
+            2, map2 (fun p q -> Proc.Seq (p, q)) (self (n / 2)) (self (n / 2));
+            2,
+            map3
+              (fun p s q -> Proc.Par (p, s, q))
+              (self (n / 2)) set_gen (self (n / 2));
+            1, map2 (fun p q -> Proc.Inter (p, q)) (self (n / 2)) (self (n / 2));
+            1, map2 (fun p s -> Proc.Hide (p, s)) (self (n - 1)) set_gen;
+          ])
+
+(* Sizes are capped at 8 in [gen_proc]: trace-set computations are
+   exponential in term size by nature. *)
+let arb_proc = QCheck.make ~print:Proc.to_string gen_proc

@@ -1,0 +1,162 @@
+(* Tests for the CAN substrate: frames, the discrete-event scheduler,
+   arbitration, and node plumbing. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_validation () =
+  let f = Canbus.Frame.make ~id:0x123 [ 1; 2; 3 ] in
+  check_int "dlc" 3 f.Canbus.Frame.dlc;
+  check_int "padding read" 0 (Canbus.Frame.data_byte f 5);
+  (try
+     ignore (Canbus.Frame.make ~id:0x800 []);
+     Alcotest.fail "expected id range error"
+   with Canbus.Frame.Invalid_frame _ -> ());
+  ignore (Canbus.Frame.make ~extended:true ~id:0x800 []);
+  (try
+     ignore (Canbus.Frame.make ~id:1 [ 300 ]);
+     Alcotest.fail "expected byte range error"
+   with Canbus.Frame.Invalid_frame _ -> ());
+  try
+    ignore (Canbus.Frame.make ~id:1 [ 0; 0; 0; 0; 0; 0; 0; 0; 0 ]);
+    Alcotest.fail "expected dlc error"
+  with Canbus.Frame.Invalid_frame _ -> ()
+
+let test_frame_priority () =
+  let hi = Canbus.Frame.make ~id:0x100 [] in
+  let lo = Canbus.Frame.make ~id:0x200 [] in
+  check_bool "lower id wins" true (Canbus.Frame.compare_priority hi lo < 0)
+
+let test_frame_update () =
+  let f = Canbus.Frame.make ~id:1 [ 0xAA ] in
+  let f2 = Canbus.Frame.set_data_byte f 2 0x55 in
+  check_int "dlc extended" 3 f2.Canbus.Frame.dlc;
+  check_int "byte set" 0x55 (Canbus.Frame.data_byte f2 2);
+  check_int "original untouched" 1 f.Canbus.Frame.dlc
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_scheduler_ordering () =
+  let s = Canbus.Scheduler.create () in
+  let log = ref [] in
+  ignore (Canbus.Scheduler.at s 30 (fun () -> log := 3 :: !log));
+  ignore (Canbus.Scheduler.at s 10 (fun () -> log := 1 :: !log));
+  ignore (Canbus.Scheduler.at s 20 (fun () -> log := 2 :: !log));
+  (* same time: insertion order *)
+  ignore (Canbus.Scheduler.at s 20 (fun () -> log := 4 :: !log));
+  let fired = Canbus.Scheduler.run s in
+  check_int "all fired" 4 fired;
+  Alcotest.(check (list int)) "time then insertion order" [ 1; 2; 4; 3 ]
+    (List.rev !log);
+  check_int "clock advanced" 30 (Canbus.Scheduler.now s)
+
+let test_scheduler_cancel () =
+  let s = Canbus.Scheduler.create () in
+  let hit = ref false in
+  let h = Canbus.Scheduler.after s 5 (fun () -> hit := true) in
+  Canbus.Scheduler.cancel s h;
+  check_int "pending reflects cancellation" 0 (Canbus.Scheduler.pending s);
+  ignore (Canbus.Scheduler.run s);
+  check_bool "cancelled never fires" false !hit
+
+let test_scheduler_past_rejected () =
+  let s = Canbus.Scheduler.create () in
+  ignore (Canbus.Scheduler.at s 10 (fun () -> ()));
+  ignore (Canbus.Scheduler.run s);
+  try
+    ignore (Canbus.Scheduler.at s 5 (fun () -> ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_scheduler_until () =
+  let s = Canbus.Scheduler.create () in
+  let count = ref 0 in
+  ignore (Canbus.Scheduler.at s 10 (fun () -> incr count));
+  ignore (Canbus.Scheduler.at s 100 (fun () -> incr count));
+  ignore (Canbus.Scheduler.run ~until:50 s);
+  check_int "stopped at the bound" 1 !count
+
+(* ------------------------------------------------------------------ *)
+(* Bus arbitration                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_arbitration_priority () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create s in
+  let n1 = Canbus.Bus.attach bus ~name:"n1" ~rx:(fun _ -> ()) in
+  let n2 = Canbus.Bus.attach bus ~name:"n2" ~rx:(fun _ -> ()) in
+  (* queue both at the same instant; the lower id must win arbitration *)
+  Canbus.Bus.transmit bus n1 (Canbus.Frame.make ~id:0x300 [ 1 ]);
+  Canbus.Bus.transmit bus n2 (Canbus.Frame.make ~id:0x100 [ 2 ]);
+  ignore (Canbus.Scheduler.run s);
+  let tx = Canbus.Trace_log.transmissions (Canbus.Bus.log bus) in
+  check_int "both sent" 2 (List.length tx);
+  (match tx with
+   | [ first; second ] ->
+     check_int "high priority first" 0x100
+       first.Canbus.Trace_log.frame.Canbus.Frame.id;
+     check_int "low priority second" 0x300
+       second.Canbus.Trace_log.frame.Canbus.Frame.id;
+     check_bool "bus occupancy serializes" true
+       (second.Canbus.Trace_log.time > first.Canbus.Trace_log.time)
+   | _ -> Alcotest.fail "two transmissions")
+
+let test_delivery_excludes_sender () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create s in
+  let got1 = ref 0 and got2 = ref 0 in
+  let n1 = Canbus.Bus.attach bus ~name:"n1" ~rx:(fun _ -> incr got1) in
+  let _n2 = Canbus.Bus.attach bus ~name:"n2" ~rx:(fun _ -> incr got2) in
+  Canbus.Bus.transmit bus n1 (Canbus.Frame.make ~id:1 []);
+  ignore (Canbus.Scheduler.run s);
+  check_int "sender does not hear itself" 0 !got1;
+  check_int "peer hears it" 1 !got2
+
+let test_node_timers () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create s in
+  let node = Canbus.Node.create bus ~name:"n" in
+  let fired = ref [] in
+  Canbus.Node.set_timer node ~name:"t" ~us:100 (fun () -> fired := "first" :: !fired);
+  (* re-arming replaces the pending timer *)
+  Canbus.Node.set_timer node ~name:"t" ~us:200 (fun () -> fired := "second" :: !fired);
+  ignore (Canbus.Scheduler.run s);
+  Alcotest.(check (list string)) "rearmed timer fires once" [ "second" ] !fired;
+  Canbus.Node.set_timer node ~name:"t" ~us:50 (fun () -> fired := "third" :: !fired);
+  Canbus.Node.cancel_timer node ~name:"t";
+  ignore (Canbus.Scheduler.run s);
+  Alcotest.(check (list string)) "cancelled timer silent" [ "second" ] !fired
+
+let test_frame_duration_scales_with_dlc () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create ~bitrate:500_000 s in
+  let n = Canbus.Bus.attach bus ~name:"n" ~rx:(fun _ -> ()) in
+  Canbus.Bus.transmit bus n (Canbus.Frame.make ~id:1 [ 0; 0; 0; 0; 0; 0; 0; 0 ]);
+  ignore (Canbus.Scheduler.run s);
+  (* 44 + 64 bits at 500 kbit/s = 216 us *)
+  match Canbus.Trace_log.transmissions (Canbus.Bus.log bus) with
+  | [ e ] -> check_int "wire time" 216 e.Canbus.Trace_log.time
+  | _ -> Alcotest.fail "one transmission"
+
+let suite =
+  ( "canbus",
+    [
+      Alcotest.test_case "frame validation" `Quick test_frame_validation;
+      Alcotest.test_case "frame priority order" `Quick test_frame_priority;
+      Alcotest.test_case "functional frame update" `Quick test_frame_update;
+      Alcotest.test_case "scheduler ordering" `Quick test_scheduler_ordering;
+      Alcotest.test_case "scheduler cancellation" `Quick test_scheduler_cancel;
+      Alcotest.test_case "past events rejected" `Quick test_scheduler_past_rejected;
+      Alcotest.test_case "run until bound" `Quick test_scheduler_until;
+      Alcotest.test_case "arbitration by priority" `Quick test_arbitration_priority;
+      Alcotest.test_case "delivery excludes the sender" `Quick
+        test_delivery_excludes_sender;
+      Alcotest.test_case "node timers" `Quick test_node_timers;
+      Alcotest.test_case "frame duration" `Quick test_frame_duration_scales_with_dlc;
+    ] )

@@ -1,0 +1,123 @@
+(* Tests for the DBC parser and its CAPL / CSPm adapters. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let sample =
+  {|VERSION "7.1"
+NS_ :
+   NS_DESC_
+BS_:
+BU_: VMG ECU GW
+BO_ 257 ReqSw: 2 VMG
+ SG_ ping : 0|2@1+ (1,0) [0|3] "" ECU
+ SG_ seq m1 : 2|6@1+ (1,0) [0|63] "count" ECU,GW
+BO_ 513 RptSw: 8 ECU
+ SG_ version : 0|8@1+ (1,0) [0|255] "" VMG
+ SG_ temp : 8|8@0- (0.5,-40) [-40|87.5] "degC" VMG
+CM_ BO_ 257 "software inventory request";
+CM_ SG_ 513 version "installed version";
+CM_ BU_ GW "gateway node";
+VAL_ 257 ping 0 "NONE" 1 "REQ" 2 "RETRY";
+BA_DEF_ "GenMsgCycleTime" INT 0 65535;
+|}
+
+let db () = Candb.Dbc_parser.parse sample
+
+let test_structure () =
+  let d = db () in
+  Alcotest.(check (option string)) "version" (Some "7.1") d.Candb.Dbc_ast.version;
+  Alcotest.(check (list string)) "nodes" [ "VMG"; "ECU"; "GW" ] d.Candb.Dbc_ast.nodes;
+  check_int "messages" 2 (List.length d.Candb.Dbc_ast.messages);
+  check_int "comments" 3 (List.length d.Candb.Dbc_ast.comments);
+  check_int "value tables" 1 (List.length d.Candb.Dbc_ast.value_tables)
+
+let test_message_fields () =
+  let d = db () in
+  let m = Option.get (Candb.Dbc_ast.find_message d 257) in
+  check_string "name" "ReqSw" m.Candb.Dbc_ast.msg_name;
+  check_int "dlc" 2 m.Candb.Dbc_ast.dlc;
+  check_string "sender" "VMG" m.Candb.Dbc_ast.sender;
+  check_int "signals" 2 (List.length m.Candb.Dbc_ast.signals);
+  let seq = List.nth m.Candb.Dbc_ast.signals 1 in
+  check_bool "multiplex indicator kept" true
+    (seq.Candb.Dbc_ast.multiplexing = Some "m1");
+  Alcotest.(check (list string)) "receivers" [ "ECU"; "GW" ]
+    seq.Candb.Dbc_ast.receivers
+
+let test_signal_layout () =
+  let d = db () in
+  let m = Option.get (Candb.Dbc_ast.find_message_by_name d "RptSw") in
+  let temp = List.nth m.Candb.Dbc_ast.signals 1 in
+  check_bool "motorola" true (temp.Candb.Dbc_ast.byte_order = Candb.Dbc_ast.Big_endian);
+  check_bool "signed" true temp.Candb.Dbc_ast.signed;
+  check_bool "factor parsed" true (temp.Candb.Dbc_ast.factor = 0.5);
+  check_bool "offset parsed" true (temp.Candb.Dbc_ast.offset = -40.0)
+
+let test_parse_errors () =
+  try
+    ignore (Candb.Dbc_parser.parse "BO_ 1 M: 8 N\n SG_ bad : nonsense\n");
+    Alcotest.fail "expected Parse_error"
+  with Candb.Dbc_parser.Parse_error (_, line) -> check_int "line" 2 line
+
+let test_to_capl () =
+  let mdb = Candb.To_capl.msgdb (db ()) in
+  let m = Option.get (Capl.Msgdb.find_by_name mdb "ReqSw") in
+  check_int "id" 257 m.Capl.Msgdb.msg_id;
+  let ping = Option.get (Capl.Msgdb.find_signal m "ping") in
+  check_int "raw max from phys range" 3 ping.Capl.Msgdb.maximum;
+  (* scaled physical range converts back to raw bounds *)
+  let rpt = Option.get (Capl.Msgdb.find_by_name mdb "RptSw") in
+  let temp = Option.get (Capl.Msgdb.find_signal rpt "temp") in
+  check_int "raw bounds through factor and offset" 255 temp.Capl.Msgdb.maximum
+
+let test_to_cspm_declarations () =
+  let defs = Candb.To_cspm.to_defs (db ()) in
+  (* channels per message *)
+  check_bool "ReqSw channel" true (Option.is_some (Csp.Defs.channel_type defs "ReqSw"));
+  check_bool "RptSw channel" true (Option.is_some (Csp.Defs.channel_type defs "RptSw"));
+  (* VAL_-enumerated signal becomes a datatype *)
+  (match Csp.Defs.ty_lookup defs "ReqSw_ping" with
+   | Some (Csp.Ty.Variants ctors) ->
+     Alcotest.(check (list string)) "constructors from VAL_"
+       [ "NONE"; "REQ"; "RETRY" ] (List.map fst ctors)
+   | _ -> Alcotest.fail "expected a datatype for ping");
+  (* plain signal becomes a nametype range *)
+  match Csp.Defs.ty_lookup defs "RptSw_version" with
+  | Some (Csp.Ty.Alias (Csp.Ty.Int_range (0, 255))) -> ()
+  | _ -> Alcotest.fail "expected a nametype for version"
+
+let test_to_cspm_clamping () =
+  let config =
+    { Candb.To_cspm.default_config with max_domain = 16; use_value_tables = false }
+  in
+  let defs = Candb.To_cspm.to_defs ~config (db ()) in
+  (match Csp.Defs.ty_lookup defs "RptSw_version" with
+   | Some (Csp.Ty.Alias (Csp.Ty.Int_range (0, 15))) -> ()
+   | _ -> Alcotest.fail "expected the clamped range");
+  let abstracted = Candb.To_cspm.abstracted_signals ~config (db ()) in
+  check_bool "clamping is reported" true
+    (List.mem ("RptSw", "version") abstracted)
+
+let test_value_table_toggle () =
+  let config =
+    { Candb.To_cspm.default_config with use_value_tables = false }
+  in
+  let defs = Candb.To_cspm.to_defs ~config (db ()) in
+  match Csp.Defs.ty_lookup defs "ReqSw_ping" with
+  | Some (Csp.Ty.Alias _) -> ()
+  | _ -> Alcotest.fail "value tables disabled: expected a range"
+
+let suite =
+  ( "candb",
+    [
+      Alcotest.test_case "database structure" `Quick test_structure;
+      Alcotest.test_case "message fields" `Quick test_message_fields;
+      Alcotest.test_case "signal layout" `Quick test_signal_layout;
+      Alcotest.test_case "parse errors with line numbers" `Quick test_parse_errors;
+      Alcotest.test_case "CAPL adapter" `Quick test_to_capl;
+      Alcotest.test_case "CSPm declarations" `Quick test_to_cspm_declarations;
+      Alcotest.test_case "domain clamping" `Quick test_to_cspm_clamping;
+      Alcotest.test_case "value table toggle" `Quick test_value_table_toggle;
+    ] )

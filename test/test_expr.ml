@@ -1,0 +1,175 @@
+(* Unit and property tests for the expression language. *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let eval ?(env = Expr.empty_env) e = Expr.eval Expr.no_funcs env e
+let eval_int ?env e = Value.as_int (eval ?env e)
+let eval_b ?(env = Expr.empty_env) e = Expr.eval_bool Expr.no_funcs env e
+
+let test_arith () =
+  check_int "add" 7 (eval_int Expr.(int 3 + int 4));
+  check_int "sub" (-1) (eval_int Expr.(int 3 - int 4));
+  check_int "mul" 12 (eval_int (Expr.Bin (Expr.Mul, Expr.int 3, Expr.int 4)));
+  check_int "div" 3 (eval_int (Expr.Bin (Expr.Div, Expr.int 13, Expr.int 4)));
+  check_int "euclidean mod of negative" 2
+    (eval_int (Expr.Bin (Expr.Mod, Expr.int (-3), Expr.int 5)));
+  check_int "neg" (-3) (eval_int (Expr.Neg (Expr.int 3)))
+
+let test_division_by_zero () =
+  (try
+     ignore (eval (Expr.Bin (Expr.Div, Expr.int 1, Expr.int 0)));
+     Alcotest.fail "expected Eval_error"
+   with Expr.Eval_error _ -> ());
+  try
+    ignore (eval (Expr.Bin (Expr.Mod, Expr.int 1, Expr.int 0)));
+    Alcotest.fail "expected Eval_error"
+  with Expr.Eval_error _ -> ()
+
+let test_comparisons () =
+  check_bool "eq values" true (eval_b Expr.(sym "a" = sym "a"));
+  check_bool "neq" true
+    (eval_b (Expr.Bin (Expr.Neq, Expr.sym "a", Expr.sym "b")));
+  check_bool "lt" true (eval_b Expr.(int 1 < int 2));
+  check_bool "le" true (eval_b (Expr.Bin (Expr.Le, Expr.int 2, Expr.int 2)));
+  check_bool "structural eq on ctors" true
+    (eval_b
+       (Expr.Bin
+          ( Expr.Eq,
+            Expr.Ctor ("mac", [ Expr.sym "k"; Expr.int 1 ]),
+            Expr.Ctor ("mac", [ Expr.sym "k"; Expr.int 1 ]) )))
+
+let test_bool_ops () =
+  check_bool "and" false Expr.(eval_b (bool true && bool false));
+  check_bool "or" true
+    (eval_b (Expr.Bin (Expr.Or, Expr.bool false, Expr.bool true)));
+  check_bool "not" true (eval_b (Expr.Not (Expr.bool false)))
+
+let test_env_and_subst () =
+  let env = Expr.bind "x" (Value.Int 5) Expr.empty_env in
+  check_int "variable" 5 (eval_int ~env (Expr.var "x"));
+  (try
+     ignore (eval (Expr.var "y"));
+     Alcotest.fail "expected unbound error"
+   with Expr.Eval_error _ -> ());
+  let e = Expr.(var "x" + var "y") in
+  let resolved =
+    Expr.subst (fun n -> if n = "x" then Some (Value.Int 1) else None) e
+  in
+  Alcotest.(check (list string)) "remaining free var" [ "y" ]
+    (Expr.free_vars resolved)
+
+let test_sets () =
+  let s = Expr.Set [ Expr.int 3; Expr.int 1; Expr.int 3 ] in
+  let vs = Expr.eval_set Expr.no_funcs Expr.empty_env s in
+  check_int "dedup sorted" 2 (List.length vs);
+  let r = Expr.Range (Expr.int 2, Expr.int 4) in
+  check_int "range" 3
+    (List.length (Expr.eval_set Expr.no_funcs Expr.empty_env r));
+  check_bool "member" true (eval_b (Expr.Mem (Expr.int 3, s)));
+  check_bool "not member" false (eval_b (Expr.Mem (Expr.int 2, s)));
+  (* scalar/set position confusion *)
+  try
+    ignore (eval s);
+    Alcotest.fail "expected Eval_error"
+  with Expr.Eval_error _ -> ()
+
+let test_if () =
+  check_int "then" 1 (eval_int (Expr.If (Expr.bool true, Expr.int 1, Expr.int 2)));
+  check_int "else" 2 (eval_int (Expr.If (Expr.bool false, Expr.int 1, Expr.int 2)))
+
+let test_functions () =
+  let fenv name =
+    match name with
+    | "double" -> Some ([ "x" ], Expr.(var "x" + var "x"))
+    | "fact" ->
+      Some
+        ( [ "n" ],
+          Expr.If
+            ( Expr.(var "n" < int 1),
+              Expr.int 1,
+              Expr.Bin
+                ( Expr.Mul,
+                  Expr.var "n",
+                  Expr.App ("fact", [ Expr.(var "n" - int 1) ]) ) ) )
+    | "loop" -> Some ([], Expr.App ("loop", []))
+    | _ -> None
+  in
+  check_int "application" 10
+    (Value.as_int (Expr.eval fenv Expr.empty_env (Expr.App ("double", [ Expr.int 5 ]))));
+  check_int "recursion" 120
+    (Value.as_int (Expr.eval fenv Expr.empty_env (Expr.App ("fact", [ Expr.int 5 ]))));
+  (try
+     ignore (Expr.eval fenv Expr.empty_env (Expr.App ("loop", [])));
+     Alcotest.fail "expected depth guard"
+   with Expr.Eval_error _ -> ());
+  try
+    ignore (Expr.eval fenv Expr.empty_env (Expr.App ("double", [])));
+    Alcotest.fail "expected arity error"
+  with Expr.Eval_error _ -> ()
+
+let test_ty_dom () =
+  let tys : Ty.lookup = function
+    | "Small" -> Some (Ty.Alias (Ty.Int_range (0, 2)))
+    | _ -> None
+  in
+  let vs =
+    Expr.eval_set ~tys Expr.no_funcs Expr.empty_env
+      (Expr.Ty_dom (Ty.Named "Small"))
+  in
+  check_int "type domain" 3 (List.length vs)
+
+(* Substitution then evaluation agrees with evaluation under an
+   environment. *)
+let subst_eval_agree =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then
+            oneof
+              [ map (fun i -> Expr.Lit (Value.Int i)) (int_range (-5) 5);
+                return (Expr.Var "x") ]
+          else
+            frequency
+              [
+                1, map (fun i -> Expr.Lit (Value.Int i)) (int_range (-5) 5);
+                2, return (Expr.Var "x");
+                2, map2 (fun a b -> Expr.(a + b)) (self (n / 2)) (self (n / 2));
+                2, map2 (fun a b -> Expr.(a - b)) (self (n / 2)) (self (n / 2));
+                1, map (fun a -> Expr.Neg a) (self (n - 1));
+                1,
+                map2
+                  (fun a b ->
+                    Expr.If (Expr.(a < b), a, b))
+                  (self (n / 2)) (self (n / 2));
+              ]))
+  in
+  let arb = QCheck.make ~print:Expr.to_string gen in
+  QCheck.Test.make ~count:300 ~name:"subst then eval = eval under env" arb
+    (fun e ->
+      let v = Value.Int 3 in
+      let env = Expr.bind "x" v Expr.empty_env in
+      let direct = Expr.eval Expr.no_funcs env e in
+      let substituted =
+        Expr.eval Expr.no_funcs Expr.empty_env
+          (Expr.subst (fun n -> if n = "x" then Some v else None) e)
+      in
+      Value.equal direct substituted)
+
+let suite =
+  ( "expr",
+    [
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+      Alcotest.test_case "comparisons" `Quick test_comparisons;
+      Alcotest.test_case "boolean operators" `Quick test_bool_ops;
+      Alcotest.test_case "environments and substitution" `Quick
+        test_env_and_subst;
+      Alcotest.test_case "sets" `Quick test_sets;
+      Alcotest.test_case "conditionals" `Quick test_if;
+      Alcotest.test_case "user functions" `Quick test_functions;
+      Alcotest.test_case "type domains" `Quick test_ty_dom;
+      QCheck_alcotest.to_alcotest subst_eval_agree;
+    ] )

@@ -1,0 +1,161 @@
+(* Tests for the extended operators (interrupt, sliding choice), the
+   determinism check, and DOT export. *)
+
+open Csp
+open Helpers
+
+let defs = make_defs ()
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let trans p = Semantics.transitions defs p
+
+let traces_of p = Traces.of_lts ~depth:4 (Lts.compile defs p)
+
+let mem traces tr =
+  List.exists (fun t -> List.equal Event.equal_label t tr) traces
+
+let test_interrupt_semantics () =
+  let p = Proc.Interrupt (send "a" 0 (send "a" 1 Proc.Stop), send "b" 0 Proc.Skip) in
+  let ts = traces_of p in
+  check_bool "P runs normally" true (mem ts [ vis "a" 0; vis "a" 1 ]);
+  check_bool "interrupt at the start" true (mem ts [ vis "b" 0; Event.Tick ]);
+  check_bool "interrupt mid-P" true (mem ts [ vis "a" 0; vis "b" 0; Event.Tick ]);
+  check_bool "P does not resume after the interrupt" false
+    (mem ts [ vis "b" 0; vis "a" 0 ])
+
+let test_interrupt_tick () =
+  (* P terminating ends the whole construct *)
+  match trans (Proc.Interrupt (Proc.Skip, send "b" 0 Proc.Stop)) with
+  | ts ->
+    check_bool "tick available" true
+      (List.exists (fun (l, _) -> l = Event.Tick) ts);
+    check_bool "interrupt still available" true
+      (List.exists (fun (l, _) -> l = vis "b" 0) ts)
+
+let test_timeout_semantics () =
+  let p = Proc.Timeout (send "a" 0 Proc.Stop, send "b" 0 Proc.Stop) in
+  let ts = traces_of p in
+  check_bool "P may act" true (mem ts [ vis "a" 0 ]);
+  check_bool "Q may take over" true (mem ts [ vis "b" 0 ]);
+  check_bool "P's event commits" false (mem ts [ vis "a" 0; vis "b" 0 ]);
+  (* the withdrawal is silent: a tau to Q exists *)
+  check_bool "tau withdrawal" true
+    (List.exists (fun (l, _) -> l = Event.Tau) (trans p))
+
+let test_timeout_is_not_external_choice () =
+  (* in failures, P [> Q may refuse P's initial events; P [] Q may not *)
+  let p = send "a" 0 Proc.Stop and q = send "b" 0 Proc.Stop in
+  let slide = Proc.Timeout (p, q) in
+  let ext = Proc.Ext (p, q) in
+  check_bool "same traces" true
+    (let t1 = traces_of slide and t2 = traces_of ext in
+     Traces.subset t1 t2 && Traces.subset t2 t1);
+  check_bool "ext refines slide in failures" true
+    (Refine.holds (Refine.failures_refines defs ~spec:slide ~impl:ext));
+  check_bool "slide does not refine ext in failures" false
+    (Refine.holds (Refine.failures_refines defs ~spec:ext ~impl:slide))
+
+let test_cspm_roundtrip_new_ops () =
+  let src = "channel a : {0..2}\nchannel b : {0..2}\nP = (a!0 -> STOP) /\\ (b!0 -> STOP)\nQ = (a!0 -> STOP) [> (b!1 -> STOP)" in
+  let loaded = Cspm.Elaborate.load_string src in
+  let p = Option.get (Defs.proc loaded.Cspm.Elaborate.defs "P") in
+  (match snd p with
+   | Proc.Interrupt (_, _) -> ()
+   | _ -> Alcotest.fail "expected Interrupt");
+  let q = Option.get (Defs.proc loaded.Cspm.Elaborate.defs "Q") in
+  (match snd q with
+   | Proc.Timeout (_, _) -> ()
+   | _ -> Alcotest.fail "expected Timeout");
+  (* print and reload *)
+  let printed = Cspm.Print.script loaded.Cspm.Elaborate.defs in
+  let reloaded = Cspm.Elaborate.load_string printed in
+  check_bool "round trip" true
+    (Option.is_some (Defs.proc reloaded.Cspm.Elaborate.defs "P"))
+
+let test_deterministic_check () =
+  let det = Proc.Ext (send "a" 0 Proc.Stop, send "b" 0 Proc.Stop) in
+  check_bool "external choice is deterministic" true
+    (Refine.holds (Refine.deterministic defs det));
+  let nondet = Proc.Int (send "a" 0 Proc.Stop, send "a" 0 (send "b" 0 Proc.Stop)) in
+  check_bool "internal choice over a shared initial is not" false
+    (Refine.holds (Refine.deterministic defs nondet));
+  (* the classic: a -> STOP |~| a -> b -> STOP accepts and refuses b
+     after <a> *)
+  match Refine.deterministic defs nondet with
+  | Refine.Fails { Refine.violation = Refine.Refusal_violation _; _ } -> ()
+  | _ -> Alcotest.fail "expected a refusal-style counterexample"
+
+let test_deterministic_assertion () =
+  let src =
+    "channel a : {0..1}\n\
+     DET = a!0 -> DET\n\
+     NONDET = (a!0 -> NONDET) |~| (a!0 -> STOP)\n\
+     assert DET :[deterministic]\n\
+     assert NONDET :[deterministic]"
+  in
+  let outcomes = Cspm.Check.run (Cspm.Elaborate.load_string src) in
+  (match outcomes with
+   | [ d; n ] ->
+     check_bool "DET passes" true (Refine.holds d.Cspm.Check.result);
+     check_bool "NONDET fails" false (Refine.holds n.Cspm.Check.result)
+   | _ -> Alcotest.fail "two outcomes expected")
+
+let test_to_dot () =
+  let lts = Lts.compile defs (send "a" 0 (Proc.Int (Proc.Stop, Proc.Skip))) in
+  let dot = Lts.to_dot lts in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length dot && (String.sub dot i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "digraph wrapper" true (has "digraph lts");
+  check_bool "event edge" true (has "label=\"a.0\"");
+  check_bool "tau edge dashed" true (has "style=dashed");
+  check_bool "initial doubled" true (has "peripheries=2");
+  (* node lines are exactly the ones carrying a tooltip *)
+  let count_sub sub =
+    let n = String.length sub in
+    let rec go i acc =
+      if i + n > String.length dot then acc
+      else if String.sub dot i n = sub then go (i + n) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  check_int "one node per state" (Lts.num_states lts) (count_sub "tooltip=")
+
+(* traces(P /\ Q): the paper-style denotational equation, differentially *)
+let interrupt_denotational =
+  QCheck.Test.make ~count:100 ~name:"interrupt matches denotational traces"
+    (QCheck.pair arb_proc arb_proc) (fun (p, q) ->
+      let direct = Traces.of_proc ~depth:3 defs (Proc.Interrupt (p, q)) in
+      let lts = Traces.of_lts ~depth:3 (Lts.compile defs (Proc.Interrupt (p, q))) in
+      Traces.subset direct lts && Traces.subset lts direct)
+
+let timeout_trace_law =
+  QCheck.Test.make ~count:100 ~name:"P [> Q has the traces of P [] Q"
+    (QCheck.pair arb_proc arb_proc) (fun (p, q) ->
+      let t1 = traces_of (Proc.Timeout (p, q)) in
+      let t2 = traces_of (Proc.Ext (p, q)) in
+      Traces.subset t1 t2 && Traces.subset t2 t1)
+
+let suite =
+  ( "extended-ops",
+    [
+      Alcotest.test_case "interrupt semantics" `Quick test_interrupt_semantics;
+      Alcotest.test_case "interrupt and termination" `Quick test_interrupt_tick;
+      Alcotest.test_case "sliding choice semantics" `Quick test_timeout_semantics;
+      Alcotest.test_case "sliding choice vs external choice" `Quick
+        test_timeout_is_not_external_choice;
+      Alcotest.test_case "CSPm round trip for /\\ and [>" `Quick
+        test_cspm_roundtrip_new_ops;
+      Alcotest.test_case "determinism check" `Quick test_deterministic_check;
+      Alcotest.test_case "determinism assertion" `Quick
+        test_deterministic_assertion;
+      Alcotest.test_case "DOT export" `Quick test_to_dot;
+      QCheck_alcotest.to_alcotest interrupt_denotational;
+      QCheck_alcotest.to_alcotest timeout_trace_law;
+    ] )

@@ -1,0 +1,233 @@
+(* Tests for the model extractor: each translatable CAPL construct maps to
+   the intended CSP structure, warnings fire for approximations, and the
+   extracted models verify as expected. *)
+
+open Csp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let dbc =
+  "BU_: A B\n\
+   BO_ 1 ping: 1 A\n\
+   \ SG_ v : 0|2@1+ (1,0) [0|3] \"\" B\n\
+   BO_ 2 pong: 1 B\n\
+   \ SG_ v : 0|2@1+ (1,0) [0|3] \"\" A\n"
+
+let db = Candb.Dbc_parser.parse dbc
+
+let extract ?config src =
+  let defs = Defs.create () in
+  let cfg =
+    Option.value ~default:Extractor.Extract.default_config config
+  in
+  Candb.To_cspm.declare ~config:cfg.Extractor.Extract.domain db defs;
+  let model =
+    Extractor.Extract.extract_into ~config:cfg ~defs ~db ~node:"N"
+      (Capl.Parser.program src)
+  in
+  defs, model
+
+let lts defs model =
+  Lts.compile defs (Extractor.Extract.entry_call model)
+
+let traces defs model ~depth =
+  Traces.of_lts ~depth (lts defs model)
+
+let has_trace defs model tr =
+  let ts = traces defs model ~depth:(List.length tr) in
+  List.exists (fun t -> List.equal Event.equal_label t tr) ts
+
+let ev chan args = Event.Vis (Event.event chan (List.map (fun n -> Value.Int n) args))
+
+let test_echo_handler () =
+  (* on message ping reply pong with the same value *)
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+on message ping { m.v = this.v; output(m); }
+|}
+  in
+  check_bool "echo trace" true
+    (has_trace defs model [ ev "ping" [ 2 ]; ev "pong" [ 2 ] ]);
+  check_bool "no spontaneous pong" false
+    (has_trace defs model [ ev "pong" [ 0 ] ]);
+  Alcotest.(check (list string)) "no warnings" []
+    (List.map (fun w -> w.Extractor.Extract.what) model.Extractor.Extract.warnings)
+
+let test_tracked_global_state () =
+  (* a counter that saturates the reply *)
+  let defs, model =
+    extract
+      {|
+variables { message pong m; int n = 0; }
+on message ping { n = n + 1; m.v = n; output(m); }
+|}
+  in
+  check_bool "counter advances across handler runs" true
+    (has_trace defs model
+       [ ev "ping" [ 0 ]; ev "pong" [ 1 ]; ev "ping" [ 0 ]; ev "pong" [ 2 ] ]);
+  check_bool "stale counter value impossible" false
+    (has_trace defs model
+       [ ev "ping" [ 0 ]; ev "pong" [ 1 ]; ev "ping" [ 0 ]; ev "pong" [ 1 ] ])
+
+let test_conditionals () =
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+on message ping {
+  if (this.v > 1) { m.v = 3; output(m); } else { m.v = 0; output(m); }
+}
+|}
+  in
+  check_bool "then branch" true
+    (has_trace defs model [ ev "ping" [ 2 ]; ev "pong" [ 3 ] ]);
+  check_bool "else branch" true
+    (has_trace defs model [ ev "ping" [ 1 ]; ev "pong" [ 0 ] ]);
+  check_bool "cross branch impossible" false
+    (has_trace defs model [ ev "ping" [ 2 ]; ev "pong" [ 0 ] ])
+
+let test_loop_unrolling () =
+  (* a static loop emits three frames *)
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+on message ping {
+  int i;
+  for (i = 0; i < 3; i++) { m.v = i; output(m); }
+}
+|}
+  in
+  check_bool "unrolled sequence" true
+    (has_trace defs model
+       [ ev "ping" [ 0 ]; ev "pong" [ 0 ]; ev "pong" [ 1 ]; ev "pong" [ 2 ] ])
+
+let test_unroll_bound_warning () =
+  let _, model =
+    extract
+      {|
+variables { message pong m; int stop = 0; }
+on message ping {
+  int i;
+  for (i = 0; i >= 0; i++) { output(m); }
+}
+|}
+  in
+  check_bool "unbounded loop warned" true
+    (List.exists
+       (fun w ->
+         let m = w.Extractor.Extract.what in
+         String.length m >= 4 && String.sub m 0 4 = "loop")
+       model.Extractor.Extract.warnings)
+
+let test_timers () =
+  let defs, model =
+    extract
+      {|
+variables { message ping m; msTimer t; }
+on start { setTimer(t, 10); }
+on timer t { output(m); setTimer(t, 10); }
+|}
+  in
+  (* the timer channel gates transmission: fire, send, fire, send *)
+  let timer = Event.Vis (Event.event "timer_N_t" []) in
+  check_bool "timer drives output" true
+    (has_trace defs model [ timer; ev "ping" [ 0 ]; timer; ev "ping" [ 0 ] ]);
+  check_bool "no output before the timer" false
+    (has_trace defs model [ ev "ping" [ 0 ] ]);
+  (* cancelTimer disarms *)
+  let defs2, model2 =
+    extract
+      {|
+variables { message ping m; msTimer t; }
+on start { setTimer(t, 10); cancelTimer(t); }
+on timer t { output(m); }
+|}
+  in
+  check_bool "cancelled timer never fires" false
+    (has_trace defs2 model2 [ Event.Vis (Event.event "timer_N_t" []) ])
+
+let test_function_inlining () =
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+int bump(int x) { return x + 1; }
+on message ping { m.v = bump(this.v); output(m); }
+|}
+  in
+  check_bool "inlined computation" true
+    (has_trace defs model [ ev "ping" [ 1 ]; ev "pong" [ 2 ] ])
+
+let test_switch_translation () =
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+on message ping {
+  switch (this.v) {
+    case 0: m.v = 3; break;
+    case 1: m.v = 2; break;
+    default: m.v = 0; break;
+  }
+  output(m);
+}
+|}
+  in
+  check_bool "case 0" true (has_trace defs model [ ev "ping" [ 0 ]; ev "pong" [ 3 ] ]);
+  check_bool "case 1" true (has_trace defs model [ ev "ping" [ 1 ]; ev "pong" [ 2 ] ]);
+  check_bool "default" true (has_trace defs model [ ev "ping" [ 2 ]; ev "pong" [ 0 ] ])
+
+let test_signal_wrapping () =
+  (* values outside the signal domain wrap rather than escape it *)
+  let defs, model =
+    extract
+      {|
+variables { message pong m; }
+on message ping { m.v = this.v + 3; output(m); }
+|}
+  in
+  check_bool "wrapped into the domain" true
+    (has_trace defs model [ ev "ping" [ 2 ]; ev "pong" [ 1 ] ])
+
+let test_strict_mode () =
+  let config = { Extractor.Extract.default_config with lenient = false } in
+  try
+    ignore
+      (extract ~config
+         "variables { message pong m; } on message ping { m.v = this.v & 1; output(m); }");
+    Alcotest.fail "expected Unsupported"
+  with Extractor.Extract.Unsupported _ -> ()
+
+let test_entry_runs_start_body () =
+  let defs, model =
+    extract
+      {|
+variables { message ping m; int seed = 2; }
+on start { m.v = seed; output(m); }
+on message pong { }
+|}
+  in
+  check_bool "start body emits first" true
+    (has_trace defs model [ ev "ping" [ 2 ] ])
+
+let suite =
+  ( "extract",
+    [
+      Alcotest.test_case "message handler translation" `Quick test_echo_handler;
+      Alcotest.test_case "tracked globals as parameters" `Quick
+        test_tracked_global_state;
+      Alcotest.test_case "conditionals" `Quick test_conditionals;
+      Alcotest.test_case "static loop unrolling" `Quick test_loop_unrolling;
+      Alcotest.test_case "unroll bound warning" `Quick test_unroll_bound_warning;
+      Alcotest.test_case "timer abstraction" `Quick test_timers;
+      Alcotest.test_case "function inlining" `Quick test_function_inlining;
+      Alcotest.test_case "switch translation" `Quick test_switch_translation;
+      Alcotest.test_case "signal domain wrapping" `Quick test_signal_wrapping;
+      Alcotest.test_case "strict mode raises" `Quick test_strict_mode;
+      Alcotest.test_case "on start runs before the loop" `Quick
+        test_entry_runs_start_body;
+    ] )

@@ -1,0 +1,106 @@
+(* Tests for failures-divergences refinement — the FD in "FDR". *)
+
+open Csp
+open Helpers
+
+let defs = make_defs ()
+let check_bool = Alcotest.(check bool)
+
+let holds = Refine.holds
+
+(* a diverging process: internal chatter hidden forever *)
+let diverging defs =
+  Defs.define_proc defs "DIV" [] (send "a" 0 (Proc.Call ("DIV", [])));
+  Proc.Hide (Proc.Call ("DIV", []), Eventset.chan "a")
+
+let test_divergence_is_caught () =
+  let defs = make_defs () in
+  let div = diverging defs in
+  (* traces and failures are blind to the divergence: the hidden loop has
+     only the empty trace and no stable state *)
+  check_bool "traces blind" true
+    (holds (Refine.traces_refines defs ~spec:Proc.Stop ~impl:div));
+  check_bool "failures blind" true
+    (holds (Refine.failures_refines defs ~spec:Proc.Stop ~impl:div));
+  (match Refine.fd_refines defs ~spec:Proc.Stop ~impl:div with
+   | Refine.Fails { Refine.violation = Refine.Divergence; _ } -> ()
+   | _ -> Alcotest.fail "FD must catch the divergence");
+  (* a divergence-free implementation passes *)
+  check_bool "STOP FD-refines STOP" true
+    (holds (Refine.fd_refines defs ~spec:Proc.Stop ~impl:Proc.Stop))
+
+let test_divergent_spec_permits_anything () =
+  let defs = make_defs () in
+  let div_spec = diverging defs in
+  (* below a divergent specification point, any behaviour is allowed *)
+  let wild = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Skip) in
+  check_bool "divergent spec refined by anything" true
+    (holds (Refine.fd_refines defs ~spec:div_spec ~impl:wild));
+  check_bool "even by another divergence" true
+    (holds (Refine.fd_refines defs ~spec:div_spec ~impl:div_spec))
+
+let test_fd_includes_failures () =
+  (* the classic failures counterexample is also an FD counterexample *)
+  let ext = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let int_ = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  check_bool "refusal caught in FD" false
+    (holds (Refine.fd_refines defs ~spec:ext ~impl:int_));
+  check_bool "and the converse holds" true
+    (holds (Refine.fd_refines defs ~spec:int_ ~impl:ext))
+
+let test_fd_trace_violations () =
+  let spec = send "a" 0 Proc.Stop in
+  let impl = send "a" 0 (send "b" 1 Proc.Stop) in
+  match Refine.fd_refines defs ~spec ~impl with
+  | Refine.Fails { Refine.violation = Refine.Trace_violation _; trace; _ } ->
+    Alcotest.(check int) "minimal trace" 2 (List.length trace)
+  | _ -> Alcotest.fail "expected a trace violation"
+
+let test_cspm_fd_assertion () =
+  let src =
+    "channel a : {0..1}\n\
+     SPEC = a!0 -> SPEC\n\
+     GOOD = a!0 -> GOOD\n\
+     BAD = (a!0 -> BAD) \\ {| a |}\n\
+     assert SPEC [FD= GOOD\n\
+     assert SPEC [FD= BAD"
+  in
+  let outcomes = Cspm.Check.run (Cspm.Elaborate.load_string src) in
+  match outcomes with
+  | [ g; b ] ->
+    check_bool "good passes" true (Refine.holds g.Cspm.Check.result);
+    check_bool "diverging fails" false (Refine.holds b.Cspm.Check.result)
+  | _ -> Alcotest.fail "two outcomes expected"
+
+(* FD refinement is strictly stronger than failures refinement. *)
+let fd_implies_failures =
+  QCheck.Test.make ~count:80 ~name:"FD refinement implies failures refinement"
+    (QCheck.pair arb_proc arb_proc) (fun (spec, impl) ->
+      let fd =
+        holds (Refine.fd_refines ~max_states:50_000 defs ~spec ~impl)
+      in
+      let f =
+        holds (Refine.failures_refines ~max_states:50_000 defs ~spec ~impl)
+      in
+      (* only when the spec is divergence-free does FD imply F; the random
+         generator never diverges on its own (hiding of finite processes
+         only), so check directly *)
+      if fd then f else true)
+
+let fd_reflexive =
+  QCheck.Test.make ~count:80 ~name:"FD refinement is reflexive" arb_proc
+    (fun p -> holds (Refine.fd_refines ~max_states:50_000 defs ~spec:p ~impl:p))
+
+let suite =
+  ( "fd",
+    [
+      Alcotest.test_case "divergence caught only by FD" `Quick
+        test_divergence_is_caught;
+      Alcotest.test_case "divergent spec permits anything" `Quick
+        test_divergent_spec_permits_anything;
+      Alcotest.test_case "FD includes failures" `Quick test_fd_includes_failures;
+      Alcotest.test_case "FD trace violations" `Quick test_fd_trace_violations;
+      Alcotest.test_case "CSPm [FD= assertion" `Quick test_cspm_fd_assertion;
+      QCheck_alcotest.to_alcotest fd_implies_failures;
+      QCheck_alcotest.to_alcotest fd_reflexive;
+    ] )

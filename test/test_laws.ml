@@ -1,0 +1,95 @@
+(* Algebraic laws of CSP, checked as trace equivalences on random
+   processes — the textbook laws (Hoare/Roscoe) the engine must satisfy. *)
+
+open Csp
+open Helpers
+
+let defs = make_defs ()
+
+let traces_of p = Traces.of_lts ~depth:4 (Lts.compile ~max_states:50_000 defs p)
+
+let trace_equal p q =
+  let tp = traces_of p and tq = traces_of q in
+  Traces.subset tp tq && Traces.subset tq tp
+
+let law ?(count = 80) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen f)
+
+let pair2 = QCheck.pair arb_proc arb_proc
+let triple3 = QCheck.triple arb_proc arb_proc arb_proc
+
+let suite =
+  ( "laws",
+    [
+      law "P [] P = P (idempotence)" arb_proc (fun p ->
+          trace_equal (Proc.Ext (p, p)) p);
+      law "P [] Q = Q [] P (commutativity)" pair2 (fun (p, q) ->
+          trace_equal (Proc.Ext (p, q)) (Proc.Ext (q, p)));
+      law "(P [] Q) [] R = P [] (Q [] R) (associativity)" triple3
+        (fun (p, q, r) ->
+          trace_equal
+            (Proc.Ext (Proc.Ext (p, q), r))
+            (Proc.Ext (p, Proc.Ext (q, r))));
+      law "P [] STOP = P (unit)" arb_proc (fun p ->
+          trace_equal (Proc.Ext (p, Proc.Stop)) p);
+      law "P |~| Q =T P [] Q (choice agrees in traces)" pair2 (fun (p, q) ->
+          trace_equal (Proc.Int (p, q)) (Proc.Ext (p, q)));
+      law "P ||| Q = Q ||| P (commutativity)" pair2 (fun (p, q) ->
+          trace_equal (Proc.Inter (p, q)) (Proc.Inter (q, p)));
+      law "P ||| SKIP = P" arb_proc (fun p ->
+          trace_equal (Proc.Inter (p, Proc.Skip)) p);
+      law "P [|A|] Q = Q [|A|] P (commutativity)"
+        (QCheck.triple arb_proc arb_proc (QCheck.oneofl [ "a"; "b"; "c" ]))
+        (fun (p, q, c) ->
+          let s = Eventset.chan c in
+          trace_equal (Proc.Par (p, s, q)) (Proc.Par (q, s, p)));
+      law "P [|{}|] Q = P ||| Q (empty interface)" pair2 (fun (p, q) ->
+          trace_equal (Proc.Par (p, Eventset.empty, q)) (Proc.Inter (p, q)));
+      law "SKIP; P = P (left unit of sequencing)" arb_proc (fun p ->
+          trace_equal (Proc.Seq (Proc.Skip, p)) p);
+      law "STOP; P = STOP (left zero of sequencing)" arb_proc (fun p ->
+          trace_equal (Proc.Seq (Proc.Stop, p)) Proc.Stop);
+      law "(P; Q); R = P; (Q; R) (associativity of sequencing)" triple3
+        (fun (p, q, r) ->
+          trace_equal
+            (Proc.Seq (Proc.Seq (p, q), r))
+            (Proc.Seq (p, Proc.Seq (q, r))));
+      law "P \\ {} = P (hiding nothing)" arb_proc (fun p ->
+          trace_equal (Proc.Hide (p, Eventset.empty)) p);
+      law "(P \\ A) \\ A = P \\ A (hiding idempotent)"
+        (QCheck.pair arb_proc (QCheck.oneofl [ "a"; "b" ]))
+        (fun (p, c) ->
+          let s = Eventset.chan c in
+          trace_equal (Proc.Hide (Proc.Hide (p, s), s)) (Proc.Hide (p, s)));
+      law "(P \\ A) \\ B = (P \\ B) \\ A (hiding commutes)" arb_proc
+        (fun p ->
+          let a = Eventset.chan "a" and b = Eventset.chan "b" in
+          trace_equal
+            (Proc.Hide (Proc.Hide (p, a), b))
+            (Proc.Hide (Proc.Hide (p, b), a)));
+      law "distribution: (P [] Q) \\ A refines P \\ A in traces" pair2
+        (fun (p, q) ->
+          let a = Eventset.chan "a" in
+          let lhs = Proc.Hide (Proc.Ext (p, q), a) in
+          let rhs = Proc.Hide (p, a) in
+          Traces.subset (traces_of rhs) (traces_of lhs));
+      law "renaming then inverse renaming over fresh channel" arb_proc
+        (fun p ->
+          (* a -> done_' is not invertible in general (done_ is nullary),
+             so use the b channel which shares a's type *)
+          trace_equal
+            (Proc.Rename (Proc.Rename (p, [ "a", "b" ]), [ "b", "a" ]))
+            (Proc.Rename (p, [ "b", "a" ])));
+      law "guard true is identity" arb_proc (fun p ->
+          trace_equal (Proc.Guard (Expr.bool true, p)) p);
+      law "guard false is STOP" arb_proc (fun p ->
+          trace_equal (Proc.Guard (Expr.bool false, p)) Proc.Stop);
+      law "monotonicity of [] w.r.t. trace refinement" triple3
+        (fun (p, q, r) ->
+          (* if traces(q) ⊆ traces(p) then traces(q [] r) ⊆ traces(p [] r) *)
+          let tp = traces_of p and tq = traces_of q in
+          QCheck.assume (Traces.subset tq tp);
+          Traces.subset
+            (traces_of (Proc.Ext (q, r)))
+            (traces_of (Proc.Ext (p, r))));
+    ] )

@@ -1,0 +1,144 @@
+(* Remaining coverage: blackboard pretty-printer, key events through the
+   simulation, output(this) echoing, and CSPm parser negatives. *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let test_pretty_blackboard () =
+  let p =
+    Proc.Ext
+      ( Proc.send "a" [ Value.Int 0 ] Proc.Stop,
+        Proc.Int (Proc.Skip, Proc.Hide (Proc.Stop, Eventset.chan "b")) )
+  in
+  let rendered = Pretty.proc_to_string p in
+  let has sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length rendered
+      && (String.sub rendered i n = sub || go (i + 1))
+    in
+    n = 0 || go 0
+  in
+  check_bool "external choice glyph" true (has "□");
+  check_bool "internal choice glyph" true (has "⊓");
+  check_bool "prefix arrow" true (has "→");
+  check_bool "hiding backslash" true (has "\\");
+  check_string "trace brackets" "⟨a.0, ✓⟩"
+    (Pretty.trace_to_string [ Event.Vis (Event.event "a" [ Value.Int 0 ]); Event.Tick ])
+
+let test_simulation_key_press () =
+  let src =
+    {|
+variables { message Cmd m; int presses = 0; }
+on key 'r' { presses++; m.op = presses; output(m); }
+|}
+  in
+  let db =
+    Capl.Msgdb.of_messages
+      [
+        { Capl.Msgdb.msg_name = "Cmd"; msg_id = 0x20; msg_dlc = 1;
+          signals =
+            [ { Capl.Msgdb.sig_name = "op"; start_bit = 0; length = 8;
+                byte_order = Capl.Msgdb.Little_endian; signed = false;
+                minimum = 0; maximum = 255 } ] };
+      ]
+  in
+  let sim = Capl.Simulation.of_sources ~db [ "UI", src; "SINK", "variables { int got = 0; } on message Cmd { got = this.op; }" ] in
+  Capl.Simulation.start sim;
+  Capl.Simulation.press_key sim "UI" 'r';
+  Capl.Simulation.press_key sim "UI" 'r';
+  ignore (Capl.Simulation.run ~until_ms:100 sim);
+  check_int "two frames on the bus" 2
+    (List.length (Capl.Simulation.transmissions sim));
+  let sink = Capl.Simulation.node sim "SINK" in
+  (match Capl.Interp.global sink.Capl.Simulation.interp "got" with
+   | Capl.Interp.V_int 2 -> ()
+   | v -> Alcotest.failf "sink saw %a" Capl.Interp.pp_value v);
+  (* unknown node raises *)
+  match Capl.Simulation.press_key sim "NOPE" 'r' with
+  | () -> Alcotest.fail "expected Not_found"
+  | exception Not_found -> ()
+
+let test_output_this_echo () =
+  let db =
+    Capl.Msgdb.of_messages
+      [ { Capl.Msgdb.msg_name = "Ping"; msg_id = 0x30; msg_dlc = 1; signals = [] } ]
+  in
+  let sent = ref [] in
+  let runtime =
+    { Capl.Interp.null_runtime with
+      Capl.Interp.rt_output = (fun m -> sent := m :: !sent) }
+  in
+  let t =
+    Capl.Interp.create ~runtime ~db
+      (Capl.Parser.program "on message Ping { output(this); }")
+  in
+  Capl.Interp.on_frame t (Canbus.Frame.make ~id:0x30 [ 0x7F ]);
+  match !sent with
+  | [ m ] ->
+    check_int "echoed id" 0x30 m.Capl.Interp.m_id;
+    check_int "echoed payload" 0x7F m.Capl.Interp.m_data.(0)
+  | _ -> Alcotest.fail "one echo expected"
+
+let test_cspm_parse_negatives () =
+  let rejects src =
+    match Cspm.Parser.script src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Cspm.Parser.Parse_error _ -> ()
+    | exception Cspm.Lexer.Lex_error _ -> ()
+  in
+  rejects "channel";
+  rejects "datatype D =";
+  rejects "P = ";
+  rejects "assert P [T=";
+  rejects "P = a -> ";
+  rejects "P = (a -> STOP";
+  rejects "nametype N";
+  rejects "P = STOP [[ a <- ]]";
+  rejects "assert P :[deadlock]";
+  rejects "P = $"
+
+let test_capl_parse_negatives () =
+  let rejects src =
+    match Capl.Parser.program src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Capl.Parser.Parse_error _ -> ()
+    | exception Capl.Lexer.Lex_error _ -> ()
+  in
+  rejects "on message { }";
+  rejects "variables { int }";
+  rejects "on start { if (x) }";
+  rejects "int f( { }";
+  rejects "on start { x = ; }";
+  rejects "on key r { }";
+  rejects "variables { int a = \"unterminated }"
+
+let test_dbc_negatives () =
+  let rejects src =
+    match Candb.Dbc_parser.parse src with
+    | _ -> Alcotest.failf "expected parse error for %S" src
+    | exception Candb.Dbc_parser.Parse_error _ -> ()
+  in
+  rejects "BO_ 1 M: 1 N\n SG_ s : 0|8@2+ (1,0) [0|255] \"\" X\n";
+  rejects "BO_ 1 M: 1 N\n SG_ s : 0|8@1+ 1,0 [0|255] \"\" X\n";
+  rejects "BO_ nope\n";
+  rejects "SG_ orphan : 0|8@1+ (1,0) [0|255] \"\" X\n"
+
+let suite =
+  ( "misc",
+    [
+      Alcotest.test_case "blackboard pretty printer" `Quick
+        test_pretty_blackboard;
+      Alcotest.test_case "key events through the simulation" `Quick
+        test_simulation_key_press;
+      Alcotest.test_case "output(this) echoes the frame" `Quick
+        test_output_this_echo;
+      Alcotest.test_case "CSPm parser negatives" `Quick
+        test_cspm_parse_negatives;
+      Alcotest.test_case "CAPL parser negatives" `Quick
+        test_capl_parse_negatives;
+      Alcotest.test_case "DBC parser negatives" `Quick test_dbc_negatives;
+    ] )

@@ -1,0 +1,107 @@
+(* Signal packing/unpacking tests, including Motorola byte order and a
+   round-trip property. *)
+
+open Capl
+
+let check_int = Alcotest.(check int)
+
+let sig_ ?(order = Msgdb.Little_endian) ?(signed = false) start len =
+  {
+    Msgdb.sig_name = "s";
+    start_bit = start;
+    length = len;
+    byte_order = order;
+    signed;
+    minimum = 0;
+    maximum = 0;
+  }
+
+let test_little_endian_basic () =
+  let s = sig_ 0 8 in
+  let data = Array.make 8 0 in
+  Msgdb.encode_signal s data 0xAB;
+  check_int "byte 0" 0xAB data.(0);
+  check_int "decode" 0xAB (Msgdb.decode_signal s data)
+
+let test_little_endian_cross_byte () =
+  let s = sig_ 4 8 in
+  let data = Array.make 8 0 in
+  Msgdb.encode_signal s data 0xFF;
+  check_int "low nibble of byte 0" 0xF0 data.(0);
+  check_int "high nibble into byte 1" 0x0F data.(1);
+  check_int "round trip" 0xFF (Msgdb.decode_signal s data)
+
+let test_big_endian () =
+  (* Motorola: MSB at start bit 7, 16-bit signal spans bytes 0-1 *)
+  let s = sig_ ~order:Msgdb.Big_endian 7 16 in
+  let data = Array.make 8 0 in
+  Msgdb.encode_signal s data 0x1234;
+  check_int "MSB byte first" 0x12 data.(0);
+  check_int "LSB byte second" 0x34 data.(1);
+  check_int "round trip" 0x1234 (Msgdb.decode_signal s data)
+
+let test_signed_decode () =
+  let s = sig_ ~signed:true 0 8 in
+  let data = Array.make 8 0 in
+  Msgdb.encode_signal s data (-2);
+  check_int "two's complement stored" 0xFE data.(0);
+  check_int "sign-extended decode" (-2) (Msgdb.decode_signal s data)
+
+let test_errors () =
+  let data = Array.make 2 0 in
+  (try
+     ignore (Msgdb.decode_signal (sig_ 8 16) data);
+     Alcotest.fail "expected overrun error"
+   with Msgdb.Signal_error _ -> ());
+  try
+    ignore (Msgdb.decode_signal (sig_ 0 63) (Array.make 8 0));
+    Alcotest.fail "expected length error"
+  with Msgdb.Signal_error _ -> ()
+
+let test_adjacent_signals_no_clobber () =
+  let a = { (sig_ 0 4) with Msgdb.sig_name = "a" } in
+  let b = { (sig_ 4 4) with Msgdb.sig_name = "b" } in
+  let data = Array.make 1 0 in
+  Msgdb.encode_signal a data 0x5;
+  Msgdb.encode_signal b data 0xA;
+  check_int "a preserved" 0x5 (Msgdb.decode_signal a data);
+  check_int "b preserved" 0xA (Msgdb.decode_signal b data);
+  (* overwriting clears old bits *)
+  Msgdb.encode_signal a data 0x0;
+  check_int "a cleared" 0x0 (Msgdb.decode_signal a data);
+  check_int "b untouched" 0xA (Msgdb.decode_signal b data)
+
+let roundtrip =
+  QCheck.Test.make ~count:500 ~name:"encode/decode round trip"
+    QCheck.(
+      quad (int_range 0 40) (int_range 1 16) bool
+        (pair bool (int_range 0 65535)))
+    (fun (start, len, big, (signed, v)) ->
+      let order = if big then Msgdb.Big_endian else Msgdb.Little_endian in
+      (* keep Motorola start bits inside the frame: the sawtooth walk from
+         a low bit index can leave an 8-byte frame, which is an error we
+         test separately *)
+      let s = sig_ ~order ~signed start len in
+      let data = Array.make 8 0 in
+      let masked = v land ((1 lsl len) - 1) in
+      let expected =
+        if signed && masked land (1 lsl (len - 1)) <> 0 then
+          masked - (1 lsl len)
+        else masked
+      in
+      match Msgdb.encode_signal s data v with
+      | () -> Msgdb.decode_signal s data = expected
+      | exception Msgdb.Signal_error _ -> QCheck.assume_fail ())
+
+let suite =
+  ( "msgdb",
+    [
+      Alcotest.test_case "little endian byte" `Quick test_little_endian_basic;
+      Alcotest.test_case "little endian across bytes" `Quick
+        test_little_endian_cross_byte;
+      Alcotest.test_case "big endian (Motorola)" `Quick test_big_endian;
+      Alcotest.test_case "signed signals" `Quick test_signed_decode;
+      Alcotest.test_case "error cases" `Quick test_errors;
+      Alcotest.test_case "adjacent signals" `Quick test_adjacent_signals_no_clobber;
+      QCheck_alcotest.to_alcotest roundtrip;
+    ] )

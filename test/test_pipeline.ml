@@ -1,0 +1,158 @@
+(* Tests for the end-to-end pipeline (Fig. 1) and the translation
+   conformance check. *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_build_and_emit () =
+  let system = Ota.Capl_sources.build_system () in
+  check_int "two nodes" 2 (List.length system.Extractor.Pipeline.nodes);
+  let script = Extractor.Pipeline.emit_script system in
+  check_bool "channels emitted" true
+    (let has sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length script
+         && (String.sub script i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     has "channel reqSw" && has "ECU_INIT" && has "SYSTEM =")
+
+let test_reload_checks () =
+  let system = Ota.Capl_sources.build_system () in
+  (* add an assertion to the reloaded script: deadlock-free SYSTEM *)
+  let loaded = Extractor.Pipeline.reload system in
+  let term = Cspm.Parser.term "SYSTEM" in
+  let sys = Cspm.Elaborate.proc_of_term loaded term in
+  (* the reloaded model must agree with the in-memory one (the campaign
+     ends quiescent, which trace-wise is a deadlock, so the verdict is
+     "false" on both sides) *)
+  let direct =
+    Refine.holds
+      (Refine.deadlock_free system.Extractor.Pipeline.defs
+         system.Extractor.Pipeline.composed)
+  in
+  let reloaded =
+    Refine.holds (Refine.deadlock_free loaded.Cspm.Elaborate.defs sys)
+  in
+  check_bool "reloaded verdict matches in-memory verdict" direct reloaded;
+  (* and both models have the same bounded trace sets *)
+  let t1 =
+    Traces.of_lts ~depth:4
+      (Lts.compile system.Extractor.Pipeline.defs
+         system.Extractor.Pipeline.composed)
+  in
+  let t2 = Traces.of_lts ~depth:4 (Lts.compile loaded.Cspm.Elaborate.defs sys) in
+  check_bool "same traces after the round trip" true
+    (Traces.subset t1 t2 && Traces.subset t2 t1)
+
+let test_parse_error_wrapping () =
+  (try
+     ignore
+       (Extractor.Pipeline.build_from_sources ~dbc:"BO_ oops"
+          [ "N", "on start { }" ]);
+     Alcotest.fail "expected Pipeline_error"
+   with Extractor.Pipeline.Pipeline_error _ -> ());
+  try
+    ignore
+      (Extractor.Pipeline.build_from_sources ~dbc:Ota.Capl_sources.dbc
+         [ "N", "on message { }" ]);
+    Alcotest.fail "expected Pipeline_error"
+  with Extractor.Pipeline.Pipeline_error _ -> ()
+
+let test_compose () =
+  let p1 = Proc.Stop and p2 = Proc.Skip in
+  (match Extractor.Pipeline.compose [] with
+   | Proc.Skip -> ()
+   | _ -> Alcotest.fail "empty composition is SKIP");
+  (match Extractor.Pipeline.compose [ p1, Eventset.empty ] with
+   | Proc.Stop -> ()
+   | _ -> Alcotest.fail "singleton composition is the process itself");
+  match
+    Extractor.Pipeline.compose
+      [ p1, Eventset.chan "a"; p2, Eventset.chan "b" ]
+  with
+  | Proc.APar (_, _, _, _) -> ()
+  | _ -> Alcotest.fail "pairs compose with alphabetized parallel"
+
+let test_bus_medium_mode () =
+  let config = { Extractor.Extract.default_config with bus_medium = true } in
+  let system =
+    Extractor.Pipeline.build_from_sources ~config ~dbc:Ota.Capl_sources.dbc
+      Ota.Capl_sources.sources
+  in
+  let defs = system.Extractor.Pipeline.defs in
+  check_bool "BUS process defined" true (Option.is_some (Defs.proc defs "BUS"));
+  check_bool "tx channel declared" true
+    (Option.is_some (Defs.channel_type defs "tx_ECU_rptSw"));
+  (* behaviour is preserved through the relay: the diagnosis exchange
+     still happens *)
+  let spec =
+    Security.Properties.alternation ~name:"ALT" defs ~first:"reqSw"
+      ~second:"rptSw"
+  in
+  let hide =
+    Eventset.chans
+      ("timer_VMG_retry" :: "reqApp" :: "rptUpd"
+       :: List.concat_map
+            (fun (_, m) -> List.map fst m.Extractor.Extract.tx_channels)
+            system.Extractor.Pipeline.nodes)
+  in
+  check_bool "alternation still holds over the bus" true
+    (Refine.holds
+       (Refine.traces_refines defs ~spec
+          ~impl:(Proc.Hide (system.Extractor.Pipeline.composed, hide))))
+
+let test_conformance_accepts_real_run () =
+  let system = Ota.Capl_sources.build_system () in
+  let sim = Ota.Capl_sources.simulation () in
+  let report = Extractor.Conformance.run_and_check system sim in
+  check_bool "trace accepted" true report.Extractor.Conformance.accepted;
+  check_bool "trace nonempty" true (report.Extractor.Conformance.trace <> [])
+
+let test_conformance_rejects_foreign_trace () =
+  let system = Ota.Capl_sources.build_system () in
+  (* an rptUpd with no preceding exchange is not a model trace *)
+  let bogus = [ Canbus.Frame.make ~id:514 [ 1 ] ] in
+  let report = Extractor.Conformance.trace_accepted system bogus in
+  check_bool "rejected" false report.Extractor.Conformance.accepted;
+  Alcotest.(check (option int)) "at the first event" (Some 0)
+    report.Extractor.Conformance.rejected_at
+
+let test_conformance_unknown_ids () =
+  let system = Ota.Capl_sources.build_system () in
+  let unknown = [ Canbus.Frame.make ~id:0x7FF [] ] in
+  check_bool "skipped when tolerated" true
+    (Extractor.Conformance.trace_accepted system unknown).Extractor.Conformance.accepted;
+  check_bool "rejected when strict" false
+    (Extractor.Conformance.trace_accepted ~unknown_ok:false system unknown)
+      .Extractor.Conformance.accepted
+
+let test_conformance_flawed_firmware_too () =
+  (* the flawed ECU still conforms to the model extracted from it — the
+     flaw is in the firmware, not in the translation *)
+  let system = Ota.Capl_sources.build_system ~flawed:true () in
+  let sim = Ota.Capl_sources.simulation ~flawed:true () in
+  let report = Extractor.Conformance.run_and_check system sim in
+  check_bool "accepted" true report.Extractor.Conformance.accepted
+
+let suite =
+  ( "pipeline",
+    [
+      Alcotest.test_case "build and emit" `Quick test_build_and_emit;
+      Alcotest.test_case "reload and check" `Quick test_reload_checks;
+      Alcotest.test_case "parse errors wrapped" `Quick test_parse_error_wrapping;
+      Alcotest.test_case "composition" `Quick test_compose;
+      Alcotest.test_case "bus-medium mode" `Quick test_bus_medium_mode;
+      Alcotest.test_case "conformance: real run accepted" `Quick
+        test_conformance_accepts_real_run;
+      Alcotest.test_case "conformance: foreign trace rejected" `Quick
+        test_conformance_rejects_foreign_trace;
+      Alcotest.test_case "conformance: unknown ids" `Quick
+        test_conformance_unknown_ids;
+      Alcotest.test_case "conformance: flawed firmware conforms" `Quick
+        test_conformance_flawed_firmware_too;
+    ] )

@@ -1,0 +1,96 @@
+(* Unit tests for process terms: substitution, free variables,
+   const-folding, replicated-choice expansion. *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_proc msg expected actual = Alcotest.check Helpers.proc_testable msg expected actual
+
+let test_free_vars () =
+  let p =
+    Proc.Prefix
+      ( "a",
+        [ Proc.Out (Expr.var "x") ],
+        Proc.Prefix ("b", [ Proc.In ("y", None) ], Proc.prefix "a" [ Expr.var "y" ] Proc.Stop) )
+  in
+  Alcotest.(check (list string)) "x free, y bound" [ "x" ] (Proc.free_vars p);
+  let q = Proc.Ext_over ("z", Expr.Range (Expr.int 0, Expr.var "n"), Proc.prefix "a" [ Expr.var "z" ] Proc.Stop) in
+  Alcotest.(check (list string)) "set expr free, binder bound" [ "n" ]
+    (Proc.free_vars q)
+
+let test_subst_shadowing () =
+  (* substitution must not cross the binder for the same name *)
+  let p =
+    Proc.Ext
+      ( Proc.prefix "a" [ Expr.var "x" ] Proc.Stop,
+        Proc.Prefix ("b", [ Proc.In ("x", None) ], Proc.prefix "a" [ Expr.var "x" ] Proc.Stop) )
+  in
+  let resolved = Proc.subst (fun n -> if n = "x" then Some (Value.Int 1) else None) p in
+  match resolved with
+  | Proc.Ext (Proc.Prefix ("a", [ Proc.Out (Expr.Lit (Value.Int 1)) ], _),
+              Proc.Prefix ("b", [ Proc.In ("x", None) ],
+                           Proc.Prefix ("a", [ Proc.Out (Expr.Var "x") ], _))) ->
+    ()
+  | _ -> Alcotest.failf "unexpected subst result: %a" Proc.pp resolved
+
+let test_subst_prefix_scope () =
+  (* within one communication, earlier binders scope over later fields *)
+  let defs = Defs.create () in
+  Defs.declare_channel defs "p" [ Ty.Int_range (0, 1); Ty.Int_range (0, 1) ];
+  let proc =
+    Proc.Prefix
+      ( "p",
+        [ Proc.In ("x", None); Proc.In ("y", Some (Expr.Set [ Expr.var "x" ])) ],
+        Proc.Stop )
+  in
+  (* substituting x from outside must not touch the restriction *)
+  let r = Proc.subst (fun n -> if n = "x" then Some (Value.Int 0) else None) proc in
+  check_proc "inner x untouched" proc r
+
+let test_const_fold () =
+  let fold = Proc.const_fold Expr.no_funcs in
+  check_proc "if true" (Proc.send "a" [ Value.Int 1 ] Proc.Stop)
+    (fold (Proc.If (Expr.bool true, Proc.send "a" [ Value.Int 1 ] Proc.Stop, Proc.Skip)));
+  check_proc "if false" Proc.Skip
+    (fold (Proc.If (Expr.bool false, Proc.Stop, Proc.Skip)));
+  check_proc "guard false" Proc.Stop (fold (Proc.Guard (Expr.bool false, Proc.Skip)));
+  check_proc "guard true" Proc.Skip (fold (Proc.Guard (Expr.bool true, Proc.Skip)));
+  check_proc "closed arithmetic folds"
+    (Proc.send "a" [ Value.Int 2 ] Proc.Stop)
+    (fold (Proc.prefix "a" [ Expr.(int 1 + int 1) ] Proc.Stop));
+  (* expressions under binders stay *)
+  let p = Proc.Prefix ("a", [ Proc.In ("x", None) ], Proc.prefix "b" [ Expr.(var "x" + int 1) ] Proc.Stop) in
+  check_proc "open expr kept" p (fold p)
+
+let test_replicated_expansion () =
+  let fold = Proc.const_fold Expr.no_funcs in
+  let body = Proc.prefix "a" [ Expr.var "i" ] Proc.Stop in
+  let expanded = fold (Proc.Ext_over ("i", Expr.Range (Expr.int 0, Expr.int 1), body)) in
+  check_proc "ext over {0,1}"
+    (Proc.Ext (Proc.send "a" [ Value.Int 0 ] Proc.Stop, Proc.send "a" [ Value.Int 1 ] Proc.Stop))
+    expanded;
+  check_proc "ext over empty = STOP" Proc.Stop
+    (fold (Proc.Ext_over ("i", Expr.Set [], body)));
+  check_proc "interleave over empty = SKIP" Proc.Skip
+    (fold (Proc.Inter_over ("i", Expr.Set [], body)));
+  check_proc "int over empty = STOP" Proc.Stop
+    (fold (Proc.Int_over ("i", Expr.Set [], body)))
+
+let test_size_and_pp () =
+  let p = Proc.Ext (Proc.Stop, Proc.Seq (Proc.Skip, Proc.Skip)) in
+  Alcotest.(check int) "size" 5 (Proc.size p);
+  check_bool "pp mentions []" true
+    (String.length (Proc.to_string p) > 0)
+
+let suite =
+  ( "proc",
+    [
+      Alcotest.test_case "free variables" `Quick test_free_vars;
+      Alcotest.test_case "substitution avoids capture" `Quick
+        test_subst_shadowing;
+      Alcotest.test_case "prefix binder scope" `Quick test_subst_prefix_scope;
+      Alcotest.test_case "const folding" `Quick test_const_fold;
+      Alcotest.test_case "replicated choice expansion" `Quick
+        test_replicated_expansion;
+      Alcotest.test_case "size and printing" `Quick test_size_and_pp;
+    ] )

@@ -1,0 +1,76 @@
+(* Tests for FDR-style partial channel productions {| c.v |}. *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ev chan args = Event.event chan (List.map (fun n -> Value.Int n) args)
+
+let test_membership () =
+  let s = Eventset.prefixed "c" [ Value.Int 1 ] in
+  check_bool "matching prefix" true (Eventset.mem s (ev "c" [ 1; 5 ]));
+  check_bool "matching exact" true (Eventset.mem s (ev "c" [ 1 ]));
+  check_bool "wrong value" false (Eventset.mem s (ev "c" [ 2; 5 ]));
+  check_bool "wrong channel" false (Eventset.mem s (ev "d" [ 1 ]));
+  check_bool "prefix longer than event" false
+    (Eventset.mem (Eventset.prefixed "c" [ Value.Int 1; Value.Int 2 ]) (ev "c" [ 1 ]))
+
+let test_empty_prefix_is_chan () =
+  let s = Eventset.prefixed "c" [] in
+  check_bool "degenerates to the channel production" true
+    (Eventset.mem s (ev "c" [ 9; 9 ]))
+
+let test_enumerate () =
+  let chan_events = function
+    | "c" -> [ ev "c" [ 0; 0 ]; ev "c" [ 0; 1 ]; ev "c" [ 1; 0 ] ]
+    | _ -> []
+  in
+  check_int "filters by prefix" 2
+    (List.length
+       (Eventset.enumerate ~chan_events (Eventset.prefixed "c" [ Value.Int 0 ])))
+
+let test_cspm_syntax () =
+  (* hide only the v=1 slice of a channel *)
+  let src =
+    "channel c : {0..1}.{0..1}\n\
+     P = c!0!0 -> c!1!0 -> STOP\n\
+     Q = P \\ {| c.1 |}\n\
+     SPEC = c!0!0 -> STOP\n\
+     assert SPEC [T= Q"
+  in
+  let outcomes = Cspm.Check.run (Cspm.Elaborate.load_string src) in
+  check_bool "partial hide leaves c.0 visible, hides c.1" true
+    (Cspm.Check.all_pass outcomes)
+
+let test_cspm_sync_slice () =
+  (* two processes synchronize only on the c.1 slice *)
+  let src =
+    "channel c : {0..1}.{0..1}\n\
+     L = c!0!0 -> c!1!1 -> STOP\n\
+     R = c!1!1 -> STOP\n\
+     SYS = L [| {| c.1 |} |] R\n\
+     SPEC = c!0!0 -> c!1!1 -> STOP\n\
+     assert SPEC [T= SYS"
+  in
+  check_bool "sliced synchronization" true
+    (Cspm.Check.all_pass (Cspm.Check.run (Cspm.Elaborate.load_string src)))
+
+let test_unknown_channel_rejected () =
+  try
+    ignore (Cspm.Elaborate.load_string "channel c : {0..1}\nP = STOP \\ {| nope.1 |}");
+    Alcotest.fail "expected Elab_error"
+  with Cspm.Elaborate.Elab_error _ -> ()
+
+let suite =
+  ( "productions",
+    [
+      Alcotest.test_case "membership" `Quick test_membership;
+      Alcotest.test_case "empty prefix" `Quick test_empty_prefix_is_chan;
+      Alcotest.test_case "enumeration" `Quick test_enumerate;
+      Alcotest.test_case "CSPm partial hiding" `Quick test_cspm_syntax;
+      Alcotest.test_case "CSPm sliced synchronization" `Quick
+        test_cspm_sync_slice;
+      Alcotest.test_case "unknown channel rejected" `Quick
+        test_unknown_channel_rejected;
+    ] )

@@ -1,0 +1,146 @@
+(* Tests for the refinement checker: verdicts, counterexamples, the
+   failures model, and the preorder laws as properties. *)
+
+open Csp
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let defs = make_defs ()
+
+let holds = Refine.holds
+
+let traces_ref spec impl = Refine.traces_refines defs ~spec ~impl
+let failures_ref spec impl = Refine.failures_refines defs ~spec ~impl
+
+let test_basic_verdicts () =
+  let a0 = send "a" 0 Proc.Stop in
+  let ab = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  check_bool "P refines P" true (holds (traces_ref a0 a0));
+  check_bool "choice refines to branch" true (holds (traces_ref ab a0));
+  check_bool "branch does not refine to choice" false (holds (traces_ref a0 ab));
+  check_bool "STOP refines everything" true (holds (traces_ref ab Proc.Stop))
+
+let test_counterexample_trace () =
+  let spec = send "a" 0 Proc.Stop in
+  let impl = send "a" 0 (send "b" 1 Proc.Stop) in
+  match traces_ref spec impl with
+  | Refine.Fails cex ->
+    Alcotest.(check int) "minimal counterexample" 2 (List.length cex.Refine.trace);
+    (match cex.Refine.violation with
+     | Refine.Trace_violation l ->
+       Alcotest.check label "offending event" (vis "b" 1) l
+     | _ -> Alcotest.fail "expected a trace violation")
+  | Refine.Holds _ -> Alcotest.fail "expected failure"
+
+let test_tau_does_not_affect_traces () =
+  (* spec a!0; impl has internal noise before a!0 *)
+  let spec = send "a" 0 Proc.Stop in
+  let impl = Proc.Hide (send "b" 1 (send "a" 0 Proc.Stop), Eventset.chan "b") in
+  check_bool "hidden prefix ok in traces" true (holds (traces_ref spec impl))
+
+let test_failures_distinguishes_choice () =
+  (* classic: traces equal, failures differ *)
+  let ext = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let int_ = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  check_bool "traces: int refines ext" true (holds (traces_ref ext int_));
+  check_bool "failures: int does not refine ext" false
+    (holds (failures_ref ext int_));
+  check_bool "failures: ext refines int" true (holds (failures_ref int_ ext));
+  (match failures_ref ext int_ with
+   | Refine.Fails { Refine.violation = Refine.Refusal_violation _; _ } -> ()
+   | _ -> Alcotest.fail "expected a refusal violation")
+
+let test_failures_deadlock_detection () =
+  (* spec requires offering a.0 forever; impl may deadlock *)
+  let defs = make_defs () in
+  Defs.define_proc defs "AS" [] (send "a" 0 (Proc.Call ("AS", [])));
+  let spec = Proc.Call ("AS", []) in
+  let impl = Proc.Int (Proc.Call ("AS", []), Proc.Stop) in
+  check_bool "traces ok" true (holds (Refine.traces_refines defs ~spec ~impl));
+  check_bool "failures catch refusal" false
+    (holds (Refine.failures_refines defs ~spec ~impl))
+
+let test_deadlock_divergence_checks () =
+  check_bool "prefix-loop deadlock free" true
+    (let defs = make_defs () in
+     Defs.define_proc defs "L" [] (send "a" 0 (Proc.Call ("L", [])));
+     holds (Refine.deadlock_free defs (Proc.Call ("L", []))));
+  check_bool "STOP deadlocks" false (holds (Refine.deadlock_free defs Proc.Stop));
+  check_bool "SKIP is deadlock free" true (holds (Refine.deadlock_free defs Proc.Skip));
+  let defs2 = make_defs () in
+  Defs.define_proc defs2 "D" [] (send "a" 0 (Proc.Call ("D", [])));
+  let diverging = Proc.Hide (Proc.Call ("D", []), Eventset.chan "a") in
+  check_bool "hidden loop diverges" false (holds (Refine.divergence_free defs2 diverging));
+  check_bool "visible loop does not" true
+    (holds (Refine.divergence_free defs2 (Proc.Call ("D", []))))
+
+let test_state_limit () =
+  let defs = make_defs () in
+  (* an infinite-state process: counter grows without bound *)
+  Defs.define_proc defs "N" [ "n" ]
+    (Proc.Prefix
+       ("done_", [], Proc.Call ("N", [ Expr.(var "n" + int 1) ])));
+  try
+    ignore
+      (Refine.traces_refines ~max_states:100 defs
+         ~spec:(Proc.Run (Eventset.chan "done_"))
+         ~impl:(Proc.Call ("N", [ Expr.int 0 ])));
+    Alcotest.fail "expected State_limit"
+  with Refine.State_limit _ -> ()
+
+(* Preorder laws, checked on random processes. *)
+let reflexive =
+  QCheck.Test.make ~count:100 ~name:"trace refinement is reflexive" arb_proc
+    (fun p -> holds (Refine.traces_refines ~max_states:50_000 defs ~spec:p ~impl:p))
+
+let transitive =
+  QCheck.Test.make ~count:60 ~name:"trace refinement is transitive"
+    (QCheck.triple arb_proc arb_proc arb_proc) (fun (p, q, r) ->
+      let check a b = holds (Refine.traces_refines ~max_states:50_000 defs ~spec:a ~impl:b) in
+      QCheck.assume (check p q && check q r);
+      check p r)
+
+(* Agreement with the denotational definition: spec refines impl iff
+   traces(impl) is a subset of traces(spec), up to the explored depth. *)
+let agrees_with_trace_subset =
+  QCheck.Test.make ~count:100 ~name:"refinement matches trace inclusion"
+    (QCheck.pair arb_proc arb_proc) (fun (spec, impl) ->
+      let verdict =
+        holds (Refine.traces_refines ~max_states:50_000 defs ~spec ~impl)
+      in
+      let ts_spec = Traces.of_lts ~depth:4 (Lts.compile defs spec) in
+      let ts_impl = Traces.of_lts ~depth:4 (Lts.compile defs impl) in
+      let subset = Traces.subset ts_impl ts_spec in
+      (* the checker explores exhaustively, bounded depth only restricts
+         the denotational side, so verdict=true must imply subset *)
+      if verdict then subset else true)
+
+(* A failing check's counterexample really is a trace of the
+   implementation and not of the specification. *)
+let counterexample_is_genuine =
+  QCheck.Test.make ~count:100 ~name:"counterexamples are genuine"
+    (QCheck.pair arb_proc arb_proc) (fun (spec, impl) ->
+      match Refine.traces_refines ~max_states:50_000 defs ~spec ~impl with
+      | Refine.Holds _ -> true
+      | Refine.Fails cex ->
+        let depth = List.length cex.Refine.trace in
+        let ts_impl = Traces.of_lts ~depth (Lts.compile defs impl) in
+        let ts_spec = Traces.of_lts ~depth (Lts.compile defs spec) in
+        let mem set tr = List.exists (fun t -> List.equal Event.equal_label t tr) set in
+        mem ts_impl cex.Refine.trace && not (mem ts_spec cex.Refine.trace))
+
+let suite =
+  ( "refine",
+    [
+      Alcotest.test_case "basic verdicts" `Quick test_basic_verdicts;
+      Alcotest.test_case "minimal counterexamples" `Quick test_counterexample_trace;
+      Alcotest.test_case "tau transparency" `Quick test_tau_does_not_affect_traces;
+      Alcotest.test_case "failures vs traces" `Quick test_failures_distinguishes_choice;
+      Alcotest.test_case "failures find refusals" `Quick test_failures_deadlock_detection;
+      Alcotest.test_case "deadlock and divergence" `Quick test_deadlock_divergence_checks;
+      Alcotest.test_case "state limits" `Quick test_state_limit;
+      QCheck_alcotest.to_alcotest reflexive;
+      QCheck_alcotest.to_alcotest transitive;
+      QCheck_alcotest.to_alcotest agrees_with_trace_subset;
+      QCheck_alcotest.to_alcotest counterexample_is_genuine;
+    ] )

@@ -1,0 +1,322 @@
+(* Tests for the security substrate: symbolic crypto deduction, attack
+   trees (with the paper's SP-graph semantics as a property), intruders,
+   and property builders. *)
+
+open Csp
+module C = Security.Crypto
+module AT = Security.Attack_tree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Crypto deduction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let k = C.key "k"
+let k2 = C.key "k2"
+let n0 = C.nonce 0
+
+let test_analyze () =
+  let knows vs v = List.exists (Value.equal v) (C.analyze vs) in
+  check_bool "pairs open" true (knows [ C.pair n0 k ] n0);
+  check_bool "senc opens with the key" true (knows [ C.senc k n0; k ] n0);
+  check_bool "senc stays closed without it" false (knows [ C.senc k n0 ] n0);
+  check_bool "mac reveals nothing" false (knows [ C.mac k n0 ] n0);
+  check_bool "signature reveals payload" true (knows [ C.sign k n0 ] n0);
+  check_bool "aenc opens with the private key" true
+    (knows [ C.aenc (C.pk (Value.sym "a")) n0; C.sk (Value.sym "a") ] n0);
+  check_bool "aenc stays closed without it" false
+    (knows [ C.aenc (C.pk (Value.sym "a")) n0 ] n0);
+  (* layered: senc inside a pair, key arrives separately *)
+  check_bool "fixpoint reaches nested terms" true
+    (knows [ C.pair (C.senc k (C.pair n0 k2)) k ] k2)
+
+let test_synthesizable () =
+  let can kn v = C.derivable ~knowledge:kn v in
+  check_bool "public atoms" true (can [] (Value.sym "reqSw"));
+  check_bool "keys are secret" false (can [] k);
+  check_bool "nonces are secret" false (can [] n0);
+  check_bool "mac needs the key" false (can [] (C.mac k (Value.Int 1)));
+  check_bool "mac with the key" true (can [ k ] (C.mac k (Value.Int 1)));
+  check_bool "aenc needs only the public part" true
+    (can [] (C.aenc (C.pk (Value.sym "b")) (Value.sym "hello")));
+  check_bool "learned terms replay" true (can [ C.mac k n0 ] (C.mac k n0));
+  check_bool "secret atoms listed" true
+    (List.exists (Value.equal k) (C.secret_atoms (C.mac k (C.pair n0 (Value.Int 1)))))
+
+(* Monotonicity: more knowledge never derives less. *)
+let monotone =
+  QCheck.Test.make ~count:100 ~name:"deduction is monotone"
+    QCheck.(pair (int_range 0 2) (int_range 0 2))
+    (fun (i, j) ->
+      let univ = [ k; k2; n0; C.mac k n0; C.senc k (C.nonce 1) ] in
+      let base = List.filteri (fun idx _ -> idx <> i) univ in
+      let bigger = univ in
+      List.for_all
+        (fun t ->
+          (not (C.derivable ~knowledge:base t))
+          || C.derivable ~knowledge:bigger t)
+        [ List.nth univ j; C.mac k (C.nonce 1); C.nonce 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Attack trees                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let act name = AT.action name []
+
+let test_sequences_structure () =
+  let t = AT.Seq [ act "a"; AT.Or [ act "b"; act "c" ] ] in
+  check_int "or splits" 2 (List.length (AT.sequences t));
+  let p = AT.Par [ act "a"; act "b" ] in
+  check_int "par interleaves" 2 (List.length (AT.sequences p));
+  check_int "leaves" 2 (AT.size p);
+  Alcotest.(check (list string)) "channels" [ "a"; "b" ] (AT.channels p)
+
+(* The paper's equivalence: maximal (tick-terminated) traces of the CSP
+   translation are exactly the SP-graph sequences. *)
+let arb_tree =
+  let open QCheck.Gen in
+  let leaf = map (fun c -> act c) (oneofl [ "a"; "b"; "c"; "d" ]) in
+  let tree =
+    sized_size (int_range 0 6) @@ fix (fun self n ->
+        if n <= 0 then leaf
+        else
+          frequency
+            [
+              2, leaf;
+              2, map (fun l -> AT.Seq l) (list_size (int_range 1 3) (self (n / 2)));
+              1, map (fun l -> AT.Par l) (list_size (int_range 1 2) (self (n / 2)));
+              2, map (fun l -> AT.Or l) (list_size (int_range 1 3) (self (n / 2)));
+            ])
+  in
+  QCheck.make ~print:(Format.asprintf "%a" AT.pp) tree
+
+let translation_matches_semantics =
+  QCheck.Test.make ~count:150
+    ~name:"attack-tree CSP translation matches the SP-graph semantics"
+    arb_tree (fun tree ->
+      let defs = Defs.create () in
+      List.iter (fun c -> Defs.declare_channel defs c []) (AT.channels tree);
+      let proc = AT.to_proc tree in
+      let lts = Lts.compile defs proc in
+      let depth = AT.size tree + 1 in
+      let traces = Traces.of_lts ~depth lts in
+      let complete =
+        List.filter_map
+          (fun tr ->
+            match List.rev tr with
+            | Event.Tick :: rev_body ->
+              Some
+                (List.rev_map
+                   (function
+                     | Event.Vis e -> e
+                     | _ -> Event.event "impossible" [])
+                   rev_body)
+            | _ -> None)
+          traces
+      in
+      let expected = AT.sequences tree in
+      let sort = List.sort (List.compare Event.compare) in
+      sort complete = sort expected)
+
+(* ------------------------------------------------------------------ *)
+(* Intruders                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let intruder_defs () =
+  let defs = Defs.create () in
+  Defs.declare_datatype defs "Agent" [ "a", []; "b", [] ];
+  Defs.declare_datatype defs "Pkt"
+    [ "hello", []; "secret", [ Ty.Named "MacT" ] ];
+  Defs.declare_datatype defs "MacT"
+    [ "mac", [ Ty.Named "KeyT"; Ty.Int_range (0, 0) ] ];
+  Defs.declare_datatype defs "KeyT" [ "key", [ Ty.Named "KN" ] ];
+  Defs.declare_datatype defs "KN" [ "kA", []; "kB", [] ];
+  Defs.declare_channel defs "snd"
+    [ Ty.Named "Agent"; Ty.Named "Agent"; Ty.Named "Pkt" ];
+  Defs.declare_channel defs "rcv" [ Ty.Named "Agent"; Ty.Named "Pkt" ];
+  defs
+
+let config knowledge =
+  { Security.Intruder.send_chan = "snd"; recv_chan = "rcv"; knowledge }
+
+let test_packet_universe () =
+  let defs = intruder_defs () in
+  (* hello + secret.mac.key.{kA,kB}.0 = 3 *)
+  check_int "universe" 3
+    (List.length (Security.Intruder.packet_universe defs (config [])))
+
+let test_forgeable () =
+  let defs = intruder_defs () in
+  let forgeable_with kn =
+    List.length (Security.Intruder.forgeable defs (config kn))
+  in
+  check_int "only public packets without keys" 1 (forgeable_with []);
+  check_int "a key unlocks its mac" 2 (forgeable_with [ C.key "kA" ])
+
+let test_replay_intruder_behaviour () =
+  let defs = intruder_defs () in
+  let cfg = config [] in
+  let name = Security.Intruder.define defs cfg in
+  let mac_pkt =
+    Value.Ctor ("secret", [ C.mac (C.key "kA") (Value.Int 0) ])
+  in
+  (* an agent that sends the mac'd packet once and then stays receptive
+     to deliveries (like a real node's receive loop) *)
+  let sender =
+    Proc.Inter
+      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; mac_pkt ] Proc.Stop,
+        Proc.Run (Eventset.chan "rcv") )
+  in
+  let system =
+    Security.Intruder.compose sender ~medium:(Proc.Call (name, [])) cfg
+  in
+  let lts = Lts.compile defs system in
+  let traces = Traces.of_lts ~depth:3 lts in
+  let deliver_b = Event.Vis (Event.event "rcv" [ Value.sym "b"; mac_pkt ]) in
+  let deliver_a = Event.Vis (Event.event "rcv" [ Value.sym "a"; mac_pkt ]) in
+  let snd_ev =
+    Event.Vis (Event.event "snd" [ Value.sym "a"; Value.sym "b"; mac_pkt ])
+  in
+  let mem tr = List.exists (fun t -> List.equal Event.equal_label t tr) traces in
+  check_bool "no delivery before hearing" false (mem [ deliver_b ]);
+  check_bool "replay after hearing" true (mem [ snd_ev; deliver_b ]);
+  check_bool "redirect to another agent" true (mem [ snd_ev; deliver_a ]);
+  check_bool "replay twice" true (mem [ snd_ev; deliver_b; deliver_b ])
+
+let test_spy_synthesizes () =
+  (* the spy learns a key from an opened packet and forges a new mac;
+     model: packets are macs directly, agent a sends mac(kA) content
+     under... keep it simple: secret.mac carries the key inside a
+     transparent constructor so hearing it teaches the key *)
+  let defs = Defs.create () in
+  Defs.declare_datatype defs "Agent" [ "a", []; "b", [] ];
+  Defs.declare_datatype defs "KeyT" [ "key", [ Ty.Named "KN" ] ];
+  Defs.declare_datatype defs "KN" [ "kA", [] ] ;
+  Defs.declare_datatype defs "Pkt"
+    [ "leak", [ Ty.Named "KeyT" ]; "auth", [ Ty.Named "MacT" ] ];
+  Defs.declare_datatype defs "MacT"
+    [ "mac", [ Ty.Named "KeyT"; Ty.Int_range (0, 0) ] ];
+  Defs.declare_channel defs "snd"
+    [ Ty.Named "Agent"; Ty.Named "Agent"; Ty.Named "Pkt" ];
+  Defs.declare_channel defs "rcv" [ Ty.Named "Agent"; Ty.Named "Pkt" ];
+  let cfg = { Security.Intruder.send_chan = "snd"; recv_chan = "rcv"; knowledge = [] } in
+  check_int "one learnable secret" 1
+    (List.length (Security.Intruder.learnable_secrets defs cfg));
+  let spy = Security.Intruder.define_spy defs cfg in
+  let leak_pkt = Value.Ctor ("leak", [ C.key "kA" ]) in
+  let forged = Value.Ctor ("auth", [ C.mac (C.key "kA") (Value.Int 0) ]) in
+  let sender =
+    Proc.Inter
+      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; leak_pkt ] Proc.Stop,
+        Proc.Run (Eventset.chan "rcv") )
+  in
+  let system =
+    Security.Intruder.compose sender ~medium:(Proc.Call (spy, [])) cfg
+  in
+  let lts = Lts.compile defs system in
+  let traces = Traces.of_lts ~depth:3 lts in
+  let mem tr = List.exists (fun t -> List.equal Event.equal_label t tr) traces in
+  let snd_leak =
+    Event.Vis (Event.event "snd" [ Value.sym "a"; Value.sym "b"; leak_pkt ])
+  in
+  let inject_forged = Event.Vis (Event.event "rcv" [ Value.sym "b"; forged ]) in
+  check_bool "cannot forge before the leak" false (mem [ inject_forged ]);
+  check_bool "forges after learning the key" true (mem [ snd_leak; inject_forged ])
+
+let test_reliable_medium () =
+  let defs = intruder_defs () in
+  let cfg = config [] in
+  let name = Security.Intruder.reliable_medium defs cfg in
+  let sender =
+    Proc.Inter
+      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; Value.sym "hello" ]
+          Proc.Stop,
+        Proc.Run (Eventset.chan "rcv") )
+  in
+  let system =
+    Security.Intruder.compose sender ~medium:(Proc.Call (name, [])) cfg
+  in
+  let lts = Lts.compile defs system in
+  let traces = Traces.of_lts ~depth:2 lts in
+  let deliver = Event.Vis (Event.event "rcv" [ Value.sym "b"; Value.sym "hello" ]) in
+  let snd_ev =
+    Event.Vis (Event.event "snd" [ Value.sym "a"; Value.sym "b"; Value.sym "hello" ])
+  in
+  check_bool "faithful delivery" true
+    (List.exists (fun t -> List.equal Event.equal_label t [ snd_ev; deliver ]) traces);
+  (* no redirection *)
+  let wrong = Event.Vis (Event.event "rcv" [ Value.sym "a"; Value.sym "hello" ]) in
+  check_bool "no redirection" false
+    (List.exists (fun t -> List.equal Event.equal_label t [ snd_ev; wrong ]) traces)
+
+(* ------------------------------------------------------------------ *)
+(* Property builders                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_response () =
+  let defs = Defs.create () in
+  Defs.declare_channel defs "req" [ Ty.Int_range (0, 1) ];
+  Defs.declare_channel defs "rsp" [ Ty.Int_range (0, 1) ];
+  let spec = Security.Properties.request_response defs ~req:"req" ~resp:"rsp" in
+  Defs.define_proc defs "GOOD" []
+    (Proc.Prefix
+       ( "req",
+         [ Proc.In ("x", None) ],
+         Proc.prefix "rsp" [ Expr.var "x" ] (Proc.Call ("GOOD", [])) ));
+  check_bool "echo service conforms" true
+    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.Call ("GOOD", []))));
+  Defs.define_proc defs "BAD" []
+    (Proc.Prefix
+       ( "req",
+         [ Proc.In ("x", None) ],
+         Proc.prefix "rsp"
+           [ Expr.Bin (Expr.Mod, Expr.(var "x" + int 1), Expr.int 2) ]
+           (Proc.Call ("BAD", [])) ));
+  check_bool "corrupting service caught" false
+    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.Call ("BAD", []))))
+
+let test_never_and_precedes () =
+  let defs = Defs.create () in
+  Defs.declare_channel defs "x" [];
+  Defs.declare_channel defs "y" [];
+  Defs.declare_channel defs "leak" [];
+  let alphabet = Eventset.chans [ "x"; "y"; "leak" ] in
+  let never =
+    Security.Properties.never defs ~alphabet ~forbidden:(Eventset.chan "leak")
+  in
+  let clean = Proc.send "x" [] (Proc.send "y" [] Proc.Stop) in
+  let leaky = Proc.send "x" [] (Proc.send "leak" [] Proc.Stop) in
+  check_bool "clean passes" true
+    (Refine.holds (Refine.traces_refines defs ~spec:never ~impl:clean));
+  check_bool "leak caught" false
+    (Refine.holds (Refine.traces_refines defs ~spec:never ~impl:leaky));
+  let prec =
+    Security.Properties.precedes defs ~alphabet
+      ~trigger:(Event.event "x" []) ~guarded:(Event.event "y" [])
+  in
+  let ordered = Proc.send "x" [] (Proc.send "y" [] Proc.Stop) in
+  let reversed = Proc.send "y" [] (Proc.send "x" [] Proc.Stop) in
+  check_bool "ordered passes" true
+    (Refine.holds (Refine.traces_refines defs ~spec:prec ~impl:ordered));
+  check_bool "reversed caught" false
+    (Refine.holds (Refine.traces_refines defs ~spec:prec ~impl:reversed))
+
+let suite =
+  ( "security",
+    [
+      Alcotest.test_case "deduction: analysis" `Quick test_analyze;
+      Alcotest.test_case "deduction: synthesis" `Quick test_synthesizable;
+      QCheck_alcotest.to_alcotest monotone;
+      Alcotest.test_case "attack-tree sequences" `Quick test_sequences_structure;
+      QCheck_alcotest.to_alcotest translation_matches_semantics;
+      Alcotest.test_case "packet universes" `Quick test_packet_universe;
+      Alcotest.test_case "static forgeability" `Quick test_forgeable;
+      Alcotest.test_case "replay intruder" `Quick test_replay_intruder_behaviour;
+      Alcotest.test_case "lazy spy synthesizes" `Quick test_spy_synthesizes;
+      Alcotest.test_case "reliable medium" `Quick test_reliable_medium;
+      Alcotest.test_case "request/response property" `Quick test_request_response;
+      Alcotest.test_case "never and precedes properties" `Quick
+        test_never_and_precedes;
+    ] )

@@ -1,0 +1,64 @@
+(* Tests for the StringTemplate-style engine. *)
+
+open Extractor
+
+let check_string = Alcotest.(check string)
+
+let test_scalars () =
+  let t = Template.parse "channel $name$ : $ty$" in
+  check_string "substitution" "channel send : Msg"
+    (Template.render t
+       [ "name", Template.Scalar "send"; "ty", Template.Scalar "Msg" ]);
+  Alcotest.(check (list string)) "attributes" [ "name"; "ty" ]
+    (Template.attributes t)
+
+let test_lists_and_separators () =
+  let t = Template.parse "datatype Msg = $ctors; separator=\" | \"$" in
+  check_string "joined" "datatype Msg = reqSw | rptSw"
+    (Template.render t [ "ctors", Template.List [ "reqSw"; "rptSw" ] ])
+
+let test_escape () =
+  let t = Template.parse "cost: $$$amount$" in
+  check_string "dollar escape" "cost: $5"
+    (Template.render t [ "amount", Template.Scalar "5" ])
+
+let test_errors () =
+  let expect_error f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Template_error"
+    with Template.Template_error _ -> ()
+  in
+  expect_error (fun () -> Template.parse "$unterminated");
+  expect_error (fun () -> Template.render (Template.parse "$x$") []);
+  expect_error (fun () ->
+      Template.render (Template.parse "$x$") [ "x", Template.List [] ]);
+  expect_error (fun () ->
+      Template.render
+        (Template.parse "$x; separator=\",\"$")
+        [ "x", Template.Scalar "v" ]);
+  expect_error (fun () -> Template.parse "$x; frobnicate=\"y\"$")
+
+let test_groups () =
+  let g =
+    Template.group
+      [ "chan", "channel $n$"; "proc", "$n$ = STOP" ]
+  in
+  check_string "lookup and render" "channel c"
+    (Template.render_in g "chan" [ "n", Template.Scalar "c" ]);
+  check_string "second member" "P = STOP"
+    (Template.render_in g "proc" [ "n", Template.Scalar "P" ]);
+  try
+    ignore (Template.lookup g "missing");
+    Alcotest.fail "expected Template_error"
+  with Template.Template_error _ -> ()
+
+let suite =
+  ( "template",
+    [
+      Alcotest.test_case "scalar substitution" `Quick test_scalars;
+      Alcotest.test_case "list separators" `Quick test_lists_and_separators;
+      Alcotest.test_case "dollar escaping" `Quick test_escape;
+      Alcotest.test_case "error handling" `Quick test_errors;
+      Alcotest.test_case "template groups" `Quick test_groups;
+    ] )

@@ -1,0 +1,130 @@
+(* Tests for the tock-timed translation mode (the paper's Section VII-B
+   future-work item, implemented). *)
+
+open Csp
+
+let check_bool = Alcotest.(check bool)
+
+let dbc =
+  "BU_: A\n\
+   BO_ 1 beat: 1 A\n\
+   \ SG_ v : 0|2@1+ (1,0) [0|3] \"\" A\n"
+
+let db = Candb.Dbc_parser.parse dbc
+
+let timed_config =
+  { Extractor.Extract.default_config with timed = true; tock_ms = 10 }
+
+let extract src =
+  let defs = Defs.create () in
+  Candb.To_cspm.declare
+    ~config:timed_config.Extractor.Extract.domain db defs;
+  let model =
+    Extractor.Extract.extract_into ~config:timed_config ~defs ~db ~node:"N"
+      (Capl.Parser.program src)
+  in
+  defs, model
+
+let tock = Event.Vis (Event.event "tock" [])
+let ev chan n = Event.Vis (Event.event chan [ Value.Int n ])
+
+let traces defs model depth =
+  Traces.of_lts ~depth
+    (Lts.compile defs (Extractor.Extract.entry_call model))
+
+let mem traces tr =
+  List.exists (fun t -> List.equal Event.equal_label t tr) traces
+
+let periodic_src =
+  {|
+variables { message beat m; msTimer t; }
+on start { setTimer(t, 20); }
+on timer t { output(m); setTimer(t, 20); }
+|}
+
+let test_tock_declared () =
+  let defs, model = extract periodic_src in
+  check_bool "tock channel declared" true
+    (Option.is_some (Defs.channel_type defs "tock"));
+  check_bool "tock in the alphabet" true
+    (List.mem "tock"
+       (Eventset.channels_mentioned model.Extractor.Extract.alphabet));
+  (* no untimed timer channel in timed mode *)
+  check_bool "no timer channel" true
+    (Option.is_none (Defs.channel_type defs "timer_N_t"))
+
+let test_periodic_timing () =
+  let defs, model = extract periodic_src in
+  let ts = traces defs model 7 in
+  (* 20 ms at 10 ms/tock = 2 tocks before each beat *)
+  check_bool "fires after exactly two tocks" true
+    (mem ts [ tock; tock; ev "beat" 0 ]);
+  check_bool "does not fire early" false (mem ts [ tock; ev "beat" 0 ]);
+  check_bool "period repeats" true
+    (mem ts [ tock; tock; ev "beat" 0; tock; tock; ev "beat" 0 ]);
+  check_bool "time cannot pass the deadline silently" false
+    (mem ts [ tock; tock; tock ])
+
+let test_cancel_disarms () =
+  let defs, model =
+    extract
+      {|
+variables { message beat m; msTimer t; }
+on start { setTimer(t, 10); cancelTimer(t); }
+on timer t { output(m); }
+|}
+  in
+  let ts = traces defs model 4 in
+  check_bool "tocks pass freely" true (mem ts [ tock; tock; tock ]);
+  check_bool "handler never fires" false
+    (List.exists (fun tr -> List.exists (fun l -> l = ev "beat" 0) tr) ts)
+
+let test_clamping_warns () =
+  let _, model =
+    extract
+      {|
+variables { message beat m; msTimer t; }
+on start { setTimer(t, 500); }
+on timer t { output(m); }
+|}
+  in
+  check_bool "clamp warning issued" true
+    (List.exists
+       (fun w ->
+         let m = w.Extractor.Extract.what in
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length m && (String.sub m i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "clamps")
+       model.Extractor.Extract.warnings)
+
+let test_untimed_unchanged () =
+  (* default mode still produces the guarded timer-event branch *)
+  let defs = Defs.create () in
+  Candb.To_cspm.declare
+    ~config:Extractor.Extract.default_config.Extractor.Extract.domain db defs;
+  let model =
+    Extractor.Extract.extract_into ~defs ~db ~node:"N"
+      (Capl.Parser.program periodic_src)
+  in
+  check_bool "timer channel exists untimed" true
+    (Option.is_some (Defs.channel_type defs "timer_N_t"));
+  check_bool "tock absent untimed" true
+    (Option.is_none (Defs.channel_type defs "tock"));
+  ignore model
+
+let suite =
+  ( "timed",
+    [
+      Alcotest.test_case "tock channel and alphabet" `Quick test_tock_declared;
+      Alcotest.test_case "periodic timer fires on schedule" `Quick
+        test_periodic_timing;
+      Alcotest.test_case "cancelTimer disarms" `Quick test_cancel_disarms;
+      Alcotest.test_case "durations clamp with a warning" `Quick
+        test_clamping_warns;
+      Alcotest.test_case "untimed mode unchanged" `Quick test_untimed_unchanged;
+    ] )

@@ -1,0 +1,111 @@
+(* The paper's Section IV-A2 trace semantics: unit tests of the trace
+   operators, and the differential property that the denotational
+   equations agree with traces harvested from the operational semantics —
+   on random processes over every operator. *)
+
+open Csp
+open Helpers
+
+let defs = make_defs ()
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tr chan ns = List.map (fun n -> vis chan n) ns
+
+let set_equal s1 s2 = Traces.subset s1 s2 && Traces.subset s2 s1
+
+let test_basic_equations () =
+  (* traces(STOP) = {<>} *)
+  check_int "STOP" 1 (List.length (Traces.of_proc defs Proc.Stop));
+  (* traces(SKIP) = {<>, <tick>} *)
+  check_int "SKIP" 2 (List.length (Traces.of_proc defs Proc.Skip));
+  (* traces(e -> STOP) = {<>, <e>} *)
+  check_int "prefix" 2 (List.length (Traces.of_proc defs (send "a" 1 Proc.Stop)));
+  (* traces(P [] Q) = union *)
+  let p = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  check_int "choice" 3 (List.length (Traces.of_proc defs p));
+  (* internal and external choice have the same traces *)
+  let q = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  check_bool "int = ext in traces" true
+    (set_equal (Traces.of_proc defs p) (Traces.of_proc defs q))
+
+let test_seq_equation () =
+  (* (a!0 -> SKIP); b!1 -> STOP : <>, <a.0>, <a.0, b.1> (tick hidden) *)
+  let p = Proc.Seq (send "a" 0 Proc.Skip, send "b" 1 Proc.Stop) in
+  let ts = Traces.of_proc defs p in
+  check_int "seq traces" 3 (List.length ts);
+  check_bool "no stray tick" true
+    (List.for_all (fun t -> not (List.mem Event.Tick t)) ts)
+
+let test_prefix_order () =
+  check_bool "empty is prefix" true (Traces.is_prefix [] (tr "a" [ 0; 1 ]));
+  check_bool "proper prefix" true
+    (Traces.is_prefix (tr "a" [ 0 ]) (tr "a" [ 0; 1 ]));
+  check_bool "not a prefix" false
+    (Traces.is_prefix (tr "a" [ 1 ]) (tr "a" [ 0; 1 ]))
+
+let test_hide_operator () =
+  let t = [ vis "a" 0; vis "b" 1; Event.Tick ] in
+  let hidden = Traces.hide (Eventset.chan "a") t in
+  check_int "a removed, tick kept" 2 (List.length hidden)
+
+let test_merge () =
+  (* no synchronization: all interleavings *)
+  let m = Traces.merge ~sync:(fun _ -> false) (tr "a" [ 0 ]) (tr "b" [ 0 ]) in
+  check_int "interleavings" 2 (List.length m);
+  (* full synchronization on equal traces *)
+  let m2 = Traces.merge ~sync:(fun _ -> true) (tr "a" [ 0 ]) (tr "a" [ 0 ]) in
+  check_int "synced" 1 (List.length m2);
+  (* synchronization mismatch kills the merge *)
+  let m3 = Traces.merge ~sync:(fun _ -> true) (tr "a" [ 0 ]) (tr "a" [ 1 ]) in
+  check_int "mismatch" 0 (List.length m3);
+  (* tick must synchronize *)
+  let m4 =
+    Traces.merge ~sync:(fun _ -> false) [ Event.Tick ] [ vis "a" 0; Event.Tick ]
+  in
+  check_int "tick syncs at the end" 1 (List.length m4)
+
+let test_prefix_closure () =
+  let set = [ tr "a" [ 0; 1 ] ] in
+  let closed = Traces.prefix_closure set in
+  check_int "closure adds prefixes" 3 (List.length closed);
+  check_bool "closed set detected" true (Traces.is_prefix_closed closed);
+  check_bool "open set detected" false (Traces.is_prefix_closed set)
+
+(* The central differential property: for random ground processes the
+   denotational trace set (paper equations) equals the operational one. *)
+let denotational_matches_operational =
+  QCheck.Test.make ~count:200
+    ~name:"paper trace equations = operational traces" arb_proc (fun p ->
+      let depth = 4 in
+      match Traces.of_proc ~depth defs p with
+      | denotational ->
+        let lts = Lts.compile ~max_states:20_000 defs p in
+        let operational = Traces.of_lts ~depth lts in
+        if set_equal denotational operational then true
+        else
+          QCheck.Test.fail_reportf
+            "denotational %a@.operational %a" Traces.pp denotational
+            Traces.pp operational
+      | exception Traces.Unguarded _ -> QCheck.assume_fail ())
+
+(* Trace sets of processes are always prefix-closed and nonempty. *)
+let prefix_closed_prop =
+  QCheck.Test.make ~count:200 ~name:"trace sets are prefix-closed" arb_proc
+    (fun p ->
+      let ts = Traces.of_proc ~depth:4 defs p in
+      ts <> [] && Traces.is_prefix_closed ts)
+
+let suite =
+  ( "traces",
+    [
+      Alcotest.test_case "basic equations" `Quick test_basic_equations;
+      Alcotest.test_case "sequential composition" `Quick test_seq_equation;
+      Alcotest.test_case "prefix order" `Quick test_prefix_order;
+      Alcotest.test_case "hiding operator" `Quick test_hide_operator;
+      Alcotest.test_case "synchronized merge" `Quick test_merge;
+      Alcotest.test_case "prefix closure" `Quick test_prefix_closure;
+      QCheck_alcotest.to_alcotest denotational_matches_operational;
+      QCheck_alcotest.to_alcotest prefix_closed_prop;
+    ] )

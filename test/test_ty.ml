@@ -1,0 +1,104 @@
+(* Unit tests for Csp.Ty: domain enumeration, membership, limits. *)
+
+open Csp
+
+let no_lookup : Ty.lookup = fun _ -> None
+
+let lookup : Ty.lookup = function
+  | "Msg" -> Some (Ty.Variants [ "reqSw", []; "rptSw", [ Ty.Int_range (0, 2) ] ])
+  | "Ver" -> Some (Ty.Alias (Ty.Int_range (1, 3)))
+  | "Rec" -> Some (Ty.Variants [ "node", [ Ty.Named "Rec" ] ])
+  | _ -> None
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_int_range () =
+  let dom = Ty.domain no_lookup (Ty.Int_range (2, 5)) in
+  check_int "size" 4 (List.length dom);
+  check_bool "first" true (Value.equal (List.hd dom) (Value.Int 2));
+  check_int "empty range" 0 (List.length (Ty.domain no_lookup (Ty.Int_range (5, 2))))
+
+let test_bool () =
+  check_int "bool domain" 2 (List.length (Ty.domain no_lookup Ty.Bool))
+
+let test_datatype () =
+  let dom = Ty.domain lookup (Ty.Named "Msg") in
+  (* reqSw + rptSw.{0,1,2} *)
+  check_int "constructors expand" 4 (List.length dom);
+  check_bool "contains reqSw" true
+    (List.exists (Value.equal (Value.sym "reqSw")) dom);
+  check_bool "contains rptSw.2" true
+    (List.exists (Value.equal (Value.Ctor ("rptSw", [ Value.Int 2 ]))) dom)
+
+let test_nametype_alias () =
+  let dom = Ty.domain lookup (Ty.Named "Ver") in
+  check_int "alias expands" 3 (List.length dom);
+  check_bool "alias values are ints" true
+    (List.for_all (function Value.Int _ -> true | _ -> false) dom)
+
+let test_tuple () =
+  let dom = Ty.domain lookup (Ty.Tuple [ Ty.Bool; Ty.Int_range (0, 1) ]) in
+  check_int "product" 4 (List.length dom)
+
+let test_unknown_and_recursive () =
+  (try
+     ignore (Ty.domain lookup (Ty.Named "Nope"));
+     Alcotest.fail "expected Unknown_type"
+   with Ty.Unknown_type _ -> ());
+  try
+    ignore (Ty.domain lookup (Ty.Named "Rec"));
+    Alcotest.fail "expected Unknown_type for recursive datatype"
+  with Ty.Unknown_type _ -> ()
+
+let test_limit () =
+  try
+    ignore (Ty.domain ~limit:10 no_lookup (Ty.Int_range (0, 100)));
+    Alcotest.fail "expected Domain_too_large"
+  with Ty.Domain_too_large _ -> ()
+
+let test_contains () =
+  check_bool "in range" true
+    (Ty.contains no_lookup (Ty.Int_range (0, 5)) (Value.Int 3));
+  check_bool "out of range" false
+    (Ty.contains no_lookup (Ty.Int_range (0, 5)) (Value.Int 9));
+  check_bool "wrong kind" false
+    (Ty.contains no_lookup (Ty.Int_range (0, 5)) (Value.Bool true));
+  check_bool "ctor in datatype" true
+    (Ty.contains lookup (Ty.Named "Msg") (Value.Ctor ("rptSw", [ Value.Int 1 ])));
+  check_bool "ctor arg out of range" false
+    (Ty.contains lookup (Ty.Named "Msg") (Value.Ctor ("rptSw", [ Value.Int 7 ])));
+  check_bool "unknown ctor" false
+    (Ty.contains lookup (Ty.Named "Msg") (Value.sym "other"));
+  check_bool "alias membership" true
+    (Ty.contains lookup (Ty.Named "Ver") (Value.Int 2));
+  check_bool "alias non-membership" false
+    (Ty.contains lookup (Ty.Named "Ver") (Value.Int 0))
+
+let test_contains_agrees_with_domain =
+  QCheck.Test.make ~count:200 ~name:"contains agrees with domain membership"
+    QCheck.(pair small_signed_int small_signed_int)
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let ty = Ty.Int_range (lo, hi) in
+      let dom = Ty.domain no_lookup ty in
+      List.for_all
+        (fun v ->
+          Ty.contains no_lookup ty (Value.Int v)
+          = List.exists (Value.equal (Value.Int v)) dom)
+        [ lo - 1; lo; (lo + hi) / 2; hi; hi + 1 ])
+
+let suite =
+  ( "ty",
+    [
+      Alcotest.test_case "int ranges" `Quick test_int_range;
+      Alcotest.test_case "bool" `Quick test_bool;
+      Alcotest.test_case "datatypes" `Quick test_datatype;
+      Alcotest.test_case "nametype aliases" `Quick test_nametype_alias;
+      Alcotest.test_case "tuples" `Quick test_tuple;
+      Alcotest.test_case "unknown and recursive types" `Quick
+        test_unknown_and_recursive;
+      Alcotest.test_case "domain size limit" `Quick test_limit;
+      Alcotest.test_case "contains" `Quick test_contains;
+      QCheck_alcotest.to_alcotest test_contains_agrees_with_domain;
+    ] )

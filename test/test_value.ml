@@ -1,0 +1,88 @@
+(* Unit tests for Csp.Value: ordering, equality, hashing, printing. *)
+
+open Csp
+
+let v_int = Value.Int 3
+let v_sym = Value.sym "reqSw"
+let v_ctor = Value.Ctor ("mac", [ Value.sym "k"; Value.Int 1 ])
+let v_tuple = Value.Tuple [ Value.Int 1; Value.Bool true ]
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let test_equal () =
+  check_bool "int reflexive" true (Value.equal v_int (Value.Int 3));
+  check_bool "int differs" false (Value.equal v_int (Value.Int 4));
+  check_bool "sym reflexive" true (Value.equal v_sym (Value.sym "reqSw"));
+  check_bool "sym differs" false (Value.equal v_sym (Value.sym "rptSw"));
+  check_bool "ctor deep" true
+    (Value.equal v_ctor (Value.Ctor ("mac", [ Value.sym "k"; Value.Int 1 ])));
+  check_bool "ctor arg differs" false
+    (Value.equal v_ctor (Value.Ctor ("mac", [ Value.sym "k"; Value.Int 2 ])));
+  check_bool "kinds differ" false (Value.equal v_int v_sym);
+  check_bool "tuple" true
+    (Value.equal v_tuple (Value.Tuple [ Value.Int 1; Value.Bool true ]))
+
+let test_compare_total_order () =
+  let values =
+    [ v_int; v_sym; v_ctor; v_tuple; Value.Bool false; Value.Int (-5) ]
+  in
+  (* antisymmetry and consistency with equal *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ab = Value.compare a b in
+          let ba = Value.compare b a in
+          check_bool "antisymmetric" true (compare ab 0 = compare 0 ba);
+          check_bool "equal iff compare 0" (Value.equal a b) (ab = 0))
+        values)
+    values;
+  (* transitivity on a sorted list *)
+  let sorted = List.sort Value.compare values in
+  let rec adjacent_ok = function
+    | a :: (b :: _ as rest) ->
+      check_bool "sorted" true (Value.compare a b <= 0);
+      adjacent_ok rest
+    | _ -> ()
+  in
+  adjacent_ok sorted
+
+let test_hash_consistent () =
+  check_int "equal values, equal hashes" (Value.hash v_ctor)
+    (Value.hash (Value.Ctor ("mac", [ Value.sym "k"; Value.Int 1 ])));
+  check_int "tuple hash stable" (Value.hash v_tuple)
+    (Value.hash (Value.Tuple [ Value.Int 1; Value.Bool true ]))
+
+let test_pp () =
+  check_string "int" "3" (Value.to_string v_int);
+  check_string "sym" "reqSw" (Value.to_string v_sym);
+  check_string "ctor dotted" "mac.k.1" (Value.to_string v_ctor);
+  check_string "nested ctor parenthesized" "mac.(key.k).1"
+    (Value.to_string
+       (Value.Ctor ("mac", [ Value.Ctor ("key", [ Value.sym "k" ]); Value.Int 1 ])));
+  check_string "tuple" "(1, true)" (Value.to_string v_tuple);
+  check_string "bool" "false" (Value.to_string (Value.Bool false))
+
+let test_accessors () =
+  check_int "as_int" 3 (Value.as_int v_int);
+  check_bool "as_bool" true (Value.as_bool (Value.Bool true));
+  Alcotest.check_raises "as_int on sym"
+    (Invalid_argument "Value.as_int: reqSw") (fun () ->
+      ignore (Value.as_int v_sym));
+  Alcotest.check_raises "as_bool on int"
+    (Invalid_argument "Value.as_bool: 3") (fun () ->
+      ignore (Value.as_bool v_int))
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "equal" `Quick test_equal;
+      Alcotest.test_case "compare is a total order" `Quick
+        test_compare_total_order;
+      Alcotest.test_case "hash consistent with equal" `Quick
+        test_hash_consistent;
+      Alcotest.test_case "printing" `Quick test_pp;
+      Alcotest.test_case "accessors" `Quick test_accessors;
+    ] )
