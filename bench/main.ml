@@ -371,7 +371,8 @@ let scale () =
       in
       let pairs =
         match result with
-        | Csp.Refine.Holds stats -> stats.Csp.Refine.pairs
+        | Csp.Refine.Holds stats | Csp.Refine.Inconclusive (stats, _) ->
+          stats.Csp.Refine.pairs
         | Csp.Refine.Fails _ -> -1
       in
       Format.printf "%8d %10d %9.2f ms %12s@." k pairs (t *. 1e3)
@@ -387,7 +388,8 @@ let scale () =
       in
       let pairs =
         match result with
-        | Csp.Refine.Holds stats -> stats.Csp.Refine.pairs
+        | Csp.Refine.Holds stats | Csp.Refine.Inconclusive (stats, _) ->
+          stats.Csp.Refine.pairs
         | Csp.Refine.Fails _ -> -1
       in
       Format.printf "%8d %10d %9.2f ms@." n pairs (t *. 1e3))
@@ -418,7 +420,7 @@ let attack () =
     | Csp.Refine.Fails cex ->
       Format.printf "    trace: %s@."
         (Csp.Pretty.trace_to_string cex.Csp.Refine.trace)
-    | Csp.Refine.Holds _ -> ()
+    | Csp.Refine.Holds _ | Csp.Refine.Inconclusive _ -> ()
   in
   run "secure ECU vs intruder"
     (Ota.Scenario.make ~medium:Ota.Scenario.Intruder ())

@@ -1,0 +1,44 @@
+(* Smoke bench: a seconds-scale end-to-end pass over the robustness
+   features, wired into `dune runtest`. It is a health check, not a
+   measurement — it exercises fault injection on the demo network and the
+   budgeted refinement engine with a deliberately tiny budget, and fails
+   loudly if either regresses. *)
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_fault_injection () =
+  let sim = Ota.Capl_sources.simulation () in
+  let plan = Canbus.Fault.plan ~seed:42 ~drop:0.1 () in
+  let fault = Canbus.Fault.install (Capl.Simulation.bus sim) plan in
+  Capl.Simulation.start sim;
+  ignore (Capl.Simulation.run ~until_ms:200 sim);
+  let stats = Canbus.Fault.stats fault in
+  if stats.Canbus.Fault.drops = 0 then
+    fail "fault smoke: a 10%% drop plan injected nothing";
+  let log = Capl.Simulation.log sim in
+  if Canbus.Trace_log.faults log = [] then
+    fail "fault smoke: no Fault entries reached the trace log";
+  Format.printf "fault injection: %d drops, %d retransmissions, %d log entries@."
+    stats.Canbus.Fault.drops stats.Canbus.Fault.retransmissions
+    (Canbus.Trace_log.length log)
+
+let check_budgeted_engine () =
+  (* a tiny wall-clock budget on the stock large check must degrade to an
+     inconclusive verdict with real progress, never an exception *)
+  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  | Csp.Refine.Inconclusive (stats, hint) ->
+    if
+      stats.Csp.Refine.impl_states = 0
+      && stats.Csp.Refine.spec_nodes = 0
+      && stats.Csp.Refine.pairs = 0
+    then fail "budget smoke: inconclusive verdict carries no progress";
+    Format.printf "budgeted engine: INCONCLUSIVE after %a@."
+      Csp.Refine.pp_resume_hint hint
+  | Csp.Refine.Holds _ ->
+    fail "budget smoke: 1 ms unexpectedly completed the NS check"
+  | Csp.Refine.Fails _ -> fail "budget smoke: fixed NS must not fail"
+
+let () =
+  check_fault_injection ();
+  check_budgeted_engine ();
+  print_endline "smoke: ok"

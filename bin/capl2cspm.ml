@@ -6,20 +6,23 @@
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
-  content
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let node_name_of_path path =
   Filename.remove_extension (Filename.basename path)
 
 let run dbc_path capl_paths output max_domain global_max max_unroll strict
     quiet =
-  let dbc = read_file dbc_path in
-  let sources =
-    List.map (fun p -> node_name_of_path p, read_file p) capl_paths
-  in
+  match
+    ( read_file dbc_path,
+      List.map (fun p -> node_name_of_path p, read_file p) capl_paths )
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | dbc, sources ->
   let config =
     {
       Extractor.Extract.default_config with
@@ -51,8 +54,9 @@ let run dbc_path capl_paths output max_domain global_max max_unroll strict
      | None -> print_string script
      | Some path ->
        let oc = open_out path in
-       output_string oc script;
-       close_out oc;
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc script);
        if not quiet then Printf.eprintf "wrote %s\n" path);
     0
 

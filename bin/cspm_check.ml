@@ -4,13 +4,18 @@
 
 let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let content = really_input_string ic len in
-  close_in ic;
-  content
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let run path max_states list_only dot =
+(* Exit codes: 0 all assertions hold, 1 at least one definite failure,
+   2 load/usage error, 3 no failures but at least one inconclusive
+   (budget exhausted — rerun with a larger --timeout/--max-states). *)
+let run path max_states timeout list_only dot =
   match Cspm.Elaborate.load_string (read_file path) with
+  | exception Sys_error msg ->
+    Format.eprintf "%s@." msg;
+    2
   | exception Cspm.Parser.Parse_error (msg, pos) ->
     Format.eprintf "%s:%a: syntax error: %s@." path Cspm.Ast.pp_pos pos msg;
     2
@@ -48,17 +53,21 @@ let run path max_states list_only dot =
       0
     end
     else begin
-      let outcomes = Cspm.Check.run ~max_states loaded in
+      let outcomes = Cspm.Check.run ~max_states ?deadline:timeout loaded in
       Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
+      let count p = List.length (List.filter p outcomes) in
       let failures =
-        List.length
-          (List.filter
-             (fun o -> not (Csp.Refine.holds o.Cspm.Check.result))
-             outcomes)
+        count (fun o ->
+            match o.Cspm.Check.result with
+            | Csp.Refine.Fails _ -> true
+            | _ -> false)
       in
-      Format.printf "%d assertion(s), %d failure(s)@." (List.length outcomes)
-        failures;
-      if failures = 0 then 0 else 1
+      let inconclusive =
+        count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
+      in
+      Format.printf "%d assertion(s), %d failure(s), %d inconclusive@."
+        (List.length outcomes) failures inconclusive;
+      if failures > 0 then 1 else if inconclusive > 0 then 3 else 0
     end
 
 open Cmdliner
@@ -74,6 +83,17 @@ let max_states_arg =
     value & opt int 1_000_000
     & info [ "max-states" ] ~docv:"N"
         ~doc:"State bound for compilation and product exploration.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget for the whole run, divided evenly between \
+           the assertions. Checks that exhaust it report INCONCLUSIVE \
+           with a resume hint instead of an answer; if any assertion is \
+           inconclusive and none definitely fails, the exit code is 3.")
 
 let list_arg =
   Arg.(
@@ -91,8 +111,21 @@ let dot_arg =
 
 let cmd =
   let doc = "run the assert declarations of a CSPm script" in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 — every assertion holds.";
+      `P "1 — at least one assertion definitely fails.";
+      `P "2 — the script could not be loaded (syntax or semantic error).";
+      `P
+        "3 — no assertion fails, but at least one is inconclusive \
+         because a state, pair, or $(b,--timeout) budget was exhausted.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "cspm_check" ~version:"1.0.0" ~doc)
-    Term.(const run $ file_arg $ max_states_arg $ list_arg $ dot_arg)
+    (Cmd.info "cspm_check" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ file_arg $ max_states_arg $ timeout_arg $ list_arg
+      $ dot_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,171 +1,38 @@
-(* The paper's motivating historical example (Section II-B): the
-   Needham-Schroeder public-key protocol, trusted for 18 years until CSP
-   model checking exposed Lowe's man-in-the-middle attack — reproduced
-   here with this library's engine and lazy-spy intruder, together with
-   Lowe's fix.
-
-   Protocol (public-key core):
-     1. A -> B : {na, A}pk(B)
-     2. B -> A : {na, nb}pk(A)        (Lowe's fix adds B's identity)
-     3. A -> B : {nb}pk(B)
-
-   Property: when B commits to a session apparently with A, A really ran
-   the protocol with B.
+(* Driver for the Needham-Schroeder public-key model that lives in
+   [Security.Ns_protocol]: reproduces Lowe's man-in-the-middle attack on
+   the original protocol, verifies Lowe's fix, and then demonstrates the
+   budgeted engine by re-running the fixed check under a deliberately
+   tiny wall-clock deadline, which ends [Inconclusive] with partial
+   statistics instead of an exception.
 
    Run with: dune exec examples/needham_schroeder.exe *)
-
-module P = Csp.Proc
-module E = Csp.Expr
-module V = Csp.Value
-
-let agent_a = V.sym "a"
-let agent_b = V.sym "b"
-let agent_i = V.sym "i"
-
-let e_pk x = E.Ctor ("pk", [ x ])
-let e_aenc k m = E.Ctor ("aenc", [ k; m ])
-
-(* Build the protocol model; [fixed] switches message 2 to Lowe's variant
-   carrying the responder's identity. *)
-let build ~fixed =
-  let defs = Csp.Defs.create () in
-  let nonce_field = Csp.Ty.Int_range (0, 2) in
-  Csp.Defs.declare_datatype defs "AgentId" [ "a", []; "b", []; "i", [] ];
-  Csp.Defs.declare_datatype defs "Nonce" [ "nonce", [ nonce_field ] ];
-  Csp.Defs.declare_datatype defs "PKey" [ "pk", [ Csp.Ty.Named "AgentId" ] ];
-  Csp.Defs.declare_datatype defs "Body"
-    [
-      "msg1", [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "AgentId" ];
-      ( "msg2",
-        if fixed then
-          [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "Nonce"; Csp.Ty.Named "AgentId" ]
-        else [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "Nonce" ] );
-      "msg3", [ Csp.Ty.Named "Nonce" ];
-    ];
-  Csp.Defs.declare_datatype defs "Packet"
-    [ "aenc", [ Csp.Ty.Named "PKey"; Csp.Ty.Named "Body" ] ];
-  Csp.Defs.declare_channel defs "send"
-    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId"; Csp.Ty.Named "Packet" ];
-  Csp.Defs.declare_channel defs "recv"
-    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "Packet" ];
-  Csp.Defs.declare_channel defs "running"
-    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId" ];
-  Csp.Defs.declare_channel defs "commit"
-    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId" ];
-  let nonces = E.Ty_dom (Csp.Ty.Named "Nonce") in
-  (* INITIATOR(self, peer, na) *)
-  let msg2_pattern =
-    if fixed then
-      E.Ctor ("msg2", [ E.Var "na"; E.Var "nb"; E.Var "peer" ])
-    else E.Ctor ("msg2", [ E.Var "na"; E.Var "nb" ])
-  in
-  Csp.Defs.define_proc defs "INITIATOR" [ "self"; "peer"; "na" ]
-    (P.prefix "running" [ E.Var "self"; E.Var "peer" ]
-       (P.prefix "send"
-          [
-            E.Var "self";
-            E.Var "peer";
-            e_aenc (e_pk (E.Var "peer"))
-              (E.Ctor ("msg1", [ E.Var "na"; E.Var "self" ]));
-          ]
-          (P.Ext_over
-             ( "nb",
-               nonces,
-               P.prefix "recv"
-                 [ E.Var "self"; e_aenc (e_pk (E.Var "self")) msg2_pattern ]
-                 (P.prefix "send"
-                    [
-                      E.Var "self";
-                      E.Var "peer";
-                      e_aenc (e_pk (E.Var "peer"))
-                        (E.Ctor ("msg3", [ E.Var "nb" ]));
-                    ]
-                    P.Skip) ))));
-  (* RESPONDER(self, nb) *)
-  let msg2_reply =
-    if fixed then
-      E.Ctor ("msg2", [ E.Var "n"; E.Var "nb"; E.Var "self" ])
-    else E.Ctor ("msg2", [ E.Var "n"; E.Var "nb" ])
-  in
-  Csp.Defs.define_proc defs "RESPONDER" [ "self"; "nb" ]
-    (P.Ext_over
-       ( "n",
-         nonces,
-         P.Ext_over
-           ( "x",
-             E.Ty_dom (Csp.Ty.Named "AgentId"),
-             P.prefix "recv"
-               [
-                 E.Var "self";
-                 e_aenc (e_pk (E.Var "self"))
-                   (E.Ctor ("msg1", [ E.Var "n"; E.Var "x" ]));
-               ]
-               (P.prefix "send"
-                  [
-                    E.Var "self"; E.Var "x";
-                    e_aenc (e_pk (E.Var "x")) msg2_reply;
-                  ]
-                  (P.prefix "recv"
-                     [
-                       E.Var "self";
-                       e_aenc (e_pk (E.Var "self"))
-                         (E.Ctor ("msg3", [ E.Var "nb" ]));
-                     ]
-                     (P.prefix "commit" [ E.Var "self"; E.Var "x" ] P.Skip)))
-           ) ));
-  (* A initiates with either the honest B or the (compromised) agent I —
-     running a session with a dishonest party is not itself a flaw. *)
-  let initiator_any =
-    P.Ext_over
-      ( "peerchoice",
-        E.Set [ E.Lit agent_b; E.Lit agent_i ],
-        P.Call
-          ( "INITIATOR",
-            [ E.Lit agent_a; E.Var "peerchoice"; E.Lit (V.Ctor ("nonce", [ V.Int 0 ])) ] ) )
-  in
-  let responder = P.Call ("RESPONDER", [ E.Lit agent_b; E.Lit (V.Ctor ("nonce", [ V.Int 1 ])) ]) in
-  let agents = P.Inter (initiator_any, responder) in
-  (* The lazy spy: owns i's private key and a nonce of its own; learns the
-     honest nonces only by opening packets encrypted to pk(i). *)
-  let config =
-    {
-      Security.Intruder.send_chan = "send";
-      recv_chan = "recv";
-      knowledge =
-        [ Security.Crypto.sk agent_i; V.Ctor ("nonce", [ V.Int 2 ]) ];
-    }
-  in
-  let spy = Security.Intruder.define_spy defs config in
-  let system =
-    Security.Intruder.compose agents ~medium:(P.Call (spy, [])) config
-  in
-  defs, system
-
-let check ~fixed =
-  let defs, system = build ~fixed in
-  let alphabet = Csp.Eventset.chans [ "send"; "recv"; "running"; "commit" ] in
-  let spec =
-    Security.Properties.precedes defs ~alphabet
-      ~trigger:(Csp.Event.event "running" [ agent_a; agent_b ])
-      ~guarded:(Csp.Event.event "commit" [ agent_b; agent_a ])
-  in
-  Csp.Refine.traces_refines ~max_states:2_000_000 defs ~spec ~impl:system
 
 let () =
   Format.printf
     "Needham-Schroeder public key, original form (Lowe's attack expected):@.";
-  (match check ~fixed:false with
+  (match Security.Ns_protocol.check ~fixed:false () with
    | Csp.Refine.Fails cex ->
      Format.printf "BROKEN — the man-in-the-middle attack:@.";
      List.iter
        (fun l -> Format.printf "  %a@." Csp.Event.pp_label l)
        cex.Csp.Refine.trace
-   | Csp.Refine.Holds _ ->
+   | Csp.Refine.Holds _ | Csp.Refine.Inconclusive _ ->
      Format.printf "unexpectedly secure — check the model!@.");
   Format.printf "@.With Lowe's fix (responder identity in message 2):@.";
-  match check ~fixed:true with
-  | Csp.Refine.Holds stats ->
-    Format.printf "secure: authentication holds (%d states explored)@."
-      stats.Csp.Refine.pairs
-  | Csp.Refine.Fails cex ->
-    Format.printf "unexpected attack: %a@." Csp.Refine.pp_counterexample cex
+  (match Security.Ns_protocol.check ~fixed:true () with
+   | Csp.Refine.Holds stats ->
+     Format.printf "secure: authentication holds (%d states explored)@."
+       stats.Csp.Refine.pairs
+   | Csp.Refine.Fails cex ->
+     Format.printf "unexpected attack: %a@." Csp.Refine.pp_counterexample cex
+   | Csp.Refine.Inconclusive (_, hint) ->
+     Format.printf "ran out of budget: %a@." Csp.Refine.pp_resume_hint hint);
+  Format.printf "@.Same check under a 1 ms wall-clock budget:@.";
+  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  | Csp.Refine.Inconclusive (stats, hint) ->
+    Format.printf
+      "inconclusive, as expected: %d pairs explored, %a@."
+      stats.Csp.Refine.pairs Csp.Refine.pp_resume_hint hint
+  | r ->
+    Format.printf "finished inside 1 ms (%a) — fast machine!@."
+      Csp.Refine.pp_result r

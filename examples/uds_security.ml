@@ -122,6 +122,9 @@ let report name result =
   | Csp.Refine.Fails cex ->
     Format.printf "%-52s UNLOCKED by the attacker:@." name;
     Format.printf "    %s@." (Csp.Pretty.trace_to_string cex.Csp.Refine.trace)
+  | Csp.Refine.Inconclusive (_, hint) ->
+    Format.printf "%-52s INCONCLUSIVE (%a)@." name Csp.Refine.pp_resume_hint
+      hint
 
 let () =
   print_endline "UDS SecurityAccess (0x27) under a Dolev-Yao attacker";

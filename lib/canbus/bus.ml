@@ -5,6 +5,11 @@ type node = {
   rx : Frame.t -> unit;
 }
 
+type delivery = {
+  delay : int;
+  frame : Frame.t;
+}
+
 type pending = {
   src : node_id;
   frame : Frame.t;
@@ -19,6 +24,9 @@ type t = {
   mutable queue : pending list;
   mutable busy : bool;
   mutable seq : int;
+  mutable tx_gate : (node_id -> Frame.t -> bool) option;
+  mutable wire_hook : (src:node_id -> Frame.t -> delivery list) option;
+  mutable rx_gate : (node_id -> bool) option;
 }
 
 let create ?(bitrate = 500_000) sched =
@@ -30,7 +38,14 @@ let create ?(bitrate = 500_000) sched =
     queue = [];
     busy = false;
     seq = 0;
+    tx_gate = None;
+    wire_hook = None;
+    rx_gate = None;
   }
+
+let set_tx_gate t gate = t.tx_gate <- gate
+let set_wire_hook t hook = t.wire_hook <- hook
+let set_rx_gate t gate = t.rx_gate <- gate
 
 let scheduler t = t.sched
 let log t = t.log
@@ -41,6 +56,16 @@ let attach t ~name ~rx =
   id
 
 let node_name t id = t.nodes.(id).name
+let node_ids t = List.init (Array.length t.nodes) (fun i -> i)
+
+let record_fault t ~node ~kind frame =
+  Trace_log.record t.log
+    {
+      Trace_log.time = Scheduler.now t.sched;
+      node;
+      direction = Trace_log.Fault kind;
+      frame;
+    }
 
 let frame_duration t frame =
   (* microseconds on the wire, rounded up *)
@@ -80,26 +105,51 @@ let rec arbitrate t =
                  direction = Trace_log.Tx;
                  frame = winner.frame;
                };
-             Array.iteri
-               (fun i node ->
-                 if i <> winner.src then begin
-                   Trace_log.record t.log
-                     {
-                       Trace_log.time = Scheduler.now t.sched;
-                       node = src_name;
-                       direction = Trace_log.Rx node.name;
-                       frame = winner.frame;
-                     };
-                   node.rx winner.frame
-                 end)
-               t.nodes;
+             (* The wire hook sees every completed transmission and decides
+                what actually arrives: the frame unchanged (default), a
+                mutated or delayed copy, several copies, or nothing. *)
+             let deliveries =
+               match t.wire_hook with
+               | None -> [ { delay = 0; frame = winner.frame } ]
+               | Some hook -> hook ~src:winner.src winner.frame
+             in
+             let deliver (d : delivery) () =
+               Array.iteri
+                 (fun i node ->
+                   let gated =
+                     match t.rx_gate with
+                     | Some gate -> not (gate i)
+                     | None -> false
+                   in
+                   if i <> winner.src && not gated then begin
+                     Trace_log.record t.log
+                       {
+                         Trace_log.time = Scheduler.now t.sched;
+                         node = src_name;
+                         direction = Trace_log.Rx node.name;
+                         frame = d.frame;
+                       };
+                     node.rx d.frame
+                   end)
+                 t.nodes
+             in
+             List.iter
+               (fun d ->
+                 if d.delay <= 0 then deliver d ()
+                 else ignore (Scheduler.after t.sched d.delay (deliver d)))
+               deliveries;
              arbitrate t))
   end
 
 let transmit t src frame =
-  let p = { src; frame; arrival = t.seq } in
-  t.seq <- t.seq + 1;
-  t.queue <- t.queue @ [ p ];
-  (* Defer arbitration to a zero-delay event so that frames queued at the
-     same instant by different nodes arbitrate together. *)
-  ignore (Scheduler.after t.sched 0 (fun () -> arbitrate t))
+  let allowed =
+    match t.tx_gate with Some gate -> gate src frame | None -> true
+  in
+  if allowed then begin
+    let p = { src; frame; arrival = t.seq } in
+    t.seq <- t.seq + 1;
+    t.queue <- t.queue @ [ p ];
+    (* Defer arbitration to a zero-delay event so that frames queued at the
+       same instant by different nodes arbitrate together. *)
+    ignore (Scheduler.after t.sched 0 (fun () -> arbitrate t))
+  end

@@ -23,9 +23,42 @@ val attach : t -> name:string -> rx:(Frame.t -> unit) -> node_id
 
 val node_name : t -> node_id -> string
 
+val node_ids : t -> node_id list
+(** All attached nodes, in attachment order. *)
+
 val transmit : t -> node_id -> Frame.t -> unit
 (** Queue a frame for arbitration. Multiple frames queued by one node keep
-    their order relative to each other. *)
+    their order relative to each other. A transmit gate (see
+    {!set_tx_gate}) may silently discard the frame instead. *)
 
 val pending_frames : t -> int
 (** Frames queued or in flight. *)
+
+(** {2 Interposition hooks}
+
+    Entry points for the fault-injection layer ({!Fault}): all default to
+    absent, in which case the bus behaves as the ideal channel described
+    above. Installing a hook replaces any previous one. *)
+
+type delivery = {
+  delay : int;  (** microseconds after the nominal completion time *)
+  frame : Frame.t;  (** what arrives (possibly mutated) *)
+}
+
+val set_tx_gate : t -> (node_id -> Frame.t -> bool) option -> unit
+(** Consulted by {!transmit}; returning [false] discards the frame before
+    it ever reaches arbitration (a bus-off transmitter). *)
+
+val set_wire_hook : t -> (src:node_id -> Frame.t -> delivery list) option -> unit
+(** Consulted once per completed transmission, after the [Tx] log entry is
+    recorded: the returned deliveries replace the frame's nominal arrival.
+    [[]] models a frame destroyed on the wire; multiple entries model
+    duplication. *)
+
+val set_rx_gate : t -> (node_id -> bool) option -> unit
+(** Consulted per receiver per delivery; returning [false] suppresses
+    reception for that node (a bus-off receiver hears nothing). *)
+
+val record_fault : t -> node:string -> kind:string -> Frame.t -> unit
+(** Append a [Trace_log.Fault] entry at the current simulation time,
+    attributed to [node]. *)

@@ -1,0 +1,297 @@
+(* Deterministic fault injection for the simulated bus, plus the CAN
+   error-confinement state machine (ISO 11898-1 §12): transmit/receive
+   error counters per node, error-active -> error-passive -> bus-off
+   transitions, and bounded automatic retransmission of frames destroyed
+   on the wire.
+
+   Randomness comes from a splitmix64 generator split per fault kind, so
+   every decision stream is independent yet fully determined by the plan
+   seed — two runs of the same scenario produce byte-identical traces. *)
+
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let make seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state golden;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let split t = { state = next t }
+
+  let float t =
+    (* top 53 bits -> [0, 1) *)
+    Int64.to_float (Int64.shift_right_logical (next t) 11)
+    /. 9007199254740992.0
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Fault.Rng.int";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                    (Int64.of_int bound))
+end
+
+type babble = {
+  babble_id : int;
+  period_us : int;
+  count : int;
+}
+
+type plan = {
+  seed : int;
+  drop : float;
+  corrupt : float;
+  delay : float;
+  delay_us : int;
+  duplicate : float;
+  only : string option;
+  babble : babble option;
+}
+
+let plan ?(seed = 0) ?(drop = 0.) ?(corrupt = 0.) ?(delay = 0.)
+    ?(delay_us = 200) ?(duplicate = 0.) ?only ?babble () =
+  let check name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Fault.plan: %s not a probability" name)
+  in
+  check "drop" drop;
+  check "corrupt" corrupt;
+  check "delay" delay;
+  check "duplicate" duplicate;
+  { seed; drop; corrupt; delay; delay_us; duplicate; only; babble }
+
+let babble ?(id = 0) ?(period_us = 1_000) ?(count = 100) () =
+  { babble_id = id; period_us; count }
+
+type node_state =
+  | Error_active
+  | Error_passive
+  | Bus_off
+
+type stats = {
+  drops : int;
+  corruptions : int;
+  delays : int;
+  duplicates : int;
+  retransmissions : int;
+  abandoned : int;
+  bus_off_blocked : int;
+  babbled : int;
+}
+
+let zero_stats =
+  {
+    drops = 0;
+    corruptions = 0;
+    delays = 0;
+    duplicates = 0;
+    retransmissions = 0;
+    abandoned = 0;
+    bus_off_blocked = 0;
+    babbled = 0;
+  }
+
+type t = {
+  bus : Bus.t;
+  plan : plan;
+  max_retries : int;
+  tec_passive : int;
+  tec_busoff : int;
+  drop_rng : Rng.t;
+  corrupt_rng : Rng.t;
+  delay_rng : Rng.t;
+  dup_rng : Rng.t;
+  tec : (Bus.node_id, int) Hashtbl.t;
+  rec_tbl : (Bus.node_id, int) Hashtbl.t;
+  retries : (Bus.node_id * Frame.t, int) Hashtbl.t;
+  mutable stats : stats;
+  mutable active : bool;  (* cleared by uninstall; stops the babbler *)
+}
+
+let counter tbl id = Option.value (Hashtbl.find_opt tbl id) ~default:0
+
+let tec t id = counter t.tec id
+let rec_count t id = counter t.rec_tbl id
+
+let node_state t id =
+  let tec = tec t id in
+  if tec >= t.tec_busoff then Bus_off
+  else if tec >= t.tec_passive || rec_count t id >= t.tec_passive then
+    Error_passive
+  else Error_active
+
+let stats t = t.stats
+
+(* Interframe space before a retransmission attempt: three bit times at
+   500 kbit/s, rounded up. *)
+let retransmit_gap_us = 10
+
+let bump tbl id delta =
+  Hashtbl.replace tbl id (max 0 (counter tbl id + delta))
+
+let fault t src kind frame =
+  Bus.record_fault t.bus ~node:(Bus.node_name t.bus src) ~kind frame
+
+(* A transmit error: TEC +8 (ISO 11898-1), possibly crossing into
+   error-passive or bus-off. The bus-off transition is logged once. *)
+let transmit_error t src frame =
+  let was_off = node_state t src = Bus_off in
+  bump t.tec src 8;
+  if (not was_off) && node_state t src = Bus_off then
+    fault t src "bus-off" frame
+
+let applies t src =
+  match t.plan.only with
+  | None -> true
+  | Some name -> String.equal (Bus.node_name t.bus src) name
+
+(* Retransmission of a frame destroyed on the wire, within the retry
+   budget. The retransmitted frame re-enters arbitration and the wire
+   hook like any other, so it can be dropped (and counted) again. *)
+let handle_drop t src frame =
+  t.stats <- { t.stats with drops = t.stats.drops + 1 };
+  fault t src "drop" frame;
+  transmit_error t src frame;
+  let key = src, frame in
+  let attempts = Option.value (Hashtbl.find_opt t.retries key) ~default:0 in
+  if attempts >= t.max_retries then begin
+    Hashtbl.remove t.retries key;
+    t.stats <- { t.stats with abandoned = t.stats.abandoned + 1 };
+    fault t src "abandon" frame
+  end
+  else begin
+    Hashtbl.replace t.retries key (attempts + 1);
+    t.stats <- { t.stats with retransmissions = t.stats.retransmissions + 1 };
+    fault t src "retransmit" frame;
+    ignore
+      (Scheduler.after (Bus.scheduler t.bus) retransmit_gap_us (fun () ->
+           if t.active then Bus.transmit t.bus src frame))
+  end
+
+let corrupt_frame t frame =
+  if frame.Frame.dlc > 0 then begin
+    let byte = Rng.int t.corrupt_rng frame.Frame.dlc in
+    let bit = Rng.int t.corrupt_rng 8 in
+    Frame.set_data_byte frame byte (Frame.data_byte frame byte lxor (1 lsl bit))
+  end
+  else { frame with Frame.id = frame.Frame.id lxor 1 }
+
+let wire_hook t ~src frame =
+  if not (applies t src) then [ { Bus.delay = 0; frame } ]
+  else if t.plan.drop > 0. && Rng.float t.drop_rng < t.plan.drop then begin
+    handle_drop t src frame;
+    []
+  end
+  else begin
+    (* Survived the wire: a successful transmission decrements TEC. *)
+    bump t.tec src (-1);
+    Hashtbl.remove t.retries (src, frame);
+    let frame =
+      if t.plan.corrupt > 0. && Rng.float t.corrupt_rng < t.plan.corrupt
+      then begin
+        t.stats <- { t.stats with corruptions = t.stats.corruptions + 1 };
+        fault t src "corrupt" frame;
+        (* Undetected corruption raises every receiver's REC a notch. *)
+        List.iter
+          (fun id -> if id <> src then bump t.rec_tbl id 1)
+          (Bus.node_ids t.bus);
+        corrupt_frame t frame
+      end
+      else frame
+    in
+    let delay =
+      if t.plan.delay > 0. && Rng.float t.delay_rng < t.plan.delay then begin
+        t.stats <- { t.stats with delays = t.stats.delays + 1 };
+        fault t src "delay" frame;
+        t.plan.delay_us
+      end
+      else 0
+    in
+    let first = { Bus.delay; frame } in
+    if t.plan.duplicate > 0. && Rng.float t.dup_rng < t.plan.duplicate
+    then begin
+      t.stats <- { t.stats with duplicates = t.stats.duplicates + 1 };
+      fault t src "duplicate" frame;
+      [ first; { Bus.delay = delay + retransmit_gap_us; frame } ]
+    end
+    else [ first ]
+  end
+
+let start_babbler t spec =
+  let frame = Frame.make ~id:spec.babble_id [ 0xBA; 0xAD ] in
+  let id = Bus.attach t.bus ~name:"babbler" ~rx:(fun _ -> ()) in
+  let rec babble_step remaining () =
+    if t.active && remaining > 0 then begin
+      t.stats <- { t.stats with babbled = t.stats.babbled + 1 };
+      Bus.transmit t.bus id frame;
+      ignore
+        (Scheduler.after (Bus.scheduler t.bus) spec.period_us
+           (babble_step (remaining - 1)))
+    end
+  in
+  ignore (Scheduler.after (Bus.scheduler t.bus) spec.period_us (babble_step spec.count))
+
+let install ?(max_retries = 3) ?(tec_passive = 128) ?(tec_busoff = 256) bus
+    plan =
+  let master = Rng.make plan.seed in
+  let t =
+    {
+      bus;
+      plan;
+      max_retries;
+      tec_passive;
+      tec_busoff;
+      (* split order is part of the format: drop, corrupt, delay, dup *)
+      drop_rng = Rng.split master;
+      corrupt_rng = Rng.split master;
+      delay_rng = Rng.split master;
+      dup_rng = Rng.split master;
+      tec = Hashtbl.create 16;
+      rec_tbl = Hashtbl.create 16;
+      retries = Hashtbl.create 16;
+      stats = zero_stats;
+      active = true;
+    }
+  in
+  Bus.set_tx_gate bus
+    (Some
+       (fun src frame ->
+         if node_state t src = Bus_off then begin
+           t.stats <-
+             { t.stats with bus_off_blocked = t.stats.bus_off_blocked + 1 };
+           fault t src "bus-off-drop" frame;
+           false
+         end
+         else true));
+  Bus.set_wire_hook bus (Some (fun ~src frame -> wire_hook t ~src frame));
+  Bus.set_rx_gate bus (Some (fun id -> node_state t id <> Bus_off));
+  Option.iter (start_babbler t) plan.babble;
+  t
+
+let uninstall t =
+  t.active <- false;
+  Bus.set_tx_gate t.bus None;
+  Bus.set_wire_hook t.bus None;
+  Bus.set_rx_gate t.bus None
+
+let pp_node_state ppf = function
+  | Error_active -> Format.pp_print_string ppf "error-active"
+  | Error_passive -> Format.pp_print_string ppf "error-passive"
+  | Bus_off -> Format.pp_print_string ppf "bus-off"
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "drops=%d corruptions=%d delays=%d duplicates=%d retransmissions=%d \
+     abandoned=%d bus_off_blocked=%d babbled=%d"
+    s.drops s.corruptions s.delays s.duplicates s.retransmissions s.abandoned
+    s.bus_off_blocked s.babbled

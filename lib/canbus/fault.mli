@@ -1,0 +1,107 @@
+(** Deterministic fault injection and CAN error confinement.
+
+    A {!plan} describes a randomised fault mix — frame drops, bit
+    corruption, delivery delay, duplication and an optional babbling-idiot
+    node — driven by a seed-split PRNG: each fault kind draws from its own
+    stream, all derived from the one seed, so a given plan on a given
+    scenario is reproducible bit-for-bit (byte-identical {!Trace_log}
+    output across runs).
+
+    Installing a plan also arms the CAN error-confinement state machine
+    (ISO 11898-1): every node carries transmit/receive error counters
+    (TEC/REC); a destroyed frame costs its transmitter TEC +8 and is
+    automatically retransmitted within a bounded retry budget; a
+    successful transmission earns TEC −1. Nodes degrade from error-active
+    through error-passive to bus-off, at which point they neither transmit
+    (frames are discarded at the transmit gate) nor receive anything.
+
+    Every injected fault and confinement transition is recorded in the
+    bus's {!Trace_log} as a [Fault] entry. *)
+
+(** Deterministic splitmix64 generator (exposed for tests and for seeding
+    scenario-level randomness from the same master seed). *)
+module Rng : sig
+  type t
+
+  val make : int -> t
+  val split : t -> t
+  (** An independent stream derived from (and advancing) the parent. *)
+
+  val float : t -> float
+  (** Uniform in [\[0, 1)]. *)
+
+  val int : t -> int -> int
+  (** Uniform in [\[0, bound)]. @raise Invalid_argument if [bound <= 0]. *)
+end
+
+type babble
+
+val babble : ?id:int -> ?period_us:int -> ?count:int -> unit -> babble
+(** A babbling-idiot node: transmits a frame with identifier [id]
+    (default [0] — top priority, the classic starvation attack) every
+    [period_us] (default 1000) up to [count] times (default 100). *)
+
+type plan = private {
+  seed : int;
+  drop : float;  (** probability a frame is destroyed on the wire *)
+  corrupt : float;  (** probability a surviving frame is bit-flipped *)
+  delay : float;  (** probability a surviving frame is delayed *)
+  delay_us : int;  (** added latency for delayed frames *)
+  duplicate : float;  (** probability a surviving frame arrives twice *)
+  only : string option;  (** restrict faults to this transmitter's frames *)
+  babble : babble option;
+}
+
+val plan :
+  ?seed:int ->
+  ?drop:float ->
+  ?corrupt:float ->
+  ?delay:float ->
+  ?delay_us:int ->
+  ?duplicate:float ->
+  ?only:string ->
+  ?babble:babble ->
+  unit ->
+  plan
+(** All probabilities default to [0.]; [delay_us] to [200]; [seed] to [0].
+    @raise Invalid_argument if a probability is outside [\[0, 1]]. *)
+
+type t
+(** An installed fault layer. *)
+
+val install :
+  ?max_retries:int -> ?tec_passive:int -> ?tec_busoff:int -> Bus.t -> plan -> t
+(** Interpose the plan on the bus (replacing any hooks already present)
+    and start the babbler if configured. [max_retries] bounds automatic
+    retransmission per frame (default 3); [tec_passive] and [tec_busoff]
+    are the error-confinement thresholds (defaults 128 and 256, per the
+    CAN standard — tests may lower them to reach bus-off quickly). *)
+
+val uninstall : t -> unit
+(** Remove the hooks and stop the babbler. Error counters are retained
+    for post-mortem inspection. *)
+
+type node_state =
+  | Error_active  (** normal operation *)
+  | Error_passive  (** high error count: a real controller throttles *)
+  | Bus_off  (** disconnected: transmits nothing, receives nothing *)
+
+val tec : t -> Bus.node_id -> int
+val rec_count : t -> Bus.node_id -> int
+val node_state : t -> Bus.node_id -> node_state
+
+type stats = {
+  drops : int;
+  corruptions : int;
+  delays : int;
+  duplicates : int;
+  retransmissions : int;
+  abandoned : int;  (** frames whose retry budget ran out *)
+  bus_off_blocked : int;  (** transmissions discarded at the gate *)
+  babbled : int;
+}
+
+val stats : t -> stats
+
+val pp_node_state : Format.formatter -> node_state -> unit
+val pp_stats : Format.formatter -> stats -> unit

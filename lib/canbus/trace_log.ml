@@ -1,6 +1,7 @@
 type direction =
   | Tx
   | Rx of string
+  | Fault of string
 
 type entry = {
   time : int;
@@ -18,6 +19,11 @@ let entries t = List.rev t.entries
 let transmissions t =
   List.filter (fun e -> e.direction = Tx) (entries t)
 
+let faults t =
+  List.filter
+    (fun e -> match e.direction with Fault _ -> true | _ -> false)
+    (entries t)
+
 let length t = List.length t.entries
 let clear t = t.entries <- []
 
@@ -26,6 +32,7 @@ let pp_entry ppf e =
     match e.direction with
     | Tx -> "tx"
     | Rx receiver -> "rx->" ^ receiver
+    | Fault kind -> "fault:" ^ kind
   in
   Format.fprintf ppf "%8d us  %-10s %-12s %a" e.time e.node dir Frame.pp
     e.frame

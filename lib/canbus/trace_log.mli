@@ -4,6 +4,10 @@
 type direction =
   | Tx  (** frame won arbitration and was transmitted *)
   | Rx of string  (** frame delivered to the named node *)
+  | Fault of string
+      (** an injected fault or error-confinement event affecting the
+          frame; the string names the kind (e.g. ["drop"], ["corrupt"],
+          ["retransmit"], ["bus-off"]) *)
 
 type entry = {
   time : int;  (** microseconds *)
@@ -21,6 +25,9 @@ val entries : t -> entry list
 
 val transmissions : t -> entry list
 (** Only [Tx] entries. *)
+
+val faults : t -> entry list
+(** Only [Fault] entries. *)
 
 val length : t -> int
 val clear : t -> unit

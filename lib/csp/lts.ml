@@ -6,52 +6,111 @@ type t = {
 
 exception State_limit of int
 
+type progress = {
+  explored : int;
+  frontier : int;
+  reason : [ `States | `Deadline ];
+}
+
+type compile_result =
+  | Complete of t
+  | Partial of t * progress
+
 module Proc_tbl = Hashtbl.Make (struct
   type t = Proc.t
   let equal = Proc.equal
   let hash = Proc.hash
 end)
 
-let compile ?(max_states = 1_000_000) defs root =
+let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
   let step = Semantics.make_cached defs in
   let index = Proc_tbl.create 1024 in
   let states = ref [] in  (* reverse order *)
   let count = ref 0 in
   let queue = Queue.create () in
+  let capped = ref false in
   let intern term =
     match Proc_tbl.find_opt index term with
-    | Some i -> i
+    | Some i -> Some i
     | None ->
-      if !count >= max_states then raise (State_limit max_states);
-      let i = !count in
-      incr count;
-      Proc_tbl.replace index term i;
-      states := term :: !states;
-      Queue.add (i, term) queue;
-      i
+      if !count >= max_states then begin
+        capped := true;
+        None
+      end
+      else begin
+        let i = !count in
+        incr count;
+        Proc_tbl.replace index term i;
+        states := term :: !states;
+        Queue.add (i, term) queue;
+        Some i
+      end
   in
   let fenv = Defs.fenv defs in
   let tys = Defs.ty_lookup defs in
   let root = Proc.const_fold ~tys fenv root in
-  let initial = intern root in
+  let initial = Option.value (intern root) ~default:0 in
+  let explored = ref 0 in
+  let timed_out = ref false in
+  (* Only give up after at least one state has been explored, so callers
+     always receive non-trivial progress information even with a deadline
+     that has effectively already passed. *)
+  let over_deadline () =
+    match stop_at with
+    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | None -> false
+  in
   let transitions = ref [] in  (* reverse order, aligned with states *)
   let rec drain () =
-    match Queue.take_opt queue with
-    | None -> ()
-    | Some (_, term) ->
-      (* States are dequeued in id order (FIFO), so consing transition lists
-         keeps them aligned with the (reversed) state list. *)
-      let ts = step term in
-      let ts = List.map (fun (l, target) -> l, intern target) ts in
-      transitions := ts :: !transitions;
-      drain ()
+    (* an empty queue means compilation is complete — the deadline only
+       matters while work remains, otherwise a budget expiring on the
+       final iteration would misreport a finished graph as partial *)
+    if Queue.is_empty queue then ()
+    else if over_deadline () then timed_out := true
+    else
+      match Queue.take_opt queue with
+      | None -> ()
+      | Some (_, term) ->
+        (* States are dequeued in id order (FIFO), so consing transition
+           lists keeps them aligned with the (reversed) state list. *)
+        let ts = step term in
+        let ts =
+          List.filter_map
+            (fun (l, target) ->
+              match intern target with
+              | Some i -> Some (l, i)
+              | None -> None)
+            ts
+        in
+        transitions := ts :: !transitions;
+        incr explored;
+        drain ()
   in
   drain ();
-  {
-    initial;
-    states = Array.of_list (List.rev !states);
-    transitions = Array.of_list (List.rev !transitions);
-  }
+  (* Unexplored frontier states get empty transition rows to keep the
+     arrays aligned; a partial graph is only meaningful for statistics and
+     resumption, not for verdicts. *)
+  let frontier = Queue.length queue in
+  for _ = 1 to frontier do
+    transitions := [] :: !transitions
+  done;
+  let t =
+    {
+      initial;
+      states = Array.of_list (List.rev !states);
+      transitions = Array.of_list (List.rev !transitions);
+    }
+  in
+  if !timed_out then
+    Partial (t, { explored = !explored; frontier; reason = `Deadline })
+  else if !capped then
+    Partial (t, { explored = !explored; frontier; reason = `States })
+  else Complete t
+
+let compile ?(max_states = 1_000_000) defs root =
+  match compile_budgeted ~max_states defs root with
+  | Complete t -> t
+  | Partial _ -> raise (State_limit max_states)
 
 let num_states t = Array.length t.states
 

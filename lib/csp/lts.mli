@@ -11,10 +11,33 @@ exception State_limit of int
 (** Raised by {!compile} when exploration exceeds the state bound; carries
     the bound. *)
 
+type progress = {
+  explored : int;  (** states whose transitions were computed *)
+  frontier : int;  (** discovered but unexplored states *)
+  reason : [ `States | `Deadline ];  (** which budget ran out *)
+}
+
+type compile_result =
+  | Complete of t
+  | Partial of t * progress
+      (** Exploration stopped early: the graph covers only the states
+          discovered so far (frontier states have empty transition rows,
+          and transitions into undiscovered states are dropped). Useful
+          for statistics and resumption, not for verdicts. *)
+
+val compile_budgeted :
+  ?max_states:int -> ?stop_at:float -> Defs.t -> Proc.t -> compile_result
+(** Like {!compile} but degrades gracefully: instead of raising, returns
+    {!Partial} when the state budget (default [1_000_000]) is exhausted or
+    the wall clock passes [stop_at] (absolute time, as returned by
+    [Unix.gettimeofday]). At least one state is always explored before the
+    deadline is consulted, so progress counters are never all zero. *)
+
 val compile : ?max_states:int -> Defs.t -> Proc.t -> t
 (** Compile the reachable state graph of a ground term
     (default [max_states] = [1_000_000]). Transition computation is
-    memoized per call. *)
+    memoized per call.
+    @raise State_limit when the state bound is exceeded. *)
 
 val num_states : t -> int
 val num_transitions : t -> int

@@ -19,9 +19,21 @@ type stats = {
   pairs : int;
 }
 
+type budget_kind =
+  | Deadline
+  | States
+  | Pairs
+
+type resume_hint = {
+  frontier : int;
+  deepest : Event.label list;
+  exhausted : budget_kind;
+}
+
 type result =
   | Holds of stats
   | Fails of counterexample
+  | Inconclusive of stats * resume_hint
 
 type model =
   | Traces
@@ -29,6 +41,10 @@ type model =
   | Failures_divergences
 
 exception State_limit of int
+
+(* Internal: unwound to an [Inconclusive] verdict at the top of each
+   checker, where the current counters and frontier are in scope. *)
+exception Out_of_budget of budget_kind
 
 module Proc_tbl = Hashtbl.Make (struct
   type t = Proc.t
@@ -51,8 +67,21 @@ let visible_trace labels =
    `None: traces only. `Acceptances: some minimal acceptance of the node
    (stable-failures refinement). `Full: every label the normal form can
    perform (the determinism check). *)
-let product_check ~refusal_mode ~max_states defs ~spec ~impl =
-  let spec_lts = Lts.compile ~max_states defs spec in
+(* Partial specification compilation cannot support a verdict: report it
+   as inconclusive, attributing the exhausted budget. *)
+let spec_inconclusive progress =
+  let exhausted =
+    match progress.Lts.reason with `States -> States | `Deadline -> Deadline
+  in
+  Inconclusive
+    ( { impl_states = 0; spec_nodes = progress.Lts.explored; pairs = 0 },
+      { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+
+let product_check ~refusal_mode ~max_states ~max_pairs ?stop_at defs ~spec
+    ~impl =
+  match Lts.compile_budgeted ~max_states ?stop_at defs spec with
+  | Lts.Partial (_, progress) -> spec_inconclusive progress
+  | Lts.Complete spec_lts ->
   let norm = Normalise.normalise spec_lts in
   let step = Semantics.make_cached defs in
   let fenv = Defs.fenv defs in
@@ -81,7 +110,7 @@ let product_check ~refusal_mode ~max_states defs ~spec ~impl =
   let queue = Queue.create () in
   let intern_pair parent pair =
     if not (Pair_tbl.mem pair_ids pair) then begin
-      if !pair_count >= max_states then raise (State_limit max_states);
+      if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
       Pair_tbl.replace pair_ids pair !pair_count;
       Hashtbl.replace parents !pair_count parent;
       incr pair_count;
@@ -101,18 +130,35 @@ let product_check ~refusal_mode ~max_states defs ~spec ~impl =
       impl_state = impl_term impl_i;
     }
   in
+  (* Pairs are dequeued in BFS order, so the most recently dequeued pair
+     lies on a deepest explored path — the natural resume hint. *)
+  let explored = ref 0 in
+  let last_dequeued = ref 0 in
+  let over_deadline () =
+    match stop_at with
+    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | None -> false
+  in
+  let current_stats () =
+    {
+      impl_states = !impl_count;
+      spec_nodes = Normalise.num_nodes norm;
+      pairs = !pair_count;
+    }
+  in
   intern_pair None (intern_impl impl0, Normalise.initial norm);
   let rec search () =
+    (* an empty queue is a completed search: the verdict stands even if
+       the deadline expired while reaching it *)
+    if Queue.is_empty queue then Holds (current_stats ())
+    else if over_deadline () then raise (Out_of_budget Deadline)
+    else
     match Queue.take_opt queue with
-    | None ->
-      Holds
-        {
-          impl_states = !impl_count;
-          spec_nodes = Normalise.num_nodes norm;
-          pairs = !pair_count;
-        }
+    | None -> Holds (current_stats ())
     | Some ((impl_i, node) as pair) ->
       let pair_id = Pair_tbl.find pair_ids pair in
+      last_dequeued := pair_id;
+      incr explored;
       let term = impl_term impl_i in
       let ts = step term in
       let stable =
@@ -172,17 +218,48 @@ let product_check ~refusal_mode ~max_states defs ~spec ~impl =
           | Some cex -> Fails cex
           | None -> search ()))
   in
-  search ()
+  (try search ()
+   with Out_of_budget kind ->
+     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
+        it is discovered-but-unexplored work, so it counts as frontier. *)
+     let frontier =
+       Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
+     in
+     Inconclusive
+       ( current_stats (),
+         {
+           frontier;
+           deepest = visible_trace (trace_to !last_dequeued);
+           exhausted = kind;
+         } ))
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
    then the product is explored. Under a divergent specification node
    everything is allowed, so that subtree is pruned; a divergent
    implementation state under a non-divergent node is a violation. *)
-let fd_check ~max_states defs ~spec ~impl =
-  let spec_lts = Lts.compile ~max_states defs spec in
+let fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
+  match Lts.compile_budgeted ~max_states ?stop_at defs spec with
+  | Lts.Partial (_, progress) -> spec_inconclusive progress
+  | Lts.Complete spec_lts ->
   let norm = Normalise.normalise spec_lts in
-  let impl_lts = Lts.compile ~max_states defs impl in
+  match Lts.compile_budgeted ~max_states ?stop_at defs impl with
+  | Lts.Partial (_, progress) ->
+    (* Divergence detection needs the full tau graph of the
+       implementation; a partial compile cannot support a verdict. *)
+    let exhausted =
+      match progress.Lts.reason with
+      | `States -> States
+      | `Deadline -> Deadline
+    in
+    Inconclusive
+      ( {
+          impl_states = progress.Lts.explored;
+          spec_nodes = Normalise.num_nodes norm;
+          pairs = 0;
+        },
+        { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+  | Lts.Complete impl_lts ->
   let impl_div = Lts.divergences impl_lts in
   let pair_ids = Pair_tbl.create 4096 in
   let pair_count = ref 0 in
@@ -190,7 +267,7 @@ let fd_check ~max_states defs ~spec ~impl =
   let queue = Queue.create () in
   let intern_pair parent pair =
     if not (Pair_tbl.mem pair_ids pair) then begin
-      if !pair_count >= max_states then raise (State_limit max_states);
+      if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
       Pair_tbl.replace pair_ids pair !pair_count;
       Hashtbl.replace parents !pair_count parent;
       incr pair_count;
@@ -209,20 +286,35 @@ let fd_check ~max_states defs ~spec ~impl =
       impl_state = Lts.state_term impl_lts impl_i;
     }
   in
+  let explored = ref 0 in
+  let last_dequeued = ref 0 in
+  let over_deadline () =
+    match stop_at with
+    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | None -> false
+  in
+  let current_stats () =
+    {
+      impl_states = Lts.num_states impl_lts;
+      spec_nodes = Normalise.num_nodes norm;
+      pairs = !pair_count;
+    }
+  in
   intern_pair None (impl_lts.Lts.initial, Normalise.initial norm);
   let rec search () =
+    (* an empty queue is a completed search: the verdict stands even if
+       the deadline expired while reaching it *)
+    if Queue.is_empty queue then Holds (current_stats ())
+    else if over_deadline () then raise (Out_of_budget Deadline)
+    else
     match Queue.take_opt queue with
-    | None ->
-      Holds
-        {
-          impl_states = Lts.num_states impl_lts;
-          spec_nodes = Normalise.num_nodes norm;
-          pairs = !pair_count;
-        }
+    | None -> Holds (current_stats ())
     | Some ((impl_i, node) as pair) ->
+      let pair_id = Pair_tbl.find pair_ids pair in
+      last_dequeued := pair_id;
+      incr explored;
       if Normalise.divergent norm node then search ()
       else begin
-        let pair_id = Pair_tbl.find pair_ids pair in
         if List.mem impl_i impl_div then
           Fails (counterexample pair_id [] Divergence impl_i)
         else begin
@@ -274,71 +366,112 @@ let fd_check ~max_states defs ~spec ~impl =
         end
       end
   in
-  search ()
+  (try search ()
+   with Out_of_budget kind ->
+     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
+        it is discovered-but-unexplored work, so it counts as frontier. *)
+     let frontier =
+       Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
+     in
+     Inconclusive
+       ( current_stats (),
+         {
+           frontier;
+           deepest = visible_trace (trace_to !last_dequeued);
+           exhausted = kind;
+         } ))
 
-let check ?(model = Traces) ?(max_states = 1_000_000) defs ~spec ~impl =
+let stop_at_of_deadline = function
+  | None -> None
+  | Some seconds -> Some (Unix.gettimeofday () +. seconds)
+
+let check ?(model = Traces) ?(max_states = 1_000_000) ?max_pairs ?deadline
+    defs ~spec ~impl =
+  let max_pairs = Option.value max_pairs ~default:max_states in
+  let stop_at = stop_at_of_deadline deadline in
   match model with
-  | Traces -> product_check ~refusal_mode:`None ~max_states defs ~spec ~impl
+  | Traces ->
+    product_check ~refusal_mode:`None ~max_states ~max_pairs ?stop_at defs
+      ~spec ~impl
   | Failures ->
-    product_check ~refusal_mode:`Acceptances ~max_states defs ~spec ~impl
-  | Failures_divergences -> fd_check ~max_states defs ~spec ~impl
+    product_check ~refusal_mode:`Acceptances ~max_states ~max_pairs ?stop_at
+      defs ~spec ~impl
+  | Failures_divergences ->
+    fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl
 
-let traces_refines ?max_states defs ~spec ~impl =
-  check ~model:Traces ?max_states defs ~spec ~impl
+let traces_refines ?max_states ?deadline defs ~spec ~impl =
+  check ~model:Traces ?max_states ?deadline defs ~spec ~impl
 
-let failures_refines ?max_states defs ~spec ~impl =
-  check ~model:Failures ?max_states defs ~spec ~impl
+let failures_refines ?max_states ?deadline defs ~spec ~impl =
+  check ~model:Failures ?max_states ?deadline defs ~spec ~impl
 
-let fd_refines ?max_states defs ~spec ~impl =
-  check ~model:Failures_divergences ?max_states defs ~spec ~impl
+let fd_refines ?max_states ?deadline defs ~spec ~impl =
+  check ~model:Failures_divergences ?max_states ?deadline defs ~spec ~impl
 
 let lts_stats lts =
   { impl_states = Lts.num_states lts; spec_nodes = 0; pairs = 0 }
 
-let deadlock_free ?(max_states = 1_000_000) defs proc =
-  let lts =
-    try Lts.compile ~max_states defs proc
-    with Lts.State_limit n -> raise (State_limit n)
+let lts_inconclusive progress =
+  let exhausted =
+    match progress.Lts.reason with `States -> States | `Deadline -> Deadline
   in
-  match Lts.deadlocks lts with
-  | [] -> Holds (lts_stats lts)
-  | dead ->
-    let is_dead i = List.mem i dead in
-    (match Lts.path_to lts is_dead with
-     | None -> assert false
-     | Some (labels, i) ->
-       Fails
-         {
-           trace = visible_trace labels;
-           violation = Deadlock;
-           impl_state = Lts.state_term lts i;
-         })
+  Inconclusive
+    ( { impl_states = progress.Lts.explored; spec_nodes = 0; pairs = 0 },
+      { frontier = progress.Lts.frontier; deepest = []; exhausted } )
 
-let divergence_free ?(max_states = 1_000_000) defs proc =
-  let lts =
-    try Lts.compile ~max_states defs proc
-    with Lts.State_limit n -> raise (State_limit n)
-  in
-  match Lts.divergences lts with
-  | [] -> Holds (lts_stats lts)
-  | div ->
-    let is_div i = List.mem i div in
-    (match Lts.path_to lts is_div with
-     | None -> assert false
-     | Some (labels, i) ->
-       Fails
-         {
-           trace = visible_trace labels;
-           violation = Divergence;
-           impl_state = Lts.state_term lts i;
-         })
+let deadlock_free ?(max_states = 1_000_000) ?deadline defs proc =
+  match
+    Lts.compile_budgeted ~max_states
+      ?stop_at:(stop_at_of_deadline deadline) defs proc
+  with
+  | Lts.Partial (_, progress) -> lts_inconclusive progress
+  | Lts.Complete lts ->
+    (match Lts.deadlocks lts with
+     | [] -> Holds (lts_stats lts)
+     | dead ->
+       let is_dead i = List.mem i dead in
+       (match Lts.path_to lts is_dead with
+        | None -> assert false
+        | Some (labels, i) ->
+          Fails
+            {
+              trace = visible_trace labels;
+              violation = Deadlock;
+              impl_state = Lts.state_term lts i;
+            }))
 
-let deterministic ?(max_states = 1_000_000) defs proc =
-  product_check ~refusal_mode:`Full ~max_states defs ~spec:proc ~impl:proc
+let divergence_free ?(max_states = 1_000_000) ?deadline defs proc =
+  match
+    Lts.compile_budgeted ~max_states
+      ?stop_at:(stop_at_of_deadline deadline) defs proc
+  with
+  | Lts.Partial (_, progress) -> lts_inconclusive progress
+  | Lts.Complete lts ->
+    (match Lts.divergences lts with
+     | [] -> Holds (lts_stats lts)
+     | div ->
+       let is_div i = List.mem i div in
+       (match Lts.path_to lts is_div with
+        | None -> assert false
+        | Some (labels, i) ->
+          Fails
+            {
+              trace = visible_trace labels;
+              violation = Divergence;
+              impl_state = Lts.state_term lts i;
+            }))
+
+let deterministic ?(max_states = 1_000_000) ?deadline defs proc =
+  product_check ~refusal_mode:`Full ~max_states ~max_pairs:max_states
+    ?stop_at:(stop_at_of_deadline deadline) defs ~spec:proc ~impl:proc
 
 let holds = function
   | Holds _ -> true
-  | Fails _ -> false
+  | Fails _ | Inconclusive _ -> false
+
+let inconclusive = function
+  | Inconclusive _ -> true
+  | Holds _ | Fails _ -> false
 
 let pp_labels ppf labels =
   match labels with
@@ -370,8 +503,38 @@ let pp_counterexample ppf cex =
   Format.fprintf ppf "@[<v 2>counterexample:@ trace = %a@ %a@ state = %a@]"
     pp_labels cex.trace pp_violation cex.violation Proc.pp cex.impl_state
 
+let pp_budget_kind ppf = function
+  | Deadline -> Format.pp_print_string ppf "deadline"
+  | States -> Format.pp_print_string ppf "state budget"
+  | Pairs -> Format.pp_print_string ppf "pair budget"
+
+let pp_resume_hint ppf hint =
+  (* the deepest trace can be thousands of events long on a budget-limited
+     run — show its depth and only the last few steps *)
+  let depth = List.length hint.deepest in
+  let max_shown = 12 in
+  if depth <= max_shown then
+    Format.fprintf ppf "%a exhausted; frontier = %d, deepest trace = %a"
+      pp_budget_kind hint.exhausted hint.frontier pp_labels hint.deepest
+  else
+    let tail =
+      List.filteri (fun i _ -> i >= depth - max_shown) hint.deepest
+    in
+    Format.fprintf ppf
+      "%a exhausted; frontier = %d, deepest trace (depth %d) ends <..., %a"
+      pp_budget_kind hint.exhausted hint.frontier depth
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Event.pp_label)
+      tail;
+    Format.pp_print_string ppf ">"
+
 let pp_result ppf = function
   | Holds stats ->
     Format.fprintf ppf "holds (%d impl states, %d spec nodes, %d pairs)"
       stats.impl_states stats.spec_nodes stats.pairs
   | Fails cex -> Format.fprintf ppf "FAILS@ %a" pp_counterexample cex
+  | Inconclusive (stats, hint) ->
+    Format.fprintf ppf
+      "INCONCLUSIVE (%d impl states, %d spec nodes, %d pairs)@ %a"
+      stats.impl_states stats.spec_nodes stats.pairs pp_resume_hint hint

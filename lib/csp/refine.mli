@@ -36,9 +36,28 @@ type stats = {
   pairs : int;  (** product pairs visited *)
 }
 
+type budget_kind =
+  | Deadline  (** the wall-clock deadline passed *)
+  | States  (** an [Lts] compilation hit its state budget *)
+  | Pairs  (** the product exploration hit its pair budget *)
+
+type resume_hint = {
+  frontier : int;
+      (** discovered-but-unexplored states or pairs at the point of
+          exhaustion — how much work was left in the queue *)
+  deepest : Event.label list;
+      (** visible trace to the most recently explored state; under BFS this
+          is a deepest explored path, a natural place to resume or to
+          narrow the model *)
+  exhausted : budget_kind;
+}
+
 type result =
   | Holds of stats
   | Fails of counterexample
+  | Inconclusive of stats * resume_hint
+      (** a budget ran out before a verdict: the property neither holds nor
+          fails on the explored prefix; [stats] counts what was explored *)
 
 type model =
   | Traces
@@ -49,35 +68,43 @@ type model =
           does (below a divergent specification point, anything goes) *)
 
 exception State_limit of int
+(** No longer raised by this module (budget exhaustion now yields
+    {!Inconclusive}); kept so existing handlers still compile. *)
 
 val check :
   ?model:model ->
   ?max_states:int ->
+  ?max_pairs:int ->
+  ?deadline:float ->
   Defs.t ->
   spec:Proc.t ->
   impl:Proc.t ->
   result
-(** Default model is {!Traces}; [max_states] bounds both the specification
-    compilation and the number of product pairs (default [1_000_000]).
-    @raise State_limit if the bound is hit before a verdict. *)
+(** Default model is {!Traces}. [max_states] bounds each [Lts] compilation
+    (default [1_000_000]); [max_pairs] bounds the product exploration
+    (defaults to [max_states]); [deadline] is a wall-clock budget in
+    seconds from the start of the call. Exhausting any budget returns
+    {!Inconclusive} rather than raising. At least one state or pair is
+    always explored before the deadline is consulted, so an
+    {!Inconclusive} result always carries non-zero stats. *)
 
 val traces_refines :
-  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val failures_refines :
-  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val fd_refines :
-  ?max_states:int -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 (** Failures-divergences refinement. Unlike the other checks, both sides
     are fully compiled first (implementation divergence detection needs
     the whole tau graph), so early counterexample exit does not avoid the
     full state-space cost. *)
 
-val deadlock_free : ?max_states:int -> Defs.t -> Proc.t -> result
-val divergence_free : ?max_states:int -> Defs.t -> Proc.t -> result
+val deadlock_free : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
+val divergence_free : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
 
-val deterministic : ?max_states:int -> Defs.t -> Proc.t -> result
+val deterministic : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
 (** FDR's determinism check in the stable-failures model: [P] is
     deterministic iff [normalise(P) ⊑F P], which this implements as a
     failures self-refinement (the specification side is normalized
@@ -85,7 +112,11 @@ val deterministic : ?max_states:int -> Defs.t -> Proc.t -> result
     both accept and refuse the same event. *)
 
 val holds : result -> bool
+(** [true] only for {!Holds}; {!Inconclusive} is not a pass. *)
+
+val inconclusive : result -> bool
 
 val pp_violation : Format.formatter -> violation -> unit
 val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_resume_hint : Format.formatter -> resume_hint -> unit
 val pp_result : Format.formatter -> result -> unit

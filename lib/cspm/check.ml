@@ -4,7 +4,8 @@ type outcome = {
   result : Csp.Refine.result;
 }
 
-let run_assertion ?max_states (loaded : Elaborate.t) (a : Ast.assertion) =
+let run_assertion ?max_states ?deadline (loaded : Elaborate.t)
+    (a : Ast.assertion) =
   let defs = loaded.Elaborate.defs in
   match a with
   | Ast.A_refines (spec_t, model, impl_t) ->
@@ -16,30 +17,54 @@ let run_assertion ?max_states (loaded : Elaborate.t) (a : Ast.assertion) =
       | Ast.M_failures -> Csp.Refine.Failures
       | Ast.M_failures_divergences -> Csp.Refine.Failures_divergences
     in
-    Csp.Refine.check ~model ?max_states defs ~spec ~impl
+    Csp.Refine.check ~model ?max_states ?deadline defs ~spec ~impl
   | Ast.A_deadlock_free t ->
-    Csp.Refine.deadlock_free ?max_states defs (Elaborate.proc_of_term loaded t)
+    Csp.Refine.deadlock_free ?max_states ?deadline defs
+      (Elaborate.proc_of_term loaded t)
   | Ast.A_divergence_free t ->
-    Csp.Refine.divergence_free ?max_states defs
+    Csp.Refine.divergence_free ?max_states ?deadline defs
       (Elaborate.proc_of_term loaded t)
   | Ast.A_deterministic t ->
-    Csp.Refine.deterministic ?max_states defs (Elaborate.proc_of_term loaded t)
+    Csp.Refine.deterministic ?max_states ?deadline defs
+      (Elaborate.proc_of_term loaded t)
 
-let run ?max_states (loaded : Elaborate.t) =
+let run ?max_states ?deadline (loaded : Elaborate.t) =
+  (* the deadline is a per-run budget: split it evenly so one hard
+     assertion cannot starve the ones after it of all wall-clock *)
+  let n = List.length loaded.Elaborate.assertions in
+  let deadline =
+    match deadline with
+    | Some d when n > 1 -> Some (d /. float_of_int n)
+    | other -> other
+  in
   List.map
     (fun (assertion, pos) ->
       {
         assertion;
         pos = Some pos;
-        result = run_assertion ?max_states loaded assertion;
+        result = run_assertion ?max_states ?deadline loaded assertion;
       })
     loaded.Elaborate.assertions
 
 let all_pass outcomes =
   List.for_all (fun o -> Csp.Refine.holds o.result) outcomes
 
+let any_fails outcomes =
+  List.exists
+    (fun o ->
+      match o.result with Csp.Refine.Fails _ -> true | _ -> false)
+    outcomes
+
+let any_inconclusive outcomes =
+  List.exists (fun o -> Csp.Refine.inconclusive o.result) outcomes
+
 let pp_outcome ppf o =
-  let status = if Csp.Refine.holds o.result then "PASS" else "FAIL" in
+  let status =
+    match o.result with
+    | Csp.Refine.Holds _ -> "PASS"
+    | Csp.Refine.Fails _ -> "FAIL"
+    | Csp.Refine.Inconclusive _ -> "INCONCLUSIVE"
+  in
   Format.fprintf ppf "@[<v 2>[%s] %a@ %a@]" status Print.pp_assertion
     o.assertion Csp.Refine.pp_result o.result
 

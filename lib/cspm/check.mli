@@ -9,15 +9,29 @@ type outcome = {
 }
 
 val run_assertion :
-  ?max_states:int -> Elaborate.t -> Ast.assertion -> Csp.Refine.result
+  ?max_states:int ->
+  ?deadline:float ->
+  Elaborate.t ->
+  Ast.assertion ->
+  Csp.Refine.result
 (** Elaborate the assertion's terms against the loaded script and run the
     corresponding check ([T=] trace refinement, [F=] stable-failures
-    refinement, deadlock or divergence freedom). *)
+    refinement, deadlock or divergence freedom). [deadline] is a
+    wall-clock budget in seconds; on expiry the result is
+    {!Csp.Refine.Inconclusive} rather than an exception. *)
 
-val run : ?max_states:int -> Elaborate.t -> outcome list
-(** Run every [assert] in script order. *)
+val run : ?max_states:int -> ?deadline:float -> Elaborate.t -> outcome list
+(** Run every [assert] in script order. A [deadline] covers the whole
+    run: it is divided evenly between the assertions so an intractable
+    early assertion cannot consume the entire budget. *)
 
 val all_pass : outcome list -> bool
+(** Every outcome is {!Csp.Refine.Holds} — inconclusive is not a pass. *)
+
+val any_fails : outcome list -> bool
+(** At least one outcome is a definite {!Csp.Refine.Fails}. *)
+
+val any_inconclusive : outcome list -> bool
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_outcomes : Format.formatter -> outcome list -> unit

@@ -147,6 +147,58 @@ let define_server defs =
   in
   Csp.Defs.define_proc defs "VMG_EXT" [] vmg_ext
 
+let define_vmg_retry ?(retries = Messages.max_retries) defs =
+  (* VMG_RETRY(target, n) — the VMG hardened for a lossy network: every
+     request arms a timer; on [timeout] the request is retried after an
+     observable [backoff], at most [retries] times in a row, after which
+     the VMG performs [giveup] and stops. A completed exchange resets the
+     budget. *)
+  let fresh = E.int retries in
+  let decrement = E.Bin (E.Sub, E.Var "n", E.int 1) in
+  (* timeout -> (n > 0 & backoff.(retries - n) -> retry) [] (n == 0 & giveup -> STOP) *)
+  let on_timeout retry =
+    P.Prefix
+      ( "timeout",
+        [],
+        P.Ext
+          ( P.Guard
+              ( E.Bin (E.Gt, E.Var "n", E.int 0),
+                P.Prefix
+                  ( "backoff",
+                    [ P.Out (E.Bin (E.Sub, fresh, E.Var "n")) ],
+                    retry ) ),
+            P.Guard
+              ( E.Bin (E.Eq, E.Var "n", E.int 0),
+                P.Prefix ("giveup", [], P.Stop) ) ) )
+  in
+  let restart = P.Call ("VMG_RETRY", [ E.Var "target"; fresh ]) in
+  let update_fresh = P.Call ("VMG_UPDATE", [ E.Var "target"; fresh ]) in
+  let await_report =
+    P.Ext_over ("u", ver_set, recv evmg (e_rpt_upd (E.Var "u")) restart)
+  in
+  Csp.Defs.define_proc defs "VMG_UPDATE" [ "target"; "n" ]
+    (send evmg eecu
+       (e_req_app (E.Var "target") (e_mac e_shared_key (E.Var "target")))
+       (P.Ext
+          ( await_report,
+            on_timeout (P.Call ("VMG_UPDATE", [ E.Var "target"; decrement ]))
+          )));
+  let await_inventory =
+    P.Ext_over
+      ( "w",
+        ver_set,
+        recv evmg (e_rpt_sw (E.Var "w"))
+          (P.If
+             (E.Bin (E.Eq, E.Var "w", E.Var "target"), restart, update_fresh))
+      )
+  in
+  Csp.Defs.define_proc defs "VMG_RETRY" [ "target"; "n" ]
+    (send evmg eecu e_req_sw
+       (P.Ext
+          ( await_inventory,
+            on_timeout (P.Call ("VMG_RETRY", [ E.Var "target"; decrement ]))
+          )))
+
 let agents_with ~check_macs ~target ~initial =
   P.Inter
     ( P.Call ("VMG", [ E.int target ]),

@@ -20,6 +20,16 @@ val define_vmg : Csp.Defs.t -> unit
     the reported version differs from [target], request the update with a
     MAC under the shared key (R03) and await [rptUpd] (R04); repeats. *)
 
+val define_vmg_retry : ?retries:int -> Csp.Defs.t -> unit
+(** Defines [VMG_RETRY(target, n)] (and its helper [VMG_UPDATE]): the
+    {!define_vmg} campaign made robust against a lossy network (requires
+    {!Messages.declare_lossy}). Every request arms a timer synchronized
+    with the medium's [timeout]; a timed-out request is retried after an
+    observable [backoff.k] event, at most [retries] (default
+    {!Messages.max_retries}) times in a row; exhausting the budget
+    performs [giveup] and stops. Completing an exchange resets the
+    budget. *)
+
 val define_server : Csp.Defs.t -> unit
 (** Extended scope only (after {!Messages.declare_extended}): defines
     [SERVER(latest)] answering [diagnose] with [update_check.latest] and

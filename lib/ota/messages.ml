@@ -43,6 +43,14 @@ let declare defs =
     ~agents:[ "vmg", []; "ecu", [] ]
     ~packet_ctors:basic_packets
 
+let max_retries = 2
+
+let declare_lossy defs =
+  declare defs;
+  Csp.Defs.declare_channel defs "timeout" [];
+  Csp.Defs.declare_channel defs "backoff" [ T.Int_range (0, max_retries - 1) ];
+  Csp.Defs.declare_channel defs "giveup" []
+
 let declare_extended defs =
   declare_common defs
     ~agents:[ "vmg", []; "ecu", []; "server", [] ]

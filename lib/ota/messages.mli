@@ -52,6 +52,15 @@ val declare_extended : Csp.Defs.t -> unit
     types ([diagnose], [update_check], [update], [update_report]) used by
     the server/VMG leg. Call instead of {!declare}. *)
 
+val max_retries : int
+(** Retry budget of the timeout-aware VMG (2). *)
+
+val declare_lossy : Csp.Defs.t -> unit
+(** {!declare} plus the channels of the lossy-network scenario:
+    [timeout] (the medium lost a packet), [backoff.n] (the VMG's [n]-th
+    back-off before retrying, [n < max_retries]) and [giveup] (retry
+    budget exhausted). Call instead of {!declare}. *)
+
 val intruder_config :
   ?knowledge:Csp.Value.t list -> unit -> Security.Intruder.config
 (** Channels wired to [send]/[recv]; default knowledge is the attacker's

@@ -92,6 +92,34 @@ let r02 ?max_states (s : Scenario.t) =
   Csp.Defs.define_proc defs "SP02" [] body;
   Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("SP02", [])) ~impl
 
+let ev_ecu_recv_req_sw =
+  Csp.Event.event "recv" [ Messages.ecu; Messages.req_sw ]
+
+(* SP02 observed at the ECU instead of at the VMG's send point: a lossy
+   network may force the VMG to send [reqSw] several times in a row (each
+   retry is a fresh send), so the alternation that survives faults is
+   "every *delivered* request is answered before the next delivery". The
+   ECU is sequential, so this is exactly the paper's SP02 seen from the
+   responder's side. *)
+let r02_delivered ?max_states (s : Scenario.t) =
+  let defs = Csp.Defs.copy s.Scenario.defs in
+  let interesting =
+    ev_ecu_recv_req_sw :: List.map ev_ecu_rpt_sw versions
+  in
+  let hidden =
+    Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting)
+  in
+  let impl = P.Hide (s.Scenario.system, hidden) in
+  let responses =
+    choice_over (List.map ev_ecu_rpt_sw versions) (fun _ ->
+        P.Call ("SP02D", []))
+  in
+  let body =
+    P.send "recv" [ Messages.ecu; Messages.req_sw ] responses
+  in
+  Csp.Defs.define_proc defs "SP02D" [] body;
+  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("SP02D", [])) ~impl
+
 let r02_liveness ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting = ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions in

@@ -20,6 +20,14 @@ type check = {
 val r01 : ?max_states:int -> Scenario.t -> Csp.Refine.result
 val r02 : ?max_states:int -> Scenario.t -> Csp.Refine.result
 
+val r02_delivered : ?max_states:int -> Scenario.t -> Csp.Refine.result
+(** SP02 observed at the ECU: every {e delivered} inventory request is
+    answered before the next one arrives. Equivalent to {!r02} on a
+    faithful medium, but robust to retransmission — on the {!Scenario.Lossy}
+    medium the retrying VMG may emit [reqSw] twice in a row (so {!r02}
+    fails there by construction), yet the delivered-request alternation
+    still holds. *)
+
 val r02_liveness : ?max_states:int -> Scenario.t -> Csp.Refine.result
 (** The availability strengthening of R02, checked in the stable-failures
     model: the system must not only never produce a wrong

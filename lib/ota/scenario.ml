@@ -2,6 +2,7 @@ type medium =
   | Reliable
   | Intruder
   | Intruder_with_shared_key
+  | Lossy
 
 type t = {
   defs : Csp.Defs.t;
@@ -11,21 +12,53 @@ type t = {
   alphabet : Csp.Eventset.t;
 }
 
+let make_lossy ?(check_macs = true) () =
+  let retries = Messages.max_retries in
+  let defs = Csp.Defs.create () in
+  Messages.declare_lossy defs;
+  Agents.define_ecu defs;
+  Agents.define_vmg_retry ~retries defs;
+  let config = Messages.intruder_config () in
+  let medium_name = Security.Intruder.lossy_medium defs config in
+  let agents =
+    Csp.Proc.Inter
+      ( Csp.Proc.Call ("VMG_RETRY", [ Csp.Expr.int 1; Csp.Expr.int retries ]),
+        Csp.Proc.Call ("ECU", [ Csp.Expr.int 0; Csp.Expr.bool check_macs ]) )
+  in
+  (* The VMG's timer synchronizes with the medium's loss signal, so
+     [timeout] joins the usual send/recv interface. *)
+  let interface = Csp.Eventset.chans [ "send"; "recv"; "timeout" ] in
+  let system =
+    Csp.Proc.Par (agents, interface, Csp.Proc.Call (medium_name, []))
+  in
+  {
+    defs;
+    system;
+    medium = Lossy;
+    check_macs;
+    alphabet =
+      Csp.Eventset.chans
+        [ "send"; "recv"; "installed"; "timeout"; "backoff"; "giveup" ];
+  }
+
 let make ?(check_macs = true) ?(medium = Reliable) () =
+  match medium with
+  | Lossy -> make_lossy ~check_macs ()
+  | _ ->
   let defs = Csp.Defs.create () in
   Messages.declare defs;
   Agents.define_ecu defs;
   Agents.define_vmg defs;
   let config =
     match medium with
-    | Reliable | Intruder -> Messages.intruder_config ()
+    | Reliable | Intruder | Lossy -> Messages.intruder_config ()
     | Intruder_with_shared_key ->
       Messages.intruder_config
         ~knowledge:[ Messages.attacker_key; Messages.shared_key ] ()
   in
   let medium_proc =
     match medium with
-    | Reliable ->
+    | Reliable | Lossy ->
       Csp.Proc.Call (Security.Intruder.reliable_medium defs config, [])
     | Intruder | Intruder_with_shared_key ->
       Csp.Proc.Call (Security.Intruder.define defs config, [])

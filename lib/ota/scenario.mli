@@ -2,12 +2,16 @@
 
     A scenario corresponds to one cell of the paper's evaluation space:
     secure/flawed ECU × reliable network / Dolev-Yao intruder (optionally
-    with a leaked shared key). *)
+    with a leaked shared key) / lossy network with a retrying VMG. *)
 
 type medium =
   | Reliable  (** faithful delivery — the no-attacker baseline *)
   | Intruder  (** Dolev-Yao attacker owning [kAtt] but not the shared key *)
   | Intruder_with_shared_key  (** compromised-key variant *)
+  | Lossy
+      (** packet-dropping network ({!Security.Intruder.lossy_medium})
+          paired with the timeout/backoff/giveup VMG
+          ({!Agents.define_vmg_retry}) *)
 
 type t = {
   defs : Csp.Defs.t;
@@ -20,7 +24,14 @@ type t = {
 val make : ?check_macs:bool -> ?medium:medium -> unit -> t
 (** Fresh environment with {!Messages.declare}, both agents, the chosen
     medium, and the composed system ([VMG(1) ||| ECU(0, chk)] against the
-    medium). Defaults: [check_macs = true], [medium = Reliable]. *)
+    medium). Defaults: [check_macs = true], [medium = Reliable].
+    [~medium:Lossy] delegates to {!make_lossy}. *)
+
+val make_lossy : ?check_macs:bool -> unit -> t
+(** The degraded-network cell: {!Messages.declare_lossy},
+    [VMG_RETRY(1, max_retries) ||| ECU(0, chk)] synchronized with the
+    lossy medium on [{| send, recv, timeout |}]. The scenario alphabet
+    additionally contains [backoff] and [giveup]. *)
 
 val make_extended : unit -> t
 (** The future-work scope: server + VMG_EXT + ECU over a reliable medium,

@@ -235,6 +235,26 @@ let reliable_medium ?(name = "MEDIUM") defs config =
   Csp.Defs.define_proc defs name [] body;
   name
 
+let lossy_medium ?(name = "LOSSY") ?(timeout_chan = "timeout") defs config =
+  (* sanity-check the channels *)
+  let _ = payload_type defs config in
+  (* One-place buffer that internally chooses between faithful delivery
+     and losing the packet; the loss is signalled on [timeout_chan] so
+     that sender-side timers can synchronize with it. *)
+  let body =
+    P.Prefix
+      ( config.send_chan,
+        [ P.In ("src", None); P.In ("dst", None); P.In ("p", None) ],
+        P.Int
+          ( P.Prefix
+              ( config.recv_chan,
+                [ P.Out (E.Var "dst"); P.Out (E.Var "p") ],
+                P.Call (name, []) ),
+            P.Prefix (timeout_chan, [], P.Call (name, [])) ) )
+  in
+  Csp.Defs.define_proc defs name [] body;
+  name
+
 let alphabet config = Csp.Eventset.chans [ config.send_chan; config.recv_chan ]
 
 let compose agents ~medium config = P.Par (agents, alphabet config, medium)

@@ -44,6 +44,15 @@ val define : ?name:string -> Csp.Defs.t -> config -> string
 val reliable_medium : ?name:string -> Csp.Defs.t -> config -> string
 (** Define the faithful one-place medium (default name [MEDIUM]). *)
 
+val lossy_medium :
+  ?name:string -> ?timeout_chan:string -> Csp.Defs.t -> config -> string
+(** Define a lossy one-place medium (default name [LOSSY]): after
+    accepting a packet it internally chooses between faithful delivery on
+    [recv_chan] and dropping the packet, which it signals on
+    [timeout_chan] (default ["timeout"]; must already be declared with no
+    fields). Synchronize sender timers on [timeout_chan] to model
+    timeout-and-retry protocols over an unreliable network. *)
+
 val learnable_secrets : Csp.Defs.t -> config -> Csp.Value.t list
 (** Secret atoms ({!Crypto.is_secret_atom}) that occur in the packet
     universe but are not derivable from the initial knowledge — what the

@@ -1,0 +1,147 @@
+(* The Needham-Schroeder public-key protocol (the paper's motivating
+   historical example, Section II-B): trusted for 18 years until CSP model
+   checking exposed Lowe's man-in-the-middle attack — modelled with the
+   lazy-spy intruder, together with Lowe's fix.
+
+   Protocol (public-key core):
+     1. A -> B : {na, A}pk(B)
+     2. B -> A : {na, nb}pk(A)        (Lowe's fix adds B's identity)
+     3. A -> B : {nb}pk(B)
+
+   Property: when B commits to a session apparently with A, A really ran
+   the protocol with B. *)
+
+module P = Csp.Proc
+module E = Csp.Expr
+module V = Csp.Value
+
+let agent_a = V.sym "a"
+let agent_b = V.sym "b"
+let agent_i = V.sym "i"
+
+let e_pk x = E.Ctor ("pk", [ x ])
+let e_aenc k m = E.Ctor ("aenc", [ k; m ])
+
+(* Build the protocol model; [fixed] switches message 2 to Lowe's variant
+   carrying the responder's identity. *)
+let build ~fixed =
+  let defs = Csp.Defs.create () in
+  let nonce_field = Csp.Ty.Int_range (0, 2) in
+  Csp.Defs.declare_datatype defs "AgentId" [ "a", []; "b", []; "i", [] ];
+  Csp.Defs.declare_datatype defs "Nonce" [ "nonce", [ nonce_field ] ];
+  Csp.Defs.declare_datatype defs "PKey" [ "pk", [ Csp.Ty.Named "AgentId" ] ];
+  Csp.Defs.declare_datatype defs "Body"
+    [
+      "msg1", [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "AgentId" ];
+      ( "msg2",
+        if fixed then
+          [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "Nonce"; Csp.Ty.Named "AgentId" ]
+        else [ Csp.Ty.Named "Nonce"; Csp.Ty.Named "Nonce" ] );
+      "msg3", [ Csp.Ty.Named "Nonce" ];
+    ];
+  Csp.Defs.declare_datatype defs "Packet"
+    [ "aenc", [ Csp.Ty.Named "PKey"; Csp.Ty.Named "Body" ] ];
+  Csp.Defs.declare_channel defs "send"
+    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId"; Csp.Ty.Named "Packet" ];
+  Csp.Defs.declare_channel defs "recv"
+    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "Packet" ];
+  Csp.Defs.declare_channel defs "running"
+    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId" ];
+  Csp.Defs.declare_channel defs "commit"
+    [ Csp.Ty.Named "AgentId"; Csp.Ty.Named "AgentId" ];
+  let nonces = E.Ty_dom (Csp.Ty.Named "Nonce") in
+  (* INITIATOR(self, peer, na) *)
+  let msg2_pattern =
+    if fixed then
+      E.Ctor ("msg2", [ E.Var "na"; E.Var "nb"; E.Var "peer" ])
+    else E.Ctor ("msg2", [ E.Var "na"; E.Var "nb" ])
+  in
+  Csp.Defs.define_proc defs "INITIATOR" [ "self"; "peer"; "na" ]
+    (P.prefix "running" [ E.Var "self"; E.Var "peer" ]
+       (P.prefix "send"
+          [
+            E.Var "self";
+            E.Var "peer";
+            e_aenc (e_pk (E.Var "peer"))
+              (E.Ctor ("msg1", [ E.Var "na"; E.Var "self" ]));
+          ]
+          (P.Ext_over
+             ( "nb",
+               nonces,
+               P.prefix "recv"
+                 [ E.Var "self"; e_aenc (e_pk (E.Var "self")) msg2_pattern ]
+                 (P.prefix "send"
+                    [
+                      E.Var "self";
+                      E.Var "peer";
+                      e_aenc (e_pk (E.Var "peer"))
+                        (E.Ctor ("msg3", [ E.Var "nb" ]));
+                    ]
+                    P.Skip) ))));
+  (* RESPONDER(self, nb) *)
+  let msg2_reply =
+    if fixed then
+      E.Ctor ("msg2", [ E.Var "n"; E.Var "nb"; E.Var "self" ])
+    else E.Ctor ("msg2", [ E.Var "n"; E.Var "nb" ])
+  in
+  Csp.Defs.define_proc defs "RESPONDER" [ "self"; "nb" ]
+    (P.Ext_over
+       ( "n",
+         nonces,
+         P.Ext_over
+           ( "x",
+             E.Ty_dom (Csp.Ty.Named "AgentId"),
+             P.prefix "recv"
+               [
+                 E.Var "self";
+                 e_aenc (e_pk (E.Var "self"))
+                   (E.Ctor ("msg1", [ E.Var "n"; E.Var "x" ]));
+               ]
+               (P.prefix "send"
+                  [
+                    E.Var "self"; E.Var "x";
+                    e_aenc (e_pk (E.Var "x")) msg2_reply;
+                  ]
+                  (P.prefix "recv"
+                     [
+                       E.Var "self";
+                       e_aenc (e_pk (E.Var "self"))
+                         (E.Ctor ("msg3", [ E.Var "nb" ]));
+                     ]
+                     (P.prefix "commit" [ E.Var "self"; E.Var "x" ] P.Skip)))
+           ) ));
+  (* A initiates with either the honest B or the (compromised) agent I —
+     running a session with a dishonest party is not itself a flaw. *)
+  let initiator_any =
+    P.Ext_over
+      ( "peerchoice",
+        E.Set [ E.Lit agent_b; E.Lit agent_i ],
+        P.Call
+          ( "INITIATOR",
+            [ E.Lit agent_a; E.Var "peerchoice"; E.Lit (V.Ctor ("nonce", [ V.Int 0 ])) ] ) )
+  in
+  let responder = P.Call ("RESPONDER", [ E.Lit agent_b; E.Lit (V.Ctor ("nonce", [ V.Int 1 ])) ]) in
+  let agents = P.Inter (initiator_any, responder) in
+  (* The lazy spy: owns i's private key and a nonce of its own; learns the
+     honest nonces only by opening packets encrypted to pk(i). *)
+  let config =
+    {
+      Intruder.send_chan = "send";
+      recv_chan = "recv";
+      knowledge = [ Crypto.sk agent_i; V.Ctor ("nonce", [ V.Int 2 ]) ];
+    }
+  in
+  let spy = Intruder.define_spy defs config in
+  let system = Intruder.compose agents ~medium:(P.Call (spy, [])) config in
+  defs, system
+
+let authentication_spec defs =
+  let alphabet = Csp.Eventset.chans [ "send"; "recv"; "running"; "commit" ] in
+  Properties.precedes defs ~alphabet
+    ~trigger:(Csp.Event.event "running" [ agent_a; agent_b ])
+    ~guarded:(Csp.Event.event "commit" [ agent_b; agent_a ])
+
+let check ?(max_states = 2_000_000) ?deadline ~fixed () =
+  let defs, system = build ~fixed in
+  let spec = authentication_spec defs in
+  Csp.Refine.traces_refines ~max_states ?deadline defs ~spec ~impl:system

@@ -19,6 +19,7 @@ let () =
       Test_interp.suite;
       Test_msgdb.suite;
       Test_canbus.suite;
+      Test_fault.suite;
       Test_candb.suite;
       Test_template.suite;
       Test_extract.suite;

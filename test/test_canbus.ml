@@ -82,6 +82,49 @@ let test_scheduler_until () =
   ignore (Canbus.Scheduler.run ~until:50 s);
   check_int "stopped at the bound" 1 !count
 
+let test_scheduler_until_boundary () =
+  (* the bound is inclusive: an event exactly at [until] fires, one a
+     microsecond later does not *)
+  let s = Canbus.Scheduler.create () in
+  let fired = ref [] in
+  ignore (Canbus.Scheduler.at s 50 (fun () -> fired := "at" :: !fired));
+  ignore (Canbus.Scheduler.at s 51 (fun () -> fired := "past" :: !fired));
+  check_int "one event fired" 1 (Canbus.Scheduler.run ~until:50 s);
+  Alcotest.(check (list string)) "only the boundary event" [ "at" ] !fired;
+  check_int "clock at the bound" 50 (Canbus.Scheduler.now s);
+  check_int "later event still pending" 1 (Canbus.Scheduler.pending s);
+  (* resuming without a bound drains the rest *)
+  check_int "remaining event fires" 1 (Canbus.Scheduler.run s);
+  Alcotest.(check (list string)) "both in order" [ "past"; "at" ] !fired
+
+let test_scheduler_cancel_after_fire () =
+  let s = Canbus.Scheduler.create () in
+  let count = ref 0 in
+  let h = Canbus.Scheduler.at s 10 (fun () -> incr count) in
+  ignore (Canbus.Scheduler.run s);
+  check_int "fired once" 1 !count;
+  (* cancelling a handle that already fired must be a no-op and must not
+     disturb later events *)
+  Canbus.Scheduler.cancel s h;
+  let h2 = Canbus.Scheduler.at s 20 (fun () -> incr count) in
+  check_int "new event unaffected" 1 (Canbus.Scheduler.pending s);
+  ignore (Canbus.Scheduler.run s);
+  check_int "later event still fires" 2 !count;
+  ignore h2
+
+let test_scheduler_cancel_twice () =
+  let s = Canbus.Scheduler.create () in
+  let hit = ref false in
+  let h = Canbus.Scheduler.after s 5 (fun () -> hit := true) in
+  Canbus.Scheduler.cancel s h;
+  Canbus.Scheduler.cancel s h;
+  check_int "still just cancelled" 0 (Canbus.Scheduler.pending s);
+  (* a second event must survive the double cancellation *)
+  ignore (Canbus.Scheduler.after s 6 (fun () -> ()));
+  check_int "peer event pending" 1 (Canbus.Scheduler.pending s);
+  check_int "only the live event fires" 1 (Canbus.Scheduler.run s);
+  check_bool "cancelled never fires" false !hit
+
 (* ------------------------------------------------------------------ *)
 (* Bus arbitration                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -154,6 +197,12 @@ let suite =
       Alcotest.test_case "scheduler cancellation" `Quick test_scheduler_cancel;
       Alcotest.test_case "past events rejected" `Quick test_scheduler_past_rejected;
       Alcotest.test_case "run until bound" `Quick test_scheduler_until;
+      Alcotest.test_case "until bound is inclusive" `Quick
+        test_scheduler_until_boundary;
+      Alcotest.test_case "cancel after fire is a no-op" `Quick
+        test_scheduler_cancel_after_fire;
+      Alcotest.test_case "double cancel is safe" `Quick
+        test_scheduler_cancel_twice;
       Alcotest.test_case "arbitration by priority" `Quick test_arbitration_priority;
       Alcotest.test_case "delivery excludes the sender" `Quick
         test_delivery_excludes_sender;

@@ -1,0 +1,165 @@
+(* Tests for the fault-injection layer: seeded determinism (byte-identical
+   traces across runs), the error-confinement state machine, and the
+   bounded retransmission budget. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_reproducible () =
+  let stream seed n =
+    let r = Canbus.Fault.Rng.make seed in
+    List.init n (fun _ -> Canbus.Fault.Rng.int r 1000)
+  in
+  Alcotest.(check (list int))
+    "same seed, same stream" (stream 42 20) (stream 42 20);
+  check_bool "different seeds diverge" true (stream 42 20 <> stream 43 20);
+  (* split streams are independent of draws on the parent *)
+  let r1 = Canbus.Fault.Rng.make 7 in
+  let child1 = Canbus.Fault.Rng.split r1 in
+  let a = List.init 10 (fun _ -> Canbus.Fault.Rng.int child1 1000) in
+  let r2 = Canbus.Fault.Rng.make 7 in
+  let child2 = Canbus.Fault.Rng.split r2 in
+  let b = List.init 10 (fun _ -> Canbus.Fault.Rng.int child2 1000) in
+  Alcotest.(check (list int)) "splitting is deterministic" a b;
+  let f = Canbus.Fault.Rng.float r1 in
+  check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+
+let test_plan_validation () =
+  (try
+     ignore (Canbus.Fault.plan ~drop:1.5 ());
+     Alcotest.fail "expected probability range error"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Canbus.Fault.plan ~corrupt:(-0.1) ());
+    Alcotest.fail "expected probability range error"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Seeded reproducibility on the OTA CAPL simulation                   *)
+(* ------------------------------------------------------------------ *)
+
+let lossy_ota_trace ~seed =
+  let sim = Ota.Capl_sources.simulation () in
+  let plan = Canbus.Fault.plan ~seed ~drop:0.1 () in
+  let fault = Canbus.Fault.install (Capl.Simulation.bus sim) plan in
+  Capl.Simulation.start sim;
+  ignore (Capl.Simulation.run ~until_ms:200 sim);
+  ( Format.asprintf "%a" Canbus.Trace_log.pp (Capl.Simulation.log sim),
+    Canbus.Fault.stats fault )
+
+let test_seeded_run_reproducible () =
+  let t1, s1 = lossy_ota_trace ~seed:42 in
+  let t2, s2 = lossy_ota_trace ~seed:42 in
+  Alcotest.(check string) "byte-identical trace across runs" t1 t2;
+  check_int "same drop count" s1.Canbus.Fault.drops s2.Canbus.Fault.drops;
+  check_bool "some frames were dropped" true (s1.Canbus.Fault.drops > 0);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "drops show up in the trace" true (contains t1 "fault:drop");
+  (* a different seed exercises a different fault pattern *)
+  let t3, _ = lossy_ota_trace ~seed:43 in
+  check_bool "different seed, different trace" true (t1 <> t3)
+
+(* ------------------------------------------------------------------ *)
+(* Error confinement: TEC growth to bus-off                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_off () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create s in
+  let flaky_rx = ref 0 and peer_from_healthy = ref 0 and peer_other = ref 0 in
+  let flaky =
+    Canbus.Bus.attach bus ~name:"flaky" ~rx:(fun _ -> incr flaky_rx)
+  in
+  let _healthy =
+    Canbus.Bus.attach bus ~name:"healthy" ~rx:(fun _ -> ())
+  in
+  let _peer =
+    Canbus.Bus.attach bus ~name:"peer" ~rx:(fun f ->
+        if f.Canbus.Frame.id = 0x200 then incr peer_from_healthy
+        else incr peer_other)
+  in
+  (* every frame the flaky node sends is destroyed on the wire; with a
+     retry budget of 1 each attempt costs TEC +16, so the lowered bus-off
+     threshold (24) is crossed on the second attempt *)
+  let plan = Canbus.Fault.plan ~seed:1 ~drop:1.0 ~only:"flaky" () in
+  let fault = Canbus.Fault.install ~max_retries:1 ~tec_busoff:24 bus plan in
+  let node_by_name name =
+    List.find
+      (fun id -> String.equal (Canbus.Bus.node_name bus id) name)
+      (Canbus.Bus.node_ids bus)
+  in
+  let healthy = node_by_name "healthy" in
+  for i = 0 to 4 do
+    ignore
+      (Canbus.Scheduler.at s ((i * 2000) + 1000) (fun () ->
+           Canbus.Bus.transmit bus flaky (Canbus.Frame.make ~id:0x100 [ i ])));
+    ignore
+      (Canbus.Scheduler.at s ((i * 2000) + 2000) (fun () ->
+           Canbus.Bus.transmit bus healthy (Canbus.Frame.make ~id:0x200 [ i ])))
+  done;
+  ignore (Canbus.Scheduler.run s);
+  check_bool "flaky node reaches bus-off" true
+    (Canbus.Fault.node_state fault flaky = Canbus.Fault.Bus_off);
+  let st = Canbus.Fault.stats fault in
+  check_bool "post-bus-off transmissions are gated" true
+    (st.Canbus.Fault.bus_off_blocked > 0);
+  check_bool "retries happened before giving up" true
+    (st.Canbus.Fault.retransmissions > 0);
+  check_bool "retry budget ran out at least once" true
+    (st.Canbus.Fault.abandoned > 0);
+  (* the bus itself stays usable for everyone else *)
+  check_int "peer hears every healthy frame" 5 !peer_from_healthy;
+  check_int "no flaky frame ever arrives" 0 !peer_other;
+  (* a bus-off node also stops receiving: it hears at most the healthy
+     traffic sent before it died *)
+  check_bool "flaky stops receiving after bus-off" true (!flaky_rx < 5);
+  (* the one-shot confinement event is in the log *)
+  let busoff_entries =
+    List.filter
+      (fun e ->
+        match e.Canbus.Trace_log.direction with
+        | Canbus.Trace_log.Fault k -> String.equal k "bus-off"
+        | _ -> false)
+      (Canbus.Trace_log.faults (Canbus.Bus.log bus))
+  in
+  check_int "bus-off logged exactly once" 1 (List.length busoff_entries)
+
+let test_uninstall_restores_bus () =
+  let s = Canbus.Scheduler.create () in
+  let bus = Canbus.Bus.create s in
+  let got = ref 0 in
+  let n1 = Canbus.Bus.attach bus ~name:"n1" ~rx:(fun _ -> ()) in
+  let _n2 = Canbus.Bus.attach bus ~name:"n2" ~rx:(fun _ -> incr got) in
+  let fault =
+    Canbus.Fault.install bus (Canbus.Fault.plan ~seed:5 ~drop:1.0 ())
+  in
+  Canbus.Bus.transmit bus n1 (Canbus.Frame.make ~id:1 []);
+  ignore (Canbus.Scheduler.run s);
+  check_int "dropped while installed" 0 !got;
+  Canbus.Fault.uninstall fault;
+  Canbus.Bus.transmit bus n1 (Canbus.Frame.make ~id:1 []);
+  ignore (Canbus.Scheduler.run s);
+  check_int "delivery restored after uninstall" 1 !got
+
+let suite =
+  ( "fault",
+    [
+      Alcotest.test_case "rng reproducible and splittable" `Quick
+        test_rng_reproducible;
+      Alcotest.test_case "plan validates probabilities" `Quick
+        test_plan_validation;
+      Alcotest.test_case "seeded runs byte-identical" `Quick
+        test_seeded_run_reproducible;
+      Alcotest.test_case "error confinement reaches bus-off" `Quick
+        test_bus_off;
+      Alcotest.test_case "uninstall restores the ideal bus" `Quick
+        test_uninstall_restores_bus;
+    ] )

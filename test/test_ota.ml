@@ -64,7 +64,8 @@ let test_attack_trace_shape () =
              not (Csp.Value.equal src Ota.Messages.vmg)
            | _ -> true)
          cex.Csp.Refine.trace)
-  | Csp.Refine.Holds _ -> Alcotest.fail "expected the forgery attack"
+  | Csp.Refine.Holds _ | Csp.Refine.Inconclusive _ ->
+    Alcotest.fail "expected the forgery attack"
 
 let test_liveness_split () =
   (* availability (paper Section IV-A1): holds on the reliable medium,
@@ -75,6 +76,20 @@ let test_liveness_split () =
   let intruded = Ota.Scenario.make ~medium:Ota.Scenario.Intruder () in
   check_bool "drop attack breaks availability" false
     (Csp.Refine.holds (Ota.Requirements.r02_liveness intruded))
+
+let test_lossy_network () =
+  (* tentpole part 3: SP02 survives injected packet loss when observed at
+     the delivery point, while the send-point variant breaks (a retry is
+     two consecutive reqSw sends) — the expected contrast *)
+  let s = Ota.Scenario.make ~medium:Ota.Scenario.Lossy () in
+  check_bool "SP02 at the ECU survives packet loss" true
+    (Csp.Refine.holds (Ota.Requirements.r02_delivered s));
+  check_bool "send-point SP02 is broken by retries" false
+    (Csp.Refine.holds (Ota.Requirements.r02 s));
+  (* the reliable baseline satisfies both formulations *)
+  let baseline = Ota.Scenario.make () in
+  check_bool "delivered-form SP02 holds on the baseline" true
+    (Csp.Refine.holds (Ota.Requirements.r02_delivered baseline))
 
 let test_extended_scope () =
   let s = Ota.Scenario.make_extended () in
@@ -113,6 +128,8 @@ let suite =
       Alcotest.test_case "attack trace shape" `Quick test_attack_trace_shape;
       Alcotest.test_case "availability vs drop attacks" `Quick
         test_liveness_split;
+      Alcotest.test_case "lossy network with retrying VMG" `Quick
+        test_lossy_network;
       Alcotest.test_case "extended server scope" `Quick test_extended_scope;
       Alcotest.test_case "demo CAPL sources well-formed" `Quick
         test_demo_sources_are_wellformed;

@@ -30,7 +30,7 @@ let test_counterexample_trace () =
      | Refine.Trace_violation l ->
        Alcotest.check label "offending event" (vis "b" 1) l
      | _ -> Alcotest.fail "expected a trace violation")
-  | Refine.Holds _ -> Alcotest.fail "expected failure"
+  | Refine.Holds _ | Refine.Inconclusive _ -> Alcotest.fail "expected failure"
 
 let test_tau_does_not_affect_traces () =
   (* spec a!0; impl has internal noise before a!0 *)
@@ -74,19 +74,47 @@ let test_deadlock_divergence_checks () =
   check_bool "visible loop does not" true
     (holds (Refine.divergence_free defs2 (Proc.Call ("D", []))))
 
-let test_state_limit () =
+let infinite_counter () =
   let defs = make_defs () in
   (* an infinite-state process: counter grows without bound *)
   Defs.define_proc defs "N" [ "n" ]
     (Proc.Prefix
        ("done_", [], Proc.Call ("N", [ Expr.(var "n" + int 1) ])));
-  try
-    ignore
-      (Refine.traces_refines ~max_states:100 defs
-         ~spec:(Proc.Run (Eventset.chan "done_"))
-         ~impl:(Proc.Call ("N", [ Expr.int 0 ])));
-    Alcotest.fail "expected State_limit"
-  with Refine.State_limit _ -> ()
+  defs
+
+let test_state_limit () =
+  let defs = infinite_counter () in
+  match
+    Refine.traces_refines ~max_states:100 defs
+      ~spec:(Proc.Run (Eventset.chan "done_"))
+      ~impl:(Proc.Call ("N", [ Expr.int 0 ]))
+  with
+  | Refine.Inconclusive (stats, hint) ->
+    check_bool "pair budget exhausted" true (hint.Refine.exhausted = Refine.Pairs);
+    check_bool "explored some pairs" true (stats.Refine.pairs > 0);
+    check_bool "frontier is non-empty" true (hint.Refine.frontier > 0)
+  | r ->
+    Alcotest.failf "expected Inconclusive, got %a" Refine.pp_result r
+
+let test_deadline () =
+  let defs = infinite_counter () in
+  match
+    Refine.traces_refines ~deadline:0.001 defs
+      ~spec:(Proc.Run (Eventset.chan "done_"))
+      ~impl:(Proc.Call ("N", [ Expr.int 0 ]))
+  with
+  | Refine.Inconclusive (stats, hint) ->
+    check_bool "deadline exhausted" true (hint.Refine.exhausted = Refine.Deadline);
+    check_bool "non-zero progress" true
+      (stats.Refine.pairs > 0 || stats.Refine.spec_nodes > 0)
+  | r -> Alcotest.failf "expected Inconclusive, got %a" Refine.pp_result r
+
+let test_deadline_does_not_mask_verdicts () =
+  (* A tiny system finishes well inside any deadline; generous budgets
+     must not change verdicts. *)
+  let a0 = send "a" 0 Proc.Stop in
+  check_bool "holds under deadline" true
+    (holds (Refine.traces_refines ~deadline:60.0 defs ~spec:a0 ~impl:a0))
 
 (* Preorder laws, checked on random processes. *)
 let reflexive =
@@ -121,7 +149,7 @@ let counterexample_is_genuine =
   QCheck.Test.make ~count:100 ~name:"counterexamples are genuine"
     (QCheck.pair arb_proc arb_proc) (fun (spec, impl) ->
       match Refine.traces_refines ~max_states:50_000 defs ~spec ~impl with
-      | Refine.Holds _ -> true
+      | Refine.Holds _ | Refine.Inconclusive _ -> true
       | Refine.Fails cex ->
         let depth = List.length cex.Refine.trace in
         let ts_impl = Traces.of_lts ~depth (Lts.compile defs impl) in
@@ -139,6 +167,9 @@ let suite =
       Alcotest.test_case "failures find refusals" `Quick test_failures_deadlock_detection;
       Alcotest.test_case "deadlock and divergence" `Quick test_deadlock_divergence_checks;
       Alcotest.test_case "state limits" `Quick test_state_limit;
+      Alcotest.test_case "deadline budget" `Quick test_deadline;
+      Alcotest.test_case "deadline preserves verdicts" `Quick
+        test_deadline_does_not_mask_verdicts;
       QCheck_alcotest.to_alcotest reflexive;
       QCheck_alcotest.to_alcotest transitive;
       QCheck_alcotest.to_alcotest agrees_with_trace_subset;

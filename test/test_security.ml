@@ -303,6 +303,32 @@ let test_never_and_precedes () =
   check_bool "reversed caught" false
     (Refine.holds (Refine.traces_refines defs ~spec:prec ~impl:reversed))
 
+(* The fixed Needham-Schroeder system is the stock "large check": a 1 ms
+   deadline cannot finish it, so the budgeted engine must degrade to an
+   Inconclusive verdict carrying real progress numbers — the acceptance
+   shape of the graceful-degradation tentpole. *)
+let test_ns_budgeted () =
+  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  | Refine.Inconclusive (stats, hint) ->
+    (* the 1 ms may expire while compiling the spec (progress shows up in
+       spec_nodes) or during the product walk (impl_states/pairs) — either
+       way some exploration must be on record *)
+    check_bool "non-zero exploration stats" true
+      (stats.Refine.impl_states > 0 || stats.Refine.pairs > 0
+      || stats.Refine.spec_nodes > 0);
+    check_bool "resume hint has a frontier" true (hint.Refine.frontier > 0)
+  | Refine.Holds _ -> Alcotest.fail "1 ms should not complete the NS check"
+  | Refine.Fails _ -> Alcotest.fail "the fixed protocol must not fail"
+
+let test_ns_attack_found () =
+  (* sanity: without the fix and without a deadline, Lowe's attack appears *)
+  match Security.Ns_protocol.check ~fixed:false () with
+  | Refine.Fails cex ->
+    check_bool "attack trace nonempty" true
+      (List.length cex.Refine.trace > 0)
+  | Refine.Holds _ | Refine.Inconclusive _ ->
+    Alcotest.fail "expected Lowe's man-in-the-middle attack"
+
 let suite =
   ( "security",
     [
@@ -319,4 +345,8 @@ let suite =
       Alcotest.test_case "request/response property" `Quick test_request_response;
       Alcotest.test_case "never and precedes properties" `Quick
         test_never_and_precedes;
+      Alcotest.test_case "needham-schroeder under a 1ms budget" `Quick
+        test_ns_budgeted;
+      Alcotest.test_case "needham-schroeder attack without the fix" `Quick
+        test_ns_attack_found;
     ] )
