@@ -64,20 +64,20 @@ let table1 () =
   let defs = Csp.Defs.create () in
   Csp.Defs.declare_channel defs "a" [ Csp.Ty.Int_range (0, 3) ];
   Csp.Defs.declare_channel defs "b" [ Csp.Ty.Int_range (0, 3) ];
-  let p0 = Csp.Proc.send "a" [ Csp.Value.Int 0 ] Csp.Proc.Stop in
-  let q0 = Csp.Proc.send "b" [ Csp.Value.Int 1 ] Csp.Proc.Stop in
+  let p0 = Csp.Proc.send "a" [ Csp.Value.Int 0 ] Csp.Proc.stop in
+  let q0 = Csp.Proc.send "b" [ Csp.Value.Int 1 ] Csp.Proc.stop in
   let rows =
     [
       "Prefix", "P1 -> P2", p0;
       ( "Input", "?x",
-        Csp.Proc.Prefix ("a", [ Csp.Proc.In ("x", None) ], Csp.Proc.Stop) );
-      "Output", "!x", Csp.Proc.send "a" [ Csp.Value.Int 0 ] Csp.Proc.Skip;
-      "Sequential composition", "P1; P2", Csp.Proc.Seq (p0, q0);
-      "External choice", "P1 [] P2", Csp.Proc.Ext (p0, q0);
-      "Internal choice", "P1 |~| P2", Csp.Proc.Int (p0, q0);
+        Csp.Proc.prefix_items ("a", [ Csp.Proc.In ("x", None) ], Csp.Proc.stop) );
+      "Output", "!x", Csp.Proc.send "a" [ Csp.Value.Int 0 ] Csp.Proc.skip;
+      "Sequential composition", "P1; P2", Csp.Proc.seq (p0, q0);
+      "External choice", "P1 [] P2", Csp.Proc.ext (p0, q0);
+      "Internal choice", "P1 |~| P2", Csp.Proc.intc (p0, q0);
       ( "Alphabetised parallel", "P [A||B] Q",
-        Csp.Proc.APar (p0, Csp.Eventset.chan "a", Csp.Eventset.chan "b", q0) );
-      "Interleaving", "P1 ||| P2", Csp.Proc.Inter (p0, q0);
+        Csp.Proc.apar (p0, Csp.Eventset.chan "a", Csp.Eventset.chan "b", q0) );
+      "Interleaving", "P1 ||| P2", Csp.Proc.inter (p0, q0);
     ]
   in
   Format.printf "%-24s %-12s %-34s %s@." "Basic operator" "Notation"
@@ -200,7 +200,7 @@ let fig1 () =
       ~second:"rptSw"
   in
   let impl =
-    Csp.Proc.Hide
+    Csp.Proc.hide
       ( system.Extractor.Pipeline.composed,
         Csp.Eventset.chans [ "timer_VMG_retry"; "reqApp"; "rptUpd" ] )
   in
@@ -283,17 +283,17 @@ let echo_system k =
   Csp.Defs.declare_channel defs "req" [ Csp.Ty.Int_range (0, k - 1) ];
   Csp.Defs.declare_channel defs "rsp" [ Csp.Ty.Int_range (0, k - 1) ];
   Csp.Defs.define_proc defs "ECU" []
-    (Csp.Proc.Prefix
+    (Csp.Proc.prefix_items
        ( "req",
          [ Csp.Proc.In ("x", None) ],
-         Csp.Proc.prefix "rsp" [ Csp.Expr.var "x" ] (Csp.Proc.Call ("ECU", []))
+         Csp.Proc.prefix "rsp" [ Csp.Expr.var "x" ] (Csp.Proc.call ("ECU", []))
        ));
   Csp.Defs.define_proc defs "VMG" [ "i" ]
     (Csp.Proc.prefix "req" [ Csp.Expr.var "i" ]
-       (Csp.Proc.Prefix
+       (Csp.Proc.prefix_items
           ( "rsp",
             [ Csp.Proc.In ("y", None) ],
-            Csp.Proc.Call
+            Csp.Proc.call
               ( "VMG",
                 [
                   Csp.Expr.Bin
@@ -306,10 +306,10 @@ let echo_system k =
       ~resp:"rsp"
   in
   let impl =
-    Csp.Proc.Par
-      ( Csp.Proc.Call ("VMG", [ Csp.Expr.int 0 ]),
+    Csp.Proc.par
+      ( Csp.Proc.call ("VMG", [ Csp.Expr.int 0 ]),
         Csp.Eventset.chans [ "req"; "rsp" ],
-        Csp.Proc.Call ("ECU", []) )
+        Csp.Proc.call ("ECU", []) )
   in
   defs, spec, impl
 
@@ -324,38 +324,38 @@ let multi_ecu_system n =
         Csp.Defs.declare_channel defs rsp [ Csp.Ty.Int_range (0, 1) ];
         let ecu = Printf.sprintf "ECU%d" i in
         Csp.Defs.define_proc defs ecu []
-          (Csp.Proc.Prefix
+          (Csp.Proc.prefix_items
              ( req,
                [ Csp.Proc.In ("x", None) ],
                Csp.Proc.prefix rsp [ Csp.Expr.var "x" ]
-                 (Csp.Proc.Call (ecu, [])) ));
+                 (Csp.Proc.call (ecu, [])) ));
         let vmg = Printf.sprintf "VMG%d" i in
         Csp.Defs.define_proc defs vmg []
           (Csp.Proc.send req [ Csp.Value.Int 0 ]
-             (Csp.Proc.Prefix
+             (Csp.Proc.prefix_items
                 ([ rsp ] |> List.hd, [ Csp.Proc.In ("y", None) ],
-                 Csp.Proc.Call (vmg, []))));
+                 Csp.Proc.call (vmg, []))));
         let spec_name = Printf.sprintf "SPEC%d" i in
         ignore
           (Security.Properties.request_response ~name:spec_name defs ~req
              ~resp:rsp);
-        ( Csp.Proc.Par
-            ( Csp.Proc.Call (vmg, []),
+        ( Csp.Proc.par
+            ( Csp.Proc.call (vmg, []),
               Csp.Eventset.chans [ req; rsp ],
-              Csp.Proc.Call (ecu, []) ),
-          Csp.Proc.Call (spec_name, []) ))
+              Csp.Proc.call (ecu, []) ),
+          Csp.Proc.call (spec_name, []) ))
   in
   let impl =
     match parts with
-    | [] -> Csp.Proc.Skip
+    | [] -> Csp.Proc.skip
     | (p0, _) :: rest ->
-      List.fold_left (fun acc (p, _) -> Csp.Proc.Inter (acc, p)) p0 rest
+      List.fold_left (fun acc (p, _) -> Csp.Proc.inter (acc, p)) p0 rest
   in
   let spec =
     match parts with
-    | [] -> Csp.Proc.Skip
+    | [] -> Csp.Proc.skip
     | (_, s0) :: rest ->
-      List.fold_left (fun acc (_, s) -> Csp.Proc.Inter (acc, s)) s0 rest
+      List.fold_left (fun acc (_, s) -> Csp.Proc.inter (acc, s)) s0 rest
   in
   defs, spec, impl
 
@@ -447,7 +447,8 @@ let attack () =
 (* ------------------------------------------------------------------ *)
 
 let ablations () =
-  section "A" "Ablations: transition memoization; spec normalization";
+  section "A"
+    "Ablations: transition memoization; spec normalization; hash-consing";
   let s = Ota.Scenario.make ~medium:Ota.Scenario.Intruder () in
   let defs = s.Ota.Scenario.defs in
   let system = s.Ota.Scenario.system in
@@ -471,9 +472,15 @@ let ablations () =
       bench "normalise_run_spec" (fun () ->
           let spec_lts =
             Csp.Lts.compile defs
-              (Csp.Proc.Run (Csp.Eventset.chans [ "send"; "recv" ]))
+              (Csp.Proc.run (Csp.Eventset.chans [ "send"; "recv" ]))
           in
           Csp.Normalise.normalise spec_lts);
+      (* interning ablation: O(1) hash-consed ids vs the deep structural
+         hashing the ids replace, on a full product check *)
+      bench "hashcons_id_interning" (fun () ->
+          Ota.Requirements.r05 ~interner:`Id s ~version:1);
+      bench "hashcons_structural_interning" (fun () ->
+          Ota.Requirements.r05 ~interner:`Structural s ~version:1);
     ]
 
 let () =

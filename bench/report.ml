@@ -1,0 +1,173 @@
+(* Machine-readable perf trajectory: runs the stock refinement workloads
+   and writes BENCH_csp.json (check name -> wall time, impl states, pairs,
+   states/s) so speedups and regressions are comparable across PRs.
+
+   Usage: dune exec bench/report.exe [-- OUTPUT.json]
+   The workloads are the scalability series of bench/main.ml (domain
+   scaling k = 2..32, interleaved-ECU scaling n = 2..5) and the
+   Needham-Schroeder authentication check — the checks whose before/after
+   numbers EXPERIMENTS.md tracks. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  r, Unix.gettimeofday () -. t0
+
+type row = {
+  name : string;
+  wall_s : float;
+  impl_states : int;
+  pairs : int;
+  states_per_sec : float;
+  verdict : string;
+}
+
+let row_of_result name result t =
+  let impl_states, pairs =
+    match (result : Csp.Refine.result) with
+    | Csp.Refine.Holds stats | Csp.Refine.Inconclusive (stats, _) ->
+      stats.Csp.Refine.impl_states, stats.Csp.Refine.pairs
+    | Csp.Refine.Fails _ -> 0, 0
+  in
+  let verdict =
+    match result with
+    | Csp.Refine.Holds _ -> "holds"
+    | Csp.Refine.Fails _ -> "fails"
+    | Csp.Refine.Inconclusive _ -> "inconclusive"
+  in
+  let per_sec =
+    if t > 0. then float_of_int (max impl_states pairs) /. t else 0.
+  in
+  { name; wall_s = t; impl_states; pairs; states_per_sec = per_sec; verdict }
+
+(* The same two synthetic systems as bench/main.ml S1. *)
+let echo_system k =
+  let defs = Csp.Defs.create () in
+  Csp.Defs.declare_channel defs "req" [ Csp.Ty.Int_range (0, k - 1) ];
+  Csp.Defs.declare_channel defs "rsp" [ Csp.Ty.Int_range (0, k - 1) ];
+  Csp.Defs.define_proc defs "ECU" []
+    (Csp.Proc.prefix_items
+       ( "req",
+         [ Csp.Proc.In ("x", None) ],
+         Csp.Proc.prefix "rsp" [ Csp.Expr.var "x" ] (Csp.Proc.call ("ECU", []))
+       ));
+  Csp.Defs.define_proc defs "VMG" [ "i" ]
+    (Csp.Proc.prefix "req" [ Csp.Expr.var "i" ]
+       (Csp.Proc.prefix_items
+          ( "rsp",
+            [ Csp.Proc.In ("y", None) ],
+            Csp.Proc.call
+              ( "VMG",
+                [
+                  Csp.Expr.Bin
+                    ( Csp.Expr.Mod,
+                      Csp.Expr.(var "i" + int 1),
+                      Csp.Expr.int k );
+                ] ) )));
+  let spec =
+    Security.Properties.request_response ~name:"SPEC" defs ~req:"req"
+      ~resp:"rsp"
+  in
+  let impl =
+    Csp.Proc.par
+      ( Csp.Proc.call ("VMG", [ Csp.Expr.int 0 ]),
+        Csp.Eventset.chans [ "req"; "rsp" ],
+        Csp.Proc.call ("ECU", []) )
+  in
+  defs, spec, impl
+
+let multi_ecu_system n =
+  let defs = Csp.Defs.create () in
+  let parts =
+    List.init n (fun i ->
+        let req = Printf.sprintf "req%d" i
+        and rsp = Printf.sprintf "rsp%d" i in
+        Csp.Defs.declare_channel defs req [ Csp.Ty.Int_range (0, 1) ];
+        Csp.Defs.declare_channel defs rsp [ Csp.Ty.Int_range (0, 1) ];
+        let ecu = Printf.sprintf "ECU%d" i in
+        Csp.Defs.define_proc defs ecu []
+          (Csp.Proc.prefix_items
+             ( req,
+               [ Csp.Proc.In ("x", None) ],
+               Csp.Proc.prefix rsp [ Csp.Expr.var "x" ]
+                 (Csp.Proc.call (ecu, [])) ));
+        let vmg = Printf.sprintf "VMG%d" i in
+        Csp.Defs.define_proc defs vmg []
+          (Csp.Proc.send req [ Csp.Value.Int 0 ]
+             (Csp.Proc.prefix_items
+                (rsp, [ Csp.Proc.In ("y", None) ], Csp.Proc.call (vmg, []))));
+        let spec_name = Printf.sprintf "SPEC%d" i in
+        ignore
+          (Security.Properties.request_response ~name:spec_name defs ~req
+             ~resp:rsp);
+        ( Csp.Proc.par
+            ( Csp.Proc.call (vmg, []),
+              Csp.Eventset.chans [ req; rsp ],
+              Csp.Proc.call (ecu, []) ),
+          Csp.Proc.call (spec_name, []) ))
+  in
+  let impl =
+    match parts with
+    | [] -> Csp.Proc.skip
+    | (p0, _) :: rest ->
+      List.fold_left (fun acc (p, _) -> Csp.Proc.inter (acc, p)) p0 rest
+  in
+  let spec =
+    match parts with
+    | [] -> Csp.Proc.skip
+    | (_, s0) :: rest ->
+      List.fold_left (fun acc (_, s) -> Csp.Proc.inter (acc, s)) s0 rest
+  in
+  defs, spec, impl
+
+let run_rows () =
+  let rows = ref [] in
+  let record name f =
+    let result, t = wall f in
+    let row = row_of_result name result t in
+    Format.printf "%-24s %9.2f ms %9d states %9d pairs %12.0f st/s  %s@."
+      row.name (row.wall_s *. 1e3) row.impl_states row.pairs
+      row.states_per_sec row.verdict;
+    rows := row :: !rows
+  in
+  List.iter
+    (fun k ->
+      let defs, spec, impl = echo_system k in
+      record
+        (Printf.sprintf "scale/domain/k%02d" k)
+        (fun () -> Csp.Refine.traces_refines defs ~spec ~impl))
+    [ 2; 4; 8; 16; 32 ];
+  List.iter
+    (fun n ->
+      let defs, spec, impl = multi_ecu_system n in
+      record
+        (Printf.sprintf "scale/ecus/n%d" n)
+        (fun () -> Csp.Refine.traces_refines defs ~spec ~impl))
+    [ 2; 3; 4; 5 ];
+  record "ns/authentication-fixed" (fun () ->
+      Security.Ns_protocol.check ~fixed:true ());
+  List.rev !rows
+
+let json_of_rows rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n";
+  List.iteri
+    (fun i row ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  %S: { \"wall_s\": %.6f, \"impl_states\": %d, \"pairs\": %d, \
+            \"states_per_sec\": %.0f, \"verdict\": %S }%s\n"
+           row.name row.wall_s row.impl_states row.pairs row.states_per_sec
+           row.verdict
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let () =
+  let out = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_csp.json" in
+  let rows = run_rows () in
+  let oc = open_out out in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Format.printf "@.wrote %s (%d checks)@." out (List.length rows)

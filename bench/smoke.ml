@@ -38,7 +38,46 @@ let check_budgeted_engine () =
     fail "budget smoke: 1 ms unexpectedly completed the NS check"
   | Csp.Refine.Fails _ -> fail "budget smoke: fixed NS must not fail"
 
+let check_engine_agreement () =
+  (* the unified engine under hash-consed ids must agree with the deep
+     structural-equality oracle on the stock checks, including the
+     exploration counts (timing aside, the searches are the same search) *)
+  let digest result =
+    match result with
+    | Csp.Refine.Holds s ->
+      Printf.sprintf "holds/%d/%d/%d" s.Csp.Refine.impl_states
+        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+    | Csp.Refine.Fails cex ->
+      Format.asprintf "fails/%a" Csp.Refine.pp_counterexample cex
+    | Csp.Refine.Inconclusive (s, _) ->
+      Printf.sprintf "inconclusive/%d/%d/%d" s.Csp.Refine.impl_states
+        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+  in
+  let s = Ota.Scenario.make () in
+  let checks =
+    [
+      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
+      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
+      ( "NS-broken",
+        fun interner -> Security.Ns_protocol.check ~interner ~fixed:false () );
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let id = digest (run `Id) and structural = digest (run `Structural) in
+      if not (String.equal id structural) then
+        fail "engine smoke: %s disagrees across interners:\n  id: %s\n  st: %s"
+          name id structural;
+      let head =
+        match String.index_opt id '\n' with
+        | Some i -> String.sub id 0 i
+        | None -> id
+      in
+      Format.printf "engine agreement: %s -> %s@." name head)
+    checks
+
 let () =
   check_fault_injection ();
   check_budgeted_engine ();
+  check_engine_agreement ();
   print_endline "smoke: ok"

@@ -41,7 +41,7 @@ let run path max_states timeout list_only dot =
       | Some ([], _) ->
         let lts =
           Csp.Lts.compile ~max_states loaded.Cspm.Elaborate.defs
-            (Csp.Proc.Call (name, []))
+            (Csp.Proc.call (name, []))
         in
         print_string (Csp.Lts.to_dot lts);
         0

@@ -66,7 +66,7 @@ let () =
   let defender =
     (* The defender forbids steal_key by synchronizing on it and never
        offering it (SKIP so that joint termination stays possible). *)
-    Csp.Proc.Par (proc, Csp.Eventset.chan "steal_key", Csp.Proc.Skip)
+    Csp.Proc.par (proc, Csp.Eventset.chan "steal_key", Csp.Proc.skip)
   in
   let feasible = Csp.Traces.of_lts (Csp.Lts.compile defs defender) in
   let complete =

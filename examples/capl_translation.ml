@@ -35,7 +35,7 @@ let () =
       ~second:"rptSw"
   in
   let internal = Csp.Eventset.chans [ "timer_VMG_retry"; "reqApp"; "rptUpd" ] in
-  let impl = Csp.Proc.Hide (system.Extractor.Pipeline.composed, internal) in
+  let impl = Csp.Proc.hide (system.Extractor.Pipeline.composed, internal) in
   Format.printf "@.SP02 (diagnosis alternation) on the extracted model: %a@."
     Csp.Refine.pp_result
     (Csp.Refine.traces_refines defs ~spec ~impl);
@@ -84,17 +84,17 @@ on start {
   let tag_spec defs name =
     let open Csp in
     Defs.define_proc defs (name ^ "AFTER") [ "v" ]
-      (Proc.prefix "rptUpd" [ Expr.Var "v" ] (Proc.Call (name, [])));
+      (Proc.prefix "rptUpd" [ Expr.Var "v" ] (Proc.call (name, [])));
     Defs.define_proc defs name []
-      (Proc.Ext_over
+      (Proc.ext_over
          ( "v",
            Expr.Ty_dom (Ty.Named "ReqApp_version"),
-           Proc.Ext_over
+           Proc.ext_over
              ( "t",
                Expr.Ty_dom (Ty.Named "ReqApp_tag"),
                Proc.prefix "reqApp"
                  [ Expr.Var "v"; Expr.Var "t" ]
-                 (Proc.If
+                 (Proc.ite
                     ( Expr.Bin
                         ( Expr.Eq,
                           Expr.Var "t",
@@ -102,9 +102,9 @@ on start {
                             ( Expr.Mod,
                               Expr.Bin (Expr.Add, Expr.Var "v", Expr.int 5),
                               Expr.int 8 ) ),
-                      Proc.Call (name ^ "AFTER", [ Expr.Var "v" ]),
-                      Proc.Call (name, []) )) ) ));
-    Proc.Call (name, [])
+                      Proc.call (name ^ "AFTER", [ Expr.Var "v" ]),
+                      Proc.call (name, []) )) ) ));
+    Proc.call (name, [])
   in
   let tx_chans_of system =
     List.concat_map
@@ -112,7 +112,7 @@ on start {
       system.Extractor.Pipeline.nodes
   in
   let project system =
-    Csp.Proc.Hide
+    Csp.Proc.hide
       ( system.Extractor.Pipeline.composed,
         Csp.Eventset.chans
           ([ "timer_VMG_retry"; "reqSw"; "rptSw" ] @ tx_chans_of system) )

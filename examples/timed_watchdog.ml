@@ -55,10 +55,10 @@ let () =
     (Csp.Proc.send "tock" []
        (Csp.Proc.send "tock" []
           (Csp.Proc.send "heartbeat" [ Csp.Value.Int 0 ]
-             (Csp.Proc.Call ("PUNCTUAL", [])))));
+             (Csp.Proc.call ("PUNCTUAL", [])))));
   let healthy =
-    Csp.Proc.Par
-      ( Csp.Proc.Call ("PUNCTUAL", []),
+    Csp.Proc.par
+      ( Csp.Proc.call ("PUNCTUAL", []),
         Csp.Eventset.chans [ "tock"; "heartbeat" ],
         watchdog )
   in
@@ -73,10 +73,10 @@ let () =
   (* Deadline property 2: if the engine goes silent, the alarm fires after
      exactly three tocks — no earlier, no later. *)
   Csp.Defs.define_proc defs "SILENT" []
-    (Csp.Proc.send "tock" [] (Csp.Proc.Call ("SILENT", [])));
+    (Csp.Proc.send "tock" [] (Csp.Proc.call ("SILENT", [])));
   let dead_engine =
-    Csp.Proc.Par
-      ( Csp.Proc.Call ("SILENT", []),
+    Csp.Proc.par
+      ( Csp.Proc.call ("SILENT", []),
         Csp.Eventset.chans [ "tock"; "heartbeat" ],
         watchdog )
   in
@@ -86,10 +86,10 @@ let () =
        (Csp.Proc.send "tock" []
           (Csp.Proc.send "tock" []
              (Csp.Proc.send "alarm" [ Csp.Value.Int 1 ]
-                (Csp.Proc.Run (Csp.Eventset.chans [ "tock" ]))))));
+                (Csp.Proc.run (Csp.Eventset.chans [ "tock" ]))))));
   Format.printf "silent engine => alarm after exactly 30 ms: %a@."
     Csp.Refine.pp_result
-    (Csp.Refine.traces_refines defs ~spec:(Csp.Proc.Call ("DEADLINE", []))
+    (Csp.Refine.traces_refines defs ~spec:(Csp.Proc.call ("DEADLINE", []))
        ~impl:dead_engine);
 
   (* And in the failures model: the alarm is not just possible but
@@ -97,5 +97,5 @@ let () =
   Format.printf "alarm is inevitable (failures model): %a@."
     Csp.Refine.pp_result
     (Csp.Refine.failures_refines defs
-       ~spec:(Csp.Proc.Call ("DEADLINE", []))
+       ~spec:(Csp.Proc.call ("DEADLINE", []))
        ~impl:dead_engine)

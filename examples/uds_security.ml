@@ -57,37 +57,37 @@ let build ~seed_mode ~captured =
   Csp.Defs.declare_channel defs "recv"
     [ Csp.Ty.Named "Agent"; Csp.Ty.Named "Pkt" ];
   Csp.Defs.declare_channel defs "unlocked" [ Csp.Ty.Named "Seed" ];
-  let recv_e p cont = P.Prefix ("recv", [ P.Out (E.sym "ecu"); P.Out p ], cont) in
+  let recv_e p cont = P.prefix_items ("recv", [ P.Out (E.sym "ecu"); P.Out p ], cont) in
   let send_e p cont =
-    P.Prefix ("send", [ P.Out (E.sym "ecu"); P.Out (E.sym "tester"); P.Out p ], cont)
+    P.prefix_items ("send", [ P.Out (E.sym "ecu"); P.Out (E.sym "tester"); P.Out p ], cont)
   in
   (* UNLOCKED: the protected service is now reachable *)
   Csp.Defs.define_proc defs "UNLOCKED" []
-    (recv_e (E.sym "writeReq") (P.Call ("UNLOCKED", [])));
+    (recv_e (E.sym "writeReq") (P.call ("UNLOCKED", [])));
   (* ECU: the seed/key gate *)
   let await_key s_expr =
-    P.Ext_over
+    P.ext_over
       ( "m",
         E.Ty_dom (Csp.Ty.Named "Mac"),
         recv_e
           (E.Ctor ("keyP", [ E.Var "m" ]))
-          (P.If
+          (P.ite
              ( E.Bin (E.Eq, E.Var "m", e_mac e_alg_key s_expr),
-               P.Prefix
-                 ("unlocked", [ P.Out s_expr ], P.Call ("UNLOCKED", [])),
-               P.Call ("ECU", []) )) )
+               P.prefix_items
+                 ("unlocked", [ P.Out s_expr ], P.call ("UNLOCKED", [])),
+               P.call ("ECU", []) )) )
   in
   let challenge =
     match seed_mode with
     | Constant_seed ->
       send_e (E.Ctor ("seedP", [ E.int 0 ])) (await_key (E.int 0))
     | Random_seed ->
-      P.Int_over
+      P.int_over
         ( "s",
           E.Ty_dom (Csp.Ty.Named "Seed"),
           send_e (E.Ctor ("seedP", [ E.Var "s" ])) (await_key (E.Var "s")) )
     | Fresh_seed ->
-      P.Int_over
+      P.int_over
         ( "s",
           E.Range (E.int 1, E.int 3),
           send_e (E.Ctor ("seedP", [ E.Var "s" ])) (await_key (E.Var "s")) )
@@ -101,8 +101,8 @@ let build ~seed_mode ~captured =
   in
   let intruder = Security.Intruder.define defs config in
   let system =
-    Security.Intruder.compose (P.Call ("ECU", []))
-      ~medium:(P.Call (intruder, [])) config
+    Security.Intruder.compose (P.call ("ECU", []))
+      ~medium:(P.call (intruder, [])) config
   in
   defs, system
 

@@ -414,7 +414,7 @@ and trans_stmt ?(depth = 0) ctx sym (s : A.stmt) ks =
          | Some s -> trans_stmt ~depth ctx sym s ks
          | None -> ks.next sym
        in
-       P.If (cond, then_p, else_p))
+       P.ite (cond, then_p, else_p))
   | A.S_while (c, body) ->
     unroll_loop ~depth ctx sym ks ~cond:(Some c) ~body ~update:None
       ~check_first:true
@@ -455,7 +455,7 @@ and trans_stmt ?(depth = 0) ctx sym (s : A.stmt) ks =
         | None -> build (i + 1)
         | Some label ->
           let lab = fold_expr ctx (int_expr ~depth ctx sym label) in
-          P.If (E.Bin (E.Eq, scrutinee, lab), from_index i sym, build (i + 1))
+          P.ite (E.Bin (E.Eq, scrutinee, lab), from_index i sym, build (i + 1))
     in
     build 0
   | A.S_break ->
@@ -820,7 +820,7 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
     }
   in
   let recurse sym =
-    P.Call
+    P.call
       ( main_name,
         List.map (fun g -> List.assoc g sym.globals) tracked
         @ List.map (fun t -> List.assoc t sym.timer_flags) timer_names )
@@ -839,7 +839,7 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
         m.Candb.Dbc_ast.signals
     in
     let sym = { loop_sym with this_ctx = Some (m, bindings) } in
-    P.Prefix (chan, items, trans_stmts ctx sym body handler_ks)
+    P.prefix_items (chan, items, trans_stmts ctx sym body handler_ks)
   in
   let branches = ref [] in
   List.iter
@@ -873,9 +873,9 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
                   update_assoc t (E.bool false) loop_sym.timer_flags }
             in
             branches :=
-              P.Guard
+              P.guard
                 ( E.Var (armed_param t),
-                  P.Prefix (chan, [], trans_stmts ctx sym h.A.body handler_ks)
+                  P.prefix_items (chan, [], trans_stmts ctx sym h.A.body handler_ks)
                 )
               :: !branches
           end
@@ -888,7 +888,7 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
           Csp.Defs.declare_channel defs chan [];
         use_chan ctx chan;
         branches :=
-          P.Prefix (chan, [], trans_stmts ctx loop_sym h.A.body handler_ks)
+          P.prefix_items (chan, [], trans_stmts ctx loop_sym h.A.body handler_ks)
           :: !branches
       | A.Ev_start | A.Ev_prestart | A.Ev_stop -> ())
     prog.A.handlers;
@@ -914,7 +914,7 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
       | [] -> recurse sym
       | t :: rest ->
         let cnt_before = List.assoc t loop_sym.timer_flags in
-        P.If
+        P.ite
           ( E.Bin (E.Eq, cnt_before, E.int 1),
             trans_stmts ctx sym (handler_body t)
               { next = (fun s -> chain s rest);
@@ -937,12 +937,12 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
             loop_sym.timer_flags;
       }
     in
-    branches := P.Prefix ("tock", [], chain decremented timer_names) :: !branches
+    branches := P.prefix_items ("tock", [], chain decremented timer_names) :: !branches
   end;
   let main_body =
     match List.rev !branches with
-    | [] -> P.Stop
-    | first :: rest -> List.fold_left (fun acc b -> P.Ext (acc, b)) first rest
+    | [] -> P.stop
+    | first :: rest -> List.fold_left (fun acc b -> P.ext (acc, b)) first rest
   in
   Csp.Defs.define_proc defs main_name params main_body;
   (* Entry process: preStart then start bodies, then the main loop. *)
@@ -992,4 +992,4 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
     warnings = List.rev ctx.warnings;
   }
 
-let entry_call model = P.Call (model.entry_name, [])
+let entry_call model = P.call (model.entry_name, [])

@@ -149,7 +149,7 @@ let deadlocks t =
   let result = ref [] in
   Array.iteri
     (fun i ts ->
-      if ts = [] && not (Proc.equal t.states.(i) Proc.Omega) then
+      if ts = [] && not (Proc.equal t.states.(i) Proc.omega) then
         result := i :: !result)
     t.transitions;
   List.rev !result

@@ -1,5 +1,5 @@
 let rec pp_proc ppf (p : Proc.t) =
-  match p with
+  match Proc.view p with
   | Proc.Stop -> Format.pp_print_string ppf "Stop"
   | Proc.Skip -> Format.pp_print_string ppf "Skip"
   | Proc.Omega -> Format.pp_print_string ppf "Ω"
@@ -47,7 +47,7 @@ let rec pp_proc ppf (p : Proc.t) =
   | Proc.Chaos set -> Format.fprintf ppf "Chaos(%a)" Eventset.pp set
 
 and pp_atom ppf p =
-  match p with
+  match Proc.view p with
   | Proc.Stop | Proc.Skip | Proc.Omega | Proc.Call _ | Proc.Run _
   | Proc.Chaos _ ->
     pp_proc ppf p

@@ -2,7 +2,13 @@ type comm_item =
   | Out of Expr.t
   | In of string * Expr.t option
 
-type t =
+type t = {
+  id : int;
+  hkey : int;
+  node : node;
+}
+
+and node =
   | Stop
   | Skip
   | Omega
@@ -26,35 +32,263 @@ type t =
   | Run of Eventset.t
   | Chaos of Eventset.t
 
-let equal p1 p2 = Stdlib.compare p1 p2 = 0
-let compare = Stdlib.compare
-let hash (p : t) = Hashtbl.hash p
+let view p = p.node
+let id p = p.id
+let equal (p : t) (q : t) = p == q
+let hash p = p.hkey
 
-(* Smart constructors collapsing stacked identical wrappers: recursion
-   through a hiding or renaming context (P = (a -> P) \ A) would otherwise
-   build unboundedly nested terms and an infinite state space. Both
-   rewrites are sound: hiding and renaming are idempotent for the same
-   set/mapping. *)
-let hide p set =
-  match p with
-  | Hide (q, set') when Eventset.equal set set' -> Hide (q, set)
-  | _ -> Hide (p, set)
+(* ------------------------------------------------------------------ *)
+(* Hash-consing                                                        *)
+(* ------------------------------------------------------------------ *)
 
-let rename p mapping =
-  match p with
-  | Rename (q, mapping') when mapping = mapping' -> Rename (q, mapping)
-  | _ -> Rename (p, mapping)
+(* Shallow equality: child terms by physical identity (they are already
+   interned), other payloads structurally. This is all the intern table
+   needs — deep equality follows inductively. *)
+let equal_comm_items = List.equal (fun (i1 : comm_item) i2 -> i1 = i2)
 
-let prefix c args p = Prefix (c, List.map (fun e -> Out e) args, p)
+let shallow_equal n1 n2 =
+  match n1, n2 with
+  | Stop, Stop | Skip, Skip | Omega, Omega -> true
+  | Prefix (c1, i1, p1), Prefix (c2, i2, p2) ->
+    String.equal c1 c2 && p1 == p2 && equal_comm_items i1 i2
+  | Ext (a1, b1), Ext (a2, b2)
+  | Int (a1, b1), Int (a2, b2)
+  | Seq (a1, b1), Seq (a2, b2)
+  | Inter (a1, b1), Inter (a2, b2)
+  | Interrupt (a1, b1), Interrupt (a2, b2)
+  | Timeout (a1, b1), Timeout (a2, b2) ->
+    a1 == a2 && b1 == b2
+  | Par (a1, s1, b1), Par (a2, s2, b2) ->
+    a1 == a2 && b1 == b2 && Eventset.equal s1 s2
+  | APar (a1, sa1, sb1, b1), APar (a2, sa2, sb2, b2) ->
+    a1 == a2 && b1 == b2 && Eventset.equal sa1 sa2 && Eventset.equal sb1 sb2
+  | Hide (a1, s1), Hide (a2, s2) -> a1 == a2 && Eventset.equal s1 s2
+  | Rename (a1, m1), Rename (a2, m2) -> a1 == a2 && m1 = m2
+  | If (c1, a1, b1), If (c2, a2, b2) ->
+    a1 == a2 && b1 == b2 && Expr.equal c1 c2
+  | Guard (c1, a1), Guard (c2, a2) -> a1 == a2 && Expr.equal c1 c2
+  | Call (f1, args1), Call (f2, args2) ->
+    String.equal f1 f2 && List.equal Expr.equal args1 args2
+  | Ext_over (x1, s1, a1), Ext_over (x2, s2, a2)
+  | Int_over (x1, s1, a1), Int_over (x2, s2, a2)
+  | Inter_over (x1, s1, a1), Inter_over (x2, s2, a2) ->
+    String.equal x1 x2 && a1 == a2 && Expr.equal s1 s2
+  | Run s1, Run s2 | Chaos s1, Chaos s2 -> Eventset.equal s1 s2
+  | _, _ -> false
+
+let comb h x = ((h lsl 5) + h + x) land max_int
+
+let hash_node n =
+  match n with
+  | Stop -> 3
+  | Skip -> 5
+  | Omega -> 7
+  | Prefix (c, items, p) ->
+    comb (comb (comb 11 (Hashtbl.hash c)) (Hashtbl.hash items)) p.hkey
+  | Ext (a, b) -> comb (comb 13 a.hkey) b.hkey
+  | Int (a, b) -> comb (comb 17 a.hkey) b.hkey
+  | Seq (a, b) -> comb (comb 19 a.hkey) b.hkey
+  | Par (a, s, b) -> comb (comb (comb 23 a.hkey) (Hashtbl.hash s)) b.hkey
+  | APar (a, sa, sb, b) ->
+    comb
+      (comb (comb (comb 29 a.hkey) (Hashtbl.hash sa)) (Hashtbl.hash sb))
+      b.hkey
+  | Inter (a, b) -> comb (comb 31 a.hkey) b.hkey
+  | Interrupt (a, b) -> comb (comb 37 a.hkey) b.hkey
+  | Timeout (a, b) -> comb (comb 41 a.hkey) b.hkey
+  | Hide (a, s) -> comb (comb 43 a.hkey) (Hashtbl.hash s)
+  | Rename (a, m) -> comb (comb 47 a.hkey) (Hashtbl.hash m)
+  | If (c, a, b) -> comb (comb (comb 53 (Hashtbl.hash c)) a.hkey) b.hkey
+  | Guard (c, a) -> comb (comb 59 (Hashtbl.hash c)) a.hkey
+  | Call (f, args) -> comb (comb 61 (Hashtbl.hash f)) (Hashtbl.hash args)
+  | Ext_over (x, s, a) ->
+    comb (comb (comb 67 (Hashtbl.hash x)) (Hashtbl.hash s)) a.hkey
+  | Int_over (x, s, a) ->
+    comb (comb (comb 71 (Hashtbl.hash x)) (Hashtbl.hash s)) a.hkey
+  | Inter_over (x, s, a) ->
+    comb (comb (comb 73 (Hashtbl.hash x)) (Hashtbl.hash s)) a.hkey
+  | Run s -> comb 79 (Hashtbl.hash s)
+  | Chaos s -> comb 83 (Hashtbl.hash s)
+
+module HC = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = shallow_equal a.node b.node
+  let hash a = a.hkey
+end)
+
+(* One global intern table, weak so the GC can reclaim dead terms. Ids are
+   handed out only when a candidate is actually added. *)
+let hc_table = HC.create 4096
+let next_id = ref 0
+
+let make node =
+  let cand = { id = !next_id; hkey = hash_node node; node } in
+  let res = HC.merge hc_table cand in
+  if res == cand then incr next_id;
+  res
+
+let interned () = HC.count hc_table
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic structural order (independent of interning order)     *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of = function
+  | Stop -> 0
+  | Skip -> 1
+  | Omega -> 2
+  | Prefix _ -> 3
+  | Ext _ -> 4
+  | Int _ -> 5
+  | Seq _ -> 6
+  | Par _ -> 7
+  | APar _ -> 8
+  | Inter _ -> 9
+  | Interrupt _ -> 10
+  | Timeout _ -> 11
+  | Hide _ -> 12
+  | Rename _ -> 13
+  | If _ -> 14
+  | Guard _ -> 15
+  | Call _ -> 16
+  | Ext_over _ -> 17
+  | Int_over _ -> 18
+  | Inter_over _ -> 19
+  | Run _ -> 20
+  | Chaos _ -> 21
+
+let rec compare p q =
+  if p == q then 0
+  else
+    let n1 = p.node and n2 = q.node in
+    let c = Int.compare (tag_of n1) (tag_of n2) in
+    if c <> 0 then c
+    else
+      match n1, n2 with
+      | Stop, Stop | Skip, Skip | Omega, Omega -> 0
+      | Prefix (c1, i1, p1), Prefix (c2, i2, p2) ->
+        chain (String.compare c1 c2) (fun () ->
+            chain (Stdlib.compare i1 i2) (fun () -> compare p1 p2))
+      | Ext (a1, b1), Ext (a2, b2)
+      | Int (a1, b1), Int (a2, b2)
+      | Seq (a1, b1), Seq (a2, b2)
+      | Inter (a1, b1), Inter (a2, b2)
+      | Interrupt (a1, b1), Interrupt (a2, b2)
+      | Timeout (a1, b1), Timeout (a2, b2) ->
+        chain (compare a1 a2) (fun () -> compare b1 b2)
+      | Par (a1, s1, b1), Par (a2, s2, b2) ->
+        chain (compare a1 a2) (fun () ->
+            chain (Stdlib.compare s1 s2) (fun () -> compare b1 b2))
+      | APar (a1, sa1, sb1, b1), APar (a2, sa2, sb2, b2) ->
+        chain (compare a1 a2) (fun () ->
+            chain (Stdlib.compare sa1 sa2) (fun () ->
+                chain (Stdlib.compare sb1 sb2) (fun () -> compare b1 b2)))
+      | Hide (a1, s1), Hide (a2, s2) ->
+        chain (compare a1 a2) (fun () -> Stdlib.compare s1 s2)
+      | Rename (a1, m1), Rename (a2, m2) ->
+        chain (compare a1 a2) (fun () -> Stdlib.compare m1 m2)
+      | If (c1, a1, b1), If (c2, a2, b2) ->
+        chain (Expr.compare c1 c2) (fun () ->
+            chain (compare a1 a2) (fun () -> compare b1 b2))
+      | Guard (c1, a1), Guard (c2, a2) ->
+        chain (Expr.compare c1 c2) (fun () -> compare a1 a2)
+      | Call (f1, args1), Call (f2, args2) ->
+        chain (String.compare f1 f2) (fun () ->
+            List.compare Expr.compare args1 args2)
+      | Ext_over (x1, s1, a1), Ext_over (x2, s2, a2)
+      | Int_over (x1, s1, a1), Int_over (x2, s2, a2)
+      | Inter_over (x1, s1, a1), Inter_over (x2, s2, a2) ->
+        chain (String.compare x1 x2) (fun () ->
+            chain (Expr.compare s1 s2) (fun () -> compare a1 a2))
+      | Run s1, Run s2 | Chaos s1, Chaos s2 -> Stdlib.compare s1 s2
+      | _, _ -> assert false (* tags already distinguished *)
+
+and chain c rest = if c <> 0 then c else rest ()
+
+let structural_equal p q = compare p q = 0
+
+let rec structural_hash p =
+  let h =
+    match p.node with
+    | Stop | Skip | Omega | Run _ | Chaos _ -> 0
+    | Prefix (_, _, q) | Hide (q, _) | Rename (q, _) | Guard (_, q)
+    | Ext_over (_, _, q) | Int_over (_, _, q) | Inter_over (_, _, q) ->
+      structural_hash q
+    | Ext (a, b) | Int (a, b) | Seq (a, b) | Inter (a, b)
+    | Interrupt (a, b) | Timeout (a, b)
+    | Par (a, _, b) | APar (a, _, _, b) | If (_, a, b) ->
+      comb (structural_hash a) (structural_hash b)
+    | Call _ -> 0
+  in
+  (* fold in the node's own payload exactly as the interning hash does,
+     minus child hkeys (already covered recursively above) *)
+  comb (tag_of p.node)
+    (comb h
+       (match p.node with
+        | Prefix (c, items, _) -> comb (Hashtbl.hash c) (Hashtbl.hash items)
+        | Par (_, s, _) | Hide (_, s) | Run s | Chaos s -> Hashtbl.hash s
+        | APar (_, sa, sb, _) -> comb (Hashtbl.hash sa) (Hashtbl.hash sb)
+        | Rename (_, m) -> Hashtbl.hash m
+        | If (c, _, _) | Guard (c, _) -> Hashtbl.hash c
+        | Call (f, args) -> comb (Hashtbl.hash f) (Hashtbl.hash args)
+        | Ext_over (x, s, _) | Int_over (x, s, _) | Inter_over (x, s, _) ->
+          comb (Hashtbl.hash x) (Hashtbl.hash s)
+        | Stop | Skip | Omega | Ext _ | Int _ | Seq _ | Inter _
+        | Interrupt _ | Timeout _ ->
+          tag_of p.node))
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stop = make Stop
+let skip = make Skip
+let omega = make Omega
+let prefix_items (c, items, p) = make (Prefix (c, items, p))
+let ext (p, q) = make (Ext (p, q))
+let intc (p, q) = make (Int (p, q))
+let seq (p, q) = make (Seq (p, q))
+let par (p, s, q) = make (Par (p, s, q))
+let apar (p, sa, sb, q) = make (APar (p, sa, sb, q))
+let inter (p, q) = make (Inter (p, q))
+let interrupt (p, q) = make (Interrupt (p, q))
+let timeout (p, q) = make (Timeout (p, q))
+
+let hide (p, set) =
+  match p.node with
+  | Hide (_, set') when Eventset.equal set set' -> p
+  | _ -> make (Hide (p, set))
+
+let rename (p, mapping) =
+  match p.node with
+  | Rename (_, mapping') when mapping = mapping' -> p
+  | _ -> make (Rename (p, mapping))
+
+let ite (c, p, q) = make (If (c, p, q))
+let guard (c, p) = make (Guard (c, p))
+let call (f, args) = make (Call (f, args))
+let ext_over (x, s, p) = make (Ext_over (x, s, p))
+let int_over (x, s, p) = make (Int_over (x, s, p))
+let inter_over (x, s, p) = make (Inter_over (x, s, p))
+let run set = make (Run set)
+let chaos set = make (Chaos set)
+
+let prefix c args p = prefix_items (c, List.map (fun e -> Out e) args, p)
 let send c values p = prefix c (List.map (fun v -> Expr.Lit v) values) p
-let recv c xs p = Prefix (c, List.map (fun x -> In (x, None)) xs, p)
+let recv c xs p = prefix_items (c, List.map (fun x -> In (x, None)) xs, p)
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let free_vars proc =
   let add bound x acc = if List.mem x bound then acc else x :: acc in
   let add_expr bound e acc =
     List.fold_left (fun acc x -> add bound x acc) acc (Expr.free_vars e)
   in
-  let rec go bound acc = function
+  let rec go bound acc p =
+    match p.node with
     | Stop | Skip | Omega | Run _ | Chaos _ -> acc
     | Prefix (_, items, p) ->
       let bound', acc =
@@ -86,12 +320,16 @@ let free_vars proc =
   in
   List.sort_uniq String.compare (go [] [] proc)
 
+(* Rebuilds go through the smart constructors, so an unchanged subterm
+   re-interns to itself and the physical-identity fast paths below are
+   merely an optimization, not a correctness requirement. *)
 let subst resolve proc =
   let shadow resolve x y = if String.equal y x then None else resolve y in
-  let rec go resolve = function
-    | (Stop | Skip | Omega | Run _ | Chaos _) as p -> p
-    | Prefix (c, items, p) ->
-      let resolve', items =
+  let rec go resolve p =
+    match p.node with
+    | Stop | Skip | Omega | Run _ | Chaos _ -> p
+    | Prefix (c, items, cont) ->
+      let resolve', rev_items =
         List.fold_left
           (fun (resolve, items) item ->
             match item with
@@ -101,26 +339,49 @@ let subst resolve proc =
               shadow resolve x, In (x, restr) :: items)
           (resolve, []) items
       in
-      Prefix (c, List.rev items, go resolve' p)
-    | Ext (p, q) -> Ext (go resolve p, go resolve q)
-    | Int (p, q) -> Int (go resolve p, go resolve q)
-    | Seq (p, q) -> Seq (go resolve p, go resolve q)
-    | Interrupt (p, q) -> Interrupt (go resolve p, go resolve q)
-    | Timeout (p, q) -> Timeout (go resolve p, go resolve q)
-    | Par (p, a, q) -> Par (go resolve p, a, go resolve q)
-    | APar (p, a, b, q) -> APar (go resolve p, a, b, go resolve q)
-    | Inter (p, q) -> Inter (go resolve p, go resolve q)
-    | Hide (p, a) -> Hide (go resolve p, a)
-    | Rename (p, m) -> Rename (go resolve p, m)
-    | If (c, p, q) -> If (Expr.subst resolve c, go resolve p, go resolve q)
-    | Guard (c, p) -> Guard (Expr.subst resolve c, go resolve p)
-    | Call (f, args) -> Call (f, List.map (Expr.subst resolve) args)
-    | Ext_over (x, s, p) ->
-      Ext_over (x, Expr.subst resolve s, go (shadow resolve x) p)
-    | Int_over (x, s, p) ->
-      Int_over (x, Expr.subst resolve s, go (shadow resolve x) p)
-    | Inter_over (x, s, p) ->
-      Inter_over (x, Expr.subst resolve s, go (shadow resolve x) p)
+      let items' = List.rev rev_items in
+      let cont' = go resolve' cont in
+      if cont' == cont && equal_comm_items items' items then p
+      else prefix_items (c, items', cont')
+    | Ext (a, b) -> binary p a b resolve ext
+    | Int (a, b) -> binary p a b resolve intc
+    | Seq (a, b) -> binary p a b resolve seq
+    | Interrupt (a, b) -> binary p a b resolve interrupt
+    | Timeout (a, b) -> binary p a b resolve timeout
+    | Inter (a, b) -> binary p a b resolve inter
+    | Par (a, s, b) ->
+      let a' = go resolve a and b' = go resolve b in
+      if a' == a && b' == b then p else par (a', s, b')
+    | APar (a, sa, sb, b) ->
+      let a' = go resolve a and b' = go resolve b in
+      if a' == a && b' == b then p else apar (a', sa, sb, b')
+    | Hide (a, s) ->
+      let a' = go resolve a in
+      if a' == a then p else hide (a', s)
+    | Rename (a, m) ->
+      let a' = go resolve a in
+      if a' == a then p else rename (a', m)
+    | If (c, a, b) ->
+      let c' = Expr.subst resolve c in
+      let a' = go resolve a and b' = go resolve b in
+      if a' == a && b' == b && Expr.equal c' c then p else ite (c', a', b')
+    | Guard (c, a) ->
+      let c' = Expr.subst resolve c in
+      let a' = go resolve a in
+      if a' == a && Expr.equal c' c then p else guard (c', a')
+    | Call (f, args) ->
+      let args' = List.map (Expr.subst resolve) args in
+      if List.equal Expr.equal args' args then p else call (f, args')
+    | Ext_over (x, s, a) -> over p x s a resolve ext_over
+    | Int_over (x, s, a) -> over p x s a resolve int_over
+    | Inter_over (x, s, a) -> over p x s a resolve inter_over
+  and binary p a b resolve mk =
+    let a' = go resolve a and b' = go resolve b in
+    if a' == a && b' == b then p else mk (a', b')
+  and over p x s a resolve mk =
+    let s' = Expr.subst resolve s in
+    let a' = go (fun y -> if String.equal y x then None else resolve y) a in
+    if a' == a && Expr.equal s' s then p else mk (x, s', a')
   in
   go resolve proc
 
@@ -138,10 +399,11 @@ let const_fold ?tys fenv proc =
       if foldable bound e then Expr.Lit (Expr.eval ?tys fenv Expr.empty_env e)
       else e
   in
-  let rec go bound = function
-    | (Stop | Skip | Omega | Run _ | Chaos _) as p -> p
-    | Prefix (c, items, p) ->
-      let bound', items =
+  let rec go bound p =
+    match p.node with
+    | Stop | Skip | Omega | Run _ | Chaos _ -> p
+    | Prefix (c, items, cont) ->
+      let bound', rev_items =
         List.fold_left
           (fun (bound, items) item ->
             match item with
@@ -152,36 +414,56 @@ let const_fold ?tys fenv proc =
               x :: bound, In (x, restr) :: items)
           (bound, []) items
       in
-      Prefix (c, List.rev items, go bound' p)
-    | Ext (p, q) -> Ext (go bound p, go bound q)
-    | Int (p, q) -> Int (go bound p, go bound q)
-    | Seq (p, q) -> Seq (go bound p, go bound q)
-    | Interrupt (p, q) -> Interrupt (go bound p, go bound q)
-    | Timeout (p, q) -> Timeout (go bound p, go bound q)
-    | Par (p, a, q) -> Par (go bound p, a, go bound q)
-    | APar (p, a, b, q) -> APar (go bound p, a, b, go bound q)
-    | Inter (p, q) -> Inter (go bound p, go bound q)
-    | Hide (p, a) -> hide (go bound p) a
-    | Rename (p, m) -> rename (go bound p) m
-    | If (c, p, q) ->
+      let items' = List.rev rev_items in
+      let cont' = go bound' cont in
+      if cont' == cont && equal_comm_items items' items then p
+      else prefix_items (c, items', cont')
+    | Ext (a, b) -> binary p a b bound ext
+    | Int (a, b) -> binary p a b bound intc
+    | Seq (a, b) -> binary p a b bound seq
+    | Interrupt (a, b) -> binary p a b bound interrupt
+    | Timeout (a, b) -> binary p a b bound timeout
+    | Inter (a, b) -> binary p a b bound inter
+    | Par (a, s, b) ->
+      let a' = go bound a and b' = go bound b in
+      if a' == a && b' == b then p else par (a', s, b')
+    | APar (a, sa, sb, b) ->
+      let a' = go bound a and b' = go bound b in
+      if a' == a && b' == b then p else apar (a', sa, sb, b')
+    | Hide (a, s) ->
+      let a' = go bound a in
+      if a' == a then p else hide (a', s)
+    | Rename (a, m) ->
+      let a' = go bound a in
+      if a' == a then p else rename (a', m)
+    | If (c, a, b) ->
       if foldable bound c then
-        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound p
-        else go bound q
-      else If (c, go bound p, go bound q)
-    | Guard (c, p) ->
+        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound a
+        else go bound b
+      else
+        let a' = go bound a and b' = go bound b in
+        if a' == a && b' == b then p else ite (c, a', b')
+    | Guard (c, a) ->
       if foldable bound c then
-        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound p else Stop
-      else Guard (c, go bound p)
-    | Call (f, args) -> Call (f, List.map (fold_expr bound) args)
-    | Ext_over (x, s, p) ->
-      expand_over bound x s p ~combine:(fun a b -> Ext (a, b)) ~unit_:Stop
-        ~rebuild:(fun s p -> Ext_over (x, s, p))
-    | Int_over (x, s, p) ->
-      expand_over bound x s p ~combine:(fun a b -> Int (a, b)) ~unit_:Stop
-        ~rebuild:(fun s p -> Int_over (x, s, p))
-    | Inter_over (x, s, p) ->
-      expand_over bound x s p ~combine:(fun a b -> Inter (a, b)) ~unit_:Skip
-        ~rebuild:(fun s p -> Inter_over (x, s, p))
+        if Expr.eval_bool ?tys fenv Expr.empty_env c then go bound a else stop
+      else
+        let a' = go bound a in
+        if a' == a then p else guard (c, a')
+    | Call (f, args) ->
+      let args' = List.map (fold_expr bound) args in
+      if List.equal Expr.equal args' args then p else call (f, args')
+    | Ext_over (x, s, a) ->
+      expand_over bound x s a ~combine:(fun l r -> ext (l, r)) ~unit_:stop
+        ~rebuild:(fun s a -> ext_over (x, s, a))
+    | Int_over (x, s, a) ->
+      expand_over bound x s a ~combine:(fun l r -> intc (l, r)) ~unit_:stop
+        ~rebuild:(fun s a -> int_over (x, s, a))
+    | Inter_over (x, s, a) ->
+      expand_over bound x s a ~combine:(fun l r -> inter (l, r)) ~unit_:skip
+        ~rebuild:(fun s a -> inter_over (x, s, a))
+  and binary p a b bound mk =
+    let a' = go bound a and b' = go bound b in
+    if a' == a && b' == b then p else mk (a', b')
   and expand_over bound x s p ~combine ~unit_ ~rebuild =
     if foldable bound s then begin
       let values = Expr.eval_set ?tys fenv Expr.empty_env s in
@@ -199,7 +481,8 @@ let const_fold ?tys fenv proc =
   go [] proc
 
 let size proc =
-  let rec go acc = function
+  let rec go acc p =
+    match p.node with
     | Stop | Skip | Omega | Run _ | Chaos _ -> acc + 1
     | Prefix (_, _, p) | Hide (p, _) | Rename (p, _) | Guard (_, p)
     | Ext_over (_, _, p) | Int_over (_, _, p) | Inter_over (_, _, p) ->
@@ -212,7 +495,8 @@ let size proc =
   in
   go 0 proc
 
-let rec pp ppf = function
+let rec pp ppf p =
+  match p.node with
   | Stop -> Format.pp_print_string ppf "STOP"
   | Skip -> Format.pp_print_string ppf "SKIP"
   | Omega -> Format.pp_print_string ppf "OMEGA"
@@ -259,7 +543,7 @@ let rec pp ppf = function
   | Chaos a -> Format.fprintf ppf "CHAOS(%a)" Eventset.pp a
 
 and pp_atom ppf p =
-  match p with
+  match p.node with
   | Stop | Skip | Omega | Call _ | Run _ | Chaos _ -> pp ppf p
   | _ -> Format.fprintf ppf "(%a)" pp p
 

@@ -1,4 +1,4 @@
-(** CSP process terms.
+(** CSP process terms, hash-consed.
 
     This is the syntax of Section IV-A2 of the paper (Stop, prefix, external
     choice, sequential composition, generalized parallel, interleaving)
@@ -9,7 +9,17 @@
 
     Process states explored by {!Lts} are {e ground} terms: every expression
     outside the scope of an input binder has been folded to a literal by
-    {!const_fold}, so structural equality and hashing identify states. *)
+    {!const_fold}.
+
+    Terms are {e hash-consed}: every term is built through a smart
+    constructor that interns it in a global (weak) table, so structurally
+    equal terms are physically equal. {!equal} is physical comparison,
+    {!hash} reads a precomputed key, and both are O(1) — state interning
+    during LTS compilation and product search never walks a term twice.
+    Because construction is interning, {!subst} and {!const_fold} are
+    identity-preserving: when no rewrite applies they return a term
+    physically equal to their input, so transition caches keyed on terms
+    actually hit. *)
 
 (** One field of a communication: output ([c!e] / [c.e]) or input ([c?x],
     optionally restricted to a set [c?x:S]). Input binders scope over the
@@ -18,7 +28,16 @@ type comm_item =
   | Out of Expr.t
   | In of string * Expr.t option
 
-type t =
+(** A term is a unique id, a precomputed hash key, and its top node. The
+    record is [private]: read [node] freely (e.g. [match Proc.view p with
+    ...]), but build terms only through the smart constructors below. *)
+type t = private {
+  id : int;  (** unique per live structurally-distinct term *)
+  hkey : int;  (** structural hash, precomputed at construction *)
+  node : node;
+}
+
+and node =
   | Stop
   | Skip
   | Omega  (** the terminated process (after [tick]); not user-written *)
@@ -48,17 +67,67 @@ type t =
   | Chaos of Eventset.t
       (** [CHAOS(A)]: may nondeterministically accept or refuse [A] *)
 
+val view : t -> node
+(** The top node, for pattern matching. *)
+
+val id : t -> int
+(** The unique id. Stable for the lifetime of the term; ids of dead terms
+    may be reused for {e structurally identical} resurrections only. *)
+
 val equal : t -> t -> bool
+(** Physical equality — O(1), and equivalent to structural equality by the
+    hash-consing invariant. *)
+
 val compare : t -> t -> int
+(** Deterministic {e structural} order (independent of construction order),
+    with an O(1) physical shortcut for equal terms. Used where reproducible
+    ordering matters, e.g. sorting transition lists. *)
+
 val hash : t -> int
+(** The precomputed structural hash key — O(1). *)
 
-val hide : t -> Eventset.t -> t
-(** [Hide] smart constructor that collapses [((p \ A) \ A)] to [p \ A]
-    (hiding is idempotent); keeps recursion through a hiding context
-    finite-state. Used by the operational semantics. *)
+val structural_equal : t -> t -> bool
+(** Deep structural equality that does {e not} rely on the hash-consing
+    invariant ([compare p q = 0]). Testing/oracle hook: with interning
+    working correctly this coincides with {!equal}. *)
 
-val rename : t -> (string * string) list -> t
-(** Analogous collapsing constructor for [Rename]. *)
+val structural_hash : t -> int
+(** Deep structural hash that ignores ids and interning. Oracle companion
+    of {!structural_equal}. *)
+
+(** {1 Smart constructors}
+
+    Every constructor interns the result. [hide] and [rename] additionally
+    collapse stacked identical wrappers ([((p \ A) \ A)] is [p \ A]):
+    recursion through a hiding or renaming context (P = (a -> P) \ A) would
+    otherwise build unboundedly nested terms and an infinite state space.
+    Both rewrites are sound: hiding and renaming are idempotent for the
+    same set/mapping. *)
+
+val stop : t
+val skip : t
+val omega : t
+val prefix_items : string * comm_item list * t -> t
+val ext : t * t -> t
+val intc : t * t -> t
+(** Internal choice [P |~| Q]. *)
+
+val seq : t * t -> t
+val par : t * Eventset.t * t -> t
+val apar : t * Eventset.t * Eventset.t * t -> t
+val inter : t * t -> t
+val interrupt : t * t -> t
+val timeout : t * t -> t
+val hide : t * Eventset.t -> t
+val rename : t * (string * string) list -> t
+val ite : Expr.t * t * t -> t
+val guard : Expr.t * t -> t
+val call : string * Expr.t list -> t
+val ext_over : string * Expr.t * t -> t
+val int_over : string * Expr.t * t -> t
+val inter_over : string * Expr.t * t -> t
+val run : Eventset.t -> t
+val chaos : Eventset.t -> t
 
 val prefix : string -> Expr.t list -> t -> t
 (** [prefix c args p] is the all-output prefix [c.args -> p]. *)
@@ -69,18 +138,23 @@ val send : string -> Value.t list -> t -> t
 val recv : string -> string list -> t -> t
 (** [recv c xs p] is the all-input prefix [c?x1...?xn -> p]. *)
 
+val interned : unit -> int
+(** Number of live interned terms (diagnostics/benchmarks). *)
+
 val free_vars : t -> string list
 (** Variables not bound by an input binder or replicated-choice binder. *)
 
 val subst : (string -> Value.t option) -> t -> t
-(** Capture-avoiding substitution of values for free variables. *)
+(** Capture-avoiding substitution of values for free variables. Returns a
+    term physically equal to the input when nothing is substituted. *)
 
 val const_fold : ?tys:Ty.lookup -> Expr.fenv -> t -> t
 (** Normalize a term for use as an LTS state: evaluate every expression
     whose free variables are all in scope-free position, resolve closed
     [If]/[Guard], and expand replicated choices over closed sets ([Ext_over]
     of an empty set becomes [Stop], [Inter_over] of an empty set becomes
-    [Skip], [Int_over] of an empty set becomes [Stop]).
+    [Skip], [Int_over] of an empty set becomes [Stop]). Identity-preserving:
+    an already-normal term is returned physically unchanged.
     @raise Expr.Eval_error on ill-typed closed expressions. *)
 
 val size : t -> int

@@ -1,4 +1,9 @@
-type violation =
+(* All four checks are thin configurations of the shared product-search
+   engine in Search: they pick a state source (terms interned on the fly,
+   or a precompiled graph) and a refusal/divergence mode, and the engine
+   owns interning, parents, budgets, and trace reconstruction. *)
+
+type violation = Search.violation =
   | Trace_violation of Event.label
   | Refusal_violation of {
       offered : Event.label list;
@@ -7,30 +12,33 @@ type violation =
   | Deadlock
   | Divergence
 
-type counterexample = {
+type counterexample = Search.counterexample = {
   trace : Event.label list;
   violation : violation;
   impl_state : Proc.t;
 }
 
-type stats = {
+type stats = Search.stats = {
   impl_states : int;
   spec_nodes : int;
   pairs : int;
+  wall_s : float;
+  states_per_sec : float;
+  peak_frontier : int;
 }
 
-type budget_kind =
+type budget_kind = Search.budget_kind =
   | Deadline
   | States
   | Pairs
 
-type resume_hint = {
+type resume_hint = Search.resume_hint = {
   frontier : int;
   deepest : Event.label list;
   exhausted : budget_kind;
 }
 
-type result =
+type result = Search.result =
   | Holds of stats
   | Fails of counterexample
   | Inconclusive of stats * resume_hint
@@ -42,31 +50,8 @@ type model =
 
 exception State_limit of int
 
-(* Internal: unwound to an [Inconclusive] verdict at the top of each
-   checker, where the current counters and frontier are in scope. *)
-exception Out_of_budget of budget_kind
+let visible_trace = Search.visible_trace
 
-module Proc_tbl = Hashtbl.Make (struct
-  type t = Proc.t
-  let equal = Proc.equal
-  let hash = Proc.hash
-end)
-
-module Pair_tbl = Hashtbl.Make (struct
-  type t = int * int
-  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
-  let hash = Hashtbl.hash
-end)
-
-let visible_trace labels =
-  List.filter
-    (fun l -> match l with Event.Vis _ | Event.Tick -> true | Event.Tau -> false)
-    labels
-
-(* refusal_mode: what a stable implementation state must offer.
-   `None: traces only. `Acceptances: some minimal acceptance of the node
-   (stable-failures refinement). `Full: every label the normal form can
-   perform (the determinism check). *)
 (* Partial specification compilation cannot support a verdict: report it
    as inconclusive, attributing the exhausted budget. *)
 let spec_inconclusive progress =
@@ -74,392 +59,121 @@ let spec_inconclusive progress =
     match progress.Lts.reason with `States -> States | `Deadline -> Deadline
   in
   Inconclusive
-    ( { impl_states = 0; spec_nodes = progress.Lts.explored; pairs = 0 },
+    ( Search.make_stats ~impl_states:0 ~spec_nodes:progress.Lts.explored
+        ~pairs:0 (),
       { frontier = progress.Lts.frontier; deepest = []; exhausted } )
 
-let product_check ~refusal_mode ~max_states ~max_pairs ?stop_at defs ~spec
-    ~impl =
+let product_check ?interner ~refusal_mode ~max_states ~max_pairs ?stop_at defs
+    ~spec ~impl =
   match Lts.compile_budgeted ~max_states ?stop_at defs spec with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
-  let norm = Normalise.normalise spec_lts in
-  let step = Semantics.make_cached defs in
-  let fenv = Defs.fenv defs in
-  let tys = Defs.ty_lookup defs in
-  let impl0 = Proc.const_fold ~tys fenv impl in
-  (* Intern implementation terms on the fly. *)
-  let impl_index = Proc_tbl.create 1024 in
-  let impl_term_of = Hashtbl.create 1024 in
-  let impl_count = ref 0 in
-  let intern_impl term =
-    match Proc_tbl.find_opt impl_index term with
-    | Some i -> i
-    | None ->
-      let i = !impl_count in
-      incr impl_count;
-      Proc_tbl.replace impl_index term i;
-      Hashtbl.replace impl_term_of i term;
-      i
-  in
-  let impl_term i = Hashtbl.find impl_term_of i in
-  (* Product pairs (impl state, normal-form node). *)
-  let pair_ids = Pair_tbl.create 4096 in
-  let pair_count = ref 0 in
-  let parents = Hashtbl.create 4096 in
-  (* pair id -> (label, parent pair id) option *)
-  let queue = Queue.create () in
-  let intern_pair parent pair =
-    if not (Pair_tbl.mem pair_ids pair) then begin
-      if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
-      Pair_tbl.replace pair_ids pair !pair_count;
-      Hashtbl.replace parents !pair_count parent;
-      incr pair_count;
-      Queue.add pair queue
-    end
-  in
-  let rec trace_to id =
-    match Hashtbl.find parents id with
-    | None -> []
-    | Some (l, p) -> trace_to p @ [ l ]
-  in
-  let counterexample pair_id extra violation impl_i =
-    let labels = trace_to pair_id @ extra in
-    {
-      trace = visible_trace labels;
-      violation;
-      impl_state = impl_term impl_i;
-    }
-  in
-  (* Pairs are dequeued in BFS order, so the most recently dequeued pair
-     lies on a deepest explored path — the natural resume hint. *)
-  let explored = ref 0 in
-  let last_dequeued = ref 0 in
-  let over_deadline () =
-    match stop_at with
-    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
-    | None -> false
-  in
-  let current_stats () =
-    {
-      impl_states = !impl_count;
-      spec_nodes = Normalise.num_nodes norm;
-      pairs = !pair_count;
-    }
-  in
-  intern_pair None (intern_impl impl0, Normalise.initial norm);
-  let rec search () =
-    (* an empty queue is a completed search: the verdict stands even if
-       the deadline expired while reaching it *)
-    if Queue.is_empty queue then Holds (current_stats ())
-    else if over_deadline () then raise (Out_of_budget Deadline)
-    else
-    match Queue.take_opt queue with
-    | None -> Holds (current_stats ())
-    | Some ((impl_i, node) as pair) ->
-      let pair_id = Pair_tbl.find pair_ids pair in
-      last_dequeued := pair_id;
-      incr explored;
-      let term = impl_term impl_i in
-      let ts = step term in
-      let stable =
-        not
-          (List.exists
-             (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
-             ts)
-      in
-      let refusal_failure =
-        if refusal_mode <> `None && stable then begin
-          let offered =
-            List.sort_uniq Event.compare_label (List.map fst ts)
-          in
-          let accs =
-            match refusal_mode with
-            | `Acceptances -> Normalise.acceptances norm node
-            | `Full ->
-              [ List.sort_uniq Event.compare_label
-                  (List.map fst (Normalise.afters norm node)) ]
-            | `None -> []
-          in
-          let covered =
-            List.exists
-              (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
-              accs
-          in
-          if covered then None
-          else
-            Some
-              (counterexample pair_id []
-                 (Refusal_violation { offered; acceptances = accs })
-                 impl_i)
-        end
-        else None
-      in
-      (match refusal_failure with
-       | Some cex -> Fails cex
-       | None ->
-         let violation =
-           List.find_map
-             (fun (l, target) ->
-               match l with
-               | Event.Tau ->
-                 intern_pair (Some (l, pair_id)) (intern_impl target, node);
-                 None
-               | Event.Tick | Event.Vis _ ->
-                 (match Normalise.after norm node l with
-                  | Some node' ->
-                    intern_pair (Some (l, pair_id)) (intern_impl target, node');
-                    None
-                  | None ->
-                    Some
-                      (counterexample pair_id [ l ] (Trace_violation l) impl_i)))
-             ts
-         in
-         (match violation with
-          | Some cex -> Fails cex
-          | None -> search ()))
-  in
-  (try search ()
-   with Out_of_budget kind ->
-     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
-        it is discovered-but-unexplored work, so it counts as frontier. *)
-     let frontier =
-       Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
-     in
-     Inconclusive
-       ( current_stats (),
-         {
-           frontier;
-           deepest = visible_trace (trace_to !last_dequeued);
-           exhausted = kind;
-         } ))
+    let norm = Normalise.normalise spec_lts in
+    let step = Semantics.make_cached defs in
+    let fenv = Defs.fenv defs in
+    let tys = Defs.ty_lookup defs in
+    let impl0 = Proc.const_fold ~tys fenv impl in
+    let source = Search.proc_source ?interner ~step impl0 in
+    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at ~norm source
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
-   then the product is explored. Under a divergent specification node
-   everything is allowed, so that subtree is pruned; a divergent
-   implementation state under a non-divergent node is a violation. *)
+   then the product is explored. *)
 let fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
   match Lts.compile_budgeted ~max_states ?stop_at defs spec with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
-  let norm = Normalise.normalise spec_lts in
-  match Lts.compile_budgeted ~max_states ?stop_at defs impl with
-  | Lts.Partial (_, progress) ->
-    (* Divergence detection needs the full tau graph of the
-       implementation; a partial compile cannot support a verdict. *)
-    let exhausted =
-      match progress.Lts.reason with
-      | `States -> States
-      | `Deadline -> Deadline
-    in
-    Inconclusive
-      ( {
-          impl_states = progress.Lts.explored;
-          spec_nodes = Normalise.num_nodes norm;
-          pairs = 0;
-        },
-        { frontier = progress.Lts.frontier; deepest = []; exhausted } )
-  | Lts.Complete impl_lts ->
-  let impl_div = Lts.divergences impl_lts in
-  let pair_ids = Pair_tbl.create 4096 in
-  let pair_count = ref 0 in
-  let parents = Hashtbl.create 4096 in
-  let queue = Queue.create () in
-  let intern_pair parent pair =
-    if not (Pair_tbl.mem pair_ids pair) then begin
-      if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
-      Pair_tbl.replace pair_ids pair !pair_count;
-      Hashtbl.replace parents !pair_count parent;
-      incr pair_count;
-      Queue.add pair queue
-    end
-  in
-  let rec trace_to id =
-    match Hashtbl.find parents id with
-    | None -> []
-    | Some (l, p) -> trace_to p @ [ l ]
-  in
-  let counterexample pair_id extra violation impl_i =
-    {
-      trace = visible_trace (trace_to pair_id @ extra);
-      violation;
-      impl_state = Lts.state_term impl_lts impl_i;
-    }
-  in
-  let explored = ref 0 in
-  let last_dequeued = ref 0 in
-  let over_deadline () =
-    match stop_at with
-    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
-    | None -> false
-  in
-  let current_stats () =
-    {
-      impl_states = Lts.num_states impl_lts;
-      spec_nodes = Normalise.num_nodes norm;
-      pairs = !pair_count;
-    }
-  in
-  intern_pair None (impl_lts.Lts.initial, Normalise.initial norm);
-  let rec search () =
-    (* an empty queue is a completed search: the verdict stands even if
-       the deadline expired while reaching it *)
-    if Queue.is_empty queue then Holds (current_stats ())
-    else if over_deadline () then raise (Out_of_budget Deadline)
-    else
-    match Queue.take_opt queue with
-    | None -> Holds (current_stats ())
-    | Some ((impl_i, node) as pair) ->
-      let pair_id = Pair_tbl.find pair_ids pair in
-      last_dequeued := pair_id;
-      incr explored;
-      if Normalise.divergent norm node then search ()
-      else begin
-        if List.mem impl_i impl_div then
-          Fails (counterexample pair_id [] Divergence impl_i)
-        else begin
-          let ts = Lts.transitions_of impl_lts impl_i in
-          let stable = Lts.is_stable impl_lts impl_i in
-          let refusal_failure =
-            if stable then begin
-              let offered =
-                List.sort_uniq Event.compare_label (List.map fst ts)
-              in
-              let accs = Normalise.acceptances norm node in
-              if
-                List.exists
-                  (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
-                  accs
-              then None
-              else
-                Some
-                  (counterexample pair_id []
-                     (Refusal_violation { offered; acceptances = accs })
-                     impl_i)
-            end
-            else None
-          in
-          match refusal_failure with
-          | Some cex -> Fails cex
-          | None ->
-            let violation =
-              List.find_map
-                (fun (l, target) ->
-                  match l with
-                  | Event.Tau ->
-                    intern_pair (Some (l, pair_id)) (target, node);
-                    None
-                  | Event.Tick | Event.Vis _ ->
-                    (match Normalise.after norm node l with
-                     | Some node' ->
-                       intern_pair (Some (l, pair_id)) (target, node');
-                       None
-                     | None ->
-                       Some
-                         (counterexample pair_id [ l ] (Trace_violation l)
-                            impl_i)))
-                ts
-            in
-            (match violation with
-             | Some cex -> Fails cex
-             | None -> search ())
-        end
-      end
-  in
-  (try search ()
-   with Out_of_budget kind ->
-     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
-        it is discovered-but-unexplored work, so it counts as frontier. *)
-     let frontier =
-       Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
-     in
-     Inconclusive
-       ( current_stats (),
-         {
-           frontier;
-           deepest = visible_trace (trace_to !last_dequeued);
-           exhausted = kind;
-         } ))
+    let norm = Normalise.normalise spec_lts in
+    (match Lts.compile_budgeted ~max_states ?stop_at defs impl with
+     | Lts.Partial (_, progress) ->
+       (* Divergence detection needs the full tau graph of the
+          implementation; a partial compile cannot support a verdict. *)
+       let exhausted =
+         match progress.Lts.reason with
+         | `States -> States
+         | `Deadline -> Deadline
+       in
+       Inconclusive
+         ( Search.make_stats ~impl_states:progress.Lts.explored
+             ~spec_nodes:(Normalise.num_nodes norm) ~pairs:0 (),
+           { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+     | Lts.Complete impl_lts ->
+       let source = Search.lts_source ~check_divergence:true impl_lts in
+       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at ~norm source)
 
 let stop_at_of_deadline = function
   | None -> None
   | Some seconds -> Some (Unix.gettimeofday () +. seconds)
 
-let check ?(model = Traces) ?(max_states = 1_000_000) ?max_pairs ?deadline
-    defs ~spec ~impl =
+let check ?interner ?(model = Traces) ?(max_states = 1_000_000) ?max_pairs
+    ?deadline defs ~spec ~impl =
   let max_pairs = Option.value max_pairs ~default:max_states in
   let stop_at = stop_at_of_deadline deadline in
   match model with
   | Traces ->
-    product_check ~refusal_mode:`None ~max_states ~max_pairs ?stop_at defs
-      ~spec ~impl
+    product_check ?interner ~refusal_mode:`None ~max_states ~max_pairs
+      ?stop_at defs ~spec ~impl
   | Failures ->
-    product_check ~refusal_mode:`Acceptances ~max_states ~max_pairs ?stop_at
-      defs ~spec ~impl
+    product_check ?interner ~refusal_mode:`Acceptances ~max_states ~max_pairs
+      ?stop_at defs ~spec ~impl
   | Failures_divergences ->
     fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl
 
-let traces_refines ?max_states ?deadline defs ~spec ~impl =
-  check ~model:Traces ?max_states ?deadline defs ~spec ~impl
+let traces_refines ?interner ?max_states ?deadline defs ~spec ~impl =
+  check ?interner ~model:Traces ?max_states ?deadline defs ~spec ~impl
 
-let failures_refines ?max_states ?deadline defs ~spec ~impl =
-  check ~model:Failures ?max_states ?deadline defs ~spec ~impl
+let failures_refines ?interner ?max_states ?deadline defs ~spec ~impl =
+  check ?interner ~model:Failures ?max_states ?deadline defs ~spec ~impl
 
 let fd_refines ?max_states ?deadline defs ~spec ~impl =
   check ~model:Failures_divergences ?max_states ?deadline defs ~spec ~impl
-
-let lts_stats lts =
-  { impl_states = Lts.num_states lts; spec_nodes = 0; pairs = 0 }
 
 let lts_inconclusive progress =
   let exhausted =
     match progress.Lts.reason with `States -> States | `Deadline -> Deadline
   in
   Inconclusive
-    ( { impl_states = progress.Lts.explored; spec_nodes = 0; pairs = 0 },
+    ( Search.make_stats ~impl_states:progress.Lts.explored ~spec_nodes:0
+        ~pairs:0 (),
       { frontier = progress.Lts.frontier; deepest = []; exhausted } )
 
-let deadlock_free ?(max_states = 1_000_000) ?deadline defs proc =
+(* Deadlock/divergence freedom: compile the graph, find the offending
+   states, and BFS a shortest path to one. The offender set is looked up
+   through a bitset, not a list scan. *)
+let bad_state_check ~violation ~find ~max_states ?deadline defs proc =
+  let t0 = Unix.gettimeofday () in
   match
-    Lts.compile_budgeted ~max_states
-      ?stop_at:(stop_at_of_deadline deadline) defs proc
+    Lts.compile_budgeted ~max_states ?stop_at:(stop_at_of_deadline deadline)
+      defs proc
   with
   | Lts.Partial (_, progress) -> lts_inconclusive progress
   | Lts.Complete lts ->
-    (match Lts.deadlocks lts with
-     | [] -> Holds (lts_stats lts)
-     | dead ->
-       let is_dead i = List.mem i dead in
-       (match Lts.path_to lts is_dead with
+    (match find lts with
+     | [] ->
+       Holds
+         (Search.make_stats
+            ~wall_s:(Unix.gettimeofday () -. t0)
+            ~impl_states:(Lts.num_states lts) ~spec_nodes:0 ~pairs:0 ())
+     | bad ->
+       let bits = Array.make (max 1 (Lts.num_states lts)) false in
+       List.iter (fun i -> bits.(i) <- true) bad;
+       (match Lts.path_to lts (fun i -> bits.(i)) with
         | None -> assert false
         | Some (labels, i) ->
           Fails
             {
               trace = visible_trace labels;
-              violation = Deadlock;
+              violation;
               impl_state = Lts.state_term lts i;
             }))
 
+let deadlock_free ?(max_states = 1_000_000) ?deadline defs proc =
+  bad_state_check ~violation:Deadlock ~find:Lts.deadlocks ~max_states
+    ?deadline defs proc
+
 let divergence_free ?(max_states = 1_000_000) ?deadline defs proc =
-  match
-    Lts.compile_budgeted ~max_states
-      ?stop_at:(stop_at_of_deadline deadline) defs proc
-  with
-  | Lts.Partial (_, progress) -> lts_inconclusive progress
-  | Lts.Complete lts ->
-    (match Lts.divergences lts with
-     | [] -> Holds (lts_stats lts)
-     | div ->
-       let is_div i = List.mem i div in
-       (match Lts.path_to lts is_div with
-        | None -> assert false
-        | Some (labels, i) ->
-          Fails
-            {
-              trace = visible_trace labels;
-              violation = Divergence;
-              impl_state = Lts.state_term lts i;
-            }))
+  bad_state_check ~violation:Divergence ~find:Lts.divergences ~max_states
+    ?deadline defs proc
 
 let deterministic ?(max_states = 1_000_000) ?deadline defs proc =
   product_check ~refusal_mode:`Full ~max_states ~max_pairs:max_states
@@ -529,12 +243,16 @@ let pp_resume_hint ppf hint =
       tail;
     Format.pp_print_string ppf ">"
 
+let pp_stats ppf stats =
+  Format.fprintf ppf "%d impl states, %d spec nodes, %d pairs" stats.impl_states
+    stats.spec_nodes stats.pairs;
+  if stats.wall_s > 0. then
+    Format.fprintf ppf "; %.3fs, %.0f states/s, peak frontier %d" stats.wall_s
+      stats.states_per_sec stats.peak_frontier
+
 let pp_result ppf = function
-  | Holds stats ->
-    Format.fprintf ppf "holds (%d impl states, %d spec nodes, %d pairs)"
-      stats.impl_states stats.spec_nodes stats.pairs
+  | Holds stats -> Format.fprintf ppf "holds (%a)" pp_stats stats
   | Fails cex -> Format.fprintf ppf "FAILS@ %a" pp_counterexample cex
   | Inconclusive (stats, hint) ->
-    Format.fprintf ppf
-      "INCONCLUSIVE (%d impl states, %d spec nodes, %d pairs)@ %a"
-      stats.impl_states stats.spec_nodes stats.pairs pp_resume_hint hint
+    Format.fprintf ppf "INCONCLUSIVE (%a)@ %a" pp_stats stats pp_resume_hint
+      hint

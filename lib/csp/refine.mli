@@ -6,9 +6,13 @@
     states (generated on the fly) with the normal-form nodes, breadth-first,
     so a reported counterexample has minimal length.
 
+    Every check is a thin configuration of the shared engine in {!Search};
+    this module re-exports the engine's verdict types so existing callers
+    see one vocabulary.
+
     Also provides deadlock and divergence checking of single processes. *)
 
-type violation =
+type violation = Search.violation =
   | Trace_violation of Event.label
       (** the implementation performed this label where the specification
           forbids it *)
@@ -21,7 +25,7 @@ type violation =
   | Deadlock
   | Divergence
 
-type counterexample = {
+type counterexample = Search.counterexample = {
   trace : Event.label list;
       (** visible labels (and possibly a final [Tick]) from the initial
           state to the violation; for trace violations the offending label
@@ -30,18 +34,21 @@ type counterexample = {
   impl_state : Proc.t;  (** the implementation term at the violation *)
 }
 
-type stats = {
+type stats = Search.stats = {
   impl_states : int;  (** distinct implementation states visited *)
   spec_nodes : int;  (** normal-form nodes of the specification *)
   pairs : int;  (** product pairs visited *)
+  wall_s : float;  (** wall-clock time spent in the search *)
+  states_per_sec : float;  (** search throughput *)
+  peak_frontier : int;  (** largest unexplored frontier at any point *)
 }
 
-type budget_kind =
+type budget_kind = Search.budget_kind =
   | Deadline  (** the wall-clock deadline passed *)
   | States  (** an [Lts] compilation hit its state budget *)
   | Pairs  (** the product exploration hit its pair budget *)
 
-type resume_hint = {
+type resume_hint = Search.resume_hint = {
   frontier : int;
       (** discovered-but-unexplored states or pairs at the point of
           exhaustion — how much work was left in the queue *)
@@ -52,7 +59,7 @@ type resume_hint = {
   exhausted : budget_kind;
 }
 
-type result =
+type result = Search.result =
   | Holds of stats
   | Fails of counterexample
   | Inconclusive of stats * resume_hint
@@ -72,6 +79,7 @@ exception State_limit of int
     {!Inconclusive}); kept so existing handlers still compile. *)
 
 val check :
+  ?interner:Search.interner ->
   ?model:model ->
   ?max_states:int ->
   ?max_pairs:int ->
@@ -86,12 +94,19 @@ val check :
     seconds from the start of the call. Exhausting any budget returns
     {!Inconclusive} rather than raising. At least one state or pair is
     always explored before the deadline is consulted, so an
-    {!Inconclusive} result always carries non-zero stats. *)
+    {!Inconclusive} result always carries non-zero stats.
+
+    [interner] selects how on-the-fly implementation states are interned
+    (ignored by {!Failures_divergences}, which precompiles both sides):
+    [`Id] (default) uses the hash-consing ids, [`Structural] is the deep
+    structural oracle the tests compare against. *)
 
 val traces_refines :
+  ?interner:Search.interner ->
   ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val failures_refines :
+  ?interner:Search.interner ->
   ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val fd_refines :
@@ -119,4 +134,5 @@ val inconclusive : result -> bool
 val pp_violation : Format.formatter -> violation -> unit
 val pp_counterexample : Format.formatter -> counterexample -> unit
 val pp_resume_hint : Format.formatter -> resume_hint -> unit
+val pp_stats : Format.formatter -> stats -> unit
 val pp_result : Format.formatter -> result -> unit

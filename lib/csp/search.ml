@@ -1,0 +1,319 @@
+type violation =
+  | Trace_violation of Event.label
+  | Refusal_violation of {
+      offered : Event.label list;
+      acceptances : Event.label list list;
+    }
+  | Deadlock
+  | Divergence
+
+type counterexample = {
+  trace : Event.label list;
+  violation : violation;
+  impl_state : Proc.t;
+}
+
+type stats = {
+  impl_states : int;
+  spec_nodes : int;
+  pairs : int;
+  wall_s : float;
+  states_per_sec : float;
+  peak_frontier : int;
+}
+
+type budget_kind =
+  | Deadline
+  | States
+  | Pairs
+
+type resume_hint = {
+  frontier : int;
+  deepest : Event.label list;
+  exhausted : budget_kind;
+}
+
+type result =
+  | Holds of stats
+  | Fails of counterexample
+  | Inconclusive of stats * resume_hint
+
+type refusal = [ `None | `Acceptances | `Full ]
+
+type source = {
+  initial : int;
+  step : int -> (Event.label * int) list;
+  term_of : int -> Proc.t;
+  state_count : unit -> int;
+  divergent : (int -> bool) option;
+}
+
+type interner = [ `Id | `Structural ]
+
+(* Internal: unwound to an [Inconclusive] verdict at the end of [product],
+   where the current counters and frontier are in scope. *)
+exception Out_of_budget of budget_kind
+
+let visible_trace labels =
+  List.filter
+    (fun l -> match l with Event.Vis _ | Event.Tick -> true | Event.Tau -> false)
+    labels
+
+let per_sec states wall = if wall > 0. then float_of_int states /. wall else 0.
+
+let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ~impl_states ~spec_nodes
+    ~pairs () =
+  {
+    impl_states;
+    spec_nodes;
+    pairs;
+    wall_s;
+    states_per_sec = per_sec (max impl_states pairs) wall_s;
+    peak_frontier;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sources                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = Proc.t
+
+  let equal = Proc.equal
+  let hash = Proc.hash
+end)
+
+module Structural_tbl = Hashtbl.Make (struct
+  type t = Proc.t
+
+  let equal = Proc.structural_equal
+  let hash = Proc.structural_hash
+end)
+
+(* One polymorphic face over the two intern-table functors, so the
+   interning scheme is selectable at runtime (the structural scheme is the
+   oracle the hash-consed one is tested against). *)
+let proc_interner = function
+  | `Id ->
+    let tbl = Id_tbl.create 1024 in
+    (Id_tbl.find_opt tbl : Proc.t -> int option), Id_tbl.replace tbl
+  | `Structural ->
+    let tbl = Structural_tbl.create 1024 in
+    (Structural_tbl.find_opt tbl, Structural_tbl.replace tbl)
+
+let proc_source ?(interner = `Id) ~step term0 =
+  let find_opt, replace = proc_interner interner in
+  let terms = ref (Array.make 1024 term0) in
+  let count = ref 0 in
+  let intern term =
+    match find_opt term with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      if i >= Array.length !terms then begin
+        let bigger = Array.make (2 * i) term0 in
+        Array.blit !terms 0 bigger 0 i;
+        terms := bigger
+      end;
+      !terms.(i) <- term;
+      replace term i;
+      i
+  in
+  let initial = intern term0 in
+  {
+    initial;
+    step = (fun i -> List.map (fun (l, t) -> l, intern t) (step !terms.(i)));
+    term_of = (fun i -> !terms.(i));
+    state_count = (fun () -> !count);
+    divergent = None;
+  }
+
+let lts_source ?(check_divergence = true) lts =
+  let divergent =
+    if check_divergence then begin
+      let bits = Array.make (max 1 (Lts.num_states lts)) false in
+      List.iter (fun i -> bits.(i) <- true) (Lts.divergences lts);
+      Some (fun i -> bits.(i))
+    end
+    else None
+  in
+  {
+    initial = lts.Lts.initial;
+    step = Lts.transitions_of lts;
+    term_of = Lts.state_term lts;
+    state_count = (fun () -> Lts.num_states lts);
+    divergent;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash = Hashtbl.hash
+end)
+
+let product ~refusal ~max_pairs ?stop_at ~norm source =
+  let t0 = Unix.gettimeofday () in
+  (* Product pairs (impl state, normal-form node), interned to dense ids;
+     per-id state and parent edge live in growable arrays. *)
+  let pair_ids = Pair_tbl.create 4096 in
+  let pair_impl = ref (Array.make 4096 0) in
+  let pair_node = ref (Array.make 4096 0) in
+  let parents = ref (Array.make 4096 None) in
+  let pair_count = ref 0 in
+  let queue = Queue.create () in
+  let peak_frontier = ref 0 in
+  let intern_pair parent ((impl_i, node) as pair) =
+    if not (Pair_tbl.mem pair_ids pair) then begin
+      if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
+      let id = !pair_count in
+      incr pair_count;
+      if id >= Array.length !parents then begin
+        let grow dummy a =
+          let bigger = Array.make (2 * id) dummy in
+          Array.blit !a 0 bigger 0 id;
+          a := bigger
+        in
+        grow 0 pair_impl;
+        grow 0 pair_node;
+        grow None parents
+      end;
+      Pair_tbl.replace pair_ids pair id;
+      !pair_impl.(id) <- impl_i;
+      !pair_node.(id) <- node;
+      !parents.(id) <- parent;
+      Queue.add id queue;
+      let frontier = Queue.length queue in
+      if frontier > !peak_frontier then peak_frontier := frontier
+    end
+  in
+  (* O(depth): walk the parent chain once, consing. *)
+  let trace_to id =
+    let rec go acc id =
+      match !parents.(id) with
+      | None -> acc
+      | Some (l, p) -> go (l :: acc) p
+    in
+    go [] id
+  in
+  let counterexample pair_id extra violation impl_i =
+    {
+      trace = visible_trace (trace_to pair_id @ extra);
+      violation;
+      impl_state = source.term_of impl_i;
+    }
+  in
+  (* Pairs are dequeued in BFS order, so the most recently dequeued pair
+     lies on a deepest explored path — the natural resume hint. *)
+  let explored = ref 0 in
+  let last_dequeued = ref 0 in
+  let over_deadline () =
+    match stop_at with
+    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | None -> false
+  in
+  let current_stats () =
+    make_stats
+      ~wall_s:(Unix.gettimeofday () -. t0)
+      ~peak_frontier:!peak_frontier ~impl_states:(source.state_count ())
+      ~spec_nodes:(Normalise.num_nodes norm) ~pairs:!pair_count ()
+  in
+  intern_pair None (source.initial, Normalise.initial norm);
+  let rec search () =
+    (* an empty queue is a completed search: the verdict stands even if
+       the deadline expired while reaching it *)
+    if Queue.is_empty queue then Holds (current_stats ())
+    else if over_deadline () then raise (Out_of_budget Deadline)
+    else
+      match Queue.take_opt queue with
+      | None -> Holds (current_stats ())
+      | Some pair_id ->
+        last_dequeued := pair_id;
+        incr explored;
+        let impl_i = !pair_impl.(pair_id)
+        and node = !pair_node.(pair_id) in
+        (match source.divergent with
+         | Some impl_divergent ->
+           (* Under a divergent specification node everything is allowed,
+              so that subtree is pruned; a divergent implementation state
+              under a non-divergent node is a violation. *)
+           if Normalise.divergent norm node then search ()
+           else if impl_divergent impl_i then
+             Fails (counterexample pair_id [] Divergence impl_i)
+           else explore pair_id impl_i node
+         | None -> explore pair_id impl_i node)
+  and explore pair_id impl_i node =
+    let ts = source.step impl_i in
+    let stable =
+      not
+        (List.exists
+           (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
+           ts)
+    in
+    let refusal_failure =
+      if refusal <> `None && stable then begin
+        let offered = List.sort_uniq Event.compare_label (List.map fst ts) in
+        let accs =
+          match refusal with
+          | `Acceptances -> Normalise.acceptances norm node
+          | `Full ->
+            [ List.sort_uniq Event.compare_label
+                (List.map fst (Normalise.afters norm node)) ]
+          | `None -> []
+        in
+        let covered =
+          List.exists
+            (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
+            accs
+        in
+        if covered then None
+        else
+          Some
+            (counterexample pair_id []
+               (Refusal_violation { offered; acceptances = accs })
+               impl_i)
+      end
+      else None
+    in
+    match refusal_failure with
+    | Some cex -> Fails cex
+    | None ->
+      let violation =
+        List.find_map
+          (fun (l, target) ->
+            match l with
+            | Event.Tau ->
+              intern_pair (Some (l, pair_id)) (target, node);
+              None
+            | Event.Tick | Event.Vis _ ->
+              (match Normalise.after norm node l with
+               | Some node' ->
+                 intern_pair (Some (l, pair_id)) (target, node');
+                 None
+               | None ->
+                 Some (counterexample pair_id [ l ] (Trace_violation l) impl_i)))
+          ts
+      in
+      (match violation with
+       | Some cex -> Fails cex
+       | None -> search ())
+  in
+  try search ()
+  with Out_of_budget kind ->
+    (* A [Pairs] exhaustion is raised on the pair that failed to intern;
+       it is discovered-but-unexplored work, so it counts as frontier. *)
+    let frontier =
+      Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
+    in
+    Inconclusive
+      ( current_stats (),
+        {
+          frontier;
+          deepest = visible_trace (trace_to !last_dequeued);
+          exhausted = kind;
+        } )

@@ -1,0 +1,128 @@
+(** The product-search engine shared by every refinement check.
+
+    A refinement check explores the product of the implementation's states
+    with the normalized specification's nodes, breadth-first (so reported
+    counterexamples have minimal length). The implementation side is
+    abstracted as a {!source} of integer states — either process terms
+    interned on the fly ({!proc_source}) or a precompiled {!Lts.t}
+    ({!lts_source}) — and the refusal mode and divergence predicate are
+    pluggable, so traces, stable-failures, failures-divergences, and
+    determinism checking are all thin configurations of {!product}.
+
+    The engine owns the shared mechanics: pair interning, parent tracking
+    with O(depth) trace reconstruction, pair/deadline budgets, and per-check
+    instrumentation (wall time, states per second, peak frontier). *)
+
+type violation =
+  | Trace_violation of Event.label
+      (** the implementation performed this label where the specification
+          forbids it *)
+  | Refusal_violation of {
+      offered : Event.label list;
+          (** what the stable implementation state offers *)
+      acceptances : Event.label list list;
+          (** the specification's minimal acceptance sets at that point *)
+    }
+  | Deadlock
+  | Divergence
+
+type counterexample = {
+  trace : Event.label list;
+      (** visible labels (and possibly a final [Tick]) from the initial
+          state to the violation; for trace violations the offending label
+          is included as the last element *)
+  violation : violation;
+  impl_state : Proc.t;  (** the implementation term at the violation *)
+}
+
+type stats = {
+  impl_states : int;  (** distinct implementation states visited *)
+  spec_nodes : int;  (** normal-form nodes of the specification *)
+  pairs : int;  (** product pairs visited *)
+  wall_s : float;  (** wall-clock time spent in the search *)
+  states_per_sec : float;
+      (** [max impl_states pairs / wall_s] — the search throughput *)
+  peak_frontier : int;
+      (** largest number of discovered-but-unexplored pairs at any point *)
+}
+
+type budget_kind =
+  | Deadline  (** the wall-clock deadline passed *)
+  | States  (** an [Lts] compilation hit its state budget *)
+  | Pairs  (** the product exploration hit its pair budget *)
+
+type resume_hint = {
+  frontier : int;
+      (** discovered-but-unexplored states or pairs at the point of
+          exhaustion — how much work was left in the queue *)
+  deepest : Event.label list;
+      (** visible trace to the most recently explored state; under BFS this
+          is a deepest explored path, a natural place to resume or to
+          narrow the model *)
+  exhausted : budget_kind;
+}
+
+type result =
+  | Holds of stats
+  | Fails of counterexample
+  | Inconclusive of stats * resume_hint
+      (** a budget ran out before a verdict: the property neither holds nor
+          fails on the explored prefix; [stats] counts what was explored *)
+
+type refusal =
+  [ `None  (** traces only *)
+  | `Acceptances
+    (** a stable implementation state must cover some minimal acceptance
+        of the node (stable-failures refinement) *)
+  | `Full
+    (** a stable implementation state must offer every label the normal
+        form can perform (the determinism check) *) ]
+
+type source = {
+  initial : int;
+  step : int -> (Event.label * int) list;
+  term_of : int -> Proc.t;
+  state_count : unit -> int;
+      (** distinct implementation states interned so far *)
+  divergent : (int -> bool) option;
+      (** [Some p]: check divergence — prune subtrees under divergent
+          specification nodes and report a divergent implementation state
+          elsewhere as a violation. [None]: divergence-blind. *)
+}
+
+type interner =
+  [ `Id  (** hash-consed: [Proc.equal] / [Proc.hash], O(1) *)
+  | `Structural
+    (** deep [Proc.structural_equal] / [Proc.structural_hash]; the test
+        oracle — verdicts must be identical to [`Id] *) ]
+
+val proc_source :
+  ?interner:interner -> step:(Proc.t -> (Event.label * Proc.t) list) ->
+  Proc.t -> source
+(** States are process terms, interned on the fly as the search reaches
+    them (early counterexamples avoid compiling the full state space).
+    Default interner is [`Id]. *)
+
+val lts_source : ?check_divergence:bool -> Lts.t -> source
+(** States are the nodes of a precompiled graph. [check_divergence]
+    (default [true]) precomputes the tau-SCC divergence bitset. *)
+
+val visible_trace : Event.label list -> Event.label list
+(** Drop [Tau] labels (keeps [Tick]). *)
+
+val make_stats :
+  ?wall_s:float -> ?peak_frontier:int ->
+  impl_states:int -> spec_nodes:int -> pairs:int -> unit -> stats
+(** Assemble a {!stats} for results produced outside {!product} (partial
+    compiles, deadlock/divergence checks); derives [states_per_sec]. *)
+
+val product :
+  refusal:refusal ->
+  max_pairs:int ->
+  ?stop_at:float ->
+  norm:Normalise.t ->
+  source ->
+  result
+(** Run the search. [stop_at] is an absolute [Unix.gettimeofday] deadline;
+    at least one pair is always explored before it is consulted, so an
+    {!Inconclusive} result always carries non-zero stats. *)

@@ -64,52 +64,65 @@ let expand_prefix defs chan items cont =
       Event.Vis event, cont')
     combos
 
-let transitions defs proc =
+(* The transition relation, parameterized over a memo for recursive
+   calls. [trans] is compositional in the term ([depth] only guards
+   unguarded recursion), so its value may be cached per {e subterm}: a
+   parallel composition of n cells then recomputes only the O(spine)
+   terms an event actually rewrote, instead of re-deriving every cell's
+   transitions in every state that contains it. *)
+let transitions_via lookup store defs proc =
   let fenv = Defs.fenv defs in
   let ty_lookup = Defs.ty_lookup defs in
   let fold p = Proc.const_fold ~tys:ty_lookup fenv p in
   (* Split transitions of a parallel operand into (taus, ticks, syncing
      visibles, free visibles) according to a synchronization predicate. *)
   let rec trans depth p : (Event.label * Proc.t) list =
+    match lookup p with
+    | Some ts -> ts
+    | None ->
+      let ts = compute depth p in
+      store p ts;
+      ts
+  and compute depth p : (Event.label * Proc.t) list =
     if depth > unfold_limit then
       raise (Unguarded (Proc.to_string p));
-    match p with
+    match Proc.view p with
     | Proc.Stop | Proc.Omega -> []
-    | Proc.Skip -> [ Event.Tick, Proc.Omega ]
+    | Proc.Skip -> [ Event.Tick, Proc.omega ]
     | Proc.Prefix (chan, items, cont) -> expand_prefix defs chan items cont
     | Proc.Ext (p1, p2) ->
       let resolve_side mk =
         List.map (fun (l, t) ->
           match l with
           | Event.Tau -> Event.Tau, mk t
-          | Event.Tick -> Event.Tick, Proc.Omega
+          | Event.Tick -> Event.Tick, Proc.omega
           | Event.Vis _ -> l, t)
       in
-      resolve_side (fun t -> Proc.Ext (t, p2)) (trans depth p1)
-      @ resolve_side (fun t -> Proc.Ext (p1, t)) (trans depth p2)
+      resolve_side (fun t -> Proc.ext (t, p2)) (trans depth p1)
+      @ resolve_side (fun t -> Proc.ext (p1, t)) (trans depth p2)
     | Proc.Int (p1, p2) -> [ Event.Tau, p1; Event.Tau, p2 ]
     | Proc.Seq (p1, p2) ->
       List.map
         (fun (l, t) ->
           match l with
           | Event.Tick -> Event.Tau, p2
-          | Event.Tau | Event.Vis _ -> l, Proc.Seq (t, p2))
+          | Event.Tau | Event.Vis _ -> l, Proc.seq (t, p2))
         (trans depth p1)
     | Proc.Par (p1, iface, p2) ->
       let sync e = Eventset.mem iface e in
       par_trans depth p1 p2 ~sync ~allowed_left:(fun _ -> true)
         ~allowed_right:(fun _ -> true)
-        ~mk:(fun a b -> Proc.Par (a, iface, b))
+        ~mk:(fun a b -> Proc.par (a, iface, b))
     | Proc.APar (p1, alpha_a, alpha_b, p2) ->
       let sync e = Eventset.mem alpha_a e && Eventset.mem alpha_b e in
       par_trans depth p1 p2 ~sync
         ~allowed_left:(fun e -> Eventset.mem alpha_a e)
         ~allowed_right:(fun e -> Eventset.mem alpha_b e)
-        ~mk:(fun a b -> Proc.APar (a, alpha_a, alpha_b, b))
+        ~mk:(fun a b -> Proc.apar (a, alpha_a, alpha_b, b))
     | Proc.Inter (p1, p2) ->
       par_trans depth p1 p2 ~sync:(fun _ -> false)
         ~allowed_left:(fun _ -> true) ~allowed_right:(fun _ -> true)
-        ~mk:(fun a b -> Proc.Inter (a, b))
+        ~mk:(fun a b -> Proc.inter (a, b))
     | Proc.Interrupt (p1, p2) ->
       (* P events continue under the interrupt; any visible event of Q
          takes over for good; Q's taus resolve its internal state without
@@ -118,16 +131,16 @@ let transitions defs proc =
         List.map
           (fun (l, t) ->
             match l with
-            | Event.Tick -> Event.Tick, Proc.Omega
-            | Event.Tau | Event.Vis _ -> l, Proc.Interrupt (t, p2))
+            | Event.Tick -> Event.Tick, Proc.omega
+            | Event.Tau | Event.Vis _ -> l, Proc.interrupt (t, p2))
           (trans depth p1)
       in
       let from_q =
         List.map
           (fun (l, t) ->
             match l with
-            | Event.Tau -> Event.Tau, Proc.Interrupt (p1, t)
-            | Event.Tick -> Event.Tick, Proc.Omega
+            | Event.Tau -> Event.Tau, Proc.interrupt (p1, t)
+            | Event.Tick -> Event.Tick, Proc.omega
             | Event.Vis _ -> l, t)
           (trans depth p2)
       in
@@ -139,8 +152,8 @@ let transitions defs proc =
         List.map
           (fun (l, t) ->
             match l with
-            | Event.Tau -> Event.Tau, Proc.Timeout (t, p2)
-            | Event.Tick -> Event.Tick, Proc.Omega
+            | Event.Tau -> Event.Tau, Proc.timeout (t, p2)
+            | Event.Tick -> Event.Tick, Proc.omega
             | Event.Vis _ -> l, t)
           (trans depth p1)
       in
@@ -149,9 +162,9 @@ let transitions defs proc =
       List.map
         (fun (l, t) ->
           match l with
-          | Event.Vis e when Eventset.mem set e -> Event.Tau, Proc.hide t set
-          | Event.Tick -> Event.Tick, Proc.Omega
-          | Event.Tau | Event.Vis _ -> l, Proc.hide t set)
+          | Event.Vis e when Eventset.mem set e -> Event.Tau, Proc.hide (t, set)
+          | Event.Tick -> Event.Tick, Proc.omega
+          | Event.Tau | Event.Vis _ -> l, Proc.hide (t, set))
         (trans depth p1)
     | Proc.Rename (p1, mapping) ->
       List.map
@@ -163,9 +176,9 @@ let transitions defs proc =
               | Some c' -> c'
               | None -> e.Event.chan
             in
-            Event.Vis { e with Event.chan }, Proc.rename t mapping
-          | Event.Tick -> Event.Tick, Proc.Omega
-          | Event.Tau -> Event.Tau, Proc.rename t mapping)
+            Event.Vis { e with Event.chan }, Proc.rename (t, mapping)
+          | Event.Tick -> Event.Tick, Proc.omega
+          | Event.Tau -> Event.Tau, Proc.rename (t, mapping))
         (trans depth p1)
     | Proc.If (cond, p1, p2) ->
       let b =
@@ -206,7 +219,7 @@ let transitions defs proc =
     | Proc.Run set ->
       List.map (fun e -> Event.Vis e, p) (Defs.events_of defs set)
     | Proc.Chaos set ->
-      (Event.Tau, Proc.Stop)
+      (Event.Tau, Proc.stop)
       :: List.map (fun e -> Event.Vis e, p) (Defs.events_of defs set)
   and par_trans depth p1 p2 ~sync ~allowed_left ~allowed_right ~mk =
     let t1 = trans depth p1 in
@@ -245,7 +258,7 @@ let transitions defs proc =
         (syncing t1)
     in
     let tick =
-      if ticks t1 && ticks t2 then [ Event.Tick, Proc.Omega ] else []
+      if ticks t1 && ticks t2 then [ Event.Tick, Proc.omega ] else []
     in
     left @ right @ synced @ tick
   in
@@ -256,46 +269,37 @@ let transitions defs proc =
       if r <> 0 then r else Proc.compare t1 t2)
     result
 
-(* Shared per-Defs caches, weakly keyed on the environment so a dropped
-   Defs.t does not leak its cache. *)
-module Cache_key = struct
+let transitions defs proc =
+  transitions_via (fun _ -> None) (fun _ _ -> ()) defs proc
+
+(* Transition memoization. Hash-consing makes the cache key O(1): lookup
+   is physical equality on the interned term plus its precomputed hash.
+   Caches are always private to their creator — a per-check cache dies
+   with the check, so no global table outlives a dropped [Defs.t]. *)
+module Proc_tbl = Hashtbl.Make (struct
   type t = Proc.t
+
   let equal = Proc.equal
   let hash = Proc.hash
-end
-
-module Proc_tbl = Hashtbl.Make (Cache_key)
-
-let shared_caches :
-    (int, (Event.label * Proc.t) list Proc_tbl.t) Hashtbl.t =
-  Hashtbl.create 8
-
-let cache_for defs =
-  let key = Defs.id defs in
-  match Hashtbl.find_opt shared_caches key with
-  | Some cache -> cache
-  | None ->
-    let cache = Proc_tbl.create 4096 in
-    Hashtbl.replace shared_caches key cache;
-    cache
-
-let cached defs proc =
-  let cache = cache_for defs in
-  match Proc_tbl.find_opt cache proc with
-  | Some ts -> ts
-  | None ->
-    let ts = transitions defs proc in
-    Proc_tbl.replace cache proc ts;
-    ts
+end)
 
 let make_cached defs =
-  let cache = Proc_tbl.create 4096 in
+  (* two tables: [memo] holds raw per-subterm transition lists shared by
+     every recursive call; [sorted] holds the deduplicated, sorted
+     top-level answers handed to callers *)
+  let memo = Proc_tbl.create 4096 in
+  let sorted = Proc_tbl.create 4096 in
   fun proc ->
-    match Proc_tbl.find_opt cache proc with
+    match Proc_tbl.find_opt sorted proc with
     | Some ts -> ts
     | None ->
-      let ts = transitions defs proc in
-      Proc_tbl.replace cache proc ts;
+      let ts =
+        transitions_via
+          (Proc_tbl.find_opt memo)
+          (Proc_tbl.replace memo)
+          defs proc
+      in
+      Proc_tbl.replace sorted proc ts;
       ts
 
 let initials defs proc =

@@ -24,12 +24,11 @@ exception Ill_formed of string
 val transitions : Defs.t -> Proc.t -> (Event.label * Proc.t) list
 (** All transitions, sorted and deduplicated. *)
 
-val cached : Defs.t -> Proc.t -> (Event.label * Proc.t) list
-(** Like {!transitions} with memoization keyed on the term; one shared cache
-    per [Defs.t] (weakly keyed by physical identity of the environment). *)
-
 val make_cached : Defs.t -> Proc.t -> (Event.label * Proc.t) list
-(** A fresh memoizing transition function with its own private cache. *)
+(** A fresh memoizing transition function with its own private cache.
+    Hash-consing makes the key O(1) (physical equality + precomputed
+    hash); the cache dies with the closure, so nothing outlives its
+    check. *)
 
 val initials : Defs.t -> Proc.t -> Event.label list
 (** The labels offered by the term (sorted, deduplicated). *)

@@ -100,7 +100,7 @@ let of_proc ?(depth = 6) defs proc =
   in
   let rec go unfolds n p =
     if unfolds > unfold_limit then raise (Unguarded (Proc.to_string p));
-    match p with
+    match Proc.view p with
     | Proc.Stop | Proc.Omega -> [ [] ]
     | Proc.Skip -> [ []; [ Event.Tick ] ]
     | Proc.Prefix _ ->

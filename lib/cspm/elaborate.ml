@@ -243,8 +243,8 @@ let rec elab_eventset ctx scope (term : Ast.term) : Csp.Eventset.t =
 
 let rec elab_proc ctx scope (term : Ast.term) : Csp.Proc.t =
   match term with
-  | Ast.T_stop -> Csp.Proc.Stop
-  | Ast.T_skip -> Csp.Proc.Skip
+  | Ast.T_stop -> Csp.Proc.stop
+  | Ast.T_skip -> Csp.Proc.skip
   | Ast.T_prefix ({ Ast.chan; fields }, cont) ->
     if Option.is_none (Csp.Defs.channel_type ctx.defs chan) then
       err ?pos:ctx.pos "prefix on undeclared channel %s" chan;
@@ -259,30 +259,30 @@ let rec elab_proc ctx scope (term : Ast.term) : Csp.Proc.t =
             x :: scope, Csp.Proc.In (x, restr) :: items)
         (scope, []) fields
     in
-    Csp.Proc.Prefix (chan, List.rev rev_items, elab_proc ctx scope' cont)
+    Csp.Proc.prefix_items (chan, List.rev rev_items, elab_proc ctx scope' cont)
   | Ast.T_extchoice (a, b) ->
-    Csp.Proc.Ext (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.ext (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_intchoice (a, b) ->
-    Csp.Proc.Int (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.intc (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_seq (a, b) ->
-    Csp.Proc.Seq (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.seq (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_par (a, set, b) ->
-    Csp.Proc.Par
+    Csp.Proc.par
       (elab_proc ctx scope a, elab_eventset ctx scope set, elab_proc ctx scope b)
   | Ast.T_apar (a, sa, sb, b) ->
-    Csp.Proc.APar
+    Csp.Proc.apar
       ( elab_proc ctx scope a,
         elab_eventset ctx scope sa,
         elab_eventset ctx scope sb,
         elab_proc ctx scope b )
   | Ast.T_interleave (a, b) ->
-    Csp.Proc.Inter (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.inter (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_interrupt (a, b) ->
-    Csp.Proc.Interrupt (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.interrupt (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_slide (a, b) ->
-    Csp.Proc.Timeout (elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.timeout (elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_hide (p, set) ->
-    Csp.Proc.Hide (elab_proc ctx scope p, elab_eventset ctx scope set)
+    Csp.Proc.hide (elab_proc ctx scope p, elab_eventset ctx scope set)
   | Ast.T_rename (p, mapping) ->
     List.iter
       (fun (a, b) ->
@@ -291,29 +291,29 @@ let rec elab_proc ctx scope (term : Ast.term) : Csp.Proc.t =
         if Option.is_none (Csp.Defs.channel_type ctx.defs b) then
           err ?pos:ctx.pos "renaming to undeclared channel %s" b)
       mapping;
-    Csp.Proc.Rename (elab_proc ctx scope p, mapping)
+    Csp.Proc.rename (elab_proc ctx scope p, mapping)
   | Ast.T_guard (b, p) ->
-    Csp.Proc.Guard (elab_expr ctx scope b, elab_proc ctx scope p)
+    Csp.Proc.guard (elab_expr ctx scope b, elab_proc ctx scope p)
   | Ast.T_if (c, a, b) ->
-    Csp.Proc.If (elab_expr ctx scope c, elab_proc ctx scope a, elab_proc ctx scope b)
+    Csp.Proc.ite (elab_expr ctx scope c, elab_proc ctx scope a, elab_proc ctx scope b)
   | Ast.T_repl (kind, x, set, body) ->
     let set = elab_set ctx scope set in
     let body = elab_proc ctx (x :: scope) body in
     (match kind with
-     | Ast.R_ext -> Csp.Proc.Ext_over (x, set, body)
-     | Ast.R_int -> Csp.Proc.Int_over (x, set, body)
-     | Ast.R_inter -> Csp.Proc.Inter_over (x, set, body))
+     | Ast.R_ext -> Csp.Proc.ext_over (x, set, body)
+     | Ast.R_int -> Csp.Proc.int_over (x, set, body)
+     | Ast.R_inter -> Csp.Proc.inter_over (x, set, body))
   | Ast.T_id n ->
     (match ctx.klass_of n with
-     | Some Proc_def -> Csp.Proc.Call (n, [])
+     | Some Proc_def -> Csp.Proc.call (n, [])
      | Some Fun_def -> err ?pos:ctx.pos "function %s used as a process" n
      | None -> err ?pos:ctx.pos "unknown process %s" n)
-  | Ast.T_app ("RUN", [ set ]) -> Csp.Proc.Run (elab_eventset ctx scope set)
-  | Ast.T_app ("CHAOS", [ set ]) -> Csp.Proc.Chaos (elab_eventset ctx scope set)
+  | Ast.T_app ("RUN", [ set ]) -> Csp.Proc.run (elab_eventset ctx scope set)
+  | Ast.T_app ("CHAOS", [ set ]) -> Csp.Proc.chaos (elab_eventset ctx scope set)
   | Ast.T_app (n, args) ->
     (match ctx.klass_of n with
      | Some Proc_def ->
-       Csp.Proc.Call (n, List.map (elab_expr ctx scope) args)
+       Csp.Proc.call (n, List.map (elab_expr ctx scope) args)
      | Some Fun_def -> err ?pos:ctx.pos "function %s used as a process" n
      | None -> err ?pos:ctx.pos "unknown process %s" n)
   | Ast.T_num _ | Ast.T_bool _ | Ast.T_dot _ | Ast.T_tuple _ | Ast.T_set _

@@ -22,7 +22,7 @@ let expr_is_comm_atom (e : Csp.Expr.t) =
   | _ -> false
 
 let rec pp_proc ppf (p : Csp.Proc.t) =
-  match p with
+  match Csp.Proc.view p with
   | Csp.Proc.Stop -> Format.pp_print_string ppf "STOP"
   | Csp.Proc.Skip | Csp.Proc.Omega -> Format.pp_print_string ppf "SKIP"
   | Csp.Proc.Prefix (chan, items, cont) ->
@@ -76,7 +76,7 @@ let rec pp_proc ppf (p : Csp.Proc.t) =
   | Csp.Proc.Chaos set -> Format.fprintf ppf "CHAOS(%a)" pp_eventset set
 
 and pp_atom ppf p =
-  match p with
+  match Csp.Proc.view p with
   | Csp.Proc.Stop | Csp.Proc.Skip | Csp.Proc.Omega | Csp.Proc.Call _
   | Csp.Proc.Run _ | Csp.Proc.Chaos _ ->
     pp_proc ppf p

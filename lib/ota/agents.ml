@@ -17,54 +17,54 @@ let e_shared_key = E.Ctor ("key", [ E.sym "kShared" ])
 
 (* send.src.dst.p / recv.dst.p *)
 let send src dst p cont =
-  P.Prefix ("send", [ P.Out src; P.Out dst; P.Out p ], cont)
+  P.prefix_items ("send", [ P.Out src; P.Out dst; P.Out p ], cont)
 
-let recv dst p cont = P.Prefix ("recv", [ P.Out dst; P.Out p ], cont)
+let recv dst p cont = P.prefix_items ("recv", [ P.Out dst; P.Out p ], cont)
 
 let define_ecu defs =
   (* ECU(v, chk) — see the interface for the behaviour. *)
-  let continue_same = P.Call ("ECU", [ E.Var "v"; E.Var "chk" ]) in
+  let continue_same = P.call ("ECU", [ E.Var "v"; E.Var "chk" ]) in
   let diagnose =
     recv eecu e_req_sw
       (send eecu evmg (e_rpt_sw (E.Var "v")) continue_same)
   in
   let apply =
-    P.Ext_over
+    P.ext_over
       ( "w",
         ver_set,
-        P.Ext_over
+        P.ext_over
           ( "m",
             mac_set,
             recv eecu
               (e_req_app (E.Var "w") (E.Var "m"))
-              (P.If
+              (P.ite
                  ( E.Bin
                      ( E.Or,
                        E.Not (E.Var "chk"),
                        E.Bin (E.Eq, E.Var "m", e_mac e_shared_key (E.Var "w"))
                      ),
-                   P.Prefix
+                   P.prefix_items
                      ( "installed",
                        [ P.Out (E.Var "w") ],
                        send eecu evmg (e_rpt_upd (E.Var "w"))
-                         (P.Call ("ECU", [ E.Var "w"; E.Var "chk" ])) ),
+                         (P.call ("ECU", [ E.Var "w"; E.Var "chk" ])) ),
                    continue_same )) ) )
   in
   let ignore_stray =
-    P.Ext
-      ( P.Ext_over
+    P.ext
+      ( P.ext_over
           ("w", ver_set, recv eecu (e_rpt_sw (E.Var "w")) continue_same),
-        P.Ext_over
+        P.ext_over
           ("w", ver_set, recv eecu (e_rpt_upd (E.Var "w")) continue_same) )
   in
   Csp.Defs.define_proc defs "ECU" [ "v"; "chk" ]
-    (P.Ext (P.Ext (diagnose, apply), ignore_stray))
+    (P.ext (P.ext (diagnose, apply), ignore_stray))
 
 let define_vmg defs =
   (* VMG(target) — diagnose, update if behind, repeat. *)
-  let restart = P.Call ("VMG", [ E.Var "target" ]) in
+  let restart = P.call ("VMG", [ E.Var "target" ]) in
   let await_report =
-    P.Ext_over
+    P.ext_over
       ("u", ver_set, recv evmg (e_rpt_upd (E.Var "u")) restart)
   in
   let update =
@@ -74,18 +74,18 @@ let define_vmg defs =
   in
   let body =
     send evmg eecu e_req_sw
-      (P.Ext_over
+      (P.ext_over
          ( "w",
            ver_set,
            recv evmg (e_rpt_sw (E.Var "w"))
-             (P.If (E.Bin (E.Eq, E.Var "w", E.Var "target"), restart, update))
+             (P.ite (E.Bin (E.Eq, E.Var "w", E.Var "target"), restart, update))
          ))
   in
   Csp.Defs.define_proc defs "VMG" [ "target" ] body
 
 let define_server defs =
   (* SERVER(latest): X.1373 extended exchange with the VMG. *)
-  let continue_ = P.Call ("SERVER", [ E.Var "latest" ]) in
+  let continue_ = P.call ("SERVER", [ E.Var "latest" ]) in
   let diagnose =
     recv eserver (E.sym "diagnose")
       (send eserver evmg
@@ -93,7 +93,7 @@ let define_server defs =
          continue_)
   in
   let grant =
-    P.Ext_over
+    P.ext_over
       ( "w",
         ver_set,
         recv eserver
@@ -103,29 +103,29 @@ let define_server defs =
              continue_) )
   in
   let log_report =
-    P.Ext_over
+    P.ext_over
       ( "u",
         ver_set,
         recv eserver (E.Ctor ("update_report", [ E.Var "u" ])) continue_ )
   in
   Csp.Defs.define_proc defs "SERVER" [ "latest" ]
-    (P.Ext (P.Ext (diagnose, grant), log_report));
+    (P.ext (P.ext (diagnose, grant), log_report));
   (* VMG_EXT: ask the server what is current, then run the vehicle-side
      campaign against the ECU with the granted update. *)
   let report =
-    P.Ext_over
+    P.ext_over
       ( "u",
         ver_set,
         recv evmg (e_rpt_upd (E.Var "u"))
           (send evmg eserver
              (E.Ctor ("update_report", [ E.Var "u" ]))
-             (P.Call ("VMG_EXT", []))) )
+             (P.call ("VMG_EXT", []))) )
   in
   let forward_update =
-    P.Ext_over
+    P.ext_over
       ( "v",
         ver_set,
-        P.Ext_over
+        P.ext_over
           ( "m",
             mac_set,
             recv evmg
@@ -139,7 +139,7 @@ let define_server defs =
   in
   let vmg_ext =
     send evmg eserver (E.sym "diagnose")
-      (P.Ext_over
+      (P.ext_over
          ( "latest",
            ver_set,
            recv evmg (E.Ctor ("update_check", [ E.Var "latest" ])) after_check
@@ -157,51 +157,51 @@ let define_vmg_retry ?(retries = Messages.max_retries) defs =
   let decrement = E.Bin (E.Sub, E.Var "n", E.int 1) in
   (* timeout -> (n > 0 & backoff.(retries - n) -> retry) [] (n == 0 & giveup -> STOP) *)
   let on_timeout retry =
-    P.Prefix
+    P.prefix_items
       ( "timeout",
         [],
-        P.Ext
-          ( P.Guard
+        P.ext
+          ( P.guard
               ( E.Bin (E.Gt, E.Var "n", E.int 0),
-                P.Prefix
+                P.prefix_items
                   ( "backoff",
                     [ P.Out (E.Bin (E.Sub, fresh, E.Var "n")) ],
                     retry ) ),
-            P.Guard
+            P.guard
               ( E.Bin (E.Eq, E.Var "n", E.int 0),
-                P.Prefix ("giveup", [], P.Stop) ) ) )
+                P.prefix_items ("giveup", [], P.stop) ) ) )
   in
-  let restart = P.Call ("VMG_RETRY", [ E.Var "target"; fresh ]) in
-  let update_fresh = P.Call ("VMG_UPDATE", [ E.Var "target"; fresh ]) in
+  let restart = P.call ("VMG_RETRY", [ E.Var "target"; fresh ]) in
+  let update_fresh = P.call ("VMG_UPDATE", [ E.Var "target"; fresh ]) in
   let await_report =
-    P.Ext_over ("u", ver_set, recv evmg (e_rpt_upd (E.Var "u")) restart)
+    P.ext_over ("u", ver_set, recv evmg (e_rpt_upd (E.Var "u")) restart)
   in
   Csp.Defs.define_proc defs "VMG_UPDATE" [ "target"; "n" ]
     (send evmg eecu
        (e_req_app (E.Var "target") (e_mac e_shared_key (E.Var "target")))
-       (P.Ext
+       (P.ext
           ( await_report,
-            on_timeout (P.Call ("VMG_UPDATE", [ E.Var "target"; decrement ]))
+            on_timeout (P.call ("VMG_UPDATE", [ E.Var "target"; decrement ]))
           )));
   let await_inventory =
-    P.Ext_over
+    P.ext_over
       ( "w",
         ver_set,
         recv evmg (e_rpt_sw (E.Var "w"))
-          (P.If
+          (P.ite
              (E.Bin (E.Eq, E.Var "w", E.Var "target"), restart, update_fresh))
       )
   in
   Csp.Defs.define_proc defs "VMG_RETRY" [ "target"; "n" ]
     (send evmg eecu e_req_sw
-       (P.Ext
+       (P.ext
           ( await_inventory,
-            on_timeout (P.Call ("VMG_RETRY", [ E.Var "target"; decrement ]))
+            on_timeout (P.call ("VMG_RETRY", [ E.Var "target"; decrement ]))
           )))
 
 let agents_with ~check_macs ~target ~initial =
-  P.Inter
-    ( P.Call ("VMG", [ E.int target ]),
-      P.Call ("ECU", [ E.int initial; E.bool check_macs ]) )
+  P.inter
+    ( P.call ("VMG", [ E.int target ]),
+      P.call ("ECU", [ E.int initial; E.bool check_macs ]) )
 
 let agents = agents_with ~check_macs:true ~target:1 ~initial:0

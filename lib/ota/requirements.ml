@@ -44,10 +44,10 @@ let all_events (s : Scenario.t) = Csp.Defs.events_of s.Scenario.defs s.Scenario.
 (* External choice over concrete events, each continuing via [k]. *)
 let choice_over events k =
   match events with
-  | [] -> P.Stop
+  | [] -> P.stop
   | first :: rest ->
     let branch e = P.send e.Csp.Event.chan e.Csp.Event.args (k e) in
-    List.fold_left (fun acc e -> P.Ext (acc, branch e)) (branch first) rest
+    List.fold_left (fun acc e -> P.ext (acc, branch e)) (branch first) rest
 
 let versions = List.init Messages.versions Fun.id
 
@@ -55,42 +55,42 @@ let versions = List.init Messages.versions Fun.id
 (* R01: the first VMG transmission is the inventory request            *)
 (* ------------------------------------------------------------------ *)
 
-let r01 ?max_states (s : Scenario.t) =
+let r01 ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let free_events =
     List.filter (fun e -> not (is_send_from Messages.vmg e)) all
   in
   let body =
-    P.Ext
-      ( choice_over free_events (fun _ -> P.Call ("R01", [])),
+    P.ext
+      ( choice_over free_events (fun _ -> P.call ("R01", [])),
         P.send "send"
           [ Messages.vmg; Messages.ecu; Messages.req_sw ]
-          (P.Run s.Scenario.alphabet) )
+          (P.run s.Scenario.alphabet) )
   in
   Csp.Defs.define_proc defs "R01" [] body;
-  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R01", []))
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec:(P.call ("R01", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R02: SP02 — request/response alternation (paper Section V-B)        *)
 (* ------------------------------------------------------------------ *)
 
-let r02 ?max_states (s : Scenario.t) =
+let r02 ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting =
     ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions
   in
   let hidden = Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting) in
-  let impl = P.Hide (s.Scenario.system, hidden) in
+  let impl = P.hide (s.Scenario.system, hidden) in
   let responses =
-    choice_over (List.map ev_ecu_rpt_sw versions) (fun _ -> P.Call ("SP02", []))
+    choice_over (List.map ev_ecu_rpt_sw versions) (fun _ -> P.call ("SP02", []))
   in
   let body =
     P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02" [] body;
-  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("SP02", [])) ~impl
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec:(P.call ("SP02", [])) ~impl
 
 let ev_ecu_recv_req_sw =
   Csp.Event.event "recv" [ Messages.ecu; Messages.req_sw ]
@@ -101,7 +101,7 @@ let ev_ecu_recv_req_sw =
    "every *delivered* request is answered before the next delivery". The
    ECU is sequential, so this is exactly the paper's SP02 seen from the
    responder's side. *)
-let r02_delivered ?max_states (s : Scenario.t) =
+let r02_delivered ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting =
     ev_ecu_recv_req_sw :: List.map ev_ecu_rpt_sw versions
@@ -109,24 +109,24 @@ let r02_delivered ?max_states (s : Scenario.t) =
   let hidden =
     Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting)
   in
-  let impl = P.Hide (s.Scenario.system, hidden) in
+  let impl = P.hide (s.Scenario.system, hidden) in
   let responses =
     choice_over (List.map ev_ecu_rpt_sw versions) (fun _ ->
-        P.Call ("SP02D", []))
+        P.call ("SP02D", []))
   in
   let body =
     P.send "recv" [ Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02D" [] body;
-  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("SP02D", [])) ~impl
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec:(P.call ("SP02D", [])) ~impl
 
-let r02_liveness ?max_states (s : Scenario.t) =
+let r02_liveness ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting = ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions in
   let hidden =
     Csp.Eventset.diff s.Scenario.alphabet (Csp.Eventset.events interesting)
   in
-  let impl = P.Hide (s.Scenario.system, hidden) in
+  let impl = P.hide (s.Scenario.system, hidden) in
   (* the response version is the system's choice (internal choice), but a
      response must come: the spec's acceptances are the singletons
      {rptSw.v}, so a stable state refusing every response violates *)
@@ -134,17 +134,17 @@ let r02_liveness ?max_states (s : Scenario.t) =
     match
       List.map
         (fun e ->
-          P.send e.Csp.Event.chan e.Csp.Event.args (P.Call ("SP02L", [])))
+          P.send e.Csp.Event.chan e.Csp.Event.args (P.call ("SP02L", [])))
         (List.map ev_ecu_rpt_sw versions)
     with
-    | [] -> P.Stop
-    | first :: rest -> List.fold_left (fun acc b -> P.Int (acc, b)) first rest
+    | [] -> P.stop
+    | first :: rest -> List.fold_left (fun acc b -> P.intc (acc, b)) first rest
   in
   let body =
     P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02L" [] body;
-  Csp.Refine.failures_refines ?max_states defs ~spec:(P.Call ("SP02L", []))
+  Csp.Refine.failures_refines ?interner ?max_states defs ~spec:(P.call ("SP02L", []))
     ~impl
 
 (* ------------------------------------------------------------------ *)
@@ -152,7 +152,7 @@ let r02_liveness ?max_states (s : Scenario.t) =
    else                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let r03 ?max_states (s : Scenario.t) =
+let r03 ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let valid_deliveries = List.map ev_recv_valid_app versions in
@@ -177,29 +177,29 @@ let r03 ?max_states (s : Scenario.t) =
     (fun w ->
       let evs, inst = waiting_ok w in
       Csp.Defs.define_proc defs (Printf.sprintf "R03WAIT%d" w) []
-        (P.Ext
-           ( P.send inst.Csp.Event.chan inst.Csp.Event.args (P.Call ("R03", [])),
+        (P.ext
+           ( P.send inst.Csp.Event.chan inst.Csp.Event.args (P.call ("R03", [])),
              choice_over evs (fun _ ->
-                 P.Call (Printf.sprintf "R03WAIT%d" w, [])) )))
+                 P.call (Printf.sprintf "R03WAIT%d" w, [])) )))
     versions;
   let body =
-    P.Ext
-      ( choice_over quiet (fun _ -> P.Call ("R03", [])),
+    P.ext
+      ( choice_over quiet (fun _ -> P.call ("R03", [])),
         choice_over valid_deliveries (fun e ->
             match e.Csp.Event.args with
             | [ _; V.Ctor ("reqApp", [ V.Int w; _ ]) ] ->
-              P.Call (Printf.sprintf "R03WAIT%d" w, [])
+              P.call (Printf.sprintf "R03WAIT%d" w, [])
             | _ -> assert false) )
   in
   Csp.Defs.define_proc defs "R03" [] body;
-  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R03", []))
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec:(P.call ("R03", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R04: installation is followed by the update report                  *)
 (* ------------------------------------------------------------------ *)
 
-let r04 ?max_states (s : Scenario.t) =
+let r04 ?interner ?max_states (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let quiet = List.filter (fun e -> not (is_installed e)) all in
@@ -212,58 +212,58 @@ let r04 ?max_states (s : Scenario.t) =
           all
       in
       Csp.Defs.define_proc defs (Printf.sprintf "R04WAIT%d" w) []
-        (P.Ext
+        (P.ext
            ( P.send report.Csp.Event.chan report.Csp.Event.args
-               (P.Call ("R04", [])),
+               (P.call ("R04", [])),
              choice_over waiting (fun _ ->
-                 P.Call (Printf.sprintf "R04WAIT%d" w, [])) )))
+                 P.call (Printf.sprintf "R04WAIT%d" w, [])) )))
     versions;
   let body =
-    P.Ext
-      ( choice_over quiet (fun _ -> P.Call ("R04", [])),
+    P.ext
+      ( choice_over quiet (fun _ -> P.call ("R04", [])),
         choice_over (List.map ev_installed versions) (fun e ->
             match e.Csp.Event.args with
-            | [ V.Int w ] -> P.Call (Printf.sprintf "R04WAIT%d" w, [])
+            | [ V.Int w ] -> P.call (Printf.sprintf "R04WAIT%d" w, [])
             | _ -> assert false) )
   in
   Csp.Defs.define_proc defs "R04" [] body;
-  Csp.Refine.traces_refines ?max_states defs ~spec:(P.Call ("R04", []))
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec:(P.call ("R04", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R05: update authenticity under the shared-key assumption            *)
 (* ------------------------------------------------------------------ *)
 
-let r05 ?max_states (s : Scenario.t) ~version =
+let r05 ?interner ?max_states (s : Scenario.t) ~version =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let spec =
     Security.Properties.precedes defs ~alphabet:s.Scenario.alphabet
       ~trigger:(ev_vmg_req_app version) ~guarded:(ev_installed version)
   in
-  Csp.Refine.traces_refines ?max_states defs ~spec ~impl:s.Scenario.system
+  Csp.Refine.traces_refines ?interner ?max_states defs ~spec ~impl:s.Scenario.system
 
-let run_all ?max_states s =
+let run_all ?interner ?max_states s =
   let checks =
     [
       ( "R01",
         "VMG starts the update process with a software inventory request",
-        r01 ?max_states s );
+        r01 ?interner ?max_states s );
       ( "R02",
         "every inventory request is answered with a software list (SP02)",
-        r02 ?max_states s );
+        r02 ?interner ?max_states s );
       ( "R03",
         "a validly MAC'd apply-update message is applied by the ECU",
-        r03 ?max_states s );
+        r03 ?interner ?max_states s );
       ( "R04",
         "completed installations are reported with an update result",
-        r04 ?max_states s );
+        r04 ?interner ?max_states s );
     ]
     @ List.map
         (fun w ->
           ( Printf.sprintf "R05v%d" w,
             Printf.sprintf
               "version %d is installed only on a shared-key request" w,
-            r05 ?max_states s ~version:w ))
+            r05 ?interner ?max_states s ~version:w ))
         versions
   in
   List.map

@@ -21,15 +21,15 @@ let make_lossy ?(check_macs = true) () =
   let config = Messages.intruder_config () in
   let medium_name = Security.Intruder.lossy_medium defs config in
   let agents =
-    Csp.Proc.Inter
-      ( Csp.Proc.Call ("VMG_RETRY", [ Csp.Expr.int 1; Csp.Expr.int retries ]),
-        Csp.Proc.Call ("ECU", [ Csp.Expr.int 0; Csp.Expr.bool check_macs ]) )
+    Csp.Proc.inter
+      ( Csp.Proc.call ("VMG_RETRY", [ Csp.Expr.int 1; Csp.Expr.int retries ]),
+        Csp.Proc.call ("ECU", [ Csp.Expr.int 0; Csp.Expr.bool check_macs ]) )
   in
   (* The VMG's timer synchronizes with the medium's loss signal, so
      [timeout] joins the usual send/recv interface. *)
   let interface = Csp.Eventset.chans [ "send"; "recv"; "timeout" ] in
   let system =
-    Csp.Proc.Par (agents, interface, Csp.Proc.Call (medium_name, []))
+    Csp.Proc.par (agents, interface, Csp.Proc.call (medium_name, []))
   in
   {
     defs;
@@ -59,9 +59,9 @@ let make ?(check_macs = true) ?(medium = Reliable) () =
   let medium_proc =
     match medium with
     | Reliable | Lossy ->
-      Csp.Proc.Call (Security.Intruder.reliable_medium defs config, [])
+      Csp.Proc.call (Security.Intruder.reliable_medium defs config, [])
     | Intruder | Intruder_with_shared_key ->
-      Csp.Proc.Call (Security.Intruder.define defs config, [])
+      Csp.Proc.call (Security.Intruder.define defs config, [])
   in
   let agents = Agents.agents_with ~check_macs ~target:1 ~initial:0 in
   let system = Security.Intruder.compose agents ~medium:medium_proc config in
@@ -80,15 +80,15 @@ let make_extended () =
   Agents.define_server defs;
   let config = Messages.intruder_config () in
   let medium_proc =
-    Csp.Proc.Call (Security.Intruder.reliable_medium defs config, [])
+    Csp.Proc.call (Security.Intruder.reliable_medium defs config, [])
   in
   let agents =
-    Csp.Proc.Inter
-      ( Csp.Proc.Inter
-          ( Csp.Proc.Call ("VMG_EXT", []),
-            Csp.Proc.Call
+    Csp.Proc.inter
+      ( Csp.Proc.inter
+          ( Csp.Proc.call ("VMG_EXT", []),
+            Csp.Proc.call
               ("ECU", [ Csp.Expr.int 0; Csp.Expr.bool true ]) ),
-        Csp.Proc.Call ("SERVER", [ Csp.Expr.int 1 ]) )
+        Csp.Proc.call ("SERVER", [ Csp.Expr.int 1 ]) )
   in
   let system = Security.Intruder.compose agents ~medium:medium_proc config in
   {

@@ -41,30 +41,30 @@ let rec sequences t =
 let rec to_proc t =
   match t with
   | Action a ->
-    Csp.Proc.Prefix
+    Csp.Proc.prefix_items
       ( a.Csp.Event.chan,
         List.map (fun v -> Csp.Proc.Out (Csp.Expr.Lit v)) a.Csp.Event.args,
-        Csp.Proc.Skip )
+        Csp.Proc.skip )
   | Seq parts ->
     (match parts with
-     | [] -> Csp.Proc.Skip
+     | [] -> Csp.Proc.skip
      | first :: rest ->
        List.fold_left
-         (fun acc p -> Csp.Proc.Seq (acc, to_proc p))
+         (fun acc p -> Csp.Proc.seq (acc, to_proc p))
          (to_proc first) rest)
   | Par parts ->
     (match parts with
-     | [] -> Csp.Proc.Skip
+     | [] -> Csp.Proc.skip
      | first :: rest ->
        List.fold_left
-         (fun acc p -> Csp.Proc.Inter (acc, to_proc p))
+         (fun acc p -> Csp.Proc.inter (acc, to_proc p))
          (to_proc first) rest)
   | Or parts ->
     (match parts with
-     | [] -> Csp.Proc.Stop
+     | [] -> Csp.Proc.stop
      | first :: rest ->
        List.fold_left
-         (fun acc p -> Csp.Proc.Ext (acc, to_proc p))
+         (fun acc p -> Csp.Proc.ext (acc, to_proc p))
          (to_proc first) rest)
 
 let events t =

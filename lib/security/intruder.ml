@@ -43,29 +43,29 @@ let define ?(name = "INTRUDER") defs config =
        [] known & recv?dst!p -> CELL(p, known) *)
   let cell = cell_name name in
   let body =
-    P.Ext
-      ( P.Prefix
+    P.ext
+      ( P.prefix_items
           ( config.send_chan,
             [ P.In ("src", None); P.In ("dst", None); P.Out (E.Var "p") ],
-            P.Call (cell, [ E.Var "p"; E.bool true ]) ),
-        P.Guard
+            P.call (cell, [ E.Var "p"; E.bool true ]) ),
+        P.guard
           ( E.Var "known",
-            P.Prefix
+            P.prefix_items
               ( config.recv_chan,
                 [ P.In ("dst", None); P.Out (E.Var "p") ],
-                P.Call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
+                P.call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
   in
   Csp.Defs.define_proc defs cell [ "p"; "known" ] body;
   let intruder =
     match packets with
-    | [] -> P.Stop
+    | [] -> P.stop
     | first :: rest ->
       let cell_for p =
         let known = List.exists (Csp.Value.equal p) forgeable_now in
-        P.Call (cell, [ E.Lit p; E.bool known ])
+        P.call (cell, [ E.Lit p; E.bool known ])
       in
       List.fold_left
-        (fun acc p -> P.Inter (acc, cell_for p))
+        (fun acc p -> P.inter (acc, cell_for p))
         (cell_for first) rest
   in
   Csp.Defs.define_proc defs name [] intruder;
@@ -118,7 +118,7 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
       [] universe
   in
   let continue_with learned =
-    P.Call
+    P.call
       ( forge_name,
         List.map
           (fun param ->
@@ -126,7 +126,7 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
           params )
   in
   let hear_branch (learned, packets) =
-    P.Prefix
+    P.prefix_items
       ( config.send_chan,
         [
           P.In ("src", None);
@@ -160,9 +160,9 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
           (E.bool true) needed
       in
       Some
-        (P.Guard
+        (P.guard
            ( guard,
-             P.Prefix
+             P.prefix_items
                ( config.recv_chan,
                  [ P.In ("dst", None); P.Out (E.Lit p) ],
                  continue_with [] ) ))
@@ -174,25 +174,25 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
   in
   let body =
     match branches with
-    | [] -> P.Stop
-    | first :: rest -> List.fold_left (fun a b -> P.Ext (a, b)) first rest
+    | [] -> P.stop
+    | first :: rest -> List.fold_left (fun a b -> P.ext (a, b)) first rest
   in
   Csp.Defs.define_proc defs forge_name params body;
   (* Replay cells synchronized with the forger on overhearing. *)
   let cells_name = name ^ "_CELLS" in
   let cell = cell_name name in
   let cell_body =
-    P.Ext
-      ( P.Prefix
+    P.ext
+      ( P.prefix_items
           ( config.send_chan,
             [ P.In ("src", None); P.In ("dst", None); P.Out (E.Var "p") ],
-            P.Call (cell, [ E.Var "p"; E.bool true ]) ),
-        P.Guard
+            P.call (cell, [ E.Var "p"; E.bool true ]) ),
+        P.guard
           ( E.Var "known",
-            P.Prefix
+            P.prefix_items
               ( config.recv_chan,
                 [ P.In ("dst", None); P.Out (E.Var "p") ],
-                P.Call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
+                P.call (cell, [ E.Var "p"; E.Var "known" ]) ) ) )
   in
   Csp.Defs.define_proc defs cell [ "p"; "known" ] cell_body;
   let forgeable_now =
@@ -200,22 +200,22 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
   in
   let cells =
     match universe with
-    | [] -> P.Stop
+    | [] -> P.stop
     | first :: rest ->
       let cell_for p =
         let known = List.exists (Csp.Value.equal p) forgeable_now in
-        P.Call (cell, [ E.Lit p; E.bool known ])
+        P.call (cell, [ E.Lit p; E.bool known ])
       in
       List.fold_left
-        (fun acc p -> P.Inter (acc, cell_for p))
+        (fun acc p -> P.inter (acc, cell_for p))
         (cell_for first) rest
   in
   Csp.Defs.define_proc defs cells_name [] cells;
   let spy =
-    P.Par
-      ( P.Call (cells_name, []),
+    P.par
+      ( P.call (cells_name, []),
         Csp.Eventset.chan config.send_chan,
-        P.Call (forge_name, List.map (fun _ -> E.bool false) params) )
+        P.call (forge_name, List.map (fun _ -> E.bool false) params) )
   in
   Csp.Defs.define_proc defs name [] spy;
   name
@@ -224,13 +224,13 @@ let reliable_medium ?(name = "MEDIUM") defs config =
   (* sanity-check the channels *)
   let _ = payload_type defs config in
   let body =
-    P.Prefix
+    P.prefix_items
       ( config.send_chan,
         [ P.In ("src", None); P.In ("dst", None); P.In ("p", None) ],
-        P.Prefix
+        P.prefix_items
           ( config.recv_chan,
             [ P.Out (E.Var "dst"); P.Out (E.Var "p") ],
-            P.Call (name, []) ) )
+            P.call (name, []) ) )
   in
   Csp.Defs.define_proc defs name [] body;
   name
@@ -242,19 +242,19 @@ let lossy_medium ?(name = "LOSSY") ?(timeout_chan = "timeout") defs config =
      and losing the packet; the loss is signalled on [timeout_chan] so
      that sender-side timers can synchronize with it. *)
   let body =
-    P.Prefix
+    P.prefix_items
       ( config.send_chan,
         [ P.In ("src", None); P.In ("dst", None); P.In ("p", None) ],
-        P.Int
-          ( P.Prefix
+        P.intc
+          ( P.prefix_items
               ( config.recv_chan,
                 [ P.Out (E.Var "dst"); P.Out (E.Var "p") ],
-                P.Call (name, []) ),
-            P.Prefix (timeout_chan, [], P.Call (name, [])) ) )
+                P.call (name, []) ),
+            P.prefix_items (timeout_chan, [], P.call (name, [])) ) )
   in
   Csp.Defs.define_proc defs name [] body;
   name
 
 let alphabet config = Csp.Eventset.chans [ config.send_chan; config.recv_chan ]
 
-let compose agents ~medium config = P.Par (agents, alphabet config, medium)
+let compose agents ~medium config = P.par (agents, alphabet config, medium)

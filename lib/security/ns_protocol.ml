@@ -65,7 +65,7 @@ let build ~fixed =
             e_aenc (e_pk (E.Var "peer"))
               (E.Ctor ("msg1", [ E.Var "na"; E.Var "self" ]));
           ]
-          (P.Ext_over
+          (P.ext_over
              ( "nb",
                nonces,
                P.prefix "recv"
@@ -77,7 +77,7 @@ let build ~fixed =
                       e_aenc (e_pk (E.Var "peer"))
                         (E.Ctor ("msg3", [ E.Var "nb" ]));
                     ]
-                    P.Skip) ))));
+                    P.skip) ))));
   (* RESPONDER(self, nb) *)
   let msg2_reply =
     if fixed then
@@ -85,10 +85,10 @@ let build ~fixed =
     else E.Ctor ("msg2", [ E.Var "n"; E.Var "nb" ])
   in
   Csp.Defs.define_proc defs "RESPONDER" [ "self"; "nb" ]
-    (P.Ext_over
+    (P.ext_over
        ( "n",
          nonces,
-         P.Ext_over
+         P.ext_over
            ( "x",
              E.Ty_dom (Csp.Ty.Named "AgentId"),
              P.prefix "recv"
@@ -108,20 +108,20 @@ let build ~fixed =
                        e_aenc (e_pk (E.Var "self"))
                          (E.Ctor ("msg3", [ E.Var "nb" ]));
                      ]
-                     (P.prefix "commit" [ E.Var "self"; E.Var "x" ] P.Skip)))
+                     (P.prefix "commit" [ E.Var "self"; E.Var "x" ] P.skip)))
            ) ));
   (* A initiates with either the honest B or the (compromised) agent I —
      running a session with a dishonest party is not itself a flaw. *)
   let initiator_any =
-    P.Ext_over
+    P.ext_over
       ( "peerchoice",
         E.Set [ E.Lit agent_b; E.Lit agent_i ],
-        P.Call
+        P.call
           ( "INITIATOR",
             [ E.Lit agent_a; E.Var "peerchoice"; E.Lit (V.Ctor ("nonce", [ V.Int 0 ])) ] ) )
   in
-  let responder = P.Call ("RESPONDER", [ E.Lit agent_b; E.Lit (V.Ctor ("nonce", [ V.Int 1 ])) ]) in
-  let agents = P.Inter (initiator_any, responder) in
+  let responder = P.call ("RESPONDER", [ E.Lit agent_b; E.Lit (V.Ctor ("nonce", [ V.Int 1 ])) ]) in
+  let agents = P.inter (initiator_any, responder) in
   (* The lazy spy: owns i's private key and a nonce of its own; learns the
      honest nonces only by opening packets encrypted to pk(i). *)
   let config =
@@ -132,7 +132,7 @@ let build ~fixed =
     }
   in
   let spy = Intruder.define_spy defs config in
-  let system = Intruder.compose agents ~medium:(P.Call (spy, [])) config in
+  let system = Intruder.compose agents ~medium:(P.call (spy, [])) config in
   defs, system
 
 let authentication_spec defs =
@@ -141,7 +141,8 @@ let authentication_spec defs =
     ~trigger:(Csp.Event.event "running" [ agent_a; agent_b ])
     ~guarded:(Csp.Event.event "commit" [ agent_b; agent_a ])
 
-let check ?(max_states = 2_000_000) ?deadline ~fixed () =
+let check ?interner ?(max_states = 2_000_000) ?deadline ~fixed () =
   let defs, system = build ~fixed in
   let spec = authentication_spec defs in
-  Csp.Refine.traces_refines ~max_states ?deadline defs ~spec ~impl:system
+  Csp.Refine.traces_refines ?interner ~max_states ?deadline defs ~spec
+    ~impl:system

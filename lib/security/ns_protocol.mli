@@ -21,6 +21,7 @@ val authentication_spec : Csp.Defs.t -> Csp.Proc.t
     with B" as a trace specification. *)
 
 val check :
+  ?interner:Csp.Search.interner ->
   ?max_states:int -> ?deadline:float -> fixed:bool -> unit -> Csp.Refine.result
 (** Build and check authentication (default [max_states] = [2_000_000]).
     [deadline] (seconds) makes the check budgeted: exhausting it returns

@@ -16,16 +16,16 @@ let request_response ?(name = "SP02") defs ~req ~resp =
   let arity = List.length (Option.get req_tys) in
   let vars = List.init arity (fun i -> Printf.sprintf "x%d" i) in
   let body =
-    P.Prefix
+    P.prefix_items
       ( req,
         List.map (fun x -> P.In (x, None)) vars,
-        P.Prefix
+        P.prefix_items
           ( resp,
             List.map (fun x -> P.Out (E.Var x)) vars,
-            P.Call (name, []) ) )
+            P.call (name, []) ) )
   in
   Csp.Defs.define_proc defs name [] body;
-  P.Call (name, [])
+  P.call (name, [])
 
 let alternation ?(name = "ALTERNATION") defs ~first ~second =
   let arity chan =
@@ -38,16 +38,16 @@ let alternation ?(name = "ALTERNATION") defs ~first ~second =
         P.In (Printf.sprintf "%s%d" prefix i, None))
   in
   let body =
-    P.Prefix
+    P.prefix_items
       ( first,
         inputs first "a",
-        P.Prefix (second, inputs second "b", P.Call (name, [])) )
+        P.prefix_items (second, inputs second "b", P.call (name, [])) )
   in
   Csp.Defs.define_proc defs name [] body;
-  P.Call (name, [])
+  P.call (name, [])
 
 let never _defs ~alphabet ~forbidden =
-  P.Run (Csp.Eventset.diff alphabet forbidden)
+  P.run (Csp.Eventset.diff alphabet forbidden)
 
 let precedes ?(name = "PRECEDES") defs ~alphabet ~trigger ~guarded =
   let events = Csp.Defs.events_of defs alphabet in
@@ -57,14 +57,14 @@ let precedes ?(name = "PRECEDES") defs ~alphabet ~trigger ~guarded =
       (fun e ->
         if Csp.Event.equal e guarded then None
         else if Csp.Event.equal e trigger then
-          Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.Run alphabet))
-        else Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.Call (name, []))))
+          Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.run alphabet))
+        else Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.call (name, []))))
       events
   in
   let body =
     match before with
-    | [] -> P.Stop
-    | first :: rest -> List.fold_left (fun acc b -> P.Ext (acc, b)) first rest
+    | [] -> P.stop
+    | first :: rest -> List.fold_left (fun acc b -> P.ext (acc, b)) first rest
   in
   Csp.Defs.define_proc defs name [] body;
-  P.Call (name, [])
+  P.call (name, [])

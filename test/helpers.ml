@@ -38,10 +38,10 @@ let gen_proc : Proc.t QCheck.Gen.t =
   let leaf =
     oneof
       [
-        return Proc.Stop;
-        return Proc.Skip;
+        return Proc.stop;
+        return Proc.skip;
         map
-          (fun (chan, hi) -> send chan hi Proc.Stop)
+          (fun (chan, hi) -> send chan hi Proc.stop)
           chan_gen;
       ]
   in
@@ -68,17 +68,17 @@ let gen_proc : Proc.t QCheck.Gen.t =
               chan_gen (self (n - 1));
             2,
             map
-              (fun p -> Proc.Prefix ("a", [ Proc.In ("x", None) ], p))
+              (fun p -> Proc.prefix_items ("a", [ Proc.In ("x", None) ], p))
               (self (n - 1));
-            2, map2 (fun p q -> Proc.Ext (p, q)) (self (n / 2)) (self (n / 2));
-            2, map2 (fun p q -> Proc.Int (p, q)) (self (n / 2)) (self (n / 2));
-            2, map2 (fun p q -> Proc.Seq (p, q)) (self (n / 2)) (self (n / 2));
+            2, map2 (fun p q -> Proc.ext (p, q)) (self (n / 2)) (self (n / 2));
+            2, map2 (fun p q -> Proc.intc (p, q)) (self (n / 2)) (self (n / 2));
+            2, map2 (fun p q -> Proc.seq (p, q)) (self (n / 2)) (self (n / 2));
             2,
             map3
-              (fun p s q -> Proc.Par (p, s, q))
+              (fun p s q -> Proc.par (p, s, q))
               (self (n / 2)) set_gen (self (n / 2));
-            1, map2 (fun p q -> Proc.Inter (p, q)) (self (n / 2)) (self (n / 2));
-            1, map2 (fun p s -> Proc.Hide (p, s)) (self (n - 1)) set_gen;
+            1, map2 (fun p q -> Proc.inter (p, q)) (self (n / 2)) (self (n / 2));
+            1, map2 (fun p s -> Proc.hide (p, s)) (self (n - 1)) set_gen;
           ])
 
 (* Sizes are capped at 8 in [gen_proc]: trace-set computations are

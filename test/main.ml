@@ -33,4 +33,5 @@ let () =
       Test_fd.suite;
       Test_productions.suite;
       Test_misc.suite;
+      Test_hashcons.suite;
     ]

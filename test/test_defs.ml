@@ -10,7 +10,7 @@ let test_duplicates_rejected () =
   Defs.declare_channel defs "c" [ Ty.Bool ];
   Defs.declare_datatype defs "D" [ "x", [] ];
   Defs.declare_nametype defs "N" (Ty.Int_range (0, 1));
-  Defs.define_proc defs "P" [] Proc.Stop;
+  Defs.define_proc defs "P" [] Proc.stop;
   Defs.define_fun defs "f" [ "a" ] (Expr.var "a");
   let dup f = try f (); false with Defs.Duplicate _ -> true in
   check_bool "channel" true (dup (fun () -> Defs.declare_channel defs "c" []));
@@ -18,14 +18,14 @@ let test_duplicates_rejected () =
     (dup (fun () -> Defs.declare_nametype defs "D" Ty.Bool));
   check_bool "constructor clash" true
     (dup (fun () -> Defs.declare_datatype defs "E" [ "x", [] ]));
-  check_bool "process" true (dup (fun () -> Defs.define_proc defs "P" [] Proc.Skip));
+  check_bool "process" true (dup (fun () -> Defs.define_proc defs "P" [] Proc.skip));
   check_bool "function" true (dup (fun () -> Defs.define_fun defs "f" [] (Expr.int 0)))
 
 let test_copy_isolation () =
   let defs = Defs.create () in
   Defs.declare_channel defs "c" [ Ty.Bool ];
   let copy = Defs.copy defs in
-  Defs.define_proc copy "ONLY_IN_COPY" [] Proc.Stop;
+  Defs.define_proc copy "ONLY_IN_COPY" [] Proc.stop;
   check_bool "copy sees it" true (Option.is_some (Defs.proc copy "ONLY_IN_COPY"));
   check_bool "original does not" true
     (Option.is_none (Defs.proc defs "ONLY_IN_COPY"));

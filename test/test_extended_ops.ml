@@ -16,7 +16,7 @@ let mem traces tr =
   List.exists (fun t -> List.equal Event.equal_label t tr) traces
 
 let test_interrupt_semantics () =
-  let p = Proc.Interrupt (send "a" 0 (send "a" 1 Proc.Stop), send "b" 0 Proc.Skip) in
+  let p = Proc.interrupt (send "a" 0 (send "a" 1 Proc.stop), send "b" 0 Proc.skip) in
   let ts = traces_of p in
   check_bool "P runs normally" true (mem ts [ vis "a" 0; vis "a" 1 ]);
   check_bool "interrupt at the start" true (mem ts [ vis "b" 0; Event.Tick ]);
@@ -26,7 +26,7 @@ let test_interrupt_semantics () =
 
 let test_interrupt_tick () =
   (* P terminating ends the whole construct *)
-  match trans (Proc.Interrupt (Proc.Skip, send "b" 0 Proc.Stop)) with
+  match trans (Proc.interrupt (Proc.skip, send "b" 0 Proc.stop)) with
   | ts ->
     check_bool "tick available" true
       (List.exists (fun (l, _) -> l = Event.Tick) ts);
@@ -34,7 +34,7 @@ let test_interrupt_tick () =
       (List.exists (fun (l, _) -> l = vis "b" 0) ts)
 
 let test_timeout_semantics () =
-  let p = Proc.Timeout (send "a" 0 Proc.Stop, send "b" 0 Proc.Stop) in
+  let p = Proc.timeout (send "a" 0 Proc.stop, send "b" 0 Proc.stop) in
   let ts = traces_of p in
   check_bool "P may act" true (mem ts [ vis "a" 0 ]);
   check_bool "Q may take over" true (mem ts [ vis "b" 0 ]);
@@ -45,9 +45,9 @@ let test_timeout_semantics () =
 
 let test_timeout_is_not_external_choice () =
   (* in failures, P [> Q may refuse P's initial events; P [] Q may not *)
-  let p = send "a" 0 Proc.Stop and q = send "b" 0 Proc.Stop in
-  let slide = Proc.Timeout (p, q) in
-  let ext = Proc.Ext (p, q) in
+  let p = send "a" 0 Proc.stop and q = send "b" 0 Proc.stop in
+  let slide = Proc.timeout (p, q) in
+  let ext = Proc.ext (p, q) in
   check_bool "same traces" true
     (let t1 = traces_of slide and t2 = traces_of ext in
      Traces.subset t1 t2 && Traces.subset t2 t1);
@@ -60,11 +60,11 @@ let test_cspm_roundtrip_new_ops () =
   let src = "channel a : {0..2}\nchannel b : {0..2}\nP = (a!0 -> STOP) /\\ (b!0 -> STOP)\nQ = (a!0 -> STOP) [> (b!1 -> STOP)" in
   let loaded = Cspm.Elaborate.load_string src in
   let p = Option.get (Defs.proc loaded.Cspm.Elaborate.defs "P") in
-  (match snd p with
+  (match Proc.view (snd p) with
    | Proc.Interrupt (_, _) -> ()
    | _ -> Alcotest.fail "expected Interrupt");
   let q = Option.get (Defs.proc loaded.Cspm.Elaborate.defs "Q") in
-  (match snd q with
+  (match Proc.view (snd q) with
    | Proc.Timeout (_, _) -> ()
    | _ -> Alcotest.fail "expected Timeout");
   (* print and reload *)
@@ -74,10 +74,10 @@ let test_cspm_roundtrip_new_ops () =
     (Option.is_some (Defs.proc reloaded.Cspm.Elaborate.defs "P"))
 
 let test_deterministic_check () =
-  let det = Proc.Ext (send "a" 0 Proc.Stop, send "b" 0 Proc.Stop) in
+  let det = Proc.ext (send "a" 0 Proc.stop, send "b" 0 Proc.stop) in
   check_bool "external choice is deterministic" true
     (Refine.holds (Refine.deterministic defs det));
-  let nondet = Proc.Int (send "a" 0 Proc.Stop, send "a" 0 (send "b" 0 Proc.Stop)) in
+  let nondet = Proc.intc (send "a" 0 Proc.stop, send "a" 0 (send "b" 0 Proc.stop)) in
   check_bool "internal choice over a shared initial is not" false
     (Refine.holds (Refine.deterministic defs nondet));
   (* the classic: a -> STOP |~| a -> b -> STOP accepts and refuses b
@@ -102,7 +102,7 @@ let test_deterministic_assertion () =
    | _ -> Alcotest.fail "two outcomes expected")
 
 let test_to_dot () =
-  let lts = Lts.compile defs (send "a" 0 (Proc.Int (Proc.Stop, Proc.Skip))) in
+  let lts = Lts.compile defs (send "a" 0 (Proc.intc (Proc.stop, Proc.skip))) in
   let dot = Lts.to_dot lts in
   let has sub =
     let n = String.length sub in
@@ -131,15 +131,15 @@ let test_to_dot () =
 let interrupt_denotational =
   QCheck.Test.make ~count:100 ~name:"interrupt matches denotational traces"
     (QCheck.pair arb_proc arb_proc) (fun (p, q) ->
-      let direct = Traces.of_proc ~depth:3 defs (Proc.Interrupt (p, q)) in
-      let lts = Traces.of_lts ~depth:3 (Lts.compile defs (Proc.Interrupt (p, q))) in
+      let direct = Traces.of_proc ~depth:3 defs (Proc.interrupt (p, q)) in
+      let lts = Traces.of_lts ~depth:3 (Lts.compile defs (Proc.interrupt (p, q))) in
       Traces.subset direct lts && Traces.subset lts direct)
 
 let timeout_trace_law =
   QCheck.Test.make ~count:100 ~name:"P [> Q has the traces of P [] Q"
     (QCheck.pair arb_proc arb_proc) (fun (p, q) ->
-      let t1 = traces_of (Proc.Timeout (p, q)) in
-      let t2 = traces_of (Proc.Ext (p, q)) in
+      let t1 = traces_of (Proc.timeout (p, q)) in
+      let t2 = traces_of (Proc.ext (p, q)) in
       Traces.subset t1 t2 && Traces.subset t2 t1)
 
 let suite =

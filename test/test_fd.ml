@@ -10,8 +10,8 @@ let holds = Refine.holds
 
 (* a diverging process: internal chatter hidden forever *)
 let diverging defs =
-  Defs.define_proc defs "DIV" [] (send "a" 0 (Proc.Call ("DIV", [])));
-  Proc.Hide (Proc.Call ("DIV", []), Eventset.chan "a")
+  Defs.define_proc defs "DIV" [] (send "a" 0 (Proc.call ("DIV", [])));
+  Proc.hide (Proc.call ("DIV", []), Eventset.chan "a")
 
 let test_divergence_is_caught () =
   let defs = make_defs () in
@@ -19,21 +19,21 @@ let test_divergence_is_caught () =
   (* traces and failures are blind to the divergence: the hidden loop has
      only the empty trace and no stable state *)
   check_bool "traces blind" true
-    (holds (Refine.traces_refines defs ~spec:Proc.Stop ~impl:div));
+    (holds (Refine.traces_refines defs ~spec:Proc.stop ~impl:div));
   check_bool "failures blind" true
-    (holds (Refine.failures_refines defs ~spec:Proc.Stop ~impl:div));
-  (match Refine.fd_refines defs ~spec:Proc.Stop ~impl:div with
+    (holds (Refine.failures_refines defs ~spec:Proc.stop ~impl:div));
+  (match Refine.fd_refines defs ~spec:Proc.stop ~impl:div with
    | Refine.Fails { Refine.violation = Refine.Divergence; _ } -> ()
    | _ -> Alcotest.fail "FD must catch the divergence");
   (* a divergence-free implementation passes *)
   check_bool "STOP FD-refines STOP" true
-    (holds (Refine.fd_refines defs ~spec:Proc.Stop ~impl:Proc.Stop))
+    (holds (Refine.fd_refines defs ~spec:Proc.stop ~impl:Proc.stop))
 
 let test_divergent_spec_permits_anything () =
   let defs = make_defs () in
   let div_spec = diverging defs in
   (* below a divergent specification point, any behaviour is allowed *)
-  let wild = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Skip) in
+  let wild = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.skip) in
   check_bool "divergent spec refined by anything" true
     (holds (Refine.fd_refines defs ~spec:div_spec ~impl:wild));
   check_bool "even by another divergence" true
@@ -41,16 +41,16 @@ let test_divergent_spec_permits_anything () =
 
 let test_fd_includes_failures () =
   (* the classic failures counterexample is also an FD counterexample *)
-  let ext = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
-  let int_ = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let ext = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
+  let int_ = Proc.intc (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   check_bool "refusal caught in FD" false
     (holds (Refine.fd_refines defs ~spec:ext ~impl:int_));
   check_bool "and the converse holds" true
     (holds (Refine.fd_refines defs ~spec:int_ ~impl:ext))
 
 let test_fd_trace_violations () =
-  let spec = send "a" 0 Proc.Stop in
-  let impl = send "a" 0 (send "b" 1 Proc.Stop) in
+  let spec = send "a" 0 Proc.stop in
+  let impl = send "a" 0 (send "b" 1 Proc.stop) in
   match Refine.fd_refines defs ~spec ~impl with
   | Refine.Fails { Refine.violation = Refine.Trace_violation _; trace; _ } ->
     Alcotest.(check int) "minimal trace" 2 (List.length trace)

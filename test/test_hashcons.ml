@@ -1,0 +1,176 @@
+(* Hash-consing invariants, and the structural-equality oracle: the
+   id-based interner must be observationally identical to a deep
+   structural-equality build of every stock check. *)
+
+open Csp
+module AT = Security.Attack_tree
+
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: equal/hash agree with structural equality                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A deep copy through the smart constructors: by the hash-consing
+   invariant the copy must come back physically equal. *)
+let rec rebuild p =
+  match Proc.view p with
+  | Proc.Stop -> Proc.stop
+  | Proc.Skip -> Proc.skip
+  | Proc.Omega -> Proc.omega
+  | Proc.Prefix (c, items, k) -> Proc.prefix_items (c, items, rebuild k)
+  | Proc.Ext (a, b) -> Proc.ext (rebuild a, rebuild b)
+  | Proc.Int (a, b) -> Proc.intc (rebuild a, rebuild b)
+  | Proc.Seq (a, b) -> Proc.seq (rebuild a, rebuild b)
+  | Proc.Par (a, s, b) -> Proc.par (rebuild a, s, rebuild b)
+  | Proc.APar (a, sa, sb, b) -> Proc.apar (rebuild a, sa, sb, rebuild b)
+  | Proc.Inter (a, b) -> Proc.inter (rebuild a, rebuild b)
+  | Proc.Interrupt (a, b) -> Proc.interrupt (rebuild a, rebuild b)
+  | Proc.Timeout (a, b) -> Proc.timeout (rebuild a, rebuild b)
+  | Proc.Hide (a, s) -> Proc.hide (rebuild a, s)
+  | Proc.Rename (a, m) -> Proc.rename (rebuild a, m)
+  | Proc.If (c, a, b) -> Proc.ite (c, rebuild a, rebuild b)
+  | Proc.Guard (c, a) -> Proc.guard (c, rebuild a)
+  | Proc.Call (n, args) -> Proc.call (n, args)
+  | Proc.Ext_over (x, s, a) -> Proc.ext_over (x, s, rebuild a)
+  | Proc.Int_over (x, s, a) -> Proc.int_over (x, s, rebuild a)
+  | Proc.Inter_over (x, s, a) -> Proc.inter_over (x, s, rebuild a)
+  | Proc.Run s -> Proc.run s
+  | Proc.Chaos s -> Proc.chaos s
+
+let equal_is_structural =
+  QCheck.Test.make ~count:500
+    ~name:"Proc.equal and Proc.compare agree with structural equality"
+    (QCheck.pair Helpers.arb_proc Helpers.arb_proc)
+    (fun (p, q) ->
+      Proc.equal p q = Proc.structural_equal p q
+      && Proc.compare p q = 0 = Proc.equal p q)
+
+let rebuild_interns_to_same_node =
+  QCheck.Test.make ~count:500
+    ~name:"a deep rebuild is physically the same term, with the same hash"
+    Helpers.arb_proc (fun p ->
+      let q = rebuild p in
+      p == q && Proc.hash p = Proc.hash q && Proc.id p = Proc.id q
+      && Proc.structural_hash p = Proc.structural_hash q)
+
+let noop_subst_is_identity =
+  QCheck.Test.make ~count:500
+    ~name:"a substitution that binds nothing preserves identity"
+    Helpers.arb_proc (fun p -> Proc.subst (fun _ -> None) p == p)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: `Id vs `Structural interning, byte-identical verdicts       *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical rendering of a result, excluding the timing fields (wall_s,
+   states_per_sec) that legitimately vary between runs. Everything else —
+   verdict, counterexample trace, violating state, structural stats,
+   resume hints — must match byte for byte. *)
+let render result =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match result with
+   | Refine.Holds s ->
+     Format.fprintf ppf "Holds impl=%d spec=%d pairs=%d" s.Refine.impl_states
+       s.Refine.spec_nodes s.Refine.pairs
+   | Refine.Fails cex -> Format.fprintf ppf "Fails %a" Refine.pp_counterexample cex
+   | Refine.Inconclusive (s, hint) ->
+     Format.fprintf ppf "Inconclusive impl=%d spec=%d pairs=%d %a"
+       s.Refine.impl_states s.Refine.spec_nodes s.Refine.pairs
+       Refine.pp_resume_hint hint);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let agree name runs =
+  List.iter
+    (fun (label, run) ->
+      check_string
+        (Printf.sprintf "%s/%s: id and structural verdicts identical" name label)
+        (render (run `Structural))
+        (render (run `Id)))
+    runs
+
+let test_requirements_oracle () =
+  let s = Ota.Scenario.make () in
+  agree "requirements"
+    [
+      "R01", (fun interner -> Ota.Requirements.r01 ~interner s);
+      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
+      "SP02-delivered", (fun interner -> Ota.Requirements.r02_delivered ~interner s);
+      "SP02-liveness", (fun interner -> Ota.Requirements.r02_liveness ~interner s);
+      "R03", (fun interner -> Ota.Requirements.r03 ~interner s);
+      "R04", (fun interner -> Ota.Requirements.r04 ~interner s);
+      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
+    ]
+
+let test_requirements_oracle_intruder () =
+  (* the intruder scenario makes R05 fail — the Fails side of the suite *)
+  let s = Ota.Scenario.make ~check_macs:false ~medium:Ota.Scenario.Intruder () in
+  agree "requirements-intruder"
+    [
+      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
+      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
+    ]
+
+let test_ns_oracle () =
+  agree "needham-schroeder"
+    [
+      (* the broken protocol fails quickly with Lowe's attack trace *)
+      "broken", (fun interner -> Security.Ns_protocol.check ~interner ~fixed:false ());
+      (* a pair-budgeted run of the fixed protocol: Inconclusive, but the
+         explored prefix and resume hint must still be identical *)
+      ( "fixed-budgeted",
+        fun interner ->
+          let defs, system = Security.Ns_protocol.build ~fixed:true in
+          let spec = Security.Ns_protocol.authentication_spec defs in
+          Refine.check ~interner ~max_pairs:500 defs ~spec ~impl:system );
+    ]
+
+let test_attack_tree_oracle () =
+  let tree =
+    AT.or_node
+      [
+        AT.ordered_and [ AT.action "capture" []; AT.action "inject" [] ];
+        AT.ordered_and [ AT.action "steal_key" []; AT.action "forge" [] ];
+      ]
+  in
+  let make_defs () =
+    let defs = Defs.create () in
+    List.iter (fun c -> Defs.declare_channel defs c []) (AT.channels tree);
+    defs
+  in
+  let proc = AT.to_proc tree in
+  (* the replay branch alone is a trace refinement of the full tree; the
+     full tree is not a refinement of the replay branch *)
+  let replay_only =
+    AT.to_proc (AT.ordered_and [ AT.action "capture" []; AT.action "inject" [] ])
+  in
+  agree "attack-tree"
+    [
+      ( "replay-refines-tree",
+        fun interner ->
+          Refine.traces_refines ~interner (make_defs ()) ~spec:proc
+            ~impl:replay_only );
+      ( "tree-exceeds-replay",
+        fun interner ->
+          Refine.traces_refines ~interner (make_defs ()) ~spec:replay_only
+            ~impl:proc );
+      ( "self-failures",
+        fun interner ->
+          Refine.failures_refines ~interner (make_defs ()) ~spec:proc ~impl:proc );
+    ]
+
+let suite =
+  ( "hashcons",
+    [
+      QCheck_alcotest.to_alcotest equal_is_structural;
+      QCheck_alcotest.to_alcotest rebuild_interns_to_same_node;
+      QCheck_alcotest.to_alcotest noop_subst_is_identity;
+      Alcotest.test_case "oracle: secure-update requirements" `Quick
+        test_requirements_oracle;
+      Alcotest.test_case "oracle: intruder scenario" `Quick
+        test_requirements_oracle_intruder;
+      Alcotest.test_case "oracle: Needham-Schroeder" `Quick test_ns_oracle;
+      Alcotest.test_case "oracle: attack trees" `Quick test_attack_tree_oracle;
+    ] )

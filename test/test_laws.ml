@@ -22,74 +22,74 @@ let suite =
   ( "laws",
     [
       law "P [] P = P (idempotence)" arb_proc (fun p ->
-          trace_equal (Proc.Ext (p, p)) p);
+          trace_equal (Proc.ext (p, p)) p);
       law "P [] Q = Q [] P (commutativity)" pair2 (fun (p, q) ->
-          trace_equal (Proc.Ext (p, q)) (Proc.Ext (q, p)));
+          trace_equal (Proc.ext (p, q)) (Proc.ext (q, p)));
       law "(P [] Q) [] R = P [] (Q [] R) (associativity)" triple3
         (fun (p, q, r) ->
           trace_equal
-            (Proc.Ext (Proc.Ext (p, q), r))
-            (Proc.Ext (p, Proc.Ext (q, r))));
+            (Proc.ext (Proc.ext (p, q), r))
+            (Proc.ext (p, Proc.ext (q, r))));
       law "P [] STOP = P (unit)" arb_proc (fun p ->
-          trace_equal (Proc.Ext (p, Proc.Stop)) p);
+          trace_equal (Proc.ext (p, Proc.stop)) p);
       law "P |~| Q =T P [] Q (choice agrees in traces)" pair2 (fun (p, q) ->
-          trace_equal (Proc.Int (p, q)) (Proc.Ext (p, q)));
+          trace_equal (Proc.intc (p, q)) (Proc.ext (p, q)));
       law "P ||| Q = Q ||| P (commutativity)" pair2 (fun (p, q) ->
-          trace_equal (Proc.Inter (p, q)) (Proc.Inter (q, p)));
+          trace_equal (Proc.inter (p, q)) (Proc.inter (q, p)));
       law "P ||| SKIP = P" arb_proc (fun p ->
-          trace_equal (Proc.Inter (p, Proc.Skip)) p);
+          trace_equal (Proc.inter (p, Proc.skip)) p);
       law "P [|A|] Q = Q [|A|] P (commutativity)"
         (QCheck.triple arb_proc arb_proc (QCheck.oneofl [ "a"; "b"; "c" ]))
         (fun (p, q, c) ->
           let s = Eventset.chan c in
-          trace_equal (Proc.Par (p, s, q)) (Proc.Par (q, s, p)));
+          trace_equal (Proc.par (p, s, q)) (Proc.par (q, s, p)));
       law "P [|{}|] Q = P ||| Q (empty interface)" pair2 (fun (p, q) ->
-          trace_equal (Proc.Par (p, Eventset.empty, q)) (Proc.Inter (p, q)));
+          trace_equal (Proc.par (p, Eventset.empty, q)) (Proc.inter (p, q)));
       law "SKIP; P = P (left unit of sequencing)" arb_proc (fun p ->
-          trace_equal (Proc.Seq (Proc.Skip, p)) p);
+          trace_equal (Proc.seq (Proc.skip, p)) p);
       law "STOP; P = STOP (left zero of sequencing)" arb_proc (fun p ->
-          trace_equal (Proc.Seq (Proc.Stop, p)) Proc.Stop);
+          trace_equal (Proc.seq (Proc.stop, p)) Proc.stop);
       law "(P; Q); R = P; (Q; R) (associativity of sequencing)" triple3
         (fun (p, q, r) ->
           trace_equal
-            (Proc.Seq (Proc.Seq (p, q), r))
-            (Proc.Seq (p, Proc.Seq (q, r))));
+            (Proc.seq (Proc.seq (p, q), r))
+            (Proc.seq (p, Proc.seq (q, r))));
       law "P \\ {} = P (hiding nothing)" arb_proc (fun p ->
-          trace_equal (Proc.Hide (p, Eventset.empty)) p);
+          trace_equal (Proc.hide (p, Eventset.empty)) p);
       law "(P \\ A) \\ A = P \\ A (hiding idempotent)"
         (QCheck.pair arb_proc (QCheck.oneofl [ "a"; "b" ]))
         (fun (p, c) ->
           let s = Eventset.chan c in
-          trace_equal (Proc.Hide (Proc.Hide (p, s), s)) (Proc.Hide (p, s)));
+          trace_equal (Proc.hide (Proc.hide (p, s), s)) (Proc.hide (p, s)));
       law "(P \\ A) \\ B = (P \\ B) \\ A (hiding commutes)" arb_proc
         (fun p ->
           let a = Eventset.chan "a" and b = Eventset.chan "b" in
           trace_equal
-            (Proc.Hide (Proc.Hide (p, a), b))
-            (Proc.Hide (Proc.Hide (p, b), a)));
+            (Proc.hide (Proc.hide (p, a), b))
+            (Proc.hide (Proc.hide (p, b), a)));
       law "distribution: (P [] Q) \\ A refines P \\ A in traces" pair2
         (fun (p, q) ->
           let a = Eventset.chan "a" in
-          let lhs = Proc.Hide (Proc.Ext (p, q), a) in
-          let rhs = Proc.Hide (p, a) in
+          let lhs = Proc.hide (Proc.ext (p, q), a) in
+          let rhs = Proc.hide (p, a) in
           Traces.subset (traces_of rhs) (traces_of lhs));
       law "renaming then inverse renaming over fresh channel" arb_proc
         (fun p ->
           (* a -> done_' is not invertible in general (done_ is nullary),
              so use the b channel which shares a's type *)
           trace_equal
-            (Proc.Rename (Proc.Rename (p, [ "a", "b" ]), [ "b", "a" ]))
-            (Proc.Rename (p, [ "b", "a" ])));
+            (Proc.rename (Proc.rename (p, [ "a", "b" ]), [ "b", "a" ]))
+            (Proc.rename (p, [ "b", "a" ])));
       law "guard true is identity" arb_proc (fun p ->
-          trace_equal (Proc.Guard (Expr.bool true, p)) p);
+          trace_equal (Proc.guard (Expr.bool true, p)) p);
       law "guard false is STOP" arb_proc (fun p ->
-          trace_equal (Proc.Guard (Expr.bool false, p)) Proc.Stop);
+          trace_equal (Proc.guard (Expr.bool false, p)) Proc.stop);
       law "monotonicity of [] w.r.t. trace refinement" triple3
         (fun (p, q, r) ->
           (* if traces(q) ⊆ traces(p) then traces(q [] r) ⊆ traces(p [] r) *)
           let tp = traces_of p and tq = traces_of q in
           QCheck.assume (Traces.subset tq tp);
           Traces.subset
-            (traces_of (Proc.Ext (q, r)))
-            (traces_of (Proc.Ext (p, r))));
+            (traces_of (Proc.ext (q, r)))
+            (traces_of (Proc.ext (p, r))));
     ] )

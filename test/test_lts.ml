@@ -11,8 +11,8 @@ let defs = make_defs ()
 let cycle () =
   (* A = a!0 -> b!0 -> A : two states, two transitions *)
   let defs = make_defs () in
-  Defs.define_proc defs "A" [] (send "a" 0 (send "b" 0 (Proc.Call ("A", []))));
-  defs, Proc.Call ("A", [])
+  Defs.define_proc defs "A" [] (send "a" 0 (send "b" 0 (Proc.call ("A", []))));
+  defs, Proc.call ("A", [])
 
 let test_compile_cycle () =
   let defs, p = cycle () in
@@ -29,21 +29,21 @@ let test_state_limit () =
   with Lts.State_limit 1 -> ()
 
 let test_deadlocks () =
-  let lts = Lts.compile defs (send "a" 0 Proc.Stop) in
+  let lts = Lts.compile defs (send "a" 0 Proc.stop) in
   check_int "one deadlock state" 1 (List.length (Lts.deadlocks lts));
   (* terminated processes do not count as deadlocked *)
-  let lts2 = Lts.compile defs (send "a" 0 Proc.Skip) in
+  let lts2 = Lts.compile defs (send "a" 0 Proc.skip) in
   check_int "termination is not deadlock" 0 (List.length (Lts.deadlocks lts2))
 
 let test_tau_closure () =
-  let p = Proc.Int (send "a" 0 Proc.Stop, Proc.Int (Proc.Stop, Proc.Skip)) in
+  let p = Proc.intc (send "a" 0 Proc.stop, Proc.intc (Proc.stop, Proc.skip)) in
   let lts = Lts.compile defs p in
   let closure = Lts.tau_closure lts [ lts.Lts.initial ] in
   (* initial + 2 first-level + 2 second-level = 5 states reachable by tau *)
   check_int "closure size" 5 (List.length closure)
 
 let test_path_to () =
-  let p = send "a" 0 (send "b" 1 Proc.Stop) in
+  let p = send "a" 0 (send "b" 1 Proc.stop) in
   let lts = Lts.compile defs p in
   match Lts.trace_path_to lts (fun i -> Lts.transitions_of lts i = []) with
   | Some (trace, _) ->
@@ -54,15 +54,15 @@ let test_path_to () =
 let test_divergences () =
   (* P = (a!0 -> P) \ {a} diverges *)
   let defs = make_defs () in
-  Defs.define_proc defs "P" [] (send "a" 0 (Proc.Call ("P", [])));
-  let hidden = Proc.Hide (Proc.Call ("P", []), Eventset.chan "a") in
+  Defs.define_proc defs "P" [] (send "a" 0 (Proc.call ("P", [])));
+  let hidden = Proc.hide (Proc.call ("P", []), Eventset.chan "a") in
   let lts = Lts.compile defs hidden in
   check_bool "tau cycle found" true (Lts.divergences lts <> []);
-  let sound = Lts.compile defs (Proc.Call ("P", [])) in
+  let sound = Lts.compile defs (Proc.call ("P", [])) in
   check_int "visible loop does not diverge" 0 (List.length (Lts.divergences sound))
 
 let test_initials_stability () =
-  let p = Proc.Ext (send "a" 0 Proc.Stop, Proc.Int (Proc.Stop, Proc.Stop)) in
+  let p = Proc.ext (send "a" 0 Proc.stop, Proc.intc (Proc.stop, Proc.stop)) in
   let lts = Lts.compile defs p in
   check_bool "unstable initial" false (Lts.is_stable lts lts.Lts.initial);
   check_bool "initials include a.0" true

@@ -9,9 +9,9 @@ let check_int = Alcotest.(check int)
 
 let test_pretty_blackboard () =
   let p =
-    Proc.Ext
-      ( Proc.send "a" [ Value.Int 0 ] Proc.Stop,
-        Proc.Int (Proc.Skip, Proc.Hide (Proc.Stop, Eventset.chan "b")) )
+    Proc.ext
+      ( Proc.send "a" [ Value.Int 0 ] Proc.stop,
+        Proc.intc (Proc.skip, Proc.hide (Proc.stop, Eventset.chan "b")) )
   in
   let rendered = Pretty.proc_to_string p in
   let has sub =

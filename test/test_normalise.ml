@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 let defs = make_defs ()
 
 let test_deterministic_spec () =
-  let p = send "a" 0 (send "b" 1 Proc.Stop) in
+  let p = send "a" 0 (send "b" 1 Proc.stop) in
   let n = Normalise.normalise (Lts.compile defs p) in
   check_int "three nodes" 3 (Normalise.num_nodes n);
   check_bool "a.0 leads on" true
@@ -21,7 +21,7 @@ let test_deterministic_spec () =
 let test_internal_choice_merges () =
   (* a!0 -> STOP |~| a!0 -> b!1 -> STOP : after <a.0>, one node holding
      both continuations *)
-  let p = Proc.Int (send "a" 0 Proc.Stop, send "a" 0 (send "b" 1 Proc.Stop)) in
+  let p = Proc.intc (send "a" 0 Proc.stop, send "a" 0 (send "b" 1 Proc.stop)) in
   let n = Normalise.normalise (Lts.compile defs p) in
   let after_a = Normalise.after n (Normalise.initial n) (vis "a" 0) in
   (match after_a with
@@ -36,12 +36,12 @@ let test_acceptances () =
   (* The initial node of the internal choice has two minimal acceptances:
      {a.0} from each stable branch (deduplicated), reflecting that the
      process may refuse nothing more. *)
-  let p = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let p = Proc.intc (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   let n = Normalise.normalise (Lts.compile defs p) in
   let accs = Normalise.acceptances n (Normalise.initial n) in
   check_int "two minimal acceptances" 2 (List.length accs);
   (* external choice instead: one acceptance offering both events *)
-  let q = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let q = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   let n2 = Normalise.normalise (Lts.compile defs q) in
   let accs2 = Normalise.acceptances n2 (Normalise.initial n2) in
   check_int "one acceptance" 1 (List.length accs2);
@@ -50,16 +50,16 @@ let test_acceptances () =
 let test_minimality () =
   (* STOP |~| a!0 -> STOP : acceptances {} and {a.0}; {} dominates {a.0},
      leaving only the empty acceptance. *)
-  let p = Proc.Int (Proc.Stop, send "a" 0 Proc.Stop) in
+  let p = Proc.intc (Proc.stop, send "a" 0 Proc.stop) in
   let n = Normalise.normalise (Lts.compile defs p) in
   let accs = Normalise.acceptances n (Normalise.initial n) in
   check_int "dominated acceptance removed" 1 (List.length accs);
   check_int "empty acceptance" 0 (List.length (List.hd accs))
 
 let test_can_terminate () =
-  let n = Normalise.normalise (Lts.compile defs Proc.Skip) in
+  let n = Normalise.normalise (Lts.compile defs Proc.skip) in
   check_bool "skip terminates" true (Normalise.can_terminate n (Normalise.initial n));
-  let n2 = Normalise.normalise (Lts.compile defs Proc.Stop) in
+  let n2 = Normalise.normalise (Lts.compile defs Proc.stop) in
   check_bool "stop does not" false (Normalise.can_terminate n2 (Normalise.initial n2))
 
 (* Determinism: every node has at most one successor per label. *)

@@ -64,16 +64,17 @@ let test_parse_error_wrapping () =
   with Extractor.Pipeline.Pipeline_error _ -> ()
 
 let test_compose () =
-  let p1 = Proc.Stop and p2 = Proc.Skip in
-  (match Extractor.Pipeline.compose [] with
+  let p1 = Proc.stop and p2 = Proc.skip in
+  (match Proc.view (Extractor.Pipeline.compose []) with
    | Proc.Skip -> ()
    | _ -> Alcotest.fail "empty composition is SKIP");
-  (match Extractor.Pipeline.compose [ p1, Eventset.empty ] with
+  (match Proc.view (Extractor.Pipeline.compose [ p1, Eventset.empty ]) with
    | Proc.Stop -> ()
    | _ -> Alcotest.fail "singleton composition is the process itself");
   match
-    Extractor.Pipeline.compose
-      [ p1, Eventset.chan "a"; p2, Eventset.chan "b" ]
+    Proc.view
+      (Extractor.Pipeline.compose
+         [ p1, Eventset.chan "a"; p2, Eventset.chan "b" ])
   with
   | Proc.APar (_, _, _, _) -> ()
   | _ -> Alcotest.fail "pairs compose with alphabetized parallel"
@@ -104,7 +105,7 @@ let test_bus_medium_mode () =
   check_bool "alternation still holds over the bus" true
     (Refine.holds
        (Refine.traces_refines defs ~spec
-          ~impl:(Proc.Hide (system.Extractor.Pipeline.composed, hide))))
+          ~impl:(Proc.hide (system.Extractor.Pipeline.composed, hide))))
 
 let test_conformance_accepts_real_run () =
   let system = Ota.Capl_sources.build_system () in

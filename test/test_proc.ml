@@ -8,40 +8,43 @@ let check_proc msg expected actual = Alcotest.check Helpers.proc_testable msg ex
 
 let test_free_vars () =
   let p =
-    Proc.Prefix
+    Proc.prefix_items
       ( "a",
         [ Proc.Out (Expr.var "x") ],
-        Proc.Prefix ("b", [ Proc.In ("y", None) ], Proc.prefix "a" [ Expr.var "y" ] Proc.Stop) )
+        Proc.prefix_items ("b", [ Proc.In ("y", None) ], Proc.prefix "a" [ Expr.var "y" ] Proc.stop) )
   in
   Alcotest.(check (list string)) "x free, y bound" [ "x" ] (Proc.free_vars p);
-  let q = Proc.Ext_over ("z", Expr.Range (Expr.int 0, Expr.var "n"), Proc.prefix "a" [ Expr.var "z" ] Proc.Stop) in
+  let q = Proc.ext_over ("z", Expr.Range (Expr.int 0, Expr.var "n"), Proc.prefix "a" [ Expr.var "z" ] Proc.stop) in
   Alcotest.(check (list string)) "set expr free, binder bound" [ "n" ]
     (Proc.free_vars q)
 
 let test_subst_shadowing () =
   (* substitution must not cross the binder for the same name *)
   let p =
-    Proc.Ext
-      ( Proc.prefix "a" [ Expr.var "x" ] Proc.Stop,
-        Proc.Prefix ("b", [ Proc.In ("x", None) ], Proc.prefix "a" [ Expr.var "x" ] Proc.Stop) )
+    Proc.ext
+      ( Proc.prefix "a" [ Expr.var "x" ] Proc.stop,
+        Proc.prefix_items ("b", [ Proc.In ("x", None) ], Proc.prefix "a" [ Expr.var "x" ] Proc.stop) )
   in
   let resolved = Proc.subst (fun n -> if n = "x" then Some (Value.Int 1) else None) p in
-  match resolved with
-  | Proc.Ext (Proc.Prefix ("a", [ Proc.Out (Expr.Lit (Value.Int 1)) ], _),
-              Proc.Prefix ("b", [ Proc.In ("x", None) ],
-                           Proc.Prefix ("a", [ Proc.Out (Expr.Var "x") ], _))) ->
-    ()
-  | _ -> Alcotest.failf "unexpected subst result: %a" Proc.pp resolved
+  let expected =
+    Proc.ext
+      ( Proc.prefix_items ("a", [ Proc.Out (Expr.Lit (Value.Int 1)) ], Proc.stop),
+        Proc.prefix_items
+          ( "b",
+            [ Proc.In ("x", None) ],
+            Proc.prefix_items ("a", [ Proc.Out (Expr.var "x") ], Proc.stop) ) )
+  in
+  check_proc "outer x substituted, bound x untouched" expected resolved
 
 let test_subst_prefix_scope () =
   (* within one communication, earlier binders scope over later fields *)
   let defs = Defs.create () in
   Defs.declare_channel defs "p" [ Ty.Int_range (0, 1); Ty.Int_range (0, 1) ];
   let proc =
-    Proc.Prefix
+    Proc.prefix_items
       ( "p",
         [ Proc.In ("x", None); Proc.In ("y", Some (Expr.Set [ Expr.var "x" ])) ],
-        Proc.Stop )
+        Proc.stop )
   in
   (* substituting x from outside must not touch the restriction *)
   let r = Proc.subst (fun n -> if n = "x" then Some (Value.Int 0) else None) proc in
@@ -49,35 +52,35 @@ let test_subst_prefix_scope () =
 
 let test_const_fold () =
   let fold = Proc.const_fold Expr.no_funcs in
-  check_proc "if true" (Proc.send "a" [ Value.Int 1 ] Proc.Stop)
-    (fold (Proc.If (Expr.bool true, Proc.send "a" [ Value.Int 1 ] Proc.Stop, Proc.Skip)));
-  check_proc "if false" Proc.Skip
-    (fold (Proc.If (Expr.bool false, Proc.Stop, Proc.Skip)));
-  check_proc "guard false" Proc.Stop (fold (Proc.Guard (Expr.bool false, Proc.Skip)));
-  check_proc "guard true" Proc.Skip (fold (Proc.Guard (Expr.bool true, Proc.Skip)));
+  check_proc "if true" (Proc.send "a" [ Value.Int 1 ] Proc.stop)
+    (fold (Proc.ite (Expr.bool true, Proc.send "a" [ Value.Int 1 ] Proc.stop, Proc.skip)));
+  check_proc "if false" Proc.skip
+    (fold (Proc.ite (Expr.bool false, Proc.stop, Proc.skip)));
+  check_proc "guard false" Proc.stop (fold (Proc.guard (Expr.bool false, Proc.skip)));
+  check_proc "guard true" Proc.skip (fold (Proc.guard (Expr.bool true, Proc.skip)));
   check_proc "closed arithmetic folds"
-    (Proc.send "a" [ Value.Int 2 ] Proc.Stop)
-    (fold (Proc.prefix "a" [ Expr.(int 1 + int 1) ] Proc.Stop));
+    (Proc.send "a" [ Value.Int 2 ] Proc.stop)
+    (fold (Proc.prefix "a" [ Expr.(int 1 + int 1) ] Proc.stop));
   (* expressions under binders stay *)
-  let p = Proc.Prefix ("a", [ Proc.In ("x", None) ], Proc.prefix "b" [ Expr.(var "x" + int 1) ] Proc.Stop) in
+  let p = Proc.prefix_items ("a", [ Proc.In ("x", None) ], Proc.prefix "b" [ Expr.(var "x" + int 1) ] Proc.stop) in
   check_proc "open expr kept" p (fold p)
 
 let test_replicated_expansion () =
   let fold = Proc.const_fold Expr.no_funcs in
-  let body = Proc.prefix "a" [ Expr.var "i" ] Proc.Stop in
-  let expanded = fold (Proc.Ext_over ("i", Expr.Range (Expr.int 0, Expr.int 1), body)) in
+  let body = Proc.prefix "a" [ Expr.var "i" ] Proc.stop in
+  let expanded = fold (Proc.ext_over ("i", Expr.Range (Expr.int 0, Expr.int 1), body)) in
   check_proc "ext over {0,1}"
-    (Proc.Ext (Proc.send "a" [ Value.Int 0 ] Proc.Stop, Proc.send "a" [ Value.Int 1 ] Proc.Stop))
+    (Proc.ext (Proc.send "a" [ Value.Int 0 ] Proc.stop, Proc.send "a" [ Value.Int 1 ] Proc.stop))
     expanded;
-  check_proc "ext over empty = STOP" Proc.Stop
-    (fold (Proc.Ext_over ("i", Expr.Set [], body)));
-  check_proc "interleave over empty = SKIP" Proc.Skip
-    (fold (Proc.Inter_over ("i", Expr.Set [], body)));
-  check_proc "int over empty = STOP" Proc.Stop
-    (fold (Proc.Int_over ("i", Expr.Set [], body)))
+  check_proc "ext over empty = STOP" Proc.stop
+    (fold (Proc.ext_over ("i", Expr.Set [], body)));
+  check_proc "interleave over empty = SKIP" Proc.skip
+    (fold (Proc.inter_over ("i", Expr.Set [], body)));
+  check_proc "int over empty = STOP" Proc.stop
+    (fold (Proc.int_over ("i", Expr.Set [], body)))
 
 let test_size_and_pp () =
-  let p = Proc.Ext (Proc.Stop, Proc.Seq (Proc.Skip, Proc.Skip)) in
+  let p = Proc.ext (Proc.stop, Proc.seq (Proc.skip, Proc.skip)) in
   Alcotest.(check int) "size" 5 (Proc.size p);
   check_bool "pp mentions []" true
     (String.length (Proc.to_string p) > 0)

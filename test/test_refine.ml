@@ -13,16 +13,16 @@ let traces_ref spec impl = Refine.traces_refines defs ~spec ~impl
 let failures_ref spec impl = Refine.failures_refines defs ~spec ~impl
 
 let test_basic_verdicts () =
-  let a0 = send "a" 0 Proc.Stop in
-  let ab = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let a0 = send "a" 0 Proc.stop in
+  let ab = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   check_bool "P refines P" true (holds (traces_ref a0 a0));
   check_bool "choice refines to branch" true (holds (traces_ref ab a0));
   check_bool "branch does not refine to choice" false (holds (traces_ref a0 ab));
-  check_bool "STOP refines everything" true (holds (traces_ref ab Proc.Stop))
+  check_bool "STOP refines everything" true (holds (traces_ref ab Proc.stop))
 
 let test_counterexample_trace () =
-  let spec = send "a" 0 Proc.Stop in
-  let impl = send "a" 0 (send "b" 1 Proc.Stop) in
+  let spec = send "a" 0 Proc.stop in
+  let impl = send "a" 0 (send "b" 1 Proc.stop) in
   match traces_ref spec impl with
   | Refine.Fails cex ->
     Alcotest.(check int) "minimal counterexample" 2 (List.length cex.Refine.trace);
@@ -34,14 +34,14 @@ let test_counterexample_trace () =
 
 let test_tau_does_not_affect_traces () =
   (* spec a!0; impl has internal noise before a!0 *)
-  let spec = send "a" 0 Proc.Stop in
-  let impl = Proc.Hide (send "b" 1 (send "a" 0 Proc.Stop), Eventset.chan "b") in
+  let spec = send "a" 0 Proc.stop in
+  let impl = Proc.hide (send "b" 1 (send "a" 0 Proc.stop), Eventset.chan "b") in
   check_bool "hidden prefix ok in traces" true (holds (traces_ref spec impl))
 
 let test_failures_distinguishes_choice () =
   (* classic: traces equal, failures differ *)
-  let ext = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
-  let int_ = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let ext = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
+  let int_ = Proc.intc (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   check_bool "traces: int refines ext" true (holds (traces_ref ext int_));
   check_bool "failures: int does not refine ext" false
     (holds (failures_ref ext int_));
@@ -53,9 +53,9 @@ let test_failures_distinguishes_choice () =
 let test_failures_deadlock_detection () =
   (* spec requires offering a.0 forever; impl may deadlock *)
   let defs = make_defs () in
-  Defs.define_proc defs "AS" [] (send "a" 0 (Proc.Call ("AS", [])));
-  let spec = Proc.Call ("AS", []) in
-  let impl = Proc.Int (Proc.Call ("AS", []), Proc.Stop) in
+  Defs.define_proc defs "AS" [] (send "a" 0 (Proc.call ("AS", [])));
+  let spec = Proc.call ("AS", []) in
+  let impl = Proc.intc (Proc.call ("AS", []), Proc.stop) in
   check_bool "traces ok" true (holds (Refine.traces_refines defs ~spec ~impl));
   check_bool "failures catch refusal" false
     (holds (Refine.failures_refines defs ~spec ~impl))
@@ -63,31 +63,31 @@ let test_failures_deadlock_detection () =
 let test_deadlock_divergence_checks () =
   check_bool "prefix-loop deadlock free" true
     (let defs = make_defs () in
-     Defs.define_proc defs "L" [] (send "a" 0 (Proc.Call ("L", [])));
-     holds (Refine.deadlock_free defs (Proc.Call ("L", []))));
-  check_bool "STOP deadlocks" false (holds (Refine.deadlock_free defs Proc.Stop));
-  check_bool "SKIP is deadlock free" true (holds (Refine.deadlock_free defs Proc.Skip));
+     Defs.define_proc defs "L" [] (send "a" 0 (Proc.call ("L", [])));
+     holds (Refine.deadlock_free defs (Proc.call ("L", []))));
+  check_bool "STOP deadlocks" false (holds (Refine.deadlock_free defs Proc.stop));
+  check_bool "SKIP is deadlock free" true (holds (Refine.deadlock_free defs Proc.skip));
   let defs2 = make_defs () in
-  Defs.define_proc defs2 "D" [] (send "a" 0 (Proc.Call ("D", [])));
-  let diverging = Proc.Hide (Proc.Call ("D", []), Eventset.chan "a") in
+  Defs.define_proc defs2 "D" [] (send "a" 0 (Proc.call ("D", [])));
+  let diverging = Proc.hide (Proc.call ("D", []), Eventset.chan "a") in
   check_bool "hidden loop diverges" false (holds (Refine.divergence_free defs2 diverging));
   check_bool "visible loop does not" true
-    (holds (Refine.divergence_free defs2 (Proc.Call ("D", []))))
+    (holds (Refine.divergence_free defs2 (Proc.call ("D", []))))
 
 let infinite_counter () =
   let defs = make_defs () in
   (* an infinite-state process: counter grows without bound *)
   Defs.define_proc defs "N" [ "n" ]
-    (Proc.Prefix
-       ("done_", [], Proc.Call ("N", [ Expr.(var "n" + int 1) ])));
+    (Proc.prefix_items
+       ("done_", [], Proc.call ("N", [ Expr.(var "n" + int 1) ])));
   defs
 
 let test_state_limit () =
   let defs = infinite_counter () in
   match
     Refine.traces_refines ~max_states:100 defs
-      ~spec:(Proc.Run (Eventset.chan "done_"))
-      ~impl:(Proc.Call ("N", [ Expr.int 0 ]))
+      ~spec:(Proc.run (Eventset.chan "done_"))
+      ~impl:(Proc.call ("N", [ Expr.int 0 ]))
   with
   | Refine.Inconclusive (stats, hint) ->
     check_bool "pair budget exhausted" true (hint.Refine.exhausted = Refine.Pairs);
@@ -100,8 +100,8 @@ let test_deadline () =
   let defs = infinite_counter () in
   match
     Refine.traces_refines ~deadline:0.001 defs
-      ~spec:(Proc.Run (Eventset.chan "done_"))
-      ~impl:(Proc.Call ("N", [ Expr.int 0 ]))
+      ~spec:(Proc.run (Eventset.chan "done_"))
+      ~impl:(Proc.call ("N", [ Expr.int 0 ]))
   with
   | Refine.Inconclusive (stats, hint) ->
     check_bool "deadline exhausted" true (hint.Refine.exhausted = Refine.Deadline);
@@ -112,7 +112,7 @@ let test_deadline () =
 let test_deadline_does_not_mask_verdicts () =
   (* A tiny system finishes well inside any deadline; generous budgets
      must not change verdicts. *)
-  let a0 = send "a" 0 Proc.Stop in
+  let a0 = send "a" 0 Proc.stop in
   check_bool "holds under deadline" true
     (holds (Refine.traces_refines ~deadline:60.0 defs ~spec:a0 ~impl:a0))
 

@@ -165,12 +165,12 @@ let test_replay_intruder_behaviour () =
   (* an agent that sends the mac'd packet once and then stays receptive
      to deliveries (like a real node's receive loop) *)
   let sender =
-    Proc.Inter
-      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; mac_pkt ] Proc.Stop,
-        Proc.Run (Eventset.chan "rcv") )
+    Proc.inter
+      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; mac_pkt ] Proc.stop,
+        Proc.run (Eventset.chan "rcv") )
   in
   let system =
-    Security.Intruder.compose sender ~medium:(Proc.Call (name, [])) cfg
+    Security.Intruder.compose sender ~medium:(Proc.call (name, [])) cfg
   in
   let lts = Lts.compile defs system in
   let traces = Traces.of_lts ~depth:3 lts in
@@ -208,12 +208,12 @@ let test_spy_synthesizes () =
   let leak_pkt = Value.Ctor ("leak", [ C.key "kA" ]) in
   let forged = Value.Ctor ("auth", [ C.mac (C.key "kA") (Value.Int 0) ]) in
   let sender =
-    Proc.Inter
-      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; leak_pkt ] Proc.Stop,
-        Proc.Run (Eventset.chan "rcv") )
+    Proc.inter
+      ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; leak_pkt ] Proc.stop,
+        Proc.run (Eventset.chan "rcv") )
   in
   let system =
-    Security.Intruder.compose sender ~medium:(Proc.Call (spy, [])) cfg
+    Security.Intruder.compose sender ~medium:(Proc.call (spy, [])) cfg
   in
   let lts = Lts.compile defs system in
   let traces = Traces.of_lts ~depth:3 lts in
@@ -230,13 +230,13 @@ let test_reliable_medium () =
   let cfg = config [] in
   let name = Security.Intruder.reliable_medium defs cfg in
   let sender =
-    Proc.Inter
+    Proc.inter
       ( Proc.send "snd" [ Value.sym "a"; Value.sym "b"; Value.sym "hello" ]
-          Proc.Stop,
-        Proc.Run (Eventset.chan "rcv") )
+          Proc.stop,
+        Proc.run (Eventset.chan "rcv") )
   in
   let system =
-    Security.Intruder.compose sender ~medium:(Proc.Call (name, [])) cfg
+    Security.Intruder.compose sender ~medium:(Proc.call (name, [])) cfg
   in
   let lts = Lts.compile defs system in
   let traces = Traces.of_lts ~depth:2 lts in
@@ -261,21 +261,21 @@ let test_request_response () =
   Defs.declare_channel defs "rsp" [ Ty.Int_range (0, 1) ];
   let spec = Security.Properties.request_response defs ~req:"req" ~resp:"rsp" in
   Defs.define_proc defs "GOOD" []
-    (Proc.Prefix
+    (Proc.prefix_items
        ( "req",
          [ Proc.In ("x", None) ],
-         Proc.prefix "rsp" [ Expr.var "x" ] (Proc.Call ("GOOD", [])) ));
+         Proc.prefix "rsp" [ Expr.var "x" ] (Proc.call ("GOOD", [])) ));
   check_bool "echo service conforms" true
-    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.Call ("GOOD", []))));
+    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.call ("GOOD", []))));
   Defs.define_proc defs "BAD" []
-    (Proc.Prefix
+    (Proc.prefix_items
        ( "req",
          [ Proc.In ("x", None) ],
          Proc.prefix "rsp"
            [ Expr.Bin (Expr.Mod, Expr.(var "x" + int 1), Expr.int 2) ]
-           (Proc.Call ("BAD", [])) ));
+           (Proc.call ("BAD", [])) ));
   check_bool "corrupting service caught" false
-    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.Call ("BAD", []))))
+    (Refine.holds (Refine.traces_refines defs ~spec ~impl:(Proc.call ("BAD", []))))
 
 let test_never_and_precedes () =
   let defs = Defs.create () in
@@ -286,8 +286,8 @@ let test_never_and_precedes () =
   let never =
     Security.Properties.never defs ~alphabet ~forbidden:(Eventset.chan "leak")
   in
-  let clean = Proc.send "x" [] (Proc.send "y" [] Proc.Stop) in
-  let leaky = Proc.send "x" [] (Proc.send "leak" [] Proc.Stop) in
+  let clean = Proc.send "x" [] (Proc.send "y" [] Proc.stop) in
+  let leaky = Proc.send "x" [] (Proc.send "leak" [] Proc.stop) in
   check_bool "clean passes" true
     (Refine.holds (Refine.traces_refines defs ~spec:never ~impl:clean));
   check_bool "leak caught" false
@@ -296,8 +296,8 @@ let test_never_and_precedes () =
     Security.Properties.precedes defs ~alphabet
       ~trigger:(Event.event "x" []) ~guarded:(Event.event "y" [])
   in
-  let ordered = Proc.send "x" [] (Proc.send "y" [] Proc.Stop) in
-  let reversed = Proc.send "y" [] (Proc.send "x" [] Proc.Stop) in
+  let ordered = Proc.send "x" [] (Proc.send "y" [] Proc.stop) in
+  let reversed = Proc.send "y" [] (Proc.send "x" [] Proc.stop) in
   check_bool "ordered passes" true
     (Refine.holds (Refine.traces_refines defs ~spec:prec ~impl:ordered));
   check_bool "reversed caught" false

@@ -17,22 +17,22 @@ let set_equal s1 s2 = Traces.subset s1 s2 && Traces.subset s2 s1
 
 let test_basic_equations () =
   (* traces(STOP) = {<>} *)
-  check_int "STOP" 1 (List.length (Traces.of_proc defs Proc.Stop));
+  check_int "STOP" 1 (List.length (Traces.of_proc defs Proc.stop));
   (* traces(SKIP) = {<>, <tick>} *)
-  check_int "SKIP" 2 (List.length (Traces.of_proc defs Proc.Skip));
+  check_int "SKIP" 2 (List.length (Traces.of_proc defs Proc.skip));
   (* traces(e -> STOP) = {<>, <e>} *)
-  check_int "prefix" 2 (List.length (Traces.of_proc defs (send "a" 1 Proc.Stop)));
+  check_int "prefix" 2 (List.length (Traces.of_proc defs (send "a" 1 Proc.stop)));
   (* traces(P [] Q) = union *)
-  let p = Proc.Ext (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let p = Proc.ext (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   check_int "choice" 3 (List.length (Traces.of_proc defs p));
   (* internal and external choice have the same traces *)
-  let q = Proc.Int (send "a" 0 Proc.Stop, send "b" 1 Proc.Stop) in
+  let q = Proc.intc (send "a" 0 Proc.stop, send "b" 1 Proc.stop) in
   check_bool "int = ext in traces" true
     (set_equal (Traces.of_proc defs p) (Traces.of_proc defs q))
 
 let test_seq_equation () =
   (* (a!0 -> SKIP); b!1 -> STOP : <>, <a.0>, <a.0, b.1> (tick hidden) *)
-  let p = Proc.Seq (send "a" 0 Proc.Skip, send "b" 1 Proc.Stop) in
+  let p = Proc.seq (send "a" 0 Proc.skip, send "b" 1 Proc.stop) in
   let ts = Traces.of_proc defs p in
   check_int "seq traces" 3 (List.length ts);
   check_bool "no stray tick" true
