@@ -6,7 +6,11 @@
    The workloads are the scalability series of bench/main.ml (domain
    scaling k = 2..32, interleaved-ECU scaling n = 2..5) and the
    Needham-Schroeder authentication check — the checks whose before/after
-   numbers EXPERIMENTS.md tracks. *)
+   numbers EXPERIMENTS.md tracks. The two largest checks are re-run on 2
+   and 4 worker domains (rows suffixed /j2, /j4); "speedup_vs_j1" compares
+   their wall time to the sequential row, and the "_meta" entry records
+   how many cores the host actually had, since speedup on a single-core
+   box measures only the pool's overhead. *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -20,14 +24,20 @@ type row = {
   pairs : int;
   states_per_sec : float;
   verdict : string;
+  workers : int;
+  par_speedup : float;  (** engine-estimated, from aggregate worker busy time *)
+  speedup_vs_j1 : float;  (** measured: sequential row's wall / this wall *)
 }
 
-let row_of_result name result t =
-  let impl_states, pairs =
+let row_of_result name result t ~speedup_vs_j1 =
+  let impl_states, pairs, workers, par_speedup =
     match (result : Csp.Refine.result) with
     | Csp.Refine.Holds stats | Csp.Refine.Inconclusive (stats, _) ->
-      stats.Csp.Refine.impl_states, stats.Csp.Refine.pairs
-    | Csp.Refine.Fails _ -> 0, 0
+      ( stats.Csp.Refine.impl_states,
+        stats.Csp.Refine.pairs,
+        stats.Csp.Refine.workers,
+        stats.Csp.Refine.par_speedup )
+    | Csp.Refine.Fails _ -> 0, 0, 1, 1.
   in
   let verdict =
     match result with
@@ -38,7 +48,17 @@ let row_of_result name result t =
   let per_sec =
     if t > 0. then float_of_int (max impl_states pairs) /. t else 0.
   in
-  { name; wall_s = t; impl_states; pairs; states_per_sec = per_sec; verdict }
+  {
+    name;
+    wall_s = t;
+    impl_states;
+    pairs;
+    states_per_sec = per_sec;
+    verdict;
+    workers;
+    par_speedup;
+    speedup_vs_j1;
+  }
 
 (* The same two synthetic systems as bench/main.ml S1. *)
 let echo_system k =
@@ -120,45 +140,81 @@ let multi_ecu_system n =
   in
   defs, spec, impl
 
+let parallel_workloads = [ 2; 4 ]
+
 let run_rows () =
   let rows = ref [] in
   let record name f =
     let result, t = wall f in
-    let row = row_of_result name result t in
-    Format.printf "%-24s %9.2f ms %9d states %9d pairs %12.0f st/s  %s@."
+    let row = row_of_result name result t ~speedup_vs_j1:1.0 in
+    Format.printf "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s@."
       row.name (row.wall_s *. 1e3) row.impl_states row.pairs
       row.states_per_sec row.verdict;
-    rows := row :: !rows
+    rows := row :: !rows;
+    row
+  in
+  (* the /jN reruns of a sequential row: same check on a worker pool,
+     speedup measured against the just-recorded j1 wall time *)
+  let record_parallel base_row f =
+    List.iter
+      (fun j ->
+        let name = Printf.sprintf "%s/j%d" base_row.name j in
+        let result, t = wall (fun () -> f j) in
+        let speedup = if t > 0. then base_row.wall_s /. t else 0. in
+        let row = { (row_of_result name result t ~speedup_vs_j1:speedup) with
+                    workers = j } in
+        Format.printf
+          "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s (%.2fx vs j1)@."
+          row.name (row.wall_s *. 1e3) row.impl_states row.pairs
+          row.states_per_sec row.verdict row.speedup_vs_j1;
+        rows := row :: !rows)
+      parallel_workloads
   in
   List.iter
     (fun k ->
       let defs, spec, impl = echo_system k in
-      record
-        (Printf.sprintf "scale/domain/k%02d" k)
-        (fun () -> Csp.Refine.traces_refines defs ~spec ~impl))
+      ignore
+        (record
+           (Printf.sprintf "scale/domain/k%02d" k)
+           (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)))
     [ 2; 4; 8; 16; 32 ];
   List.iter
     (fun n ->
       let defs, spec, impl = multi_ecu_system n in
-      record
-        (Printf.sprintf "scale/ecus/n%d" n)
-        (fun () -> Csp.Refine.traces_refines defs ~spec ~impl))
+      let base =
+        record
+          (Printf.sprintf "scale/ecus/n%d" n)
+          (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)
+      in
+      if n = 5 then
+        record_parallel base (fun j ->
+            let defs, spec, impl = multi_ecu_system n in
+            Csp.Refine.traces_refines ~workers:j defs ~spec ~impl))
     [ 2; 3; 4; 5 ];
-  record "ns/authentication-fixed" (fun () ->
-      Security.Ns_protocol.check ~fixed:true ());
+  let ns_base =
+    record "ns/authentication-fixed" (fun () ->
+        Security.Ns_protocol.check ~fixed:true ())
+  in
+  record_parallel ns_base (fun j ->
+      Security.Ns_protocol.check ~workers:j ~fixed:true ());
   List.rev !rows
 
 let json_of_rows rows =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"_meta\": { \"cores\": %d, \"parallel_rows_at\": [2, 4] },\n"
+       (Domain.recommended_domain_count ()));
   List.iteri
     (fun i row ->
       Buffer.add_string buf
         (Printf.sprintf
            "  %S: { \"wall_s\": %.6f, \"impl_states\": %d, \"pairs\": %d, \
-            \"states_per_sec\": %.0f, \"verdict\": %S }%s\n"
+            \"states_per_sec\": %.0f, \"verdict\": %S, \"workers\": %d, \
+            \"par_speedup\": %.3f, \"speedup_vs_j1\": %.3f }%s\n"
            row.name row.wall_s row.impl_states row.pairs row.states_per_sec
-           row.verdict
+           row.verdict row.workers row.par_speedup row.speedup_vs_j1
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "}\n";

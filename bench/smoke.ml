@@ -76,8 +76,41 @@ let check_engine_agreement () =
       Format.printf "engine agreement: %s -> %s@." name head)
     checks
 
+let check_parallel_agreement () =
+  (* the domain-pool engine must be the same search: identical verdicts,
+     counterexamples, and exploration counts at -j 2 as sequentially *)
+  let digest result =
+    match result with
+    | Csp.Refine.Holds s ->
+      Printf.sprintf "holds/%d/%d/%d" s.Csp.Refine.impl_states
+        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+    | Csp.Refine.Fails cex ->
+      Format.asprintf "fails/%a" Csp.Refine.pp_counterexample cex
+    | Csp.Refine.Inconclusive (s, _) ->
+      Printf.sprintf "inconclusive/%d/%d/%d" s.Csp.Refine.impl_states
+        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+  in
+  let s = Ota.Scenario.make () in
+  let checks =
+    [
+      "SP02", (fun workers -> Ota.Requirements.r02 ~workers s);
+      "R05v1", (fun workers -> Ota.Requirements.r05 ~workers s ~version:1);
+      ( "NS-broken",
+        fun workers -> Security.Ns_protocol.check ~workers ~fixed:false () );
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let seq = digest (run 1) and par = digest (run 2) in
+      if not (String.equal seq par) then
+        fail "engine smoke: %s disagrees at -j 2:\n  j1: %s\n  j2: %s" name seq
+          par;
+      Format.printf "parallel agreement: %s -> ok at -j 2@." name)
+    checks
+
 let () =
   check_fault_injection ();
   check_budgeted_engine ();
   check_engine_agreement ();
+  check_parallel_agreement ();
   print_endline "smoke: ok"

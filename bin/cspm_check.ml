@@ -11,7 +11,10 @@ let read_file path =
 (* Exit codes: 0 all assertions hold, 1 at least one definite failure,
    2 load/usage error, 3 no failures but at least one inconclusive
    (budget exhausted — rerun with a larger --timeout/--max-states). *)
-let run path max_states timeout list_only dot =
+let run path max_states timeout jobs list_only dot =
+  let workers =
+    if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
+  in
   match Cspm.Elaborate.load_string (read_file path) with
   | exception Sys_error msg ->
     Format.eprintf "%s@." msg;
@@ -53,7 +56,9 @@ let run path max_states timeout list_only dot =
       0
     end
     else begin
-      let outcomes = Cspm.Check.run ~max_states ?deadline:timeout loaded in
+      let outcomes =
+        Cspm.Check.run ~max_states ?deadline:timeout ~workers loaded
+      in
       Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
       let count p = List.length (List.filter p outcomes) in
       let failures =
@@ -90,10 +95,22 @@ let timeout_arg =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SECS"
         ~doc:
-          "Wall-clock budget for the whole run, divided evenly between \
-           the assertions. Checks that exhaust it report INCONCLUSIVE \
+          "Wall-clock budget for the whole run. Each assertion's slice is \
+           recomputed as remaining budget over remaining assertions, so \
+           time a fast assertion leaves unused rolls forward to later \
+           ones. Checks that exhaust their slice report INCONCLUSIVE \
            with a resume hint instead of an answer; if any assertion is \
            inconclusive and none definitely fails, the exit code is 3.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Number of OCaml domains (cores) for refinement checking; 0 \
+           means the runtime's recommended count. Verdicts, \
+           counterexamples, and state/pair counts are identical to a \
+           single-core run.")
 
 let list_arg =
   Arg.(
@@ -125,7 +142,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cspm_check" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const run $ file_arg $ max_states_arg $ timeout_arg $ list_arg
-      $ dot_arg)
+      const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
+      $ list_arg $ dot_arg)
 
 let () = exit (Cmd.eval' cmd)

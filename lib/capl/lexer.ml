@@ -240,7 +240,13 @@ let tokens src =
            advance ()
          done;
          if !i = start then fail "empty hex literal";
-         emit (INT (int_of_string ("0x" ^ String.sub src start (!i - start)))) p
+         let text = "0x" ^ String.sub src start (!i - start) in
+         (match int_of_string_opt text with
+          | Some v -> emit (INT v) p
+          | None ->
+            raise
+              (Lex_error
+                 (Printf.sprintf "integer literal %s out of range" text, p)))
        | c when is_digit c ->
          let start = !i in
          while !i < n && is_digit src.[!i] do
@@ -254,9 +260,23 @@ let tokens src =
            while !i < n && is_digit src.[!i] do
              advance ()
            done;
-           emit (FLOAT (float_of_string (String.sub src start (!i - start)))) p
+           let text = String.sub src start (!i - start) in
+           match float_of_string_opt text with
+           | Some v -> emit (FLOAT v) p
+           | None ->
+             raise
+               (Lex_error
+                  (Printf.sprintf "float literal %s out of range" text, p))
          end
-         else emit (INT (int_of_string (String.sub src start (!i - start)))) p
+         else begin
+           let text = String.sub src start (!i - start) in
+           match int_of_string_opt text with
+           | Some v -> emit (INT v) p
+           | None ->
+             raise
+               (Lex_error
+                  (Printf.sprintf "integer literal %s out of range" text, p))
+         end
        | c when is_ident_start c ->
          let start = !i in
          while !i < n && is_ident_char src.[!i] do

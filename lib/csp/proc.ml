@@ -118,17 +118,29 @@ module HC = Weak.Make (struct
 end)
 
 (* One global intern table, weak so the GC can reclaim dead terms. Ids are
-   handed out only when a candidate is actually added. *)
+   handed out only when a candidate is actually added. The table is shared
+   by every domain (terms must stay physically unique process-wide for the
+   O(1) equality to hold across the parallel search), so all access is
+   serialized by a mutex; per-domain transition memo tables keep most
+   parallel work off this path. *)
 let hc_table = HC.create 4096
+let hc_mutex = Mutex.create ()
 let next_id = ref 0
 
 let make node =
-  let cand = { id = !next_id; hkey = hash_node node; node } in
+  let hkey = hash_node node in
+  Mutex.lock hc_mutex;
+  let cand = { id = !next_id; hkey; node } in
   let res = HC.merge hc_table cand in
   if res == cand then incr next_id;
+  Mutex.unlock hc_mutex;
   res
 
-let interned () = HC.count hc_table
+let interned () =
+  Mutex.lock hc_mutex;
+  let n = HC.count hc_table in
+  Mutex.unlock hc_mutex;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic structural order (independent of interning order)     *)

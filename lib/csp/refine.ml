@@ -25,6 +25,8 @@ type stats = Search.stats = {
   wall_s : float;
   states_per_sec : float;
   peak_frontier : int;
+  workers : int;
+  par_speedup : float;
 }
 
 type budget_kind = Search.budget_kind =
@@ -63,23 +65,27 @@ let spec_inconclusive progress =
         ~pairs:0 (),
       { frontier = progress.Lts.frontier; deepest = []; exhausted } )
 
-let product_check ?interner ~refusal_mode ~max_states ~max_pairs ?stop_at defs
-    ~spec ~impl =
+let product_check ?interner ?workers ~refusal_mode ~max_states ~max_pairs
+    ?stop_at defs ~spec ~impl =
   match Lts.compile_budgeted ~max_states ?stop_at defs spec with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
     let norm = Normalise.normalise spec_lts in
-    let step = Semantics.make_cached defs in
     let fenv = Defs.fenv defs in
     let tys = Defs.ty_lookup defs in
     let impl0 = Proc.const_fold ~tys fenv impl in
-    let source = Search.proc_source ?interner ~step impl0 in
-    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at ~norm source
+    let source =
+      Search.proc_source ?interner
+        ~make_step:(fun () -> Semantics.make_cached defs)
+        impl0
+    in
+    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at ?workers ~norm
+      source
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
    then the product is explored. *)
-let fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
+let fd_check ?workers ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
   match Lts.compile_budgeted ~max_states ?stop_at defs spec with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
@@ -99,34 +105,39 @@ let fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
            { frontier = progress.Lts.frontier; deepest = []; exhausted } )
      | Lts.Complete impl_lts ->
        let source = Search.lts_source ~check_divergence:true impl_lts in
-       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at ~norm source)
+       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at ?workers
+         ~norm source)
 
 let stop_at_of_deadline = function
   | None -> None
   | Some seconds -> Some (Unix.gettimeofday () +. seconds)
 
 let check ?interner ?(model = Traces) ?(max_states = 1_000_000) ?max_pairs
-    ?deadline defs ~spec ~impl =
+    ?deadline ?workers defs ~spec ~impl =
   let max_pairs = Option.value max_pairs ~default:max_states in
   let stop_at = stop_at_of_deadline deadline in
   match model with
   | Traces ->
-    product_check ?interner ~refusal_mode:`None ~max_states ~max_pairs
-      ?stop_at defs ~spec ~impl
+    product_check ?interner ?workers ~refusal_mode:`None ~max_states
+      ~max_pairs ?stop_at defs ~spec ~impl
   | Failures ->
-    product_check ?interner ~refusal_mode:`Acceptances ~max_states ~max_pairs
-      ?stop_at defs ~spec ~impl
+    product_check ?interner ?workers ~refusal_mode:`Acceptances ~max_states
+      ~max_pairs ?stop_at defs ~spec ~impl
   | Failures_divergences ->
-    fd_check ~max_states ~max_pairs ?stop_at defs ~spec ~impl
+    fd_check ?workers ~max_states ~max_pairs ?stop_at defs ~spec ~impl
 
-let traces_refines ?interner ?max_states ?deadline defs ~spec ~impl =
-  check ?interner ~model:Traces ?max_states ?deadline defs ~spec ~impl
+let traces_refines ?interner ?max_states ?deadline ?workers defs ~spec ~impl =
+  check ?interner ~model:Traces ?max_states ?deadline ?workers defs ~spec
+    ~impl
 
-let failures_refines ?interner ?max_states ?deadline defs ~spec ~impl =
-  check ?interner ~model:Failures ?max_states ?deadline defs ~spec ~impl
+let failures_refines ?interner ?max_states ?deadline ?workers defs ~spec ~impl
+    =
+  check ?interner ~model:Failures ?max_states ?deadline ?workers defs ~spec
+    ~impl
 
-let fd_refines ?max_states ?deadline defs ~spec ~impl =
-  check ~model:Failures_divergences ?max_states ?deadline defs ~spec ~impl
+let fd_refines ?max_states ?deadline ?workers defs ~spec ~impl =
+  check ~model:Failures_divergences ?max_states ?deadline ?workers defs ~spec
+    ~impl
 
 let lts_inconclusive progress =
   let exhausted =
@@ -167,16 +178,20 @@ let bad_state_check ~violation ~find ~max_states ?deadline defs proc =
               impl_state = Lts.state_term lts i;
             }))
 
-let deadlock_free ?(max_states = 1_000_000) ?deadline defs proc =
+(* [workers] is accepted for interface uniformity: graph compilation and
+   the offender scan are sequential, so the option is currently inert
+   here (unlike the product-search checks above). *)
+let deadlock_free ?(max_states = 1_000_000) ?deadline ?workers:_ defs proc =
   bad_state_check ~violation:Deadlock ~find:Lts.deadlocks ~max_states
     ?deadline defs proc
 
-let divergence_free ?(max_states = 1_000_000) ?deadline defs proc =
+let divergence_free ?(max_states = 1_000_000) ?deadline ?workers:_ defs proc =
   bad_state_check ~violation:Divergence ~find:Lts.divergences ~max_states
     ?deadline defs proc
 
-let deterministic ?(max_states = 1_000_000) ?deadline defs proc =
-  product_check ~refusal_mode:`Full ~max_states ~max_pairs:max_states
+let deterministic ?(max_states = 1_000_000) ?deadline ?workers defs proc =
+  product_check ?workers ~refusal_mode:`Full ~max_states
+    ~max_pairs:max_states
     ?stop_at:(stop_at_of_deadline deadline) defs ~spec:proc ~impl:proc
 
 let holds = function
@@ -248,7 +263,9 @@ let pp_stats ppf stats =
     stats.spec_nodes stats.pairs;
   if stats.wall_s > 0. then
     Format.fprintf ppf "; %.3fs, %.0f states/s, peak frontier %d" stats.wall_s
-      stats.states_per_sec stats.peak_frontier
+      stats.states_per_sec stats.peak_frontier;
+  if stats.workers > 1 then
+    Format.fprintf ppf "; %d workers, ~%.2fx" stats.workers stats.par_speedup
 
 let pp_result ppf = function
   | Holds stats -> Format.fprintf ppf "holds (%a)" pp_stats stats

@@ -41,6 +41,8 @@ type stats = Search.stats = {
   wall_s : float;  (** wall-clock time spent in the search *)
   states_per_sec : float;  (** search throughput *)
   peak_frontier : int;  (** largest unexplored frontier at any point *)
+  workers : int;  (** domains used by the search (1 = sequential) *)
+  par_speedup : float;  (** estimated speedup over one worker *)
 }
 
 type budget_kind = Search.budget_kind =
@@ -84,6 +86,7 @@ val check :
   ?max_states:int ->
   ?max_pairs:int ->
   ?deadline:float ->
+  ?workers:int ->
   Defs.t ->
   spec:Proc.t ->
   impl:Proc.t ->
@@ -99,27 +102,46 @@ val check :
     [interner] selects how on-the-fly implementation states are interned
     (ignored by {!Failures_divergences}, which precompiles both sides):
     [`Id] (default) uses the hash-consing ids, [`Structural] is the deep
-    structural oracle the tests compare against. *)
+    structural oracle the tests compare against.
+
+    [workers] (default 1) runs the product search on a pool of that many
+    OCaml 5 domains. Verdicts, counterexample traces, and state/pair
+    counts are byte-identical to a sequential run; only the timing fields
+    of {!stats} vary. *)
 
 val traces_refines :
   ?interner:Search.interner ->
-  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val failures_refines :
   ?interner:Search.interner ->
-  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val fd_refines :
-  ?max_states:int -> ?deadline:float -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 (** Failures-divergences refinement. Unlike the other checks, both sides
     are fully compiled first (implementation divergence detection needs
     the whole tau graph), so early counterexample exit does not avoid the
     full state-space cost. *)
 
-val deadlock_free : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
-val divergence_free : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
+val deadlock_free :
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> Proc.t -> result
 
-val deterministic : ?max_states:int -> ?deadline:float -> Defs.t -> Proc.t -> result
+val divergence_free :
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> Proc.t -> result
+(** For {!deadlock_free} and {!divergence_free}, [workers] is accepted
+    for interface uniformity but currently inert: these checks are a
+    sequential graph compilation plus an offender scan, not a product
+    search. *)
+
+val deterministic :
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  Defs.t -> Proc.t -> result
 (** FDR's determinism check in the stable-failures model: [P] is
     deterministic iff [normalise(P) ⊑F P], which this implements as a
     failures self-refinement (the specification side is normalized

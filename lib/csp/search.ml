@@ -20,6 +20,8 @@ type stats = {
   wall_s : float;
   states_per_sec : float;
   peak_frontier : int;
+  workers : int;
+  par_speedup : float;
 }
 
 type budget_kind =
@@ -40,15 +42,28 @@ type result =
 
 type refusal = [ `None | `Acceptances | `Full ]
 
+(* A raw successor as computed by a worker: not yet interned into the
+   dense state space (interning mutates shared tables, so it happens only
+   in the deterministic merge phase). *)
+type raw_target =
+  | Raw_term of Proc.t
+  | Raw_state of int
+
 type source = {
   initial : int;
-  step : int -> (Event.label * int) list;
+  raw_step : unit -> int -> (Event.label * raw_target) list;
+  intern : raw_target -> int;
   term_of : int -> Proc.t;
   state_count : unit -> int;
   divergent : (int -> bool) option;
 }
 
 type interner = [ `Id | `Structural ]
+
+(* Deadline polling cadence: [Unix.gettimeofday] is a syscall, so the
+   dequeue loop consults the clock only once per this many explored pairs
+   instead of on every pair. *)
+let deadline_poll_mask = 255
 
 (* Internal: unwound to an [Inconclusive] verdict at the end of [product],
    where the current counters and frontier are in scope. *)
@@ -61,8 +76,8 @@ let visible_trace labels =
 
 let per_sec states wall = if wall > 0. then float_of_int states /. wall else 0.
 
-let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ~impl_states ~spec_nodes
-    ~pairs () =
+let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ?(workers = 1)
+    ?(par_speedup = 1.) ~impl_states ~spec_nodes ~pairs () =
   {
     impl_states;
     spec_nodes;
@@ -70,6 +85,8 @@ let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ~impl_states ~spec_nodes
     wall_s;
     states_per_sec = per_sec (max impl_states pairs) wall_s;
     peak_frontier;
+    workers;
+    par_speedup;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -101,11 +118,11 @@ let proc_interner = function
     let tbl = Structural_tbl.create 1024 in
     (Structural_tbl.find_opt tbl, Structural_tbl.replace tbl)
 
-let proc_source ?(interner = `Id) ~step term0 =
+let proc_source ?(interner = `Id) ~make_step term0 =
   let find_opt, replace = proc_interner interner in
   let terms = ref (Array.make 1024 term0) in
   let count = ref 0 in
-  let intern term =
+  let intern_term term =
     match find_opt term with
     | Some i -> i
     | None ->
@@ -120,10 +137,22 @@ let proc_source ?(interner = `Id) ~step term0 =
       replace term i;
       i
   in
-  let initial = intern term0 in
+  let initial = intern_term term0 in
   {
     initial;
-    step = (fun i -> List.map (fun (l, t) -> l, intern t) (step !terms.(i)));
+    (* each call builds a stepper with a private memo cache: one per
+       worker domain, so the parallel hot path takes no locks beyond the
+       hash-consing of freshly built terms *)
+    raw_step =
+      (fun () ->
+        let step = make_step () in
+        fun i ->
+          List.map (fun (l, t) -> l, Raw_term t) (step !terms.(i)));
+    intern =
+      (fun raw ->
+        match raw with
+        | Raw_term t -> intern_term t
+        | Raw_state _ -> invalid_arg "Search.proc_source: foreign raw target");
     term_of = (fun i -> !terms.(i));
     state_count = (fun () -> !count);
     divergent = None;
@@ -140,11 +169,125 @@ let lts_source ?(check_divergence = true) lts =
   in
   {
     initial = lts.Lts.initial;
-    step = Lts.transitions_of lts;
+    raw_step =
+      (fun () i ->
+        List.map (fun (l, j) -> l, Raw_state j) (Lts.transitions_of lts i));
+    intern =
+      (fun raw ->
+        match raw with
+        | Raw_state j -> j
+        | Raw_term _ -> invalid_arg "Search.lts_source: foreign raw target");
     term_of = Lts.state_term lts;
     state_count = (fun () -> Lts.num_states lts);
     divergent;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* A fixed pool of [Domain.t] workers driven level-by-level. The calling
+   domain participates as a worker, so a pool of size [w] spawns [w - 1]
+   domains. Jobs pull work items through an atomic counter (dynamic load
+   balancing) and write results into position-indexed slots, so the merge
+   that follows is deterministic no matter how the work was scheduled.
+   The mutex/condition handshake on both sides of a job gives the
+   happens-before edges that make the shared search arrays safely visible
+   to workers (read-only during a job) and their result slots safely
+   visible to the merge. *)
+module Pool = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    start : Condition.t;
+    finished : Condition.t;
+    mutable epoch : int;
+    mutable job : ('a -> unit) option;
+    mutable pending : int;
+    mutable stop : bool;
+    mutable failure : exn option;
+    mutable domains : unit Domain.t list;
+    caller_state : 'a;
+  }
+
+  let worker_loop t init =
+    let state = init () in
+    let seen = ref 0 in
+    let rec loop () =
+      Mutex.lock t.mutex;
+      while t.epoch = !seen && not t.stop do
+        Condition.wait t.start t.mutex
+      done;
+      if t.stop then Mutex.unlock t.mutex
+      else begin
+        seen := t.epoch;
+        let job = Option.get t.job in
+        Mutex.unlock t.mutex;
+        (try job state
+         with e ->
+           Mutex.lock t.mutex;
+           if t.failure = None then t.failure <- Some e;
+           Mutex.unlock t.mutex);
+        Mutex.lock t.mutex;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.broadcast t.finished;
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ~init size =
+    let t =
+      {
+        mutex = Mutex.create ();
+        start = Condition.create ();
+        finished = Condition.create ();
+        epoch = 0;
+        job = None;
+        pending = 0;
+        stop = false;
+        failure = None;
+        domains = [];
+        caller_state = init ();
+      }
+    in
+    t.domains <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t init));
+    t
+
+  (* Run [job] on every worker (including the caller); returns once all
+     are done. A job that raised in a spawned worker re-raises here. *)
+  let run t job =
+    Mutex.lock t.mutex;
+    t.job <- Some job;
+    t.pending <- List.length t.domains;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    let caller_failure =
+      try
+        job t.caller_state;
+        None
+      with e -> Some e
+    in
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    let worker_failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.mutex;
+    match caller_failure, worker_failure with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    Condition.broadcast t.start;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains
+end
 
 (* ------------------------------------------------------------------ *)
 (* The engine                                                          *)
@@ -157,7 +300,23 @@ module Pair_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-let product ~refusal ~max_pairs ?stop_at ~norm source =
+(* What a worker computes for one dequeued pair: everything that needs no
+   shared mutable state. Interning the successors, recording parent edges
+   and deciding the verdict happen later, in frontier order, so the
+   outcome is byte-identical to the sequential engine's. *)
+type edge =
+  | E_step of Event.label * raw_target * int  (* label, successor, spec node *)
+  | E_trace_violation of Event.label  (* the specification forbids it *)
+
+type expansion =
+  | X_pruned  (* divergent specification node: the subtree is allowed *)
+  | X_divergent  (* divergent implementation state: a violation *)
+  | X_refusal of Event.label list * Event.label list list
+  | X_edges of edge list
+  | X_error of exn  (* re-raised in frontier order by the merge *)
+
+let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
+  let workers = max 1 workers in
   let t0 = Unix.gettimeofday () in
   (* Product pairs (impl state, normal-form node), interned to dense ids;
      per-id state and parent edge live in growable arrays. *)
@@ -168,6 +327,7 @@ let product ~refusal ~max_pairs ?stop_at ~norm source =
   let pair_count = ref 0 in
   let queue = Queue.create () in
   let peak_frontier = ref 0 in
+  let busy_us = Atomic.make 0 in
   let intern_pair parent ((impl_i, node) as pair) =
     if not (Pair_tbl.mem pair_ids pair) then begin
       if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
@@ -213,97 +373,189 @@ let product ~refusal ~max_pairs ?stop_at ~norm source =
   let explored = ref 0 in
   let last_dequeued = ref 0 in
   let over_deadline () =
+    (* polled only every [deadline_poll_mask + 1] dequeues: the clock read
+       is a syscall, and per-pair work is microseconds *)
     match stop_at with
-    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | Some limit ->
+      !explored > 0
+      && !explored land deadline_poll_mask = 0
+      && Unix.gettimeofday () > limit
     | None -> false
   in
+  let par_speedup wall =
+    if workers > 1 && wall > 0. then
+      float_of_int (Atomic.get busy_us) /. 1e6 /. wall
+    else 1.
+  in
   let current_stats () =
-    make_stats
-      ~wall_s:(Unix.gettimeofday () -. t0)
-      ~peak_frontier:!peak_frontier ~impl_states:(source.state_count ())
+    let wall_s = Unix.gettimeofday () -. t0 in
+    make_stats ~wall_s ~peak_frontier:!peak_frontier ~workers
+      ~par_speedup:(par_speedup wall_s) ~impl_states:(source.state_count ())
       ~spec_nodes:(Normalise.num_nodes norm) ~pairs:!pair_count ()
   in
-  intern_pair None (source.initial, Normalise.initial norm);
-  let rec search () =
-    (* an empty queue is a completed search: the verdict stands even if
-       the deadline expired while reaching it *)
-    if Queue.is_empty queue then Holds (current_stats ())
-    else if over_deadline () then raise (Out_of_budget Deadline)
-    else
-      match Queue.take_opt queue with
-      | None -> Holds (current_stats ())
-      | Some pair_id ->
-        last_dequeued := pair_id;
-        incr explored;
-        let impl_i = !pair_impl.(pair_id)
-        and node = !pair_node.(pair_id) in
-        (match source.divergent with
-         | Some impl_divergent ->
-           (* Under a divergent specification node everything is allowed,
-              so that subtree is pruned; a divergent implementation state
-              under a non-divergent node is a violation. *)
-           if Normalise.divergent norm node then search ()
-           else if impl_divergent impl_i then
-             Fails (counterexample pair_id [] Divergence impl_i)
-           else explore pair_id impl_i node
-         | None -> explore pair_id impl_i node)
-  and explore pair_id impl_i node =
-    let ts = source.step impl_i in
-    let stable =
-      not
-        (List.exists
-           (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
-           ts)
-    in
-    let refusal_failure =
-      if refusal <> `None && stable then begin
-        let offered = List.sort_uniq Event.compare_label (List.map fst ts) in
-        let accs =
-          match refusal with
-          | `Acceptances -> Normalise.acceptances norm node
-          | `Full ->
-            [ List.sort_uniq Event.compare_label
-                (List.map fst (Normalise.afters norm node)) ]
-          | `None -> []
-        in
-        let covered =
-          List.exists
-            (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
-            accs
-        in
-        if covered then None
-        else
-          Some
-            (counterexample pair_id []
-               (Refusal_violation { offered; acceptances = accs })
-               impl_i)
-      end
-      else None
-    in
-    match refusal_failure with
-    | Some cex -> Fails cex
-    | None ->
-      let violation =
-        List.find_map
-          (fun (l, target) ->
-            match l with
-            | Event.Tau ->
-              intern_pair (Some (l, pair_id)) (target, node);
-              None
-            | Event.Tick | Event.Vis _ ->
-              (match Normalise.after norm node l with
-               | Some node' ->
-                 intern_pair (Some (l, pair_id)) (target, node');
-                 None
-               | None ->
-                 Some (counterexample pair_id [ l ] (Trace_violation l) impl_i)))
-          ts
+  (* Stage 1 (parallel-safe): expand one pair using a worker's private
+     stepper. Reads the shared arrays but never writes them. *)
+  let expand step impl_i node =
+    match source.divergent with
+    | Some _ when Normalise.divergent norm node -> X_pruned
+    | Some impl_divergent when impl_divergent impl_i -> X_divergent
+    | _ ->
+      let ts = step impl_i in
+      let stable =
+        not
+          (List.exists
+             (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
+             ts)
       in
-      (match violation with
-       | Some cex -> Fails cex
-       | None -> search ())
+      let refused =
+        if refusal <> `None && stable then begin
+          let offered = List.sort_uniq Event.compare_label (List.map fst ts) in
+          let accs =
+            match refusal with
+            | `Acceptances -> Normalise.acceptances norm node
+            | `Full ->
+              [ List.sort_uniq Event.compare_label
+                  (List.map fst (Normalise.afters norm node)) ]
+            | `None -> []
+          in
+          let covered =
+            List.exists
+              (fun acc -> List.for_all (fun l -> List.mem l offered) acc)
+              accs
+          in
+          if covered then None else Some (offered, accs)
+        end
+        else None
+      in
+      (match refused with
+       | Some (offered, accs) -> X_refusal (offered, accs)
+       | None ->
+         X_edges
+           (List.map
+              (fun (l, target) ->
+                match l with
+                | Event.Tau -> E_step (l, target, node)
+                | Event.Tick | Event.Vis _ ->
+                  (match Normalise.after norm node l with
+                   | Some node' -> E_step (l, target, node')
+                   | None -> E_trace_violation l))
+              ts))
   in
-  try search ()
+  (* Stage 2 (merge, single domain): commit one pair's expansion in
+     frontier order. [Some result] short-circuits the search. *)
+  let commit pair_id expansion =
+    last_dequeued := pair_id;
+    incr explored;
+    let impl_i = !pair_impl.(pair_id) in
+    match expansion with
+    | X_pruned -> None
+    | X_divergent -> Some (Fails (counterexample pair_id [] Divergence impl_i))
+    | X_refusal (offered, acceptances) ->
+      Some
+        (Fails
+           (counterexample pair_id []
+              (Refusal_violation { offered; acceptances })
+              impl_i))
+    | X_error e -> raise e
+    | X_edges edges ->
+      (* Intern every successor state first, then scan for violations
+         while interning pairs: the same order as a sequential stepper
+         that interns its whole result list before the scan. *)
+      let interned =
+        List.map
+          (fun edge ->
+            match edge with
+            | E_step (l, target, node') -> `Step (l, source.intern target, node')
+            | E_trace_violation l -> `Violation l)
+          edges
+      in
+      List.find_map
+        (fun step ->
+          match step with
+          | `Step (l, target_i, node') ->
+            intern_pair (Some (l, pair_id)) (target_i, node');
+            None
+          | `Violation l ->
+            Some
+              (Fails (counterexample pair_id [ l ] (Trace_violation l) impl_i)))
+        interned
+  in
+  intern_pair None (source.initial, Normalise.initial norm);
+  (* Sequential engine: one stepper, expand-and-commit per dequeue. *)
+  let run_sequential () =
+    let step = source.raw_step () in
+    let rec search () =
+      (* an empty queue is a completed search: the verdict stands even if
+         the deadline expired while reaching it *)
+      if Queue.is_empty queue then Holds (current_stats ())
+      else if over_deadline () then raise (Out_of_budget Deadline)
+      else
+        match Queue.take_opt queue with
+        | None -> Holds (current_stats ())
+        | Some pair_id ->
+          let expansion =
+            expand step !pair_impl.(pair_id) !pair_node.(pair_id)
+          in
+          (match commit pair_id expansion with
+           | Some result -> result
+           | None -> search ())
+    in
+    search ()
+  in
+  (* Parallel engine: the queue is drained level-synchronously. Workers
+     expand the snapshot of the current frontier into position-indexed
+     slots; the merge then replays the slots in frontier order, so
+     verdicts, counterexample traces, and state/pair counts are
+     byte-identical to the sequential engine (only wall-clock differs).
+     Work discovered during the merge forms the next level. *)
+  let run_parallel pool =
+    let rec level () =
+      if Queue.is_empty queue then Holds (current_stats ())
+      else begin
+        let frontier = Array.of_seq (Queue.to_seq queue) in
+        let n = Array.length frontier in
+        let results = Array.make n X_pruned in
+        let next = Atomic.make 0 in
+        Pool.run pool (fun step ->
+            let t_start = Unix.gettimeofday () in
+            let rec grab () =
+              let k = Atomic.fetch_and_add next 1 in
+              if k < n then begin
+                let pair_id = frontier.(k) in
+                results.(k) <-
+                  (try expand step !pair_impl.(pair_id) !pair_node.(pair_id)
+                   with e -> X_error e);
+                grab ()
+              end
+            in
+            grab ();
+            let spent = Unix.gettimeofday () -. t_start in
+            ignore
+              (Atomic.fetch_and_add busy_us (int_of_float (spent *. 1e6))));
+        let rec merge k =
+          if k >= n then level ()
+          else if over_deadline () then raise (Out_of_budget Deadline)
+          else begin
+            let pair_id = Queue.take queue in
+            match commit pair_id results.(k) with
+            | Some result -> result
+            | None -> merge (k + 1)
+          end
+        in
+        merge 0
+      end
+    in
+    level ()
+  in
+  let run () =
+    if workers = 1 then run_sequential ()
+    else begin
+      let pool = Pool.create ~init:source.raw_step workers in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+          run_parallel pool)
+    end
+  in
+  try run ()
   with Out_of_budget kind ->
     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
        it is discovered-but-unexplored work, so it counts as frontier. *)

@@ -10,8 +10,11 @@
     determinism checking are all thin configurations of {!product}.
 
     The engine owns the shared mechanics: pair interning, parent tracking
-    with O(depth) trace reconstruction, pair/deadline budgets, and per-check
-    instrumentation (wall time, states per second, peak frontier). *)
+    with O(depth) trace reconstruction, pair/deadline budgets, per-check
+    instrumentation (wall time, states per second, peak frontier), and —
+    with [workers > 1] — a level-synchronous multicore exploration over a
+    fixed pool of OCaml 5 domains whose verdicts, counterexample traces,
+    and state/pair counts are byte-identical to the sequential engine's. *)
 
 type violation =
   | Trace_violation of Event.label
@@ -44,6 +47,10 @@ type stats = {
       (** [max impl_states pairs / wall_s] — the search throughput *)
   peak_frontier : int;
       (** largest number of discovered-but-unexplored pairs at any point *)
+  workers : int;  (** domains used by the search (1 = sequential) *)
+  par_speedup : float;
+      (** estimated speedup over one worker: aggregate worker busy time
+          divided by wall time; 1.0 for a sequential search *)
 }
 
 type budget_kind =
@@ -78,9 +85,22 @@ type refusal =
     (** a stable implementation state must offer every label the normal
         form can perform (the determinism check) *) ]
 
+type raw_target =
+  | Raw_term of Proc.t
+  | Raw_state of int
+      (** a successor produced by a worker, not yet interned: interning
+          mutates the shared state tables, so it is deferred to the
+          deterministic merge phase *)
+
 type source = {
   initial : int;
-  step : int -> (Event.label * int) list;
+  raw_step : unit -> int -> (Event.label * raw_target) list;
+      (** [raw_step ()] builds a fresh stepper with its own private memo
+          caches — one per worker domain, so the parallel hot path takes
+          no locks *)
+  intern : raw_target -> int;
+      (** merge-phase only: admit a raw successor into the dense state
+          space *)
   term_of : int -> Proc.t;
   state_count : unit -> int;
       (** distinct implementation states interned so far *)
@@ -97,11 +117,14 @@ type interner =
         oracle — verdicts must be identical to [`Id] *) ]
 
 val proc_source :
-  ?interner:interner -> step:(Proc.t -> (Event.label * Proc.t) list) ->
-  Proc.t -> source
+  ?interner:interner ->
+  make_step:(unit -> Proc.t -> (Event.label * Proc.t) list) ->
+  Proc.t ->
+  source
 (** States are process terms, interned on the fly as the search reaches
     them (early counterexamples avoid compiling the full state space).
-    Default interner is [`Id]. *)
+    [make_step] is invoked once per worker domain so each gets a private
+    transition memo. Default interner is [`Id]. *)
 
 val lts_source : ?check_divergence:bool -> Lts.t -> source
 (** States are the nodes of a precompiled graph. [check_divergence]
@@ -111,7 +134,7 @@ val visible_trace : Event.label list -> Event.label list
 (** Drop [Tau] labels (keeps [Tick]). *)
 
 val make_stats :
-  ?wall_s:float -> ?peak_frontier:int ->
+  ?wall_s:float -> ?peak_frontier:int -> ?workers:int -> ?par_speedup:float ->
   impl_states:int -> spec_nodes:int -> pairs:int -> unit -> stats
 (** Assemble a {!stats} for results produced outside {!product} (partial
     compiles, deadlock/divergence checks); derives [states_per_sec]. *)
@@ -120,9 +143,19 @@ val product :
   refusal:refusal ->
   max_pairs:int ->
   ?stop_at:float ->
+  ?workers:int ->
   norm:Normalise.t ->
   source ->
   result
-(** Run the search. [stop_at] is an absolute [Unix.gettimeofday] deadline;
-    at least one pair is always explored before it is consulted, so an
-    {!Inconclusive} result always carries non-zero stats. *)
+(** Run the search. [stop_at] is an absolute [Unix.gettimeofday] deadline,
+    polled once every 256 dequeues (a clock read is a syscall); an empty
+    queue always yields the exact verdict even if the deadline has passed,
+    so an {!Inconclusive} result always carries non-zero stats.
+
+    [workers] (default 1) sets the size of the domain pool; the calling
+    domain participates, so [workers = 4] spawns three extra domains.
+    Every BFS level of the frontier is expanded concurrently into
+    position-indexed slots and merged in frontier order, so verdicts,
+    counterexample traces, and state/pair counts are byte-identical to a
+    [workers = 1] run — only [wall_s], [states_per_sec], and
+    [par_speedup] vary. *)

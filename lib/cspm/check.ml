@@ -4,9 +4,17 @@ type outcome = {
   result : Csp.Refine.result;
 }
 
-let run_assertion ?max_states ?deadline (loaded : Elaborate.t)
-    (a : Ast.assertion) =
-  let defs = loaded.Elaborate.defs in
+(* An assertion with its process terms elaborated up front. Elaboration
+   mutates nothing but builds terms through the hash-consing constructors;
+   doing it eagerly on the calling domain keeps the parallel scheduling
+   below confined to the (domain-safe) refinement engine. *)
+type prepared =
+  | P_refines of Csp.Proc.t * Csp.Refine.model * Csp.Proc.t
+  | P_deadlock_free of Csp.Proc.t
+  | P_divergence_free of Csp.Proc.t
+  | P_deterministic of Csp.Proc.t
+
+let prepare (loaded : Elaborate.t) (a : Ast.assertion) =
   match a with
   | Ast.A_refines (spec_t, model, impl_t) ->
     let spec = Elaborate.proc_of_term loaded spec_t in
@@ -17,34 +25,112 @@ let run_assertion ?max_states ?deadline (loaded : Elaborate.t)
       | Ast.M_failures -> Csp.Refine.Failures
       | Ast.M_failures_divergences -> Csp.Refine.Failures_divergences
     in
-    Csp.Refine.check ~model ?max_states ?deadline defs ~spec ~impl
-  | Ast.A_deadlock_free t ->
-    Csp.Refine.deadlock_free ?max_states ?deadline defs
-      (Elaborate.proc_of_term loaded t)
+    P_refines (spec, model, impl)
+  | Ast.A_deadlock_free t -> P_deadlock_free (Elaborate.proc_of_term loaded t)
   | Ast.A_divergence_free t ->
-    Csp.Refine.divergence_free ?max_states ?deadline defs
-      (Elaborate.proc_of_term loaded t)
-  | Ast.A_deterministic t ->
-    Csp.Refine.deterministic ?max_states ?deadline defs
-      (Elaborate.proc_of_term loaded t)
+    P_divergence_free (Elaborate.proc_of_term loaded t)
+  | Ast.A_deterministic t -> P_deterministic (Elaborate.proc_of_term loaded t)
 
-let run ?max_states ?deadline (loaded : Elaborate.t) =
-  (* the deadline is a per-run budget: split it evenly so one hard
-     assertion cannot starve the ones after it of all wall-clock *)
+let run_prepared ?max_states ?deadline ?workers defs prepared =
+  match prepared with
+  | P_refines (spec, model, impl) ->
+    Csp.Refine.check ~model ?max_states ?deadline ?workers defs ~spec ~impl
+  | P_deadlock_free p ->
+    Csp.Refine.deadlock_free ?max_states ?deadline ?workers defs p
+  | P_divergence_free p ->
+    Csp.Refine.divergence_free ?max_states ?deadline ?workers defs p
+  | P_deterministic p ->
+    Csp.Refine.deterministic ?max_states ?deadline ?workers defs p
+
+let run_assertion ?max_states ?deadline ?workers (loaded : Elaborate.t)
+    (a : Ast.assertion) =
+  run_prepared ?max_states ?deadline ?workers loaded.Elaborate.defs
+    (prepare loaded a)
+
+(* The per-assertion share of the remaining wall-clock budget. Recomputed
+   before each assertion, so budget a fast assertion leaves unused rolls
+   forward to the ones after it instead of being thrown away. An already
+   overspent budget clamps to a zero slice, never a negative one. *)
+let slice ~remaining_wall ~remaining =
+  if remaining <= 0 then remaining_wall
+  else max 0. remaining_wall /. float_of_int remaining
+
+(* Deadline runs are sequential: each assertion's slice depends on how
+   much wall-clock the previous ones actually used. *)
+let run_with_deadline ?max_states ~total ~workers (loaded : Elaborate.t) =
   let n = List.length loaded.Elaborate.assertions in
-  let deadline =
-    match deadline with
-    | Some d when n > 1 -> Some (d /. float_of_int n)
-    | other -> other
-  in
-  List.map
-    (fun (assertion, pos) ->
+  let t0 = Unix.gettimeofday () in
+  List.mapi
+    (fun i (assertion, pos) ->
+      let remaining_wall = total -. (Unix.gettimeofday () -. t0) in
+      let deadline = slice ~remaining_wall ~remaining:(n - i) in
       {
         assertion;
         pos = Some pos;
-        result = run_assertion ?max_states ?deadline loaded assertion;
+        result = run_assertion ?max_states ~deadline ~workers loaded assertion;
       })
     loaded.Elaborate.assertions
+
+(* Without a deadline the assertions are independent, so idle domains can
+   take whole assertions: [concurrent] of them run at once, each with an
+   equal share of the worker pool for its own product search. Results are
+   reported in script order regardless of completion order. *)
+let run_concurrent ?max_states ~workers (loaded : Elaborate.t) =
+  let assertions = Array.of_list loaded.Elaborate.assertions in
+  let n = Array.length assertions in
+  let prepared =
+    Array.map (fun (a, _) -> prepare loaded a) assertions
+  in
+  let concurrent = min workers n in
+  let per_assertion = max 1 (workers / concurrent) in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let task () =
+    let rec grab () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          Some
+            (try
+               Ok
+                 (run_prepared ?max_states ~workers:per_assertion
+                    loaded.Elaborate.defs prepared.(i))
+             with e -> Error e);
+        grab ()
+      end
+    in
+    grab ()
+  in
+  let domains =
+    List.init (concurrent - 1) (fun _ -> Domain.spawn task)
+  in
+  task ();
+  List.iter Domain.join domains;
+  Array.to_list
+    (Array.mapi
+       (fun i (assertion, pos) ->
+         match results.(i) with
+         | Some (Ok result) -> { assertion; pos = Some pos; result }
+         | Some (Error e) -> raise e
+         | None -> assert false)
+       assertions)
+
+let run ?max_states ?deadline ?(workers = 1) (loaded : Elaborate.t) =
+  let workers = max 1 workers in
+  let n = List.length loaded.Elaborate.assertions in
+  match deadline with
+  | Some total -> run_with_deadline ?max_states ~total ~workers loaded
+  | None ->
+    if workers > 1 && n > 1 then run_concurrent ?max_states ~workers loaded
+    else
+      List.map
+        (fun (assertion, pos) ->
+          {
+            assertion;
+            pos = Some pos;
+            result = run_assertion ?max_states ~workers loaded assertion;
+          })
+        loaded.Elaborate.assertions
 
 let all_pass outcomes =
   List.for_all (fun o -> Csp.Refine.holds o.result) outcomes

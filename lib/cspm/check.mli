@@ -11,6 +11,7 @@ type outcome = {
 val run_assertion :
   ?max_states:int ->
   ?deadline:float ->
+  ?workers:int ->
   Elaborate.t ->
   Ast.assertion ->
   Csp.Refine.result
@@ -18,12 +19,30 @@ val run_assertion :
     corresponding check ([T=] trace refinement, [F=] stable-failures
     refinement, deadlock or divergence freedom). [deadline] is a
     wall-clock budget in seconds; on expiry the result is
-    {!Csp.Refine.Inconclusive} rather than an exception. *)
+    {!Csp.Refine.Inconclusive} rather than an exception. [workers]
+    (default 1) sizes the refinement engine's domain pool. *)
 
-val run : ?max_states:int -> ?deadline:float -> Elaborate.t -> outcome list
-(** Run every [assert] in script order. A [deadline] covers the whole
-    run: it is divided evenly between the assertions so an intractable
-    early assertion cannot consume the entire budget. *)
+val slice : remaining_wall:float -> remaining:int -> float
+(** The wall-clock share the next assertion receives when
+    [remaining_wall] seconds are left for [remaining] assertions:
+    [remaining_wall / remaining], clamped to be non-negative. Exposed so
+    the rolling-budget arithmetic is testable on its own. *)
+
+val run :
+  ?max_states:int -> ?deadline:float -> ?workers:int -> Elaborate.t ->
+  outcome list
+(** Run every [assert], reporting outcomes in script order. A [deadline]
+    covers the whole run; each assertion's slice is recomputed as
+    remaining-wall / remaining-assertions, so budget left unused by fast
+    assertions rolls forward to later (possibly hard) ones instead of
+    being discarded.
+
+    [workers] (default 1) enables multicore checking: under a deadline
+    (whose accounting is inherently sequential) each assertion runs the
+    parallel engine with the full pool; without one, up to [workers]
+    independent assertions run concurrently on their own domains, each
+    given an equal share of the pool for its own product search. Verdicts
+    and counterexamples are identical to a sequential run either way. *)
 
 val all_pass : outcome list -> bool
 (** Every outcome is {!Csp.Refine.Holds} — inconclusive is not a pass. *)

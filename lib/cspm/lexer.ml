@@ -279,7 +279,13 @@ let tokens src =
          while !i < n && is_digit src.[!i] do
            advance ()
          done;
-         emit (NUM (int_of_string (String.sub src start (!i - start)))) p
+         let text = String.sub src start (!i - start) in
+         (match int_of_string_opt text with
+          | Some v -> emit (NUM v) p
+          | None ->
+            raise
+              (Lex_error
+                 (Printf.sprintf "integer literal %s out of range" text, p)))
        | c when is_ident_start c ->
          let start = !i in
          while !i < n && is_ident_char src.[!i] do

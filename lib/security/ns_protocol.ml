@@ -141,8 +141,8 @@ let authentication_spec defs =
     ~trigger:(Csp.Event.event "running" [ agent_a; agent_b ])
     ~guarded:(Csp.Event.event "commit" [ agent_b; agent_a ])
 
-let check ?interner ?(max_states = 2_000_000) ?deadline ~fixed () =
+let check ?interner ?(max_states = 2_000_000) ?deadline ?workers ~fixed () =
   let defs, system = build ~fixed in
   let spec = authentication_spec defs in
-  Csp.Refine.traces_refines ?interner ~max_states ?deadline defs ~spec
-    ~impl:system
+  Csp.Refine.traces_refines ?interner ~max_states ?deadline ?workers defs
+    ~spec ~impl:system

@@ -22,7 +22,10 @@ val authentication_spec : Csp.Defs.t -> Csp.Proc.t
 
 val check :
   ?interner:Csp.Search.interner ->
-  ?max_states:int -> ?deadline:float -> fixed:bool -> unit -> Csp.Refine.result
+  ?max_states:int -> ?deadline:float -> ?workers:int ->
+  fixed:bool -> unit -> Csp.Refine.result
 (** Build and check authentication (default [max_states] = [2_000_000]).
     [deadline] (seconds) makes the check budgeted: exhausting it returns
-    [Inconclusive] rather than running to completion. *)
+    [Inconclusive] rather than running to completion. [workers] sizes the
+    refinement engine's domain pool; the verdict and counts are identical
+    at any worker count. *)

@@ -14,6 +14,12 @@ let make_defs () =
   Defs.declare_channel defs "done_" [];
   defs
 
+(* Substring containment, for asserting on error-message contents. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
 let ev chan n = Event.event chan [ Value.Int n ]
 let ev0 chan = Event.event chan []
 

@@ -34,4 +34,5 @@ let () =
       Test_productions.suite;
       Test_misc.suite;
       Test_hashcons.suite;
+      Test_search_par.suite;
     ]

@@ -21,6 +21,25 @@ let test_lexer_literals () =
       Lexer.IDENT "a"; Lexer.SHL_ASSIGN; Lexer.INT 2; Lexer.EOF ] -> ()
   | _ -> Alcotest.fail "operator lexing"
 
+(* Literals wider than the native int (or float) must surface as
+   positioned lexical errors, not as an uncaught [Failure]. *)
+let test_lexer_literal_overflow () =
+  (try
+     ignore (toks "x = 99999999999999999999;");
+     Alcotest.fail "expected Lex_error on decimal overflow"
+   with Lexer.Lex_error (msg, pos) ->
+     check_bool "decimal message" true (Helpers.contains msg "out of range");
+     check_int "decimal line" 1 pos.Ast.line;
+     check_int "decimal col is the token start" 5 pos.Ast.col);
+  try
+    ignore (toks "x = 0xFFFFFFFFFFFFFFFFFF;");
+    Alcotest.fail "expected Lex_error on hex overflow"
+  with Lexer.Lex_error (msg, pos) ->
+    check_bool "hex message" true (Helpers.contains msg "out of range");
+    check_bool "hex message names the literal" true
+      (Helpers.contains msg "0xFFFFFFFFFFFFFFFFFF");
+    check_int "hex col is the token start" 5 pos.Ast.col
+
 let test_lexer_comments_include () =
   (match toks "a // line\n/* block\nmore */ b" with
    | [ Lexer.IDENT "a"; Lexer.IDENT "b"; Lexer.EOF ] -> ()
@@ -164,6 +183,7 @@ let suite =
   ( "capl",
     [
       Alcotest.test_case "lexer literals and operators" `Quick test_lexer_literals;
+      Alcotest.test_case "literal overflow" `Quick test_lexer_literal_overflow;
       Alcotest.test_case "lexer comments and includes" `Quick
         test_lexer_comments_include;
       Alcotest.test_case "program structure" `Quick test_parse_program_structure;

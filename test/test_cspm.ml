@@ -47,6 +47,22 @@ let test_lexer_positions () =
     check_int "col 3" 3 p2.Ast.col
   | _ -> Alcotest.fail "token count"
 
+(* A literal wider than the native int must be a positioned lexical
+   error, not an uncaught [Failure "int_of_string"]. *)
+let test_lexer_int_overflow () =
+  (match toks (string_of_int max_int) with
+   | [ Lexer.NUM n; Lexer.EOF ] -> check_int "max_int still lexes" max_int n
+   | _ -> Alcotest.fail "max_int lexing");
+  try
+    ignore (Lexer.tokens "P = c!99999999999999999999 -> STOP");
+    Alcotest.fail "expected Lex_error"
+  with Lexer.Lex_error (msg, pos) ->
+    check_bool "message names the literal" true
+      (Helpers.contains msg "99999999999999999999");
+    check_bool "message says out of range" true (Helpers.contains msg "out of range");
+    check_int "error line" 1 pos.Ast.line;
+    check_int "error col is the token start" 7 pos.Ast.col
+
 (* ------------------------------------------------------------------ *)
 (* Parser                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -160,6 +176,66 @@ let test_counterexample_through_cspm () =
   check_bool "flaw found" false (Check.all_pass outcomes)
 
 (* ------------------------------------------------------------------ *)
+(* Budget slicing and scheduling                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_slice_arithmetic () =
+  let check_float = Alcotest.(check (float 1e-9)) in
+  check_float "even split" 2.5 (Check.slice ~remaining_wall:10.0 ~remaining:4);
+  check_float "last assertion gets everything" 9.0
+    (Check.slice ~remaining_wall:9.0 ~remaining:1);
+  check_float "overspent budget clamps to zero" 0.0
+    (Check.slice ~remaining_wall:(-3.0) ~remaining:2);
+  check_float "no assertions left passes the wall through" 7.0
+    (Check.slice ~remaining_wall:7.0 ~remaining:0)
+
+(* Nine trivial assertions followed by one that actually has to search:
+   under the old fixed up-front split the hard one only ever saw a tenth
+   of the budget; with rolling slices the time the trivial ones leave
+   unused carries forward and the whole script passes under one
+   --timeout. *)
+let rolling_script =
+  let trivial = "assert T [T= T\n" in
+  "channel c : {0..9}\n\
+   P(n) = c!n -> P((n+1)%10)\n\
+   T = c?x -> T\n\
+   SYS = P(0) ||| P(2) ||| P(4) ||| P(6)\n"
+  ^ String.concat "" (List.init 9 (fun _ -> trivial))
+  ^ "assert T [T= SYS\n"
+
+let test_rolling_budget () =
+  let loaded = Elaborate.load_string rolling_script in
+  let outcomes = Check.run ~deadline:60.0 loaded in
+  check_int "ten assertions" 10 (List.length outcomes);
+  check_bool "all pass under one rolling budget" true (Check.all_pass outcomes)
+
+(* Without a deadline, [run ~workers] schedules whole assertions onto
+   idle domains; outcomes must come back in script order with the same
+   verdicts as the sequential run. *)
+let test_concurrent_run_matches_sequential () =
+  let script =
+    ota_script
+    ^ "\nBAD = send?m -> rec!rptUpd -> BAD\n\
+       assert SP02 [T= VMG [| {| send, rec |} |] BAD\n\
+       assert SYSTEM :[deadlock free [F]]"
+  in
+  let verdict o =
+    match o.Check.result with
+    | Csp.Refine.Holds _ -> "H"
+    | Csp.Refine.Fails _ -> "F"
+    | Csp.Refine.Inconclusive _ -> "I"
+  in
+  let loaded = Elaborate.load_string script in
+  let seq = Check.run loaded in
+  let par = Check.run ~workers:2 loaded in
+  check_int "same count" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "same verdict in script order" (verdict a)
+        (verdict b))
+    seq par
+
+(* ------------------------------------------------------------------ *)
 (* Printing round trip                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -204,6 +280,11 @@ let suite =
       Alcotest.test_case "lexer symbols" `Quick test_lexer_symbols;
       Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
       Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+      Alcotest.test_case "int literal overflow" `Quick test_lexer_int_overflow;
+      Alcotest.test_case "budget slice arithmetic" `Quick test_slice_arithmetic;
+      Alcotest.test_case "rolling timeout budget" `Quick test_rolling_budget;
+      Alcotest.test_case "concurrent run matches sequential" `Quick
+        test_concurrent_run_matches_sequential;
       Alcotest.test_case "operator precedence" `Quick test_parse_precedence;
       Alcotest.test_case "prefix fields" `Quick test_parse_prefix_fields;
       Alcotest.test_case "expression backtracking" `Quick test_parse_backtracking;

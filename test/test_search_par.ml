@@ -1,0 +1,141 @@
+(* The parallel product engine must be observationally identical to the
+   sequential one: for any worker count, the verdict, the counterexample
+   trace, and the structural stats (state/pair counts, resume hints) all
+   match byte for byte. Only the timing fields and the recorded pool size
+   may differ. *)
+
+open Csp
+
+let check_string = Alcotest.(check string)
+
+(* Canonical rendering of a result excluding wall-clock timing and the
+   [workers]/[par_speedup] fields, which legitimately vary with the pool
+   size. *)
+let render result =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match result with
+   | Refine.Holds s ->
+     Format.fprintf ppf "Holds impl=%d spec=%d pairs=%d" s.Refine.impl_states
+       s.Refine.spec_nodes s.Refine.pairs
+   | Refine.Fails cex ->
+     Format.fprintf ppf "Fails %a" Refine.pp_counterexample cex
+   | Refine.Inconclusive (s, hint) ->
+     Format.fprintf ppf "Inconclusive impl=%d spec=%d pairs=%d %a"
+       s.Refine.impl_states s.Refine.spec_nodes s.Refine.pairs
+       Refine.pp_resume_hint hint);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let worker_counts = [ 1; 2; 4 ]
+
+(* qcheck: random ground spec/impl pairs through the traces and failures
+   models at workers 1, 2, 4 against the sequential engine. *)
+let par_equals_seq =
+  QCheck.Test.make ~count:80
+    ~name:"parallel refinement verdicts/traces/stats equal sequential"
+    (QCheck.pair Helpers.arb_proc Helpers.arb_proc)
+    (fun (spec, impl) ->
+      List.for_all
+        (fun model ->
+          let defs = Helpers.make_defs () in
+          let run ?workers () =
+            Refine.check ?workers ~model ~max_states:50_000 defs ~spec ~impl
+          in
+          let expected = render (run ()) in
+          List.for_all
+            (fun w ->
+              let got = render (run ~workers:w ()) in
+              if String.equal expected got then true
+              else
+                QCheck.Test.fail_reportf
+                  "workers=%d diverged:@.seq: %s@.par: %s" w expected got)
+            worker_counts)
+        [ Refine.Traces; Refine.Failures ])
+
+(* A budgeted run must stop at the same pair with the same resume hint at
+   any worker count — the parallel engine commits expansions in exactly
+   the sequential frontier order. *)
+let test_budgeted_inconclusive () =
+  let results =
+    List.map
+      (fun w ->
+        let defs, system = Security.Ns_protocol.build ~fixed:true in
+        let spec = Security.Ns_protocol.authentication_spec defs in
+        w, render (Refine.check ~max_pairs:100 ~workers:w defs ~spec ~impl:system))
+      worker_counts
+  in
+  match results with
+  | (_, expected) :: rest ->
+    Alcotest.(check bool) "budget actually bites" true
+      (String.length expected >= 12 && String.sub expected 0 12 = "Inconclusive");
+    List.iter
+      (fun (w, got) ->
+        check_string (Printf.sprintf "workers=%d budgeted prefix" w) expected got)
+      rest
+  | [] -> assert false
+
+(* The broken Needham-Schroeder protocol: Lowe's attack trace must come
+   out identical (the BFS is level-synchronous, so the minimal
+   counterexample is unique) whatever the pool size. *)
+let test_ns_attack_trace () =
+  let expected =
+    render (Security.Ns_protocol.check ~workers:1 ~fixed:false ())
+  in
+  List.iter
+    (fun w ->
+      check_string
+        (Printf.sprintf "workers=%d attack trace" w)
+        expected
+        (render (Security.Ns_protocol.check ~workers:w ~fixed:false ())))
+    [ 2; 4 ]
+
+(* The recorded stats must say how many workers ran, so benchmark rows
+   can be trusted. *)
+let test_stats_record_workers () =
+  let defs = Helpers.make_defs () in
+  let p = Helpers.send "a" 0 (Helpers.send "b" 1 Proc.stop) in
+  (match Refine.check ~workers:2 defs ~spec:p ~impl:p with
+   | Refine.Holds s -> Alcotest.(check int) "workers recorded" 2 s.Refine.workers
+   | _ -> Alcotest.fail "self-refinement should hold");
+  match Refine.check defs ~spec:p ~impl:p with
+  | Refine.Holds s ->
+    Alcotest.(check int) "sequential is 1 worker" 1 s.Refine.workers;
+    Alcotest.(check (float 0.0)) "sequential speedup is 1" 1.0
+      s.Refine.par_speedup
+  | _ -> Alcotest.fail "self-refinement should hold"
+
+(* deterministic/deadlock_free accept ?workers too (the graph-based
+   checks run sequentially by design but must not reject the option). *)
+let test_other_checks_accept_workers () =
+  let defs = Helpers.make_defs () in
+  let p = Proc.ext (Helpers.send "a" 0 Proc.stop, Helpers.send "b" 1 Proc.skip) in
+  List.iter
+    (fun w ->
+      check_string
+        (Printf.sprintf "deterministic workers=%d" w)
+        (render (Refine.deterministic defs p))
+        (render (Refine.deterministic ~workers:w defs p));
+      check_string
+        (Printf.sprintf "deadlock_free workers=%d" w)
+        (render (Refine.deadlock_free defs p))
+        (render (Refine.deadlock_free ~workers:w defs p));
+      check_string
+        (Printf.sprintf "divergence_free workers=%d" w)
+        (render (Refine.divergence_free defs p))
+        (render (Refine.divergence_free ~workers:w defs p)))
+    [ 2; 4 ]
+
+let suite =
+  ( "search_par",
+    [
+      QCheck_alcotest.to_alcotest par_equals_seq;
+      Alcotest.test_case "budgeted prefix identical across pools" `Quick
+        test_budgeted_inconclusive;
+      Alcotest.test_case "NS attack trace identical across pools" `Quick
+        test_ns_attack_trace;
+      Alcotest.test_case "stats record the pool size" `Quick
+        test_stats_record_workers;
+      Alcotest.test_case "graph checks accept ?workers" `Quick
+        test_other_checks_accept_workers;
+    ] )
