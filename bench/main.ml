@@ -478,9 +478,13 @@ let ablations () =
       (* interning ablation: O(1) hash-consed ids vs the deep structural
          hashing the ids replace, on a full product check *)
       bench "hashcons_id_interning" (fun () ->
-          Ota.Requirements.r05 ~interner:`Id s ~version:1);
+          Ota.Requirements.r05
+            ~config:Csp.Check_config.(default |> with_interner `Id)
+            s ~version:1);
       bench "hashcons_structural_interning" (fun () ->
-          Ota.Requirements.r05 ~interner:`Structural s ~version:1);
+          Ota.Requirements.r05
+            ~config:Csp.Check_config.(default |> with_interner `Structural)
+            s ~version:1);
     ]
 
 let () =

@@ -189,14 +189,73 @@ let run_rows () =
       if n = 5 then
         record_parallel base (fun j ->
             let defs, spec, impl = multi_ecu_system n in
-            Csp.Refine.traces_refines ~workers:j defs ~spec ~impl))
+            Csp.Refine.traces_refines
+              ~config:Csp.Check_config.(default |> with_workers j)
+              defs ~spec ~impl))
     [ 2; 3; 4; 5 ];
   let ns_base =
     record "ns/authentication-fixed" (fun () ->
         Security.Ns_protocol.check ~fixed:true ())
   in
+  (* Instrumentation overhead: the same NS check with a live JSONL sink,
+     measured immediately after the silent row (before the /jN reruns —
+     domain thrash on a small host poisons whatever follows it). Its wall
+     time against the silent row bounds the cost of the observability
+     layer, and the span stream it writes is parsed back here — the
+     consumer side of `cspm_check --trace-out`. *)
+  let trace_path = Filename.temp_file "bench_trace" ".jsonl" in
+  let oc = open_out trace_path in
+  let obs = Obs.create (Obs.Jsonl oc) in
+  let result, t =
+    wall (fun () ->
+        Security.Ns_protocol.check
+          ~config:
+            (Csp.Check_config.with_obs obs Security.Ns_protocol.default_config)
+          ~fixed:true ())
+  in
+  Obs.flush obs;
+  close_out oc;
+  let speedup = if t > 0. then ns_base.wall_s /. t else 0. in
+  let row =
+    row_of_result "ns/authentication-fixed/obs-jsonl" result t
+      ~speedup_vs_j1:speedup
+  in
+  Format.printf
+    "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s (%.2fx vs silent)@."
+    row.name (row.wall_s *. 1e3) row.impl_states row.pairs row.states_per_sec
+    row.verdict speedup;
+  (* read the trace back: sum each span name's duration, as a tool
+     consuming --trace-out output would *)
+  let spans = Hashtbl.create 8 in
+  let ic = open_in trace_path in
+  (try
+     while true do
+       match Obs.Json.parse (input_line ic) with
+       | Error _ -> ()
+       | Ok json ->
+         (match
+            Obs.Json.(member "ev" json, member "name" json, member "dur_s" json)
+          with
+          | Some (Obs.Json.Str "span"), Some (Obs.Json.Str name), Some d ->
+            let dur = Option.value (Obs.Json.to_float d) ~default:0. in
+            let prev = Option.value (Hashtbl.find_opt spans name) ~default:0. in
+            Hashtbl.replace spans name (prev +. dur)
+          | _ -> ())
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace_path;
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt spans name with
+      | Some d -> Format.printf "    span %-16s %9.2f ms@." name (d *. 1e3)
+      | None -> Format.printf "    span %-16s (absent)@." name)
+    [ "lts.compile"; "normalise"; "search.product" ];
+  rows := row :: !rows;
   record_parallel ns_base (fun j ->
-      Security.Ns_protocol.check ~workers:j ~fixed:true ());
+      Security.Ns_protocol.check
+        ~config:
+          (Csp.Check_config.with_workers j Security.Ns_protocol.default_config)
+        ~fixed:true ());
   List.rev !rows
 
 let json_of_rows rows =

@@ -1,8 +1,9 @@
 (* Smoke bench: a seconds-scale end-to-end pass over the robustness
    features, wired into `dune runtest`. It is a health check, not a
-   measurement — it exercises fault injection on the demo network and the
-   budgeted refinement engine with a deliberately tiny budget, and fails
-   loudly if either regresses. *)
+   measurement — it exercises fault injection on the demo network, the
+   budgeted refinement engine with a deliberately tiny budget, the JSON
+   output schema, and the observability stream, and fails loudly if any
+   of them regresses. *)
 
 let fail fmt = Format.kasprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -25,7 +26,10 @@ let check_fault_injection () =
 let check_budgeted_engine () =
   (* a tiny wall-clock budget on the stock large check must degrade to an
      inconclusive verdict with real progress, never an exception *)
-  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  let config =
+    Csp.Check_config.with_deadline 0.001 Security.Ns_protocol.default_config
+  in
+  match Security.Ns_protocol.check ~config ~fixed:true () with
   | Csp.Refine.Inconclusive (stats, hint) ->
     if
       stats.Csp.Refine.impl_states = 0
@@ -38,28 +42,33 @@ let check_budgeted_engine () =
     fail "budget smoke: 1 ms unexpectedly completed the NS check"
   | Csp.Refine.Fails _ -> fail "budget smoke: fixed NS must not fail"
 
+let digest result =
+  match result with
+  | Csp.Refine.Holds s ->
+    Printf.sprintf "holds/%d/%d/%d" s.Csp.Refine.impl_states
+      s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+  | Csp.Refine.Fails cex ->
+    Format.asprintf "fails/%a" Csp.Refine.pp_counterexample cex
+  | Csp.Refine.Inconclusive (s, _) ->
+    Printf.sprintf "inconclusive/%d/%d/%d" s.Csp.Refine.impl_states
+      s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
+
 let check_engine_agreement () =
   (* the unified engine under hash-consed ids must agree with the deep
      structural-equality oracle on the stock checks, including the
      exploration counts (timing aside, the searches are the same search) *)
-  let digest result =
-    match result with
-    | Csp.Refine.Holds s ->
-      Printf.sprintf "holds/%d/%d/%d" s.Csp.Refine.impl_states
-        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
-    | Csp.Refine.Fails cex ->
-      Format.asprintf "fails/%a" Csp.Refine.pp_counterexample cex
-    | Csp.Refine.Inconclusive (s, _) ->
-      Printf.sprintf "inconclusive/%d/%d/%d" s.Csp.Refine.impl_states
-        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
-  in
   let s = Ota.Scenario.make () in
+  let cfg interner = Csp.Check_config.(default |> with_interner interner) in
+  let ns_cfg interner =
+    Csp.Check_config.with_interner interner Security.Ns_protocol.default_config
+  in
   let checks =
     [
-      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
-      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
+      "SP02", (fun i -> Ota.Requirements.r02 ~config:(cfg i) s);
+      "R05v1", (fun i -> Ota.Requirements.r05 ~config:(cfg i) s ~version:1);
       ( "NS-broken",
-        fun interner -> Security.Ns_protocol.check ~interner ~fixed:false () );
+        fun i -> Security.Ns_protocol.check ~config:(ns_cfg i) ~fixed:false ()
+      );
     ]
   in
   List.iter
@@ -79,24 +88,18 @@ let check_engine_agreement () =
 let check_parallel_agreement () =
   (* the domain-pool engine must be the same search: identical verdicts,
      counterexamples, and exploration counts at -j 2 as sequentially *)
-  let digest result =
-    match result with
-    | Csp.Refine.Holds s ->
-      Printf.sprintf "holds/%d/%d/%d" s.Csp.Refine.impl_states
-        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
-    | Csp.Refine.Fails cex ->
-      Format.asprintf "fails/%a" Csp.Refine.pp_counterexample cex
-    | Csp.Refine.Inconclusive (s, _) ->
-      Printf.sprintf "inconclusive/%d/%d/%d" s.Csp.Refine.impl_states
-        s.Csp.Refine.spec_nodes s.Csp.Refine.pairs
-  in
   let s = Ota.Scenario.make () in
+  let cfg workers = Csp.Check_config.(default |> with_workers workers) in
+  let ns_cfg workers =
+    Csp.Check_config.with_workers workers Security.Ns_protocol.default_config
+  in
   let checks =
     [
-      "SP02", (fun workers -> Ota.Requirements.r02 ~workers s);
-      "R05v1", (fun workers -> Ota.Requirements.r05 ~workers s ~version:1);
+      "SP02", (fun w -> Ota.Requirements.r02 ~config:(cfg w) s);
+      "R05v1", (fun w -> Ota.Requirements.r05 ~config:(cfg w) s ~version:1);
       ( "NS-broken",
-        fun workers -> Security.Ns_protocol.check ~workers ~fixed:false () );
+        fun w -> Security.Ns_protocol.check ~config:(ns_cfg w) ~fixed:false ()
+      );
     ]
   in
   List.iter
@@ -108,9 +111,112 @@ let check_parallel_agreement () =
       Format.printf "parallel agreement: %s -> ok at -j 2@." name)
     checks
 
+(* A small CSPm script with one passing, one failing, and (under a 1-pair
+   budget elsewhere) potentially inconclusive assertion — enough to
+   exercise every verdict arm of the JSON schema. *)
+let json_script =
+  "channel a : {0..1}\n\
+   SPEC = a!0 -> SPEC\n\
+   IMPL = a!0 -> IMPL\n\
+   WILD = a!0 -> a!1 -> WILD\n\
+   assert SPEC [T= IMPL\n\
+   assert SPEC [T= WILD"
+
+let check_json_output () =
+  (* the machine-readable document must parse back and agree with the
+     pretty-printer's counts — the schema is a contract, not a dump *)
+  let outcomes = Cspm.Check.run (Cspm.Elaborate.load_string json_script) in
+  let doc = Obs.Json.to_string (Cspm.Check.json_of_outcomes outcomes) in
+  let json =
+    match Obs.Json.parse doc with
+    | Ok j -> j
+    | Error msg -> fail "json smoke: emitted document does not parse: %s" msg
+  in
+  let member name j =
+    match Obs.Json.member name j with
+    | Some v -> v
+    | None -> fail "json smoke: missing member %S" name
+  in
+  let to_int j =
+    match Obs.Json.to_int j with
+    | Some n -> n
+    | None -> fail "json smoke: expected an integer"
+  in
+  (match Obs.Json.to_str (member "schema" json) with
+   | Some "cspm-check/1" -> ()
+   | _ -> fail "json smoke: schema tag is not cspm-check/1");
+  let summary = member "summary" json in
+  let total = to_int (member "total" summary) in
+  let passed = to_int (member "passed" summary) in
+  let failed = to_int (member "failed" summary) in
+  let inconclusive = to_int (member "inconclusive" summary) in
+  let count p = List.length (List.filter p outcomes) in
+  let pretty_failed =
+    count (fun o ->
+        match o.Cspm.Check.result with Csp.Refine.Fails _ -> true | _ -> false)
+  in
+  let pretty_inconclusive =
+    count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
+  in
+  if total <> List.length outcomes then
+    fail "json smoke: summary.total %d <> %d outcomes" total
+      (List.length outcomes);
+  if failed <> pretty_failed || inconclusive <> pretty_inconclusive then
+    fail "json smoke: summary (%d failed, %d inconclusive) disagrees with \
+          pretty counts (%d, %d)"
+      failed inconclusive pretty_failed pretty_inconclusive;
+  if passed + failed + inconclusive <> total then
+    fail "json smoke: summary does not partition the assertions";
+  (match Obs.Json.member "assertions" json with
+   | Some (Obs.Json.List l) when List.length l = total -> ()
+   | _ -> fail "json smoke: assertions array missing or wrong length");
+  Format.printf "json output: %d assertions, %d failed — schema ok@." total
+    failed
+
+let check_trace_stream () =
+  (* the observability stream must (a) not change the verdict and (b) be
+     line-by-line parseable JSON containing the pipeline spans *)
+  let silent = digest (Security.Ns_protocol.check ~fixed:false ()) in
+  let path = Filename.temp_file "smoke_trace" ".jsonl" in
+  let oc = open_out path in
+  let obs = Obs.create (Obs.Jsonl oc) in
+  let config = Csp.Check_config.with_obs obs Security.Ns_protocol.default_config in
+  let traced = digest (Security.Ns_protocol.check ~config ~fixed:false ()) in
+  Obs.flush obs;
+  close_out oc;
+  if not (String.equal silent traced) then
+    fail "trace smoke: verdict changed under the JSONL sink:\n  %s\n  %s"
+      silent traced;
+  let ic = open_in path in
+  let spans = ref [] and lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       match Obs.Json.parse line with
+       | Error msg -> fail "trace smoke: line %d is not JSON: %s" !lines msg
+       | Ok json ->
+         (match Obs.Json.(member "ev" json, member "name" json) with
+          | Some (Obs.Json.Str "span"), Some (Obs.Json.Str name) ->
+            spans := name :: !spans
+          | _ -> ())
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  if !lines = 0 then fail "trace smoke: the JSONL stream is empty";
+  List.iter
+    (fun required ->
+      if not (List.mem required !spans) then
+        fail "trace smoke: no %S span in the stream" required)
+    [ "lts.compile"; "normalise"; "search.product" ];
+  Format.printf "trace stream: %d lines, %d spans — parseable@." !lines
+    (List.length !spans)
+
 let () =
   check_fault_injection ();
   check_budgeted_engine ();
   check_engine_agreement ();
   check_parallel_agreement ();
+  check_json_output ();
+  check_trace_stream ();
   print_endline "smoke: ok"

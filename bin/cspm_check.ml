@@ -8,72 +8,119 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+type format = Pretty | Json
+
+(* The live progress line: one line on stderr, rewritten in place at the
+   engine's progress cadence (once per 256 dequeues), so tiny checks
+   print nothing. stdout stays clean for --format json. *)
+let progress_line (p : Csp.Search.progress) =
+  Printf.eprintf "\r  %d pairs · %.0f states/sec · frontier %d · %.1f%% of budget%!"
+    p.Csp.Search.pairs p.Csp.Search.rate p.Csp.Search.frontier
+    (100. *. p.Csp.Search.budget_frac)
+
 (* Exit codes: 0 all assertions hold, 1 at least one definite failure,
    2 load/usage error, 3 no failures but at least one inconclusive
    (budget exhausted — rerun with a larger --timeout/--max-states). *)
-let run path max_states timeout jobs list_only dot =
+let run path max_states timeout jobs list_only dot format progress trace_out =
   let workers =
     if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
   in
-  match Cspm.Elaborate.load_string (read_file path) with
-  | exception Sys_error msg ->
-    Format.eprintf "%s@." msg;
-    2
-  | exception Cspm.Parser.Parse_error (msg, pos) ->
-    Format.eprintf "%s:%a: syntax error: %s@." path Cspm.Ast.pp_pos pos msg;
-    2
-  | exception Cspm.Lexer.Lex_error (msg, pos) ->
-    Format.eprintf "%s:%a: lexical error: %s@." path Cspm.Ast.pp_pos pos msg;
-    2
-  | exception Cspm.Elaborate.Elab_error (msg, pos) ->
-    (match pos with
-     | Some pos -> Format.eprintf "%s:%a: %s@." path Cspm.Ast.pp_pos pos msg
-     | None -> Format.eprintf "%s: %s@." path msg);
-    2
-  | loaded ->
-    if Option.is_some dot then begin
-      let name = Option.get dot in
-      match Csp.Defs.proc loaded.Cspm.Elaborate.defs name with
-      | None ->
-        Format.eprintf "%s: no process named %s@." path name;
+  let trace_oc = Option.map open_out trace_out in
+  let obs =
+    match trace_oc with
+    | Some oc -> Obs.create (Obs.Jsonl oc)
+    | None -> Obs.silent
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.flush obs;
+      Option.iter close_out_noerr trace_oc)
+    (fun () ->
+      match Cspm.Elaborate.load_string ~obs (read_file path) with
+      | exception Sys_error msg ->
+        Format.eprintf "%s@." msg;
         2
-      | Some (_ :: _, _) ->
-        Format.eprintf "%s: %s takes parameters; --dot needs a closed process@."
-          path name;
+      | exception Cspm.Parser.Parse_error (msg, pos) ->
+        Format.eprintf "%s:%a: syntax error: %s@." path Cspm.Ast.pp_pos pos msg;
         2
-      | Some ([], _) ->
-        let lts =
-          Csp.Lts.compile ~max_states loaded.Cspm.Elaborate.defs
-            (Csp.Proc.call (name, []))
-        in
-        print_string (Csp.Lts.to_dot lts);
-        0
-    end
-    else if list_only then begin
-      List.iter
-        (fun (a, _) -> Format.printf "%a@." Cspm.Print.pp_assertion a)
-        loaded.Cspm.Elaborate.assertions;
-      0
-    end
-    else begin
-      let outcomes =
-        Cspm.Check.run ~max_states ?deadline:timeout ~workers loaded
-      in
-      Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
-      let count p = List.length (List.filter p outcomes) in
-      let failures =
-        count (fun o ->
-            match o.Cspm.Check.result with
-            | Csp.Refine.Fails _ -> true
-            | _ -> false)
-      in
-      let inconclusive =
-        count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
-      in
-      Format.printf "%d assertion(s), %d failure(s), %d inconclusive@."
-        (List.length outcomes) failures inconclusive;
-      if failures > 0 then 1 else if inconclusive > 0 then 3 else 0
-    end
+      | exception Cspm.Lexer.Lex_error (msg, pos) ->
+        Format.eprintf "%s:%a: lexical error: %s@." path Cspm.Ast.pp_pos pos
+          msg;
+        2
+      | exception Cspm.Elaborate.Elab_error (msg, pos) ->
+        (match pos with
+         | Some pos -> Format.eprintf "%s:%a: %s@." path Cspm.Ast.pp_pos pos msg
+         | None -> Format.eprintf "%s: %s@." path msg);
+        2
+      | loaded ->
+        if Option.is_some dot then begin
+          let name = Option.get dot in
+          match Csp.Defs.proc loaded.Cspm.Elaborate.defs name with
+          | None ->
+            Format.eprintf "%s: no process named %s@." path name;
+            2
+          | Some (_ :: _, _) ->
+            Format.eprintf
+              "%s: %s takes parameters; --dot needs a closed process@." path
+              name;
+            2
+          | Some ([], _) ->
+            let lts =
+              Csp.Lts.compile ~max_states loaded.Cspm.Elaborate.defs
+                (Csp.Proc.call (name, []))
+            in
+            print_string (Csp.Lts.to_dot lts);
+            0
+        end
+        else if list_only then begin
+          List.iter
+            (fun (a, _) -> Format.printf "%a@." Cspm.Print.pp_assertion a)
+            loaded.Cspm.Elaborate.assertions;
+          0
+        end
+        else begin
+          let ticked = ref false in
+          let config =
+            let open Csp.Check_config in
+            let c =
+              default |> with_max_states max_states |> with_workers workers
+              |> with_obs obs
+            in
+            let c =
+              match timeout with Some t -> with_deadline t c | None -> c
+            in
+            if progress then
+              with_progress
+                (fun p ->
+                  ticked := true;
+                  progress_line p)
+                c
+            else c
+          in
+          let outcomes = Cspm.Check.run ~config loaded in
+          (* finish the carriage-return progress line before reporting *)
+          if !ticked then Printf.eprintf "\n%!";
+          let count p = List.length (List.filter p outcomes) in
+          let failures =
+            count (fun o ->
+                match o.Cspm.Check.result with
+                | Csp.Refine.Fails _ -> true
+                | _ -> false)
+          in
+          let inconclusive =
+            count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
+          in
+          (match format with
+           | Json ->
+             print_string
+               (Obs.Json.to_string (Cspm.Check.json_of_outcomes outcomes));
+             print_newline ()
+           | Pretty ->
+             Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
+             Format.printf "%d assertion(s), %d failure(s), %d inconclusive@."
+               (List.length outcomes) failures inconclusive);
+          if failures > 0 then 1 else if inconclusive > 0 then 3 else 0
+        end)
 
 open Cmdliner
 
@@ -126,6 +173,39 @@ let dot_arg =
           "Instead of checking, print the named process's state graph in \
            Graphviz format (FDR's visualisation role).")
 
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ "pretty", Pretty; "json", Json ]) Pretty
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Output format: $(b,pretty) (human-readable, the default) or \
+           $(b,json) (one machine-readable document on stdout, schema \
+           cspm-check/1: per-assertion verdict, counterexample trace, \
+           stats, and resume hint, plus a summary object). Exit codes \
+           are the same in both formats.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render a live progress line on stderr (pairs explored, \
+           states/sec, frontier depth, % of the pair budget) while each \
+           assertion's product search runs. Updates are throttled to the \
+           engine's polling cadence, so fast checks print nothing.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability stream (parse/elaborate/compile/\
+           normalise/search spans, then a final metric snapshot) to \
+           $(docv) as JSON Lines. Does not affect verdicts or timing \
+           of the checks themselves.")
+
 let cmd =
   let doc = "run the assert declarations of a CSPm script" in
   let man =
@@ -143,6 +223,6 @@ let cmd =
     (Cmd.info "cspm_check" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
-      $ list_arg $ dot_arg)
+      $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

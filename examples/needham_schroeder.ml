@@ -28,7 +28,11 @@ let () =
    | Csp.Refine.Inconclusive (_, hint) ->
      Format.printf "ran out of budget: %a@." Csp.Refine.pp_resume_hint hint);
   Format.printf "@.Same check under a 1 ms wall-clock budget:@.";
-  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  match Security.Ns_protocol.check
+          ~config:
+            Csp.Check_config.(
+              Security.Ns_protocol.default_config |> with_deadline 0.001)
+          ~fixed:true () with
   | Csp.Refine.Inconclusive (stats, hint) ->
     Format.printf
       "inconclusive, as expected: %d pairs explored, %a@."

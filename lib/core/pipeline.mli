@@ -52,9 +52,10 @@ val reload : ?assertions:Cspm.Ast.assertion list -> system -> Cspm.Elaborate.t
     checkable with {!Cspm.Check}. *)
 
 val check_refinement :
+  ?config:Csp.Check_config.t ->
   ?model:Csp.Refine.model ->
-  ?max_states:int ->
   system ->
   spec:Csp.Proc.t ->
   Csp.Refine.result
-(** Check [spec ⊑ SYSTEM] directly on the in-memory model. *)
+(** Check [spec ⊑ SYSTEM] directly on the in-memory model. Budgets,
+    workers, and observability come from [config]. *)

@@ -1,0 +1,52 @@
+(** The one configuration record every check accepts.
+
+    Replaces the [?interner ?max_states ?max_pairs ?deadline ?workers]
+    optional-argument sprawl that used to be copy-pasted across
+    {!Refine}, [Cspm.Check], [Security.Ns_protocol], and
+    [Ota.Requirements]: build a [t] once with the [with_*] builders and
+    pass it as [?config] everywhere.
+
+    {[
+      let config =
+        Check_config.(default |> with_deadline 30. |> with_workers 4)
+      in
+      Refine.traces_refines ~config defs ~spec ~impl
+    ]}
+
+    [Refine.check] additionally keeps [?model], [?max_states], and
+    [?deadline] as thin conveniences (they override the record's
+    fields). *)
+
+type t = {
+  interner : Search.interner;
+      (** how on-the-fly implementation states are interned; [`Id]
+          (hash-consing) unless you are the structural test oracle *)
+  max_states : int;  (** budget for each [Lts] compilation *)
+  max_pairs : int option;
+      (** budget for the product exploration; [None] = [max_states] *)
+  deadline : float option;
+      (** wall-clock budget in seconds from the start of the check;
+          [None] = unbounded *)
+  workers : int;  (** domain-pool size for the product search; 1 = sequential *)
+  obs : Obs.t;
+      (** observability handle: spans and metrics from every pipeline
+          stage go here ({!Obs.silent} costs one branch per operation) *)
+  progress : (Search.progress -> unit) option;
+      (** live progress callback, throttled to the engine's deadline-poll
+          cadence (once per 256 dequeues) *)
+}
+
+val default : t
+(** [`Id] interner, [max_states = 1_000_000], no pair budget of its own,
+    no deadline, one worker, {!Obs.silent}, no progress callback — the
+    exact behavior of the old per-function defaults. *)
+
+val with_interner : Search.interner -> t -> t
+val with_max_states : int -> t -> t
+val with_max_pairs : int -> t -> t
+val with_deadline : float -> t -> t
+val with_workers : int -> t -> t
+val with_obs : Obs.t -> t -> t
+val with_progress : (Search.progress -> unit) -> t -> t
+(** Builders, argument-last so they chain:
+    [Check_config.(default |> with_deadline 0.5 |> with_workers 2)]. *)

@@ -22,8 +22,12 @@ module Proc_tbl = Hashtbl.Make (struct
   let hash = Proc.hash
 end)
 
-let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
-  let step = Semantics.make_cached defs in
+let compile_budgeted ?(max_states = 1_000_000) ?stop_at ?(obs = Obs.silent)
+    defs root =
+  Obs.span obs "lts.compile" (fun () ->
+  let c_states = Obs.counter obs "lts.states" in
+  let c_transitions = Obs.counter obs "lts.transitions" in
+  let step = Semantics.make_cached ~obs defs in
   let index = Proc_tbl.create 1024 in
   let states = ref [] in  (* reverse order *)
   let count = ref 0 in
@@ -40,6 +44,7 @@ let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
       else begin
         let i = !count in
         incr count;
+        Obs.incr c_states;
         Proc_tbl.replace index term i;
         states := term :: !states;
         Queue.add (i, term) queue;
@@ -57,7 +62,7 @@ let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
      that has effectively already passed. *)
   let over_deadline () =
     match stop_at with
-    | Some limit -> !explored > 0 && Unix.gettimeofday () > limit
+    | Some limit -> !explored > 0 && Obs.now () > limit
     | None -> false
   in
   let transitions = ref [] in  (* reverse order, aligned with states *)
@@ -83,6 +88,7 @@ let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
             ts
         in
         transitions := ts :: !transitions;
+        Obs.add c_transitions (List.length ts);
         incr explored;
         drain ()
   in
@@ -105,7 +111,7 @@ let compile_budgeted ?(max_states = 1_000_000) ?stop_at defs root =
     Partial (t, { explored = !explored; frontier; reason = `Deadline })
   else if !capped then
     Partial (t, { explored = !explored; frontier; reason = `States })
-  else Complete t
+  else Complete t)
 
 let compile ?(max_states = 1_000_000) defs root =
   match compile_budgeted ~max_states defs root with

@@ -26,12 +26,14 @@ type compile_result =
           for statistics and resumption, not for verdicts. *)
 
 val compile_budgeted :
-  ?max_states:int -> ?stop_at:float -> Defs.t -> Proc.t -> compile_result
+  ?max_states:int -> ?stop_at:float -> ?obs:Obs.t ->
+  Defs.t -> Proc.t -> compile_result
 (** Like {!compile} but degrades gracefully: instead of raising, returns
     {!Partial} when the state budget (default [1_000_000]) is exhausted or
-    the wall clock passes [stop_at] (absolute time, as returned by
-    [Unix.gettimeofday]). At least one state is always explored before the
-    deadline is consulted, so progress counters are never all zero. *)
+    the wall clock passes [stop_at] (absolute time, on the {!Obs.now}
+    clock). At least one state is always explored before the deadline is
+    consulted, so progress counters are never all zero. [obs] records an
+    [lts.compile] span plus state/transition counters. *)
 
 val compile : ?max_states:int -> Defs.t -> Proc.t -> t
 (** Compile the reachable state graph of a ground term

@@ -31,7 +31,8 @@ let minimal_acceptances sets =
         (List.exists (fun b -> (not (Stdlib.compare a b = 0)) && subset b a) sets))
     sets
 
-let normalise (lts : Lts.t) =
+let normalise ?(obs = Obs.silent) (lts : Lts.t) =
+  Obs.span obs "normalise" (fun () ->
   let diverging = Lts.divergences lts in
   let index = Members_tbl.create 256 in
   let nodes = ref [] in  (* reverse order *)
@@ -92,7 +93,8 @@ let normalise (lts : Lts.t) =
       drain ()
   in
   drain ();
-  { nodes = Array.of_list (List.rev !nodes); initial }
+  Obs.add (Obs.counter obs "normalise.nodes") !count;
+  { nodes = Array.of_list (List.rev !nodes); initial })
 
 let initial t = t.initial
 let num_nodes t = Array.length t.nodes

@@ -9,7 +9,8 @@
 
 type t
 
-val normalise : Lts.t -> t
+val normalise : ?obs:Obs.t -> Lts.t -> t
+(** [obs] records a [normalise] span and a node counter. *)
 
 val initial : t -> int
 val num_nodes : t -> int

@@ -50,8 +50,6 @@ type model =
   | Failures
   | Failures_divergences
 
-exception State_limit of int
-
 let visible_trace = Search.visible_trace
 
 (* Partial specification compilation cannot support a verdict: report it
@@ -65,32 +63,37 @@ let spec_inconclusive progress =
         ~pairs:0 (),
       { frontier = progress.Lts.frontier; deepest = []; exhausted } )
 
-let product_check ?interner ?workers ~refusal_mode ~max_states ~max_pairs
-    ?stop_at defs ~spec ~impl =
-  match Lts.compile_budgeted ~max_states ?stop_at defs spec with
+let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
+    defs ~spec ~impl =
+  let obs = config.obs in
+  match
+    Lts.compile_budgeted ~max_states:config.max_states ?stop_at ~obs defs spec
+  with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
-    let norm = Normalise.normalise spec_lts in
+    let norm = Normalise.normalise ~obs spec_lts in
     let fenv = Defs.fenv defs in
     let tys = Defs.ty_lookup defs in
     let impl0 = Proc.const_fold ~tys fenv impl in
     let source =
-      Search.proc_source ?interner
-        ~make_step:(fun () -> Semantics.make_cached defs)
+      Search.proc_source ~interner:config.interner
+        ~make_step:(fun () -> Semantics.make_cached ~obs defs)
         impl0
     in
-    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at ?workers ~norm
-      source
+    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at
+      ~workers:config.workers ~obs ?progress:config.progress ~norm source
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
    then the product is explored. *)
-let fd_check ?workers ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
-  match Lts.compile_budgeted ~max_states ?stop_at defs spec with
+let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at defs ~spec ~impl =
+  let obs = config.obs in
+  let max_states = config.max_states in
+  match Lts.compile_budgeted ~max_states ?stop_at ~obs defs spec with
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
-    let norm = Normalise.normalise spec_lts in
-    (match Lts.compile_budgeted ~max_states ?stop_at defs impl with
+    let norm = Normalise.normalise ~obs spec_lts in
+    (match Lts.compile_budgeted ~max_states ?stop_at ~obs defs impl with
      | Lts.Partial (_, progress) ->
        (* Divergence detection needs the full tau graph of the
           implementation; a partial compile cannot support a verdict. *)
@@ -105,39 +108,47 @@ let fd_check ?workers ~max_states ~max_pairs ?stop_at defs ~spec ~impl =
            { frontier = progress.Lts.frontier; deepest = []; exhausted } )
      | Lts.Complete impl_lts ->
        let source = Search.lts_source ~check_divergence:true impl_lts in
-       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at ?workers
-         ~norm source)
+       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at
+         ~workers:config.workers ~obs ?progress:config.progress ~norm source)
 
 let stop_at_of_deadline = function
   | None -> None
-  | Some seconds -> Some (Unix.gettimeofday () +. seconds)
+  | Some seconds -> Some (Obs.now () +. seconds)
 
-let check ?interner ?(model = Traces) ?(max_states = 1_000_000) ?max_pairs
-    ?deadline ?workers defs ~spec ~impl =
-  let max_pairs = Option.value max_pairs ~default:max_states in
-  let stop_at = stop_at_of_deadline deadline in
+let check ?(config = Check_config.default) ?model ?max_states ?deadline defs
+    ~spec ~impl =
+  (* the convenience arguments override the record's fields *)
+  let config =
+    match max_states with
+    | Some n -> Check_config.with_max_states n config
+    | None -> config
+  in
+  let config =
+    match deadline with
+    | Some d -> Check_config.with_deadline d config
+    | None -> config
+  in
+  let model = Option.value model ~default:Traces in
+  let max_pairs = Option.value config.max_pairs ~default:config.max_states in
+  let stop_at = stop_at_of_deadline config.deadline in
   match model with
   | Traces ->
-    product_check ?interner ?workers ~refusal_mode:`None ~max_states
-      ~max_pairs ?stop_at defs ~spec ~impl
+    product_check ~config ~refusal_mode:`None ~max_pairs ?stop_at defs ~spec
+      ~impl
   | Failures ->
-    product_check ?interner ?workers ~refusal_mode:`Acceptances ~max_states
-      ~max_pairs ?stop_at defs ~spec ~impl
+    product_check ~config ~refusal_mode:`Acceptances ~max_pairs ?stop_at defs
+      ~spec ~impl
   | Failures_divergences ->
-    fd_check ?workers ~max_states ~max_pairs ?stop_at defs ~spec ~impl
+    fd_check ~config ~max_pairs ?stop_at defs ~spec ~impl
 
-let traces_refines ?interner ?max_states ?deadline ?workers defs ~spec ~impl =
-  check ?interner ~model:Traces ?max_states ?deadline ?workers defs ~spec
-    ~impl
+let traces_refines ?config defs ~spec ~impl =
+  check ?config ~model:Traces defs ~spec ~impl
 
-let failures_refines ?interner ?max_states ?deadline ?workers defs ~spec ~impl
-    =
-  check ?interner ~model:Failures ?max_states ?deadline ?workers defs ~spec
-    ~impl
+let failures_refines ?config defs ~spec ~impl =
+  check ?config ~model:Failures defs ~spec ~impl
 
-let fd_refines ?max_states ?deadline ?workers defs ~spec ~impl =
-  check ~model:Failures_divergences ?max_states ?deadline ?workers defs ~spec
-    ~impl
+let fd_refines ?config defs ~spec ~impl =
+  check ?config ~model:Failures_divergences defs ~spec ~impl
 
 let lts_inconclusive progress =
   let exhausted =
@@ -151,19 +162,22 @@ let lts_inconclusive progress =
 (* Deadlock/divergence freedom: compile the graph, find the offending
    states, and BFS a shortest path to one. The offender set is looked up
    through a bitset, not a list scan. *)
-let bad_state_check ~violation ~find ~max_states ?deadline defs proc =
-  let t0 = Unix.gettimeofday () in
+let bad_state_check ~violation ~find ~(config : Check_config.t) defs proc =
+  let t0 = Obs.now () in
   match
-    Lts.compile_budgeted ~max_states ?stop_at:(stop_at_of_deadline deadline)
-      defs proc
+    Lts.compile_budgeted ~max_states:config.max_states
+      ?stop_at:(stop_at_of_deadline config.deadline) ~obs:config.obs defs proc
   with
   | Lts.Partial (_, progress) -> lts_inconclusive progress
   | Lts.Complete lts ->
     (match find lts with
      | [] ->
+       (* [workers] deliberately left at [make_stats]'s default of 1:
+          graph compilation and the offender scan are sequential, so the
+          stats must not echo a requested pool size that did no work. *)
        Holds
          (Search.make_stats
-            ~wall_s:(Unix.gettimeofday () -. t0)
+            ~wall_s:(Obs.now () -. t0)
             ~impl_states:(Lts.num_states lts) ~spec_nodes:0 ~pairs:0 ())
      | bad ->
        let bits = Array.make (max 1 (Lts.num_states lts)) false in
@@ -178,21 +192,20 @@ let bad_state_check ~violation ~find ~max_states ?deadline defs proc =
               impl_state = Lts.state_term lts i;
             }))
 
-(* [workers] is accepted for interface uniformity: graph compilation and
-   the offender scan are sequential, so the option is currently inert
-   here (unlike the product-search checks above). *)
-let deadlock_free ?(max_states = 1_000_000) ?deadline ?workers:_ defs proc =
-  bad_state_check ~violation:Deadlock ~find:Lts.deadlocks ~max_states
-    ?deadline defs proc
+(* [config.workers] is ignored by these two: graph compilation and the
+   offender scan are sequential (unlike the product-search checks above),
+   and their stats report [workers = 1] accordingly. *)
+let deadlock_free ?(config = Check_config.default) defs proc =
+  bad_state_check ~violation:Deadlock ~find:Lts.deadlocks ~config defs proc
 
-let divergence_free ?(max_states = 1_000_000) ?deadline ?workers:_ defs proc =
-  bad_state_check ~violation:Divergence ~find:Lts.divergences ~max_states
-    ?deadline defs proc
+let divergence_free ?(config = Check_config.default) defs proc =
+  bad_state_check ~violation:Divergence ~find:Lts.divergences ~config defs
+    proc
 
-let deterministic ?(max_states = 1_000_000) ?deadline ?workers defs proc =
-  product_check ?workers ~refusal_mode:`Full ~max_states
-    ~max_pairs:max_states
-    ?stop_at:(stop_at_of_deadline deadline) defs ~spec:proc ~impl:proc
+let deterministic ?(config = Check_config.default) defs proc =
+  let max_pairs = Option.value config.max_pairs ~default:config.max_states in
+  product_check ~config ~refusal_mode:`Full ~max_pairs
+    ?stop_at:(stop_at_of_deadline config.deadline) defs ~spec:proc ~impl:proc
 
 let holds = function
   | Holds _ -> true

@@ -76,72 +76,57 @@ type model =
           that the implementation may only diverge where the specification
           does (below a divergent specification point, anything goes) *)
 
-exception State_limit of int
-(** No longer raised by this module (budget exhaustion now yields
-    {!Inconclusive}); kept so existing handlers still compile. *)
-
 val check :
-  ?interner:Search.interner ->
+  ?config:Check_config.t ->
   ?model:model ->
   ?max_states:int ->
-  ?max_pairs:int ->
   ?deadline:float ->
-  ?workers:int ->
   Defs.t ->
   spec:Proc.t ->
   impl:Proc.t ->
   result
-(** Default model is {!Traces}. [max_states] bounds each [Lts] compilation
-    (default [1_000_000]); [max_pairs] bounds the product exploration
-    (defaults to [max_states]); [deadline] is a wall-clock budget in
-    seconds from the start of the call. Exhausting any budget returns
+(** Default model is {!Traces}. All budgets, the interner, the worker
+    pool, and the observability handle come from [config] (default
+    {!Check_config.default}): [config.max_states] bounds each [Lts]
+    compilation, [config.max_pairs] the product exploration (defaulting to
+    [max_states]), [config.deadline] is a wall-clock budget in seconds
+    from the start of the call. Exhausting any budget returns
     {!Inconclusive} rather than raising. At least one state or pair is
     always explored before the deadline is consulted, so an
     {!Inconclusive} result always carries non-zero stats.
 
-    [interner] selects how on-the-fly implementation states are interned
-    (ignored by {!Failures_divergences}, which precompiles both sides):
-    [`Id] (default) uses the hash-consing ids, [`Structural] is the deep
-    structural oracle the tests compare against.
+    [config.interner] is ignored by {!Failures_divergences}, which
+    precompiles both sides. [config.workers] runs the product search on a
+    pool of that many OCaml 5 domains; verdicts, counterexample traces,
+    and state/pair counts are byte-identical to a sequential run — as
+    they are under any [config.obs] sink or [config.progress] callback.
 
-    [workers] (default 1) runs the product search on a pool of that many
-    OCaml 5 domains. Verdicts, counterexample traces, and state/pair
-    counts are byte-identical to a sequential run; only the timing fields
-    of {!stats} vary. *)
+    [max_states] and [deadline] are conveniences for the two most common
+    one-off overrides; when given they take precedence over the record's
+    fields. The other checks below take only [?config]. *)
 
 val traces_refines :
-  ?interner:Search.interner ->
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?config:Check_config.t -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val failures_refines :
-  ?interner:Search.interner ->
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?config:Check_config.t -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 
 val fd_refines :
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> spec:Proc.t -> impl:Proc.t -> result
+  ?config:Check_config.t -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result
 (** Failures-divergences refinement. Unlike the other checks, both sides
     are fully compiled first (implementation divergence detection needs
     the whole tau graph), so early counterexample exit does not avoid the
     full state-space cost. *)
 
-val deadlock_free :
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> Proc.t -> result
+val deadlock_free : ?config:Check_config.t -> Defs.t -> Proc.t -> result
 
-val divergence_free :
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> Proc.t -> result
-(** For {!deadlock_free} and {!divergence_free}, [workers] is accepted
-    for interface uniformity but currently inert: these checks are a
-    sequential graph compilation plus an offender scan, not a product
-    search. *)
+val divergence_free : ?config:Check_config.t -> Defs.t -> Proc.t -> result
+(** For {!deadlock_free} and {!divergence_free}, [config.workers] is
+    ignored: these checks are a sequential graph compilation plus an
+    offender scan, not a product search, and their stats report
+    [workers = 1] accordingly. *)
 
-val deterministic :
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  Defs.t -> Proc.t -> result
+val deterministic : ?config:Check_config.t -> Defs.t -> Proc.t -> result
 (** FDR's determinism check in the stable-failures model: [P] is
     deterministic iff [normalise(P) ⊑F P], which this implements as a
     failures self-refinement (the specification side is normalized

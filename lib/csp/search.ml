@@ -60,9 +60,20 @@ type source = {
 
 type interner = [ `Id | `Structural ]
 
-(* Deadline polling cadence: [Unix.gettimeofday] is a syscall, so the
-   dequeue loop consults the clock only once per this many explored pairs
-   instead of on every pair. *)
+type progress = {
+  explored : int;
+  pairs : int;
+  impl_states : int;
+  frontier : int;
+  elapsed_s : float;
+  rate : float;
+  budget_frac : float;
+}
+
+(* Deadline polling cadence: a clock read is a syscall, so the dequeue
+   loop consults the clock only once per this many explored pairs instead
+   of on every pair. Progress callbacks and live gauge updates ride the
+   same cadence. *)
 let deadline_poll_mask = 255
 
 (* Internal: unwound to an [Inconclusive] verdict at the end of [product],
@@ -315,9 +326,26 @@ type expansion =
   | X_edges of edge list
   | X_error of exn  (* re-raised in frontier order by the merge *)
 
-let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
+(* Level-size buckets for the per-level histogram (pair counts, not
+   durations, so the duration defaults don't fit). *)
+let level_buckets = [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+
+let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
+    ?progress ~norm source =
   let workers = max 1 workers in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
+  (* Metric handles are registered once, here; on a silent handle every
+     update below is a single branch and allocates nothing. *)
+  let c_explored = Obs.counter obs "search.pairs_explored" in
+  let c_interned = Obs.counter obs "search.pairs_interned" in
+  let c_worker_items = Obs.counter obs "search.worker_items" in
+  let g_frontier = Obs.gauge obs "search.frontier" in
+  let g_budget = Obs.gauge obs "search.budget_frac" in
+  let g_impl_states = Obs.gauge obs "search.impl_states" in
+  let h_level = Obs.histogram ~buckets:level_buckets obs "search.level_pairs" in
+  let h_batch =
+    Obs.histogram ~buckets:level_buckets obs "search.worker_batch"
+  in
   (* Product pairs (impl state, normal-form node), interned to dense ids;
      per-id state and parent edge live in growable arrays. *)
   let pair_ids = Pair_tbl.create 4096 in
@@ -348,6 +376,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
       !pair_node.(id) <- node;
       !parents.(id) <- parent;
       Queue.add id queue;
+      Obs.incr c_interned;
       let frontier = Queue.length queue in
       if frontier > !peak_frontier then peak_frontier := frontier
     end
@@ -379,8 +408,38 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
     | Some limit ->
       !explored > 0
       && !explored land deadline_poll_mask = 0
-      && Unix.gettimeofday () > limit
+      && Obs.now () > limit
     | None -> false
+  in
+  (* Progress callbacks and gauge refreshes share the deadline-poll
+     cadence; with a silent handle and no callback the whole tick is one
+     boolean test per dequeue. *)
+  let ticking = progress <> None || not (Obs.is_silent obs) in
+  let tick () =
+    if ticking && !explored > 0 && !explored land deadline_poll_mask = 0
+    then begin
+      let frontier = Queue.length queue in
+      let budget_frac = float_of_int !pair_count /. float_of_int max_pairs in
+      Obs.set g_frontier (float_of_int frontier);
+      Obs.set g_budget budget_frac;
+      Obs.set g_impl_states (float_of_int (source.state_count ()));
+      match progress with
+      | None -> ()
+      | Some cb ->
+        let elapsed_s = Obs.now () -. t0 in
+        cb
+          {
+            explored = !explored;
+            pairs = !pair_count;
+            impl_states = source.state_count ();
+            frontier;
+            elapsed_s;
+            rate =
+              (if elapsed_s > 0. then float_of_int !explored /. elapsed_s
+               else 0.);
+            budget_frac;
+          }
+    end
   in
   let par_speedup wall =
     if workers > 1 && wall > 0. then
@@ -388,7 +447,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
     else 1.
   in
   let current_stats () =
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Obs.now () -. t0 in
     make_stats ~wall_s ~peak_frontier:!peak_frontier ~workers
       ~par_speedup:(par_speedup wall_s) ~impl_states:(source.state_count ())
       ~spec_nodes:(Normalise.num_nodes norm) ~pairs:!pair_count ()
@@ -446,6 +505,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
   let commit pair_id expansion =
     last_dequeued := pair_id;
     incr explored;
+    Obs.incr c_explored;
     let impl_i = !pair_impl.(pair_id) in
     match expansion with
     | X_pruned -> None
@@ -488,7 +548,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
       (* an empty queue is a completed search: the verdict stands even if
          the deadline expired while reaching it *)
       if Queue.is_empty queue then Holds (current_stats ())
-      else if over_deadline () then raise (Out_of_budget Deadline)
+      else if (tick (); over_deadline ()) then raise (Out_of_budget Deadline)
       else
         match Queue.take_opt queue with
         | None -> Holds (current_stats ())
@@ -509,43 +569,54 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
      byte-identical to the sequential engine (only wall-clock differs).
      Work discovered during the merge forms the next level. *)
   let run_parallel pool =
-    let rec level () =
-      if Queue.is_empty queue then Holds (current_stats ())
-      else begin
-        let frontier = Array.of_seq (Queue.to_seq queue) in
-        let n = Array.length frontier in
-        let results = Array.make n X_pruned in
-        let next = Atomic.make 0 in
-        Pool.run pool (fun step ->
-            let t_start = Unix.gettimeofday () in
-            let rec grab () =
-              let k = Atomic.fetch_and_add next 1 in
-              if k < n then begin
-                let pair_id = frontier.(k) in
-                results.(k) <-
-                  (try expand step !pair_impl.(pair_id) !pair_node.(pair_id)
-                   with e -> X_error e);
-                grab ()
+    (* A loop (not merge-tail-calls-level recursion) so each BFS level can
+       be wrapped in an [Obs.span] without the span body capturing the
+       rest of the search. *)
+    let verdict = ref None in
+    while !verdict = None do
+      if Queue.is_empty queue then verdict := Some (Holds (current_stats ()))
+      else
+        Obs.span obs "search.level" (fun () ->
+            let frontier = Array.of_seq (Queue.to_seq queue) in
+            let n = Array.length frontier in
+            Obs.observe h_level (float_of_int n);
+            let results = Array.make n X_pruned in
+            let next = Atomic.make 0 in
+            Pool.run pool (fun step ->
+                let t_start = Obs.now () in
+                let grabbed = ref 0 in
+                let rec grab () =
+                  let k = Atomic.fetch_and_add next 1 in
+                  if k < n then begin
+                    incr grabbed;
+                    let pair_id = frontier.(k) in
+                    results.(k) <-
+                      (try
+                         expand step !pair_impl.(pair_id) !pair_node.(pair_id)
+                       with e -> X_error e);
+                    grab ()
+                  end
+                in
+                grab ();
+                let spent = Obs.now () -. t_start in
+                Obs.add c_worker_items !grabbed;
+                Obs.observe h_batch (float_of_int !grabbed);
+                ignore
+                  (Atomic.fetch_and_add busy_us (int_of_float (spent *. 1e6))));
+            let rec merge k =
+              if k >= n then ()
+              else if (tick (); over_deadline ()) then
+                raise (Out_of_budget Deadline)
+              else begin
+                let pair_id = Queue.take queue in
+                match commit pair_id results.(k) with
+                | Some result -> verdict := Some result
+                | None -> merge (k + 1)
               end
             in
-            grab ();
-            let spent = Unix.gettimeofday () -. t_start in
-            ignore
-              (Atomic.fetch_and_add busy_us (int_of_float (spent *. 1e6))));
-        let rec merge k =
-          if k >= n then level ()
-          else if over_deadline () then raise (Out_of_budget Deadline)
-          else begin
-            let pair_id = Queue.take queue in
-            match commit pair_id results.(k) with
-            | Some result -> result
-            | None -> merge (k + 1)
-          end
-        in
-        merge 0
-      end
-    in
-    level ()
+            merge 0)
+    done;
+    Option.get !verdict
   in
   let run () =
     if workers = 1 then run_sequential ()
@@ -555,7 +626,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ~norm source =
           run_parallel pool)
     end
   in
-  try run ()
+  try Obs.span obs "search.product" run
   with Out_of_budget kind ->
     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
        it is discovered-but-unexplored work, so it counts as frontier. *)

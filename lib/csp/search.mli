@@ -116,6 +116,17 @@ type interner =
     (** deep [Proc.structural_equal] / [Proc.structural_hash]; the test
         oracle — verdicts must be identical to [`Id] *) ]
 
+type progress = {
+  explored : int;  (** pairs dequeued and expanded so far *)
+  pairs : int;  (** pairs interned so far *)
+  impl_states : int;  (** distinct implementation states so far *)
+  frontier : int;  (** discovered-but-unexplored pairs right now *)
+  elapsed_s : float;  (** wall-clock seconds since the search started *)
+  rate : float;  (** explored pairs per second so far *)
+  budget_frac : float;  (** fraction of the pair budget consumed *)
+}
+(** A snapshot handed to the throttled progress callback of {!product}. *)
+
 val proc_source :
   ?interner:interner ->
   make_step:(unit -> Proc.t -> (Event.label * Proc.t) list) ->
@@ -144,13 +155,16 @@ val product :
   max_pairs:int ->
   ?stop_at:float ->
   ?workers:int ->
+  ?obs:Obs.t ->
+  ?progress:(progress -> unit) ->
   norm:Normalise.t ->
   source ->
   result
-(** Run the search. [stop_at] is an absolute [Unix.gettimeofday] deadline,
-    polled once every 256 dequeues (a clock read is a syscall); an empty
-    queue always yields the exact verdict even if the deadline has passed,
-    so an {!Inconclusive} result always carries non-zero stats.
+(** Run the search. [stop_at] is an absolute wall-clock deadline (seconds,
+    on the {!Obs.now} clock), polled once every 256 dequeues (a clock read
+    is a syscall); an empty queue always yields the exact verdict even if
+    the deadline has passed, so an {!Inconclusive} result always carries
+    non-zero stats.
 
     [workers] (default 1) sets the size of the domain pool; the calling
     domain participates, so [workers = 4] spawns three extra domains.
@@ -158,4 +172,17 @@ val product :
     position-indexed slots and merged in frontier order, so verdicts,
     counterexample traces, and state/pair counts are byte-identical to a
     [workers = 1] run — only [wall_s], [states_per_sec], and
-    [par_speedup] vary. *)
+    [par_speedup] vary.
+
+    [obs] (default {!Obs.silent}) receives a [search.product] span (plus
+    one [search.level] span per BFS level when [workers > 1]), counters
+    for pairs explored/interned and per-domain work items, gauges for the
+    live frontier depth, budget fraction, and implementation state count,
+    and level-size histograms. With the silent handle every update is a
+    single branch — the hot path allocates nothing.
+
+    [progress] is invoked at the deadline-poll cadence (once per 256
+    dequeues) with a {!progress} snapshot; searches smaller than one
+    cadence interval never fire it. The callback runs on the merge domain
+    and must not mutate the search. Neither [obs] nor [progress] affects
+    verdicts, counterexamples, or state/pair counts. *)

@@ -283,16 +283,21 @@ module Proc_tbl = Hashtbl.Make (struct
   let hash = Proc.hash
 end)
 
-let make_cached defs =
+let make_cached ?(obs = Obs.silent) defs =
   (* two tables: [memo] holds raw per-subterm transition lists shared by
      every recursive call; [sorted] holds the deduplicated, sorted
      top-level answers handed to callers *)
   let memo = Proc_tbl.create 4096 in
   let sorted = Proc_tbl.create 4096 in
+  let c_hits = Obs.counter obs "semantics.memo_hits" in
+  let c_misses = Obs.counter obs "semantics.memo_misses" in
   fun proc ->
     match Proc_tbl.find_opt sorted proc with
-    | Some ts -> ts
+    | Some ts ->
+      Obs.incr c_hits;
+      ts
     | None ->
+      Obs.incr c_misses;
       let ts =
         transitions_via
           (Proc_tbl.find_opt memo)

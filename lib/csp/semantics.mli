@@ -24,11 +24,14 @@ exception Ill_formed of string
 val transitions : Defs.t -> Proc.t -> (Event.label * Proc.t) list
 (** All transitions, sorted and deduplicated. *)
 
-val make_cached : Defs.t -> Proc.t -> (Event.label * Proc.t) list
+val make_cached :
+  ?obs:Obs.t -> Defs.t -> Proc.t -> (Event.label * Proc.t) list
 (** A fresh memoizing transition function with its own private cache.
     Hash-consing makes the key O(1) (physical equality + precomputed
     hash); the cache dies with the closure, so nothing outlives its
-    check. *)
+    check. [obs] counts cache hits and misses ([semantics.memo_*];
+    counters are shared when several steppers are built from one
+    handle). *)
 
 val initials : Defs.t -> Proc.t -> Event.label list
 (** The labels offered by the term (sorted, deduplicated). *)

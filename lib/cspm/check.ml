@@ -31,21 +31,16 @@ let prepare (loaded : Elaborate.t) (a : Ast.assertion) =
     P_divergence_free (Elaborate.proc_of_term loaded t)
   | Ast.A_deterministic t -> P_deterministic (Elaborate.proc_of_term loaded t)
 
-let run_prepared ?max_states ?deadline ?workers defs prepared =
+let run_prepared ?(config = Csp.Check_config.default) defs prepared =
   match prepared with
   | P_refines (spec, model, impl) ->
-    Csp.Refine.check ~model ?max_states ?deadline ?workers defs ~spec ~impl
-  | P_deadlock_free p ->
-    Csp.Refine.deadlock_free ?max_states ?deadline ?workers defs p
-  | P_divergence_free p ->
-    Csp.Refine.divergence_free ?max_states ?deadline ?workers defs p
-  | P_deterministic p ->
-    Csp.Refine.deterministic ?max_states ?deadline ?workers defs p
+    Csp.Refine.check ~config ~model defs ~spec ~impl
+  | P_deadlock_free p -> Csp.Refine.deadlock_free ~config defs p
+  | P_divergence_free p -> Csp.Refine.divergence_free ~config defs p
+  | P_deterministic p -> Csp.Refine.deterministic ~config defs p
 
-let run_assertion ?max_states ?deadline ?workers (loaded : Elaborate.t)
-    (a : Ast.assertion) =
-  run_prepared ?max_states ?deadline ?workers loaded.Elaborate.defs
-    (prepare loaded a)
+let run_assertion ?config (loaded : Elaborate.t) (a : Ast.assertion) =
+  run_prepared ?config loaded.Elaborate.defs (prepare loaded a)
 
 (* The per-assertion share of the remaining wall-clock budget. Recomputed
    before each assertion, so budget a fast assertion leaves unused rolls
@@ -57,17 +52,21 @@ let slice ~remaining_wall ~remaining =
 
 (* Deadline runs are sequential: each assertion's slice depends on how
    much wall-clock the previous ones actually used. *)
-let run_with_deadline ?max_states ~total ~workers (loaded : Elaborate.t) =
+let run_with_deadline ~(config : Csp.Check_config.t) ~total
+    (loaded : Elaborate.t) =
   let n = List.length loaded.Elaborate.assertions in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
   List.mapi
     (fun i (assertion, pos) ->
-      let remaining_wall = total -. (Unix.gettimeofday () -. t0) in
+      let remaining_wall = total -. (Obs.now () -. t0) in
       let deadline = slice ~remaining_wall ~remaining:(n - i) in
+      let config = Csp.Check_config.with_deadline deadline config in
       {
         assertion;
         pos = Some pos;
-        result = run_assertion ?max_states ~deadline ~workers loaded assertion;
+        result =
+          Obs.span config.Csp.Check_config.obs "check.assertion" (fun () ->
+              run_assertion ~config loaded assertion);
       })
     loaded.Elaborate.assertions
 
@@ -75,7 +74,8 @@ let run_with_deadline ?max_states ~total ~workers (loaded : Elaborate.t) =
    take whole assertions: [concurrent] of them run at once, each with an
    equal share of the worker pool for its own product search. Results are
    reported in script order regardless of completion order. *)
-let run_concurrent ?max_states ~workers (loaded : Elaborate.t) =
+let run_concurrent ~(config : Csp.Check_config.t) (loaded : Elaborate.t) =
+  let workers = config.Csp.Check_config.workers in
   let assertions = Array.of_list loaded.Elaborate.assertions in
   let n = Array.length assertions in
   let prepared =
@@ -83,6 +83,7 @@ let run_concurrent ?max_states ~workers (loaded : Elaborate.t) =
   in
   let concurrent = min workers n in
   let per_assertion = max 1 (workers / concurrent) in
+  let config = Csp.Check_config.with_workers per_assertion config in
   let results = Array.make n None in
   let next = Atomic.make 0 in
   let task () =
@@ -91,10 +92,7 @@ let run_concurrent ?max_states ~workers (loaded : Elaborate.t) =
       if i < n then begin
         results.(i) <-
           Some
-            (try
-               Ok
-                 (run_prepared ?max_states ~workers:per_assertion
-                    loaded.Elaborate.defs prepared.(i))
+            (try Ok (run_prepared ~config loaded.Elaborate.defs prepared.(i))
              with e -> Error e);
         grab ()
       end
@@ -115,20 +113,28 @@ let run_concurrent ?max_states ~workers (loaded : Elaborate.t) =
          | None -> assert false)
        assertions)
 
-let run ?max_states ?deadline ?(workers = 1) (loaded : Elaborate.t) =
-  let workers = max 1 workers in
+let run ?(config = Csp.Check_config.default) (loaded : Elaborate.t) =
+  let config =
+    Csp.Check_config.with_workers
+      (max 1 config.Csp.Check_config.workers)
+      config
+  in
   let n = List.length loaded.Elaborate.assertions in
-  match deadline with
-  | Some total -> run_with_deadline ?max_states ~total ~workers loaded
+  match config.Csp.Check_config.deadline with
+  | Some total ->
+    run_with_deadline ~config ~total loaded
   | None ->
-    if workers > 1 && n > 1 then run_concurrent ?max_states ~workers loaded
+    if config.Csp.Check_config.workers > 1 && n > 1 then
+      run_concurrent ~config loaded
     else
       List.map
         (fun (assertion, pos) ->
           {
             assertion;
             pos = Some pos;
-            result = run_assertion ?max_states ~workers loaded assertion;
+            result =
+              Obs.span config.Csp.Check_config.obs "check.assertion"
+                (fun () -> run_assertion ~config loaded assertion);
           })
         loaded.Elaborate.assertions
 
@@ -143,6 +149,98 @@ let any_fails outcomes =
 
 let any_inconclusive outcomes =
   List.exists (fun o -> Csp.Refine.inconclusive o.result) outcomes
+
+(* The machine-readable face of [pp_outcomes]: the documented stable
+   schema behind [cspm_check --format json]. Verdict names, field names,
+   and the counts in "summary" are part of the contract; new fields may
+   be added but existing ones keep their meaning. *)
+let json_of_outcomes outcomes =
+  let open Obs.Json in
+  let num n = Num (float_of_int n) in
+  let labels ls = List (List.map (fun l -> Str (Csp.Event.label_to_string l)) ls) in
+  let stats_json (s : Csp.Refine.stats) =
+    Obj
+      [
+        "impl_states", num s.Csp.Refine.impl_states;
+        "spec_nodes", num s.Csp.Refine.spec_nodes;
+        "pairs", num s.Csp.Refine.pairs;
+        "wall_s", Num s.Csp.Refine.wall_s;
+        "states_per_sec", Num s.Csp.Refine.states_per_sec;
+        "peak_frontier", num s.Csp.Refine.peak_frontier;
+        "workers", num s.Csp.Refine.workers;
+        "par_speedup", Num s.Csp.Refine.par_speedup;
+      ]
+  in
+  let outcome_json i o =
+    let base =
+      [
+        "index", num i;
+        "assertion", Str (Format.asprintf "%a" Print.pp_assertion o.assertion);
+      ]
+      @ (match o.pos with
+         | Some p ->
+           [ "line", num p.Ast.line; "col", num p.Ast.col ]
+         | None -> [])
+    in
+    let rest =
+      match o.result with
+      | Csp.Refine.Holds stats ->
+        [ "verdict", Str "pass"; "stats", stats_json stats ]
+      | Csp.Refine.Fails cex ->
+        [
+          "verdict", Str "fail";
+          ( "counterexample",
+            Obj
+              [
+                "trace", labels cex.Csp.Refine.trace;
+                ( "violation",
+                  Str
+                    (Format.asprintf "%a" Csp.Refine.pp_violation
+                       cex.Csp.Refine.violation) );
+              ] );
+        ]
+      | Csp.Refine.Inconclusive (stats, hint) ->
+        [
+          "verdict", Str "inconclusive";
+          "stats", stats_json stats;
+          ( "resume_hint",
+            Obj
+              [
+                "frontier", num hint.Csp.Refine.frontier;
+                ( "exhausted",
+                  Str
+                    (match hint.Csp.Refine.exhausted with
+                     | Csp.Refine.Deadline -> "deadline"
+                     | Csp.Refine.States -> "states"
+                     | Csp.Refine.Pairs -> "pairs") );
+                "deepest", labels hint.Csp.Refine.deepest;
+              ] );
+        ]
+    in
+    Obj (base @ rest)
+  in
+  let count p = List.length (List.filter p outcomes) in
+  Obj
+    [
+      "schema", Str "cspm-check/1";
+      "assertions", List (List.mapi outcome_json outcomes);
+      ( "summary",
+        Obj
+          [
+            "total", num (List.length outcomes);
+            ( "passed",
+              num
+                (count (fun o -> Csp.Refine.holds o.result)) );
+            ( "failed",
+              num
+                (count (fun o ->
+                     match o.result with
+                     | Csp.Refine.Fails _ -> true
+                     | _ -> false)) );
+            ( "inconclusive",
+              num (count (fun o -> Csp.Refine.inconclusive o.result)) );
+          ] );
+    ]
 
 let pp_outcome ppf o =
   let status =

@@ -9,18 +9,16 @@ type outcome = {
 }
 
 val run_assertion :
-  ?max_states:int ->
-  ?deadline:float ->
-  ?workers:int ->
+  ?config:Csp.Check_config.t ->
   Elaborate.t ->
   Ast.assertion ->
   Csp.Refine.result
 (** Elaborate the assertion's terms against the loaded script and run the
     corresponding check ([T=] trace refinement, [F=] stable-failures
-    refinement, deadlock or divergence freedom). [deadline] is a
-    wall-clock budget in seconds; on expiry the result is
-    {!Csp.Refine.Inconclusive} rather than an exception. [workers]
-    (default 1) sizes the refinement engine's domain pool. *)
+    refinement, deadlock or divergence freedom). Budgets, worker pool,
+    and observability come from [config] (default
+    {!Csp.Check_config.default}); on a budget expiry the result is
+    {!Csp.Refine.Inconclusive} rather than an exception. *)
 
 val slice : remaining_wall:float -> remaining:int -> float
 (** The wall-clock share the next assertion receives when
@@ -28,21 +26,22 @@ val slice : remaining_wall:float -> remaining:int -> float
     [remaining_wall / remaining], clamped to be non-negative. Exposed so
     the rolling-budget arithmetic is testable on its own. *)
 
-val run :
-  ?max_states:int -> ?deadline:float -> ?workers:int -> Elaborate.t ->
-  outcome list
-(** Run every [assert], reporting outcomes in script order. A [deadline]
-    covers the whole run; each assertion's slice is recomputed as
-    remaining-wall / remaining-assertions, so budget left unused by fast
-    assertions rolls forward to later (possibly hard) ones instead of
-    being discarded.
+val run : ?config:Csp.Check_config.t -> Elaborate.t -> outcome list
+(** Run every [assert], reporting outcomes in script order. A
+    [config.deadline] covers the whole run; each assertion's slice is
+    recomputed as remaining-wall / remaining-assertions, so budget left
+    unused by fast assertions rolls forward to later (possibly hard) ones
+    instead of being discarded.
 
-    [workers] (default 1) enables multicore checking: under a deadline
-    (whose accounting is inherently sequential) each assertion runs the
-    parallel engine with the full pool; without one, up to [workers]
-    independent assertions run concurrently on their own domains, each
-    given an equal share of the pool for its own product search. Verdicts
-    and counterexamples are identical to a sequential run either way. *)
+    [config.workers] enables multicore checking: under a deadline (whose
+    accounting is inherently sequential) each assertion runs the parallel
+    engine with the full pool; without one, up to that many independent
+    assertions run concurrently on their own domains, each given an equal
+    share of the pool for its own product search. Verdicts and
+    counterexamples are identical to a sequential run either way.
+
+    [config.obs] records a [check.assertion] span per assertion (on the
+    sequential paths) on top of the engine's own spans and metrics. *)
 
 val all_pass : outcome list -> bool
 (** Every outcome is {!Csp.Refine.Holds} — inconclusive is not a pass. *)
@@ -51,6 +50,33 @@ val any_fails : outcome list -> bool
 (** At least one outcome is a definite {!Csp.Refine.Fails}. *)
 
 val any_inconclusive : outcome list -> bool
+
+val json_of_outcomes : outcome list -> Obs.Json.t
+(** The machine-readable outcome report behind [cspm_check --format
+    json]. Stable schema ["cspm-check/1"]:
+
+    {v
+    { "schema": "cspm-check/1",
+      "assertions": [
+        { "index": 0, "assertion": "<pretty CSPm>",
+          "line": 3, "col": 1,            // present when the source
+                                          // position is known
+          "verdict": "pass" | "fail" | "inconclusive",
+          "stats": { "impl_states", "spec_nodes", "pairs", "wall_s",
+                     "states_per_sec", "peak_frontier", "workers",
+                     "par_speedup" },     // pass and inconclusive
+          "counterexample": { "trace": ["ev.1", ...],
+                              "violation": "<description>" },  // fail
+          "resume_hint": { "frontier", "exhausted": "deadline" |
+                           "states" | "pairs",
+                           "deepest": [...] } },  // inconclusive
+        ... ],
+      "summary": { "total", "passed", "failed", "inconclusive" } }
+    v}
+
+    New fields may be added over time; existing fields keep their names
+    and meanings. Timing fields ([wall_s], [states_per_sec],
+    [par_speedup]) vary run to run; everything else is deterministic. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_outcomes : Format.formatter -> outcome list -> unit

@@ -376,7 +376,9 @@ let load (script : Ast.script) : t =
     def_items;
   { defs; assertions = List.rev !assertions }
 
-let load_string src = load (Parser.script src)
+let load_string ?(obs = Obs.silent) src =
+  let ast = Obs.span obs "cspm.parse" (fun () -> Parser.script src) in
+  Obs.span obs "cspm.elaborate" (fun () -> load ast)
 
 let ctx_of (loaded : t) =
   let defs = loaded.defs in

@@ -19,8 +19,9 @@ val load : Ast.script -> t
 (** @raise Elab_error on unknown identifiers, undeclared channels, arity
     mismatches, or an expression in process position (and vice versa). *)
 
-val load_string : string -> t
-(** Parse then {!load}.
+val load_string : ?obs:Obs.t -> string -> t
+(** Parse then {!load}; [obs] records [cspm.parse] and [cspm.elaborate]
+    spans around the two stages.
     @raise Parser.Parse_error or {!Lexer.Lex_error} on syntax errors. *)
 
 val proc_of_term : t -> Ast.term -> Csp.Proc.t

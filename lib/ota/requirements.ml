@@ -55,7 +55,7 @@ let versions = List.init Messages.versions Fun.id
 (* R01: the first VMG transmission is the inventory request            *)
 (* ------------------------------------------------------------------ *)
 
-let r01 ?interner ?max_states ?workers (s : Scenario.t) =
+let r01 ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let free_events =
@@ -69,14 +69,14 @@ let r01 ?interner ?max_states ?workers (s : Scenario.t) =
           (P.run s.Scenario.alphabet) )
   in
   Csp.Defs.define_proc defs "R01" [] body;
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec:(P.call ("R01", []))
+  Csp.Refine.traces_refines ?config defs ~spec:(P.call ("R01", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R02: SP02 — request/response alternation (paper Section V-B)        *)
 (* ------------------------------------------------------------------ *)
 
-let r02 ?interner ?max_states ?workers (s : Scenario.t) =
+let r02 ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting =
     ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions
@@ -90,7 +90,7 @@ let r02 ?interner ?max_states ?workers (s : Scenario.t) =
     P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02" [] body;
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec:(P.call ("SP02", [])) ~impl
+  Csp.Refine.traces_refines ?config defs ~spec:(P.call ("SP02", [])) ~impl
 
 let ev_ecu_recv_req_sw =
   Csp.Event.event "recv" [ Messages.ecu; Messages.req_sw ]
@@ -101,7 +101,7 @@ let ev_ecu_recv_req_sw =
    "every *delivered* request is answered before the next delivery". The
    ECU is sequential, so this is exactly the paper's SP02 seen from the
    responder's side. *)
-let r02_delivered ?interner ?max_states ?workers (s : Scenario.t) =
+let r02_delivered ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting =
     ev_ecu_recv_req_sw :: List.map ev_ecu_rpt_sw versions
@@ -118,9 +118,9 @@ let r02_delivered ?interner ?max_states ?workers (s : Scenario.t) =
     P.send "recv" [ Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02D" [] body;
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec:(P.call ("SP02D", [])) ~impl
+  Csp.Refine.traces_refines ?config defs ~spec:(P.call ("SP02D", [])) ~impl
 
-let r02_liveness ?interner ?max_states ?workers (s : Scenario.t) =
+let r02_liveness ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let interesting = ev_vmg_req_sw :: List.map ev_ecu_rpt_sw versions in
   let hidden =
@@ -144,7 +144,7 @@ let r02_liveness ?interner ?max_states ?workers (s : Scenario.t) =
     P.send "send" [ Messages.vmg; Messages.ecu; Messages.req_sw ] responses
   in
   Csp.Defs.define_proc defs "SP02L" [] body;
-  Csp.Refine.failures_refines ?interner ?max_states ?workers defs ~spec:(P.call ("SP02L", []))
+  Csp.Refine.failures_refines ?config defs ~spec:(P.call ("SP02L", []))
     ~impl
 
 (* ------------------------------------------------------------------ *)
@@ -152,7 +152,7 @@ let r02_liveness ?interner ?max_states ?workers (s : Scenario.t) =
    else                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let r03 ?interner ?max_states ?workers (s : Scenario.t) =
+let r03 ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let valid_deliveries = List.map ev_recv_valid_app versions in
@@ -192,14 +192,14 @@ let r03 ?interner ?max_states ?workers (s : Scenario.t) =
             | _ -> assert false) )
   in
   Csp.Defs.define_proc defs "R03" [] body;
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec:(P.call ("R03", []))
+  Csp.Refine.traces_refines ?config defs ~spec:(P.call ("R03", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R04: installation is followed by the update report                  *)
 (* ------------------------------------------------------------------ *)
 
-let r04 ?interner ?max_states ?workers (s : Scenario.t) =
+let r04 ?config (s : Scenario.t) =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let all = all_events s in
   let quiet = List.filter (fun e -> not (is_installed e)) all in
@@ -227,43 +227,43 @@ let r04 ?interner ?max_states ?workers (s : Scenario.t) =
             | _ -> assert false) )
   in
   Csp.Defs.define_proc defs "R04" [] body;
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec:(P.call ("R04", []))
+  Csp.Refine.traces_refines ?config defs ~spec:(P.call ("R04", []))
     ~impl:s.Scenario.system
 
 (* ------------------------------------------------------------------ *)
 (* R05: update authenticity under the shared-key assumption            *)
 (* ------------------------------------------------------------------ *)
 
-let r05 ?interner ?max_states ?workers (s : Scenario.t) ~version =
+let r05 ?config (s : Scenario.t) ~version =
   let defs = Csp.Defs.copy s.Scenario.defs in
   let spec =
     Security.Properties.precedes defs ~alphabet:s.Scenario.alphabet
       ~trigger:(ev_vmg_req_app version) ~guarded:(ev_installed version)
   in
-  Csp.Refine.traces_refines ?interner ?max_states ?workers defs ~spec ~impl:s.Scenario.system
+  Csp.Refine.traces_refines ?config defs ~spec ~impl:s.Scenario.system
 
-let run_all ?interner ?max_states ?workers s =
+let run_all ?config s =
   let checks =
     [
       ( "R01",
         "VMG starts the update process with a software inventory request",
-        r01 ?interner ?max_states ?workers s );
+        r01 ?config s );
       ( "R02",
         "every inventory request is answered with a software list (SP02)",
-        r02 ?interner ?max_states ?workers s );
+        r02 ?config s );
       ( "R03",
         "a validly MAC'd apply-update message is applied by the ECU",
-        r03 ?interner ?max_states ?workers s );
+        r03 ?config s );
       ( "R04",
         "completed installations are reported with an update result",
-        r04 ?interner ?max_states ?workers s );
+        r04 ?config s );
     ]
     @ List.map
         (fun w ->
           ( Printf.sprintf "R05v%d" w,
             Printf.sprintf
               "version %d is installed only on a shared-key request" w,
-            r05 ?interner ?max_states ?workers s ~version:w ))
+            r05 ?config s ~version:w ))
         versions
   in
   List.map

@@ -17,10 +17,10 @@ type check = {
   result : Csp.Refine.result;
 }
 
-val r01 : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
-val r02 : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
+val r01 : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
+val r02 : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
 
-val r02_delivered : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
+val r02_delivered : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
 (** SP02 observed at the ECU: every {e delivered} inventory request is
     answered before the next one arrives. Equivalent to {!r02} on a
     faithful medium, but robust to retransmission — on the {!Scenario.Lossy}
@@ -28,7 +28,7 @@ val r02_delivered : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers
     fails there by construction), yet the delivered-request alternation
     still holds. *)
 
-val r02_liveness : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
+val r02_liveness : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
 (** The availability strengthening of R02, checked in the stable-failures
     model: the system must not only never produce a wrong
     request/response order, it must never {e refuse} to continue the
@@ -37,14 +37,14 @@ val r02_liveness : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:
     classic safety/liveness split the paper's Section IV-A1 alludes to
     ("availability (liveness)"). *)
 
-val r03 : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
-val r04 : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> Csp.Refine.result
+val r03 : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
+val r04 : ?config:Csp.Check_config.t -> Scenario.t -> Csp.Refine.result
 
-val r05 : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> version:int -> Csp.Refine.result
+val r05 : ?config:Csp.Check_config.t -> Scenario.t -> version:int -> Csp.Refine.result
 (** Authenticity of installing [version] (checked per version because the
     property is version-indexed). *)
 
-val run_all : ?interner:Csp.Search.interner -> ?max_states:int -> ?workers:int -> Scenario.t -> check list
+val run_all : ?config:Csp.Check_config.t -> Scenario.t -> check list
 (** R01–R04 plus R05 for every version. *)
 
 val all_hold : check list -> bool

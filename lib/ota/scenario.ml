@@ -99,8 +99,8 @@ let make_extended () =
     alphabet = Csp.Eventset.chans [ "send"; "recv"; "installed" ];
   }
 
-let deadlock_result ?max_states t =
-  Csp.Refine.deadlock_free ?max_states t.defs t.system
+let deadlock_result ?config t =
+  Csp.Refine.deadlock_free ?config t.defs t.system
 
-let divergence_result ?max_states t =
-  Csp.Refine.divergence_free ?max_states t.defs t.system
+let divergence_result ?config t =
+  Csp.Refine.divergence_free ?config t.defs t.system

@@ -37,5 +37,5 @@ val make_extended : unit -> t
 (** The future-work scope: server + VMG_EXT + ECU over a reliable medium,
     with the extended message set. *)
 
-val deadlock_result : ?max_states:int -> t -> Csp.Refine.result
-val divergence_result : ?max_states:int -> t -> Csp.Refine.result
+val deadlock_result : ?config:Csp.Check_config.t -> t -> Csp.Refine.result
+val divergence_result : ?config:Csp.Check_config.t -> t -> Csp.Refine.result

@@ -141,8 +141,13 @@ let authentication_spec defs =
     ~trigger:(Csp.Event.event "running" [ agent_a; agent_b ])
     ~guarded:(Csp.Event.event "commit" [ agent_b; agent_a ])
 
-let check ?interner ?(max_states = 2_000_000) ?deadline ?workers ~fixed () =
+(* A bigger default state budget than [Check_config.default]'s: the NS
+   product space is the stock large check. Applied only when the caller
+   does not supply a config of their own. *)
+let default_config =
+  Csp.Check_config.(default |> with_max_states 2_000_000)
+
+let check ?(config = default_config) ~fixed () =
   let defs, system = build ~fixed in
   let spec = authentication_spec defs in
-  Csp.Refine.traces_refines ?interner ~max_states ?deadline ?workers defs
-    ~spec ~impl:system
+  Csp.Refine.traces_refines ~config defs ~spec ~impl:system

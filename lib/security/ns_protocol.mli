@@ -20,12 +20,15 @@ val authentication_spec : Csp.Defs.t -> Csp.Proc.t
 (** "B commits to a session with A only after A really ran the protocol
     with B" as a trace specification. *)
 
+val default_config : Csp.Check_config.t
+(** {!Csp.Check_config.default} with [max_states] raised to [2_000_000]
+    — the NS product space is the stock large check. *)
+
 val check :
-  ?interner:Csp.Search.interner ->
-  ?max_states:int -> ?deadline:float -> ?workers:int ->
-  fixed:bool -> unit -> Csp.Refine.result
-(** Build and check authentication (default [max_states] = [2_000_000]).
-    [deadline] (seconds) makes the check budgeted: exhausting it returns
-    [Inconclusive] rather than running to completion. [workers] sizes the
-    refinement engine's domain pool; the verdict and counts are identical
-    at any worker count. *)
+  ?config:Csp.Check_config.t -> fixed:bool -> unit -> Csp.Refine.result
+(** Build and check authentication. Budgets, the interner, the worker
+    pool, and observability all come from [config] (default
+    {!default_config}); a [config.deadline] makes the check budgeted —
+    exhausting it returns [Inconclusive] rather than running to
+    completion. The verdict and counts are identical at any worker count
+    and under any obs sink. *)

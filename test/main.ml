@@ -35,4 +35,5 @@ let () =
       Test_misc.suite;
       Test_hashcons.suite;
       Test_search_par.suite;
+      Test_obs.suite;
     ]

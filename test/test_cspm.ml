@@ -205,7 +205,7 @@ let rolling_script =
 
 let test_rolling_budget () =
   let loaded = Elaborate.load_string rolling_script in
-  let outcomes = Check.run ~deadline:60.0 loaded in
+  let outcomes = Check.run ~config:Csp.Check_config.(default |> with_deadline 60.0) loaded in
   check_int "ten assertions" 10 (List.length outcomes);
   check_bool "all pass under one rolling budget" true (Check.all_pass outcomes)
 
@@ -227,7 +227,7 @@ let test_concurrent_run_matches_sequential () =
   in
   let loaded = Elaborate.load_string script in
   let seq = Check.run loaded in
-  let par = Check.run ~workers:2 loaded in
+  let par = Check.run ~config:Csp.Check_config.(default |> with_workers 2) loaded in
   check_int "same count" (List.length seq) (List.length par);
   List.iter2
     (fun a b ->

@@ -7,6 +7,7 @@ let defs = make_defs ()
 let check_bool = Alcotest.(check bool)
 
 let holds = Refine.holds
+let fd_config = Check_config.(default |> with_max_states 50_000)
 
 (* a diverging process: internal chatter hidden forever *)
 let diverging defs =
@@ -77,10 +78,10 @@ let fd_implies_failures =
   QCheck.Test.make ~count:80 ~name:"FD refinement implies failures refinement"
     (QCheck.pair arb_proc arb_proc) (fun (spec, impl) ->
       let fd =
-        holds (Refine.fd_refines ~max_states:50_000 defs ~spec ~impl)
+        holds (Refine.fd_refines ~config:fd_config defs ~spec ~impl)
       in
       let f =
-        holds (Refine.failures_refines ~max_states:50_000 defs ~spec ~impl)
+        holds (Refine.failures_refines ~config:fd_config defs ~spec ~impl)
       in
       (* only when the spec is divergence-free does FD imply F; the random
          generator never diverges on its own (hiding of finite processes
@@ -89,7 +90,7 @@ let fd_implies_failures =
 
 let fd_reflexive =
   QCheck.Test.make ~count:80 ~name:"FD refinement is reflexive" arb_proc
-    (fun p -> holds (Refine.fd_refines ~max_states:50_000 defs ~spec:p ~impl:p))
+    (fun p -> holds (Refine.fd_refines ~config:fd_config defs ~spec:p ~impl:p))
 
 let suite =
   ( "fd",

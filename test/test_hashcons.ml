@@ -7,6 +7,9 @@ module AT = Security.Attack_tree
 
 let check_string = Alcotest.(check string)
 
+(* every oracle run is parameterised only by the interner choice *)
+let cfg interner = Check_config.(default |> with_interner interner)
+
 (* ------------------------------------------------------------------ *)
 (* qcheck: equal/hash agree with structural equality                   *)
 (* ------------------------------------------------------------------ *)
@@ -95,13 +98,13 @@ let test_requirements_oracle () =
   let s = Ota.Scenario.make () in
   agree "requirements"
     [
-      "R01", (fun interner -> Ota.Requirements.r01 ~interner s);
-      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
-      "SP02-delivered", (fun interner -> Ota.Requirements.r02_delivered ~interner s);
-      "SP02-liveness", (fun interner -> Ota.Requirements.r02_liveness ~interner s);
-      "R03", (fun interner -> Ota.Requirements.r03 ~interner s);
-      "R04", (fun interner -> Ota.Requirements.r04 ~interner s);
-      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
+      "R01", (fun interner -> Ota.Requirements.r01 ~config:(cfg interner) s);
+      "SP02", (fun interner -> Ota.Requirements.r02 ~config:(cfg interner) s);
+      "SP02-delivered", (fun interner -> Ota.Requirements.r02_delivered ~config:(cfg interner) s);
+      "SP02-liveness", (fun interner -> Ota.Requirements.r02_liveness ~config:(cfg interner) s);
+      "R03", (fun interner -> Ota.Requirements.r03 ~config:(cfg interner) s);
+      "R04", (fun interner -> Ota.Requirements.r04 ~config:(cfg interner) s);
+      "R05v1", (fun interner -> Ota.Requirements.r05 ~config:(cfg interner) s ~version:1);
     ]
 
 let test_requirements_oracle_intruder () =
@@ -109,22 +112,28 @@ let test_requirements_oracle_intruder () =
   let s = Ota.Scenario.make ~check_macs:false ~medium:Ota.Scenario.Intruder () in
   agree "requirements-intruder"
     [
-      "R05v1", (fun interner -> Ota.Requirements.r05 ~interner s ~version:1);
-      "SP02", (fun interner -> Ota.Requirements.r02 ~interner s);
+      "R05v1", (fun interner -> Ota.Requirements.r05 ~config:(cfg interner) s ~version:1);
+      "SP02", (fun interner -> Ota.Requirements.r02 ~config:(cfg interner) s);
     ]
 
 let test_ns_oracle () =
   agree "needham-schroeder"
     [
       (* the broken protocol fails quickly with Lowe's attack trace *)
-      "broken", (fun interner -> Security.Ns_protocol.check ~interner ~fixed:false ());
+      "broken", (fun interner ->
+        Security.Ns_protocol.check
+          ~config:(Check_config.with_interner interner
+                     Security.Ns_protocol.default_config)
+          ~fixed:false ());
       (* a pair-budgeted run of the fixed protocol: Inconclusive, but the
          explored prefix and resume hint must still be identical *)
       ( "fixed-budgeted",
         fun interner ->
           let defs, system = Security.Ns_protocol.build ~fixed:true in
           let spec = Security.Ns_protocol.authentication_spec defs in
-          Refine.check ~interner ~max_pairs:500 defs ~spec ~impl:system );
+          Refine.check
+            ~config:Check_config.(cfg interner |> with_max_pairs 500)
+            defs ~spec ~impl:system );
     ]
 
 let test_attack_tree_oracle () =
@@ -150,15 +159,16 @@ let test_attack_tree_oracle () =
     [
       ( "replay-refines-tree",
         fun interner ->
-          Refine.traces_refines ~interner (make_defs ()) ~spec:proc
-            ~impl:replay_only );
+          Refine.traces_refines ~config:(cfg interner) (make_defs ())
+            ~spec:proc ~impl:replay_only );
       ( "tree-exceeds-replay",
         fun interner ->
-          Refine.traces_refines ~interner (make_defs ()) ~spec:replay_only
-            ~impl:proc );
+          Refine.traces_refines ~config:(cfg interner) (make_defs ())
+            ~spec:replay_only ~impl:proc );
       ( "self-failures",
         fun interner ->
-          Refine.failures_refines ~interner (make_defs ()) ~spec:proc ~impl:proc );
+          Refine.failures_refines ~config:(cfg interner) (make_defs ())
+            ~spec:proc ~impl:proc );
     ]
 
 let suite =

@@ -39,13 +39,17 @@ let par_equals_seq =
       List.for_all
         (fun model ->
           let defs = Helpers.make_defs () in
-          let run ?workers () =
-            Refine.check ?workers ~model ~max_states:50_000 defs ~spec ~impl
+          let run w =
+            let config =
+              Check_config.(
+                default |> with_max_states 50_000 |> with_workers w)
+            in
+            Refine.check ~config ~model defs ~spec ~impl
           in
-          let expected = render (run ()) in
+          let expected = render (run 1) in
           List.for_all
             (fun w ->
-              let got = render (run ~workers:w ()) in
+              let got = render (run w) in
               if String.equal expected got then true
               else
                 QCheck.Test.fail_reportf
@@ -62,7 +66,10 @@ let test_budgeted_inconclusive () =
       (fun w ->
         let defs, system = Security.Ns_protocol.build ~fixed:true in
         let spec = Security.Ns_protocol.authentication_spec defs in
-        w, render (Refine.check ~max_pairs:100 ~workers:w defs ~spec ~impl:system))
+        let config =
+          Check_config.(default |> with_max_pairs 100 |> with_workers w)
+        in
+        w, render (Refine.check ~config defs ~spec ~impl:system))
       worker_counts
   in
   match results with
@@ -80,14 +87,19 @@ let test_budgeted_inconclusive () =
    counterexample is unique) whatever the pool size. *)
 let test_ns_attack_trace () =
   let expected =
-    render (Security.Ns_protocol.check ~workers:1 ~fixed:false ())
+    render (Security.Ns_protocol.check ~fixed:false ())
   in
   List.iter
     (fun w ->
       check_string
         (Printf.sprintf "workers=%d attack trace" w)
         expected
-        (render (Security.Ns_protocol.check ~workers:w ~fixed:false ())))
+        (render
+           (Security.Ns_protocol.check
+              ~config:
+                (Check_config.with_workers w
+                   Security.Ns_protocol.default_config)
+              ~fixed:false ())))
     [ 2; 4 ]
 
 (* The recorded stats must say how many workers ran, so benchmark rows
@@ -95,7 +107,11 @@ let test_ns_attack_trace () =
 let test_stats_record_workers () =
   let defs = Helpers.make_defs () in
   let p = Helpers.send "a" 0 (Helpers.send "b" 1 Proc.stop) in
-  (match Refine.check ~workers:2 defs ~spec:p ~impl:p with
+  (match
+     Refine.check
+       ~config:Check_config.(default |> with_workers 2)
+       defs ~spec:p ~impl:p
+   with
    | Refine.Holds s -> Alcotest.(check int) "workers recorded" 2 s.Refine.workers
    | _ -> Alcotest.fail "self-refinement should hold");
   match Refine.check defs ~spec:p ~impl:p with
@@ -105,25 +121,49 @@ let test_stats_record_workers () =
       s.Refine.par_speedup
   | _ -> Alcotest.fail "self-refinement should hold"
 
-(* deterministic/deadlock_free accept ?workers too (the graph-based
-   checks run sequentially by design but must not reject the option). *)
+(* deterministic/deadlock_free accept a config with workers set too (the
+   graph-based checks run sequentially by design but must not reject the
+   field). *)
 let test_other_checks_accept_workers () =
   let defs = Helpers.make_defs () in
   let p = Proc.ext (Helpers.send "a" 0 Proc.stop, Helpers.send "b" 1 Proc.skip) in
+  Defs.define_proc defs "LOOP" [] (Helpers.send "a" 0 (Proc.call ("LOOP", [])));
   List.iter
     (fun w ->
       check_string
         (Printf.sprintf "deterministic workers=%d" w)
         (render (Refine.deterministic defs p))
-        (render (Refine.deterministic ~workers:w defs p));
+        (render
+           (Refine.deterministic
+              ~config:Check_config.(default |> with_workers w)
+              defs p));
       check_string
         (Printf.sprintf "deadlock_free workers=%d" w)
         (render (Refine.deadlock_free defs p))
-        (render (Refine.deadlock_free ~workers:w defs p));
+        (render
+           (Refine.deadlock_free
+              ~config:Check_config.(default |> with_workers w)
+              defs p));
       check_string
         (Printf.sprintf "divergence_free workers=%d" w)
         (render (Refine.divergence_free defs p))
-        (render (Refine.divergence_free ~workers:w defs p)))
+        (render
+           (Refine.divergence_free
+              ~config:Check_config.(default |> with_workers w)
+              defs p));
+      (* ...and their stats must say so: the recorded pool size is 1
+         however many workers the config asked for *)
+      match
+        Refine.deadlock_free
+          ~config:Check_config.(default |> with_workers w)
+          defs
+          (Proc.call ("LOOP", []))
+      with
+      | Refine.Holds s ->
+        Alcotest.(check int)
+          (Printf.sprintf "graph check ran sequentially at workers=%d" w)
+          1 s.Refine.workers
+      | _ -> Alcotest.fail "a pure loop cannot deadlock")
     [ 2; 4 ]
 
 let suite =

@@ -308,7 +308,11 @@ let test_never_and_precedes () =
    Inconclusive verdict carrying real progress numbers — the acceptance
    shape of the graceful-degradation tentpole. *)
 let test_ns_budgeted () =
-  match Security.Ns_protocol.check ~deadline:0.001 ~fixed:true () with
+  match Security.Ns_protocol.check
+          ~config:
+            Csp.Check_config.(
+              Security.Ns_protocol.default_config |> with_deadline 0.001)
+          ~fixed:true () with
   | Refine.Inconclusive (stats, hint) ->
     (* the 1 ms may expire while compiling the spec (progress shows up in
        spec_nodes) or during the product walk (impl_states/pairs) — either
