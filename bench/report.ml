@@ -197,6 +197,28 @@ let run_rows () =
     record "ns/authentication-fixed" (fun () ->
         Security.Ns_protocol.check ~fixed:true ())
   in
+  (* The pre-check static analysis on the same model: the point of the row
+     is the ratio — the lint must cost a vanishing fraction of the search
+     it runs in front of. "speedup_vs_j1" here is check wall / lint wall. *)
+  (let defs, _impl = Security.Ns_protocol.build ~fixed:true in
+   let diags, t = wall (fun () -> Analysis.Cspm_analyze.analyze defs) in
+   let ratio = if t > 0. then ns_base.wall_s /. t else 0. in
+   let row =
+     {
+       name = "analysis/ns-cspm-lint";
+       wall_s = t;
+       impl_states = 0;
+       pairs = 0;
+       states_per_sec = 0.;
+       verdict = Printf.sprintf "%d diagnostics" (List.length diags);
+       workers = 1;
+       par_speedup = 1.;
+       speedup_vs_j1 = ratio;
+     }
+   in
+   Format.printf "%-27s %9.2f ms  %s (%.0fx cheaper than the check)@."
+     row.name (row.wall_s *. 1e3) row.verdict ratio;
+   rows := row :: !rows);
   (* Instrumentation overhead: the same NS check with a live JSONL sink,
      measured immediately after the silent row (before the /jN reruns —
      domain thrash on a small host poisons whatever follows it). Its wall

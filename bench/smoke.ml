@@ -173,6 +173,85 @@ let check_json_output () =
   Format.printf "json output: %d assertions, %d failed — schema ok@." total
     failed
 
+(* A script with known lint findings: the diagnostics/1 document behind
+   `cspm_check --lint --format json` must parse back, carry its schema
+   tag, and have a summary that partitions the diagnostics — and the CAPL
+   lint must produce the same document shape. *)
+let check_lint_schema () =
+  let member name j =
+    match Obs.Json.member name j with
+    | Some v -> v
+    | None -> fail "lint smoke: missing member %S" name
+  in
+  let to_int j =
+    match Obs.Json.to_int j with
+    | Some n -> n
+    | None -> fail "lint smoke: expected an integer"
+  in
+  let validate label diags =
+    let doc = Obs.Json.to_string (Analysis.Diag.json_of_list diags) in
+    let json =
+      match Obs.Json.parse doc with
+      | Ok j -> j
+      | Error msg -> fail "lint smoke: %s document does not parse: %s" label msg
+    in
+    (match Obs.Json.to_str (member "schema" json) with
+     | Some "diagnostics/1" -> ()
+     | _ -> fail "lint smoke: %s schema tag is not diagnostics/1" label);
+    let listed =
+      match member "diagnostics" json with
+      | Obs.Json.List l -> l
+      | _ -> fail "lint smoke: %s diagnostics is not an array" label
+    in
+    if List.length listed <> List.length diags then
+      fail "lint smoke: %s array length %d <> %d diagnostics" label
+        (List.length listed) (List.length diags);
+    List.iter
+      (fun d ->
+        List.iter
+          (fun field ->
+            match Obs.Json.member field d with
+            | Some (Obs.Json.Str _) -> ()
+            | _ ->
+              fail "lint smoke: %s diagnostic lacks string field %S" label
+                field)
+          [ "code"; "severity"; "message" ])
+      listed;
+    let summary = member "summary" json in
+    let total = to_int (member "total" summary) in
+    let parts =
+      to_int (member "errors" summary)
+      + to_int (member "warnings" summary)
+      + to_int (member "infos" summary)
+    in
+    if total <> List.length diags || parts <> total then
+      fail "lint smoke: %s summary does not partition (%d of %d)" label parts
+        total;
+    total
+  in
+  let cspm_diags =
+    Analysis.Cspm_analyze.analyze_loaded ~file:"smoke.csp"
+      (Cspm.Elaborate.load_string
+         "channel a : {0..1}\n\
+          channel ghost : {0..1}\n\
+          P = P [] a!0 -> P\n\
+          assert P :[deadlock free]\n")
+  in
+  if cspm_diags = [] then fail "lint smoke: CSPm fixture produced nothing";
+  let cspm_total = validate "cspm" cspm_diags in
+  let capl_diags =
+    Analysis.Capl_lint.lint
+      ~db:(Candb.To_capl.msgdb (Candb.Dbc_parser.parse Ota.Capl_sources.dbc))
+      ~name:"smoke"
+      (Capl.Parser.program
+         "variables { message Bogus m; timer tick; }\n\
+          on start { setTimer(tick, 5); }\n")
+  in
+  if capl_diags = [] then fail "lint smoke: CAPL fixture produced nothing";
+  let capl_total = validate "capl" capl_diags in
+  Format.printf "lint schema: %d cspm + %d capl diagnostics — schema ok@."
+    cspm_total capl_total
+
 let check_trace_stream () =
   (* the observability stream must (a) not change the verdict and (b) be
      line-by-line parseable JSON containing the pipeline spans *)
@@ -218,5 +297,6 @@ let () =
   check_engine_agreement ();
   check_parallel_agreement ();
   check_json_output ();
+  check_lint_schema ();
   check_trace_stream ();
   print_endline "smoke: ok"

@@ -13,8 +13,11 @@ let read_file path =
 let node_name_of_path path =
   Filename.remove_extension (Filename.basename path)
 
+type format = Pretty | Json
+
 let run dbc_path capl_paths output max_domain global_max max_unroll strict
-    quiet =
+    quiet lint deny_warnings format =
+  let lint = lint || deny_warnings in
   match
     ( read_file dbc_path,
       List.map (fun p -> node_name_of_path p, read_file p) capl_paths )
@@ -23,42 +26,73 @@ let run dbc_path capl_paths output max_domain global_max max_unroll strict
     Printf.eprintf "error: %s\n" msg;
     1
   | dbc, sources ->
-  let config =
-    {
-      Extractor.Extract.default_config with
-      domain =
-        {
-          Extractor.Extract.default_config.Extractor.Extract.domain with
-          Candb.To_cspm.max_domain;
-        };
-      global_max;
-      max_unroll;
-      lenient = not strict;
-    }
-  in
-  match Extractor.Pipeline.build_from_sources ~config ~dbc sources with
+  match Extractor.Pipeline.parse_sources ~dbc sources with
   | exception Extractor.Pipeline.Pipeline_error msg ->
     Printf.eprintf "error: %s\n" msg;
     1
-  | exception Extractor.Extract.Unsupported w ->
-    Format.eprintf "unsupported construct: %a@." Extractor.Extract.pp_warning w;
-    1
-  | system ->
-    if not quiet then
-      List.iter
-        (fun (node, w) ->
-          Format.eprintf "warning: %s: %a@." node Extractor.Extract.pp_warning w)
-        (Extractor.Pipeline.warnings system);
-    let script = Extractor.Pipeline.emit_script system in
-    (match output with
-     | None -> print_string script
-     | Some path ->
-       let oc = open_out path in
-       Fun.protect
-         ~finally:(fun () -> close_out_noerr oc)
-         (fun () -> output_string oc script);
-       if not quiet then Printf.eprintf "wrote %s\n" path);
-    0
+  | db, programs ->
+    (* Lint before extraction: defects in the CAPL sources should surface
+       as positioned diagnostics, not as a strict-mode abort or a puzzling
+       generated model. *)
+    let diags =
+      if lint then Some (Extractor.Pipeline.lint_programs ~db programs)
+      else None
+    in
+    let blocked =
+      match diags with
+      | Some ds ->
+        (match format, ds with
+         | Json, _ ->
+           print_string (Obs.Json.to_string (Analysis.Diag.json_of_list ds));
+           print_newline ()
+         | Pretty, _ :: _ ->
+           Format.eprintf "@[<v>%a@]@." Analysis.Diag.pp_list ds
+         | Pretty, [] -> ());
+        Analysis.Diag.blocking ~deny_warnings ds
+      | None -> false
+    in
+    if blocked then begin
+      if format = Pretty then
+        Format.eprintf "extraction aborted: blocking diagnostics@.";
+      Analysis.Diag.exit_code
+    end
+    else begin
+      let config =
+        {
+          Extractor.Extract.default_config with
+          domain =
+            {
+              Extractor.Extract.default_config.Extractor.Extract.domain with
+              Candb.To_cspm.max_domain;
+            };
+          global_max;
+          max_unroll;
+          lenient = not strict;
+        }
+      in
+      match Extractor.Pipeline.build ~config ~db programs with
+      | exception Extractor.Extract.Unsupported w ->
+        Format.eprintf "unsupported construct: %a@."
+          Extractor.Extract.pp_warning w;
+        1
+      | system ->
+        if not quiet then
+          List.iter
+            (fun (node, w) ->
+              Format.eprintf "warning: %s: %a@." node
+                Extractor.Extract.pp_warning w)
+            (Extractor.Pipeline.warnings system);
+        let script = Extractor.Pipeline.emit_script system in
+        (match output with
+         | None -> print_string script
+         | Some path ->
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> output_string oc script);
+           if not quiet then Printf.eprintf "wrote %s\n" path);
+        0
+    end
 
 open Cmdliner
 
@@ -107,6 +141,37 @@ let strict_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress warnings.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Lint the CAPL sources against the CAN database before \
+           extraction: unknown messages, handlers nothing sends to, \
+           outputs nothing handles, orphaned timers, use-before-init \
+           globals, unreachable statements, narrowing assignments, and \
+           unused variables. Diagnostics carry stable CAPL0xx codes and \
+           source positions; the generated model is unaffected.")
+
+let deny_warnings_arg =
+  Arg.(
+    value & flag
+    & info [ "deny-warnings" ]
+        ~doc:
+          "Implies $(b,--lint); treat warning diagnostics as blocking: \
+           if the lint reports any error or warning, print the \
+           diagnostics and exit with status 4 without extracting.")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ "pretty", Pretty; "json", Json ]) Pretty
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Diagnostic format for $(b,--lint): $(b,pretty) (one line per \
+           diagnostic on stderr, the default) or $(b,json) (one \
+           machine-readable document on stdout, schema diagnostics/1).")
+
 let cmd =
   let doc = "translate CAPL ECU applications into a CSPm model" in
   let man =
@@ -117,12 +182,20 @@ let cmd =
          Automotive ECUs with Formal CSP Models' (DSN-W 2019): CAPL node \
          programs and their CAN database become a machine-readable CSPm \
          script for refinement checking (see $(b,cspm_check)).";
+      `S Manpage.s_exit_status;
+      `P "0 — extraction succeeded.";
+      `P "1 — an input could not be read, parsed, or translated.";
+      `P
+        "4 — the $(b,--lint) analysis reported blocking diagnostics \
+         (an error, or any warning under $(b,--deny-warnings)); \
+         nothing was extracted.";
     ]
   in
   Cmd.v
     (Cmd.info "capl2cspm" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ dbc_arg $ capl_args $ output_arg $ max_domain_arg
-      $ global_max_arg $ max_unroll_arg $ strict_arg $ quiet_arg)
+      $ global_max_arg $ max_unroll_arg $ strict_arg $ quiet_arg
+      $ lint_arg $ deny_warnings_arg $ format_arg)
 
 let () = exit (Cmd.eval' cmd)

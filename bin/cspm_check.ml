@@ -20,8 +20,11 @@ let progress_line (p : Csp.Search.progress) =
 
 (* Exit codes: 0 all assertions hold, 1 at least one definite failure,
    2 load/usage error, 3 no failures but at least one inconclusive
-   (budget exhausted — rerun with a larger --timeout/--max-states). *)
-let run path max_states timeout jobs list_only dot format progress trace_out =
+   (budget exhausted — rerun with a larger --timeout/--max-states),
+   4 blocking lint diagnostics under --lint/--deny-warnings. *)
+let run path max_states timeout jobs list_only dot format progress trace_out
+    lint deny_warnings =
+  let lint = lint || deny_warnings in
   let workers =
     if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
   in
@@ -79,6 +82,29 @@ let run path max_states timeout jobs list_only dot format progress trace_out =
           0
         end
         else begin
+          (* The static pass runs (and prints) before any refinement so a
+             defective model fails fast instead of burning the search
+             budget. Blocking diagnostics abort with their own exit code. *)
+          let diags =
+            if lint then
+              Some (Analysis.Cspm_analyze.analyze_loaded ~obs ~file:path loaded)
+            else None
+          in
+          (match format, diags with
+           | Pretty, Some (_ :: _ as ds) ->
+             Format.printf "@[<v>%a@]@." Analysis.Diag.pp_list ds
+           | _ -> ());
+          match diags with
+          | Some ds when Analysis.Diag.blocking ~deny_warnings ds ->
+            (match format with
+             | Json ->
+               print_string
+                 (Obs.Json.to_string (Analysis.Diag.json_of_list ds));
+               print_newline ()
+             | Pretty ->
+               Format.printf "refinement not run: blocking diagnostics@.");
+            Analysis.Diag.exit_code
+          | _ ->
           let ticked = ref false in
           let config =
             let open Csp.Check_config in
@@ -112,8 +138,15 @@ let run path max_states timeout jobs list_only dot format progress trace_out =
           in
           (match format with
            | Json ->
-             print_string
-               (Obs.Json.to_string (Cspm.Check.json_of_outcomes outcomes));
+             let doc = Cspm.Check.json_of_outcomes outcomes in
+             let doc =
+               match diags, doc with
+               | Some ds, Obs.Json.Obj fields ->
+                 Obs.Json.Obj
+                   (fields @ [ "diagnostics", Analysis.Diag.json_of_list ds ])
+               | _ -> doc
+             in
+             print_string (Obs.Json.to_string doc);
              print_newline ()
            | Pretty ->
              Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
@@ -195,6 +228,30 @@ let progress_arg =
            assertion's product search runs. Updates are throttled to the \
            engine's polling cadence, so fast checks print nothing.")
 
+let lint_arg =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+        ~doc:
+          "Run the pre-check static analysis before any refinement: \
+           unguarded recursion, impossible synchronisation sets, \
+           processes unreachable from assertions, dead channels, and \
+           unbounded-data recursion. Diagnostics (stable CSPM0xx codes \
+           with source positions) print before the first check; with \
+           $(b,--format) $(b,json) they appear as a $(b,diagnostics) \
+           field of the output document. Verdicts and counterexamples \
+           are unaffected.")
+
+let deny_warnings_arg =
+  Arg.(
+    value & flag
+    & info [ "deny-warnings" ]
+        ~doc:
+          "Implies $(b,--lint); treat warning diagnostics as blocking: \
+           if the analysis reports any error or warning, print the \
+           diagnostics and exit with status 4 without running any \
+           assertion.")
+
 let trace_out_arg =
   Arg.(
     value
@@ -217,12 +274,17 @@ let cmd =
       `P
         "3 — no assertion fails, but at least one is inconclusive \
          because a state, pair, or $(b,--timeout) budget was exhausted.";
+      `P
+        "4 — the $(b,--lint) analysis reported blocking diagnostics \
+         (an error, or any warning under $(b,--deny-warnings)); no \
+         assertion was run.";
     ]
   in
   Cmd.v
     (Cmd.info "cspm_check" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
-      $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg)
+      $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg
+      $ lint_arg $ deny_warnings_arg)
 
 let () = exit (Cmd.eval' cmd)

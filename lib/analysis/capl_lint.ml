@@ -1,0 +1,524 @@
+module A = Capl.Ast
+
+let d_pos (p : A.pos) : Diag.pos = { Diag.line = p.A.line; col = p.A.col }
+
+(* ------------------------------------------------------------------ *)
+(* Message selectors, normalised for cross-node matching               *)
+(* ------------------------------------------------------------------ *)
+
+(* Selectors resolve through the database when one is available, so
+   [on message 0x101] in one node matches [output] of the same message
+   declared by name in another. *)
+type msg_key =
+  | K_name of string
+  | K_id of int
+  | K_any
+
+let key_of_selector db sel =
+  match sel with
+  | A.Msg_any -> K_any
+  | A.Msg_name n ->
+    (match Option.bind db (fun db -> Capl.Msgdb.find_by_name db n) with
+     | Some spec -> K_id spec.Capl.Msgdb.msg_id
+     | None -> K_name n)
+  | A.Msg_id id -> K_id id
+
+let selector_label = function
+  | A.Msg_any -> "*"
+  | A.Msg_name n -> n
+  | A.Msg_id id -> Printf.sprintf "0x%X" id
+
+let key_matches a b =
+  match a, b with
+  | K_any, _ | _, K_any -> true
+  | K_name n, K_name m -> String.equal n m
+  | K_id i, K_id j -> i = j
+  | K_name _, K_id _ | K_id _, K_name _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Width arithmetic for the narrowing check                            *)
+(* ------------------------------------------------------------------ *)
+
+let width_of_ty = function
+  | A.T_char | A.T_byte -> Some 8
+  | A.T_int | A.T_word -> Some 16
+  | A.T_long | A.T_dword -> Some 32
+  | A.T_int64 | A.T_qword -> Some 64
+  | A.T_float | A.T_double | A.T_void | A.T_message _ | A.T_timer
+  | A.T_ms_timer ->
+    None
+
+(* Smallest power-of-two width whose signed-or-unsigned range holds [n]:
+   255 fits a byte, -200 does not. *)
+let literal_width n =
+  let fits w =
+    let open Int64 in
+    let n = of_int n in
+    (compare n (neg (shift_left 1L (w - 1))) >= 0)
+    && compare n (shift_left 1L w) < 0
+  in
+  if fits 8 then 8 else if fits 16 then 16 else if fits 32 then 32 else 64
+
+(* Conservative width inference: [None] means "unknown, stay quiet". *)
+let rec expr_width ty_of e =
+  match e with
+  | A.E_int n -> Some (literal_width n)
+  | A.E_char _ -> Some 8
+  | A.E_ident x -> Option.bind (ty_of x) width_of_ty
+  | A.E_binop
+      ( ( A.B_add | A.B_sub | A.B_mul | A.B_div | A.B_mod | A.B_band
+        | A.B_bor | A.B_bxor ),
+        a,
+        b ) ->
+    (match expr_width ty_of a, expr_width ty_of b with
+     | Some x, Some y -> Some (max x y)
+     | _ -> None)
+  | A.E_binop ((A.B_shl | A.B_shr), a, _) -> expr_width ty_of a
+  | A.E_binop
+      ( ( A.B_land | A.B_lor | A.B_eq | A.B_neq | A.B_lt | A.B_le | A.B_gt
+        | A.B_ge ),
+        _,
+        _ ) ->
+    Some 8
+  | A.E_unop (A.U_neg, a) | A.E_unop (A.U_bnot, a) -> expr_width ty_of a
+  | A.E_unop (A.U_not, _) -> Some 8
+  | A.E_ternary (_, a, b) ->
+    (match expr_width ty_of a, expr_width ty_of b with
+     | Some x, Some y -> Some (max x y)
+     | _ -> None)
+  | _ -> None
+
+let describe_width e w =
+  match e with
+  | A.E_int n -> Printf.sprintf "literal %d (%d bits)" n w
+  | A.E_ident x -> Printf.sprintf "'%s' (%d bits)" x w
+  | _ -> Printf.sprintf "a %d-bit expression" w
+
+(* ------------------------------------------------------------------ *)
+(* Per-node walk                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type node_facts = {
+  node : string;
+  mutable outputs : (msg_key * A.msg_selector * Diag.pos) list;
+  mutable msg_handlers : (msg_key * A.msg_selector * Diag.pos) list;
+  mutable timers_set : (string * Diag.pos) list;
+  mutable timer_handlers : (string * Diag.pos) list;
+  mutable diags : Diag.t list;
+}
+
+let is_start = function
+  | A.Ev_start | A.Ev_prestart -> true
+  | _ -> false
+
+let walk_node db (node, (prog : A.program)) =
+  let facts =
+    {
+      node;
+      outputs = [];
+      msg_handlers = [];
+      timers_set = [];
+      timer_handlers = [];
+      diags = [];
+    }
+  in
+  let diag ?pos severity code message =
+    facts.diags <-
+      Diag.make ~file:node ?pos severity ~code message :: facts.diags
+  in
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (v : A.var_decl) -> Hashtbl.replace globals v.A.var_name v)
+    prog.A.variables;
+  let global_used = Hashtbl.create 16 in
+  (* CAPL006 state: globals considered initialised so far. Message and
+     timer variables, arrays, and float/double state are excluded from
+     the check (they are structures or zero-initialised media, and
+     element-level tracking is out of scope). *)
+  let initialised = Hashtbl.create 16 in
+  let init_tracked (v : A.var_decl) =
+    v.A.var_dims = []
+    && (match v.A.var_ty with
+        | A.T_message _ | A.T_timer | A.T_ms_timer | A.T_void | A.T_float
+        | A.T_double ->
+          false
+        | _ -> true)
+  in
+  List.iter
+    (fun (v : A.var_decl) ->
+      if (not (init_tracked v)) || Option.is_some v.A.var_init then
+        Hashtbl.replace initialised v.A.var_name ())
+    prog.A.variables;
+  let flagged_uninit = Hashtbl.create 4 in
+  (* Narrowing initialisers of globals. *)
+  let global_ty x =
+    Option.map (fun (v : A.var_decl) -> v.A.var_ty) (Hashtbl.find_opt globals x)
+  in
+  List.iter
+    (fun (v : A.var_decl) ->
+      match v.A.var_init, width_of_ty v.A.var_ty with
+      | Some init, Some w ->
+        (match expr_width global_ty init with
+         | Some wi when wi > w ->
+           diag ~pos:(d_pos v.A.var_pos) Diag.Warning "CAPL008"
+             (Printf.sprintf
+                "initialiser of '%s' may truncate: %s into %s (%d bits)"
+                v.A.var_name
+                (describe_width init wi)
+                (A.ty_name v.A.var_ty) w)
+         | _ -> ())
+      | _ -> ())
+    prog.A.variables;
+
+  (* One body (handler or function): [pos] is the nearest enclosing
+     position every body-level diagnostic inherits (CAPL statements carry
+     no positions of their own). [check_init] enables CAPL006 (off
+     inside functions — their call order is unknowable). [mark_init]
+     persists assignments into the cross-handler initialised set (start
+     handlers only). *)
+  let walk_body ~pos ~check_init ~mark_init ~params body =
+    let locals = Hashtbl.create 8 in
+    let local_used = Hashtbl.create 8 in
+    List.iter (fun (ty, p) -> Hashtbl.replace locals p ty) params;
+    List.iter (fun (_, p) -> Hashtbl.replace local_used p ()) params;
+    let body_initialised = Hashtbl.create 8 in
+    let is_initialised x =
+      Hashtbl.mem initialised x || Hashtbl.mem body_initialised x
+    in
+    let ty_of x =
+      match Hashtbl.find_opt locals x with
+      | Some ty -> Some ty
+      | None -> global_ty x
+    in
+    let use x =
+      if Hashtbl.mem locals x then Hashtbl.replace local_used x ()
+      else if Hashtbl.mem globals x then begin
+        Hashtbl.replace global_used x ();
+        if
+          check_init
+          && (not (is_initialised x))
+          && not (Hashtbl.mem flagged_uninit x)
+        then begin
+          Hashtbl.replace flagged_uninit x ();
+          diag ~pos Diag.Warning "CAPL006"
+            (Printf.sprintf
+               "global '%s' may be read before it is initialised (no \
+                initialiser, and no 'on start' handler assigns it first)"
+               x)
+        end
+      end
+    in
+    let assign x =
+      if Hashtbl.mem locals x then Hashtbl.replace local_used x ()
+      else if Hashtbl.mem globals x then begin
+        Hashtbl.replace global_used x ();
+        Hashtbl.replace body_initialised x ();
+        if mark_init then Hashtbl.replace initialised x ()
+      end
+    in
+    let rec expr e =
+      match e with
+      | A.E_int _ | A.E_float _ | A.E_char _ | A.E_string _ | A.E_this -> ()
+      | A.E_ident x -> use x
+      | A.E_member (b, _) -> expr b
+      | A.E_index (b, i) ->
+        expr b;
+        expr i
+      | A.E_call (fn, args) ->
+        (match fn, args with
+         | "output", A.E_ident v :: _ ->
+           (match ty_of v with
+            | Some (A.T_message sel) ->
+              facts.outputs <-
+                (key_of_selector db sel, sel, pos) :: facts.outputs
+            | _ -> ())
+         | ("setTimer" | "setTimerCyclic"), A.E_ident t :: _ ->
+           facts.timers_set <- (t, pos) :: facts.timers_set
+         | _ -> ());
+        List.iter expr args
+      | A.E_method (b, _, args) ->
+        expr b;
+        List.iter expr args
+      | A.E_unop (_, a) -> expr a
+      | A.E_binop (_, a, b) ->
+        expr a;
+        expr b
+      | A.E_assign (op, lhs, rhs) ->
+        expr rhs;
+        (match lhs with
+         | A.E_ident x ->
+           if op <> A.A_eq then use x;
+           assign x;
+           if op = A.A_eq then begin
+             match width_of_ty' (ty_of x) with
+             | Some w ->
+               (match expr_width ty_of rhs with
+                | Some wi when wi > w ->
+                  diag ~pos Diag.Warning "CAPL008"
+                    (Printf.sprintf
+                       "assignment to '%s' may truncate: %s into %s"
+                       x
+                       (describe_width rhs wi)
+                       (match ty_of x with
+                        | Some ty ->
+                          Printf.sprintf "%s (%d bits)" (A.ty_name ty) w
+                        | None -> Printf.sprintf "%d bits" w))
+                | _ -> ())
+             | None -> ()
+           end
+         | lhs -> expr lhs)
+      | A.E_incr (_, _, lv) ->
+        (match lv with
+         | A.E_ident x ->
+           use x;
+           assign x
+         | lv -> expr lv)
+      | A.E_ternary (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+    and width_of_ty' = function
+      | Some ty -> width_of_ty ty
+      | None -> None
+    in
+    let rec stmts ss =
+      let rec scan = function
+        | [] -> ()
+        | s :: rest ->
+          stmt s;
+          (match s, rest with
+           | (A.S_return _ | A.S_break | A.S_continue), _ :: _ ->
+             let what =
+               match s with
+               | A.S_return _ -> "return"
+               | A.S_break -> "break"
+               | _ -> "continue"
+             in
+             diag ~pos Diag.Warning "CAPL007"
+               (Printf.sprintf
+                  "unreachable statement(s) after '%s' in the same block"
+                  what)
+           | _ -> ());
+          scan rest
+      in
+      scan ss
+    and stmt s =
+      match s with
+      | A.S_expr e -> expr e
+      | A.S_decl vars ->
+        List.iter
+          (fun (v : A.var_decl) ->
+            Hashtbl.replace locals v.A.var_name v.A.var_ty;
+            (match v.A.var_init, width_of_ty v.A.var_ty with
+             | Some init, Some w ->
+               (match expr_width ty_of init with
+                | Some wi when wi > w ->
+                  diag ~pos:(d_pos v.A.var_pos) Diag.Warning "CAPL008"
+                    (Printf.sprintf
+                       "initialiser of '%s' may truncate: %s into %s (%d \
+                        bits)"
+                       v.A.var_name
+                       (describe_width init wi)
+                       (A.ty_name v.A.var_ty) w)
+                | _ -> ())
+             | _ -> ());
+            Option.iter expr v.A.var_init)
+          vars
+      | A.S_if (c, t, f) ->
+        expr c;
+        stmt t;
+        Option.iter stmt f
+      | A.S_while (c, b) ->
+        expr c;
+        stmt b
+      | A.S_do_while (b, c) ->
+        stmt b;
+        expr c
+      | A.S_for (init, cond, step, b) ->
+        Option.iter stmt init;
+        Option.iter expr cond;
+        stmt b;
+        Option.iter expr step
+      | A.S_switch (e, cases) ->
+        expr e;
+        List.iter
+          (fun (c : A.switch_case) ->
+            Option.iter expr c.A.case_label;
+            stmts c.A.case_body)
+          cases
+      | A.S_break | A.S_continue -> ()
+      | A.S_return e -> Option.iter expr e
+      | A.S_block ss -> stmts ss
+    in
+    stmts body;
+    (* CAPL009 for this body's locals (parameters are exempt). *)
+    Hashtbl.iter
+      (fun x _ ->
+        if not (Hashtbl.mem local_used x) then
+          diag ~pos Diag.Info "CAPL009"
+            (Printf.sprintf "local variable '%s' is never used" x))
+      locals
+  in
+
+  (* Handlers: start handlers first (their assignments initialise
+     globals for every later handler), then the event handlers, then
+     functions. *)
+  let handlers_started, handlers_rest =
+    List.partition (fun (h : A.handler) -> is_start h.A.event) prog.A.handlers
+  in
+  List.iter
+    (fun (h : A.handler) ->
+      walk_body
+        ~pos:(d_pos h.A.handler_pos)
+        ~check_init:true ~mark_init:true ~params:[] h.A.body)
+    handlers_started;
+  List.iter
+    (fun (h : A.handler) ->
+      let pos = d_pos h.A.handler_pos in
+      (match h.A.event with
+       | A.Ev_message sel ->
+         facts.msg_handlers <-
+           (key_of_selector db sel, sel, pos) :: facts.msg_handlers
+       | A.Ev_timer t ->
+         facts.timer_handlers <- (t, pos) :: facts.timer_handlers;
+         Hashtbl.replace global_used t ()
+       | _ -> ());
+      walk_body ~pos ~check_init:true ~mark_init:false ~params:[] h.A.body)
+    handlers_rest;
+  List.iter
+    (fun (f : A.func) ->
+      walk_body
+        ~pos:(d_pos f.A.fn_pos)
+        ~check_init:false ~mark_init:false ~params:f.A.fn_params f.A.fn_body)
+    prog.A.functions;
+
+  (* CAPL001: message-typed declarations and handlers must exist in the
+     database (when one is available). *)
+  (match db with
+   | None -> ()
+   | Some db ->
+     let known sel =
+       match sel with
+       | A.Msg_any -> true
+       | A.Msg_name n -> Option.is_some (Capl.Msgdb.find_by_name db n)
+       | A.Msg_id id -> Option.is_some (Capl.Msgdb.find_by_id db id)
+     in
+     List.iter
+       (fun (v : A.var_decl) ->
+         match v.A.var_ty with
+         | A.T_message sel when not (known sel) ->
+           diag ~pos:(d_pos v.A.var_pos) Diag.Error "CAPL001"
+             (Printf.sprintf
+                "message '%s' has no specification in the CAN database"
+                (selector_label sel))
+         | _ -> ())
+       prog.A.variables;
+     List.iter
+       (fun (h : A.handler) ->
+         match h.A.event with
+         | A.Ev_message sel when not (known sel) ->
+           diag ~pos:(d_pos h.A.handler_pos) Diag.Error "CAPL001"
+             (Printf.sprintf
+                "'on message %s': message has no specification in the CAN \
+                 database"
+                (selector_label sel))
+         | _ -> ())
+       prog.A.handlers);
+
+  (* CAPL004/CAPL005: timers armed vs handled, within this node. *)
+  let timer_has_handler t =
+    List.exists (fun (name, _) -> String.equal name t) facts.timer_handlers
+  in
+  let timer_is_set t =
+    List.exists (fun (name, _) -> String.equal name t) facts.timers_set
+  in
+  List.iter
+    (fun (t, pos) ->
+      if not (timer_has_handler t) then
+        diag ~pos Diag.Warning "CAPL004"
+          (Printf.sprintf
+             "setTimer arms '%s' but there is no 'on timer %s' handler" t t))
+    (List.sort_uniq compare facts.timers_set);
+  List.iter
+    (fun (t, pos) ->
+      if not (timer_is_set t) then
+        diag ~pos Diag.Warning "CAPL005"
+          (Printf.sprintf
+             "'on timer %s' can never fire: nothing in this node arms '%s'" t
+             t))
+    facts.timer_handlers;
+
+  (* CAPL009 for globals. *)
+  List.iter
+    (fun (v : A.var_decl) ->
+      if not (Hashtbl.mem global_used v.A.var_name) then
+        diag ~pos:(d_pos v.A.var_pos) Diag.Info "CAPL009"
+          (Printf.sprintf "global variable '%s' is never used" v.A.var_name))
+    prog.A.variables;
+  facts
+
+(* ------------------------------------------------------------------ *)
+(* Cross-node message flow                                             *)
+(* ------------------------------------------------------------------ *)
+
+let message_flow (all : node_facts list) =
+  let outputs = List.concat_map (fun f -> f.outputs) all in
+  let handlers = List.concat_map (fun f -> f.msg_handlers) all in
+  let catch_all =
+    List.exists (fun (k, _, _) -> k = K_any) handlers
+  in
+  let diags = ref [] in
+  let diag facts ?pos severity code message =
+    diags :=
+      Diag.make ~file:facts.node ?pos severity ~code message :: !diags
+  in
+  List.iter
+    (fun facts ->
+      List.iter
+        (fun (key, sel, pos) ->
+          if
+            key <> K_any
+            && not (List.exists (fun (k, _, _) -> key_matches key k) outputs)
+          then
+            diag facts ~pos Diag.Warning "CAPL002"
+              (Printf.sprintf
+                 "'on message %s': no node outputs this message, so the \
+                  handler can never fire"
+                 (selector_label sel)))
+        facts.msg_handlers;
+      List.iter
+        (fun (key, sel, pos) ->
+          if
+            (not catch_all)
+            && not (List.exists (fun (k, _, _) -> key_matches key k) handlers)
+          then
+            diag facts ~pos Diag.Warning "CAPL003"
+              (Printf.sprintf
+                 "output of '%s': no node handles this message, so the \
+                  frame is never received"
+                 (selector_label sel)))
+        facts.outputs)
+    all;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let lint_nodes ?db ?(obs = Obs.silent) nodes =
+  Obs.span obs "analysis.capl_lint" (fun () ->
+      let db =
+        match db with
+        | Some db when Capl.Msgdb.messages db <> [] -> Some db
+        | _ -> None
+      in
+      let facts = List.map (walk_node db) nodes in
+      let diags =
+        List.concat_map (fun f -> f.diags) facts @ message_flow facts
+      in
+      let diags = Diag.sort diags in
+      Obs.add (Obs.counter obs "analysis.diags") (List.length diags);
+      diags)
+
+let lint ?db ?obs ?(name = "<capl>") prog =
+  lint_nodes ?db ?obs [ name, prog ]

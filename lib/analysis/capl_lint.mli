@@ -1,0 +1,49 @@
+(** Static lint over parsed CAPL programs — the implementation-level half
+    of the pre-check analyses, run before model extraction so modelling
+    mistakes surface as positioned diagnostics instead of confusing
+    counterexample traces.
+
+    Checks and their stable codes:
+
+    - [CAPL001] (error): a message-typed variable or [on message] handler
+      names a message with no specification in the CAN database (only
+      when a non-empty {!Capl.Msgdb.t} is supplied);
+    - [CAPL002] (warning): an [on message] handler for a message no node
+      in the linted set ever outputs — the handler can never fire;
+    - [CAPL003] (warning): an [output] of a message no node handles (and
+      there is no [on message *] catch-all) — the frame vanishes;
+    - [CAPL004] (warning): [setTimer] arms a timer with no matching
+      [on timer] handler in the same node;
+    - [CAPL005] (warning): an [on timer] handler whose timer nothing in
+      the node ever arms — the handler can never fire;
+    - [CAPL006] (warning): a global without an initialiser is read before
+      any [on start]/[on preStart] handler assigns it;
+    - [CAPL007] (warning): statements after [return]/[break]/[continue]
+      in the same block are unreachable;
+    - [CAPL008] (warning): a narrowing initialiser or assignment (e.g.
+      [int]→[byte]) that may truncate;
+    - [CAPL009] (info): a variable (global or local) that is never used.
+
+    Message-flow checks ([CAPL002]/[CAPL003]) are cross-node: lint the
+    whole node set of a system together with {!lint_nodes} so a message
+    output by one node and handled by another is not flagged. *)
+
+val lint_nodes :
+  ?db:Capl.Msgdb.t ->
+  ?obs:Obs.t ->
+  (string * Capl.Ast.program) list ->
+  Diag.t list
+(** Lint a set of named node programs as one closed system. Diagnostics
+    carry the node name as their [file] and the nearest enclosing
+    declaration/handler/function position. Sorted per {!Diag.sort}.
+    [obs] records an [analysis.capl_lint] span and bumps the
+    [analysis.diags] counter. Never raises on any well-typed AST. *)
+
+val lint :
+  ?db:Capl.Msgdb.t ->
+  ?obs:Obs.t ->
+  ?name:string ->
+  Capl.Ast.program ->
+  Diag.t list
+(** Single-node convenience for {!lint_nodes}; [name] defaults to
+    ["<capl>"]. *)

@@ -1,0 +1,468 @@
+module P = Csp.Proc
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Nullability: can a term terminate without performing any event?      *)
+(* Needed to decide whether [Seq (a, b)] exposes [b]'s calls            *)
+(* immediately. Over-approximate (choice arms use "or").                *)
+(* ------------------------------------------------------------------ *)
+
+let nullable_map defs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (n, _) -> Hashtbl.replace tbl n false) (Csp.Defs.procs defs);
+  let rec nul p =
+    match P.view p with
+    | P.Skip | P.Omega -> true
+    | P.Stop | P.Prefix _ | P.Run _ | P.Chaos _ -> false
+    | P.Ext (a, b) | P.Int (a, b) | P.Timeout (a, b) | P.Interrupt (a, b)
+    | P.If (_, a, b) ->
+      nul a || nul b
+    | P.Seq (a, b) | P.Par (a, _, b) | P.APar (a, _, _, b) | P.Inter (a, b)
+      ->
+      nul a && nul b
+    | P.Hide (a, _) | P.Rename (a, _) | P.Guard (_, a)
+    | P.Ext_over (_, _, a) | P.Int_over (_, _, a) | P.Inter_over (_, _, a)
+      ->
+      nul a
+    | P.Call (n, _) ->
+      (* unknown callee: assume it may terminate silently *)
+      Option.value (Hashtbl.find_opt tbl n) ~default:true
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, (_, body)) ->
+        let now = nul body in
+        if now && not (Hashtbl.find tbl n) then begin
+          Hashtbl.replace tbl n true;
+          changed := true
+        end)
+      (Csp.Defs.procs defs)
+  done;
+  fun n -> Option.value (Hashtbl.find_opt tbl n) ~default:true
+
+(* Calls reachable before any event prefix. *)
+let immediate_calls nullable p =
+  let rec ic p =
+    match P.view p with
+    | P.Stop | P.Skip | P.Omega | P.Run _ | P.Chaos _ | P.Prefix _ ->
+      SS.empty
+    | P.Ext (a, b) | P.Int (a, b) | P.Timeout (a, b) | P.Interrupt (a, b)
+    | P.If (_, a, b) | P.Par (a, _, b) | P.APar (a, _, _, b) | P.Inter (a, b)
+      ->
+      SS.union (ic a) (ic b)
+    | P.Seq (a, b) ->
+      let base = ic a in
+      let rec nul p =
+        match P.view p with
+        | P.Skip | P.Omega -> true
+        | P.Stop | P.Prefix _ | P.Run _ | P.Chaos _ -> false
+        | P.Ext (x, y) | P.Int (x, y) | P.Timeout (x, y)
+        | P.Interrupt (x, y) | P.If (_, x, y) ->
+          nul x || nul y
+        | P.Seq (x, y) | P.Par (x, _, y) | P.APar (x, _, _, y)
+        | P.Inter (x, y) ->
+          nul x && nul y
+        | P.Hide (x, _) | P.Rename (x, _) | P.Guard (_, x)
+        | P.Ext_over (_, _, x) | P.Int_over (_, _, x)
+        | P.Inter_over (_, _, x) ->
+          nul x
+        | P.Call (n, _) -> nullable n
+      in
+      if nul a then SS.union base (ic b) else base
+    | P.Hide (a, _) | P.Rename (a, _) | P.Guard (_, a)
+    | P.Ext_over (_, _, a) | P.Int_over (_, _, a) | P.Inter_over (_, _, a)
+      ->
+      ic a
+    | P.Call (n, _) -> SS.singleton n
+  in
+  ic p
+
+(* Every named call anywhere in a term (for assertion reachability). *)
+let rec all_calls p =
+  match P.view p with
+  | P.Stop | P.Skip | P.Omega | P.Run _ | P.Chaos _ -> SS.empty
+  | P.Prefix (_, _, k) -> all_calls k
+  | P.Ext (a, b) | P.Int (a, b) | P.Seq (a, b) | P.Par (a, _, b)
+  | P.APar (a, _, _, b) | P.Inter (a, b) | P.Interrupt (a, b)
+  | P.Timeout (a, b) | P.If (_, a, b) ->
+    SS.union (all_calls a) (all_calls b)
+  | P.Hide (a, _) | P.Rename (a, _) | P.Guard (_, a)
+  | P.Ext_over (_, _, a) | P.Int_over (_, _, a) | P.Inter_over (_, _, a) ->
+    all_calls a
+  | P.Call (n, _) -> SS.singleton n
+
+(* ------------------------------------------------------------------ *)
+(* Channel offers: which channels may a term ever communicate on?       *)
+(* [top = true] means "anything" (a call to an undefined process).      *)
+(* Over-approximate: hidden events still count, renamings count both    *)
+(* the source and the target channel.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type offers = {
+  chans : SS.t;
+  top : bool;
+}
+
+let off_empty = { chans = SS.empty; top = false }
+let off_union a b = { chans = SS.union a.chans b.chans; top = a.top || b.top }
+
+let offers_of_term lookup p =
+  let rec off p =
+    match P.view p with
+    | P.Stop | P.Skip | P.Omega -> off_empty
+    | P.Prefix (c, _, k) ->
+      let rest = off k in
+      { rest with chans = SS.add c rest.chans }
+    | P.Run s | P.Chaos s ->
+      { chans = SS.of_list (Csp.Eventset.channels_mentioned s); top = false }
+    | P.Ext (a, b) | P.Int (a, b) | P.Seq (a, b) | P.Par (a, _, b)
+    | P.APar (a, _, _, b) | P.Inter (a, b) | P.Interrupt (a, b)
+    | P.Timeout (a, b) | P.If (_, a, b) ->
+      off_union (off a) (off b)
+    | P.Hide (a, _) | P.Guard (_, a) | P.Ext_over (_, _, a)
+    | P.Int_over (_, _, a) | P.Inter_over (_, _, a) ->
+      off a
+    | P.Rename (a, pairs) ->
+      let base = off a in
+      let renamed =
+        List.filter_map
+          (fun (from_c, to_c) ->
+            if base.top || SS.mem from_c base.chans then Some to_c else None)
+          pairs
+      in
+      { base with chans = SS.union base.chans (SS.of_list renamed) }
+    | P.Call (n, _) -> lookup n
+  in
+  off p
+
+let offers_map defs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (n, _) -> Hashtbl.replace tbl n off_empty)
+    (Csp.Defs.procs defs);
+  let lookup n =
+    Option.value (Hashtbl.find_opt tbl n) ~default:{ off_empty with top = true }
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (n, (_, body)) ->
+        let prev = Hashtbl.find tbl n in
+        let now = off_union prev (offers_of_term lookup body) in
+        if now.top <> prev.top || not (SS.equal now.chans prev.chans) then begin
+          Hashtbl.replace tbl n now;
+          changed := true
+        end)
+      (Csp.Defs.procs defs)
+  done;
+  lookup
+
+(* ------------------------------------------------------------------ *)
+(* Channels mentioned anywhere (prefix or event set) in a term          *)
+(* ------------------------------------------------------------------ *)
+
+let rec mentioned p =
+  let of_set s = SS.of_list (Csp.Eventset.channels_mentioned s) in
+  match P.view p with
+  | P.Stop | P.Skip | P.Omega -> SS.empty
+  | P.Prefix (c, _, k) -> SS.add c (mentioned k)
+  | P.Run s | P.Chaos s -> of_set s
+  | P.Ext (a, b) | P.Int (a, b) | P.Seq (a, b) | P.Inter (a, b)
+  | P.Interrupt (a, b) | P.Timeout (a, b) | P.If (_, a, b) ->
+    SS.union (mentioned a) (mentioned b)
+  | P.Par (a, s, b) ->
+    SS.union (of_set s) (SS.union (mentioned a) (mentioned b))
+  | P.APar (a, sa, sb, b) ->
+    SS.union
+      (SS.union (of_set sa) (of_set sb))
+      (SS.union (mentioned a) (mentioned b))
+  | P.Hide (a, s) -> SS.union (of_set s) (mentioned a)
+  | P.Rename (a, pairs) ->
+    List.fold_left
+      (fun acc (f, t) -> SS.add f (SS.add t acc))
+      (mentioned a) pairs
+  | P.Guard (_, a) | P.Ext_over (_, _, a) | P.Int_over (_, _, a)
+  | P.Inter_over (_, _, a) ->
+    mentioned a
+  | P.Call (_, _) -> SS.empty
+
+(* ------------------------------------------------------------------ *)
+(* Unbounded-data heuristic helpers                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_contains pred (e : Csp.Expr.t) =
+  pred e
+  ||
+  match e with
+  | Csp.Expr.Lit _ | Csp.Expr.Var _ | Csp.Expr.Ty_dom _ -> false
+  | Csp.Expr.Neg a | Csp.Expr.Not a -> expr_contains pred a
+  | Csp.Expr.Bin (_, a, b) | Csp.Expr.Mem (a, b)
+  | Csp.Expr.Range (a, b) ->
+    expr_contains pred a || expr_contains pred b
+  | Csp.Expr.If (a, b, c) ->
+    expr_contains pred a || expr_contains pred b || expr_contains pred c
+  | Csp.Expr.Tuple es | Csp.Expr.Ctor (_, es) | Csp.Expr.Set es
+  | Csp.Expr.App (_, es) ->
+    List.exists (expr_contains pred) es
+
+let grows_unboundedly ~params arg =
+  let has_param =
+    List.exists (fun v -> List.mem v params) (Csp.Expr.free_vars arg)
+  in
+  let arith = function
+    | Csp.Expr.Bin ((Csp.Expr.Add | Csp.Expr.Sub | Csp.Expr.Mul), _, _) ->
+      true
+    | _ -> false
+  in
+  let bounded = function
+    (* a mod, or any function application (whose body we do not inspect),
+       counts as a bound — stay quiet *)
+    | Csp.Expr.Bin (Csp.Expr.Mod, _, _) | Csp.Expr.App _ -> true
+    | _ -> false
+  in
+  has_param && expr_contains arith arg && not (expr_contains bounded arg)
+
+let rec self_growing_calls ~name ~params p =
+  match P.view p with
+  | P.Stop | P.Skip | P.Omega | P.Run _ | P.Chaos _ -> []
+  | P.Prefix (_, _, k) -> self_growing_calls ~name ~params k
+  | P.Ext (a, b) | P.Int (a, b) | P.Seq (a, b) | P.Par (a, _, b)
+  | P.APar (a, _, _, b) | P.Inter (a, b) | P.Interrupt (a, b)
+  | P.Timeout (a, b) | P.If (_, a, b) ->
+    self_growing_calls ~name ~params a @ self_growing_calls ~name ~params b
+  | P.Hide (a, _) | P.Rename (a, _) | P.Guard (_, a)
+  | P.Ext_over (_, _, a) | P.Int_over (_, _, a) | P.Inter_over (_, _, a) ->
+    self_growing_calls ~name ~params a
+  | P.Call (n, args) when String.equal n name ->
+    List.filter (grows_unboundedly ~params) args
+  | P.Call (_, _) -> []
+
+(* ------------------------------------------------------------------ *)
+(* The pass                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ?(obs = Obs.silent) ?file ?(roots = []) ?pos_of defs =
+  Obs.span obs "analysis.cspm" (fun () ->
+      let pos_of n = Option.bind pos_of (fun f -> f n) in
+      let diags = ref [] in
+      let diag ?pos severity code message =
+        diags := Diag.make ?file ?pos severity ~code message :: !diags
+      in
+      let procs = Csp.Defs.procs defs in
+      let nullable = nullable_map defs in
+
+      (* CSPM001: unguarded recursion. *)
+      let ic_of =
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (n, (_, body)) ->
+            Hashtbl.replace tbl n (immediate_calls nullable body))
+          procs;
+        fun n -> Option.value (Hashtbl.find_opt tbl n) ~default:SS.empty
+      in
+      List.iter
+        (fun (n, _) ->
+          (* closure of the unguarded-call relation starting from [n] *)
+          let rec grow seen frontier =
+            if SS.is_empty frontier then seen
+            else
+              let seen = SS.union seen frontier in
+              let next =
+                SS.fold
+                  (fun m acc -> SS.union acc (ic_of m))
+                  frontier SS.empty
+              in
+              grow seen (SS.diff next seen)
+          in
+          let reachable = grow SS.empty (ic_of n) in
+          if SS.mem n reachable then
+            diag ?pos:(pos_of n) Diag.Warning "CSPM001"
+              (Printf.sprintf
+                 "unguarded recursion: '%s' can call itself again without \
+                  performing any event, so compiling it may diverge"
+                 n))
+        procs;
+
+      (* CSPM002: impossible synchronisation. *)
+      let offers = offers_map defs in
+      let check_side ~def ~side ~sync_chan o =
+        if (not o.top) && not (SS.mem sync_chan o.chans) then
+          diag ?pos:(pos_of def) Diag.Warning "CSPM002"
+            (Printf.sprintf
+               "in '%s', a parallel composition synchronises on channel \
+                '%s' but its %s operand never communicates on it — every \
+                '%s' event is permanently blocked"
+               def sync_chan side sync_chan)
+      in
+      let rec scan_par def p =
+        (match P.view p with
+         | P.Par (a, s, b) ->
+           List.iter
+             (fun c ->
+               check_side ~def ~side:"left" ~sync_chan:c
+                 (offers_of_term offers a);
+               check_side ~def ~side:"right" ~sync_chan:c
+                 (offers_of_term offers b))
+             (Csp.Eventset.channels_mentioned s)
+         | P.APar (a, sa, sb, b) ->
+           let ca = SS.of_list (Csp.Eventset.channels_mentioned sa) in
+           let cb = SS.of_list (Csp.Eventset.channels_mentioned sb) in
+           SS.iter
+             (fun c ->
+               check_side ~def ~side:"left" ~sync_chan:c
+                 (offers_of_term offers a);
+               check_side ~def ~side:"right" ~sync_chan:c
+                 (offers_of_term offers b))
+             (SS.inter ca cb)
+         | _ -> ());
+        match P.view p with
+        | P.Stop | P.Skip | P.Omega | P.Run _ | P.Chaos _ | P.Call _ -> ()
+        | P.Prefix (_, _, k) -> scan_par def k
+        | P.Ext (a, b) | P.Int (a, b) | P.Seq (a, b) | P.Par (a, _, b)
+        | P.APar (a, _, _, b) | P.Inter (a, b) | P.Interrupt (a, b)
+        | P.Timeout (a, b) | P.If (_, a, b) ->
+          scan_par def a;
+          scan_par def b
+        | P.Hide (a, _) | P.Rename (a, _) | P.Guard (_, a)
+        | P.Ext_over (_, _, a) | P.Int_over (_, _, a)
+        | P.Inter_over (_, _, a) ->
+          scan_par def a
+      in
+      List.iter (fun (n, (_, body)) -> scan_par n body) procs;
+
+      (* CSPM003: definitions unreachable from the assertion roots. *)
+      let proc_names = SS.of_list (List.map fst procs) in
+      let roots = List.filter (fun n -> SS.mem n proc_names) roots in
+      if roots <> [] then begin
+        let body_of n =
+          match Csp.Defs.proc defs n with
+          | Some (_, body) -> all_calls body
+          | None -> SS.empty
+        in
+        let rec grow seen frontier =
+          if SS.is_empty frontier then seen
+          else
+            let seen = SS.union seen frontier in
+            let next =
+              SS.fold (fun m acc -> SS.union acc (body_of m)) frontier
+                SS.empty
+            in
+            grow seen (SS.diff next seen)
+        in
+        let reachable = grow SS.empty (SS.of_list roots) in
+        List.iter
+          (fun (n, _) ->
+            if not (SS.mem n reachable) then
+              diag ?pos:(pos_of n) Diag.Info "CSPM003"
+                (Printf.sprintf
+                   "process '%s' is not reachable from any assertion" n))
+          procs
+      end;
+
+      (* CSPM004: channels declared but never communicated. *)
+      let used =
+        List.fold_left
+          (fun acc (_, (_, body)) -> SS.union acc (mentioned body))
+          SS.empty procs
+      in
+      List.iter
+        (fun (c, _) ->
+          if not (SS.mem c used) then
+            diag ?pos:(pos_of c) Diag.Warning "CSPM004"
+              (Printf.sprintf
+                 "channel '%s' is declared but never communicated on" c))
+        (Csp.Defs.channels defs);
+
+      (* CSPM005: unbounded-data recursion heuristic. *)
+      List.iter
+        (fun (n, (params, body)) ->
+          match self_growing_calls ~name:n ~params body with
+          | [] -> ()
+          | arg :: _ ->
+            diag ?pos:(pos_of n) Diag.Warning "CSPM005"
+              (Printf.sprintf
+                 "recursive call of '%s' passes '%s', which grows a \
+                  parameter with no 'mod' bound in sight — the state space \
+                  may be unbounded"
+                 n
+                 (Csp.Expr.to_string arg)))
+        procs;
+
+      let diags = Diag.sort !diags in
+      Obs.add (Obs.counter obs "analysis.diags") (List.length diags);
+      diags)
+
+(* ------------------------------------------------------------------ *)
+(* Script-level entry points                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec term_ids acc (t : Cspm.Ast.term) =
+  match t with
+  | Cspm.Ast.T_num _ | Cspm.Ast.T_bool _ | Cspm.Ast.T_stop
+  | Cspm.Ast.T_skip ->
+    acc
+  | Cspm.Ast.T_id n -> SS.add n acc
+  | Cspm.Ast.T_app (n, args) -> List.fold_left term_ids (SS.add n acc) args
+  | Cspm.Ast.T_dot (a, b)
+  | Cspm.Ast.T_range (a, b)
+  | Cspm.Ast.T_bin (_, a, b)
+  | Cspm.Ast.T_extchoice (a, b)
+  | Cspm.Ast.T_intchoice (a, b)
+  | Cspm.Ast.T_seq (a, b)
+  | Cspm.Ast.T_interleave (a, b)
+  | Cspm.Ast.T_interrupt (a, b)
+  | Cspm.Ast.T_slide (a, b)
+  | Cspm.Ast.T_hide (a, b)
+  | Cspm.Ast.T_guard (a, b) ->
+    term_ids (term_ids acc a) b
+  | Cspm.Ast.T_tuple ts | Cspm.Ast.T_set ts | Cspm.Ast.T_chanset ts ->
+    List.fold_left term_ids acc ts
+  | Cspm.Ast.T_neg a | Cspm.Ast.T_not a -> term_ids acc a
+  | Cspm.Ast.T_if (a, b, c) -> term_ids (term_ids (term_ids acc a) b) c
+  | Cspm.Ast.T_prefix (comm, k) ->
+    let acc =
+      List.fold_left
+        (fun acc field ->
+          match field with
+          | Cspm.Ast.F_out t | Cspm.Ast.F_dot t -> term_ids acc t
+          | Cspm.Ast.F_in (_, Some t) -> term_ids acc t
+          | Cspm.Ast.F_in (_, None) -> acc)
+        acc comm.Cspm.Ast.fields
+    in
+    term_ids acc k
+  | Cspm.Ast.T_par (a, s, b) -> term_ids (term_ids (term_ids acc a) s) b
+  | Cspm.Ast.T_apar (a, sa, sb, b) ->
+    term_ids (term_ids (term_ids (term_ids acc a) sa) sb) b
+  | Cspm.Ast.T_rename (a, _) -> term_ids acc a
+  | Cspm.Ast.T_repl (_, _, s, body) -> term_ids (term_ids acc s) body
+
+let roots_of_loaded (loaded : Cspm.Elaborate.t) =
+  let of_assertion acc (a, _) =
+    match (a : Cspm.Ast.assertion) with
+    | Cspm.Ast.A_refines (l, _, r) -> term_ids (term_ids acc l) r
+    | Cspm.Ast.A_deadlock_free t
+    | Cspm.Ast.A_divergence_free t
+    | Cspm.Ast.A_deterministic t ->
+      term_ids acc t
+  in
+  let ids =
+    List.fold_left of_assertion SS.empty loaded.Cspm.Elaborate.assertions
+  in
+  SS.elements
+    (SS.filter
+       (fun n -> Option.is_some (Csp.Defs.proc loaded.Cspm.Elaborate.defs n))
+       ids)
+
+let analyze_loaded ?obs ?file (loaded : Cspm.Elaborate.t) =
+  let pos_of n =
+    Option.map
+      (fun (p : Cspm.Ast.pos) ->
+        { Diag.line = p.Cspm.Ast.line; col = p.Cspm.Ast.col })
+      (List.assoc_opt n loaded.Cspm.Elaborate.positions)
+  in
+  analyze ?obs ?file
+    ~roots:(roots_of_loaded loaded)
+    ~pos_of loaded.Cspm.Elaborate.defs

@@ -1,0 +1,51 @@
+(** Static analysis over an elaborated CSPm environment — the model-level
+    half of the pre-check analyses. All checks are O(AST): they run in
+    microseconds where the refinement engine takes seconds, and they
+    catch the two classic ways a model wastes an FDR run — divergent
+    recursion that hangs compilation, and a parallel composition that
+    deadlocks by construction.
+
+    Checks and their stable codes:
+
+    - [CSPM001] (warning): unguarded recursion — a process can reach a
+      call back to itself without passing any event prefix; LTS
+      compilation of such a process may diverge;
+    - [CSPM002] (warning): impossible synchronisation — a parallel
+      composition's synchronisation set contains a channel one operand
+      can never communicate on, so every event of that channel is
+      permanently blocked (a compile-time deadlock);
+    - [CSPM003] (info): a process definition unreachable from any
+      assertion root;
+    - [CSPM004] (warning): a channel declared but never communicated on
+      by any process;
+    - [CSPM005] (warning): unbounded-data recursion heuristic — a
+      recursive call grows one of its own parameters with [+]/[-]/[*]
+      and no [%] bound in sight, a likely state-space explosion.
+
+    The channel analysis is an over-approximation (renamings count both
+    names, hidden events still count as offered, calls to undefined
+    processes count as "may offer anything"), so [CSPM002] findings are
+    high-precision: a flagged synchronisation really is impossible. *)
+
+val analyze :
+  ?obs:Obs.t ->
+  ?file:string ->
+  ?roots:string list ->
+  ?pos_of:(string -> Diag.pos option) ->
+  Csp.Defs.t ->
+  Diag.t list
+(** Analyze every process definition of [defs]. [roots] seeds the
+    reachability check (empty or absent: [CSPM003] is skipped);
+    [pos_of] resolves a definition or channel name to its source
+    position; [file] labels every diagnostic. Sorted per {!Diag.sort}.
+    [obs] records an [analysis.cspm] span and bumps the
+    [analysis.diags] counter. Never raises. *)
+
+val roots_of_loaded : Cspm.Elaborate.t -> string list
+(** The process names mentioned by the script's [assert] declarations
+    (sorted, deduplicated) — the reachability roots for {!analyze}. *)
+
+val analyze_loaded :
+  ?obs:Obs.t -> ?file:string -> Cspm.Elaborate.t -> Diag.t list
+(** {!analyze} of a loaded script: roots from its assertions, positions
+    from its recorded declaration positions. *)

@@ -1,0 +1,117 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+type t = {
+  code : string;
+  severity : severity;
+  file : string option;
+  pos : pos option;
+  message : string;
+}
+
+let make ?file ?pos severity ~code message =
+  { code; severity; file; pos; message }
+
+let severity_label = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+(* Severity is deliberately not part of the order: a report reads like a
+   compiler's output, top to bottom through the source. *)
+let compare a b =
+  let cmp_file =
+    Option.compare String.compare a.file b.file
+  in
+  if cmp_file <> 0 then cmp_file
+  else
+    let cmp_pos =
+      Option.compare
+        (fun (p : pos) (q : pos) ->
+          if p.line <> q.line then Int.compare p.line q.line
+          else Int.compare p.col q.col)
+        a.pos b.pos
+    in
+    if cmp_pos <> 0 then cmp_pos
+    else
+      let cmp_code = String.compare a.code b.code in
+      if cmp_code <> 0 then cmp_code
+      else String.compare a.message b.message
+
+let sort diags =
+  let sorted = List.sort compare diags in
+  let rec dedup = function
+    | a :: b :: rest when compare a b = 0 -> dedup (b :: rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup sorted
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let blocking ~deny_warnings diags =
+  List.exists
+    (fun d ->
+      match d.severity with
+      | Error -> true
+      | Warning -> deny_warnings
+      | Info -> false)
+    diags
+
+let exit_code = 4
+
+let pp ppf d =
+  (match d.file, d.pos with
+   | Some f, Some p -> Format.fprintf ppf "%s:%d:%d: " f p.line p.col
+   | Some f, None -> Format.fprintf ppf "%s: " f
+   | None, Some p -> Format.fprintf ppf "%d:%d: " p.line p.col
+   | None, None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_label d.severity) d.code d.message
+
+let pp_list ppf diags =
+  match diags with
+  | [] -> ()
+  | _ ->
+    List.iter (fun d -> Format.fprintf ppf "%a@," pp d) diags;
+    Format.fprintf ppf "%d diagnostic(s): %d error(s), %d warning(s), %d \
+                        info"
+      (List.length diags) (count Error diags) (count Warning diags)
+      (count Info diags)
+
+let to_json d =
+  let base = [ "code", Obs.Json.Str d.code;
+               "severity", Obs.Json.Str (severity_label d.severity) ] in
+  let file =
+    match d.file with Some f -> [ "file", Obs.Json.Str f ] | None -> []
+  in
+  let pos =
+    match d.pos with
+    | Some p ->
+      [ "line", Obs.Json.Num (float_of_int p.line);
+        "col", Obs.Json.Num (float_of_int p.col) ]
+    | None -> []
+  in
+  Obs.Json.Obj (base @ file @ pos @ [ "message", Obs.Json.Str d.message ])
+
+let json_of_list diags =
+  Obs.Json.Obj
+    [
+      "schema", Obs.Json.Str "diagnostics/1";
+      "diagnostics", Obs.Json.List (List.map to_json diags);
+      ( "summary",
+        Obs.Json.Obj
+          [
+            "total", Obs.Json.Num (float_of_int (List.length diags));
+            "errors", Obs.Json.Num (float_of_int (count Error diags));
+            "warnings", Obs.Json.Num (float_of_int (count Warning diags));
+            "infos", Obs.Json.Num (float_of_int (count Info diags));
+          ] );
+    ]

@@ -1,0 +1,79 @@
+(** Positioned diagnostics: the shared currency of the pre-check static
+    analyses ({!Capl_lint} over CAPL programs, {!Cspm_analyze} over
+    elaborated CSPm environments).
+
+    Every finding carries a stable code ([CAPL001], [CSPM002], ...) so
+    golden tests, editors, and suppression lists can key on it; the
+    human-readable message may be reworded freely, the code and its
+    meaning may not. Output is sorted by (file, position, code, message),
+    so a diagnostic report is deterministic for a given input. *)
+
+type severity =
+  | Error  (** a defect the downstream stage would reject or miscompile *)
+  | Warning  (** almost certainly a modelling mistake *)
+  | Info  (** hygiene: unused declarations and the like *)
+
+(** Line/column of the offending construct (1-based line, 0-or-1-based
+    column as the front end reports it); mirrors [Capl.Ast.pos] and
+    [Cspm.Ast.pos], which are distinct types with the same shape. *)
+type pos = {
+  line : int;
+  col : int;
+}
+
+type t = {
+  code : string;  (** stable, e.g. ["CAPL004"] *)
+  severity : severity;
+  file : string option;  (** source label: script path or node name *)
+  pos : pos option;
+  message : string;
+}
+
+val make :
+  ?file:string -> ?pos:pos -> severity -> code:string -> string -> t
+
+val severity_label : severity -> string
+(** ["error"], ["warning"], ["info"] — used by both renderers. *)
+
+val compare : t -> t -> int
+(** Report order: file, position, code, message. *)
+
+val sort : t list -> t list
+(** Sort by {!compare} and drop exact duplicates. *)
+
+val count : severity -> t list -> int
+
+val blocking : deny_warnings:bool -> t list -> bool
+(** Whether this report should stop the pipeline: any [Error], or any
+    [Warning] when [deny_warnings] is set ([Info] never blocks). The
+    CLIs map a blocking report to exit code 4. *)
+
+val exit_code : int
+(** The conventional process exit status for a blocking report: 4
+    (0-3 are taken by verdict/usage codes, see [cspm_check]). *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity[CODE]: message], omitting absent parts. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** One diagnostic per line, followed by a one-line summary. Prints
+    nothing at all for an empty report. *)
+
+val to_json : t -> Obs.Json.t
+(** [{"code", "severity", "message"}] plus ["file"], ["line"], ["col"]
+    when known. *)
+
+val json_of_list : t list -> Obs.Json.t
+(** The machine-readable report behind [--lint --format json]. Stable
+    schema ["diagnostics/1"]:
+
+    {v
+    { "schema": "diagnostics/1",
+      "diagnostics": [ { "code": "CAPL004", "severity": "warning",
+                         "file": "node_a", "line": 12, "col": 3,
+                         "message": "..." }, ... ],
+      "summary": { "total", "errors", "warnings", "infos" } }
+    v}
+
+    New fields may be added over time; existing fields keep their names
+    and meanings. *)

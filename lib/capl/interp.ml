@@ -333,10 +333,11 @@ and binop t ctx op e1 e2 =
          | Ast.B_le -> r <= 0
          | Ast.B_gt -> r > 0
          | Ast.B_ge -> r >= 0
-         | _ -> assert false
+         | _ -> invalid_arg "Interp.eval: non-comparison operator"
        in
        V_int (if holds then 1 else 0)
-     | Ast.B_land | Ast.B_lor -> assert false)
+     | Ast.B_land | Ast.B_lor ->
+       invalid_arg "Interp.eval: logical operator reached the strict path")
 
 and read_member t ctx base member =
   match eval t ctx base with

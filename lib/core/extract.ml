@@ -236,7 +236,7 @@ and bool_expr ?(depth = 0) ctx sym (e : A.expr) : E.t =
       | A.B_le -> E.Le
       | A.B_gt -> E.Gt
       | A.B_ge -> E.Ge
-      | _ -> assert false
+      | _ -> invalid_arg "Extract.bool_expr: non-comparison operator"
     in
     E.Bin (cmp, int_expr ~depth ctx sym a, int_expr ~depth ctx sym b)
   | _ -> E.Bin (E.Neq, int_expr ~depth ctx sym e, E.int 0)

@@ -11,6 +11,7 @@ type system = {
   defs : Csp.Defs.t;
   db : Candb.Dbc_ast.t;
   config : Extract.config;
+  programs : (string * Capl.Ast.program) list;
   nodes : (string * Extract.node_model) list;
   composed : Csp.Proc.t;
 }
@@ -31,17 +32,39 @@ val build :
     @raise Extract.Unsupported (non-lenient config) or
     {!Csp.Defs.Duplicate}. *)
 
+val parse_sources :
+  dbc:string ->
+  (string * string) list ->
+  Candb.Dbc_ast.t * (string * Capl.Ast.program) list
+(** Parse the DBC text and the CAPL sources without extracting anything.
+    @raise Pipeline_error wrapping parse errors with the offending input's
+    name. *)
+
 val build_from_sources :
   ?config:Extract.config ->
   dbc:string ->
   (string * string) list ->
   system
-(** Parse the DBC text and the CAPL sources, then {!build}.
+(** {!parse_sources} then {!build}.
     @raise Pipeline_error wrapping parse errors with the offending input's
     name. *)
 
+val lint_programs :
+  ?obs:Obs.t ->
+  db:Candb.Dbc_ast.t ->
+  (string * Capl.Ast.program) list ->
+  Analysis.Diag.t list
+(** {!Analysis.Capl_lint.lint_nodes} over parsed programs, checked
+    against the database — usable before extraction, which in strict
+    mode may reject the very defects the lint reports. *)
+
 val warnings : system -> (string * Extract.warning) list
 (** All extraction warnings, tagged with their node. *)
+
+val lint : ?obs:Obs.t -> system -> Analysis.Diag.t list
+(** {!Analysis.Capl_lint.lint_nodes} over the system's node programs,
+    checked against its CAN database. Pure — never affects extraction
+    output or refinement verdicts. *)
 
 val emit_script : ?assertions:Cspm.Ast.assertion list -> system -> string
 (** Render the whole system as a CSPm script (the artifact of the paper's

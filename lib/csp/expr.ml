@@ -47,7 +47,8 @@ let arith op a b =
   | Mul -> a * b
   | Div -> if b = 0 then err "division by zero" else a / b
   | Mod -> if b = 0 then err "modulo by zero" else ((a mod b) + b) mod b
-  | Eq | Neq | Lt | Le | Gt | Ge | And | Or -> assert false
+  | Eq | Neq | Lt | Le | Gt | Ge | And | Or ->
+    invalid_arg "Expr.arith: non-arithmetic operator"
 
 let eval ?(tys = no_tys) fenv env expr =
   let rec scalar depth env expr =
@@ -75,7 +76,8 @@ let eval ?(tys = no_tys) fenv env expr =
          | Le -> r <= 0
          | Gt -> r > 0
          | Ge -> r >= 0
-         | Add | Sub | Mul | Div | Mod | Eq | Neq | And | Or -> assert false)
+         | Add | Sub | Mul | Div | Mod | Eq | Neq | And | Or ->
+           invalid_arg "Expr.eval: non-ordering operator")
     | Bin (And, e1, e2) ->
       Value.Bool
         (Value.as_bool (scalar depth env e1)

@@ -214,7 +214,9 @@ let rec compare p q =
         chain (String.compare x1 x2) (fun () ->
             chain (Expr.compare s1 s2) (fun () -> compare a1 a2))
       | Run s1, Run s2 | Chaos s1, Chaos s2 -> Stdlib.compare s1 s2
-      | _, _ -> assert false (* tags already distinguished *)
+      | _, _ ->
+        (* tags already distinguished above *)
+        invalid_arg "Proc.compare: constructor tags out of sync"
 
 and chain c rest = if c <> 0 then c else rest ()
 

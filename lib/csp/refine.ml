@@ -183,7 +183,7 @@ let bad_state_check ~violation ~find ~(config : Check_config.t) defs proc =
        let bits = Array.make (max 1 (Lts.num_states lts)) false in
        List.iter (fun i -> bits.(i) <- true) bad;
        (match Lts.path_to lts (fun i -> bits.(i)) with
-        | None -> assert false
+        | None -> invalid_arg "Refine.check: flagged state has no path"
         | Some (labels, i) ->
           Fails
             {

@@ -110,7 +110,7 @@ let run_concurrent ~(config : Csp.Check_config.t) (loaded : Elaborate.t) =
          match results.(i) with
          | Some (Ok result) -> { assertion; pos = Some pos; result }
          | Some (Error e) -> raise e
-         | None -> assert false)
+         | None -> invalid_arg "Check.run: worker left a result slot empty")
        assertions)
 
 let run ?(config = Csp.Check_config.default) (loaded : Elaborate.t) =

@@ -3,6 +3,7 @@ exception Elab_error of string * Ast.pos option
 type t = {
   defs : Csp.Defs.t;
   assertions : (Ast.assertion * Ast.pos) list;
+  positions : (string * Ast.pos) list;
 }
 
 let err ?pos fmt =
@@ -329,6 +330,8 @@ let load (script : Ast.script) : t =
   let defs = Csp.Defs.create () in
   let def_items = ref [] in
   let assertions = ref [] in
+  let positions = ref [] in
+  let note name pos = positions := (name, pos) :: !positions in
   (* First pass: declarations. *)
   List.iter
     (fun (decl, pos) ->
@@ -337,6 +340,7 @@ let load (script : Ast.script) : t =
         let tys = List.map (ty_of_ty_expr ~pos) ty_exprs in
         List.iter
           (fun c ->
+            note c pos;
             try Csp.Defs.declare_channel defs c tys
             with Csp.Defs.Duplicate d -> err ~pos "duplicate %s" d)
           names
@@ -344,12 +348,15 @@ let load (script : Ast.script) : t =
         let ctors =
           List.map (fun (c, tys) -> c, List.map (ty_of_ty_expr ~pos) tys) ctors
         in
+        note name pos;
         (try Csp.Defs.declare_datatype defs name ctors
          with Csp.Defs.Duplicate d -> err ~pos "duplicate %s" d)
       | Ast.D_nametype (name, te) ->
+        note name pos;
         (try Csp.Defs.declare_nametype defs name (ty_of_ty_expr ~pos te)
          with Csp.Defs.Duplicate d -> err ~pos "duplicate %s" d)
       | Ast.D_def (name, params, body) ->
+        note name pos;
         def_items := (name, params, body, pos) :: !def_items
       | Ast.D_assert a -> assertions := (a, pos) :: !assertions)
     script.Ast.decls;
@@ -374,7 +381,7 @@ let load (script : Ast.script) : t =
         (try Csp.Defs.define_proc defs name params p
          with Csp.Defs.Duplicate d -> err ~pos "duplicate %s" d))
     def_items;
-  { defs; assertions = List.rev !assertions }
+  { defs; assertions = List.rev !assertions; positions = List.rev !positions }
 
 let load_string ?(obs = Obs.silent) src =
   let ast = Obs.span obs "cspm.parse" (fun () -> Parser.script src) in

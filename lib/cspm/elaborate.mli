@@ -13,6 +13,9 @@ exception Elab_error of string * Ast.pos option
 type t = {
   defs : Csp.Defs.t;
   assertions : (Ast.assertion * Ast.pos) list;
+  positions : (string * Ast.pos) list;
+      (** Source position of each top-level declared name (channels,
+          datatypes, nametypes, definitions), for diagnostics. *)
 }
 
 val load : Ast.script -> t

@@ -189,7 +189,7 @@ let r03 ?config (s : Scenario.t) =
             match e.Csp.Event.args with
             | [ _; V.Ctor ("reqApp", [ V.Int w; _ ]) ] ->
               P.call (Printf.sprintf "R03WAIT%d" w, [])
-            | _ -> assert false) )
+            | _ -> invalid_arg "Requirements.r03: unexpected event shape") )
   in
   Csp.Defs.define_proc defs "R03" [] body;
   Csp.Refine.traces_refines ?config defs ~spec:(P.call ("R03", []))
@@ -224,7 +224,7 @@ let r04 ?config (s : Scenario.t) =
         choice_over (List.map ev_installed versions) (fun e ->
             match e.Csp.Event.args with
             | [ V.Int w ] -> P.call (Printf.sprintf "R04WAIT%d" w, [])
-            | _ -> assert false) )
+            | _ -> invalid_arg "Requirements.r04: unexpected event shape") )
   in
   Csp.Defs.define_proc defs "R04" [] body;
   Csp.Refine.traces_refines ?config defs ~spec:(P.call ("R04", []))

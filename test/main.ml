@@ -36,4 +36,5 @@ let () =
       Test_hashcons.suite;
       Test_search_par.suite;
       Test_obs.suite;
+      Test_analysis.suite;
     ]

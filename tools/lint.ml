@@ -94,6 +94,85 @@ let lint_effects path contents =
       scan 0)
     banned_effects
 
+(* Library code must not kill the process or trip the always-on assertion
+   machinery: raise [Invalid_argument]/a domain exception and let the CLI
+   decide the exit code. [exit] is only flagged in call position (next
+   non-space char is a digit or an opening parenthesis) so record fields
+   named [exit] and prose mentions stay legal; the qualified form is
+   always a call. *)
+let lint_termination path contents =
+  let n = String.length contents in
+  let line_of pos =
+    let l = ref 1 in
+    String.iteri (fun j c -> if j < pos && c = '\n' then incr l) contents;
+    !l
+  in
+  let scan_literal name msg =
+    let ln = String.length name in
+    let rec scan from =
+      if from < n then
+        match String.index_from_opt contents from name.[0] with
+        | None -> ()
+        | Some i ->
+          if
+            i + ln <= n
+            && String.sub contents i ln = name
+            && (i = 0 || not (is_ident_char contents.[i - 1]))
+            && (i + ln = n || not (is_ident_char contents.[i + ln]))
+          then complain path (line_of i) msg;
+          scan (i + 1)
+    in
+    scan 0
+  in
+  scan_literal "Stdlib.exit"
+    "Stdlib.exit under lib/ (raise and let the CLI choose the exit code)";
+  scan_literal ("assert" ^ " false")
+    "assertion of false under lib/ (use invalid_arg with a message)";
+  (* bare [exit] in call position *)
+  let rec scan from =
+    if from < n then
+      match String.index_from_opt contents from 'e' with
+      | None -> ()
+      | Some i ->
+        (if
+           i + 4 <= n
+           && String.sub contents i 4 = "exit"
+           && (i = 0
+               || (not (is_ident_char contents.[i - 1]))
+                  && contents.[i - 1] <> '.')
+         then
+           let rec next_visible j =
+             if j >= n then None
+             else if contents.[j] = ' ' || contents.[j] = '\n' then
+               next_visible (j + 1)
+             else Some contents.[j]
+           in
+           match next_visible (i + 4) with
+           | Some ('0' .. '9' | '(') ->
+             complain path (line_of i)
+               "exit under lib/ (raise and let the CLI choose the exit code)"
+           | _ -> ());
+        scan (i + 1)
+  in
+  scan 0
+
+(* Every implementation under lib/ carries an interface: the .mli is where
+   invariants live and what keeps internal helpers out of the dependency
+   surface. Pure-AST modules (basename ending in "ast.ml") are exempt —
+   their whole point is an exposed concrete type. *)
+let lint_interface path =
+  let base = Filename.basename path in
+  let exempt =
+    let suffix = "ast.ml" in
+    String.length base >= String.length suffix
+    && String.sub base
+         (String.length base - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  if (not exempt) && not (Sys.file_exists (path ^ "i")) then
+    complain path 1 "missing interface file (.mli) for library module"
+
 let lint_file ~strict path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -115,6 +194,8 @@ let lint_file ~strict path =
       contents;
     if strict then begin
       lint_conversions path contents;
+      lint_termination path contents;
+      if Filename.check_suffix path ".ml" then lint_interface path;
       if not (under_obs path) then lint_effects path contents
     end
   end
