@@ -291,6 +291,153 @@ let check_trace_stream () =
   Format.printf "trace stream: %d lines, %d spans — parseable@." !lines
     (List.length !spans)
 
+(* Three interleaved mod-16 counters: 4096 implementation states, so the
+   engine's 256-commit poll cadence fires many times — interruptible by
+   cancellation token or a micro-deadline, unlike the tiny NS model. *)
+let counter_script =
+  "channel x : {0..15}\n\
+   channel y : {0..15}\n\
+   channel z : {0..15}\n\
+   P(n) = x!n -> P((n+1)%16)\n\
+   Q(n) = y!n -> Q((n+3)%16)\n\
+   R(n) = z!n -> R((n+5)%16)\n\
+   SYS = P(0) ||| Q(0) ||| R(0)\n\
+   SPEC = x?v -> SPEC [] y?v -> SPEC [] z?v -> SPEC\n\
+   assert SPEC [T= SYS\n"
+
+let check_checkpoint_resume () =
+  (* interrupt mid-search via the cancellation token, round-trip the
+     checkpoint through its wire format, resume: the verdict must be the
+     uninterrupted one *)
+  let loaded = Cspm.Elaborate.load_string counter_script in
+  let baseline =
+    List.map (fun o -> digest o.Cspm.Check.result) (Cspm.Check.run loaded)
+  in
+  let polls = ref 0 in
+  let config =
+    Csp.Check_config.(
+      default
+      |> with_cancel (fun () ->
+             incr polls;
+             !polls >= 2))
+  in
+  let _, stop = Cspm.Check.run_seq ~config loaded in
+  match stop with
+  | None -> fail "checkpoint smoke: the cancellation token never bit"
+  | Some s ->
+    let cp =
+      match s.Cspm.Check.search with
+      | Some cp -> cp
+      | None -> fail "checkpoint smoke: interrupt left no engine checkpoint"
+    in
+    let cp =
+      let encoded = Obs.Json.to_string (Csp.Search.json_of_checkpoint cp) in
+      match Obs.Json.parse encoded with
+      | Error msg -> fail "checkpoint smoke: does not re-parse: %s" msg
+      | Ok json -> (
+        match Csp.Search.checkpoint_of_json json with
+        | Ok cp -> cp
+        | Error msg -> fail "checkpoint smoke: does not round-trip: %s" msg)
+    in
+    let resumed, stop' =
+      Cspm.Check.run_seq ~start:s.Cspm.Check.next_index ~resume_first:cp
+        ~config:Csp.Check_config.default loaded
+    in
+    if stop' <> None then fail "checkpoint smoke: the resume was interrupted";
+    let final = List.map (fun o -> digest o.Cspm.Check.result) resumed in
+    if final <> baseline then
+      fail "checkpoint smoke: resumed verdicts diverged:\n  base: %s\n  res:  %s"
+        (String.concat "; " baseline) (String.concat "; " final);
+    Format.printf "checkpoint resume: interrupted then resumed -> %s@."
+      (String.concat "; " final)
+
+let check_daemon () =
+  (* the supervised runner end to end: a passing job, a failing job, and
+     a job whose first deadline is far below one poll interval — it must
+     retry with backoff, resume from its checkpoint, and still reach the
+     uninterrupted verdict; the drain must be clean *)
+  let events = ref [] in
+  let cfg =
+    {
+      (Serve.Runner.default_config ~emit:(fun j -> events := j :: !events)) with
+      Serve.Runner.backoff_base_s = 0.005;
+      backoff_max_s = 0.02;
+    }
+  in
+  let t = Serve.Runner.create cfg in
+  let job ?deadline_s ?max_retries id script =
+    {
+      Serve.Protocol.id;
+      source = Serve.Protocol.Inline script;
+      deadline_s;
+      workers = 1;
+      max_states = None;
+      max_retries;
+    }
+  in
+  Serve.Runner.submit t
+    (job "ok" "channel a : {0..1}\nP = a!0 -> P\nassert P [T= P\n");
+  Serve.Runner.submit t (job "bad" json_script);
+  Serve.Runner.submit t
+    (job ~deadline_s:1e-5 ~max_retries:30 "slow" counter_script);
+  Serve.Runner.drain t;
+  let evs = List.rev !events in
+  let name j =
+    match Obs.Json.member "event" j with
+    | Some (Obs.Json.Str s) -> s
+    | _ -> "?"
+  in
+  let str k j =
+    match Obs.Json.member k j with Some (Obs.Json.Str s) -> Some s | _ -> None
+  in
+  let verdicts id =
+    match
+      List.find_opt (fun e -> name e = "result" && str "id" e = Some id) evs
+    with
+    | None -> fail "daemon smoke: no result event for job %S" id
+    | Some r -> (
+      match
+        Option.bind (Obs.Json.member "report" r) (Obs.Json.member "assertions")
+      with
+      | Some (Obs.Json.List l) ->
+        List.map (fun a -> Option.value (str "verdict" a) ~default:"?") l
+      | _ -> fail "daemon smoke: job %S has no assertions array" id)
+  in
+  if verdicts "ok" <> [ "pass" ] then
+    fail "daemon smoke: job ok should pass, got %s"
+      (String.concat "," (verdicts "ok"));
+  if verdicts "bad" <> [ "pass"; "fail" ] then
+    fail "daemon smoke: job bad should go pass,fail, got %s"
+      (String.concat "," (verdicts "bad"));
+  if verdicts "slow" <> [ "pass" ] then
+    fail "daemon smoke: the resumed job should reach pass, got %s"
+      (String.concat "," (verdicts "slow"));
+  let retries =
+    List.filter
+      (fun e -> name e = "retrying" && str "id" e = Some "slow")
+      evs
+  in
+  if retries = [] then
+    fail "daemon smoke: the micro-deadline job never retried";
+  List.iter
+    (fun e ->
+      if Obs.Json.member "resumed" e <> Some (Obs.Json.Bool true) then
+        fail "daemon smoke: a retry restarted instead of resuming")
+    retries;
+  (match List.rev evs with
+   | last :: _ when name last = "drained" ->
+     let count k =
+       match Obs.Json.member k last with
+       | Some (Obs.Json.Num f) -> int_of_float f
+       | _ -> -1
+     in
+     if count "done" <> 3 || count "failed" <> 0 then
+       fail "daemon smoke: drain counted %d done / %d failed, want 3/0"
+         (count "done") (count "failed")
+   | _ -> fail "daemon smoke: the last event is not drained");
+  Format.printf "daemon: 3 jobs (%d resumed retries) -> clean drain@."
+    (List.length retries)
+
 let () =
   check_fault_injection ();
   check_budgeted_engine ();
@@ -299,4 +446,6 @@ let () =
   check_json_output ();
   check_lint_schema ();
   check_trace_stream ();
+  check_checkpoint_resume ();
+  check_daemon ();
   print_endline "smoke: ok"

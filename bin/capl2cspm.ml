@@ -86,13 +86,32 @@ let run dbc_path capl_paths output max_domain global_max max_unroll strict
         (match output with
          | None -> print_string script
          | Some path ->
-           let oc = open_out path in
-           Fun.protect
-             ~finally:(fun () -> close_out_noerr oc)
-             (fun () -> output_string oc script);
+           (* temp + rename: an interrupt mid-write can never leave a
+              half-translated script that happens to parse *)
+           Serve.Fsio.atomic_write ~path script;
            if not quiet then Printf.eprintf "wrote %s\n" path);
         0
     end
+
+let run dbc_path capl_paths output max_domain global_max max_unroll strict
+    quiet lint deny_warnings format =
+  (* A pathologically deep CAPL program or signal domain exhausts stack
+     or heap before any budget applies; surface it as a clean load error
+     instead of a raw uncaught exception. *)
+  try
+    run dbc_path capl_paths output max_domain global_max max_unroll strict
+      quiet lint deny_warnings format
+  with
+  | Stack_overflow ->
+    Printf.eprintf
+      "error: stack overflow — the sources nest too deeply to translate; \
+       simplify them or raise the system stack limit\n";
+    2
+  | Out_of_memory ->
+    Printf.eprintf
+      "error: out of memory while translating — clamp the model with \
+       --max-domain/--global-max/--max-unroll\n";
+    2
 
 open Cmdliner
 
@@ -185,6 +204,9 @@ let cmd =
       `S Manpage.s_exit_status;
       `P "0 — extraction succeeded.";
       `P "1 — an input could not be read, parsed, or translated.";
+      `P
+        "2 — translation exhausted a machine resource (stack overflow \
+         or out of memory) before producing a model.";
       `P
         "4 — the $(b,--lint) analysis reported blocking diagnostics \
          (an error, or any warning under $(b,--deny-warnings)); \

@@ -18,31 +18,73 @@ let progress_line (p : Csp.Search.progress) =
     p.Csp.Search.pairs p.Csp.Search.rate p.Csp.Search.frontier
     (100. *. p.Csp.Search.budget_frac)
 
+let json_verdict j =
+  match Obs.Json.member "verdict" j with
+  | Some (Obs.Json.Str s) -> s
+  | _ -> ""
+
+let splice_diags diags doc =
+  match diags, doc with
+  | Some (_ :: _ as ds), Obs.Json.Obj fields ->
+    Obs.Json.Obj (fields @ [ "diagnostics", Analysis.Diag.json_of_list ds ])
+  | _ -> doc
+
 (* Exit codes: 0 all assertions hold, 1 at least one definite failure,
-   2 load/usage error, 3 no failures but at least one inconclusive
-   (budget exhausted — rerun with a larger --timeout/--max-states),
-   4 blocking lint diagnostics under --lint/--deny-warnings. *)
+   2 load/usage error (including a stack overflow or out-of-memory while
+   loading or translating the model), 3 no failures but at least one
+   inconclusive (budget exhausted — rerun with a larger
+   --timeout/--max-states), 4 blocking lint diagnostics under
+   --lint/--deny-warnings, 5 interrupted by SIGINT/SIGTERM — the partial
+   report is still valid, and with --checkpoint-out the run can be
+   continued by --resume. A definite failure outranks an interrupt
+   outranks a plain inconclusive. *)
 let run path max_states timeout jobs list_only dot format progress trace_out
-    lint deny_warnings =
+    lint deny_warnings checkpoint_out resume_file memory_limit output =
   let lint = lint || deny_warnings in
   let workers =
     if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
   in
-  let trace_oc = Option.map open_out trace_out in
+  let token = Serve.Signals.create () in
+  Serve.Signals.install_termination token;
+  (* The trace stream goes to a hidden temp file renamed into place on
+     close, so an interrupt can never leave a truncated JSONL artifact. *)
+  let trace_tmp =
+    Option.map
+      (fun path ->
+        let temp_dir = Filename.dirname path in
+        let tmp, oc =
+          Filename.open_temp_file ~temp_dir
+            ("." ^ Filename.basename path ^ ".")
+            ".tmp"
+        in
+        (path, tmp, oc))
+      trace_out
+  in
   let obs =
-    match trace_oc with
-    | Some oc -> Obs.create (Obs.Jsonl oc)
+    match trace_tmp with
+    | Some (_, _, oc) -> Obs.create (Obs.Jsonl oc)
     | None -> Obs.silent
+  in
+  let emit_report text =
+    match output with
+    | Some path -> Serve.Fsio.atomic_write ~path text
+    | None -> print_string text
   in
   Fun.protect
     ~finally:(fun () ->
       Obs.flush obs;
-      Option.iter close_out_noerr trace_oc)
+      Option.iter
+        (fun (path, tmp, oc) ->
+          close_out_noerr oc;
+          try Sys.rename tmp path with Sys_error _ -> ())
+        trace_tmp)
     (fun () ->
-      match Cspm.Elaborate.load_string ~obs (read_file path) with
+      match read_file path with
       | exception Sys_error msg ->
         Format.eprintf "%s@." msg;
         2
+      | source ->
+      match Cspm.Elaborate.load_string ~obs source with
       | exception Cspm.Parser.Parse_error (msg, pos) ->
         Format.eprintf "%s:%a: syntax error: %s@." path Cspm.Ast.pp_pos pos msg;
         2
@@ -111,9 +153,15 @@ let run path max_states timeout jobs list_only dot format progress trace_out
             let c =
               default |> with_max_states max_states |> with_workers workers
               |> with_obs obs
+              |> with_cancel (Serve.Signals.read token)
             in
             let c =
               match timeout with Some t -> with_deadline t c | None -> c
+            in
+            let c =
+              match memory_limit with
+              | Some mb -> with_memory_limit mb c
+              | None -> c
             in
             if progress then
               with_progress
@@ -123,37 +171,193 @@ let run path max_states timeout jobs list_only dot format progress trace_out
                 c
             else c
           in
-          let outcomes = Cspm.Check.run ~config loaded in
-          (* finish the carriage-return progress line before reporting *)
-          if !ticked then Printf.eprintf "\n%!";
-          let count p = List.length (List.filter p outcomes) in
-          let failures =
-            count (fun o ->
-                match o.Cspm.Check.result with
-                | Csp.Refine.Fails _ -> true
-                | _ -> false)
+          let script_digest = Digest.to_hex (Digest.string source) in
+          let resume_state =
+            match resume_file with
+            | None -> Ok None
+            | Some file -> (
+              match read_file file with
+              | exception Sys_error msg -> Error msg
+              | text -> (
+                match Obs.Json.parse text with
+                | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+                | Ok json -> (
+                  match Cspm.Check.resume_state_of_json json with
+                  | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+                  | Ok st ->
+                    if
+                      not
+                        (String.equal st.Cspm.Check.script_digest
+                           script_digest)
+                    then
+                      Error
+                        (Printf.sprintf
+                           "%s: checkpoint was taken against a different \
+                            script"
+                           file)
+                    else Ok (Some st))))
           in
-          let inconclusive =
-            count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
-          in
-          (match format with
-           | Json ->
-             let doc = Cspm.Check.json_of_outcomes outcomes in
-             let doc =
-               match diags, doc with
-               | Some ds, Obs.Json.Obj fields ->
-                 Obs.Json.Obj
-                   (fields @ [ "diagnostics", Analysis.Diag.json_of_list ds ])
-               | _ -> doc
-             in
-             print_string (Obs.Json.to_string doc);
-             print_newline ()
-           | Pretty ->
-             Format.printf "@[<v>%a@]@." Cspm.Check.pp_outcomes outcomes;
-             Format.printf "%d assertion(s), %d failure(s), %d inconclusive@."
-               (List.length outcomes) failures inconclusive);
-          if failures > 0 then 1 else if inconclusive > 0 then 3 else 0
+          match resume_state with
+          | Error msg ->
+            Format.eprintf "%s@." msg;
+            2
+          | Ok resume_state ->
+            if Option.is_some checkpoint_out || Option.is_some resume_file
+            then begin
+              (* The crash-safe sequential path: assertions run in script
+                 order so an interrupt has a well-defined "next assertion"
+                 to record, and a resumed run knows exactly what is left. *)
+              let start, resume_first, completed =
+                match resume_state with
+                | Some st ->
+                  ( st.Cspm.Check.next_index,
+                    st.Cspm.Check.search,
+                    st.Cspm.Check.completed )
+                | None -> (0, None, [])
+              in
+              let outcomes, stop =
+                Cspm.Check.run_seq ~start ?resume_first ~config loaded
+              in
+              if !ticked then Printf.eprintf "\n%!";
+              let rendered_new =
+                List.mapi
+                  (fun i o -> Cspm.Check.json_of_outcome (start + i) o)
+                  outcomes
+              in
+              let rendered = completed @ rendered_new in
+              (* checkpoint before report: if writing the report is what
+                 dies next, the checkpoint already exists *)
+              (match stop, checkpoint_out with
+               | Some s, Some ck_path ->
+                 let settled = s.Cspm.Check.next_index - start in
+                 let st =
+                   {
+                     Cspm.Check.script_digest;
+                     completed =
+                       completed
+                       @ List.filteri (fun i _ -> i < settled) rendered_new;
+                     next_index = s.Cspm.Check.next_index;
+                     search = s.Cspm.Check.search;
+                   }
+                 in
+                 Serve.Fsio.atomic_write ~path:ck_path
+                   (Obs.Json.to_string (Cspm.Check.json_of_resume_state st)
+                    ^ "\n");
+                 Format.eprintf "interrupted: checkpoint written to %s@."
+                   ck_path
+               | Some _, None ->
+                 Format.eprintf
+                   "interrupted (no --checkpoint-out, so nothing to resume \
+                    from)@."
+               | None, Some ck_path ->
+                 (* the run finished: a stale checkpoint would resume into
+                    the past, so clear it *)
+                 if Sys.file_exists ck_path then Sys.remove ck_path
+               | None, None -> ());
+              let count v =
+                List.length
+                  (List.filter
+                     (fun j -> String.equal (json_verdict j) v)
+                     rendered)
+              in
+              let failures = count "fail" in
+              let inconclusive = count "inconclusive" in
+              (match format with
+               | Json ->
+                 let doc =
+                   splice_diags diags
+                     (Cspm.Check.report_of_json_outcomes rendered)
+                 in
+                 emit_report (Obs.Json.to_string doc ^ "\n")
+               | Pretty ->
+                 let buf = Buffer.create 256 in
+                 let bppf = Format.formatter_of_buffer buf in
+                 List.iter
+                   (fun j ->
+                     let a =
+                       match Obs.Json.member "assertion" j with
+                       | Some (Obs.Json.Str s) -> s
+                       | _ -> "?"
+                     in
+                     Format.fprintf bppf "[%s] %s (from checkpoint)@."
+                       (String.uppercase_ascii (json_verdict j))
+                       a)
+                   completed;
+                 Format.fprintf bppf "@[<v>%a@]@." Cspm.Check.pp_outcomes
+                   outcomes;
+                 Format.fprintf bppf
+                   "%d assertion(s), %d failure(s), %d inconclusive@."
+                   (List.length rendered) failures inconclusive;
+                 Format.pp_print_flush bppf ();
+                 emit_report (Buffer.contents buf));
+              if failures > 0 then 1
+              else if Option.is_some stop then 5
+              else if inconclusive > 0 then 3
+              else 0
+            end
+            else begin
+              let outcomes = Cspm.Check.run ~config loaded in
+              (* finish the carriage-return progress line before reporting *)
+              if !ticked then Printf.eprintf "\n%!";
+              let count p = List.length (List.filter p outcomes) in
+              let failures =
+                count (fun o ->
+                    match o.Cspm.Check.result with
+                    | Csp.Refine.Fails _ -> true
+                    | _ -> false)
+              in
+              let inconclusive =
+                count (fun o -> Csp.Refine.inconclusive o.Cspm.Check.result)
+              in
+              let interrupted =
+                List.exists
+                  (fun o ->
+                    match o.Cspm.Check.result with
+                    | Csp.Refine.Inconclusive (_, hint) ->
+                      hint.Csp.Refine.exhausted = Csp.Refine.Interrupt
+                    | _ -> false)
+                  outcomes
+              in
+              (match format with
+               | Json ->
+                 let doc =
+                   splice_diags diags (Cspm.Check.json_of_outcomes outcomes)
+                 in
+                 emit_report (Obs.Json.to_string doc ^ "\n")
+               | Pretty ->
+                 emit_report
+                   (Format.asprintf
+                      "@[<v>%a@]@.%d assertion(s), %d failure(s), %d \
+                       inconclusive@."
+                      Cspm.Check.pp_outcomes outcomes (List.length outcomes)
+                      failures inconclusive));
+              if failures > 0 then 1
+              else if interrupted then 5
+              else if inconclusive > 0 then 3
+              else 0
+            end
         end)
+
+let run path max_states timeout jobs list_only dot format progress trace_out
+    lint deny_warnings checkpoint_out resume_file memory_limit output =
+  (* The two non-budgeted resource exhaustions a pathological model can
+     trigger land here rather than as raw uncaught exceptions. *)
+  try
+    run path max_states timeout jobs list_only dot format progress trace_out
+      lint deny_warnings checkpoint_out resume_file memory_limit output
+  with
+  | Stack_overflow ->
+    Format.eprintf
+      "%s: stack overflow — the model recurses too deeply; simplify the \
+       process structure or raise the system stack limit@."
+      path;
+    2
+  | Out_of_memory ->
+    Format.eprintf
+      "%s: out of memory — bound the search with --max-states or degrade \
+       gracefully with --memory-limit@."
+      path;
+    2
 
 open Cmdliner
 
@@ -260,8 +464,60 @@ let trace_out_arg =
         ~doc:
           "Write the observability stream (parse/elaborate/compile/\
            normalise/search spans, then a final metric snapshot) to \
-           $(docv) as JSON Lines. Does not affect verdicts or timing \
-           of the checks themselves.")
+           $(docv) as JSON Lines. The file is written to a temporary \
+           name and renamed into place on completion, so an interrupted \
+           run never leaves a truncated stream. Does not affect verdicts \
+           or timing of the checks themselves.")
+
+let checkpoint_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-out" ] ~docv:"FILE"
+        ~doc:
+          "Run assertions sequentially and, if the run is interrupted by \
+           SIGINT/SIGTERM, write a resumable checkpoint (schema \
+           cspm-checkpoint/1) to $(docv): the outcomes already settled, \
+           the assertion that was cut short, and the engine's \
+           commit-boundary snapshot of its product search. The write is \
+           atomic (temp file + rename). If the run completes, a stale \
+           $(docv) from an earlier interrupt is removed.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "resume" ] ~docv:"FILE"
+        ~doc:
+          "Continue an interrupted run from the checkpoint in $(docv). \
+           The script must be byte-identical to the one the checkpoint \
+           was taken against (a digest is checked), and budgets must \
+           match the interrupted run. Settled outcomes are reported from \
+           the checkpoint; the interrupted assertion is fast-forwarded \
+           to the exact point it was cut and continues from there. Final \
+           verdicts, counterexamples, and state/pair counts are \
+           byte-identical to an uninterrupted run.")
+
+let memory_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-limit" ] ~docv:"MB"
+        ~doc:
+          "Heap watermark in MiB, polled at the engine's cadence: if the \
+           OCaml heap crosses it, the running check returns INCONCLUSIVE \
+           (exhausted: memory) while the process is still healthy enough \
+           to write its report and checkpoint — instead of being killed \
+           by the OOM killer mid-write.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:
+          "Write the report (either format) to $(docv) atomically (temp \
+           file + rename) instead of stdout.")
 
 let cmd =
   let doc = "run the assert declarations of a CSPm script" in
@@ -270,14 +526,22 @@ let cmd =
       `S Manpage.s_exit_status;
       `P "0 — every assertion holds.";
       `P "1 — at least one assertion definitely fails.";
-      `P "2 — the script could not be loaded (syntax or semantic error).";
+      `P
+        "2 — the script could not be loaded (syntax or semantic error, \
+         stack overflow, or out of memory).";
       `P
         "3 — no assertion fails, but at least one is inconclusive \
-         because a state, pair, or $(b,--timeout) budget was exhausted.";
+         because a state, pair, $(b,--timeout), or $(b,--memory-limit) \
+         budget was exhausted.";
       `P
         "4 — the $(b,--lint) analysis reported blocking diagnostics \
          (an error, or any warning under $(b,--deny-warnings)); no \
          assertion was run.";
+      `P
+        "5 — interrupted by SIGINT/SIGTERM: the report covers what was \
+         checked, and with $(b,--checkpoint-out) the run can be \
+         continued with $(b,--resume). A definite failure still exits \
+         1; an interrupt outranks a plain inconclusive 3.";
     ]
   in
   Cmd.v
@@ -285,6 +549,7 @@ let cmd =
     Term.(
       const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
       $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg
-      $ lint_arg $ deny_warnings_arg)
+      $ lint_arg $ deny_warnings_arg $ checkpoint_out_arg $ resume_arg
+      $ memory_limit_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

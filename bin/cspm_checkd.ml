@@ -1,0 +1,137 @@
+(* cspm_checkd — a supervised CSPm checking service over stdio NDJSON.
+
+   One request object per stdin line (schema cspm-checkd/1: submit /
+   health / drain), one event object per stdout line. Job results embed
+   the same cspm-check/1 report cspm_check --format json prints, so
+   clients parse one vocabulary. Jobs queue up to a bound (beyond it
+   submissions are rejected — that is the backpressure), run one at a
+   time, and a job whose attempt exhausts its wall budget is retried
+   with exponential backoff and jitter, resuming from the interrupted
+   attempt's engine checkpoint rather than restarting. SIGINT/SIGTERM
+   drain gracefully: the running search stops at its next poll, reports
+   a valid partial result, and the daemon emits its final drained event
+   before exiting. *)
+
+let run queue_limit retries backoff_s backoff_max_s seed trace_out =
+  let token = Serve.Signals.create () in
+  Serve.Signals.install_termination token;
+  let trace_oc = Option.map open_out trace_out in
+  let obs =
+    match trace_oc with
+    | Some oc -> Obs.create (Obs.Jsonl oc)
+    | None -> Obs.silent
+  in
+  let emit json =
+    print_string (Obs.Json.to_string json);
+    print_newline ();
+    flush stdout
+  in
+  let cfg =
+    {
+      (Serve.Runner.default_config ~emit) with
+      Serve.Runner.queue_limit;
+      default_retries = retries;
+      backoff_base_s = backoff_s;
+      backoff_max_s;
+      seed;
+      obs;
+      cancel = token;
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.flush obs;
+      Option.iter close_out_noerr trace_oc)
+    (fun () ->
+      match Serve.Runner.serve cfg stdin with
+      | () -> 0
+      | exception Stack_overflow ->
+        prerr_endline "cspm_checkd: stack overflow";
+        2
+      | exception Out_of_memory ->
+        prerr_endline "cspm_checkd: out of memory";
+        2)
+
+open Cmdliner
+
+let queue_limit_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "queue-limit" ] ~docv:"N"
+        ~doc:
+          "Bounded job queue: submissions arriving while $(docv) jobs \
+           are already waiting are rejected (event $(b,rejected), reason \
+           \"queue full\") — the client's backpressure signal.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Default retry budget for jobs that do not set max_retries: a \
+           job attempt that exhausts its wall budget is retried up to \
+           $(docv) times, each attempt resuming from the previous one's \
+           checkpoint with a doubled deadline.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "backoff" ] ~docv:"SECS"
+        ~doc:
+          "Base backoff before the first retry; doubles each retry and \
+           is jittered by a uniform factor in [0.5, 1.5).")
+
+let backoff_max_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "backoff-max" ] ~docv:"SECS"
+        ~doc:"Ceiling on the (pre-jitter) backoff.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0x5eed
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the jitter PRNG — fix it to make retry schedules \
+           reproducible.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability stream (per-job spans plus the \
+           serve.* queue/health gauges and retry counters) to $(docv) \
+           as JSON Lines.")
+
+let cmd =
+  let doc = "supervised CSPm checking jobs over stdio NDJSON" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Requests (one JSON object per stdin line, schema \
+         cspm-checkd/1): $(b,submit) with an id and an inline \
+         $(b,script) or a $(b,path), plus optional $(b,deadline_s), \
+         $(b,workers), $(b,max_states), $(b,max_retries); $(b,health); \
+         $(b,drain).";
+      `P
+        "Events (one JSON object per stdout line): $(b,accepted), \
+         $(b,rejected), $(b,started), $(b,retrying), $(b,result) with \
+         the embedded cspm-check/1 report, $(b,failed), $(b,health), \
+         and a final $(b,drained). End of input is an implicit drain; \
+         SIGINT/SIGTERM interrupt the running job at its next poll and \
+         drain.";
+      `S Manpage.s_exit_status;
+      `P "0 — drained cleanly (even if individual jobs failed).";
+      `P "2 — the daemon itself ran out of stack or memory.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cspm_checkd" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const run $ queue_limit_arg $ retries_arg $ backoff_arg
+      $ backoff_max_arg $ seed_arg $ trace_out_arg)
+
+let () = exit (Cmd.eval' cmd)

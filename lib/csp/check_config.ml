@@ -11,6 +11,8 @@ type t = {
   workers : int;
   obs : Obs.t;
   progress : (Search.progress -> unit) option;
+  cancel : (unit -> bool) option;
+  memory_limit_mb : int option;
 }
 
 let default =
@@ -22,6 +24,8 @@ let default =
     workers = 1;
     obs = Obs.silent;
     progress = None;
+    cancel = None;
+    memory_limit_mb = None;
   }
 
 let with_interner interner t = { t with interner }
@@ -31,3 +35,5 @@ let with_deadline seconds t = { t with deadline = Some seconds }
 let with_workers workers t = { t with workers }
 let with_obs obs t = { t with obs }
 let with_progress cb t = { t with progress = Some cb }
+let with_cancel token t = { t with cancel = Some token }
+let with_memory_limit mb t = { t with memory_limit_mb = Some mb }

@@ -34,6 +34,15 @@ type t = {
   progress : (Search.progress -> unit) option;
       (** live progress callback, throttled to the engine's deadline-poll
           cadence (once per 256 dequeues) *)
+  cancel : (unit -> bool) option;
+      (** cancellation token, polled at the same cadence: once it returns
+          [true] the product search stops with [Inconclusive]
+          ([Interrupt]) and a checkpoint in the hint — the hook the CLIs
+          use to turn SIGINT/SIGTERM into a flushed checkpoint *)
+  memory_limit_mb : int option;
+      (** heap watermark in MiB, polled at the same cadence: crossing it
+          stops the product search with [Inconclusive] ([Memory]) while
+          the process can still write its report *)
 }
 
 val default : t
@@ -48,5 +57,7 @@ val with_deadline : float -> t -> t
 val with_workers : int -> t -> t
 val with_obs : Obs.t -> t -> t
 val with_progress : (Search.progress -> unit) -> t -> t
+val with_cancel : (unit -> bool) -> t -> t
+val with_memory_limit : int -> t -> t
 (** Builders, argument-last so they chain:
     [Check_config.(default |> with_deadline 0.5 |> with_workers 2)]. *)

@@ -33,11 +33,14 @@ type budget_kind = Search.budget_kind =
   | Deadline
   | States
   | Pairs
+  | Interrupt
+  | Memory
 
 type resume_hint = Search.resume_hint = {
   frontier : int;
   deepest : Event.label list;
   exhausted : budget_kind;
+  checkpoint : Search.checkpoint option;
 }
 
 type result = Search.result =
@@ -61,10 +64,15 @@ let spec_inconclusive progress =
   Inconclusive
     ( Search.make_stats ~impl_states:0 ~spec_nodes:progress.Lts.explored
         ~pairs:0 (),
-      { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+      {
+        frontier = progress.Lts.frontier;
+        deepest = [];
+        exhausted;
+        checkpoint = None;
+      } )
 
 let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
-    defs ~spec ~impl =
+    ?resume_from defs ~spec ~impl =
   let obs = config.obs in
   match
     Lts.compile_budgeted ~max_states:config.max_states ?stop_at ~obs defs spec
@@ -81,12 +89,15 @@ let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
         impl0
     in
     Search.product ~refusal:refusal_mode ~max_pairs ?stop_at
-      ~workers:config.workers ~obs ?progress:config.progress ~norm source
+      ~workers:config.workers ~obs ?progress:config.progress
+      ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
+      ?resume_from ?resume_deadline:config.deadline ~norm source
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
    then the product is explored. *)
-let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at defs ~spec ~impl =
+let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at ?resume_from defs
+    ~spec ~impl =
   let obs = config.obs in
   let max_states = config.max_states in
   match Lts.compile_budgeted ~max_states ?stop_at ~obs defs spec with
@@ -105,11 +116,18 @@ let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at defs ~spec ~impl =
        Inconclusive
          ( Search.make_stats ~impl_states:progress.Lts.explored
              ~spec_nodes:(Normalise.num_nodes norm) ~pairs:0 (),
-           { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+           {
+             frontier = progress.Lts.frontier;
+             deepest = [];
+             exhausted;
+             checkpoint = None;
+           } )
      | Lts.Complete impl_lts ->
        let source = Search.lts_source ~check_divergence:true impl_lts in
        Search.product ~refusal:`Acceptances ~max_pairs ?stop_at
-         ~workers:config.workers ~obs ?progress:config.progress ~norm source)
+         ~workers:config.workers ~obs ?progress:config.progress
+         ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
+         ?resume_from ?resume_deadline:config.deadline ~norm source)
 
 let stop_at_of_deadline = function
   | None -> None
@@ -150,6 +168,31 @@ let failures_refines ?config defs ~spec ~impl =
 let fd_refines ?config defs ~spec ~impl =
   check ?config ~model:Failures_divergences defs ~spec ~impl
 
+(* Resuming recompiles the specification (and, for FD, the implementation)
+   without a deadline — a checkpoint only exists if those compiles
+   completed, and they are deterministic — then hands the checkpoint to
+   the engine, which fast-forwards the replay and arms [config.deadline]
+   (or the checkpoint's unconsumed budget) at the crossing point. *)
+let resume ?(config = Check_config.default) ?model ~checkpoint defs ~spec
+    ~impl =
+  let model = Option.value model ~default:Traces in
+  let max_pairs = Option.value config.max_pairs ~default:config.max_states in
+  match model with
+  | Traces ->
+    product_check ~config ~refusal_mode:`None ~max_pairs
+      ~resume_from:checkpoint defs ~spec ~impl
+  | Failures ->
+    product_check ~config ~refusal_mode:`Acceptances ~max_pairs
+      ~resume_from:checkpoint defs ~spec ~impl
+  | Failures_divergences ->
+    fd_check ~config ~max_pairs ~resume_from:checkpoint defs ~spec ~impl
+
+let resume_deterministic ?(config = Check_config.default) ~checkpoint defs
+    proc =
+  let max_pairs = Option.value config.max_pairs ~default:config.max_states in
+  product_check ~config ~refusal_mode:`Full ~max_pairs
+    ~resume_from:checkpoint defs ~spec:proc ~impl:proc
+
 let lts_inconclusive progress =
   let exhausted =
     match progress.Lts.reason with `States -> States | `Deadline -> Deadline
@@ -157,7 +200,12 @@ let lts_inconclusive progress =
   Inconclusive
     ( Search.make_stats ~impl_states:progress.Lts.explored ~spec_nodes:0
         ~pairs:0 (),
-      { frontier = progress.Lts.frontier; deepest = []; exhausted } )
+      {
+        frontier = progress.Lts.frontier;
+        deepest = [];
+        exhausted;
+        checkpoint = None;
+      } )
 
 (* Deadlock/divergence freedom: compile the graph, find the offending
    states, and BFS a shortest path to one. The offender set is looked up
@@ -249,6 +297,8 @@ let pp_budget_kind ppf = function
   | Deadline -> Format.pp_print_string ppf "deadline"
   | States -> Format.pp_print_string ppf "state budget"
   | Pairs -> Format.pp_print_string ppf "pair budget"
+  | Interrupt -> Format.pp_print_string ppf "interrupted"
+  | Memory -> Format.pp_print_string ppf "memory watermark"
 
 let pp_resume_hint ppf hint =
   (* the deepest trace can be thousands of events long on a budget-limited

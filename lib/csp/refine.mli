@@ -49,6 +49,8 @@ type budget_kind = Search.budget_kind =
   | Deadline  (** the wall-clock deadline passed *)
   | States  (** an [Lts] compilation hit its state budget *)
   | Pairs  (** the product exploration hit its pair budget *)
+  | Interrupt  (** the cancellation token tripped (signal, drain, …) *)
+  | Memory  (** the heap watermark was crossed before the OOM killer *)
 
 type resume_hint = Search.resume_hint = {
   frontier : int;
@@ -59,6 +61,10 @@ type resume_hint = Search.resume_hint = {
           is a deepest explored path, a natural place to resume or to
           narrow the model *)
   exhausted : budget_kind;
+  checkpoint : Search.checkpoint option;
+      (** resumable snapshot of the interrupted product search — feed it
+          to {!resume}; [None] when the exhaustion happened outside the
+          product engine (an [Lts] compilation budget) *)
 }
 
 type result = Search.result =
@@ -103,7 +109,43 @@ val check :
 
     [max_states] and [deadline] are conveniences for the two most common
     one-off overrides; when given they take precedence over the record's
-    fields. The other checks below take only [?config]. *)
+    fields. The other checks below take only [?config].
+
+    [config.cancel] and [config.memory_limit_mb] degrade a running search
+    gracefully: once the token trips (or the heap watermark is crossed)
+    the product search returns {!Inconclusive} with [exhausted =
+    Interrupt] (respectively [Memory]) and a {!Search.checkpoint} in the
+    hint instead of dying. *)
+
+val resume :
+  ?config:Check_config.t ->
+  ?model:model ->
+  checkpoint:Search.checkpoint ->
+  Defs.t ->
+  spec:Proc.t ->
+  impl:Proc.t ->
+  result
+(** Continue an interrupted {!check} from its checkpoint (the
+    [hint.checkpoint] of the {!Inconclusive} result). The model, process
+    terms, [config.max_states], [config.interner], and [config.max_pairs]
+    must match the interrupted run — the engine validates the replayed
+    prefix against the checkpoint's digests and raises
+    {!Search.Resume_mismatch} on disagreement (a larger [max_pairs] is
+    legal and is the way to get past a [Pairs] exhaustion). A
+    [config.deadline] grants that many seconds beyond the recorded
+    position; without one the checkpoint's own unconsumed budget applies
+    ([None] = unbounded). The final verdict is byte-identical to an
+    uninterrupted run. *)
+
+val resume_deterministic :
+  ?config:Check_config.t ->
+  checkpoint:Search.checkpoint ->
+  Defs.t ->
+  Proc.t ->
+  result
+(** {!resume} for an interrupted {!deterministic} check. The graph-based
+    {!deadlock_free}/{!divergence_free} checks produce no checkpoint (an
+    interrupted compile just re-runs), so they need no resume entry. *)
 
 val traces_refines :
   ?config:Check_config.t -> Defs.t -> spec:Proc.t -> impl:Proc.t -> result

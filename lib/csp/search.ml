@@ -28,12 +28,108 @@ type budget_kind =
   | Deadline
   | States
   | Pairs
+  | Interrupt
+  | Memory
+
+let budget_kind_to_string = function
+  | Deadline -> "deadline"
+  | States -> "states"
+  | Pairs -> "pairs"
+  | Interrupt -> "interrupt"
+  | Memory -> "memory"
+
+let budget_kind_of_string = function
+  | "deadline" -> Some Deadline
+  | "states" -> Some States
+  | "pairs" -> Some Pairs
+  | "interrupt" -> Some Interrupt
+  | "memory" -> Some Memory
+  | _ -> None
+
+(* A checkpoint is a commit-boundary snapshot of the deterministic search:
+   because pairs are interned (and committed) in an order that is
+   byte-identical at any worker count, "the state after [explored] commits"
+   fully determines the remaining search. The [visited_digest] is a rolling
+   hash over every interned (impl state, spec node) pair, masked to 52 bits
+   so it survives a float-backed JSON round trip exactly; it is validated
+   when a resumed run crosses the recorded position, so resuming against
+   the wrong script, configuration, or engine version fails loudly instead
+   of silently diverging. *)
+type checkpoint = {
+  explored : int;  (* commits completed at the boundary *)
+  pairs : int;  (* product pairs interned at the boundary *)
+  impl_states : int;
+  visited_digest : int;
+  deadline_left : float option;  (* unconsumed wall budget, seconds *)
+  exhausted : budget_kind;  (* why the original run stopped *)
+}
 
 type resume_hint = {
   frontier : int;
   deepest : Event.label list;
   exhausted : budget_kind;
+  checkpoint : checkpoint option;
 }
+
+exception Resume_mismatch of string
+
+(* 52-bit rolling hash: deterministic, cheap (two multiply-adds per
+   interned pair), and exactly representable as a JSON number. *)
+let digest_mask = 0xF_FFFF_FFFF_FFFF
+
+let digest_mix h k = (((h * 0x1003F) lxor k) * 0x2545F49) land digest_mask
+
+let checkpoint_schema = "cspm-search-checkpoint/1"
+
+let json_of_checkpoint cp =
+  let open Obs.Json in
+  Obj
+    [
+      "schema", Str checkpoint_schema;
+      "explored", Num (float_of_int cp.explored);
+      "pairs", Num (float_of_int cp.pairs);
+      "impl_states", Num (float_of_int cp.impl_states);
+      "visited_digest", Num (float_of_int cp.visited_digest);
+      ( "deadline_left",
+        match cp.deadline_left with Some s -> Num s | None -> Null );
+      "exhausted", Str (budget_kind_to_string cp.exhausted);
+    ]
+
+let checkpoint_of_json json =
+  let open Obs.Json in
+  let int_field name =
+    match Option.bind (member name json) to_int with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (Printf.sprintf "checkpoint: negative %S" name)
+    | None -> Error (Printf.sprintf "checkpoint: missing integer %S" name)
+  in
+  match Option.bind (member "schema" json) to_str with
+  | Some s when String.equal s checkpoint_schema ->
+    Result.bind (int_field "explored") (fun explored ->
+        Result.bind (int_field "pairs") (fun pairs ->
+            Result.bind (int_field "impl_states") (fun impl_states ->
+                Result.bind (int_field "visited_digest") (fun visited_digest ->
+                    let deadline_left =
+                      Option.bind (member "deadline_left" json) to_float
+                    in
+                    match
+                      Option.bind
+                        (Option.bind (member "exhausted" json) to_str)
+                        budget_kind_of_string
+                    with
+                    | Some exhausted ->
+                      Ok
+                        {
+                          explored;
+                          pairs;
+                          impl_states;
+                          visited_digest;
+                          deadline_left;
+                          exhausted;
+                        }
+                    | None -> Error "checkpoint: bad \"exhausted\" kind"))))
+  | Some s -> Error (Printf.sprintf "checkpoint: unknown schema %S" s)
+  | None -> Error "checkpoint: missing schema tag"
 
 type result =
   | Holds of stats
@@ -330,8 +426,16 @@ type expansion =
    durations, so the duration defaults don't fit). *)
 let level_buckets = [| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
 
+(* Heap watermark for the memory guard, in MiB. [Gc.quick_stat] reads
+   counters without walking the heap, so polling it on the dequeue cadence
+   costs about as much as the deadline's clock read. *)
+let heap_mb () =
+  let words = (Gc.quick_stat ()).Gc.heap_words in
+  float_of_int (words * (Sys.word_size / 8)) /. (1024. *. 1024.)
+
 let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
-    ?progress ~norm source =
+    ?progress ?cancel ?memory_limit_mb ?resume_from ?resume_deadline ~norm
+    source =
   let workers = max 1 workers in
   let t0 = Obs.now () in
   (* Metric handles are registered once, here; on a silent handle every
@@ -356,11 +460,16 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
   let queue = Queue.create () in
   let peak_frontier = ref 0 in
   let busy_us = Atomic.make 0 in
+  (* Rolling digest over every interned pair, in interning order — the
+     order is byte-identical at any worker count, so the digest is a
+     portable fingerprint of search progress. *)
+  let digest = ref 0 in
   let intern_pair parent ((impl_i, node) as pair) =
     if not (Pair_tbl.mem pair_ids pair) then begin
       if !pair_count >= max_pairs then raise (Out_of_budget Pairs);
       let id = !pair_count in
       incr pair_count;
+      digest := digest_mix (digest_mix !digest impl_i) node;
       if id >= Array.length !parents then begin
         let grow dummy a =
           let bigger = Array.make (2 * id) dummy in
@@ -401,22 +510,91 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
      lies on a deepest explored path — the natural resume hint. *)
   let explored = ref 0 in
   let last_dequeued = ref 0 in
-  let over_deadline () =
-    (* polled only every [deadline_poll_mask + 1] dequeues: the clock read
-       is a syscall, and per-pair work is microseconds *)
-    match stop_at with
-    | Some limit ->
-      !explored > 0
-      && !explored land deadline_poll_mask = 0
-      && Obs.now () > limit
-    | None -> false
+  (* Fast-forward state: while [ff] holds the checkpoint being resumed,
+     the engine replays the deterministic prefix with the deadline unarmed
+     and progress suppressed; [pending_budget] is armed as an absolute
+     deadline only once the recorded position is crossed and validated.
+     Fresh runs arm [stop_at] immediately and never fast-forward. *)
+  let ff = ref resume_from in
+  let stop_at_r =
+    ref (match resume_from with Some _ -> None | None -> stop_at)
   in
-  (* Progress callbacks and gauge refreshes share the deadline-poll
-     cadence; with a silent handle and no callback the whole tick is one
-     boolean test per dequeue. *)
+  let pending_budget =
+    ref
+      (match resume_from with
+       | Some cp ->
+         (match resume_deadline with
+          | Some _ -> resume_deadline
+          | None -> cp.deadline_left)
+       | None -> None)
+  in
+  let deadline_left_now () =
+    match !stop_at_r with
+    | Some limit -> Some (Float.max 0. (limit -. Obs.now ()))
+    | None -> !pending_budget
+  in
+  (* Commit-boundary snapshot: updated after every fully committed pair,
+     so a checkpoint taken mid-commit (a pair budget trips while interning
+     successors) still describes a state the replay passes through. *)
+  let b_explored = ref 0 and b_pairs = ref 0 and b_digest = ref 0 in
+  let note_boundary () =
+    b_explored := !explored;
+    b_pairs := !pair_count;
+    b_digest := !digest
+  in
+  (* Crossing the recorded position of a resumed run: validate that the
+     replay reproduced the interrupted search exactly, then arm the
+     remaining wall budget. Checked at the head of every commit, where the
+     state equals a commit boundary. *)
+  let cross_if_resuming () =
+    match !ff with
+    | Some cp when !explored >= cp.explored ->
+      if
+        !explored <> cp.explored
+        || !pair_count <> cp.pairs
+        || !digest <> cp.visited_digest
+      then
+        raise
+          (Resume_mismatch
+             (Printf.sprintf
+                "checkpoint mismatch at commit %d: recorded %d pairs \
+                 (digest %#x), replay has %d pairs (digest %#x) — the \
+                 script, assertion, or budgets differ from the \
+                 interrupted run"
+                cp.explored cp.pairs cp.visited_digest !pair_count !digest));
+      ff := None;
+      (match !pending_budget with
+       | Some budget -> stop_at_r := Some (Obs.now () +. budget)
+       | None -> ());
+      pending_budget := None
+    | _ -> ()
+  in
+  (* All degradation triggers ride one cadence: every 256 commits the
+     engine polls the cancellation token, the heap watermark, and the
+     wall clock (each a function call, a counter read, and a syscall
+     respectively — nothing per-pair). *)
+  let check_budgets () =
+    if !explored > 0 && !explored land deadline_poll_mask = 0 then begin
+      (match cancel with
+       | Some cancelled when cancelled () -> raise (Out_of_budget Interrupt)
+       | _ -> ());
+      (match memory_limit_mb with
+       | Some mb when heap_mb () > float_of_int mb ->
+         raise (Out_of_budget Memory)
+       | _ -> ());
+      match !stop_at_r with
+      | Some limit when Obs.now () > limit -> raise (Out_of_budget Deadline)
+      | _ -> ()
+    end
+  in
+  (* Progress callbacks and gauge refreshes share the poll cadence; with a
+     silent handle and no callback the whole tick is one boolean test per
+     dequeue. Both stay quiet while fast-forwarding a resumed prefix. *)
   let ticking = progress <> None || not (Obs.is_silent obs) in
   let tick () =
-    if ticking && !explored > 0 && !explored land deadline_poll_mask = 0
+    if
+      ticking && !ff = None && !explored > 0
+      && !explored land deadline_poll_mask = 0
     then begin
       let frontier = Queue.length queue in
       let budget_frac = float_of_int !pair_count /. float_of_int max_pairs in
@@ -541,6 +719,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
         interned
   in
   intern_pair None (source.initial, Normalise.initial norm);
+  note_boundary ();
   (* Sequential engine: one stepper, expand-and-commit per dequeue. *)
   let run_sequential () =
     let step = source.raw_step () in
@@ -548,8 +727,10 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
       (* an empty queue is a completed search: the verdict stands even if
          the deadline expired while reaching it *)
       if Queue.is_empty queue then Holds (current_stats ())
-      else if (tick (); over_deadline ()) then raise (Out_of_budget Deadline)
-      else
+      else begin
+        cross_if_resuming ();
+        tick ();
+        check_budgets ();
         match Queue.take_opt queue with
         | None -> Holds (current_stats ())
         | Some pair_id ->
@@ -558,7 +739,10 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
           in
           (match commit pair_id expansion with
            | Some result -> result
-           | None -> search ())
+           | None ->
+             note_boundary ();
+             search ())
+      end
     in
     search ()
   in
@@ -605,13 +789,16 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
                   (Atomic.fetch_and_add busy_us (int_of_float (spent *. 1e6))));
             let rec merge k =
               if k >= n then ()
-              else if (tick (); over_deadline ()) then
-                raise (Out_of_budget Deadline)
               else begin
+                cross_if_resuming ();
+                tick ();
+                check_budgets ();
                 let pair_id = Queue.take queue in
                 match commit pair_id results.(k) with
                 | Some result -> verdict := Some result
-                | None -> merge (k + 1)
+                | None ->
+                  note_boundary ();
+                  merge (k + 1)
               end
             in
             merge 0)
@@ -626,12 +813,38 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
           run_parallel pool)
     end
   in
-  try Obs.span obs "search.product" run
+  try
+    let result = Obs.span obs "search.product" run in
+    (* A terminal verdict while still fast-forwarding means the replay ran
+       out of states before the recorded position — the checkpoint cannot
+       belong to this search. Refuse rather than return the wrong model's
+       verdict. *)
+    (match !ff with
+     | Some cp ->
+       raise
+         (Resume_mismatch
+            (Printf.sprintf
+               "search exhausted after %d commits without reaching the \
+                recorded position (commit %d) — the checkpoint belongs to \
+                a different script or assertion"
+               !explored cp.explored))
+     | None -> ());
+    result
   with Out_of_budget kind ->
     (* A [Pairs] exhaustion is raised on the pair that failed to intern;
        it is discovered-but-unexplored work, so it counts as frontier. *)
     let frontier =
       Queue.length queue + (match kind with Pairs -> 1 | _ -> 0)
+    in
+    let cp : checkpoint =
+      {
+        explored = !b_explored;
+        pairs = !b_pairs;
+        impl_states = source.state_count ();
+        visited_digest = !b_digest;
+        deadline_left = deadline_left_now ();
+        exhausted = kind;
+      }
     in
     Inconclusive
       ( current_stats (),
@@ -639,4 +852,5 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
           frontier;
           deepest = visible_trace (trace_to !last_dequeued);
           exhausted = kind;
+          checkpoint = (if !b_pairs >= 1 then Some cp else None);
         } )

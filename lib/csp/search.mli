@@ -57,6 +57,48 @@ type budget_kind =
   | Deadline  (** the wall-clock deadline passed *)
   | States  (** an [Lts] compilation hit its state budget *)
   | Pairs  (** the product exploration hit its pair budget *)
+  | Interrupt  (** the cancellation token tripped (signal, drain, …) *)
+  | Memory  (** the heap watermark was crossed before the OOM killer *)
+
+val budget_kind_to_string : budget_kind -> string
+(** Stable lowercase names ("deadline", "states", "pairs", "interrupt",
+    "memory") used by every JSON schema that mentions an exhausted
+    budget. *)
+
+val budget_kind_of_string : string -> budget_kind option
+
+type checkpoint = {
+  explored : int;  (** commits completed at the recorded boundary *)
+  pairs : int;  (** product pairs interned at the boundary *)
+  impl_states : int;  (** informational: states interned when captured *)
+  visited_digest : int;
+      (** 52-bit rolling hash over every interned pair in interning
+          order; validated when a resumed run crosses the boundary *)
+  deadline_left : float option;
+      (** unconsumed wall budget at capture, seconds; [None] = the run
+          had no deadline *)
+  exhausted : budget_kind;  (** why the original run stopped *)
+}
+(** A serializable commit-boundary snapshot of the deterministic search.
+    The engine commits pairs in an order that is byte-identical at any
+    worker count, so "the state after [explored] commits" determines the
+    rest of the search: resuming replays the prefix (deadline unarmed,
+    progress suppressed), validates [pairs]/[visited_digest] at the
+    crossing point, then continues with the remaining budget. Final
+    verdicts, counterexamples, and state/pair counts are byte-identical
+    to an uninterrupted run. *)
+
+exception Resume_mismatch of string
+(** Raised when a resumed replay crosses the recorded position in a state
+    that does not match the checkpoint — the script, assertion, or
+    budgets differ from the interrupted run. *)
+
+val json_of_checkpoint : checkpoint -> Obs.Json.t
+(** Schema ["cspm-search-checkpoint/1"]; every field round-trips exactly
+    ([visited_digest] is masked to 52 bits so a float-backed JSON number
+    carries it losslessly). *)
+
+val checkpoint_of_json : Obs.Json.t -> (checkpoint, string) result
 
 type resume_hint = {
   frontier : int;
@@ -67,6 +109,10 @@ type resume_hint = {
           is a deepest explored path, a natural place to resume or to
           narrow the model *)
   exhausted : budget_kind;
+  checkpoint : checkpoint option;
+      (** resumable snapshot of the interrupted product search; [None]
+          when the exhaustion happened outside the product engine (an
+          [Lts] compilation budget) or before any pair was interned *)
 }
 
 type result =
@@ -157,6 +203,10 @@ val product :
   ?workers:int ->
   ?obs:Obs.t ->
   ?progress:(progress -> unit) ->
+  ?cancel:(unit -> bool) ->
+  ?memory_limit_mb:int ->
+  ?resume_from:checkpoint ->
+  ?resume_deadline:float ->
   norm:Normalise.t ->
   source ->
   result
@@ -165,6 +215,25 @@ val product :
     is a syscall); an empty queue always yields the exact verdict even if
     the deadline has passed, so an {!Inconclusive} result always carries
     non-zero stats.
+
+    [cancel] is a cancellation token polled on the same cadence: once it
+    returns [true] the search stops with [Inconclusive] ([Interrupt]) and
+    a fresh {!checkpoint} — the hook CLIs use to turn SIGINT/SIGTERM into
+    a flushed checkpoint instead of a dead process. [memory_limit_mb]
+    installs a heap watermark (also polled on the cadence): crossing it
+    stops with [Inconclusive] ([Memory]) while the process is still
+    healthy enough to write its report. Neither affects verdicts of runs
+    that complete.
+
+    [resume_from] replays a checkpointed search: the deterministic prefix
+    is re-explored with the deadline unarmed and progress suppressed
+    ([cancel] and the memory guard stay live), the engine validates the
+    pair count and visited digest at the recorded boundary (raising
+    {!Resume_mismatch} on disagreement), and only then arms
+    [resume_deadline] seconds of wall budget (default: the checkpoint's
+    own [deadline_left]) measured from the crossing point. The final
+    verdict, counterexample, and state/pair counts are byte-identical to
+    an uninterrupted run with sufficient budget.
 
     [workers] (default 1) sets the size of the domain pool; the calling
     domain participates, so [workers = 4] spawns three extra domains.

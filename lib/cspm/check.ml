@@ -31,13 +31,19 @@ let prepare (loaded : Elaborate.t) (a : Ast.assertion) =
     P_divergence_free (Elaborate.proc_of_term loaded t)
   | Ast.A_deterministic t -> P_deterministic (Elaborate.proc_of_term loaded t)
 
-let run_prepared ?(config = Csp.Check_config.default) defs prepared =
-  match prepared with
-  | P_refines (spec, model, impl) ->
+let run_prepared ?(config = Csp.Check_config.default) ?resume defs prepared =
+  match resume, prepared with
+  | Some cp, P_refines (spec, model, impl) ->
+    Csp.Refine.resume ~config ~model ~checkpoint:cp defs ~spec ~impl
+  | Some cp, P_deterministic p ->
+    Csp.Refine.resume_deterministic ~config ~checkpoint:cp defs p
+  | _, P_refines (spec, model, impl) ->
     Csp.Refine.check ~config ~model defs ~spec ~impl
-  | P_deadlock_free p -> Csp.Refine.deadlock_free ~config defs p
-  | P_divergence_free p -> Csp.Refine.divergence_free ~config defs p
-  | P_deterministic p -> Csp.Refine.deterministic ~config defs p
+  (* The graph checks never emit a checkpoint (a budgeted compile just
+     re-runs), so a stale [resume] for them falls through to a fresh run. *)
+  | _, P_deadlock_free p -> Csp.Refine.deadlock_free ~config defs p
+  | _, P_divergence_free p -> Csp.Refine.divergence_free ~config defs p
+  | _, P_deterministic p -> Csp.Refine.deterministic ~config defs p
 
 let run_assertion ?config (loaded : Elaborate.t) (a : Ast.assertion) =
   run_prepared ?config loaded.Elaborate.defs (prepare loaded a)
@@ -154,7 +160,7 @@ let any_inconclusive outcomes =
    schema behind [cspm_check --format json]. Verdict names, field names,
    and the counts in "summary" are part of the contract; new fields may
    be added but existing ones keep their meaning. *)
-let json_of_outcomes outcomes =
+let json_of_outcome i o =
   let open Obs.Json in
   let num n = Num (float_of_int n) in
   let labels ls = List (List.map (fun l -> Str (Csp.Event.label_to_string l)) ls) in
@@ -171,76 +177,85 @@ let json_of_outcomes outcomes =
         "par_speedup", Num s.Csp.Refine.par_speedup;
       ]
   in
-  let outcome_json i o =
-    let base =
-      [
-        "index", num i;
-        "assertion", Str (Format.asprintf "%a" Print.pp_assertion o.assertion);
-      ]
-      @ (match o.pos with
-         | Some p ->
-           [ "line", num p.Ast.line; "col", num p.Ast.col ]
-         | None -> [])
-    in
-    let rest =
-      match o.result with
-      | Csp.Refine.Holds stats ->
-        [ "verdict", Str "pass"; "stats", stats_json stats ]
-      | Csp.Refine.Fails cex ->
-        [
-          "verdict", Str "fail";
-          ( "counterexample",
-            Obj
-              [
-                "trace", labels cex.Csp.Refine.trace;
-                ( "violation",
-                  Str
-                    (Format.asprintf "%a" Csp.Refine.pp_violation
-                       cex.Csp.Refine.violation) );
-              ] );
-        ]
-      | Csp.Refine.Inconclusive (stats, hint) ->
-        [
-          "verdict", Str "inconclusive";
-          "stats", stats_json stats;
-          ( "resume_hint",
-            Obj
-              [
-                "frontier", num hint.Csp.Refine.frontier;
-                ( "exhausted",
-                  Str
-                    (match hint.Csp.Refine.exhausted with
-                     | Csp.Refine.Deadline -> "deadline"
-                     | Csp.Refine.States -> "states"
-                     | Csp.Refine.Pairs -> "pairs") );
-                "deepest", labels hint.Csp.Refine.deepest;
-              ] );
-        ]
-    in
-    Obj (base @ rest)
+  let base =
+    [
+      "index", num i;
+      "assertion", Str (Format.asprintf "%a" Print.pp_assertion o.assertion);
+    ]
+    @ (match o.pos with
+       | Some p ->
+         [ "line", num p.Ast.line; "col", num p.Ast.col ]
+       | None -> [])
   in
-  let count p = List.length (List.filter p outcomes) in
+  let rest =
+    match o.result with
+    | Csp.Refine.Holds stats ->
+      [ "verdict", Str "pass"; "stats", stats_json stats ]
+    | Csp.Refine.Fails cex ->
+      [
+        "verdict", Str "fail";
+        ( "counterexample",
+          Obj
+            [
+              "trace", labels cex.Csp.Refine.trace;
+              ( "violation",
+                Str
+                  (Format.asprintf "%a" Csp.Refine.pp_violation
+                     cex.Csp.Refine.violation) );
+            ] );
+      ]
+    | Csp.Refine.Inconclusive (stats, hint) ->
+      [
+        "verdict", Str "inconclusive";
+        "stats", stats_json stats;
+        ( "resume_hint",
+          Obj
+            ([
+               "frontier", num hint.Csp.Refine.frontier;
+               ( "exhausted",
+                 Str
+                   (Csp.Search.budget_kind_to_string
+                      hint.Csp.Refine.exhausted) );
+               "deepest", labels hint.Csp.Refine.deepest;
+             ]
+            @
+            match hint.Csp.Refine.checkpoint with
+            | Some cp -> [ "checkpoint", Csp.Search.json_of_checkpoint cp ]
+            | None -> []) );
+      ]
+  in
+  Obj (base @ rest)
+
+(* Assemble the "cspm-check/1" report from already-rendered outcome
+   objects. Split out from [json_of_outcomes] so a resumed run can splice
+   the outcomes recorded in its checkpoint (rendered by the interrupted
+   process) in front of the ones it computed itself; the summary is
+   recounted from the "verdict" fields either way. *)
+let report_of_json_outcomes outcome_jsons =
+  let open Obs.Json in
+  let num n = Num (float_of_int n) in
+  let verdict j =
+    match member "verdict" j with Some (Str s) -> s | _ -> ""
+  in
+  let count v =
+    List.length (List.filter (fun j -> String.equal (verdict j) v) outcome_jsons)
+  in
   Obj
     [
       "schema", Str "cspm-check/1";
-      "assertions", List (List.mapi outcome_json outcomes);
+      "assertions", List outcome_jsons;
       ( "summary",
         Obj
           [
-            "total", num (List.length outcomes);
-            ( "passed",
-              num
-                (count (fun o -> Csp.Refine.holds o.result)) );
-            ( "failed",
-              num
-                (count (fun o ->
-                     match o.result with
-                     | Csp.Refine.Fails _ -> true
-                     | _ -> false)) );
-            ( "inconclusive",
-              num (count (fun o -> Csp.Refine.inconclusive o.result)) );
+            "total", num (List.length outcome_jsons);
+            "passed", num (count "pass");
+            "failed", num (count "fail");
+            "inconclusive", num (count "inconclusive");
           ] );
     ]
+
+let json_of_outcomes outcomes =
+  report_of_json_outcomes (List.mapi json_of_outcome outcomes)
 
 let pp_outcome ppf o =
   let status =
@@ -256,3 +271,101 @@ let pp_outcomes ppf outcomes =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
     pp_outcome ppf outcomes
+
+(* ------------------------------------------------------------------ *)
+(* Interruptible sequential runner + the "cspm-checkpoint/1" document  *)
+(* ------------------------------------------------------------------ *)
+
+type stop = {
+  next_index : int;  (** the assertion that was interrupted *)
+  search : Csp.Search.checkpoint option;
+}
+
+let run_seq ?(start = 0) ?resume_first ~(config : Csp.Check_config.t)
+    (loaded : Elaborate.t) =
+  let defs = loaded.Elaborate.defs in
+  let assertions = Array.of_list loaded.Elaborate.assertions in
+  let n = Array.length assertions in
+  let t0 = Obs.now () in
+  let rec go i acc =
+    if i >= n then (List.rev acc, None)
+    else begin
+      let assertion, pos = assertions.(i) in
+      let config =
+        match config.Csp.Check_config.deadline with
+        | Some total ->
+          let remaining_wall = total -. (Obs.now () -. t0) in
+          Csp.Check_config.with_deadline
+            (slice ~remaining_wall ~remaining:(n - i))
+            config
+        | None -> config
+      in
+      let resume = if i = start then resume_first else None in
+      let result =
+        Obs.span config.Csp.Check_config.obs "check.assertion" (fun () ->
+            run_prepared ~config ?resume defs (prepare loaded assertion))
+      in
+      let o = { assertion; pos = Some pos; result } in
+      match result with
+      | Csp.Refine.Inconclusive (_, hint)
+        when hint.Csp.Refine.exhausted = Csp.Refine.Interrupt ->
+        (* The interrupted outcome still joins the partial report, but the
+           stop record excludes it from [completed]: resuming re-runs this
+           assertion (from its engine checkpoint when one exists). *)
+        ( List.rev (o :: acc),
+          Some { next_index = i; search = hint.Csp.Refine.checkpoint } )
+      | _ -> go (i + 1) (o :: acc)
+    end
+  in
+  go start []
+
+type resume_state = {
+  script_digest : string;
+  completed : Obs.Json.t list;
+  next_index : int;
+  search : Csp.Search.checkpoint option;
+}
+
+let checkpoint_schema = "cspm-checkpoint/1"
+
+let json_of_resume_state st =
+  let open Obs.Json in
+  Obj
+    [
+      "schema", Str checkpoint_schema;
+      "script_digest", Str st.script_digest;
+      "completed", List st.completed;
+      "next_index", Num (float_of_int st.next_index);
+      ( "search",
+        match st.search with
+        | Some cp -> Csp.Search.json_of_checkpoint cp
+        | None -> Null );
+    ]
+
+let resume_state_of_json json =
+  let open Obs.Json in
+  let str k = Option.bind (member k json) to_str in
+  match str "schema" with
+  | Some s when String.equal s checkpoint_schema -> begin
+    match
+      ( str "script_digest",
+        member "completed" json,
+        Option.bind (member "next_index" json) to_int,
+        member "search" json )
+    with
+    | Some script_digest, Some (List completed), Some next_index, search
+      when next_index >= 0 && List.length completed = next_index ->
+      let search =
+        match search with
+        | None | Some Null -> Ok None
+        | Some j -> Result.map Option.some (Csp.Search.checkpoint_of_json j)
+      in
+      Result.map
+        (fun search -> { script_digest; completed; next_index; search })
+        search
+    | _ ->
+      Error
+        "cspm-checkpoint/1: malformed fields (need script_digest, \
+         completed with exactly next_index entries, next_index >= 0)"
+  end
+  | _ -> Error "not a cspm-checkpoint/1 document"

@@ -26,6 +26,33 @@ val slice : remaining_wall:float -> remaining:int -> float
     [remaining_wall / remaining], clamped to be non-negative. Exposed so
     the rolling-budget arithmetic is testable on its own. *)
 
+type stop = {
+  next_index : int;  (** the assertion that was interrupted *)
+  search : Csp.Search.checkpoint option;
+      (** the engine checkpoint of the interrupted product search; [None]
+          when the interrupt landed outside a checkpointable search *)
+}
+
+val run_seq :
+  ?start:int ->
+  ?resume_first:Csp.Search.checkpoint ->
+  config:Csp.Check_config.t ->
+  Elaborate.t ->
+  outcome list * stop option
+(** The interruptible sequential runner behind [cspm_check
+    --checkpoint-out]/[--resume]. Runs assertions [start..] in script
+    order (default [start = 0]), resuming the first one from
+    [resume_first] when given. Stops early when an assertion comes back
+    {!Csp.Refine.Inconclusive} with [exhausted = Interrupt] (the
+    cancellation token tripped): the interrupted outcome is still the
+    last element of the returned list — so a valid partial report can be
+    written — but the {!stop} record points at it as the assertion to
+    re-run. [stop = None] means the sequence ran to the end.
+
+    A [config.deadline] is a rolling budget over the assertions actually
+    run, recomputed per assertion exactly like {!run}'s sequential
+    deadline path. *)
+
 val run : ?config:Csp.Check_config.t -> Elaborate.t -> outcome list
 (** Run every [assert], reporting outcomes in script order. A
     [config.deadline] covers the whole run; each assertion's slice is
@@ -75,8 +102,49 @@ val json_of_outcomes : outcome list -> Obs.Json.t
     v}
 
     New fields may be added over time; existing fields keep their names
-    and meanings. Timing fields ([wall_s], [states_per_sec],
-    [par_speedup]) vary run to run; everything else is deterministic. *)
+    and meanings (this revision adds ["resume_hint"]["checkpoint"] — the
+    engine checkpoint, when one exists — and widened ["exhausted"] to the
+    full {!Csp.Search.budget_kind_to_string} vocabulary). Timing fields
+    ([wall_s], [states_per_sec], [par_speedup]) vary run to run;
+    everything else is deterministic. *)
+
+val json_of_outcome : int -> outcome -> Obs.Json.t
+(** One entry of the report's ["assertions"] array, at index [i]. *)
+
+val report_of_json_outcomes : Obs.Json.t list -> Obs.Json.t
+(** Wrap already-rendered outcome objects into a full ["cspm-check/1"]
+    report, recounting the summary from their ["verdict"] fields.
+    [json_of_outcomes os = report_of_json_outcomes (List.mapi
+    json_of_outcome os)]; a resumed run splices the outcome objects
+    stored in its checkpoint in front of the ones it computed itself. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_outcomes : Format.formatter -> outcome list -> unit
+
+(** {2 The ["cspm-checkpoint/1"] document}
+
+    What [cspm_check --checkpoint-out] writes and [--resume] reads: the
+    script digest (resuming against a different script is refused
+    up-front), the rendered outcomes of the assertions that completed,
+    the index of the assertion to re-run, and — when the interrupt landed
+    inside a product search — the engine checkpoint to fast-forward it
+    from. *)
+
+type resume_state = {
+  script_digest : string;
+      (** hex digest of the script source the checkpoint belongs to *)
+  completed : Obs.Json.t list;
+      (** rendered {!json_of_outcome} objects for assertions
+          [0 .. next_index - 1] *)
+  next_index : int;  (** the assertion to re-run *)
+  search : Csp.Search.checkpoint option;
+}
+
+val checkpoint_schema : string
+(** ["cspm-checkpoint/1"]. *)
+
+val json_of_resume_state : resume_state -> Obs.Json.t
+
+val resume_state_of_json : Obs.Json.t -> (resume_state, string) result
+(** Validates the schema tag, that [completed] has exactly [next_index]
+    entries, and the embedded engine checkpoint (when non-null). *)

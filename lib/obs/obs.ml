@@ -30,7 +30,10 @@ module Json = struct
     Buffer.add_char buf '"'
 
   let add_num buf f =
-    if Float.is_integer f && Float.abs f < 1e15 then
+    (* Integral values print as integers up to 2^53, the last float whose
+       integer neighbourhood is exact — checkpoint digests are 52-bit and
+       must survive the round trip bit-for-bit. *)
+    if Float.is_integer f && Float.abs f < 9007199254740992. then
       Buffer.add_string buf (Printf.sprintf "%.0f" f)
     else Buffer.add_string buf (Printf.sprintf "%.9g" f)
 

@@ -1,0 +1,19 @@
+let with_atomic_out ~path f =
+  let temp_dir = Filename.dirname path in
+  let tmp, oc =
+    Filename.open_temp_file ~temp_dir ~mode:[ Open_binary ]
+      ("." ^ Filename.basename path ^ ".")
+      ".tmp"
+  in
+  match
+    f oc;
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let atomic_write ~path contents =
+  with_atomic_out ~path (fun oc -> output_string oc contents)

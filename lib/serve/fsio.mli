@@ -1,0 +1,19 @@
+(** Crash-safe file output.
+
+    Every artifact the tools leave behind (JSON reports, observability
+    streams, checkpoints) is written through here: the bytes go to a
+    hidden temporary file in the destination's own directory and the
+    temporary is renamed over the target only after a clean close. A
+    rename within one directory is atomic on POSIX filesystems, so a
+    crash, signal, or full disk mid-write leaves either the previous
+    file or no file — never a truncated artifact that parses as garbage. *)
+
+val with_atomic_out : path:string -> (out_channel -> unit) -> unit
+(** [with_atomic_out ~path f] runs [f] on a channel to a fresh temporary
+    file next to [path], then renames it over [path]. If [f] raises (or
+    the close fails), the temporary is removed and [path] is untouched;
+    the exception propagates. *)
+
+val atomic_write : path:string -> string -> unit
+(** [atomic_write ~path contents] is [with_atomic_out] of one
+    [output_string]. *)

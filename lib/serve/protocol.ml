@@ -1,0 +1,111 @@
+let schema = "cspm-checkd/1"
+
+type script_source = Inline of string | Path of string
+
+type job = {
+  id : string;
+  source : script_source;
+  deadline_s : float option;
+  workers : int;
+  max_states : int option;
+  max_retries : int option;
+}
+
+type request = Submit of job | Health | Drain
+
+let request_of_line line =
+  let open Obs.Json in
+  match parse line with
+  | Error msg -> Error ("request is not JSON: " ^ msg)
+  | Ok json -> (
+    let str k = Option.bind (member k json) to_str in
+    let int k = Option.bind (member k json) to_int in
+    let num k =
+      match member k json with Some (Num f) -> Some f | _ -> None
+    in
+    match str "schema" with
+    | Some s when not (String.equal s schema) ->
+      Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+    | _ -> (
+      match str "op" with
+      | Some "health" -> Ok Health
+      | Some "drain" -> Ok Drain
+      | Some "submit" -> (
+        match str "id" with
+        | None -> Error "submit needs a string \"id\""
+        | Some id -> (
+          let submit source =
+            Ok
+              (Submit
+                 {
+                   id;
+                   source;
+                   deadline_s = num "deadline_s";
+                   workers = Option.value (int "workers") ~default:1;
+                   max_states = int "max_states";
+                   max_retries = int "max_retries";
+                 })
+          in
+          match str "script", str "path" with
+          | None, None -> Error "submit needs \"script\" or \"path\""
+          | Some _, Some _ ->
+            Error "submit takes \"script\" or \"path\", not both"
+          | Some s, None -> submit (Inline s)
+          | None, Some p -> submit (Path p)))
+      | Some op -> Error (Printf.sprintf "unknown op %S" op)
+      | None -> Error "request has no \"op\""))
+
+let event name fields =
+  Obs.Json.Obj (("schema", Obs.Json.Str schema)
+                :: ("event", Obs.Json.Str name)
+                :: fields)
+
+let num n = Obs.Json.Num (float_of_int n)
+
+let accepted ~id ~queue_depth =
+  event "accepted"
+    [ "id", Obs.Json.Str id; "queue_depth", num queue_depth ]
+
+let rejected ~id ~reason =
+  event "rejected"
+    ((match id with Some id -> [ "id", Obs.Json.Str id ] | None -> [])
+    @ [ "reason", Obs.Json.Str reason ])
+
+let started ~id ~attempt =
+  event "started" [ "id", Obs.Json.Str id; "attempt", num attempt ]
+
+let retrying ~id ~attempt ~backoff_s ~resumed =
+  event "retrying"
+    [
+      "id", Obs.Json.Str id;
+      "attempt", num attempt;
+      "backoff_s", Obs.Json.Num backoff_s;
+      "resumed", Obs.Json.Bool resumed;
+    ]
+
+let result ~id ~attempts ~interrupted ~report =
+  event "result"
+    ([ "id", Obs.Json.Str id; "attempts", num attempts ]
+    @ (if interrupted then [ "interrupted", Obs.Json.Bool true ] else [])
+    @ [ "report", report ])
+
+let failed ~id ~attempts ~reason =
+  event "failed"
+    [
+      "id", Obs.Json.Str id;
+      "attempts", num attempts;
+      "reason", Obs.Json.Str reason;
+    ]
+
+let health ~queued ~done_ ~failed ~retries ~draining =
+  event "health"
+    [
+      "queued", num queued;
+      "done", num done_;
+      "failed", num failed;
+      "retries", num retries;
+      "draining", Obs.Json.Bool draining;
+    ]
+
+let drained ~done_ ~failed =
+  event "drained" [ "done", num done_; "failed", num failed ]

@@ -1,0 +1,74 @@
+(** The ["cspm-checkd/1"] wire protocol.
+
+    The daemon speaks newline-delimited JSON over stdio: one request
+    object per line on stdin, one event object per line on stdout. Every
+    object carries ["schema": "cspm-checkd/1"]; job results embed the
+    existing ["cspm-check/1"] report document unchanged, so a client that
+    already parses [cspm_check --format json] output parses daemon
+    results too.
+
+    Requests:
+    {v
+    { "op": "submit", "id": "job-1",
+      "script": "<inline CSPm source>" | "path": "model.csp",
+      "deadline_s": 5.0,     // optional per-attempt wall budget
+      "workers": 2,          // optional, default 1
+      "max_states": 100000,  // optional
+      "max_retries": 3 }     // optional, default from the runner
+    { "op": "health" }
+    { "op": "drain" }
+    v}
+
+    Events: [accepted], [rejected] (backpressure or a malformed
+    request), [started], [retrying], [result] (with the embedded report,
+    and ["interrupted": true] when the job was cut short by daemon
+    shutdown), [failed] (the script would not load), [health], and
+    [drained] (always the last line before the daemon exits). *)
+
+val schema : string
+(** ["cspm-checkd/1"]. *)
+
+type script_source =
+  | Inline of string  (** CSPm source carried in the request itself *)
+  | Path of string  (** load from the daemon's filesystem *)
+
+type job = {
+  id : string;
+  source : script_source;
+  deadline_s : float option;
+      (** wall budget per attempt; the runner doubles it on every retry
+          so a too-tight first guess still converges *)
+  workers : int;
+  max_states : int option;
+  max_retries : int option;  (** [None] = the runner's default *)
+}
+
+type request = Submit of job | Health | Drain
+
+val request_of_line : string -> (request, string) result
+(** Parse one stdin line. Unknown ops, missing required fields, and a
+    wrong ["schema"] (when present) are [Error] with a reason suitable
+    for a [rejected] event. *)
+
+(** {2 Events} — each returns the complete single-line JSON object. *)
+
+val accepted : id:string -> queue_depth:int -> Obs.Json.t
+val rejected : id:string option -> reason:string -> Obs.Json.t
+val started : id:string -> attempt:int -> Obs.Json.t
+
+val retrying :
+  id:string -> attempt:int -> backoff_s:float -> resumed:bool -> Obs.Json.t
+(** [resumed] is [true] when the next attempt continues from the
+    previous attempt's engine checkpoint rather than restarting. *)
+
+val result :
+  id:string -> attempts:int -> interrupted:bool -> report:Obs.Json.t ->
+  Obs.Json.t
+
+val failed : id:string -> attempts:int -> reason:string -> Obs.Json.t
+
+val health :
+  queued:int -> done_:int -> failed:int -> retries:int -> draining:bool ->
+  Obs.Json.t
+
+val drained : done_:int -> failed:int -> Obs.Json.t

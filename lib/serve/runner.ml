@@ -1,0 +1,333 @@
+type config = {
+  queue_limit : int;
+  default_retries : int;
+  backoff_base_s : float;
+  backoff_max_s : float;
+  seed : int;
+  sleep : float -> unit;
+  emit : Obs.Json.t -> unit;
+  obs : Obs.t;
+  cancel : Signals.token;
+}
+
+let default_config ~emit =
+  {
+    queue_limit = 16;
+    default_retries = 2;
+    backoff_base_s = 0.05;
+    backoff_max_s = 2.0;
+    seed = 0x5eed;
+    sleep = Unix.sleepf;
+    emit;
+    obs = Obs.silent;
+    cancel = Signals.create ();
+  }
+
+type t = {
+  cfg : config;
+  queue : Protocol.job Queue.t;
+  mutable draining : bool;
+  mutable jobs_done : int;
+  mutable jobs_failed : int;
+  mutable retries : int;
+  rng : Random.State.t;
+  g_queue : Obs.gauge;
+  g_done : Obs.gauge;
+  g_failed : Obs.gauge;
+  c_retries : Obs.counter;
+}
+
+let create cfg =
+  {
+    cfg;
+    queue = Queue.create ();
+    draining = false;
+    jobs_done = 0;
+    jobs_failed = 0;
+    retries = 0;
+    rng = Random.State.make [| cfg.seed |];
+    g_queue = Obs.gauge cfg.obs "serve.queue_depth";
+    g_done = Obs.gauge cfg.obs "serve.jobs_done";
+    g_failed = Obs.gauge cfg.obs "serve.jobs_failed";
+    c_retries = Obs.counter cfg.obs "serve.retries";
+  }
+
+let queue_depth t = Queue.length t.queue
+let draining t = t.draining
+
+let note_done t =
+  t.jobs_done <- t.jobs_done + 1;
+  Obs.set t.g_done (float_of_int t.jobs_done)
+
+let note_failed t =
+  t.jobs_failed <- t.jobs_failed + 1;
+  Obs.set t.g_failed (float_of_int t.jobs_failed)
+
+let submit t (job : Protocol.job) =
+  if t.draining then
+    t.cfg.emit (Protocol.rejected ~id:(Some job.Protocol.id) ~reason:"draining")
+  else if Queue.length t.queue >= t.cfg.queue_limit then
+    t.cfg.emit
+      (Protocol.rejected ~id:(Some job.Protocol.id) ~reason:"queue full")
+  else begin
+    Queue.add job t.queue;
+    Obs.set t.g_queue (float_of_int (Queue.length t.queue));
+    t.cfg.emit
+      (Protocol.accepted ~id:job.Protocol.id
+         ~queue_depth:(Queue.length t.queue))
+  end
+
+let emit_health t =
+  t.cfg.emit
+    (Protocol.health ~queued:(Queue.length t.queue) ~done_:t.jobs_done
+       ~failed:t.jobs_failed ~retries:t.retries ~draining:t.draining)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_job (job : Protocol.job) =
+  let source =
+    match job.Protocol.source with
+    | Protocol.Inline src -> src
+    | Protocol.Path p -> read_file p
+  in
+  match Cspm.Elaborate.load_string source with
+  | loaded -> Ok loaded
+  | exception Sys_error msg -> Error msg
+  | exception Cspm.Parser.Parse_error (msg, pos) ->
+    Error (Format.asprintf "%a: syntax error: %s" Cspm.Ast.pp_pos pos msg)
+  | exception Cspm.Lexer.Lex_error (msg, pos) ->
+    Error (Format.asprintf "%a: lexical error: %s" Cspm.Ast.pp_pos pos msg)
+  | exception Cspm.Elaborate.Elab_error (msg, pos) ->
+    Error
+      (match pos with
+      | Some pos -> Format.asprintf "%a: %s" Cspm.Ast.pp_pos pos msg
+      | None -> msg)
+  | exception Stack_overflow -> Error "stack overflow while loading script"
+  | exception Out_of_memory -> Error "out of memory while loading script"
+
+(* Exercise the wire codec on every retry: a checkpoint that cannot
+   survive its own JSON round trip must fail here, in the daemon, not in
+   a client's hands. *)
+let roundtrip_checkpoint cp =
+  let encoded = Obs.Json.to_string (Csp.Search.json_of_checkpoint cp) in
+  match Obs.Json.parse encoded with
+  | Error msg -> invalid_arg ("checkpoint does not re-parse: " ^ msg)
+  | Ok json -> (
+    match Csp.Search.checkpoint_of_json json with
+    | Ok cp -> cp
+    | Error msg -> invalid_arg ("checkpoint does not round-trip: " ^ msg))
+
+let backoff t attempt =
+  let base =
+    t.cfg.backoff_base_s *. (2. ** float_of_int (attempt - 1))
+  in
+  let capped = Float.min base t.cfg.backoff_max_s in
+  (* jitter in [0.5x, 1.5x): desynchronises a fleet of retrying daemons *)
+  capped *. (0.5 +. Random.State.float t.rng 1.0)
+
+(* An attempt "timed out" when an outcome ran out of wall clock or hit
+   the memory watermark — both are curable by another attempt with a
+   doubled budget. State/pair exhaustion is a model-size problem retries
+   cannot fix, so those outcomes stand. *)
+let timed_out (o : Cspm.Check.outcome) =
+  match o.Cspm.Check.result with
+  | Csp.Refine.Inconclusive (_, hint) -> (
+    match hint.Csp.Refine.exhausted with
+    | Csp.Refine.Deadline | Csp.Refine.Memory -> true
+    | _ -> false)
+  | _ -> false
+
+let checkpoint_of (o : Cspm.Check.outcome) =
+  match o.Cspm.Check.result with
+  | Csp.Refine.Inconclusive (_, hint) -> hint.Csp.Refine.checkpoint
+  | _ -> None
+
+let rec first_timeout i = function
+  | [] -> None
+  | o :: rest -> if timed_out o then Some (i, o) else first_timeout (i + 1) rest
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let run_job t (job : Protocol.job) =
+  let cfg = t.cfg in
+  let retries =
+    Option.value job.Protocol.max_retries ~default:cfg.default_retries
+  in
+  match load_job job with
+  | Error reason ->
+    cfg.emit (Protocol.failed ~id:job.Protocol.id ~attempts:1 ~reason);
+    note_failed t
+  | Ok loaded ->
+    let render start outcomes =
+      List.mapi (fun i o -> Cspm.Check.json_of_outcome (start + i) o) outcomes
+    in
+    (* [completed]: rendered outcomes settled by earlier attempts, in
+       script order; each retry re-runs only from the first timed-out
+       assertion onward. *)
+    let rec attempt k ~start ~completed ~resume ~deadline_s =
+      cfg.emit (Protocol.started ~id:job.Protocol.id ~attempt:k);
+      let config =
+        let open Csp.Check_config in
+        let c =
+          default
+          |> with_workers (max 1 job.Protocol.workers)
+          |> with_obs cfg.obs
+          |> with_cancel (Signals.read cfg.cancel)
+        in
+        let c =
+          match job.Protocol.max_states with
+          | Some n -> with_max_states n c
+          | None -> c
+        in
+        match deadline_s with Some d -> with_deadline d c | None -> c
+      in
+      let resume_first = Option.map roundtrip_checkpoint resume in
+      let outcomes, stop =
+        Cspm.Check.run_seq ~start ?resume_first ~config loaded
+      in
+      match stop with
+      | Some _ ->
+        (* daemon shutdown interrupted the search mid-job: report what we
+           have as a valid partial document and stop retrying *)
+        let report =
+          Cspm.Check.report_of_json_outcomes
+            (completed @ render start outcomes)
+        in
+        cfg.emit
+          (Protocol.result ~id:job.Protocol.id ~attempts:k ~interrupted:true
+             ~report);
+        note_failed t
+      | None -> (
+        match (if k <= retries then first_timeout 0 outcomes else None) with
+        | Some (rel, o) ->
+          let completed = completed @ render start (take rel outcomes) in
+          let resume = checkpoint_of o in
+          let pause = backoff t k in
+          t.retries <- t.retries + 1;
+          Obs.incr t.c_retries;
+          cfg.emit
+            (Protocol.retrying ~id:job.Protocol.id ~attempt:(k + 1)
+               ~backoff_s:pause
+               ~resumed:(Option.is_some resume));
+          cfg.sleep pause;
+          attempt (k + 1) ~start:(start + rel) ~completed ~resume
+            ~deadline_s:(Option.map (fun d -> d *. 2.) deadline_s)
+        | None ->
+          let report =
+            Cspm.Check.report_of_json_outcomes
+              (completed @ render start outcomes)
+          in
+          cfg.emit
+            (Protocol.result ~id:job.Protocol.id ~attempts:k
+               ~interrupted:false ~report);
+          note_done t)
+    in
+    attempt 1 ~start:0 ~completed:[] ~resume:None
+      ~deadline_s:job.Protocol.deadline_s
+
+let fail_queued t reason =
+  Queue.iter
+    (fun (j : Protocol.job) ->
+      t.cfg.emit (Protocol.failed ~id:j.Protocol.id ~attempts:0 ~reason);
+      note_failed t)
+    t.queue;
+  Queue.clear t.queue;
+  Obs.set t.g_queue 0.
+
+let run_pending t =
+  let rec go () =
+    if Signals.tripped t.cfg.cancel then begin
+      t.draining <- true;
+      fail_queued t "daemon interrupted"
+    end
+    else
+      match Queue.take_opt t.queue with
+      | None -> ()
+      | Some job ->
+        Obs.set t.g_queue (float_of_int (Queue.length t.queue));
+        run_job t job;
+        go ()
+  in
+  go ()
+
+let drain t =
+  t.draining <- true;
+  run_pending t;
+  t.cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+
+let request t = function
+  | Protocol.Submit job -> submit t job
+  | Protocol.Health -> emit_health t
+  | Protocol.Drain -> t.draining <- true
+
+(* One reader domain feeds a mutex-protected inbox so the main loop can
+   interleave job execution with request ingestion (and notice a drain or
+   signal between jobs). The reader blocks in [input_line]; it is never
+   joined — process exit reaps it. *)
+type inbox = {
+  mu : Mutex.t;
+  lines : string Queue.t;
+  mutable eof : bool;
+}
+
+let serve cfg ic =
+  let t = create cfg in
+  let inbox = { mu = Mutex.create (); lines = Queue.create (); eof = false } in
+  let _reader : unit Domain.t =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match input_line ic with
+          | line ->
+            Mutex.lock inbox.mu;
+            Queue.add line inbox.lines;
+            Mutex.unlock inbox.mu;
+            loop ()
+          | exception End_of_file ->
+            Mutex.lock inbox.mu;
+            inbox.eof <- true;
+            Mutex.unlock inbox.mu
+        in
+        loop ())
+  in
+  let pop () =
+    Mutex.lock inbox.mu;
+    let line = Queue.take_opt inbox.lines in
+    let eof = inbox.eof in
+    Mutex.unlock inbox.mu;
+    (line, eof)
+  in
+  let rec loop () =
+    if Signals.tripped cfg.cancel then begin
+      t.draining <- true;
+      fail_queued t "daemon interrupted";
+      cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+    end
+    else
+      match pop () with
+      | Some line, _ ->
+        (match Protocol.request_of_line line with
+        | Ok req -> request t req
+        | Error reason -> cfg.emit (Protocol.rejected ~id:None ~reason));
+        loop ()
+      | None, eof -> (
+        if eof then t.draining <- true;
+        match Queue.take_opt t.queue with
+        | Some job ->
+          Obs.set t.g_queue (float_of_int (Queue.length t.queue));
+          run_job t job;
+          loop ()
+        | None ->
+          if t.draining then
+            cfg.emit
+              (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+          else begin
+            (* idle: nothing queued, input still open *)
+            cfg.sleep 0.02;
+            loop ()
+          end)
+  in
+  loop ()

@@ -1,0 +1,17 @@
+type token = bool Atomic.t
+
+let create () = Atomic.make false
+let trip t = Atomic.set t true
+let tripped t = Atomic.get t
+let read t () = Atomic.get t
+
+let install_termination t =
+  let handle signo =
+    (* First signal: degrade gracefully. Second signal of the same kind:
+       the default (fatal) behaviour, because this handler is gone. *)
+    Sys.set_signal signo Sys.Signal_default;
+    Atomic.set t true
+  in
+  List.iter
+    (fun signo -> Sys.set_signal signo (Sys.Signal_handle handle))
+    [ Sys.sigint; Sys.sigterm ]

@@ -1,0 +1,28 @@
+(** Cancellation tokens and termination-signal plumbing.
+
+    The search engine polls a [unit -> bool] token once per 256 dequeues;
+    this module provides the token (a single atomic flag, safe to trip
+    from a signal handler or another domain) and the one place in the
+    codebase allowed to install handlers for SIGINT/SIGTERM. The lint in
+    [tools/lint.ml] bans signal installation and sleeping elsewhere under
+    [lib/] so that interruption policy stays in this subsystem. *)
+
+type token
+
+val create : unit -> token
+(** A fresh, untripped token. *)
+
+val trip : token -> unit
+(** Trip the token; idempotent, async-signal-safe, domain-safe. *)
+
+val tripped : token -> bool
+
+val read : token -> unit -> bool
+(** The closure form expected by [Csp.Check_config.with_cancel]:
+    [read t] is a function that returns [tripped t]. *)
+
+val install_termination : token -> unit
+(** Install handlers for SIGINT and SIGTERM that trip [t]. Each handler
+    restores that signal's default behaviour as its first act, so a
+    second signal of the same kind kills the process outright — graceful
+    degradation must never make a hung process unkillable. *)

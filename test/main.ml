@@ -37,4 +37,6 @@ let () =
       Test_search_par.suite;
       Test_obs.suite;
       Test_analysis.suite;
+      Test_checkpoint.suite;
+      Test_serve.suite;
     ]

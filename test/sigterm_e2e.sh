@@ -1,0 +1,64 @@
+#!/bin/sh
+# Crash-safe checking, end to end: SIGTERM mid-search must exit with the
+# documented interrupt code (5) leaving a valid cspm-checkpoint/1 file
+# and a valid partial cspm-check/1 report; --resume must then complete
+# with a report identical to an uninterrupted run's, byte for byte once
+# the wall-clock timing fields are stripped — and clean up the now-stale
+# checkpoint.
+set -e
+bin="$1"
+fixture="$2"
+
+# dune hands us paths relative to the build directory; make them
+# absolute, then do all the work in a throwaway directory so the rule
+# leaves no undeclared artifacts behind.
+case "$bin" in /*) ;; *) bin="$(pwd)/$bin" ;; esac
+case "$fixture" in /*) ;; *) fixture="$(pwd)/$fixture" ;; esac
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+strip_timing() {
+  sed -E 's/"wall_s":[0-9.eE+-]+,//g;
+          s/"states_per_sec":[0-9.eE+-]+,//g;
+          s/,"par_speedup":[0-9.eE+-]+//g' "$1"
+}
+
+# Reference: the uninterrupted run.
+"$bin" --format json -o full.json "$fixture"
+
+# Interrupted run: SIGTERM well inside the multi-second search.
+"$bin" --format json -o part.json --checkpoint-out ck.json "$fixture" &
+pid=$!
+sleep 0.3
+kill -TERM "$pid" 2>/dev/null || true
+set +e
+wait "$pid"
+code=$?
+set -e
+if [ "$code" -ne 5 ]; then
+  echo "interrupted run exited $code, want 5" >&2
+  exit 1
+fi
+
+grep -q '"schema":"cspm-checkpoint/1"' ck.json
+grep -q '"schema":"cspm-check/1"' part.json
+grep -q '"verdict":"inconclusive"' part.json
+grep -q '"exhausted":"interrupt"' part.json
+grep -q '"checkpoint"' part.json
+
+# Resume: must complete (exit 0) and remove the stale checkpoint.
+"$bin" --format json -o resumed.json --resume ck.json --checkpoint-out ck.json "$fixture"
+if [ -f ck.json ]; then
+  echo "stale checkpoint survived a completed resume" >&2
+  exit 1
+fi
+
+strip_timing full.json > full.norm
+strip_timing resumed.json > resumed.norm
+if ! cmp -s full.norm resumed.norm; then
+  echo "resumed report differs from the uninterrupted run:" >&2
+  diff full.norm resumed.norm >&2 || true
+  exit 1
+fi
+echo ok

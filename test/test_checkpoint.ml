@@ -1,0 +1,365 @@
+(* Crash-safe checking: the checkpoint/resume machinery must be invisible
+   in the verdicts. Interrupting a search — by pair budget, cancellation
+   token, or heap watermark — and resuming from the checkpoint (JSON
+   round-tripped, at any worker count) must reproduce the uninterrupted
+   run's verdict, counterexample, and structural stats byte for byte; a
+   checkpoint replayed against the wrong model must be refused. *)
+
+open Csp
+
+let check_string = Alcotest.(check string)
+
+(* Same canonical rendering as test_search_par: everything but the
+   timing/pool fields, which legitimately vary. *)
+let render result =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match result with
+   | Refine.Holds s ->
+     Format.fprintf ppf "Holds impl=%d spec=%d pairs=%d" s.Refine.impl_states
+       s.Refine.spec_nodes s.Refine.pairs
+   | Refine.Fails cex ->
+     Format.fprintf ppf "Fails %a" Refine.pp_counterexample cex
+   | Refine.Inconclusive (s, hint) ->
+     Format.fprintf ppf "Inconclusive impl=%d spec=%d pairs=%d %a"
+       s.Refine.impl_states s.Refine.spec_nodes s.Refine.pairs
+       Refine.pp_resume_hint hint);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let worker_counts = [ 1; 2; 4 ]
+
+(* Serialize + reparse, as every consumer of a checkpoint file does. *)
+let roundtrip cp =
+  let encoded = Obs.Json.to_string (Search.json_of_checkpoint cp) in
+  match Obs.Json.parse encoded with
+  | Error msg -> Alcotest.failf "checkpoint does not re-parse: %s" msg
+  | Ok json -> (
+    match Search.checkpoint_of_json json with
+    | Ok cp -> cp
+    | Error msg -> Alcotest.failf "checkpoint does not round-trip: %s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* A model big enough to be interruptible: the budget/cancel/memory     *)
+(* polls fire once per 256 dequeues, so anything smaller than a couple  *)
+(* of poll intervals can never observe an interrupt. Three interleaved  *)
+(* mod-16 counters give 4096 implementation states.                     *)
+(* ------------------------------------------------------------------ *)
+
+let big_model () =
+  let defs = Defs.create () in
+  List.iter
+    (fun c -> Defs.declare_channel defs c [ Ty.Int_range (0, 15) ])
+    [ "x"; "y"; "z" ];
+  let counter name chan stride =
+    for i = 0 to 15 do
+      Defs.define_proc defs
+        (Printf.sprintf "%s%d" name i)
+        []
+        (Helpers.send chan i
+           (Proc.call (Printf.sprintf "%s%d" name ((i + stride) mod 16), [])))
+    done;
+    Proc.call (name ^ "0", [])
+  in
+  let impl =
+    Proc.inter
+      (counter "P" "x" 1, Proc.inter (counter "Q" "y" 3, counter "R" "z" 5))
+  in
+  let recv chan k = Proc.prefix_items (chan, [ Proc.In ("v", None) ], k) in
+  Defs.define_proc defs "SPEC" []
+    (Proc.ext
+       ( recv "x" (Proc.call ("SPEC", [])),
+         Proc.ext
+           ( recv "y" (Proc.call ("SPEC", [])),
+             recv "z" (Proc.call ("SPEC", [])) ) ));
+  (defs, Proc.call ("SPEC", []), impl)
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_checkpoint_codec () =
+  (* the digest sits near the top of its 52-bit range — above the 1e15
+     cliff where a naive float formatter starts rounding integers *)
+  let cp =
+    {
+      Search.explored = 9728;
+      pairs = 11511;
+      impl_states = 4096;
+      visited_digest = 0xF_FFFF_FFFF_FFFF;
+      deadline_left = Some 1.25;
+      exhausted = Search.Interrupt;
+    }
+  in
+  let cp' = roundtrip cp in
+  Alcotest.(check bool) "all fields survive the JSON round trip" true
+    (cp = cp');
+  let cp_nodl = { cp with Search.deadline_left = None; exhausted = Search.Pairs } in
+  Alcotest.(check bool) "no-deadline variant survives" true
+    (cp_nodl = roundtrip cp_nodl);
+  (match Search.checkpoint_of_json (Obs.Json.Str "nonsense") with
+   | Ok _ -> Alcotest.fail "a non-object parsed as a checkpoint"
+   | Error _ -> ());
+  match
+    Obs.Json.parse
+      {|{"schema":"bogus/1","explored":1,"pairs":1,"impl_states":1,"visited_digest":1,"deadline_left":null,"exhausted":"pairs"}|}
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok json -> (
+    match Search.checkpoint_of_json json with
+    | Ok _ -> Alcotest.fail "a wrong schema tag was accepted"
+    | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: interrupt at a random point, resume, compare                *)
+(* ------------------------------------------------------------------ *)
+
+let interrupt_resume_equals_uninterrupted =
+  QCheck.Test.make ~count:60
+    ~name:"pair-budget cut + JSON round trip + resume equals uninterrupted"
+    QCheck.(triple Helpers.arb_proc Helpers.arb_proc (int_range 1 40))
+    (fun (spec, impl, cut) ->
+      List.for_all
+        (fun model ->
+          let defs = Helpers.make_defs () in
+          let config w =
+            Check_config.(default |> with_max_states 50_000 |> with_workers w)
+          in
+          let expected =
+            render (Refine.check ~config:(config 1) ~model defs ~spec ~impl)
+          in
+          let cut_config =
+            Check_config.(
+              default |> with_max_states 50_000 |> with_max_pairs cut)
+          in
+          match Refine.check ~config:cut_config ~model defs ~spec ~impl with
+          | Refine.Inconclusive (_, { Refine.checkpoint = Some cp; _ }) ->
+            let cp = roundtrip cp in
+            List.for_all
+              (fun w ->
+                let got =
+                  render
+                    (Refine.resume ~config:(config w) ~model ~checkpoint:cp
+                       defs ~spec ~impl)
+                in
+                if String.equal expected got then true
+                else
+                  QCheck.Test.fail_reportf
+                    "resume at workers=%d diverged:@.full: %s@.resumed: %s" w
+                    expected got)
+              worker_counts
+          | other ->
+            (* the cut did not bite (model smaller than the budget, or the
+               exhaustion predates any interned pair): the budgeted result
+               must simply agree with the unbudgeted one *)
+            let got = render other in
+            String.equal expected got
+            || QCheck.Test.fail_reportf
+                 "cut run without checkpoint diverged:@.full: %s@.cut: %s"
+                 expected got)
+        [ Refine.Traces; Refine.Failures ])
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation token                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cancel_token_checkpoint_resume () =
+  let defs, spec, impl = big_model () in
+  let expected = render (Refine.check defs ~spec ~impl) in
+  let calls = ref 0 in
+  let config =
+    Check_config.(
+      default
+      |> with_cancel (fun () ->
+             incr calls;
+             !calls >= 2))
+  in
+  match Refine.check ~config defs ~spec ~impl with
+  | Refine.Inconclusive
+      (stats, { Refine.exhausted = Refine.Interrupt; checkpoint = Some cp; _ })
+    ->
+    Alcotest.(check bool) "interrupt stopped the search early" true
+      (stats.Refine.pairs < 4096);
+    List.iter
+      (fun w ->
+        let config = Check_config.(default |> with_workers w) in
+        check_string
+          (Printf.sprintf "resumed verdict at workers=%d" w)
+          expected
+          (render (Refine.resume ~config ~checkpoint:(roundtrip cp) defs ~spec ~impl)))
+      worker_counts
+  | other ->
+    Alcotest.failf "expected an interrupt checkpoint, got: %s" (render other)
+
+(* ------------------------------------------------------------------ *)
+(* Heap watermark                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_memory_watermark_checkpoint_resume () =
+  let defs, spec, impl = big_model () in
+  let expected = render (Refine.check defs ~spec ~impl) in
+  (* a 1 MB watermark is far below the live heap of a running test
+     binary, so the first poll trips it — deterministically *)
+  let config = Check_config.(default |> with_memory_limit 1) in
+  match Refine.check ~config defs ~spec ~impl with
+  | Refine.Inconclusive
+      (_, { Refine.exhausted = Refine.Memory; checkpoint = Some cp; _ }) ->
+    check_string "resumed without the watermark" expected
+      (render (Refine.resume ~checkpoint:(roundtrip cp) defs ~spec ~impl))
+  | other ->
+    Alcotest.failf "expected a memory-watermark stop, got: %s" (render other)
+
+(* ------------------------------------------------------------------ *)
+(* Refusing foreign checkpoints                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_resume_mismatch () =
+  let defs, spec, impl = big_model () in
+  let config = Check_config.(default |> with_max_pairs 1000) in
+  match Refine.check ~config defs ~spec ~impl with
+  | Refine.Inconclusive (_, { Refine.checkpoint = Some cp; _ }) ->
+    let bad = { cp with Search.visited_digest = cp.Search.visited_digest lxor 1 } in
+    (try
+       ignore (Refine.resume ~checkpoint:bad defs ~spec ~impl);
+       Alcotest.fail "a tampered digest was accepted"
+     with Search.Resume_mismatch _ -> ());
+    (* a model too small to ever reach the recorded position must refuse
+       too, not silently return its own verdict *)
+    let defs2 = Helpers.make_defs () in
+    let p = Helpers.send "a" 0 Proc.stop in
+    (try
+       ignore (Refine.resume ~checkpoint:cp defs2 ~spec:p ~impl:p);
+       Alcotest.fail "a checkpoint from a different model was accepted"
+     with Search.Resume_mismatch _ -> ())
+  | other -> Alcotest.failf "pair budget did not bite: %s" (render other)
+
+(* ------------------------------------------------------------------ *)
+(* The cspm layer: run_seq + the cspm-checkpoint/1 document            *)
+(* ------------------------------------------------------------------ *)
+
+let seq_script =
+  "channel a : {0..1}\n\
+   channel x : {0..15}\n\
+   channel y : {0..15}\n\
+   channel z : {0..15}\n\
+   TINY = a!0 -> STOP\n\
+   P(n) = x!n -> P((n+1)%16)\n\
+   Q(n) = y!n -> Q((n+3)%16)\n\
+   R(n) = z!n -> R((n+5)%16)\n\
+   SYS = P(0) ||| Q(0) ||| R(0)\n\
+   BIG = x?v -> BIG [] y?v -> BIG [] z?v -> BIG\n\
+   assert TINY [T= TINY\n\
+   assert BIG [T= SYS\n"
+
+let test_run_seq_interrupt_and_resume () =
+  let loaded = Cspm.Elaborate.load_string seq_script in
+  let full, stop_full =
+    Cspm.Check.run_seq ~config:Check_config.default loaded
+  in
+  Alcotest.(check bool) "uninterrupted run_seq completes" true
+    (stop_full = None);
+  let expected = List.map (fun o -> render o.Cspm.Check.result) full in
+  (* TINY finishes under one poll interval and never observes the token;
+     the second poll of BIG's search trips it *)
+  let calls = ref 0 in
+  let config =
+    Check_config.(
+      default
+      |> with_cancel (fun () ->
+             incr calls;
+             !calls >= 2))
+  in
+  let outcomes, stop = Cspm.Check.run_seq ~config loaded in
+  match stop with
+  | None -> Alcotest.fail "the cancellation token did not stop the sequence"
+  | Some s ->
+    Alcotest.(check int) "interrupted at the big assertion" 1
+      s.Cspm.Check.next_index;
+    Alcotest.(check int) "partial outcomes include the interrupted one" 2
+      (List.length outcomes);
+    (match (List.nth outcomes 1).Cspm.Check.result with
+     | Refine.Inconclusive (_, hint) ->
+       Alcotest.(check bool) "marked as an interrupt" true
+         (hint.Refine.exhausted = Refine.Interrupt)
+     | _ -> Alcotest.fail "the interrupted outcome should be inconclusive");
+    let cp =
+      match s.Cspm.Check.search with
+      | Some cp -> cp
+      | None -> Alcotest.fail "no engine checkpoint in the stop record"
+    in
+    (* the full cspm-checkpoint/1 document, round-tripped as the CLI
+       writes and reads it *)
+    let st =
+      {
+        Cspm.Check.script_digest = Digest.to_hex (Digest.string seq_script);
+        completed = [ Cspm.Check.json_of_outcome 0 (List.hd outcomes) ];
+        next_index = 1;
+        search = Some cp;
+      }
+    in
+    let encoded = Obs.Json.to_string (Cspm.Check.json_of_resume_state st) in
+    let st' =
+      match Obs.Json.parse encoded with
+      | Error msg -> Alcotest.failf "resume state does not re-parse: %s" msg
+      | Ok json -> (
+        match Cspm.Check.resume_state_of_json json with
+        | Ok st -> st
+        | Error msg -> Alcotest.failf "resume state rejected: %s" msg)
+    in
+    check_string "script digest survives" st.Cspm.Check.script_digest
+      st'.Cspm.Check.script_digest;
+    let cp' =
+      match st'.Cspm.Check.search with
+      | Some cp -> cp
+      | None -> Alcotest.fail "engine checkpoint lost in the round trip"
+    in
+    let resumed, stop' =
+      Cspm.Check.run_seq ~start:1 ~resume_first:cp'
+        ~config:Check_config.default loaded
+    in
+    Alcotest.(check bool) "resume completes" true (stop' = None);
+    let got =
+      render (List.hd outcomes).Cspm.Check.result
+      :: List.map (fun o -> render o.Cspm.Check.result) resumed
+    in
+    List.iteri
+      (fun i (e, g) -> check_string (Printf.sprintf "assertion %d" i) e g)
+      (List.combine expected got)
+
+let test_resume_state_rejects_malformed () =
+  let reject name json =
+    match Cspm.Check.resume_state_of_json json with
+    | Ok _ -> Alcotest.failf "%s was accepted" name
+    | Error _ -> ()
+  in
+  reject "a non-object" (Obs.Json.Str "nope");
+  (match
+     Obs.Json.parse
+       {|{"schema":"bogus/1","script_digest":"d","completed":[],"next_index":0,"search":null}|}
+   with
+   | Ok json -> reject "a wrong schema tag" json
+   | Error msg -> Alcotest.fail msg);
+  match
+    Obs.Json.parse
+      {|{"schema":"cspm-checkpoint/1","script_digest":"d","completed":[],"next_index":2,"search":null}|}
+  with
+  | Ok json -> reject "a completed/next_index mismatch" json
+  | Error msg -> Alcotest.fail msg
+
+let suite =
+  ( "checkpoint",
+    [
+      Alcotest.test_case "checkpoint JSON codec round-trips exactly" `Quick
+        test_checkpoint_codec;
+      QCheck_alcotest.to_alcotest interrupt_resume_equals_uninterrupted;
+      Alcotest.test_case "cancel token: checkpoint then identical resume"
+        `Quick test_cancel_token_checkpoint_resume;
+      Alcotest.test_case "heap watermark: checkpoint then identical resume"
+        `Quick test_memory_watermark_checkpoint_resume;
+      Alcotest.test_case "foreign or tampered checkpoints are refused" `Quick
+        test_resume_mismatch;
+      Alcotest.test_case "run_seq interrupt, document round trip, resume"
+        `Quick test_run_seq_interrupt_and_resume;
+      Alcotest.test_case "malformed resume documents are rejected" `Quick
+        test_resume_state_rejects_malformed;
+    ] )

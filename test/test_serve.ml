@@ -1,0 +1,437 @@
+(* The serve subsystem behind cspm_checkd: atomic file output, the
+   cancellation token, the cspm-checkd/1 wire codec, and the supervised
+   runner (backpressure, deadline-driven retry resuming from engine
+   checkpoints, graceful drain) — all with injected emit/sleep hooks so
+   nothing here waits on a real clock or a real signal. *)
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let str k j = Option.bind (Obs.Json.member k j) Obs.Json.to_str
+let int k j = Option.bind (Obs.Json.member k j) Obs.Json.to_int
+let event_name j = Option.value (str "event" j) ~default:"?"
+
+let req k j =
+  match int k j with
+  | Some v -> v
+  | None -> Alcotest.failf "event has no integer %S field" k
+
+(* ------------------------------------------------------------------ *)
+(* Fsio                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "serve_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_write () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      Serve.Fsio.atomic_write ~path "first";
+      check_string "contents land" "first" (read_file path);
+      Serve.Fsio.atomic_write ~path "second";
+      check_string "overwrite replaces" "second" (read_file path);
+      check_int "no temporaries left behind" 1 (Array.length (Sys.readdir dir)))
+
+let test_atomic_write_failure_leaves_target () =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      Serve.Fsio.atomic_write ~path "precious";
+      (try
+         Serve.Fsio.with_atomic_out ~path (fun oc ->
+             output_string oc "half-writ";
+             failwith "disk on fire");
+         Alcotest.fail "the writer's exception was swallowed"
+       with Failure _ -> ());
+      check_string "target untouched by the failed write" "precious"
+        (read_file path);
+      check_int "failed temporary removed" 1 (Array.length (Sys.readdir dir)))
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_token () =
+  let t = Serve.Signals.create () in
+  check_bool "fresh token is untripped" false (Serve.Signals.tripped t);
+  check_bool "closure form agrees" false (Serve.Signals.read t ());
+  Serve.Signals.trip t;
+  Serve.Signals.trip t;
+  check_bool "tripped (idempotently)" true (Serve.Signals.tripped t);
+  check_bool "closure form agrees after trip" true (Serve.Signals.read t ())
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codec                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_request_parse () =
+  (match
+     Serve.Protocol.request_of_line
+       {|{"schema":"cspm-checkd/1","op":"submit","id":"j1","script":"assert STOP [T= STOP","deadline_s":2.5,"workers":2,"max_states":100,"max_retries":3}|}
+   with
+   | Ok (Serve.Protocol.Submit j) ->
+     check_string "id" "j1" j.Serve.Protocol.id;
+     (match j.Serve.Protocol.source with
+      | Serve.Protocol.Inline s ->
+        check_string "inline source" "assert STOP [T= STOP" s
+      | Serve.Protocol.Path _ -> Alcotest.fail "expected an inline source");
+     check_bool "deadline" true (j.Serve.Protocol.deadline_s = Some 2.5);
+     check_int "workers" 2 j.Serve.Protocol.workers;
+     check_bool "max_states" true (j.Serve.Protocol.max_states = Some 100);
+     check_bool "max_retries" true (j.Serve.Protocol.max_retries = Some 3)
+   | Ok _ -> Alcotest.fail "parsed as the wrong request"
+   | Error msg -> Alcotest.fail msg);
+  (match
+     Serve.Protocol.request_of_line {|{"op":"submit","id":"j2","path":"m.csp"}|}
+   with
+   | Ok (Serve.Protocol.Submit j) ->
+     check_bool "path source" true
+       (j.Serve.Protocol.source = Serve.Protocol.Path "m.csp");
+     check_int "workers default" 1 j.Serve.Protocol.workers;
+     check_bool "optional fields default to None" true
+       (j.Serve.Protocol.deadline_s = None
+       && j.Serve.Protocol.max_states = None
+       && j.Serve.Protocol.max_retries = None)
+   | Ok _ -> Alcotest.fail "parsed as the wrong request"
+   | Error msg -> Alcotest.fail msg);
+  check_bool "health" true
+    (Serve.Protocol.request_of_line {|{"op":"health"}|}
+    = Ok Serve.Protocol.Health);
+  check_bool "drain" true
+    (Serve.Protocol.request_of_line {|{"op":"drain"}|}
+    = Ok Serve.Protocol.Drain);
+  let rejects line =
+    match Serve.Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  rejects "not json at all";
+  rejects {|{"op":"submit","script":"x"}|};
+  rejects {|{"op":"submit","id":"j","script":"x","path":"y"}|};
+  rejects {|{"op":"submit","id":"j"}|};
+  rejects {|{"op":"reboot"}|};
+  rejects {|{"schema":"other/9","op":"health"}|}
+
+let test_events_tagged () =
+  List.iter
+    (fun (name, j) ->
+      check_string (name ^ " schema") "cspm-checkd/1"
+        (Option.value (str "schema" j) ~default:"?");
+      check_string (name ^ " event tag") name (event_name j))
+    [
+      "accepted", Serve.Protocol.accepted ~id:"j" ~queue_depth:1;
+      "rejected", Serve.Protocol.rejected ~id:None ~reason:"r";
+      "started", Serve.Protocol.started ~id:"j" ~attempt:1;
+      ( "retrying",
+        Serve.Protocol.retrying ~id:"j" ~attempt:2 ~backoff_s:0.1
+          ~resumed:true );
+      ( "result",
+        Serve.Protocol.result ~id:"j" ~attempts:1 ~interrupted:false
+          ~report:Obs.Json.Null );
+      "failed", Serve.Protocol.failed ~id:"j" ~attempts:1 ~reason:"r";
+      ( "health",
+        Serve.Protocol.health ~queued:0 ~done_:0 ~failed:0 ~retries:0
+          ~draining:false );
+      "drained", Serve.Protocol.drained ~done_:0 ~failed:0;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let trivial_script = "channel a : {0..1}\nP = a!0 -> STOP\nassert P [T= P\n"
+
+(* Three interleaved mod-16 counters: 4096 states — enough dequeues for
+   the engine's 256-commit poll cadence to observe a deadline. *)
+let big_script =
+  "channel x : {0..15}\n\
+   channel y : {0..15}\n\
+   channel z : {0..15}\n\
+   P(n) = x!n -> P((n+1)%16)\n\
+   Q(n) = y!n -> Q((n+3)%16)\n\
+   R(n) = z!n -> R((n+5)%16)\n\
+   SYS = P(0) ||| Q(0) ||| R(0)\n\
+   SPEC = x?v -> SPEC [] y?v -> SPEC [] z?v -> SPEC\n\
+   assert SPEC [T= SYS\n"
+
+let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ~id source =
+  {
+    Serve.Protocol.id;
+    source;
+    deadline_s;
+    workers;
+    max_states;
+    max_retries;
+  }
+
+(* A runner whose emit appends to a list and whose sleep records the
+   backoffs instead of waiting. *)
+let make_runner ?(queue_limit = 16) ?(default_retries = 2) () =
+  let events = ref [] and sleeps = ref [] in
+  let cfg =
+    {
+      (Serve.Runner.default_config ~emit:(fun j -> events := j :: !events)) with
+      Serve.Runner.queue_limit;
+      default_retries;
+      backoff_base_s = 0.01;
+      backoff_max_s = 0.05;
+      sleep = (fun s -> sleeps := s :: !sleeps);
+    }
+  in
+  ( Serve.Runner.create cfg,
+    (fun () -> List.rev !events),
+    fun () -> List.rev !sleeps )
+
+let test_backpressure_and_drain () =
+  let t, events, _ = make_runner ~queue_limit:2 () in
+  List.iter
+    (fun id -> Serve.Runner.submit t (job ~id (Serve.Protocol.Inline trivial_script)))
+    [ "j1"; "j2"; "j3" ];
+  check_int "queue holds the limit" 2 (Serve.Runner.queue_depth t);
+  (match List.map event_name (events ()) with
+   | [ "accepted"; "accepted"; "rejected" ] -> ()
+   | names -> Alcotest.failf "unexpected events: %s" (String.concat "," names));
+  check_string "the third submission bounced off the full queue"
+    "queue full"
+    (Option.value (str "reason" (List.nth (events ()) 2)) ~default:"?");
+  Serve.Runner.drain t;
+  let names = List.map event_name (events ()) in
+  check_bool "drained is the final event" true
+    (List.nth names (List.length names - 1) = "drained");
+  let results = List.filter (fun e -> event_name e = "result") (events ()) in
+  check_int "both accepted jobs ran" 2 (List.length results);
+  let drained = List.nth (events ()) (List.length names - 1) in
+  check_int "drained counts done" 2 (req "done" drained);
+  check_int "drained counts failed" 0 (req "failed" drained);
+  (* after a drain, new submissions bounce *)
+  Serve.Runner.submit t (job ~id:"late" (Serve.Protocol.Inline trivial_script));
+  let last = List.nth (events ()) (List.length (events ()) - 1) in
+  check_string "late submission rejected" "draining"
+    (Option.value (str "reason" last) ~default:"?")
+
+let test_load_failure () =
+  let t, events, _ = make_runner () in
+  Serve.Runner.submit t (job ~id:"bad" (Serve.Protocol.Inline "channel ???\n"));
+  Serve.Runner.drain t;
+  let failed = List.filter (fun e -> event_name e = "failed") (events ()) in
+  check_int "one failed event" 1 (List.length failed);
+  check_bool "failure carries a reason" true
+    (match str "reason" (List.hd failed) with
+     | Some r -> String.length r > 0
+     | None -> false);
+  let drained = List.hd (List.rev (events ())) in
+  check_int "drained counts the failure" 1 (req "failed" drained)
+
+(* The tentpole loop: a deadline far below one poll interval forces the
+   first attempt inconclusive; each retry resumes from the previous
+   attempt's checkpoint with a doubled budget until the check completes.
+   The final verdict must be the uninterrupted one. *)
+let test_retry_resumes_to_verdict () =
+  let expected_pairs =
+    match
+      Cspm.Check.run (Cspm.Elaborate.load_string big_script)
+    with
+    | [ o ] -> (
+      match o.Cspm.Check.result with
+      | Csp.Refine.Holds s -> s.Csp.Refine.pairs
+      | _ -> Alcotest.fail "the reference run should hold")
+    | _ -> Alcotest.fail "one assertion expected"
+  in
+  let t, events, sleeps = make_runner () in
+  Serve.Runner.submit t
+    (job ~id:"slow" ~deadline_s:1e-5 ~max_retries:30
+       (Serve.Protocol.Inline big_script));
+  Serve.Runner.drain t;
+  let retrying = List.filter (fun e -> event_name e = "retrying") (events ()) in
+  check_bool "the tight deadline forced at least one retry" true
+    (List.length retrying >= 1);
+  List.iter
+    (fun e ->
+      check_bool "every retry resumed from a checkpoint" true
+        (Obs.Json.member "resumed" e = Some (Obs.Json.Bool true)))
+    retrying;
+  let result =
+    match List.filter (fun e -> event_name e = "result") (events ()) with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "exactly one result event expected"
+  in
+  check_bool "the final result is not an interrupted partial" true
+    (Obs.Json.member "interrupted" result = None);
+  check_int "attempts = retries + 1" (List.length retrying + 1)
+    (req "attempts" result);
+  check_int "one backoff sleep per retry" (List.length retrying)
+    (List.length (sleeps ()));
+  List.iter
+    (fun s -> check_bool "backoffs are positive and capped" true
+        (s > 0. && s <= 0.05 *. 1.5))
+    (sleeps ());
+  let report =
+    match Obs.Json.member "report" result with
+    | Some r -> r
+    | None -> Alcotest.fail "result carries no report"
+  in
+  check_string "embedded report keeps its schema" "cspm-check/1"
+    (Option.value (str "schema" report) ~default:"?");
+  match Obs.Json.member "assertions" report with
+  | Some (Obs.Json.List [ a ]) ->
+    check_string "resumed job reaches the uninterrupted verdict" "pass"
+      (Option.value (str "verdict" a) ~default:"?");
+    let stats =
+      match Obs.Json.member "stats" a with
+      | Some s -> s
+      | None -> Alcotest.fail "pass entry carries no stats"
+    in
+    check_int "pair count identical to the uninterrupted run" expected_pairs
+      (req "pairs" stats)
+  | _ -> Alcotest.fail "report should carry exactly one assertion entry"
+
+(* Retries exhausted: the deadline-inconclusive outcome stands and is
+   reported as the job's (non-interrupted) result. *)
+let test_retries_exhausted_reports_inconclusive () =
+  let t, events, _ = make_runner () in
+  Serve.Runner.submit t
+    (job ~id:"hopeless" ~deadline_s:1e-5 ~max_retries:0
+       (Serve.Protocol.Inline big_script));
+  Serve.Runner.drain t;
+  check_bool "no retry happened" true
+    (not (List.exists (fun e -> event_name e = "retrying") (events ())));
+  let result =
+    match List.filter (fun e -> event_name e = "result") (events ()) with
+    | [ r ] -> r
+    | _ -> Alcotest.fail "exactly one result event expected"
+  in
+  check_int "a single attempt" 1 (req "attempts" result);
+  match
+    Option.bind (Obs.Json.member "report" result)
+      (Obs.Json.member "assertions")
+  with
+  | Some (Obs.Json.List [ a ]) ->
+    check_string "the outcome is inconclusive" "inconclusive"
+      (Option.value (str "verdict" a) ~default:"?")
+  | _ -> Alcotest.fail "report should carry exactly one assertion entry"
+
+let test_health_event () =
+  let t, events, _ = make_runner () in
+  Serve.Runner.submit t (job ~id:"q1" (Serve.Protocol.Inline trivial_script));
+  Serve.Runner.submit t (job ~id:"q2" (Serve.Protocol.Inline trivial_script));
+  Serve.Runner.request t Serve.Protocol.Health;
+  match List.filter (fun e -> event_name e = "health") (events ()) with
+  | [ h ] ->
+    check_int "health sees the queue" 2 (req "queued" h);
+    check_int "nothing done yet" 0 (req "done" h);
+    check_bool "not draining" true
+      (Obs.Json.member "draining" h = Some (Obs.Json.Bool false))
+  | _ -> Alcotest.fail "exactly one health event expected"
+
+(* SIGTERM between submission and execution: the queue is failed without
+   running a single search, and the drain still completes cleanly. *)
+let test_cancel_fails_queue () =
+  let events = ref [] in
+  let cancel = Serve.Signals.create () in
+  let cfg =
+    {
+      (Serve.Runner.default_config ~emit:(fun j -> events := j :: !events)) with
+      Serve.Runner.sleep = ignore;
+      cancel;
+    }
+  in
+  let t = Serve.Runner.create cfg in
+  Serve.Runner.submit t (job ~id:"q1" (Serve.Protocol.Inline trivial_script));
+  Serve.Runner.submit t (job ~id:"q2" (Serve.Protocol.Inline trivial_script));
+  Serve.Signals.trip cancel;
+  Serve.Runner.drain t;
+  let evs = List.rev !events in
+  check_bool "no job was started" true
+    (not (List.exists (fun e -> event_name e = "started") evs));
+  let failed = List.filter (fun e -> event_name e = "failed") evs in
+  check_int "both queued jobs failed" 2 (List.length failed);
+  List.iter
+    (fun e ->
+      check_string "interrupt reason" "daemon interrupted"
+        (Option.value (str "reason" e) ~default:"?"))
+    failed;
+  let drained = List.hd (List.rev evs) in
+  check_string "still drains cleanly" "drained" (event_name drained);
+  check_int "drained counts the casualties" 2 (req "failed" drained)
+
+(* The full daemon loop against a scripted stdin: reader domain, request
+   dispatch, implicit drain at end of input. *)
+let test_serve_loop_end_to_end () =
+  let requests =
+    [
+      Printf.sprintf
+        {|{"schema":"cspm-checkd/1","op":"submit","id":"s1","script":%s}|}
+        (Obs.Json.to_string (Obs.Json.Str trivial_script));
+      {|{"op":"health"}|};
+      {|{"op":"nonsense"}|};
+    ]
+  in
+  let path = Filename.temp_file "serve_requests" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serve.Fsio.atomic_write ~path (String.concat "\n" requests ^ "\n");
+      let events = ref [] in
+      let cfg =
+        {
+          (Serve.Runner.default_config ~emit:(fun j -> events := j :: !events)) with
+          Serve.Runner.sleep = (fun _ -> ());
+        }
+      in
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Serve.Runner.serve cfg ic);
+      let evs = List.rev !events in
+      let names = List.map event_name evs in
+      List.iter
+        (fun expected ->
+          check_bool (expected ^ " event present") true
+            (List.mem expected names))
+        [ "accepted"; "health"; "rejected"; "result"; "drained" ];
+      check_string "drained closes the stream" "drained"
+        (List.nth names (List.length names - 1));
+      let drained = List.hd (List.rev evs) in
+      check_int "the submitted job completed" 1 (req "done" drained);
+      check_int "nothing failed" 0 (req "failed" drained))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "atomic_write lands whole files only" `Quick
+        test_atomic_write;
+      Alcotest.test_case "a failed atomic write leaves the target" `Quick
+        test_atomic_write_failure_leaves_target;
+      Alcotest.test_case "cancellation token semantics" `Quick test_token;
+      Alcotest.test_case "request parsing accepts/rejects correctly" `Quick
+        test_request_parse;
+      Alcotest.test_case "every event is schema-tagged" `Quick
+        test_events_tagged;
+      Alcotest.test_case "bounded queue: backpressure then clean drain"
+        `Quick test_backpressure_and_drain;
+      Alcotest.test_case "unloadable scripts fail with a reason" `Quick
+        test_load_failure;
+      Alcotest.test_case "deadline retry resumes to the full verdict" `Quick
+        test_retry_resumes_to_verdict;
+      Alcotest.test_case "exhausted retries report inconclusive" `Quick
+        test_retries_exhausted_reports_inconclusive;
+      Alcotest.test_case "health reports queue and counters" `Quick
+        test_health_event;
+      Alcotest.test_case "cancellation fails the queue, still drains" `Quick
+        test_cancel_fails_queue;
+      Alcotest.test_case "serve loop end to end over scripted input" `Quick
+        test_serve_loop_end_to_end;
+    ] )

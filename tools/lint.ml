@@ -94,6 +94,50 @@ let lint_effects path contents =
       scan 0)
     banned_effects
 
+(* Interruption discipline: [lib/serve] owns signal handling (the
+   cancellation token plumbing) and the only legitimate blocking sleeps
+   (retry backoff, the daemon's idle poll). Anywhere else under lib/, an
+   installed handler would fight the CLIs' graceful-degradation handlers
+   and a sleep would stall a search domain. Textual, like the effects
+   lint: even a doc-comment mention trips it — link {!Serve.Signals}
+   instead. *)
+let banned_interruption =
+  [ "Sys.signal"; "Sys.set_signal"; "Unix.sleep"; "Unix.sleepf" ]
+
+let under_serve path =
+  List.mem "serve" (String.split_on_char '/' path)
+
+let lint_interruption path contents =
+  let n = String.length contents in
+  let line_of pos =
+    let l = ref 1 in
+    String.iteri (fun j c -> if j < pos && c = '\n' then incr l) contents;
+    !l
+  in
+  List.iter
+    (fun name ->
+      let ln = String.length name in
+      let rec scan from =
+        if from < n then
+          match String.index_from_opt contents from name.[0] with
+          | None -> ()
+          | Some i ->
+            if
+              i + ln <= n
+              && String.sub contents i ln = name
+              && (i = 0 || not (is_ident_char contents.[i - 1]))
+              && (i + ln = n || not (is_ident_char contents.[i + ln]))
+            then
+              complain path (line_of i)
+                (Printf.sprintf
+                   "%s outside lib/serve (route signals and sleeps through \
+                    Serve)"
+                   name);
+            scan (i + 1)
+      in
+      scan 0)
+    banned_interruption
+
 (* Library code must not kill the process or trip the always-on assertion
    machinery: raise [Invalid_argument]/a domain exception and let the CLI
    decide the exit code. [exit] is only flagged in call position (next
@@ -196,7 +240,8 @@ let lint_file ~strict path =
       lint_conversions path contents;
       lint_termination path contents;
       if Filename.check_suffix path ".ml" then lint_interface path;
-      if not (under_obs path) then lint_effects path contents
+      if not (under_obs path) then lint_effects path contents;
+      if not (under_serve path) then lint_interruption path contents
     end
   end
 
