@@ -4,18 +4,32 @@
 
    Usage: dune exec bench/report.exe [-- OUTPUT.json]
    The workloads are the scalability series of bench/main.ml (domain
-   scaling k = 2..32, interleaved-ECU scaling n = 2..5) and the
+   scaling k = 2..32, interleaved-ECU scaling n = 2..12) and the
    Needham-Schroeder authentication check — the checks whose before/after
-   numbers EXPERIMENTS.md tracks. The two largest checks are re-run on 2
-   and 4 worker domains (rows suffixed /j2, /j4); "speedup_vs_j1" compares
-   their wall time to the sequential row, and the "_meta" entry records
-   how many cores the host actually had, since speedup on a single-core
-   box measures only the pool's overhead. *)
+   numbers EXPERIMENTS.md tracks — plus an ablate/reductions family that
+   re-runs NS under each single reduction pass. The two largest checks
+   are re-run on 2 and 4 worker domains (rows suffixed /j2, /j4), whose
+   "speedup_vs_j1" compares their wall time to the sequential row; the
+   non-search rows (the CSPm lint, the live-JSONL rerun) carry
+   "ratio_vs_check" instead — their wall time relative to the check they
+   ride alongside, which is the number that actually means something for
+   them. The "_meta" entry records how many cores the host actually had,
+   since speedup on a single-core box measures only the pool's
+   overhead. *)
 
 let wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   r, Unix.gettimeofday () -. t0
+
+(* What a row's wall time is measured against. A parallel rerun races its
+   own sequential baseline; a non-search row (lint, obs overhead) is only
+   meaningful relative to the check it accompanies; a plain sequential
+   check stands alone and carries no comparison at all. *)
+type comparison =
+  | Standalone
+  | Speedup_vs_j1 of float  (** sequential row's wall / this wall *)
+  | Ratio_vs_check of float  (** companion check's wall / this wall *)
 
 type row = {
   name : string;
@@ -26,10 +40,10 @@ type row = {
   verdict : string;
   workers : int;
   par_speedup : float;  (** engine-estimated, from aggregate worker busy time *)
-  speedup_vs_j1 : float;  (** measured: sequential row's wall / this wall *)
+  comparison : comparison;
 }
 
-let row_of_result name result t ~speedup_vs_j1 =
+let row_of_result name result t ~comparison =
   let impl_states, pairs, workers, par_speedup =
     match (result : Csp.Refine.result) with
     | Csp.Refine.Holds stats | Csp.Refine.Inconclusive (stats, _) ->
@@ -57,7 +71,7 @@ let row_of_result name result t ~speedup_vs_j1 =
     verdict;
     workers;
     par_speedup;
-    speedup_vs_j1;
+    comparison;
   }
 
 (* The same two synthetic systems as bench/main.ml S1. *)
@@ -145,8 +159,12 @@ let parallel_workloads = [ 2; 4 ]
 let run_rows () =
   let rows = ref [] in
   let record name f =
+    (* return the heap to a known state before timing: without this a row
+       that follows a large check (n12 leaves a multi-GB major heap) pays
+       its predecessor's sweep and compaction inside the timed region *)
+    Gc.compact ();
     let result, t = wall f in
-    let row = row_of_result name result t ~speedup_vs_j1:1.0 in
+    let row = row_of_result name result t ~comparison:Standalone in
     Format.printf "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s@."
       row.name (row.wall_s *. 1e3) row.impl_states row.pairs
       row.states_per_sec row.verdict;
@@ -159,47 +177,51 @@ let run_rows () =
     List.iter
       (fun j ->
         let name = Printf.sprintf "%s/j%d" base_row.name j in
+        Gc.compact ();
         let result, t = wall (fun () -> f j) in
         let speedup = if t > 0. then base_row.wall_s /. t else 0. in
-        let row = { (row_of_result name result t ~speedup_vs_j1:speedup) with
-                    workers = j } in
+        let row =
+          { (row_of_result name result t
+               ~comparison:(Speedup_vs_j1 speedup))
+            with workers = j }
+        in
         Format.printf
           "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s (%.2fx vs j1)@."
           row.name (row.wall_s *. 1e3) row.impl_states row.pairs
-          row.states_per_sec row.verdict row.speedup_vs_j1;
+          row.states_per_sec row.verdict speedup;
         rows := row :: !rows)
       parallel_workloads
   in
-  List.iter
-    (fun k ->
-      let defs, spec, impl = echo_system k in
-      ignore
-        (record
-           (Printf.sprintf "scale/domain/k%02d" k)
-           (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)))
-    [ 2; 4; 8; 16; 32 ];
-  List.iter
-    (fun n ->
-      let defs, spec, impl = multi_ecu_system n in
-      let base =
-        record
-          (Printf.sprintf "scale/ecus/n%d" n)
-          (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)
-      in
-      if n = 5 then
-        record_parallel base (fun j ->
-            let defs, spec, impl = multi_ecu_system n in
-            Csp.Refine.traces_refines
-              ~config:Csp.Check_config.(default |> with_workers j)
-              defs ~spec ~impl))
-    [ 2; 3; 4; 5 ];
+  (* The NS family runs first: a check's first terms in a long-lived
+     process pay the weak intern table's cleanup for whatever ran before
+     it, so the case-study row would otherwise bill n12's multi-second
+     sweep to a sub-100ms check. Front-running it matches how cspm_check
+     runs it in practice — one check per process. *)
   let ns_base =
     record "ns/authentication-fixed" (fun () ->
         Security.Ns_protocol.check ~fixed:true ())
   in
+  (* Reduction ablation: the stock NS check under no reductions, each
+     single pass, and the full default pipeline — the walk EXPERIMENTS.md
+     steps through. The "none" row is the seed engine's number. *)
+  List.iter
+    (fun setting ->
+      match Csp.Reduce.pipeline_of_string setting with
+      | Error msg -> failwith msg
+      | Ok pipeline ->
+        ignore
+          (record
+             (Printf.sprintf "ablate/reductions/%s" setting)
+             (fun () ->
+               Security.Ns_protocol.check
+                 ~config:
+                   (Csp.Check_config.with_reductions pipeline
+                      Security.Ns_protocol.default_config)
+                 ~fixed:true ())))
+    [ "none"; "dead"; "tau"; "bisim"; "por"; "default" ];
   (* The pre-check static analysis on the same model: the point of the row
      is the ratio — the lint must cost a vanishing fraction of the search
-     it runs in front of. "speedup_vs_j1" here is check wall / lint wall. *)
+     it runs in front of. *)
   (let defs, _impl = Security.Ns_protocol.build ~fixed:true in
    let diags, t = wall (fun () -> Analysis.Cspm_analyze.analyze defs) in
    let ratio = if t > 0. then ns_base.wall_s /. t else 0. in
@@ -213,7 +235,7 @@ let run_rows () =
        verdict = Printf.sprintf "%d diagnostics" (List.length diags);
        workers = 1;
        par_speedup = 1.;
-       speedup_vs_j1 = ratio;
+       comparison = Ratio_vs_check ratio;
      }
    in
    Format.printf "%-27s %9.2f ms  %s (%.0fx cheaper than the check)@."
@@ -228,6 +250,7 @@ let run_rows () =
   let trace_path = Filename.temp_file "bench_trace" ".jsonl" in
   let oc = open_out trace_path in
   let obs = Obs.create (Obs.Jsonl oc) in
+  Gc.compact ();
   let result, t =
     wall (fun () ->
         Security.Ns_protocol.check
@@ -240,7 +263,7 @@ let run_rows () =
   let speedup = if t > 0. then ns_base.wall_s /. t else 0. in
   let row =
     row_of_result "ns/authentication-fixed/obs-jsonl" result t
-      ~speedup_vs_j1:speedup
+      ~comparison:(Ratio_vs_check speedup)
   in
   Format.printf
     "%-27s %9.2f ms %9d states %9d pairs %12.0f st/s  %s (%.2fx vs silent)@."
@@ -278,6 +301,32 @@ let run_rows () =
         ~config:
           (Csp.Check_config.with_workers j Security.Ns_protocol.default_config)
         ~fixed:true ());
+  List.iter
+    (fun k ->
+      let defs, spec, impl = echo_system k in
+      ignore
+        (record
+           (Printf.sprintf "scale/domain/k%02d" k)
+           (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)))
+    [ 2; 4; 8; 16; 32 ];
+  List.iter
+    (fun n ->
+      let defs, spec, impl = multi_ecu_system n in
+      let base =
+        record
+          (Printf.sprintf "scale/ecus/n%d" n)
+          (fun () -> Csp.Refine.traces_refines defs ~spec ~impl)
+      in
+      if n = 5 then
+        record_parallel base (fun j ->
+            let defs, spec, impl = multi_ecu_system n in
+            Csp.Refine.traces_refines
+              ~config:Csp.Check_config.(default |> with_workers j)
+              defs ~spec ~impl))
+    (* n8..n12 were out of reach for the raw engine (the monolithic
+       compile re-combines the whole interleaving per state); the staged
+       pipeline makes them routine *)
+    [ 2; 3; 4; 5; 8; 10; 12 ];
   List.rev !rows
 
 let json_of_rows rows =
@@ -289,13 +338,19 @@ let json_of_rows rows =
        (Domain.recommended_domain_count ()));
   List.iteri
     (fun i row ->
+      let comparison =
+        match row.comparison with
+        | Standalone -> ""
+        | Speedup_vs_j1 s -> Printf.sprintf ", \"speedup_vs_j1\": %.3f" s
+        | Ratio_vs_check r -> Printf.sprintf ", \"ratio_vs_check\": %.3f" r
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "  %S: { \"wall_s\": %.6f, \"impl_states\": %d, \"pairs\": %d, \
             \"states_per_sec\": %.0f, \"verdict\": %S, \"workers\": %d, \
-            \"par_speedup\": %.3f, \"speedup_vs_j1\": %.3f }%s\n"
+            \"par_speedup\": %.3f%s }%s\n"
            row.name row.wall_s row.impl_states row.pairs row.states_per_sec
-           row.verdict row.workers row.par_speedup row.speedup_vs_j1
+           row.verdict row.workers row.par_speedup comparison
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf "}\n";

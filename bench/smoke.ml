@@ -42,6 +42,34 @@ let check_budgeted_engine () =
     fail "budget smoke: 1 ms unexpectedly completed the NS check"
   | Csp.Refine.Fails _ -> fail "budget smoke: fixed NS must not fail"
 
+let check_reduction_speedup () =
+  (* the default reduction pipeline must never make the stock NS check
+     slower than the raw engine it replaces — the tentpole's one-line
+     contract. The raw run takes seconds and the reduced one tens of
+     milliseconds, so a plain comparison has miles of margin. *)
+  let time config =
+    let t0 = Obs.now () in
+    (match Security.Ns_protocol.check ~config ~fixed:true () with
+     | Csp.Refine.Holds _ -> ()
+     | Csp.Refine.Fails _ -> fail "reduction smoke: fixed NS must not fail"
+     | Csp.Refine.Inconclusive _ ->
+       fail "reduction smoke: unbudgeted NS came back inconclusive");
+    Obs.now () -. t0
+  in
+  let raw =
+    time
+      Csp.Check_config.(
+        Security.Ns_protocol.default_config |> with_reductions [])
+  in
+  let reduced = time Security.Ns_protocol.default_config in
+  if reduced > raw then
+    fail
+      "reduction smoke: the default pipeline made NS slower (%.0f ms \
+       reduced vs %.0f ms raw)"
+      (reduced *. 1e3) (raw *. 1e3);
+  Format.printf "reductions: NS %.0f ms raw -> %.0f ms reduced@."
+    (raw *. 1e3) (reduced *. 1e3)
+
 let digest result =
   match result with
   | Csp.Refine.Holds s ->
@@ -310,13 +338,19 @@ let check_checkpoint_resume () =
      checkpoint through its wire format, resume: the verdict must be the
      uninterrupted one *)
   let loaded = Cspm.Elaborate.load_string counter_script in
+  (* reductions off throughout this leg: the subject is the interrupt
+     machinery, and the default pipeline collapses counter_script's
+     accept-everything spec below the poll cadence *)
+  let raw = Csp.Check_config.(default |> with_reductions []) in
   let baseline =
-    List.map (fun o -> digest o.Cspm.Check.result) (Cspm.Check.run loaded)
+    List.map
+      (fun o -> digest o.Cspm.Check.result)
+      (Cspm.Check.run ~config:raw loaded)
   in
   let polls = ref 0 in
   let config =
     Csp.Check_config.(
-      default
+      raw
       |> with_cancel (fun () ->
              incr polls;
              !polls >= 2))
@@ -341,7 +375,7 @@ let check_checkpoint_resume () =
     in
     let resumed, stop' =
       Cspm.Check.run_seq ~start:s.Cspm.Check.next_index ~resume_first:cp
-        ~config:Csp.Check_config.default loaded
+        ~config:raw loaded
     in
     if stop' <> None then fail "checkpoint smoke: the resume was interrupted";
     let final = List.map (fun o -> digest o.Cspm.Check.result) resumed in
@@ -365,7 +399,7 @@ let check_daemon () =
     }
   in
   let t = Serve.Runner.create cfg in
-  let job ?deadline_s ?max_retries id script =
+  let job ?deadline_s ?max_retries ?reductions id script =
     {
       Serve.Protocol.id;
       source = Serve.Protocol.Inline script;
@@ -373,13 +407,15 @@ let check_daemon () =
       workers = 1;
       max_states = None;
       max_retries;
+      reductions;
     }
   in
   Serve.Runner.submit t
     (job "ok" "channel a : {0..1}\nP = a!0 -> P\nassert P [T= P\n");
   Serve.Runner.submit t (job "bad" json_script);
   Serve.Runner.submit t
-    (job ~deadline_s:1e-5 ~max_retries:30 "slow" counter_script);
+    (job ~deadline_s:1e-5 ~max_retries:30 ~reductions:"none" "slow"
+       counter_script);
   Serve.Runner.drain t;
   let evs = List.rev !events in
   let name j =
@@ -441,6 +477,7 @@ let check_daemon () =
 let () =
   check_fault_injection ();
   check_budgeted_engine ();
+  check_reduction_speedup ();
   check_engine_agreement ();
   check_parallel_agreement ();
   check_json_output ();

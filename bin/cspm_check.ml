@@ -39,7 +39,13 @@ let splice_diags diags doc =
    continued by --resume. A definite failure outranks an interrupt
    outranks a plain inconclusive. *)
 let run path max_states timeout jobs list_only dot format progress trace_out
-    lint deny_warnings checkpoint_out resume_file memory_limit output =
+    lint deny_warnings checkpoint_out resume_file memory_limit reductions
+    output =
+  match Csp.Reduce.pipeline_of_string reductions with
+  | Error msg ->
+    Format.eprintf "--reductions: %s@." msg;
+    2
+  | Ok pipeline ->
   let lint = lint || deny_warnings in
   let workers =
     if jobs = 0 then Domain.recommended_domain_count () else max 1 jobs
@@ -154,6 +160,7 @@ let run path max_states timeout jobs list_only dot format progress trace_out
               default |> with_max_states max_states |> with_workers workers
               |> with_obs obs
               |> with_cancel (Serve.Signals.read token)
+              |> with_reductions pipeline
             in
             let c =
               match timeout with Some t -> with_deadline t c | None -> c
@@ -171,7 +178,16 @@ let run path max_states timeout jobs list_only dot format progress trace_out
                 c
             else c
           in
-          let script_digest = Digest.to_hex (Digest.string source) in
+          (* The digest covers the reduction setting as well as the script
+             text: a checkpoint records a visit order, and the visit order
+             of a reduced search means nothing to a differently-reduced
+             one, so a mismatched --resume must fail loudly up front. *)
+          let script_digest =
+            Digest.to_hex
+              (Digest.string
+                 (source ^ "\x00reductions="
+                 ^ Csp.Reduce.pipeline_to_string pipeline))
+          in
           let resume_state =
             match resume_file with
             | None -> Ok None
@@ -193,7 +209,7 @@ let run path max_states timeout jobs list_only dot format progress trace_out
                       Error
                         (Printf.sprintf
                            "%s: checkpoint was taken against a different \
-                            script"
+                            script or --reductions setting"
                            file)
                     else Ok (Some st))))
           in
@@ -339,12 +355,14 @@ let run path max_states timeout jobs list_only dot format progress trace_out
         end)
 
 let run path max_states timeout jobs list_only dot format progress trace_out
-    lint deny_warnings checkpoint_out resume_file memory_limit output =
+    lint deny_warnings checkpoint_out resume_file memory_limit reductions
+    output =
   (* The two non-budgeted resource exhaustions a pathological model can
      trigger land here rather than as raw uncaught exceptions. *)
   try
     run path max_states timeout jobs list_only dot format progress trace_out
-      lint deny_warnings checkpoint_out resume_file memory_limit output
+      lint deny_warnings checkpoint_out resume_file memory_limit reductions
+      output
   with
   | Stack_overflow ->
     Format.eprintf
@@ -510,6 +528,26 @@ let memory_limit_arg =
            to write its report and checkpoint — instead of being killed \
            by the OOM killer mid-write.")
 
+let reductions_arg =
+  Arg.(
+    value & opt string "default"
+    & info [ "reductions" ] ~docv:"LIST"
+        ~doc:
+          "Staged state-space reductions applied before/during the \
+           product search: $(b,default) (all of them), $(b,none) (the \
+           raw engine), or a comma-separated subset of $(b,dead) \
+           (relabel events the specification ignores everywhere to tau; \
+           traces checks only), $(b,tau) (tau-chain/SCC compression), \
+           $(b,bisim) (strong-bisimulation quotient), $(b,por) \
+           (ample-set partial-order reduction of independent \
+           interleavings, applied during the search; traces checks \
+           only). Passes that do not apply to an assertion's model are \
+           skipped. Verdicts and counterexample traces are identical \
+           under every setting — counterexamples are re-derived by the \
+           raw engine — only speed and the reported reduction stats \
+           change. A checkpoint can only be resumed under the \
+           $(b,--reductions) setting it was taken with.")
+
 let output_arg =
   Arg.(
     value
@@ -550,6 +588,6 @@ let cmd =
       const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
       $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg
       $ lint_arg $ deny_warnings_arg $ checkpoint_out_arg $ resume_arg
-      $ memory_limit_arg $ output_arg)
+      $ memory_limit_arg $ reductions_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

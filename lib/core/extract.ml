@@ -939,11 +939,7 @@ let extract_into ?(config = default_config) ~defs ~db ~node prog =
     in
     branches := P.prefix_items ("tock", [], chain decremented timer_names) :: !branches
   end;
-  let main_body =
-    match List.rev !branches with
-    | [] -> P.stop
-    | first :: rest -> List.fold_left (fun acc b -> P.ext (acc, b)) first rest
-  in
+  let main_body = P.ext_all (List.rev !branches) in
   Csp.Defs.define_proc defs main_name params main_body;
   (* Entry process: preStart then start bodies, then the main loop. *)
   let start_bodies =

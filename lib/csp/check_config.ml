@@ -13,6 +13,7 @@ type t = {
   progress : (Search.progress -> unit) option;
   cancel : (unit -> bool) option;
   memory_limit_mb : int option;
+  reductions : Reduce.pipeline;
 }
 
 let default =
@@ -26,6 +27,7 @@ let default =
     progress = None;
     cancel = None;
     memory_limit_mb = None;
+    reductions = Reduce.default_pipeline;
   }
 
 let with_interner interner t = { t with interner }
@@ -37,3 +39,4 @@ let with_obs obs t = { t with obs }
 let with_progress cb t = { t with progress = Some cb }
 let with_cancel token t = { t with cancel = Some token }
 let with_memory_limit mb t = { t with memory_limit_mb = Some mb }
+let with_reductions reductions t = { t with reductions }

@@ -43,6 +43,13 @@ type t = {
       (** heap watermark in MiB, polled at the same cadence: crossing it
           stops the product search with [Inconclusive] ([Memory]) while
           the process can still write its report *)
+  reductions : Reduce.pipeline;
+      (** the staged reduction pipeline ({!Reduce.default_pipeline} by
+          default); [Reduce.effective] filters it per model, so
+          inapplicable passes are skipped rather than misapplied. Use
+          [with_reductions []] for the raw engine. Counterexamples are
+          re-derived by the raw engine either way, so verdicts and traces
+          never depend on this field — only speed does. *)
 }
 
 val default : t
@@ -59,5 +66,6 @@ val with_obs : Obs.t -> t -> t
 val with_progress : (Search.progress -> unit) -> t -> t
 val with_cancel : (unit -> bool) -> t -> t
 val with_memory_limit : int -> t -> t
+val with_reductions : Reduce.pipeline -> t -> t
 (** Builders, argument-last so they chain:
     [Check_config.(default |> with_deadline 0.5 |> with_workers 2)]. *)

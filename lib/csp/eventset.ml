@@ -80,7 +80,22 @@ let enumerate ~chan_events set =
   in
   List.sort_uniq Event.compare (go set)
 
-let equal s1 s2 = Stdlib.compare s1 s2 = 0
+(* Syntactic equality (two denotationally equal sets built differently
+   compare unequal — same contract as the old polymorphic compare).
+   Monomorphic because process-term interning probes it on every [Par],
+   [Hide] and [Run] construction. *)
+let rec equal s1 s2 =
+  s1 == s2
+  ||
+  match s1, s2 with
+  | Empty, Empty -> true
+  | Chans c1, Chans c2 -> List.equal String.equal c1 c2
+  | Prefixed (c1, a1), Prefixed (c2, a2) ->
+    String.equal c1 c2 && Value.equal_list a1 a2
+  | Events e1, Events e2 -> List.equal Event.equal e1 e2
+  | Union (a1, b1), Union (a2, b2) | Diff (a1, b1), Diff (a2, b2) ->
+    equal a1 a2 && equal b1 b2
+  | (Empty | Chans _ | Prefixed _ | Events _ | Union _ | Diff _), _ -> false
 
 let rec pp ppf = function
   | Empty -> Format.pp_print_string ppf "{}"

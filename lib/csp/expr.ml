@@ -170,7 +170,40 @@ let rec subst resolve expr =
   | If (c, e1, e2) -> If (subst resolve c, subst resolve e1, subst resolve e2)
   | App (f, es) -> App (f, List.map (subst resolve) es)
 
-let equal e1 e2 = Stdlib.compare e1 e2 = 0
+(* Structural equality, written out rather than [Stdlib.compare = 0]:
+   equality runs on every hash-consing probe of [Call]/[Guard]/[If]
+   process nodes, and the polymorphic compare's C-level value walk on
+   literal-heavy expressions dominates whole-model compilation. Constant
+   constructors ([binop]) are immediates, so [==] decides them exactly;
+   [Ty_dom] payloads are rare and fall back to the polymorphic walk. *)
+let rec equal e1 e2 =
+  e1 == e2
+  ||
+  match e1, e2 with
+  | Lit v1, Lit v2 -> Value.equal v1 v2
+  | Var x1, Var x2 -> String.equal x1 x2
+  | Neg a1, Neg a2 | Not a1, Not a2 -> equal a1 a2
+  | Bin (op1, a1, b1), Bin (op2, a2, b2) ->
+    op1 == op2 && equal a1 a2 && equal b1 b2
+  | Tuple es1, Tuple es2 | Set es1, Set es2 -> equal_list es1 es2
+  | Ctor (c1, es1), Ctor (c2, es2) | App (c1, es1), App (c2, es2) ->
+    String.equal c1 c2 && equal_list es1 es2
+  | Range (a1, b1), Range (a2, b2) | Mem (a1, b1), Mem (a2, b2) ->
+    equal a1 a2 && equal b1 b2
+  | Ty_dom t1, Ty_dom t2 -> Stdlib.compare t1 t2 = 0
+  | If (c1, a1, b1), If (c2, a2, b2) ->
+    equal c1 c2 && equal a1 a2 && equal b1 b2
+  | ( ( Lit _ | Var _ | Neg _ | Not _ | Bin _ | Tuple _ | Ctor _ | Set _
+      | Range _ | Ty_dom _ | Mem _ | If _ | App _ ),
+      _ ) ->
+    false
+
+and equal_list l1 l2 =
+  match l1, l2 with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | _ -> false
+
 let compare = Stdlib.compare
 
 let binop_name = function

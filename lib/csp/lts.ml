@@ -129,16 +129,21 @@ let state_term t i = t.states.(i)
 let initials t i =
   List.sort_uniq Event.compare_label (List.map fst t.transitions.(i))
 
+(* Both lean on the sorted-row invariant: [Event.compare_label] orders
+   Tau before every other label, so the taus are exactly the row's
+   prefix. Stopping there matters — these run per closure/stability query
+   on rows that can hold thousands of visible transitions. *)
 let is_stable t i =
-  not
-    (List.exists
-       (fun (l, _) -> match l with Event.Tau -> true | _ -> false)
-       t.transitions.(i))
+  match t.transitions.(i) with
+  | (Event.Tau, _) :: _ -> false
+  | _ -> true
 
 let tau_successors t i =
-  List.filter_map
-    (fun (l, j) -> match l with Event.Tau -> Some j | _ -> None)
-    t.transitions.(i)
+  let rec go acc = function
+    | (Event.Tau, j) :: rest -> go (j :: acc) rest
+    | _ -> acc
+  in
+  go [] t.transitions.(i)
 
 module Int_set = Set.Make (Int)
 

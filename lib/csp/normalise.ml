@@ -16,19 +16,52 @@ module Members_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-module Label_map = Map.Make (struct
-  type t = Event.label
-  let compare = Event.compare_label
-end)
+(* The subset construction below leans on the Lts invariant that
+   transition rows are sorted by (label, target): merging sorted rows and
+   deduplicating adjacent labels replaces map building and re-sorting —
+   with their O(n log n) deep label comparisons per node — by single
+   linear passes. *)
+
+(* Merge two label-sorted rows, keeping duplicates. *)
+let rec merge_rows r1 r2 =
+  match r1, r2 with
+  | [], r | r, [] -> r
+  | ((l1, _) as e1) :: t1, ((l2, _) as e2) :: t2 ->
+    if Event.compare_label l1 l2 <= 0 then e1 :: merge_rows t1 r2
+    else e2 :: merge_rows r1 t2
+
+(* Distinct labels of a sorted row. *)
+let uniq_labels_of_sorted row =
+  let rec go = function
+    | [] -> []
+    | [ (l, _) ] -> [ l ]
+    | (l1, _) :: ((l2, _) :: _ as rest) ->
+      if Event.equal_label l1 l2 then go rest else l1 :: go rest
+  in
+  go row
+
+let compare_label_list = List.compare Event.compare_label
+
+(* [a] ⊆ [b] for sorted lists, by parallel descent. *)
+let rec subset_sorted a b =
+  match a, b with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs, y :: ys ->
+    let c = Event.compare_label x y in
+    if c = 0 then subset_sorted xs ys
+    else if c > 0 then subset_sorted a ys
+    else false
 
 (* Keep only minimal sets under inclusion. *)
 let minimal_acceptances sets =
-  let subset a b = List.for_all (fun x -> List.mem x b) a in
-  let sets = List.sort_uniq Stdlib.compare sets in
+  let sets = List.sort_uniq compare_label_list sets in
   List.filter
     (fun a ->
       not
-        (List.exists (fun b -> (not (Stdlib.compare a b = 0)) && subset b a) sets))
+        (List.exists
+           (fun b -> compare_label_list a b <> 0 && subset_sorted b a)
+           sets))
     sets
 
 let normalise ?(obs = Obs.silent) (lts : Lts.t) =
@@ -55,35 +88,36 @@ let normalise ?(obs = Obs.silent) (lts : Lts.t) =
     match Queue.take_opt queue with
     | None -> ()
     | Some (_, node) ->
-      (* Group non-tau successors of all members by label. *)
-      let by_label =
+      (* Group non-tau successors of all members by label: merge the
+         members' sorted rows, then collect runs of equal labels. Taus
+         sort first and are dropped up front; the grouped output stays in
+         ascending label order, so the edge list needs no re-sort. *)
+      let merged =
         List.fold_left
-          (fun acc m ->
-            List.fold_left
-              (fun acc (l, j) ->
-                match l with
-                | Event.Tau -> acc
-                | Event.Tick | Event.Vis _ ->
-                  let old =
-                    Option.value ~default:[] (Label_map.find_opt l acc)
-                  in
-                  Label_map.add l (j :: old) acc)
-              acc
-              (Lts.transitions_of lts m))
-          Label_map.empty node.members
+          (fun acc m -> merge_rows acc (Lts.transitions_of lts m))
+          [] node.members
+      in
+      let rec group = function
+        | [] -> []
+        | (Event.Tau, _) :: rest -> group rest
+        | (l, j) :: rest ->
+          let rec take acc = function
+            | (l', j') :: rest' when Event.equal_label l' l ->
+              take (j' :: acc) rest'
+            | rest' -> acc, rest'
+          in
+          let targets, rest' = take [ j ] rest in
+          (l, targets) :: group rest'
       in
       node.edges <-
-        Label_map.fold
-          (fun l targets acc -> (l, intern (Lts.tau_closure lts targets)) :: acc)
-          by_label []
-        |> List.sort (fun (l1, _) (l2, _) -> Event.compare_label l1 l2);
+        List.map
+          (fun (l, targets) -> l, intern (Lts.tau_closure lts targets))
+          (group merged);
       let stable_inits =
         List.filter_map
           (fun m ->
             if Lts.is_stable lts m then
-              Some
-                (List.sort_uniq Event.compare_label
-                   (List.map fst (Lts.transitions_of lts m)))
+              Some (uniq_labels_of_sorted (Lts.transitions_of lts m))
             else None)
           node.members
       in

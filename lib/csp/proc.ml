@@ -44,7 +44,19 @@ let hash p = p.hkey
 (* Shallow equality: child terms by physical identity (they are already
    interned), other payloads structurally. This is all the intern table
    needs — deep equality follows inductively. *)
-let equal_comm_items = List.equal (fun (i1 : comm_item) i2 -> i1 = i2)
+(* Monomorphic payload equality: these run on every intern-table probe,
+   where the polymorphic [=]'s C-level walk over literal-heavy payloads
+   is the difference between O(1) and O(term size) per construction. *)
+let equal_comm_items =
+  List.equal (fun i1 i2 ->
+      match i1, i2 with
+      | Out e1, Out e2 -> Expr.equal e1 e2
+      | In (x1, r1), In (x2, r2) ->
+        String.equal x1 x2 && Option.equal Expr.equal r1 r2
+      | (Out _ | In _), _ -> false)
+
+let equal_mapping =
+  List.equal (fun (a1, b1) (a2, b2) -> String.equal a1 a2 && String.equal b1 b2)
 
 let shallow_equal n1 n2 =
   match n1, n2 with
@@ -63,7 +75,7 @@ let shallow_equal n1 n2 =
   | APar (a1, sa1, sb1, b1), APar (a2, sa2, sb2, b2) ->
     a1 == a2 && b1 == b2 && Eventset.equal sa1 sa2 && Eventset.equal sb1 sb2
   | Hide (a1, s1), Hide (a2, s2) -> a1 == a2 && Eventset.equal s1 s2
-  | Rename (a1, m1), Rename (a2, m2) -> a1 == a2 && m1 = m2
+  | Rename (a1, m1), Rename (a2, m2) -> a1 == a2 && equal_mapping m1 m2
   | If (c1, a1, b1), If (c2, a2, b2) ->
     a1 == a2 && b1 == b2 && Expr.equal c1 c2
   | Guard (c1, a1), Guard (c2, a2) -> a1 == a2 && Expr.equal c1 c2
@@ -399,6 +411,30 @@ let subst resolve proc =
   in
   go resolve proc
 
+(* Combine a non-empty branch list into a balanced tree, preserving
+   left-to-right branch order. The replicated operators are associative,
+   so the tree shape is free — and it is not free downstream: a left
+   spine of N branches makes every traversal that rebuilds or memoizes
+   per spine node (the operational semantics, the staged compiler)
+   quadratic in N. Balancing caps the depth at O(log N). *)
+let combine_balanced combine ps =
+  let arr = Array.of_list ps in
+  let rec go lo hi =
+    if hi - lo = 1 then arr.(lo)
+    else
+      let mid = (lo + hi) / 2 in
+      combine (go lo mid) (go mid hi)
+  in
+  go 0 (Array.length arr)
+
+let ext_all = function
+  | [] -> stop
+  | ps -> combine_balanced (fun a b -> ext (a, b)) ps
+
+let inter_all = function
+  | [] -> skip
+  | ps -> combine_balanced (fun a b -> inter (a, b)) ps
+
 let const_fold ?tys fenv proc =
   (* [bound] tracks in-scope binder variables; an expression folds to a
      literal only when none of its free variables are bound binders (after
@@ -488,7 +524,7 @@ let const_fold ?tys fenv proc =
           let resolve y = if String.equal y x then Some v else None in
           go bound (subst resolve p)
         in
-        List.fold_left (fun acc v -> combine acc (instance v)) (instance v0) rest
+        combine_balanced combine (instance v0 :: List.map instance rest)
     end
     else rebuild s (go (x :: bound) p)
   in

@@ -132,6 +132,17 @@ val chaos : Eventset.t -> t
 val prefix : string -> Expr.t list -> t -> t
 (** [prefix c args p] is the all-output prefix [c.args -> p]. *)
 
+val ext_all : t list -> t
+(** External choice over a list of branches, [stop] when empty. Builds a
+    balanced tree rather than a left spine: choice is associative, and a
+    spine of N branches costs every downstream per-node traversal O(N^2)
+    where the balanced shape costs O(N log N). *)
+
+val inter_all : t list -> t
+(** Interleaving over a list of components, [skip] when empty. Balanced
+    for the same reason as {!ext_all}; the shape also bounds the
+    combinator-tree depth the staged compiler walks per state. *)
+
 val send : string -> Value.t list -> t -> t
 (** Like {!prefix} with literal values. *)
 

@@ -1,0 +1,1003 @@
+(* Staged state-space reduction. Three stages, all optional and selected
+   by [Check_config.reductions]:
+
+   1. [compile_staged]: decompose the term's parallel structure into a
+      tree of lazy combinator nodes (FDR's supercompilation idea). Leaves
+      step their small subterms through the operational semantics;
+      composition nodes work on integer component-state pairs with
+      memoized transition rows and event-indexed synchronisation lookup.
+      Only the root's reachable graph is materialized — an interleaving of
+      hundreds of two-state intruder cells costs its reachable product,
+      never 2^cells, because intermediate nodes are only ever driven by
+      root reachability.
+
+   2. [apply]: composable Lts.t -> Lts.t passes (dead-event hiding, tau
+      compression, strong-bisimulation quotienting), each obs-instrumented.
+
+   3. [por_hooks]: ample-set partial-order reduction hooks consumed by
+      [Search.product] during the search itself.
+
+   Soundness notes are kept with each pass; the passes are gated per
+   model by [effective], and reduced counterexamples are re-derived by
+   the raw engine in [Refine], so every user-visible verdict and trace is
+   identical to the unreduced engine's. *)
+
+type pass = Dead_events | Tau_compress | Bisim | Por
+type pipeline = pass list
+
+(* Also the application order: hiding dead events first manufactures taus
+   for tau compression, and bisim merges whatever is left. *)
+let canonical_order = [ Dead_events; Tau_compress; Bisim; Por ]
+let default_pipeline = canonical_order
+
+let pass_name = function
+  | Dead_events -> "dead"
+  | Tau_compress -> "tau"
+  | Bisim -> "bisim"
+  | Por -> "por"
+
+let effective ~model pipeline =
+  List.filter
+    (fun p ->
+      List.memq p pipeline
+      &&
+      match p, model with
+      | (Dead_events | Por), `Traces -> true
+      (* dead-event hiding changes stability, and the ample conditions
+         assume violations are trace violations: traces only *)
+      | (Dead_events | Por), (`Failures | `Fd) -> false
+      | (Tau_compress | Bisim), _ -> true)
+    canonical_order
+
+let pipeline_to_string = function
+  | [] -> "none"
+  | ps ->
+    String.concat ","
+      (List.map pass_name (List.filter (fun p -> List.memq p ps) canonical_order))
+
+let fingerprint = pipeline_to_string
+
+let pipeline_of_string s =
+  let s = String.trim s in
+  if String.equal s "none" || String.equal s "" then Ok []
+  else if String.equal s "default" then Ok default_pipeline
+  else
+    let rec go acc = function
+      | [] -> Ok (List.filter (fun p -> List.memq p acc) canonical_order)
+      | part :: rest -> (
+        match String.trim part with
+        | "dead" -> go (Dead_events :: acc) rest
+        | "tau" -> go (Tau_compress :: acc) rest
+        | "bisim" -> go (Bisim :: acc) rest
+        | "por" -> go (Por :: acc) rest
+        | other ->
+          Error
+            (Printf.sprintf
+               "unknown reduction %S (expected a comma-separated subset of \
+                dead, tau, bisim, por — or none / default)"
+               other))
+    in
+    go [] (String.split_on_char ',' s)
+
+(* ------------------------------------------------------------------ *)
+(* Small shared machinery                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Proc_tbl = Hashtbl.Make (struct
+  type t = Proc.t
+
+  let equal = Proc.equal
+  let hash = Proc.hash
+end)
+
+module Label_tbl = Hashtbl.Make (struct
+  type t = Event.label
+
+  let equal = Event.equal_label
+
+  let hash = function
+    | Event.Tau -> 0x6b1
+    | Event.Tick -> 0x3a7
+    | Event.Vis e -> Event.hash e
+end)
+
+(* Growable array: the state tables of combinator nodes. *)
+module Dyn = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 64 dummy; len = 0; dummy }
+
+  let push t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) t.dummy in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let get t i = t.data.(i)
+  let set t i x = t.data.(i) <- x
+end
+
+(* Sort a materialized row by (label, target) and deduplicate — the
+   invariant of [Semantics.transitions] / [Lts.t]. Inside the combinator
+   tree rows stay raw: they are deterministic and duplicate-free by
+   construction, and only the root graph's rows are ever handed to
+   consumers that rely on the sorted shape. *)
+let sort_edges edges =
+  List.sort_uniq
+    (fun (l1, (j1 : int)) (l2, j2) ->
+      let c = Event.compare_label l1 l2 in
+      if c <> 0 then c else Int.compare j1 j2)
+    edges
+
+(* ------------------------------------------------------------------ *)
+(* Staged compilation: lazy combinator tree                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Stage_stop of [ `States | `Deadline ]
+
+type env = {
+  step : Proc.t -> (Event.label * Proc.t) list;
+  defs : Defs.t;
+  fenv : Expr.fenv;
+  tys : Ty.lookup;
+  mutable budget : int;  (* total states across every tree node *)
+  mutable ticks : int;
+  stop_at : float option;
+  cancel : (unit -> bool) option;
+}
+
+(* Charged once per interned component state; the wall clock and the
+   cancellation token ride the same 256-state cadence as the search
+   engine's budget polling. *)
+let charge env =
+  env.budget <- env.budget - 1;
+  if env.budget < 0 then raise (Stage_stop `States);
+  env.ticks <- env.ticks + 1;
+  if env.ticks land 255 = 0 then begin
+    (match env.stop_at with
+     | Some t when Obs.now () > t -> raise (Stage_stop `Deadline)
+     | _ -> ());
+    match env.cancel with
+    | Some cancelled when cancelled () -> raise (Stage_stop `Deadline)
+    | _ -> ()
+  end
+
+(* A combinator node: a lazily explored integer state space. [c_step] is
+   memoized per state; [c_term] rebuilds the process term a state denotes
+   (for the materialized graph, counterexamples and POR grouping).
+
+   Each transition carries the structural hash of its event (0 for tau
+   and tick), computed once when the edge first appears at a leaf and
+   propagated through every composition level. Synchronization joins are
+   hash joins, and without the annotation they would re-walk the deep
+   payload of the same physically-shared event once per composed state
+   that exposes it — the dominant cost on intruder-style models whose
+   events carry structured packets. *)
+type comp = {
+  c_initial : int;
+  c_step : int -> (Event.label * int * int) list;
+  c_term : int -> Proc.t;
+}
+
+let label_hash = function
+  | Event.Vis e -> Event.hash e
+  | Event.Tau | Event.Tick -> 0
+
+(* A leaf steps its subterm through the operational semantics, interning
+   the (small) terms it reaches. Laziness is what keeps decomposition
+   sound for components whose standalone state space dwarfs their
+   synchronized-reachable one: nothing drives a leaf beyond the states the
+   whole system visits. *)
+let leaf_comp env term0 =
+  let ids = Proc_tbl.create 64 in
+  let terms = Dyn.create term0 in
+  let memo : (Event.label * int * int) list option Dyn.t = Dyn.create None in
+  let intern t =
+    match Proc_tbl.find_opt ids t with
+    | Some i -> i
+    | None ->
+      charge env;
+      let i = terms.Dyn.len in
+      Dyn.push terms t;
+      Dyn.push memo None;
+      Proc_tbl.add ids t i;
+      i
+  in
+  let c_initial = intern term0 in
+  let c_step i =
+    match Dyn.get memo i with
+    | Some ts -> ts
+    | None ->
+      (* [env.step] already returns sorted, deduplicated rows; this map
+         preserves that order, so no re-sort is needed. *)
+      let ts =
+        List.map
+          (fun (l, t) -> l, label_hash l, intern t)
+          (env.step (Dyn.get terms i))
+      in
+      Dyn.set memo i (Some ts);
+      ts
+  in
+  { c_initial; c_step; c_term = (fun i -> Dyn.get terms i) }
+
+(* Typed hash tables for the two hot keys of parallel composition. The
+   polymorphic versions funnel every probe through [caml_compare] /
+   [caml_hash] on deep values — on packet-carrying events that C-level
+   structural walk dominates the whole staged compile. *)
+module Pair_tbl = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = (a2 : int) && b1 = (b2 : int)
+  let hash (a, b) = (a * 65599) + b
+end)
+
+
+(* Parallel composition at the graph level, replicating the term rules of
+   [Semantics.par_trans] exactly: free moves (tau always; visible when not
+   synchronized and allowed on that side), synchronized moves on equal
+   events, and a joint tick to a terminal state. States are pairs of
+   component states; (-1, -1) encodes the terminated process Omega. The
+   right side's synchronizing transitions are indexed by event once per
+   right state, turning the quadratic sync match of the term semantics
+   into a hash lookup per left transition. *)
+let par_comp env ~sync ~allowed_left ~allowed_right ~mk left right =
+  let ids : int Pair_tbl.t = Pair_tbl.create 64 in
+  let pairs = Dyn.create (0, 0) in
+  let memo = Dyn.create None in
+  let intern p =
+    match Pair_tbl.find_opt ids p with
+    | Some i -> i
+    | None ->
+      charge env;
+      let i = pairs.Dyn.len in
+      Dyn.push pairs p;
+      Dyn.push memo None;
+      Pair_tbl.add ids p i;
+      i
+  in
+  let c_initial = intern (left.c_initial, right.c_initial) in
+  (* Join machinery. Both memos are per component state, so the deep
+     structural hash of a payload-carrying event is never recomputed per
+     pair: edges arrive hash-annotated from the children, [left_plan]
+     just filters a state's synchronizing transitions, [right_index]
+     buckets the right side's by the annotated hash (int-keyed buckets,
+     with [Event.equal] resolving collisions, keep the table itself free
+     of deep hashing on probe). *)
+  let left_plans : (int, (Event.t * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let left_plan il =
+    match Hashtbl.find_opt left_plans il with
+    | Some plan -> plan
+    | None ->
+      let plan =
+        List.filter_map
+          (fun (l, h, il') ->
+            match l with
+            | Event.Vis e when sync e -> Some (e, h, il')
+            | Event.Vis _ | Event.Tau | Event.Tick -> None)
+          (left.c_step il)
+      in
+      Hashtbl.replace left_plans il plan;
+      plan
+  in
+  let right_sync : (int, (int, (Event.t * int) list) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let right_index ir =
+    match Hashtbl.find_opt right_sync ir with
+    | Some idx -> idx
+    | None ->
+      let idx : (int, (Event.t * int) list) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun (l, h, jr) ->
+          match l with
+          | Event.Vis e when sync e ->
+            let entries =
+              match Hashtbl.find_opt idx h with
+              | Some es -> es
+              | None -> []
+            in
+            Hashtbl.replace idx h ((e, jr) :: entries)
+          | Event.Vis _ | Event.Tau | Event.Tick -> ())
+        (right.c_step ir);
+      Hashtbl.replace right_sync ir idx;
+      idx
+  in
+  (* With only a handful of probes, scanning the right row beats paying
+     the index's full-row hashing — the asymmetric case (a few agents
+     composed against a bulky intruder) is exactly where index building
+     used to dominate. *)
+  let scan_join_max = 16 in
+  let c_step i =
+    match Dyn.get memo i with
+    | Some ts -> ts
+    | None ->
+      let il, ir = Dyn.get pairs i in
+      let ts =
+        if il < 0 then [] (* Omega *)
+        else begin
+          let lt = left.c_step il and rt = right.c_step ir in
+          let acc = ref [] in
+          let plan = left_plan il in
+          let scan_join =
+            plan <> [] && List.length plan <= scan_join_max
+          in
+          (* single pass per side: free moves, the scan join and tick
+             detection all ride one traversal of each (large) row *)
+          let l_tick = ref false in
+          List.iter
+            (fun (l, h, il') ->
+              match l with
+              | Event.Tau -> acc := (Event.Tau, 0, intern (il', ir)) :: !acc
+              | Event.Tick -> l_tick := true
+              | Event.Vis e ->
+                if (not (sync e)) && allowed_left e then
+                  acc := (l, h, intern (il', ir)) :: !acc)
+            lt;
+          let r_tick = ref false in
+          List.iter
+            (fun (l, h, ir') ->
+              match l with
+              | Event.Tau -> acc := (Event.Tau, 0, intern (il, ir')) :: !acc
+              | Event.Tick -> r_tick := true
+              | Event.Vis e ->
+                if sync e then begin
+                  if scan_join then
+                    List.iter
+                      (fun (el, hl, il') ->
+                        (* annotated hashes make most rejections one int
+                           compare instead of a structural descent *)
+                        if hl = h && Event.equal el e then
+                          acc := (l, h, intern (il', ir')) :: !acc)
+                      plan
+                end
+                else if allowed_right e then
+                  acc := (l, h, intern (il, ir')) :: !acc)
+            rt;
+          if (not scan_join) && plan <> [] then begin
+            let idx = right_index ir in
+            List.iter
+              (fun (e, h, il') ->
+                match Hashtbl.find_opt idx h with
+                | None -> ()
+                | Some entries ->
+                  List.iter
+                    (fun (er, jr) ->
+                      if Event.equal e er then
+                        acc := (Event.Vis e, h, intern (il', jr)) :: !acc)
+                    entries)
+              plan
+          end;
+          if !l_tick && !r_tick then
+            acc := (Event.Tick, 0, intern (-1, -1)) :: !acc;
+          (* deliberately unsorted: children's rows are deduplicated and
+             deterministic, free moves and sync joins cannot introduce
+             duplicates, and only the materialized root graph needs the
+             canonical edge order. Sorting here again would re-walk deep
+             event comparisons at every level of a composition spine —
+             the dominant cost on interleavings of many small cells. *)
+          !acc
+        end
+      in
+      Dyn.set memo i (Some ts);
+      ts
+  in
+  let c_term i =
+    let il, ir = Dyn.get pairs i in
+    if il < 0 then Proc.omega else mk (left.c_term il) (right.c_term ir)
+  in
+  { c_initial; c_step; c_term }
+
+(* Hiding and renaming relabel the inner node's transitions in place —
+   they share the inner state space (no new states to charge). A tick
+   target denotes Omega in the inner node already, and stays bare Omega
+   rather than being wrapped, matching the term semantics. *)
+let hide_comp set inner =
+  let memo : (int, (Event.label * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let c_step i =
+    match Hashtbl.find_opt memo i with
+    | Some ts -> ts
+    | None ->
+      let ts =
+        List.map
+          (fun ((l, _, j) as edge) ->
+            match l with
+            | Event.Vis e when Eventset.mem set e -> Event.Tau, 0, j
+            | _ -> edge)
+          (inner.c_step i)
+      in
+      Hashtbl.replace memo i ts;
+      ts
+  in
+  let c_term i =
+    let t = inner.c_term i in
+    if Proc.equal t Proc.omega then t else Proc.hide (t, set)
+  in
+  { c_initial = inner.c_initial; c_step; c_term }
+
+let rename_comp mapping inner =
+  let memo : (int, (Event.label * int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let c_step i =
+    match Hashtbl.find_opt memo i with
+    | Some ts -> ts
+    | None ->
+      let ts =
+        List.map
+          (fun ((l, _, j) as edge) ->
+            match l with
+            | Event.Vis e -> (
+              match List.assoc_opt e.Event.chan mapping with
+              | None -> edge
+              | Some chan ->
+                let e' = { e with Event.chan } in
+                Event.Vis e', Event.hash e', j)
+            | Event.Tau | Event.Tick -> edge)
+          (inner.c_step i)
+      in
+      Hashtbl.replace memo i ts;
+      ts
+  in
+  let c_term i =
+    let t = inner.c_term i in
+    if Proc.equal t Proc.omega then t else Proc.rename (t, mapping)
+  in
+  { c_initial = inner.c_initial; c_step; c_term }
+
+(* Resolve a named call to its (folded) body so the decomposition can see
+   through definitions like SYS = A [|..|] B. Any evaluation problem means
+   the call is left as a leaf, where stepping it reports the same error
+   the raw engine would. *)
+let unfold_call env f args =
+  match Defs.proc env.defs f with
+  | None -> None
+  | Some (params, body) ->
+    if List.length params <> List.length args then None
+    else (
+      try
+        let values =
+          List.map
+            (fun e -> Expr.eval ~tys:env.tys env.fenv Expr.empty_env e)
+            args
+        in
+        let bindings = List.combine params values in
+        let resolve x = List.assoc_opt x bindings in
+        Some (Proc.const_fold ~tys:env.tys env.fenv (Proc.subst resolve body))
+      with Expr.Eval_error _ -> None)
+
+let is_composition p =
+  match Proc.view p with
+  | Proc.Par _ | Proc.APar _ | Proc.Inter _ | Proc.Hide _ | Proc.Rename _ ->
+    true
+  | _ -> false
+
+let rec build env depth term =
+  match Proc.view term with
+  | Proc.Par (p, iface, q) ->
+    let l = build env depth p in
+    let r = build env depth q in
+    par_comp env
+      ~sync:(fun e -> Eventset.mem iface e)
+      ~allowed_left:(fun _ -> true)
+      ~allowed_right:(fun _ -> true)
+      ~mk:(fun a b -> Proc.par (a, iface, b))
+      l r
+  | Proc.APar (p, alpha_a, alpha_b, q) ->
+    let l = build env depth p in
+    let r = build env depth q in
+    par_comp env
+      ~sync:(fun e -> Eventset.mem alpha_a e && Eventset.mem alpha_b e)
+      ~allowed_left:(fun e -> Eventset.mem alpha_a e)
+      ~allowed_right:(fun e -> Eventset.mem alpha_b e)
+      ~mk:(fun a b -> Proc.apar (a, alpha_a, alpha_b, b))
+      l r
+  | Proc.Inter (p, q) ->
+    let l = build env depth p in
+    let r = build env depth q in
+    par_comp env
+      ~sync:(fun _ -> false)
+      ~allowed_left:(fun _ -> true)
+      ~allowed_right:(fun _ -> true)
+      ~mk:(fun a b -> Proc.inter (a, b))
+      l r
+  | Proc.Hide (p, set) -> hide_comp set (build env depth p)
+  | Proc.Rename (p, mapping) -> rename_comp mapping (build env depth p)
+  | Proc.Call (f, args) when depth < 64 -> (
+    match unfold_call env f args with
+    | Some body when is_composition body -> build env (depth + 1) body
+    | Some _ | None -> leaf_comp env term)
+  | _ -> leaf_comp env term
+
+let compile_staged ?(max_states = 1_000_000) ?stop_at ?cancel
+    ?(obs = Obs.silent) defs root =
+  Obs.span obs "reduce.compile_staged" (fun () ->
+      let fenv = Defs.fenv defs in
+      let tys = Defs.ty_lookup defs in
+      let root = Proc.const_fold ~tys fenv root in
+      let env =
+        {
+          step = Semantics.make_cached ~obs defs;
+          defs;
+          fenv;
+          tys;
+          budget = max_states;
+          ticks = 0;
+          stop_at;
+          cancel;
+        }
+      in
+      let c_states = Obs.counter obs "reduce.staged_states" in
+      (* BFS-materialize the root node's reachable graph. Dense ids are
+         assigned in discovery order, so the rows pushed per dequeue line
+         up with them (FIFO: dequeue order = discovery order). *)
+      let dense : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+      let order = Dyn.create 0 in
+      let rows : (Event.label * int) list Dyn.t = Dyn.create [] in
+      let queue = Queue.create () in
+      let explored = ref 0 in
+      match
+        let comp = build env 0 root in
+        let admit ci =
+          match Hashtbl.find_opt dense ci with
+          | Some di -> di
+          | None ->
+            let di = order.Dyn.len in
+            Hashtbl.add dense ci di;
+            Dyn.push order ci;
+            Queue.add ci queue;
+            di
+        in
+        let (_ : int) = admit comp.c_initial in
+        while not (Queue.is_empty queue) do
+          let ci = Queue.take queue in
+          let ts = comp.c_step ci in
+          Dyn.push rows (List.map (fun (l, _, cj) -> l, admit cj) ts);
+          incr explored
+        done;
+        comp
+      with
+      | comp ->
+        let n = order.Dyn.len in
+        let states =
+          Array.init n (fun di -> comp.c_term (Dyn.get order di))
+        in
+        let transitions =
+          Array.init n (fun di -> sort_edges (Dyn.get rows di))
+        in
+        Obs.add c_states n;
+        Lts.Complete { Lts.initial = 0; states; transitions }
+      | exception Stage_stop reason ->
+        let progress =
+          { Lts.explored = !explored; frontier = Queue.length queue; reason }
+        in
+        Lts.Partial
+          ( { Lts.initial = 0; states = [| root |]; transitions = [| [] |] },
+            progress ))
+
+(* ------------------------------------------------------------------ *)
+(* Graph passes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Drop states unreachable from the initial one and renumber densely in
+   BFS discovery order. *)
+let restrict_reachable (lts : Lts.t) =
+  let n = Array.length lts.Lts.states in
+  let map = Array.make n (-1) in
+  let order = Dyn.create 0 in
+  let queue = Queue.create () in
+  let admit i =
+    if map.(i) < 0 then begin
+      map.(i) <- order.Dyn.len;
+      Dyn.push order i;
+      Queue.add i queue
+    end
+  in
+  admit lts.Lts.initial;
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    List.iter (fun (_, j) -> admit j) lts.Lts.transitions.(i)
+  done;
+  let m = order.Dyn.len in
+  if m = n then lts
+  else
+    {
+      Lts.initial = map.(lts.Lts.initial);
+      states = Array.init m (fun k -> lts.Lts.states.(Dyn.get order k));
+      transitions =
+        Array.init m (fun k ->
+            sort_edges
+              (List.map
+                 (fun (l, j) -> l, map.(j))
+                 lts.Lts.transitions.(Dyn.get order k)));
+    }
+
+(* The labels the specification is insensitive to: visible labels with a
+   self-loop at every normal-form node. Such a label can never move the
+   spec, cause a violation, or mask one. *)
+let spec_free_labels norm =
+  let n = Normalise.num_nodes norm in
+  let counts = Label_tbl.create 32 in
+  for node = 0 to n - 1 do
+    List.iter
+      (fun (l, j) ->
+        match l with
+        | Event.Vis _ when j = node ->
+          Label_tbl.replace counts l
+            (1 + Option.value (Label_tbl.find_opt counts l) ~default:0)
+        | _ -> ())
+      (Normalise.afters norm node)
+  done;
+  let free = Label_tbl.create 32 in
+  Label_tbl.iter (fun l c -> if c = n then Label_tbl.replace free l ()) counts;
+  free
+
+(* Dead-event hiding (traces only): relabel spec-free events to tau. The
+   product reachable under the relabelled graph is identical (the spec
+   node never moved on these labels anyway), and tau compression can then
+   collapse the runs they formed. *)
+let hide_dead ~norm (lts : Lts.t) =
+  let free = spec_free_labels norm in
+  if Label_tbl.length free = 0 then lts
+  else
+    {
+      lts with
+      Lts.transitions =
+        Array.map
+          (fun ts ->
+            sort_edges
+              (List.map
+                 (fun (l, j) ->
+                   if Label_tbl.mem free l then Event.Tau, j else l, j)
+                 ts))
+          lts.Lts.transitions;
+    }
+
+(* Tarjan over the tau edges, iterative. Returns the SCC id per state and
+   the SCC count; ids follow Tarjan completion order, which is a reverse
+   topological order of the condensation (every tau-successor SCC of c
+   has an id smaller than c). *)
+let tau_sccs (lts : Lts.t) =
+  let n = Array.length lts.Lts.states in
+  let tau_succs i =
+    List.filter_map
+      (fun (l, j) -> match l with Event.Tau -> Some j | _ -> None)
+      lts.Lts.transitions.(i)
+  in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let scc = Array.make n (-1) in
+  let counter = ref 0 in
+  let nscc = ref 0 in
+  let visit root =
+    let frames = Stack.create () in
+    index.(root) <- !counter;
+    low.(root) <- !counter;
+    incr counter;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    Stack.push (root, tau_succs root) frames;
+    while not (Stack.is_empty frames) do
+      let v, succs = Stack.pop frames in
+      match succs with
+      | [] ->
+        if low.(v) = index.(v) then begin
+          let id = !nscc in
+          incr nscc;
+          let rec popall () =
+            match !stack with
+            | w :: rest ->
+              stack := rest;
+              on_stack.(w) <- false;
+              scc.(w) <- id;
+              if w <> v then popall ()
+            | [] -> ()
+          in
+          popall ()
+        end;
+        (match Stack.top_opt frames with
+         | Some (parent, _) ->
+           if low.(v) < low.(parent) then low.(parent) <- low.(v)
+         | None -> ())
+      | w :: rest ->
+        Stack.push (v, rest) frames;
+        if index.(w) < 0 then begin
+          index.(w) <- !counter;
+          low.(w) <- !counter;
+          incr counter;
+          stack := w :: !stack;
+          on_stack.(w) <- true;
+          Stack.push (w, tau_succs w) frames
+        end
+        else if on_stack.(w) && index.(w) < low.(v) then low.(v) <- index.(w)
+    done
+  in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then visit root
+  done;
+  scc, !nscc
+
+exception Pass_too_big
+
+(* Full tau elimination (traces only): each state adopts the visible
+   edges of its tau closure; states only reachable through tau chains
+   fall away. Preserves the visible-trace set exactly; discards stability
+   and divergence, which the traces model ignores.
+
+   Closures are computed once per tau-SCC over the condensation in
+   reverse topological order (SCC ids are already in that order), so the
+   pass is linear in the size of its own output. Genuine closure
+   blow-ups — the output of tau elimination can be quadratic — abort the
+   pass and return the graph unchanged. *)
+let tau_eliminate (lts : Lts.t) =
+  let n = Array.length lts.Lts.states in
+  let scc, nscc = tau_sccs lts in
+  let members = Array.make (max 1 nscc) [] in
+  for i = n - 1 downto 0 do
+    members.(scc.(i)) <- i :: members.(scc.(i))
+  done;
+  let vis = Array.make (max 1 nscc) [] in
+  let work = ref 0 in
+  let work_cap = max 1_000_000 (8 * Lts.num_transitions lts) in
+  match
+    for c = 0 to nscc - 1 do
+      let own = ref [] and succs = ref [] in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun (l, j) ->
+              match l with
+              | Event.Tau -> if scc.(j) <> c then succs := scc.(j) :: !succs
+              | _ -> own := (l, j) :: !own)
+            lts.Lts.transitions.(i))
+        members.(c);
+      let all =
+        List.fold_left
+          (fun acc c' -> List.rev_append vis.(c') acc)
+          !own
+          (List.sort_uniq Int.compare !succs)
+      in
+      work := !work + List.length all;
+      if !work > work_cap then raise Pass_too_big;
+      vis.(c) <- sort_edges all
+    done
+  with
+  | () ->
+    restrict_reachable
+      {
+        lts with
+        Lts.transitions = Array.init n (fun i -> vis.(scc.(i)));
+      }
+  | exception Pass_too_big -> lts
+
+(* Failures/FD-safe tau compression: collapse each tau-SCC to its
+   smallest member, keeping a tau self-loop on merged representatives so
+   instability and divergence survive. Every member of a non-trivial
+   tau-SCC is unstable and divergent, and those are exactly the
+   properties the failures and FD checks read off tau edges. *)
+let tau_scc_collapse (lts : Lts.t) =
+  let n = Array.length lts.Lts.states in
+  let scc, nscc = tau_sccs lts in
+  let size = Array.make (max 1 nscc) 0 in
+  Array.iter (fun c -> size.(c) <- size.(c) + 1) scc;
+  if not (Array.exists (fun s -> s >= 2) size) then lts
+  else begin
+    let rep = Array.make nscc max_int in
+    for i = n - 1 downto 0 do
+      if i < rep.(scc.(i)) then rep.(scc.(i)) <- i
+    done;
+    let target i = rep.(scc.(i)) in
+    let rows = Array.make n [] in
+    for i = n - 1 downto 0 do
+      let r = target i in
+      rows.(r) <-
+        List.rev_append
+          (List.map (fun (l, j) -> l, target j) lts.Lts.transitions.(i))
+          rows.(r)
+    done;
+    let rows =
+      Array.mapi
+        (fun i ts ->
+          if i = target i then
+            let ts =
+              if size.(scc.(i)) >= 2 then (Event.Tau, i) :: ts else ts
+            in
+            sort_edges ts
+          else [])
+        rows
+    in
+    restrict_reachable
+      {
+        Lts.initial = target lts.Lts.initial;
+        states = lts.Lts.states;
+        transitions = rows;
+      }
+  end
+
+(* Strong-bisimulation quotient by signature refinement: start from one
+   block, repeatedly split blocks by the multiset of (label, target
+   block) signatures until the partition is stable — the coarsest strong
+   bisimulation. Sound in every model (strong bisimilarity preserves
+   traces, failures and divergence). Block ids are assigned in
+   first-member order and the smallest member represents each block, so
+   the quotient is deterministic. *)
+let bisim_state_cap = 50_000
+
+let bisim_quotient (lts : Lts.t) =
+  let n = Array.length lts.Lts.states in
+  if n <= 1 || n > bisim_state_cap then lts
+  else begin
+    let labels =
+      List.sort_uniq Event.compare_label
+        (Array.fold_left
+           (fun acc ts -> List.fold_left (fun acc (l, _) -> l :: acc) acc ts)
+           [] lts.Lts.transitions)
+    in
+    let lid = Label_tbl.create 64 in
+    List.iteri (fun k l -> Label_tbl.replace lid l k) labels;
+    let row =
+      Array.map
+        (fun ts -> List.map (fun (l, j) -> Label_tbl.find lid l, j) ts)
+        lts.Lts.transitions
+    in
+    let block = Array.make n 0 in
+    let nblocks = ref 1 in
+    let changed = ref true in
+    while !changed do
+      let sigs : (int * (int * int) list, int) Hashtbl.t = Hashtbl.create n in
+      let next = Array.make n 0 in
+      let count = ref 0 in
+      for i = 0 to n - 1 do
+        let s =
+          List.sort_uniq compare
+            (List.map (fun (l, j) -> l, block.(j)) row.(i))
+        in
+        let key = block.(i), s in
+        match Hashtbl.find_opt sigs key with
+        | Some b -> next.(i) <- b
+        | None ->
+          let b = !count in
+          incr count;
+          Hashtbl.replace sigs key b;
+          next.(i) <- b
+      done;
+      if !count = !nblocks then changed := false
+      else begin
+        Array.blit next 0 block 0 n;
+        nblocks := !count
+      end
+    done;
+    if !nblocks = n then lts
+    else begin
+      let m = !nblocks in
+      let rep = Array.make m (-1) in
+      for i = n - 1 downto 0 do
+        rep.(block.(i)) <- i
+      done;
+      let states = Array.init m (fun b -> lts.Lts.states.(rep.(b))) in
+      let transitions =
+        Array.init m (fun b ->
+            sort_edges
+              (List.map
+                 (fun (l, j) -> l, block.(j))
+                 lts.Lts.transitions.(rep.(b))))
+      in
+      { Lts.initial = block.(lts.Lts.initial); states; transitions }
+    end
+  end
+
+type pass_stat = { pass : string; states_before : int; states_after : int }
+
+let apply ?(obs = Obs.silent) ~model ~norm pipeline lts =
+  let run name f (lts, stats) =
+    Obs.span obs ("reduce." ^ name) (fun () ->
+        let states_before = Lts.num_states lts in
+        let lts = f lts in
+        let states_after = Lts.num_states lts in
+        Obs.add
+          (Obs.counter obs ("reduce." ^ name ^ ".states_before"))
+          states_before;
+        Obs.add
+          (Obs.counter obs ("reduce." ^ name ^ ".states_after"))
+          states_after;
+        lts, { pass = name; states_before; states_after } :: stats)
+  in
+  let lts, stats =
+    List.fold_left
+      (fun acc p ->
+        match p with
+        | Dead_events -> run "dead" (hide_dead ~norm) acc
+        | Tau_compress -> (
+          match model with
+          | `Traces -> run "tau" tau_eliminate acc
+          | `Failures | `Fd -> run "tau" tau_scc_collapse acc)
+        | Bisim -> run "bisim" bisim_quotient acc
+        | Por -> acc (* search-time, see [por_hooks] *))
+      (lts, [])
+      (effective ~model pipeline)
+  in
+  lts, List.rev stats
+
+(* ------------------------------------------------------------------ *)
+(* Partial-order reduction hooks                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip structurally identical Hide/Rename wrappers from both terms so
+   the component analysis sees the Inter spine of e.g. (A ||| B) \ H. *)
+let rec strip_wrappers t u =
+  match Proc.view t, Proc.view u with
+  | Proc.Hide (t', s1), Proc.Hide (u', s2) when Eventset.equal s1 s2 ->
+    strip_wrappers t' u'
+  | Proc.Rename (t', m1), Proc.Rename (u', m2) when m1 = m2 ->
+    strip_wrappers t' u'
+  | _ -> t, u
+
+let rec flatten_inter t acc =
+  match Proc.view t with
+  | Proc.Inter (a, b) -> flatten_inter a (flatten_inter b acc)
+  | _ -> t :: acc
+
+(* Which interleaved component moved between [t] and [u]? [Some k] only
+   when exactly one position of the (equally shaped) Inter spines
+   differs — interleaving has no synchronization, so every genuine step
+   moves exactly one component. *)
+let changed_component t u =
+  let t, u = strip_wrappers t u in
+  match Proc.view t with
+  | Proc.Inter _ ->
+    let ct = flatten_inter t [] in
+    let cu = flatten_inter u [] in
+    if List.length ct <> List.length cu then None
+    else begin
+      let diffs = ref [] in
+      List.iteri
+        (fun k (a, b) -> if not (Proc.equal a b) then diffs := k :: !diffs)
+        (List.combine ct cu);
+      match !diffs with [ k ] -> Some k | _ -> None
+    end
+  | _ -> None
+
+let por_hooks ~norm lts =
+  let free = spec_free_labels norm in
+  let por_spec_free = function
+    | Event.Tau -> true
+    | Event.Tick -> false
+    | Event.Vis _ as l -> Label_tbl.mem free l
+  in
+  let por_groups i =
+    match Lts.transitions_of lts i with
+    | [] | [ _ ] -> []
+    | ts ->
+      let t = Lts.state_term lts i in
+      let tagged =
+        List.map
+          (fun (l, j) ->
+            match changed_component t (Lts.state_term lts j) with
+            | Some k -> Some (k, (l, j))
+            | None -> None)
+          ts
+      in
+      if List.exists Option.is_none tagged then []
+      else begin
+        let module IM = Map.Make (Int) in
+        let by_component =
+          List.fold_left
+            (fun m (k, e) ->
+              IM.update k
+                (fun prev -> Some (e :: Option.value prev ~default:[]))
+                m)
+            IM.empty
+            (List.filter_map Fun.id tagged)
+        in
+        List.rev (IM.fold (fun _ es acc -> List.rev es :: acc) by_component [])
+      end
+  in
+  { Search.por_groups; por_spec_free }

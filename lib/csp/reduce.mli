@@ -1,0 +1,118 @@
+(** Staged state-space reduction: the pipeline between compiling an
+    implementation and searching the refinement product.
+
+    The raw engine steps the whole composed process term once per product
+    state, which is dominated by re-combining the transition lists of large
+    parallel compositions (the Needham–Schroeder intruder alone contributes
+    hundreds of interleaved knowledge cells). This module replaces that
+    monolithic path with stages, in the spirit of FDR's supercompilation:
+
+    + {b Staged compilation} ({!compile_staged}): the term's parallel
+      structure ([Par]/[APar]/[Inter]/[Hide]/[Rename], unfolding named
+      calls) is decomposed into a tree of lazy combinator nodes. Leaves
+      step their (small) subterms through the operational semantics;
+      composition nodes work on integer component states with memoized
+      transition rows and event-indexed synchronisation lookup. Nothing is
+      materialized except the {e root} reachable graph — intermediate
+      components are never explored beyond what the whole system reaches,
+      so an interleaving of hundreds of two-state cells costs its reachable
+      product, not [2^cells].
+    + {b Graph passes} ({!apply}): composable [Lts.t -> Lts.t] reductions —
+      dead-event hiding against the specification alphabet, tau
+      compression, strong-bisimulation quotienting — each obs-instrumented
+      with a span and states-before/after counters.
+    + {b Search-time reduction} ({!por_hooks}): ample-set partial-order
+      reduction applied on the fly by [Search.product].
+
+    Every pass preserves verdicts for the model it is enabled under (see
+    {!effective}); counterexamples of reduced searches are re-derived by
+    the raw engine so they stay byte-identical to [--reductions none]. *)
+
+(** One reduction pass. String names (for [--reductions], fingerprints and
+    stats): ["dead"], ["tau"], ["bisim"], ["por"]. *)
+type pass =
+  | Dead_events
+      (** Relabel to [tau] every visible event the specification
+          self-loops on at {e every} normal-form node: such events can
+          neither cause nor mask a violation, and hiding them exposes tau
+          compression. Sound for traces refinement only (it changes
+          stability). *)
+  | Tau_compress
+      (** Under traces: full tau elimination (each state adopts the
+          visible edges of its tau closure; unreachable states dropped).
+          Under failures / FD: collapse tau-SCCs to a representative that
+          keeps a tau self-loop, preserving instability and divergence. *)
+  | Bisim
+      (** Strong-bisimulation quotient by signature-refinement partition
+          refinement. Sound in every model. *)
+  | Por
+      (** Ample-set partial-order reduction, applied during the product
+          search rather than to the graph; traces refinement only. *)
+
+type pipeline = pass list
+
+val default_pipeline : pipeline
+(** All four passes. Model-inapplicable passes are filtered by
+    {!effective}, so the default is safe for every check. *)
+
+val pass_name : pass -> string
+
+val pipeline_of_string : string -> (pipeline, string) result
+(** Parse a [--reductions] argument: ["none"], ["default"], or a
+    comma-separated subset of pass names (e.g. ["bisim,tau"]). *)
+
+val pipeline_to_string : pipeline -> string
+(** Canonical rendering: passes in canonical order, comma-separated;
+    ["none"] for the empty pipeline. *)
+
+val effective :
+  model:[ `Traces | `Failures | `Fd ] -> pipeline -> pipeline
+(** The passes that actually run for a model, in canonical application
+    order (dead, tau, bisim, por): [Dead_events] and [Por] are traces-only,
+    [Tau_compress] and [Bisim] apply everywhere. *)
+
+val fingerprint : pipeline -> string
+(** [pipeline_to_string] of the pipeline as given (callers pass the
+    {!effective} pipeline); recorded in checkpoints and digests so a
+    resume under different reductions fails loudly. *)
+
+val compile_staged :
+  ?max_states:int ->
+  ?stop_at:float ->
+  ?cancel:(unit -> bool) ->
+  ?obs:Obs.t ->
+  Defs.t ->
+  Proc.t ->
+  Lts.compile_result
+(** Compile the reachable graph of a ground term through the lazy
+    combinator tree. Produces the same reachable behaviour as
+    [Lts.compile_budgeted] (state terms may differ cosmetically where
+    named calls were unfolded during decomposition). [max_states]
+    (default [1_000_000]) bounds the {e total} states interned across all
+    tree nodes; exceeding it, passing [stop_at], or a true [cancel] poll
+    returns [Partial] — callers fall back to the raw path. [obs] records
+    a [reduce.compile_staged] span and a state counter. *)
+
+type pass_stat = {
+  pass : string;
+  states_before : int;
+  states_after : int;
+}
+
+val apply :
+  ?obs:Obs.t ->
+  model:[ `Traces | `Failures | `Fd ] ->
+  norm:Normalise.t ->
+  pipeline ->
+  Lts.t ->
+  Lts.t * pass_stat list
+(** Run the graph passes of the pipeline (in {!effective} order; [Por] is
+    ignored here) over an implementation graph, against the normalised
+    specification [norm]. Returns the reduced graph and one stat per pass
+    run, in application order. *)
+
+val por_hooks : norm:Normalise.t -> Lts.t -> Search.por
+(** Build the ample-set hooks for a compiled implementation graph:
+    transition grouping by independent interleaved component (derived from
+    the state terms' [Inter] spines, looking through common [Hide]/[Rename]
+    wrappers) and the spec-free label predicate. *)

@@ -27,6 +27,7 @@ type stats = Search.stats = {
   peak_frontier : int;
   workers : int;
   par_speedup : float;
+  reductions : (string * int * int) list;
 }
 
 type budget_kind = Search.budget_kind =
@@ -71,6 +72,23 @@ let spec_inconclusive progress =
         checkpoint = None;
       } )
 
+(* The model a refusal mode decides under, for gating reduction passes.
+   [`Full] (the determinism check) compares acceptance sets of the same
+   process against itself — no reduction pass is proven
+   verdict-preserving for it, so it always takes the raw path. *)
+let model_of_refusal = function
+  | `None -> Some `Traces
+  | `Acceptances -> Some `Failures
+  | `Full -> None
+
+let pass_stat_triples =
+  List.map (fun s -> s.Reduce.pass, s.Reduce.states_before, s.Reduce.states_after)
+
+let with_reduction_stats reductions = function
+  | Holds stats -> Holds { stats with reductions }
+  | Inconclusive (stats, hint) -> Inconclusive ({ stats with reductions }, hint)
+  | Fails _ as r -> r
+
 let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
     ?resume_from defs ~spec ~impl =
   let obs = config.obs in
@@ -80,18 +98,92 @@ let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
   | Lts.Partial (_, progress) -> spec_inconclusive progress
   | Lts.Complete spec_lts ->
     let norm = Normalise.normalise ~obs spec_lts in
-    let fenv = Defs.fenv defs in
-    let tys = Defs.ty_lookup defs in
-    let impl0 = Proc.const_fold ~tys fenv impl in
-    let source =
-      Search.proc_source ~interner:config.interner
-        ~make_step:(fun () -> Semantics.make_cached ~obs defs)
-        impl0
+    (* The unreduced engine: implementation states generated on the fly.
+       Used when no pass applies, when the staged compile degrades, and to
+       re-derive counterexamples found on a reduced graph. *)
+    let raw_search ?resume_from () =
+      let fenv = Defs.fenv defs in
+      let tys = Defs.ty_lookup defs in
+      let impl0 = Proc.const_fold ~tys fenv impl in
+      let source =
+        Search.proc_source ~interner:config.interner
+          ~make_step:(fun () -> Semantics.make_cached ~obs defs)
+          impl0
+      in
+      Search.product ~refusal:refusal_mode ~max_pairs ?stop_at
+        ~workers:config.workers ~obs ?progress:config.progress
+        ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
+        ?resume_from ?resume_deadline:config.deadline ~norm source
     in
-    Search.product ~refusal:refusal_mode ~max_pairs ?stop_at
-      ~workers:config.workers ~obs ?progress:config.progress
-      ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
-      ?resume_from ?resume_deadline:config.deadline ~norm source
+    let pipeline =
+      match model_of_refusal refusal_mode with
+      | None -> []
+      | Some model -> Reduce.effective ~model config.reductions
+    in
+    (* A checkpoint names the engine that recorded it. One recorded by
+       the raw engine — including the raw fallback of a reduced run whose
+       staged compile ran out of deadline — resumes on the raw path
+       regardless of [config.reductions]; one recorded by a reduced
+       search must be resumed by the same pipeline, and [Search.product]
+       raises [Resume_mismatch] below if it is not. *)
+    let pipeline =
+      match resume_from with
+      | Some cp when String.equal cp.Search.pipeline "none" -> []
+      | Some _ | None -> pipeline
+    in
+    (match pipeline, model_of_refusal refusal_mode with
+     | [], _ | _, None -> raw_search ?resume_from ()
+     | pipeline, Some model ->
+       let fp = Reduce.fingerprint pipeline in
+       let compiled =
+         match resume_from with
+         | Some _ ->
+           (* A checkpoint recorded against this pipeline implies the
+              staged compile completed; rebuild it deterministically,
+              with no deadline or cancellation mid-compile. *)
+           Reduce.compile_staged ~max_states:config.max_states ~obs defs
+             impl
+         | None ->
+           Reduce.compile_staged ~max_states:config.max_states ?stop_at
+             ?cancel:config.cancel ~obs defs impl
+       in
+       (match compiled with
+        | Lts.Partial _ ->
+          (* Budget ran out mid-decomposition: fall back to the raw
+             engine, which degrades gracefully (and can still find an
+             early counterexample without the full graph). *)
+          raw_search ?resume_from ()
+        | Lts.Complete impl_lts ->
+          let reduced, pass_stats =
+            Reduce.apply ~obs ~model ~norm pipeline impl_lts
+          in
+          let por =
+            match refusal_mode with
+            | `None when List.memq Reduce.Por pipeline ->
+              Some (Reduce.por_hooks ~norm reduced)
+            | _ -> None
+          in
+          let source = Search.lts_source ~check_divergence:false reduced in
+          let result =
+            Search.product ~refusal:refusal_mode ~max_pairs ?stop_at
+              ~workers:config.workers ~obs ?progress:config.progress
+              ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
+              ?resume_from ?resume_deadline:config.deadline ?por
+              ~pipeline:fp ~norm source
+          in
+          (match result with
+           | Fails _ ->
+             (* Counterexample canonicalisation: the reduced graph proves
+                a violation exists, but its trace and state term reflect
+                the reduced shape. Re-derive with the raw engine so the
+                reported counterexample is byte-identical to
+                [--reductions none]; if the raw run cannot reach a
+                verdict within the budgets, keep the reduced one. *)
+             (match raw_search () with
+              | Fails _ as raw -> raw
+              | Holds _ | Inconclusive _ -> result)
+           | Holds _ | Inconclusive _ ->
+             with_reduction_stats (pass_stat_triples pass_stats) result)))
 
 (* Failures-divergences refinement: both sides are compiled to explicit
    graphs (divergence detection needs the tau-SCCs of the implementation),
@@ -123,11 +215,45 @@ let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at ?resume_from defs
              checkpoint = None;
            } )
      | Lts.Complete impl_lts ->
-       let source = Search.lts_source ~check_divergence:true impl_lts in
-       Search.product ~refusal:`Acceptances ~max_pairs ?stop_at
-         ~workers:config.workers ~obs ?progress:config.progress
-         ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
-         ?resume_from ?resume_deadline:config.deadline ~norm source)
+       let search ~pipeline lts =
+         let source = Search.lts_source ~check_divergence:true lts in
+         Search.product ~refusal:`Acceptances ~max_pairs ?stop_at
+           ~workers:config.workers ~obs ?progress:config.progress
+           ?cancel:config.cancel ?memory_limit_mb:config.memory_limit_mb
+           ?resume_from ?resume_deadline:config.deadline ~pipeline ~norm
+           source
+       in
+       let effective =
+         match resume_from with
+         | Some cp when String.equal cp.Search.pipeline "none" -> []
+         | Some _ | None -> Reduce.effective ~model:`Fd config.reductions
+       in
+       (match effective with
+        | [] -> search ~pipeline:"none" impl_lts
+        | pipeline ->
+          let reduced, pass_stats =
+            Reduce.apply ~obs ~model:`Fd ~norm pipeline impl_lts
+          in
+          (match search ~pipeline:(Reduce.fingerprint pipeline) reduced with
+           | Fails _ as result ->
+             (* Canonicalise the counterexample on the unreduced graph
+                (see [product_check]); the raw search ignores the
+                checkpoint of the reduced one. *)
+             let raw =
+               let source =
+                 Search.lts_source ~check_divergence:true impl_lts
+               in
+               Search.product ~refusal:`Acceptances ~max_pairs ?stop_at
+                 ~workers:config.workers ~obs ?progress:config.progress
+                 ?cancel:config.cancel
+                 ?memory_limit_mb:config.memory_limit_mb
+                 ?resume_deadline:config.deadline ~norm source
+             in
+             (match raw with
+              | Fails _ -> raw
+              | Holds _ | Inconclusive _ -> result)
+           | result ->
+             with_reduction_stats (pass_stat_triples pass_stats) result)))
 
 let stop_at_of_deadline = function
   | None -> None

@@ -43,6 +43,10 @@ type stats = Search.stats = {
   peak_frontier : int;  (** largest unexplored frontier at any point *)
   workers : int;  (** domains used by the search (1 = sequential) *)
   par_speedup : float;  (** estimated speedup over one worker *)
+  reductions : (string * int * int) list;
+      (** per reduction pass run on the implementation graph before the
+          search: [(pass name, states before, states after)], in
+          application order; [[]] on the raw path *)
 }
 
 type budget_kind = Search.budget_kind =
@@ -115,7 +119,20 @@ val check :
     gracefully: once the token trips (or the heap watermark is crossed)
     the product search returns {!Inconclusive} with [exhausted =
     Interrupt] (respectively [Memory]) and a {!Search.checkpoint} in the
-    hint instead of dying. *)
+    hint instead of dying.
+
+    [config.reductions] selects the staged reduction pipeline (see
+    {!Reduce}): when any pass applies to the model, the implementation is
+    compiled through the staged combinator tree, reduced, and the product
+    is searched over the reduced graph (with ample-set POR applied during
+    the search when enabled). Verdicts are preserved by construction, and
+    counterexamples are re-derived by the raw engine, so results are
+    byte-identical to [with_reductions []] — [stats.reductions] and the
+    wall clock are the only observable differences. If the staged compile
+    runs out of budget the check falls back to the raw engine (which can
+    still find an early counterexample without the full graph). The
+    determinism check and the graph-based freedom checks always run
+    raw. *)
 
 val resume :
   ?config:Check_config.t ->
@@ -135,7 +152,13 @@ val resume :
     [config.deadline] grants that many seconds beyond the recorded
     position; without one the checkpoint's own unconsumed budget applies
     ([None] = unbounded). The final verdict is byte-identical to an
-    uninterrupted run. *)
+    uninterrupted run.
+
+    [config.reductions] must also match the interrupted run: checkpoints
+    record the reduction fingerprint of the search they interrupted, and
+    a resume whose effective pipeline differs raises
+    {!Search.Resume_mismatch} immediately (the visit order of a reduced
+    search means nothing to an unreduced one, and vice versa). *)
 
 val resume_deterministic :
   ?config:Check_config.t ->

@@ -22,6 +22,7 @@ type stats = {
   peak_frontier : int;
   workers : int;
   par_speedup : float;
+  reductions : (string * int * int) list;
 }
 
 type budget_kind =
@@ -62,6 +63,11 @@ type checkpoint = {
   visited_digest : int;
   deadline_left : float option;  (* unconsumed wall budget, seconds *)
   exhausted : budget_kind;  (* why the original run stopped *)
+  pipeline : string;
+      (* fingerprint of the reduction pipeline the search ran under
+         ("none" for the raw engine): pair ids and the visit-order digest
+         only replay under the same pipeline, so resuming under a
+         different one must fail loudly instead of replaying garbage *)
 }
 
 type resume_hint = {
@@ -93,6 +99,7 @@ let json_of_checkpoint cp =
       ( "deadline_left",
         match cp.deadline_left with Some s -> Num s | None -> Null );
       "exhausted", Str (budget_kind_to_string cp.exhausted);
+      "reductions", Str cp.pipeline;
     ]
 
 let checkpoint_of_json json =
@@ -118,6 +125,13 @@ let checkpoint_of_json json =
                         budget_kind_of_string
                     with
                     | Some exhausted ->
+                      (* absent in pre-reduction checkpoints, which were
+                         always recorded by the raw engine *)
+                      let pipeline =
+                        Option.value
+                          (Option.bind (member "reductions" json) to_str)
+                          ~default:"none"
+                      in
                       Ok
                         {
                           explored;
@@ -126,6 +140,7 @@ let checkpoint_of_json json =
                           visited_digest;
                           deadline_left;
                           exhausted;
+                          pipeline;
                         }
                     | None -> Error "checkpoint: bad \"exhausted\" kind"))))
   | Some s -> Error (Printf.sprintf "checkpoint: unknown schema %S" s)
@@ -156,6 +171,19 @@ type source = {
 
 type interner = [ `Id | `Structural ]
 
+(* Ample-set partial-order reduction hooks, supplied by [Reduce.por_hooks]
+   for precompiled implementation graphs. [por_groups i] partitions the
+   transitions of state [i] into groups that belong to independent
+   interleaved components ([] when the state has no such structure);
+   [por_spec_free l] holds when the specification is insensitive to [l]
+   (it self-loops on [l] at every normal-form node). The engine commits
+   only one qualifying group instead of the full successor set when the
+   ample conditions hold — see [commit]. *)
+type por = {
+  por_groups : int -> (Event.label * int) list list;
+  por_spec_free : Event.label -> bool;
+}
+
 type progress = {
   explored : int;
   pairs : int;
@@ -184,7 +212,8 @@ let visible_trace labels =
 let per_sec states wall = if wall > 0. then float_of_int states /. wall else 0.
 
 let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ?(workers = 1)
-    ?(par_speedup = 1.) ~impl_states ~spec_nodes ~pairs () =
+    ?(par_speedup = 1.) ?(reductions = []) ~impl_states ~spec_nodes ~pairs ()
+    =
   {
     impl_states;
     spec_nodes;
@@ -194,6 +223,7 @@ let make_stats ?(wall_s = 0.) ?(peak_frontier = 0) ?(workers = 1)
     peak_frontier;
     workers;
     par_speedup;
+    reductions;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -434,9 +464,21 @@ let heap_mb () =
   float_of_int (words * (Sys.word_size / 8)) /. (1024. *. 1024.)
 
 let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
-    ?progress ?cancel ?memory_limit_mb ?resume_from ?resume_deadline ~norm
-    source =
+    ?progress ?cancel ?memory_limit_mb ?resume_from ?resume_deadline ?por
+    ?(pipeline = "none") ~norm source =
   let workers = max 1 workers in
+  (* A checkpoint records the pipeline it was taken under; its pair ids
+     and visit-order digest are meaningless under any other pipeline. *)
+  (match resume_from with
+   | Some cp when not (String.equal cp.pipeline pipeline) ->
+     raise
+       (Resume_mismatch
+          (Printf.sprintf
+             "checkpoint was recorded with reductions %S but this run \
+              would search with %S — resume with the interrupted run's \
+              --reductions setting"
+             cp.pipeline pipeline))
+   | _ -> ());
   let t0 = Obs.now () in
   (* Metric handles are registered once, here; on a silent handle every
      update below is a single branch and allocates nothing. *)
@@ -678,9 +720,52 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
                    | None -> E_trace_violation l))
               ts))
   in
+  (* Ample-set selection, evaluated in the commit phase so the choice is
+     made in deterministic merge order and the proviso can consult pair
+     ids (FIFO interning order = dequeue order). A group G of state [s]'s
+     transitions qualifies as ample when:
+     - every edge of [s] is a plain step (no trace violation, no tick):
+       otherwise the violation must be found / the spec must move;
+     - the state's transitions split into >= 2 component groups that
+       cover them all (so G is a proper subset);
+     - every label of G is invisible to the specification (Tau, or
+       self-looping at every normal-form node), hence firing G keeps the
+       spec node and cannot mask or create a violation;
+     - cycle proviso: some successor of G is not yet closed (not interned,
+       or interned with a pair id greater than the committing pair's, i.e.
+       still queued) — deferring the other groups along a cycle of
+       already-closed states would postpone them forever. *)
+  let c_ample = Obs.counter obs "search.por_ample_commits" in
+  let ample p pair_id node edges =
+    let plain_step = function
+      | E_step ((Event.Tau | Event.Vis _), _, _) -> true
+      | E_step (Event.Tick, _, _) | E_trace_violation _ -> false
+    in
+    if not (List.for_all plain_step edges) then None
+    else
+      match p.por_groups !pair_impl.(pair_id) with
+      | [] | [ _ ] -> None
+      | groups ->
+        let total =
+          List.fold_left (fun acc g -> acc + List.length g) 0 groups
+        in
+        if total <> List.length edges then None
+        else
+          let qualifies g =
+            g <> []
+            && List.for_all (fun (l, _) -> p.por_spec_free l) g
+            && List.exists
+                 (fun (_, j) ->
+                   match Pair_tbl.find_opt pair_ids (j, node) with
+                   | None -> true
+                   | Some id -> id > pair_id)
+                 g
+          in
+          List.find_opt qualifies groups
+  in
   (* Stage 2 (merge, single domain): commit one pair's expansion in
      frontier order. [Some result] short-circuits the search. *)
-  let commit pair_id expansion =
+  let rec commit pair_id expansion =
     last_dequeued := pair_id;
     incr explored;
     Obs.incr c_explored;
@@ -696,6 +781,26 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
               impl_i))
     | X_error e -> raise e
     | X_edges edges ->
+      let node = !pair_node.(pair_id) in
+      let chosen =
+        match por with
+        | Some p when refusal = `None && source.divergent = None ->
+          ample p pair_id node edges
+        | _ -> None
+      in
+      (match chosen with
+       | Some group ->
+         (* Every label of an ample group leaves the spec node in place
+            (Tau, or a label the spec self-loops on everywhere). *)
+         Obs.incr c_ample;
+         List.iter
+           (fun (l, j) ->
+             intern_pair (Some (l, pair_id))
+               (source.intern (Raw_state j), node))
+           group;
+         None
+       | None -> commit_edges pair_id edges impl_i)
+  and commit_edges pair_id edges impl_i =
       (* Intern every successor state first, then scan for violations
          while interning pairs: the same order as a sequential stepper
          that interns its whole result list before the scan. *)
@@ -844,6 +949,7 @@ let product ~refusal ~max_pairs ?stop_at ?(workers = 1) ?(obs = Obs.silent)
         visited_digest = !b_digest;
         deadline_left = deadline_left_now ();
         exhausted = kind;
+        pipeline;
       }
     in
     Inconclusive

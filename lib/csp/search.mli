@@ -51,6 +51,10 @@ type stats = {
   par_speedup : float;
       (** estimated speedup over one worker: aggregate worker busy time
           divided by wall time; 1.0 for a sequential search *)
+  reductions : (string * int * int) list;
+      (** per reduction pass: name, implementation states before, states
+          after. Empty for the raw (unreduced) engine and for [Fails]
+          paths, whose counterexamples are re-derived unreduced. *)
 }
 
 type budget_kind =
@@ -78,6 +82,12 @@ type checkpoint = {
       (** unconsumed wall budget at capture, seconds; [None] = the run
           had no deadline *)
   exhausted : budget_kind;  (** why the original run stopped *)
+  pipeline : string;
+      (** fingerprint of the reduction pipeline the interrupted search ran
+          under ([Reduce.fingerprint]; ["none"] for the raw engine). Pair
+          ids and the visit-order digest are only reproducible under the
+          same pipeline, so {!product} refuses to resume under any
+          other. *)
 }
 (** A serializable commit-boundary snapshot of the deterministic search.
     The engine commits pairs in an order that is byte-identical at any
@@ -156,6 +166,20 @@ type source = {
           elsewhere as a violation. [None]: divergence-blind. *)
 }
 
+(** Ample-set partial-order reduction hooks (see [Reduce.por_hooks]).
+    [por_groups i] partitions state [i]'s transitions into groups owned by
+    independent interleaved components ([] when the state has no such
+    structure); [por_spec_free l] holds when the specification self-loops
+    on [l] at every normal-form node (so [l] can neither cause nor mask a
+    violation). When the ample conditions hold at a committed pair the
+    engine explores a single qualifying group instead of the full
+    successor set. Only consulted for [`None] (traces) refusal with a
+    divergence-blind source. *)
+type por = {
+  por_groups : int -> (Event.label * int) list list;
+  por_spec_free : Event.label -> bool;
+}
+
 type interner =
   [ `Id  (** hash-consed: [Proc.equal] / [Proc.hash], O(1) *)
   | `Structural
@@ -192,6 +216,7 @@ val visible_trace : Event.label list -> Event.label list
 
 val make_stats :
   ?wall_s:float -> ?peak_frontier:int -> ?workers:int -> ?par_speedup:float ->
+  ?reductions:(string * int * int) list ->
   impl_states:int -> spec_nodes:int -> pairs:int -> unit -> stats
 (** Assemble a {!stats} for results produced outside {!product} (partial
     compiles, deadlock/divergence checks); derives [states_per_sec]. *)
@@ -207,6 +232,8 @@ val product :
   ?memory_limit_mb:int ->
   ?resume_from:checkpoint ->
   ?resume_deadline:float ->
+  ?por:por ->
+  ?pipeline:string ->
   norm:Normalise.t ->
   source ->
   result

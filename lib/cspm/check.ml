@@ -175,6 +175,17 @@ let json_of_outcome i o =
         "peak_frontier", num s.Csp.Refine.peak_frontier;
         "workers", num s.Csp.Refine.workers;
         "par_speedup", Num s.Csp.Refine.par_speedup;
+        ( "reductions",
+          List
+            (List.map
+               (fun (pass, before, after) ->
+                 Obj
+                   [
+                     "pass", Str pass;
+                     "states_before", num before;
+                     "states_after", num after;
+                   ])
+               s.Csp.Refine.reductions) );
       ]
   in
   let base =

@@ -91,7 +91,10 @@ val json_of_outcomes : outcome list -> Obs.Json.t
           "verdict": "pass" | "fail" | "inconclusive",
           "stats": { "impl_states", "spec_nodes", "pairs", "wall_s",
                      "states_per_sec", "peak_frontier", "workers",
-                     "par_speedup" },     // pass and inconclusive
+                     "par_speedup",
+                     "reductions": [      // one entry per reduction pass
+                       { "pass", "states_before", "states_after" }, ... ]
+                   },                     // pass and inconclusive
           "counterexample": { "trace": ["ev.1", ...],
                               "violation": "<description>" },  // fail
           "resume_hint": { "frontier", "exhausted": "deadline" |
@@ -102,11 +105,13 @@ val json_of_outcomes : outcome list -> Obs.Json.t
     v}
 
     New fields may be added over time; existing fields keep their names
-    and meanings (this revision adds ["resume_hint"]["checkpoint"] — the
-    engine checkpoint, when one exists — and widened ["exhausted"] to the
-    full {!Csp.Search.budget_kind_to_string} vocabulary). Timing fields
-    ([wall_s], [states_per_sec], [par_speedup]) vary run to run;
-    everything else is deterministic. *)
+    and meanings (earlier revisions added ["resume_hint"]["checkpoint"] —
+    the engine checkpoint, when one exists — and widened ["exhausted"] to
+    the full {!Csp.Search.budget_kind_to_string} vocabulary; this one
+    adds ["stats"]["reductions"], the per-pass state counts of the staged
+    reduction pipeline, [[]] on the raw path). Timing fields ([wall_s],
+    [states_per_sec], [par_speedup]) vary run to run; everything else is
+    deterministic. *)
 
 val json_of_outcome : int -> outcome -> Obs.Json.t
 (** One entry of the report's ["assertions"] array, at index [i]. *)

@@ -43,11 +43,8 @@ let all_events (s : Scenario.t) = Csp.Defs.events_of s.Scenario.defs s.Scenario.
 
 (* External choice over concrete events, each continuing via [k]. *)
 let choice_over events k =
-  match events with
-  | [] -> P.stop
-  | first :: rest ->
-    let branch e = P.send e.Csp.Event.chan e.Csp.Event.args (k e) in
-    List.fold_left (fun acc e -> P.ext (acc, branch e)) (branch first) rest
+  P.ext_all
+    (List.map (fun e -> P.send e.Csp.Event.chan e.Csp.Event.args (k e)) events)
 
 let versions = List.init Messages.versions Fun.id
 

@@ -172,11 +172,7 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
     List.map hear_branch classes
     @ List.filter_map inject_branch universe
   in
-  let body =
-    match branches with
-    | [] -> P.stop
-    | first :: rest -> List.fold_left (fun a b -> P.ext (a, b)) first rest
-  in
+  let body = P.ext_all branches in
   Csp.Defs.define_proc defs forge_name params body;
   (* Replay cells synchronized with the forger on overhearing. *)
   let cells_name = name ^ "_CELLS" in
@@ -201,14 +197,12 @@ let define_spy ?(name = "INTRUDER_SPY") defs config =
   let cells =
     match universe with
     | [] -> P.stop
-    | first :: rest ->
+    | _ ->
       let cell_for p =
         let known = List.exists (Csp.Value.equal p) forgeable_now in
         P.call (cell, [ E.Lit p; E.bool known ])
       in
-      List.fold_left
-        (fun acc p -> P.inter (acc, cell_for p))
-        (cell_for first) rest
+      P.inter_all (List.map cell_for universe)
   in
   Csp.Defs.define_proc defs cells_name [] cells;
   let spy =

@@ -61,10 +61,6 @@ let precedes ?(name = "PRECEDES") defs ~alphabet ~trigger ~guarded =
         else Some (P.send e.Csp.Event.chan e.Csp.Event.args (P.call (name, []))))
       events
   in
-  let body =
-    match before with
-    | [] -> P.stop
-    | first :: rest -> List.fold_left (fun acc b -> P.ext (acc, b)) first rest
-  in
+  let body = P.ext_all before in
   Csp.Defs.define_proc defs name [] body;
   P.call (name, [])

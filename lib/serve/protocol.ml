@@ -9,6 +9,7 @@ type job = {
   workers : int;
   max_states : int option;
   max_retries : int option;
+  reductions : string option;
 }
 
 type request = Submit of job | Health | Drain
@@ -44,6 +45,7 @@ let request_of_line line =
                    workers = Option.value (int "workers") ~default:1;
                    max_states = int "max_states";
                    max_retries = int "max_retries";
+                   reductions = str "reductions";
                  })
           in
           match str "script", str "path" with

@@ -14,7 +14,9 @@
       "deadline_s": 5.0,     // optional per-attempt wall budget
       "workers": 2,          // optional, default 1
       "max_states": 100000,  // optional
-      "max_retries": 3 }     // optional, default from the runner
+      "max_retries": 3,      // optional, default from the runner
+      "reductions": "none" } // optional --reductions-style pass list,
+                             // default "default"
     { "op": "health" }
     { "op": "drain" }
     v}
@@ -41,6 +43,11 @@ type job = {
   workers : int;
   max_states : int option;
   max_retries : int option;  (** [None] = the runner's default *)
+  reductions : string option;
+      (** [--reductions]-style pass list ([None] = ["default"]); an
+          unparseable value fails the job with a [failed] event before
+          any attempt runs. Retries resume under the same setting, so
+          checkpoints always match. *)
 }
 
 type request = Submit of job | Health | Drain

@@ -157,11 +157,15 @@ let run_job t (job : Protocol.job) =
   let retries =
     Option.value job.Protocol.max_retries ~default:cfg.default_retries
   in
-  match load_job job with
-  | Error reason ->
+  let reductions =
+    Csp.Reduce.pipeline_of_string
+      (Option.value job.Protocol.reductions ~default:"default")
+  in
+  match load_job job, reductions with
+  | Error reason, _ | _, Error reason ->
     cfg.emit (Protocol.failed ~id:job.Protocol.id ~attempts:1 ~reason);
     note_failed t
-  | Ok loaded ->
+  | Ok loaded, Ok reductions ->
     let render start outcomes =
       List.mapi (fun i o -> Cspm.Check.json_of_outcome (start + i) o) outcomes
     in
@@ -177,6 +181,7 @@ let run_job t (job : Protocol.job) =
           |> with_workers (max 1 job.Protocol.workers)
           |> with_obs cfg.obs
           |> with_cancel (Signals.read cfg.cancel)
+          |> with_reductions reductions
         in
         let c =
           match job.Protocol.max_states with

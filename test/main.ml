@@ -39,4 +39,5 @@ let () =
       Test_analysis.suite;
       Test_checkpoint.suite;
       Test_serve.suite;
+      Test_reduce.suite;
     ]

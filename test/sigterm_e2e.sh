@@ -24,11 +24,13 @@ strip_timing() {
           s/,"par_speedup":[0-9.eE+-]+//g' "$1"
 }
 
-# Reference: the uninterrupted run.
-"$bin" --format json -o full.json "$fixture"
+# Reference: the uninterrupted run. The whole test pins
+# --reductions none: it exercises the interrupt machinery, and the raw
+# engine is the one whose multi-second search the SIGTERM must land in.
+"$bin" --format json --reductions none -o full.json "$fixture"
 
 # Interrupted run: SIGTERM well inside the multi-second search.
-"$bin" --format json -o part.json --checkpoint-out ck.json "$fixture" &
+"$bin" --format json --reductions none -o part.json --checkpoint-out ck.json "$fixture" &
 pid=$!
 sleep 0.3
 kill -TERM "$pid" 2>/dev/null || true
@@ -47,8 +49,25 @@ grep -q '"verdict":"inconclusive"' part.json
 grep -q '"exhausted":"interrupt"' part.json
 grep -q '"checkpoint"' part.json
 
+# A resume under different --reductions must be refused up front (the
+# checkpoint digest covers the reduction setting): exit 2 and an error
+# that names the flag, before any search starts.
+set +e
+mismatch_err=$("$bin" --format json -o bad.json --resume ck.json "$fixture" 2>&1)
+mismatch_code=$?
+set -e
+if [ "$mismatch_code" -ne 2 ]; then
+  echo "mismatched-reductions resume exited $mismatch_code, want 2" >&2
+  exit 1
+fi
+case "$mismatch_err" in
+  *--reductions*) ;;
+  *) echo "mismatch error does not mention --reductions: $mismatch_err" >&2
+     exit 1 ;;
+esac
+
 # Resume: must complete (exit 0) and remove the stale checkpoint.
-"$bin" --format json -o resumed.json --resume ck.json --checkpoint-out ck.json "$fixture"
+"$bin" --format json --reductions none -o resumed.json --resume ck.json --checkpoint-out ck.json "$fixture"
 if [ -f ck.json ]; then
   echo "stale checkpoint survived a completed resume" >&2
   exit 1

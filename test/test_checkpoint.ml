@@ -89,6 +89,7 @@ let test_checkpoint_codec () =
       visited_digest = 0xF_FFFF_FFFF_FFFF;
       deadline_left = Some 1.25;
       exhausted = Search.Interrupt;
+      pipeline = "dead,tau,bisim,por";
     }
   in
   let cp' = roundtrip cp in
@@ -122,15 +123,22 @@ let interrupt_resume_equals_uninterrupted =
       List.for_all
         (fun model ->
           let defs = Helpers.make_defs () in
+          (* reductions stay off throughout this file: the subject is the
+             checkpoint machinery, whose pacing and pair counts are those
+             of the raw engine (reduced-vs-raw equivalence has its own
+             suite in test_reduce) *)
           let config w =
-            Check_config.(default |> with_max_states 50_000 |> with_workers w)
+            Check_config.(
+              default |> with_max_states 50_000 |> with_workers w
+              |> with_reductions [])
           in
           let expected =
             render (Refine.check ~config:(config 1) ~model defs ~spec ~impl)
           in
           let cut_config =
             Check_config.(
-              default |> with_max_states 50_000 |> with_max_pairs cut)
+              default |> with_max_states 50_000 |> with_max_pairs cut
+              |> with_reductions [])
           in
           match Refine.check ~config:cut_config ~model defs ~spec ~impl with
           | Refine.Inconclusive (_, { Refine.checkpoint = Some cp; _ }) ->
@@ -165,11 +173,12 @@ let interrupt_resume_equals_uninterrupted =
 
 let test_cancel_token_checkpoint_resume () =
   let defs, spec, impl = big_model () in
-  let expected = render (Refine.check defs ~spec ~impl) in
+  let raw = Check_config.(default |> with_reductions []) in
+  let expected = render (Refine.check ~config:raw defs ~spec ~impl) in
   let calls = ref 0 in
   let config =
     Check_config.(
-      default
+      raw
       |> with_cancel (fun () ->
              incr calls;
              !calls >= 2))
@@ -182,7 +191,7 @@ let test_cancel_token_checkpoint_resume () =
       (stats.Refine.pairs < 4096);
     List.iter
       (fun w ->
-        let config = Check_config.(default |> with_workers w) in
+        let config = Check_config.(raw |> with_workers w) in
         check_string
           (Printf.sprintf "resumed verdict at workers=%d" w)
           expected
@@ -197,13 +206,17 @@ let test_cancel_token_checkpoint_resume () =
 
 let test_memory_watermark_checkpoint_resume () =
   let defs, spec, impl = big_model () in
-  let expected = render (Refine.check defs ~spec ~impl) in
+  let raw = Check_config.(default |> with_reductions []) in
+  let expected = render (Refine.check ~config:raw defs ~spec ~impl) in
   (* a 1 MB watermark is far below the live heap of a running test
      binary, so the first poll trips it — deterministically *)
-  let config = Check_config.(default |> with_memory_limit 1) in
+  let config = Check_config.(raw |> with_memory_limit 1) in
   match Refine.check ~config defs ~spec ~impl with
   | Refine.Inconclusive
       (_, { Refine.exhausted = Refine.Memory; checkpoint = Some cp; _ }) ->
+    (* the resume runs under the stock config on purpose: the checkpoint
+       records the raw engine, and that recording — not the resuming
+       config's reduction pipeline — must pick the engine *)
     check_string "resumed without the watermark" expected
       (render (Refine.resume ~checkpoint:(roundtrip cp) defs ~spec ~impl))
   | other ->
@@ -215,7 +228,9 @@ let test_memory_watermark_checkpoint_resume () =
 
 let test_resume_mismatch () =
   let defs, spec, impl = big_model () in
-  let config = Check_config.(default |> with_max_pairs 1000) in
+  let config =
+    Check_config.(default |> with_max_pairs 1000 |> with_reductions [])
+  in
   match Refine.check ~config defs ~spec ~impl with
   | Refine.Inconclusive (_, { Refine.checkpoint = Some cp; _ }) ->
     let bad = { cp with Search.visited_digest = cp.Search.visited_digest lxor 1 } in
@@ -253,9 +268,8 @@ let seq_script =
 
 let test_run_seq_interrupt_and_resume () =
   let loaded = Cspm.Elaborate.load_string seq_script in
-  let full, stop_full =
-    Cspm.Check.run_seq ~config:Check_config.default loaded
-  in
+  let raw = Check_config.(default |> with_reductions []) in
+  let full, stop_full = Cspm.Check.run_seq ~config:raw loaded in
   Alcotest.(check bool) "uninterrupted run_seq completes" true
     (stop_full = None);
   let expected = List.map (fun o -> render o.Cspm.Check.result) full in
@@ -264,7 +278,7 @@ let test_run_seq_interrupt_and_resume () =
   let calls = ref 0 in
   let config =
     Check_config.(
-      default
+      raw
       |> with_cancel (fun () ->
              incr calls;
              !calls >= 2))
@@ -314,8 +328,7 @@ let test_run_seq_interrupt_and_resume () =
       | None -> Alcotest.fail "engine checkpoint lost in the round trip"
     in
     let resumed, stop' =
-      Cspm.Check.run_seq ~start:1 ~resume_first:cp'
-        ~config:Check_config.default loaded
+      Cspm.Check.run_seq ~start:1 ~resume_first:cp' ~config:raw loaded
     in
     Alcotest.(check bool) "resume completes" true (stop' = None);
     let got =

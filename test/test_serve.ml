@@ -167,7 +167,8 @@ let big_script =
    SPEC = x?v -> SPEC [] y?v -> SPEC [] z?v -> SPEC\n\
    assert SPEC [T= SYS\n"
 
-let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ~id source =
+let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ?reductions ~id
+    source =
   {
     Serve.Protocol.id;
     source;
@@ -175,6 +176,7 @@ let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ~id source =
     workers;
     max_states;
     max_retries;
+    reductions;
   }
 
 (* A runner whose emit appends to a list and whose sleep records the
@@ -240,9 +242,15 @@ let test_load_failure () =
    attempt's checkpoint with a doubled budget until the check completes.
    The final verdict must be the uninterrupted one. *)
 let test_retry_resumes_to_verdict () =
+  (* Reductions stay off on both sides: the test is about the retry
+     machinery, which needs a search slow enough for a 1e-5 s deadline
+     to interrupt — the default pipeline collapses [big_script]'s
+     accept-everything spec to almost nothing. *)
   let expected_pairs =
     match
-      Cspm.Check.run (Cspm.Elaborate.load_string big_script)
+      Cspm.Check.run
+        ~config:Csp.Check_config.(default |> with_reductions [])
+        (Cspm.Elaborate.load_string big_script)
     with
     | [ o ] -> (
       match o.Cspm.Check.result with
@@ -252,7 +260,7 @@ let test_retry_resumes_to_verdict () =
   in
   let t, events, sleeps = make_runner () in
   Serve.Runner.submit t
-    (job ~id:"slow" ~deadline_s:1e-5 ~max_retries:30
+    (job ~id:"slow" ~deadline_s:1e-5 ~max_retries:30 ~reductions:"none"
        (Serve.Protocol.Inline big_script));
   Serve.Runner.drain t;
   let retrying = List.filter (fun e -> event_name e = "retrying") (events ()) in
@@ -303,7 +311,7 @@ let test_retry_resumes_to_verdict () =
 let test_retries_exhausted_reports_inconclusive () =
   let t, events, _ = make_runner () in
   Serve.Runner.submit t
-    (job ~id:"hopeless" ~deadline_s:1e-5 ~max_retries:0
+    (job ~id:"hopeless" ~deadline_s:1e-5 ~max_retries:0 ~reductions:"none"
        (Serve.Protocol.Inline big_script));
   Serve.Runner.drain t;
   check_bool "no retry happened" true
