@@ -139,6 +139,47 @@ let check_parallel_agreement () =
       Format.printf "parallel agreement: %s -> ok at -j 2@." name)
     checks
 
+let check_cache_warm_speedup () =
+  (* the LTS cache's one-line contract: re-checking an unchanged model
+     against a warm cache skips compile/normalise/reduce and lands on a
+     stored graph, so it must be far faster than the cold run — and the
+     verdict digest must be identical, cold, warm, and cache-free. The
+     cold NS run spends ~100 ms in the pipeline and the warm one only
+     searches a 3-state product, so a 5x floor has miles of margin. *)
+  (* the model is built once, outside the timed region: elaboration cost
+     is identical on both legs and is not what the cache removes *)
+  let defs, impl = Security.Ns_protocol.build ~fixed:true in
+  let spec = Security.Ns_protocol.authentication_spec defs in
+  let uncached =
+    digest
+      (Csp.Refine.traces_refines ~config:Security.Ns_protocol.default_config
+         defs ~spec ~impl)
+  in
+  let cache = Csp.Cache.create () in
+  let config =
+    Csp.Check_config.with_cache cache Security.Ns_protocol.default_config
+  in
+  let time () =
+    let t0 = Obs.now () in
+    let d = digest (Csp.Refine.traces_refines ~config defs ~spec ~impl) in
+    d, Obs.now () -. t0
+  in
+  let cold_digest, cold = time () in
+  let warm_digest, warm = time () in
+  if not (String.equal uncached cold_digest && String.equal uncached warm_digest)
+  then
+    fail "cache smoke: verdicts diverged:\n  off:  %s\n  cold: %s\n  warm: %s"
+      uncached cold_digest warm_digest;
+  let s = Csp.Cache.stats cache in
+  if s.Csp.Cache.hits = 0 then
+    fail "cache smoke: the warm re-check never hit the cache";
+  if warm *. 5. > cold then
+    fail "cache smoke: warm re-check is not 5x faster (%.1f ms cold, %.1f ms \
+          warm)"
+      (cold *. 1e3) (warm *. 1e3);
+  Format.printf "cache: NS %.1f ms cold -> %.1f ms warm (%d hits)@."
+    (cold *. 1e3) (warm *. 1e3) s.Csp.Cache.hits
+
 (* A small CSPm script with one passing, one failing, and (under a 1-pair
    budget elsewhere) potentially inconclusive assertion — enough to
    exercise every verdict arm of the JSON schema. *)
@@ -478,6 +519,7 @@ let () =
   check_fault_injection ();
   check_budgeted_engine ();
   check_reduction_speedup ();
+  check_cache_warm_speedup ();
   check_engine_agreement ();
   check_parallel_agreement ();
   check_json_output ();

@@ -40,7 +40,7 @@ let splice_diags diags doc =
    outranks a plain inconclusive. *)
 let run path max_states timeout jobs list_only dot format progress trace_out
     lint deny_warnings checkpoint_out resume_file memory_limit reductions
-    output =
+    output use_cache cache_dir =
   match Csp.Reduce.pipeline_of_string reductions with
   | Error msg ->
     Format.eprintf "--reductions: %s@." msg;
@@ -75,6 +75,25 @@ let run path max_states timeout jobs list_only dot format progress trace_out
     match output with
     | Some path -> Serve.Fsio.atomic_write ~path text
     | None -> print_string text
+  in
+  (* One cache per invocation: within a run it deduplicates spec/impl
+     compilation across assertions; with --cache-dir it also persists
+     graphs so the next invocation starts warm. *)
+  let cache =
+    if use_cache || Option.is_some cache_dir then
+      let persist =
+        Option.map
+          (fun dir ->
+            (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+             with Unix.Unix_error _ -> ());
+            {
+              Csp.Cache.dir;
+              write = (fun ~path text -> Serve.Fsio.atomic_write ~path text);
+            })
+          cache_dir
+      in
+      Some (Csp.Cache.create ~obs ?persist ())
+    else None
   in
   Fun.protect
     ~finally:(fun () ->
@@ -170,6 +189,9 @@ let run path max_states timeout jobs list_only dot format progress trace_out
               | Some mb -> with_memory_limit mb c
               | None -> c
             in
+            let c =
+              match cache with Some k -> with_cache k c | None -> c
+            in
             if progress then
               with_progress
                 (fun p ->
@@ -183,10 +205,9 @@ let run path max_states timeout jobs list_only dot format progress trace_out
              of a reduced search means nothing to a differently-reduced
              one, so a mismatched --resume must fail loudly up front. *)
           let script_digest =
-            Digest.to_hex
-              (Digest.string
-                 (source ^ "\x00reductions="
-                 ^ Csp.Reduce.pipeline_to_string pipeline))
+            Csp.Cache.script_digest
+              (source ^ "\x00reductions="
+              ^ Csp.Reduce.pipeline_to_string pipeline)
           in
           let resume_state =
             match resume_file with
@@ -282,7 +303,9 @@ let run path max_states timeout jobs list_only dot format progress trace_out
                | Json ->
                  let doc =
                    splice_diags diags
-                     (Cspm.Check.report_of_json_outcomes rendered)
+                     (Cspm.Check.report_of_json_outcomes
+                        ?cache:(Option.map Csp.Cache.stats cache)
+                        rendered)
                  in
                  emit_report (Obs.Json.to_string doc ^ "\n")
                | Pretty ->
@@ -337,7 +360,10 @@ let run path max_states timeout jobs list_only dot format progress trace_out
               (match format with
                | Json ->
                  let doc =
-                   splice_diags diags (Cspm.Check.json_of_outcomes outcomes)
+                   splice_diags diags
+                     (Cspm.Check.json_of_outcomes
+                        ?cache:(Option.map Csp.Cache.stats cache)
+                        outcomes)
                  in
                  emit_report (Obs.Json.to_string doc ^ "\n")
                | Pretty ->
@@ -356,13 +382,13 @@ let run path max_states timeout jobs list_only dot format progress trace_out
 
 let run path max_states timeout jobs list_only dot format progress trace_out
     lint deny_warnings checkpoint_out resume_file memory_limit reductions
-    output =
+    output use_cache cache_dir =
   (* The two non-budgeted resource exhaustions a pathological model can
      trigger land here rather than as raw uncaught exceptions. *)
   try
     run path max_states timeout jobs list_only dot format progress trace_out
       lint deny_warnings checkpoint_out resume_file memory_limit reductions
-      output
+      output use_cache cache_dir
   with
   | Stack_overflow ->
     Format.eprintf
@@ -557,6 +583,34 @@ let output_arg =
           "Write the report (either format) to $(docv) atomically (temp \
            file + rename) instead of stdout.")
 
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Cache compiled/normalised/reduced LTSs, keyed by a content \
+           digest of each assertion's elaborated terms plus everything \
+           that affects the graphs (declarations, reachable definitions, \
+           state budget, reduction pipeline, refinement model). Within a \
+           run, assertions sharing a specification or implementation \
+           compile it once. Verdicts, counterexamples, and \
+           per-assertion stats are byte-identical with or without the \
+           cache; with $(b,--format) $(b,json) the report gains a \
+           top-level $(b,cache) object with hit/miss/eviction counts.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Implies $(b,--cache); additionally persist cache entries to \
+           $(docv) (created if missing) and reuse them across \
+           invocations, so re-checking an edited script only recompiles \
+           the components whose definitions changed. Entries are written \
+           atomically and validated on load; stale or foreign files are \
+           ignored.")
+
 let cmd =
   let doc = "run the assert declarations of a CSPm script" in
   let man =
@@ -588,6 +642,7 @@ let cmd =
       const run $ file_arg $ max_states_arg $ timeout_arg $ jobs_arg
       $ list_arg $ dot_arg $ format_arg $ progress_arg $ trace_out_arg
       $ lint_arg $ deny_warnings_arg $ checkpoint_out_arg $ resume_arg
-      $ memory_limit_arg $ reductions_arg $ output_arg)
+      $ memory_limit_arg $ reductions_arg $ output_arg $ cache_arg
+      $ cache_dir_arg)
 
 let () = exit (Cmd.eval' cmd)

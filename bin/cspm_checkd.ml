@@ -12,7 +12,12 @@
    a valid partial result, and the daemon emits its final drained event
    before exiting. *)
 
-let run queue_limit retries backoff_s backoff_max_s seed trace_out =
+let ensure_dir dir =
+  try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  with Unix.Unix_error _ -> ()
+
+let run queue_limit retries backoff_s backoff_max_s deadline_cap seed
+    trace_out use_cache cache_dir state_dir =
   let token = Serve.Signals.create () in
   Serve.Signals.install_termination token;
   let trace_oc = Option.map open_out trace_out in
@@ -26,6 +31,25 @@ let run queue_limit retries backoff_s backoff_max_s seed trace_out =
     print_newline ();
     flush stdout
   in
+  (* One cache for the daemon's lifetime, shared by every job: a stream
+     of near-duplicate models (the edit–re-check loop) only recompiles
+     the components each edit actually changed. *)
+  let cache =
+    if use_cache || Option.is_some cache_dir then
+      let persist =
+        Option.map
+          (fun dir ->
+            ensure_dir dir;
+            {
+              Csp.Cache.dir;
+              write = (fun ~path text -> Serve.Fsio.atomic_write ~path text);
+            })
+          cache_dir
+      in
+      Some (Csp.Cache.create ~obs ?persist ())
+    else None
+  in
+  Option.iter ensure_dir state_dir;
   let cfg =
     {
       (Serve.Runner.default_config ~emit) with
@@ -33,9 +57,12 @@ let run queue_limit retries backoff_s backoff_max_s seed trace_out =
       default_retries = retries;
       backoff_base_s = backoff_s;
       backoff_max_s;
+      max_deadline_factor = deadline_cap;
       seed;
       obs;
       cancel = token;
+      cache;
+      state_dir;
     }
   in
   Fun.protect
@@ -105,6 +132,55 @@ let trace_out_arg =
            serve.* queue/health gauges and retry counters) to $(docv) \
            as JSON Lines.")
 
+let deadline_cap_arg =
+  Arg.(
+    value & opt float 8.0
+    & info [ "deadline-cap" ] ~docv:"FACTOR"
+        ~doc:
+          "Ceiling on the per-attempt wall budget: retries double a \
+           job's deadline_s but never past deadline_s × $(docv), so a \
+           pathological model cannot hold the runner for exponentially \
+           longer than the client asked.")
+
+let cache_arg =
+  Arg.(
+    value & flag
+    & info [ "cache" ]
+        ~doc:
+          "Share one content-addressed LTS cache across all jobs: \
+           compiled, normalised, and reduced graphs are keyed by digests \
+           of each assertion's elaborated terms (plus budgets, model, \
+           and reduction pipeline), so a job stream of near-duplicate \
+           models — the edit-one-handler re-check loop — only \
+           recompiles what changed. Bounded by resident states with LRU \
+           eviction; hit/miss/eviction counts appear in $(b,health) \
+           events and in every result's embedded report as a \
+           $(b,cache) object. Verdicts are byte-identical either way.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Implies $(b,--cache); persist cache entries to $(docv) \
+           (created if missing) so a restarted daemon starts warm. \
+           Entries are written atomically and durably, and validated on \
+           load.")
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "Spill each job's retry checkpoint to $(docv) (created if \
+           missing) as a cspm-checkpoint/1 document before every \
+           backoff, refreshed if shutdown interrupts the job, and \
+           removed when the job reaches a terminal verdict — a daemon \
+           crash mid-retry leaves a resume handle usable with \
+           $(b,cspm_check --resume).")
+
 let cmd =
   let doc = "supervised CSPm checking jobs over stdio NDJSON" in
   let man =
@@ -132,6 +208,7 @@ let cmd =
     (Cmd.info "cspm_checkd" ~version:"1.0.0" ~doc ~man)
     Term.(
       const run $ queue_limit_arg $ retries_arg $ backoff_arg
-      $ backoff_max_arg $ seed_arg $ trace_out_arg)
+      $ backoff_max_arg $ deadline_cap_arg $ seed_arg $ trace_out_arg
+      $ cache_arg $ cache_dir_arg $ state_dir_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -14,6 +14,7 @@ type t = {
   cancel : (unit -> bool) option;
   memory_limit_mb : int option;
   reductions : Reduce.pipeline;
+  cache : Cache.t option;
 }
 
 let default =
@@ -28,6 +29,7 @@ let default =
     cancel = None;
     memory_limit_mb = None;
     reductions = Reduce.default_pipeline;
+    cache = None;
   }
 
 let with_interner interner t = { t with interner }
@@ -40,3 +42,4 @@ let with_progress cb t = { t with progress = Some cb }
 let with_cancel token t = { t with cancel = Some token }
 let with_memory_limit mb t = { t with memory_limit_mb = Some mb }
 let with_reductions reductions t = { t with reductions }
+let with_cache cache t = { t with cache = Some cache }

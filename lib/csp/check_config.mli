@@ -50,6 +50,12 @@ type t = {
           [with_reductions []] for the raw engine. Counterexamples are
           re-derived by the raw engine either way, so verdicts and traces
           never depend on this field — only speed does. *)
+  cache : Cache.t option;
+      (** content-addressed store of compiled/normalised/reduced LTSs
+          ({!Cache}); when set, per-assertion spec/impl compilation is
+          keyed by content digest and reused across assertions, runs,
+          and (in the daemon) jobs. Only complete compilation results
+          are cached, so verdicts never depend on this field either. *)
 }
 
 val default : t
@@ -67,5 +73,6 @@ val with_progress : (Search.progress -> unit) -> t -> t
 val with_cancel : (unit -> bool) -> t -> t
 val with_memory_limit : int -> t -> t
 val with_reductions : Reduce.pipeline -> t -> t
+val with_cache : Cache.t -> t -> t
 (** Builders, argument-last so they chain:
     [Check_config.(default |> with_deadline 0.5 |> with_workers 2)]. *)

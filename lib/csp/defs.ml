@@ -114,6 +114,7 @@ let field_types t chan =
   | Some tys -> tys
   | None -> raise (Unknown_channel chan)
 
+let domain_limit t = t.domain_limit
 let domain t ty = Ty.domain ~limit:t.domain_limit (ty_lookup t) ty
 
 let field_domain t ~chan i =

@@ -20,6 +20,10 @@ val id : t -> int
 (** A unique identifier per environment (fresh on [create] and [copy]);
     used to key transition caches. *)
 
+val domain_limit : t -> int
+(** The domain cap this environment was created with (it affects every
+    enumerated event set, so artifact digests must include it). *)
+
 val domain : t -> Ty.t -> Value.t list
 (** Enumerate a type's domain under this environment's declarations and
     domain limit. *)

@@ -84,6 +84,57 @@ let model_of_refusal = function
 let pass_stat_triples =
   List.map (fun s -> s.Reduce.pass, s.Reduce.states_before, s.Reduce.states_after)
 
+(* Cache-fronted compilation. A hit returns the finished artifact without
+   opening any compile/normalise span — the warm path does no graph work
+   at all. Only [Complete] results are ever stored: a [Partial] graph
+   reflects the budgets of the run that produced it, not the content its
+   key names. *)
+
+(* Compile a term to an explicit graph via [Lts.compile_budgeted]. *)
+let cached_graph ~(config : Check_config.t) ?stop_at defs proc =
+  let compile () =
+    Lts.compile_budgeted ~max_states:config.max_states ?stop_at
+      ~obs:config.obs defs proc
+  in
+  match config.cache with
+  | None -> compile ()
+  | Some cache ->
+    let key = Cache.lts_key ~max_states:config.max_states defs proc in
+    (match Cache.find cache key with
+     | Some (Cache.Lts_graph g) -> Lts.Complete g
+     | Some _ | None ->
+       let r = compile () in
+       (match r with
+        | Lts.Complete g -> Cache.add cache key (Cache.Lts_graph g)
+        | Lts.Partial _ -> ());
+       r)
+
+(* Compile and normalise a specification. Returns the normal form plus the
+   key it is cached under (feeding the reduced-graph key), or the partial
+   progress if the spec ran out of budget. *)
+let cached_spec ~(config : Check_config.t) ?stop_at defs spec =
+  let obs = config.obs in
+  let compile () =
+    match
+      Lts.compile_budgeted ~max_states:config.max_states ?stop_at ~obs defs
+        spec
+    with
+    | Lts.Partial (_, progress) -> Error progress
+    | Lts.Complete lts -> Ok (lts, Normalise.normalise ~obs lts)
+  in
+  match config.cache with
+  | None -> Result.map (fun (_, norm) -> norm, None) (compile ())
+  | Some cache ->
+    let key = Cache.spec_key ~max_states:config.max_states defs spec in
+    (match Cache.find cache key with
+     | Some (Cache.Norm_spec (_, norm)) -> Ok (norm, Some key)
+     | Some _ | None ->
+       Result.map
+         (fun (lts, norm) ->
+           Cache.add cache key (Cache.Norm_spec (lts, norm));
+           norm, Some key)
+         (compile ()))
+
 let with_reduction_stats reductions = function
   | Holds stats -> Holds { stats with reductions }
   | Inconclusive (stats, hint) -> Inconclusive ({ stats with reductions }, hint)
@@ -92,12 +143,9 @@ let with_reduction_stats reductions = function
 let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
     ?resume_from defs ~spec ~impl =
   let obs = config.obs in
-  match
-    Lts.compile_budgeted ~max_states:config.max_states ?stop_at ~obs defs spec
-  with
-  | Lts.Partial (_, progress) -> spec_inconclusive progress
-  | Lts.Complete spec_lts ->
-    let norm = Normalise.normalise ~obs spec_lts in
+  match cached_spec ~config ?stop_at defs spec with
+  | Error progress -> spec_inconclusive progress
+  | Ok (norm, spec_cache_key) ->
     (* The unreduced engine: implementation states generated on the fly.
        Used when no pass applies, when the staged compile degrades, and to
        re-derive counterexamples found on a reduced graph. *)
@@ -135,28 +183,82 @@ let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
      | [], _ | _, None -> raw_search ?resume_from ()
      | pipeline, Some model ->
        let fp = Reduce.fingerprint pipeline in
-       let compiled =
-         match resume_from with
-         | Some _ ->
-           (* A checkpoint recorded against this pipeline implies the
-              staged compile completed; rebuild it deterministically,
-              with no deadline or cancellation mid-compile. *)
-           Reduce.compile_staged ~max_states:config.max_states ~obs defs
-             impl
-         | None ->
-           Reduce.compile_staged ~max_states:config.max_states ?stop_at
-             ?cancel:config.cancel ~obs defs impl
+       (* Key the staged and reduced artifacts when a cache is configured.
+          The reduced key includes the spec key: the dead pass eliminates
+          events against the spec's normal-form alphabet, so the same
+          implementation reduced against a different spec is a different
+          artifact. *)
+       let cache_keys =
+         match config.cache, spec_cache_key with
+         | Some cache, Some spec_key ->
+           let impl_key =
+             Cache.impl_key ~max_states:config.max_states defs impl
+           in
+           let reduced_key =
+             Cache.reduced_key ~model ~pipeline ~spec:spec_key
+               ~impl:impl_key
+           in
+           Some (cache, impl_key, reduced_key)
+         | _ -> None
        in
-       (match compiled with
-        | Lts.Partial _ ->
+       let reduced_hit =
+         match cache_keys with
+         | Some (cache, _, reduced_key) ->
+           (match Cache.find cache reduced_key with
+            | Some (Cache.Reduced (g, stats)) -> Some (g, stats)
+            | Some _ | None -> None)
+         | None -> None
+       in
+       let reduction =
+         match reduced_hit with
+         | Some _ -> reduced_hit
+         | None ->
+           let staged () =
+             match resume_from with
+             | Some _ ->
+               (* A checkpoint recorded against this pipeline implies the
+                  staged compile completed; rebuild it deterministically,
+                  with no deadline or cancellation mid-compile. *)
+               Reduce.compile_staged ~max_states:config.max_states ~obs
+                 defs impl
+             | None ->
+               Reduce.compile_staged ~max_states:config.max_states ?stop_at
+                 ?cancel:config.cancel ~obs defs impl
+           in
+           let compiled =
+             match cache_keys with
+             | Some (cache, impl_key, _) ->
+               (match Cache.find cache impl_key with
+                | Some (Cache.Lts_graph g) -> Lts.Complete g
+                | Some _ | None ->
+                  let r = staged () in
+                  (match r with
+                   | Lts.Complete g ->
+                     Cache.add cache impl_key (Cache.Lts_graph g)
+                   | Lts.Partial _ -> ());
+                  r)
+             | None -> staged ()
+           in
+           (match compiled with
+            | Lts.Partial _ -> None
+            | Lts.Complete impl_lts ->
+              let reduced, pass_stats =
+                Reduce.apply ~obs ~model ~norm pipeline impl_lts
+              in
+              (match cache_keys with
+               | Some (cache, _, reduced_key) ->
+                 Cache.add cache reduced_key
+                   (Cache.Reduced (reduced, pass_stats))
+               | None -> ());
+              Some (reduced, pass_stats))
+       in
+       (match reduction with
+        | None ->
           (* Budget ran out mid-decomposition: fall back to the raw
              engine, which degrades gracefully (and can still find an
              early counterexample without the full graph). *)
           raw_search ?resume_from ()
-        | Lts.Complete impl_lts ->
-          let reduced, pass_stats =
-            Reduce.apply ~obs ~model ~norm pipeline impl_lts
-          in
+        | Some (reduced, pass_stats) ->
           let por =
             match refusal_mode with
             | `None when List.memq Reduce.Por pipeline ->
@@ -191,12 +293,10 @@ let product_check ~(config : Check_config.t) ~refusal_mode ~max_pairs ?stop_at
 let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at ?resume_from defs
     ~spec ~impl =
   let obs = config.obs in
-  let max_states = config.max_states in
-  match Lts.compile_budgeted ~max_states ?stop_at ~obs defs spec with
-  | Lts.Partial (_, progress) -> spec_inconclusive progress
-  | Lts.Complete spec_lts ->
-    let norm = Normalise.normalise ~obs spec_lts in
-    (match Lts.compile_budgeted ~max_states ?stop_at ~obs defs impl with
+  match cached_spec ~config ?stop_at defs spec with
+  | Error progress -> spec_inconclusive progress
+  | Ok (norm, spec_cache_key) ->
+    (match cached_graph ~config ?stop_at defs impl with
      | Lts.Partial (_, progress) ->
        (* Divergence detection needs the full tau graph of the
           implementation; a partial compile cannot support a verdict. *)
@@ -231,8 +331,35 @@ let fd_check ~(config : Check_config.t) ~max_pairs ?stop_at ?resume_from defs
        (match effective with
         | [] -> search ~pipeline:"none" impl_lts
         | pipeline ->
+          (* FD reduced graphs are keyed like the staged path's, except
+             the implementation component comes from [cached_graph]'s
+             namespace ([lts_key]) — state terms differ between the raw
+             and staged compilers, so the namespaces must not mix. *)
+          let reduced_cache_key =
+            match config.cache, spec_cache_key with
+            | Some _, Some spec_key ->
+              Some
+                (Cache.reduced_key ~model:`Fd ~pipeline ~spec:spec_key
+                   ~impl:
+                     (Cache.lts_key ~max_states:config.max_states defs impl))
+            | _ -> None
+          in
           let reduced, pass_stats =
-            Reduce.apply ~obs ~model:`Fd ~norm pipeline impl_lts
+            match
+              match config.cache, reduced_cache_key with
+              | Some cache, Some key -> Cache.find cache key
+              | _ -> None
+            with
+            | Some (Cache.Reduced (g, stats)) -> g, stats
+            | Some _ | None ->
+              let reduced, pass_stats =
+                Reduce.apply ~obs ~model:`Fd ~norm pipeline impl_lts
+              in
+              (match config.cache, reduced_cache_key with
+               | Some cache, Some key ->
+                 Cache.add cache key (Cache.Reduced (reduced, pass_stats))
+               | _ -> ());
+              reduced, pass_stats
           in
           (match search ~pipeline:(Reduce.fingerprint pipeline) reduced with
            | Fails _ as result ->
@@ -339,8 +466,8 @@ let lts_inconclusive progress =
 let bad_state_check ~violation ~find ~(config : Check_config.t) defs proc =
   let t0 = Obs.now () in
   match
-    Lts.compile_budgeted ~max_states:config.max_states
-      ?stop_at:(stop_at_of_deadline config.deadline) ~obs:config.obs defs proc
+    cached_graph ~config
+      ?stop_at:(stop_at_of_deadline config.deadline) defs proc
   with
   | Lts.Partial (_, progress) -> lts_inconclusive progress
   | Lts.Complete lts ->

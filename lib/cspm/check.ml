@@ -242,7 +242,7 @@ let json_of_outcome i o =
    the outcomes recorded in its checkpoint (rendered by the interrupted
    process) in front of the ones it computed itself; the summary is
    recounted from the "verdict" fields either way. *)
-let report_of_json_outcomes outcome_jsons =
+let report_of_json_outcomes ?cache outcome_jsons =
   let open Obs.Json in
   let num n = Num (float_of_int n) in
   let verdict j =
@@ -252,21 +252,25 @@ let report_of_json_outcomes outcome_jsons =
     List.length (List.filter (fun j -> String.equal (verdict j) v) outcome_jsons)
   in
   Obj
-    [
-      "schema", Str "cspm-check/1";
-      "assertions", List outcome_jsons;
-      ( "summary",
-        Obj
-          [
-            "total", num (List.length outcome_jsons);
-            "passed", num (count "pass");
-            "failed", num (count "fail");
-            "inconclusive", num (count "inconclusive");
-          ] );
-    ]
+    ([
+       "schema", Str "cspm-check/1";
+       "assertions", List outcome_jsons;
+       ( "summary",
+         Obj
+           [
+             "total", num (List.length outcome_jsons);
+             "passed", num (count "pass");
+             "failed", num (count "fail");
+             "inconclusive", num (count "inconclusive");
+           ] );
+     ]
+    @
+    match cache with
+    | Some stats -> [ "cache", Csp.Cache.json_of_stats stats ]
+    | None -> [])
 
-let json_of_outcomes outcomes =
-  report_of_json_outcomes (List.mapi json_of_outcome outcomes)
+let json_of_outcomes ?cache outcomes =
+  report_of_json_outcomes ?cache (List.mapi json_of_outcome outcomes)
 
 let pp_outcome ppf o =
   let status =
@@ -296,6 +300,11 @@ let run_seq ?(start = 0) ?resume_first ~(config : Csp.Check_config.t)
     (loaded : Elaborate.t) =
   let defs = loaded.Elaborate.defs in
   let assertions = Array.of_list loaded.Elaborate.assertions in
+  (* Elaborate every assertion up front (cheap, hash-consed), so the loop
+     below is purely compile-and-search — and with [config.cache] set,
+     each assertion's spec/impl compilation is a content-addressed lookup
+     before it is ever a compile. *)
+  let prepared = Array.map (fun (a, _) -> prepare loaded a) assertions in
   let n = Array.length assertions in
   let t0 = Obs.now () in
   let rec go i acc =
@@ -314,7 +323,7 @@ let run_seq ?(start = 0) ?resume_first ~(config : Csp.Check_config.t)
       let resume = if i = start then resume_first else None in
       let result =
         Obs.span config.Csp.Check_config.obs "check.assertion" (fun () ->
-            run_prepared ~config ?resume defs (prepare loaded assertion))
+            run_prepared ~config ?resume defs prepared.(i))
       in
       let o = { assertion; pos = Some pos; result } in
       match result with

@@ -78,7 +78,7 @@ val any_fails : outcome list -> bool
 
 val any_inconclusive : outcome list -> bool
 
-val json_of_outcomes : outcome list -> Obs.Json.t
+val json_of_outcomes : ?cache:Csp.Cache.stats -> outcome list -> Obs.Json.t
 (** The machine-readable outcome report behind [cspm_check --format
     json]. Stable schema ["cspm-check/1"]:
 
@@ -109,16 +109,21 @@ val json_of_outcomes : outcome list -> Obs.Json.t
     the engine checkpoint, when one exists — and widened ["exhausted"] to
     the full {!Csp.Search.budget_kind_to_string} vocabulary; this one
     adds ["stats"]["reductions"], the per-pass state counts of the staged
-    reduction pipeline, [[]] on the raw path). Timing fields ([wall_s],
+    reduction pipeline, [[]] on the raw path, and this one adds the
+    optional top-level ["cache"] object — [{"hits", "misses",
+    "evictions", "resident_states", "resident_entries"}], present when
+    the run used an LTS cache). Timing fields ([wall_s],
     [states_per_sec], [par_speedup]) vary run to run; everything else is
     deterministic. *)
 
 val json_of_outcome : int -> outcome -> Obs.Json.t
 (** One entry of the report's ["assertions"] array, at index [i]. *)
 
-val report_of_json_outcomes : Obs.Json.t list -> Obs.Json.t
+val report_of_json_outcomes :
+  ?cache:Csp.Cache.stats -> Obs.Json.t list -> Obs.Json.t
 (** Wrap already-rendered outcome objects into a full ["cspm-check/1"]
-    report, recounting the summary from their ["verdict"] fields.
+    report, recounting the summary from their ["verdict"] fields; [cache]
+    adds the top-level ["cache"] stats object.
     [json_of_outcomes os = report_of_json_outcomes (List.mapi
     json_of_outcome os)]; a resumed run splices the outcome objects
     stored in its checkpoint in front of the ones it computed itself. *)

@@ -1,3 +1,24 @@
+(* Counts every fsync this module issues, so tests can assert the write
+   path is durable (one for the file's data, one for the directory entry)
+   without strace. *)
+let fsyncs = Atomic.make 0
+
+let fsync_count () = Atomic.get fsyncs
+
+let fsync_fd fd =
+  Unix.fsync fd;
+  Atomic.incr fsyncs
+
+(* Directories are opened read-only just to reach their fd; failure to
+   open or sync one (some filesystems refuse) downgrades durability but
+   must not fail the write that already happened. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try fsync_fd fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
 let with_atomic_out ~path f =
   let temp_dir = Filename.dirname path in
   let tmp, oc =
@@ -7,9 +28,18 @@ let with_atomic_out ~path f =
   in
   match
     f oc;
+    (* Durability, not just atomicity: the rename orders the directory
+       entry ahead of nothing unless the file's blocks are on disk first,
+       and the new entry itself lives in the page cache until the parent
+       directory is synced — without both fsyncs a power cut after the
+       rename can resurrect the old file or leave no file at all. *)
+    flush oc;
+    fsync_fd (Unix.descr_of_out_channel oc);
     close_out oc
   with
-  | () -> Sys.rename tmp path
+  | () ->
+    Sys.rename tmp path;
+    fsync_dir temp_dir
   | exception e ->
     close_out_noerr oc;
     (try Sys.remove tmp with Sys_error _ -> ());

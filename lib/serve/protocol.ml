@@ -99,15 +99,16 @@ let failed ~id ~attempts ~reason =
       "reason", Obs.Json.Str reason;
     ]
 
-let health ~queued ~done_ ~failed ~retries ~draining =
+let health ?cache ~queued ~done_ ~failed ~retries ~draining () =
   event "health"
-    [
-      "queued", num queued;
-      "done", num done_;
-      "failed", num failed;
-      "retries", num retries;
-      "draining", Obs.Json.Bool draining;
-    ]
+    ([
+       "queued", num queued;
+       "done", num done_;
+       "failed", num failed;
+       "retries", num retries;
+       "draining", Obs.Json.Bool draining;
+     ]
+    @ match cache with Some j -> [ "cache", j ] | None -> [])
 
 let drained ~done_ ~failed =
   event "drained" [ "done", num done_; "failed", num failed ]

@@ -75,7 +75,11 @@ val result :
 val failed : id:string -> attempts:int -> reason:string -> Obs.Json.t
 
 val health :
+  ?cache:Obs.Json.t ->
   queued:int -> done_:int -> failed:int -> retries:int -> draining:bool ->
-  Obs.Json.t
+  unit -> Obs.Json.t
+(** [cache] is the runner's LTS-cache stats object (hits, misses,
+    evictions, resident states/entries); present when the daemon runs
+    with [--cache]. *)
 
 val drained : done_:int -> failed:int -> Obs.Json.t

@@ -4,10 +4,13 @@ type config = {
   backoff_base_s : float;
   backoff_max_s : float;
   seed : int;
+  max_deadline_factor : float;
   sleep : float -> unit;
   emit : Obs.Json.t -> unit;
   obs : Obs.t;
   cancel : Signals.token;
+  cache : Csp.Cache.t option;
+  state_dir : string option;
 }
 
 let default_config ~emit =
@@ -17,10 +20,13 @@ let default_config ~emit =
     backoff_base_s = 0.05;
     backoff_max_s = 2.0;
     seed = 0x5eed;
+    max_deadline_factor = 8.0;
     sleep = Unix.sleepf;
     emit;
     obs = Obs.silent;
     cancel = Signals.create ();
+    cache = None;
+    state_dir = None;
   }
 
 type t = {
@@ -77,10 +83,16 @@ let submit t (job : Protocol.job) =
          ~queue_depth:(Queue.length t.queue))
   end
 
+let cache_stats_json cfg =
+  Option.map
+    (fun c -> Csp.Cache.json_of_stats (Csp.Cache.stats c))
+    cfg.cache
+
 let emit_health t =
   t.cfg.emit
-    (Protocol.health ~queued:(Queue.length t.queue) ~done_:t.jobs_done
-       ~failed:t.jobs_failed ~retries:t.retries ~draining:t.draining)
+    (Protocol.health ?cache:(cache_stats_json t.cfg)
+       ~queued:(Queue.length t.queue) ~done_:t.jobs_done
+       ~failed:t.jobs_failed ~retries:t.retries ~draining:t.draining ())
 
 let read_file path =
   let ic = open_in_bin path in
@@ -89,13 +101,15 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let load_job (job : Protocol.job) =
-  let source =
-    match job.Protocol.source with
-    | Protocol.Inline src -> src
-    | Protocol.Path p -> read_file p
-  in
-  match Cspm.Elaborate.load_string source with
-  | loaded -> Ok loaded
+  match
+    let source =
+      match job.Protocol.source with
+      | Protocol.Inline src -> src
+      | Protocol.Path p -> read_file p
+    in
+    (source, Cspm.Elaborate.load_string source)
+  with
+  | source, loaded -> Ok (source, loaded)
   | exception Sys_error msg -> Error msg
   | exception Cspm.Parser.Parse_error (msg, pos) ->
     Error (Format.asprintf "%a: syntax error: %s" Cspm.Ast.pp_pos pos msg)
@@ -152,6 +166,29 @@ let rec first_timeout i = function
 
 let take n xs = List.filteri (fun i _ -> i < n) xs
 
+(* Where a job's retry checkpoint is spilled between attempts. The file
+   is a full cspm-checkpoint/1 document, so if the daemon dies mid-retry
+   the client can hand it straight to [cspm_check --resume]. *)
+let checkpoint_path cfg (job : Protocol.job) =
+  Option.map
+    (fun dir -> Filename.concat dir (job.Protocol.id ^ ".ck.json"))
+    cfg.state_dir
+
+let remove_checkpoint cfg job =
+  match checkpoint_path cfg job with
+  | Some path when Sys.file_exists path ->
+    (try Sys.remove path with Sys_error _ -> ())
+  | Some _ | None -> ()
+
+let spill_checkpoint cfg job st =
+  match checkpoint_path cfg job with
+  | Some path ->
+    (try
+       Fsio.atomic_write ~path
+         (Obs.Json.to_string (Cspm.Check.json_of_resume_state st) ^ "\n")
+     with Sys_error _ -> ())
+  | None -> ()
+
 let run_job t (job : Protocol.job) =
   let cfg = t.cfg in
   let retries =
@@ -165,7 +202,17 @@ let run_job t (job : Protocol.job) =
   | Error reason, _ | _, Error reason ->
     cfg.emit (Protocol.failed ~id:job.Protocol.id ~attempts:1 ~reason);
     note_failed t
-  | Ok loaded, Ok reductions ->
+  | Ok (source, loaded), Ok reductions ->
+    let script_digest =
+      Csp.Cache.script_digest
+        (source ^ "\x00reductions="
+        ^ Csp.Reduce.pipeline_to_string reductions)
+    in
+    let report_of outcomes =
+      Cspm.Check.report_of_json_outcomes
+        ?cache:(Option.map Csp.Cache.stats cfg.cache)
+        outcomes
+    in
     let render start outcomes =
       List.mapi (fun i o -> Cspm.Check.json_of_outcome (start + i) o) outcomes
     in
@@ -188,6 +235,9 @@ let run_job t (job : Protocol.job) =
           | Some n -> with_max_states n c
           | None -> c
         in
+        let c =
+          match cfg.cache with Some k -> with_cache k c | None -> c
+        in
         match deadline_s with Some d -> with_deadline d c | None -> c
       in
       let resume_first = Option.map roundtrip_checkpoint resume in
@@ -195,13 +245,20 @@ let run_job t (job : Protocol.job) =
         Cspm.Check.run_seq ~start ?resume_first ~config loaded
       in
       match stop with
-      | Some _ ->
+      | Some s ->
         (* daemon shutdown interrupted the search mid-job: report what we
-           have as a valid partial document and stop retrying *)
-        let report =
-          Cspm.Check.report_of_json_outcomes
-            (completed @ render start outcomes)
-        in
+           have as a valid partial document and stop retrying. The spilled
+           checkpoint is deliberately left behind (and refreshed) — it is
+           the resume handle for a client that resubmits after restart. *)
+        let settled = s.Cspm.Check.next_index - start in
+        spill_checkpoint cfg job
+          {
+            Cspm.Check.script_digest;
+            completed = completed @ render start (take settled outcomes);
+            next_index = s.Cspm.Check.next_index;
+            search = s.Cspm.Check.search;
+          };
+        let report = report_of (completed @ render start outcomes) in
         cfg.emit
           (Protocol.result ~id:job.Protocol.id ~attempts:k ~interrupted:true
              ~report);
@@ -211,6 +268,15 @@ let run_job t (job : Protocol.job) =
         | Some (rel, o) ->
           let completed = completed @ render start (take rel outcomes) in
           let resume = checkpoint_of o in
+          (* Spill before sleeping: the backoff window is exactly when an
+             impatient operator restarts the daemon. *)
+          spill_checkpoint cfg job
+            {
+              Cspm.Check.script_digest;
+              completed;
+              next_index = start + rel;
+              search = resume;
+            };
           let pause = backoff t k in
           t.retries <- t.retries + 1;
           Obs.incr t.c_retries;
@@ -219,13 +285,23 @@ let run_job t (job : Protocol.job) =
                ~backoff_s:pause
                ~resumed:(Option.is_some resume));
           cfg.sleep pause;
-          attempt (k + 1) ~start:(start + rel) ~completed ~resume
-            ~deadline_s:(Option.map (fun d -> d *. 2.) deadline_s)
-        | None ->
-          let report =
-            Cspm.Check.report_of_json_outcomes
-              (completed @ render start outcomes)
+          (* Double the per-attempt budget, but never past a configurable
+             multiple of the job's own deadline — unbounded doubling let a
+             pathological model hold the single-job runner hostage for
+             2^retries times what the client asked for. *)
+          let next_deadline =
+            match deadline_s, job.Protocol.deadline_s with
+            | Some d, Some d0 ->
+              Some (Float.min (d *. 2.) (d0 *. cfg.max_deadline_factor))
+            | Some d, None -> Some (d *. 2.)
+            | None, _ -> None
           in
+          attempt (k + 1) ~start:(start + rel) ~completed ~resume
+            ~deadline_s:next_deadline
+        | None ->
+          let report = report_of (completed @ render start outcomes) in
+          (* terminal verdict: the retry checkpoint is now stale state *)
+          remove_checkpoint cfg job;
           cfg.emit
             (Protocol.result ~id:job.Protocol.id ~attempts:k
                ~interrupted:false ~report);

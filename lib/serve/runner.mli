@@ -35,16 +35,32 @@ type config = {
   seed : int;
       (** seeds the jitter PRNG — a fixed seed makes retry schedules
           reproducible in tests *)
+  max_deadline_factor : float;
+      (** cap on the doubling per-attempt budget: no retry's deadline
+          ever exceeds the job's original [deadline_s] times this *)
   sleep : float -> unit;
       (** injectable so tests can count backoffs instead of waiting *)
   emit : Obs.Json.t -> unit;  (** one protocol event, one call *)
   obs : Obs.t;
   cancel : Signals.token;
+  cache : Csp.Cache.t option;
+      (** the LTS cache every job's checks compile through — one shared,
+          mutex-guarded store, so a stream of near-duplicate models only
+          recompiles what each edit actually changed. Stats appear in
+          [health] events and each result's report. *)
+  state_dir : string option;
+      (** directory for per-job retry checkpoints (as [cspm-checkpoint/1]
+          documents, written atomically and durably). A checkpoint is
+          spilled before each retry's backoff and refreshed if daemon
+          shutdown interrupts a job — so a crash mid-retry leaves a
+          resume handle — and removed when the job reaches a terminal
+          verdict. [None] keeps checkpoints in memory only. *)
 }
 
 val default_config : emit:(Obs.Json.t -> unit) -> config
-(** [queue_limit = 16], [default_retries = 2], backoff 50ms..2s, a fixed
-    seed, [sleep = Unix.sleepf], silent obs, a fresh token. *)
+(** [queue_limit = 16], [default_retries = 2], backoff 50ms..2s,
+    [max_deadline_factor = 8.], a fixed seed, [sleep = Unix.sleepf],
+    silent obs, a fresh token, no cache, no state dir. *)
 
 type t
 

@@ -40,4 +40,5 @@ let () =
       Test_checkpoint.suite;
       Test_serve.suite;
       Test_reduce.suite;
+      Test_cache.suite;
     ]

@@ -60,6 +60,25 @@ let test_atomic_write_failure_leaves_target () =
         (read_file path);
       check_int "failed temporary removed" 1 (Array.length (Sys.readdir dir)))
 
+let test_atomic_write_is_durable () =
+  (* the durability contract, counted at the syscall shim: each
+     successful write fsyncs the file data before the rename and the
+     containing directory after it — two syncs, no fewer *)
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "out.json" in
+      let before = Serve.Fsio.fsync_count () in
+      Serve.Fsio.atomic_write ~path "durable";
+      check_int "file fsync + directory fsync" (before + 2)
+        (Serve.Fsio.fsync_count ());
+      (* a failed write never reaches the rename, so at most the file
+         sync may have happened — the directory one must not *)
+      let before = Serve.Fsio.fsync_count () in
+      (try
+         Serve.Fsio.with_atomic_out ~path (fun _ -> failwith "disk on fire")
+       with Failure _ -> ());
+      check_bool "a failed write does not sync the directory" true
+        (Serve.Fsio.fsync_count () <= before + 1))
+
 (* ------------------------------------------------------------------ *)
 (* Signals                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -144,7 +163,7 @@ let test_events_tagged () =
       "failed", Serve.Protocol.failed ~id:"j" ~attempts:1 ~reason:"r";
       ( "health",
         Serve.Protocol.health ~queued:0 ~done_:0 ~failed:0 ~retries:0
-          ~draining:false );
+          ~draining:false () );
       "drained", Serve.Protocol.drained ~done_:0 ~failed:0;
     ]
 
@@ -423,6 +442,8 @@ let suite =
         test_atomic_write;
       Alcotest.test_case "a failed atomic write leaves the target" `Quick
         test_atomic_write_failure_leaves_target;
+      Alcotest.test_case "atomic writes fsync the file and its directory"
+        `Quick test_atomic_write_is_durable;
       Alcotest.test_case "cancellation token semantics" `Quick test_token;
       Alcotest.test_case "request parsing accepts/rejects correctly" `Quick
         test_request_parse;

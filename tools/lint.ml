@@ -138,6 +138,41 @@ let lint_interruption path contents =
       scan 0)
     banned_interruption
 
+(* Digest discipline: [lib/csp/cache.ml] owns every cache key and
+   fingerprint, so the producer and consumer of a digest can never drift
+   apart (a key computed one way and looked up another is a silent 0%
+   hit rate, not an error). Anywhere else under lib/, [Digest] is a
+   sign a key is being minted outside the cache module — route it
+   through [Csp.Cache]. Textual, like the other discipline lints. *)
+let under_cache path = Filename.basename path = "cache.ml"
+                       || Filename.basename path = "cache.mli"
+
+let lint_digest path contents =
+  let n = String.length contents in
+  let line_of pos =
+    let l = ref 1 in
+    String.iteri (fun j c -> if j < pos && c = '\n' then incr l) contents;
+    !l
+  in
+  let name = "Digest." in
+  let ln = String.length name in
+  let rec scan from =
+    if from < n then
+      match String.index_from_opt contents from name.[0] with
+      | None -> ()
+      | Some i ->
+        if
+          i + ln <= n
+          && String.sub contents i ln = name
+          && (i = 0 || not (is_ident_char contents.[i - 1]))
+        then
+          complain path (line_of i)
+            "Digest outside lib/csp/cache (mint cache keys and fingerprints \
+             through Csp.Cache)";
+        scan (i + 1)
+  in
+  scan 0
+
 (* Library code must not kill the process or trip the always-on assertion
    machinery: raise [Invalid_argument]/a domain exception and let the CLI
    decide the exit code. [exit] is only flagged in call position (next
@@ -241,7 +276,8 @@ let lint_file ~strict path =
       lint_termination path contents;
       if Filename.check_suffix path ".ml" then lint_interface path;
       if not (under_obs path) then lint_effects path contents;
-      if not (under_serve path) then lint_interruption path contents
+      if not (under_serve path) then lint_interruption path contents;
+      if not (under_cache path) then lint_digest path contents
     end
   end
 
