@@ -43,6 +43,9 @@ type row = {
   workers : int;
   par_speedup : float;  (** engine-estimated, from aggregate worker busy time *)
   comparison : comparison;
+  extras : (string * float) list;
+      (** row-family-specific numbers (the tracecheck rows carry
+          events/s and streams/s here) rendered as extra JSON fields *)
 }
 
 (* states_per_sec comes from the engine, which measures the search span
@@ -81,6 +84,7 @@ let row_of_result name result t ~comparison =
     workers;
     par_speedup;
     comparison;
+    extras = [];
   }
 
 (* The same two synthetic systems as bench/main.ml S1. *)
@@ -165,6 +169,171 @@ let multi_ecu_system n =
 
 let parallel_workloads = [ 2; 4 ]
 
+(* The trace-containment engine rows. Two families: [tracecheck/stream]
+   measures the raw engine on in-memory streams synthesized by walking
+   the NS authentication spec's own normal form (pure cursor stepping —
+   no I/O, no parsing), and [tracecheck/ota-corpus] measures the full
+   corpus driver (NDJSON parse + frame mapping + cursors) on a generated
+   adversarial OTA corpus. Both run at j1 and j2; the numbers that
+   matter are in "events_per_sec"/"streams_per_sec", not states/s. *)
+let ota_trace_specs =
+  "channel reqSw : {0..3}\n\
+   channel rptSw : {0..7}\n\
+   channel reqApp : {0..7}.{0..7}\n\
+   channel rptUpd : {0..7}\n\
+   secret = 5\n\
+   mac(v) = (v + secret) % 8\n\
+   ANY = reqSw?p -> ANY [] rptSw?v -> ANY [] reqApp?v?t -> ANY\n\
+   \      [] rptUpd?v -> ANY\n\
+   SPEC_ORDER = reqSw?p -> ANY\n\
+   SPEC_WELLFORMED =\n\
+   \  reqSw!1 -> SPEC_WELLFORMED\n\
+   \  [] rptSw?v -> SPEC_WELLFORMED\n\
+   \  [] ([] v : {0..7} @ reqApp!v!mac(v) -> SPEC_WELLFORMED)\n\
+   \  [] rptUpd?v -> SPEC_WELLFORMED\n\
+   pow2(n) = if n == 0 then 1 else 2 * pow2(n - 1)\n\
+   bit(m, v) = (m / pow2(v)) % 2\n\
+   grant(m, v) = if bit(m, v) == 1 then m else m + pow2(v)\n\
+   AUTH(m) =\n\
+   \  reqSw?p -> AUTH(m)\n\
+   \  [] rptSw?v -> AUTH(m)\n\
+   \  [] reqApp?v?t -> (if t == mac(v) then AUTH(grant(m, v)) else AUTH(m))\n\
+   \  [] ([] v : {0..7} @ bit(m, v) == 1 & rptUpd!v -> AUTH(m))\n\
+   SPEC_AUTH = AUTH(0)\n"
+
+let tracecheck_rows rows =
+  let record name wall ~events ~streams ~accepted ~events_per_sec ~workers
+      ~comparison =
+    let row =
+      {
+        name;
+        wall_s = wall;
+        search_wall_s = 0.;
+        impl_states = 0;
+        pairs = 0;
+        states_per_sec = 0.;
+        verdict = Printf.sprintf "%d/%d streams accepted" accepted streams;
+        workers;
+        par_speedup = 1.;
+        comparison;
+        extras =
+          [
+            "events", float_of_int events;
+            "events_per_sec", events_per_sec;
+            ( "streams_per_sec",
+              if wall > 0. then float_of_int streams /. wall else 0. );
+          ];
+      }
+    in
+    Format.printf "%-27s %9.2f ms %9d events %7d streams %12.0f ev/s  %s@."
+      row.name (wall *. 1e3) events streams events_per_sec row.verdict;
+    rows := row :: !rows;
+    row
+  in
+  (* engine-only rows: valid NS-spec streams, pre-materialized so the
+     timed region is pure cursor stepping *)
+  let defs, _impl = Security.Ns_protocol.build ~fixed:true in
+  let spec = Security.Ns_protocol.authentication_spec defs in
+  let checker =
+    match Csp.Tracecheck.compile defs spec with
+    | Ok c -> c
+    | Error msg -> failwith msg
+  in
+  let norm = Csp.Normalise.normalise (Csp.Lts.compile defs spec) in
+  let synth i len =
+    let labels = ref [] in
+    let node = ref (Csp.Normalise.initial norm) in
+    (try
+       for k = 0 to len - 1 do
+         let vis =
+           List.filter
+             (fun (l, _) ->
+               match l with Csp.Event.Vis _ -> true | _ -> false)
+             (Csp.Normalise.afters norm !node)
+         in
+         match vis with
+         | [] -> raise Exit
+         | choices ->
+           let l, next = List.nth choices ((i + k) mod List.length choices) in
+           labels := l :: !labels;
+           node := next
+       done
+     with Exit -> ());
+    Array.of_list (List.rev !labels)
+  in
+  let bodies = Array.init 1000 (fun i -> synth i 1000) in
+  let stream_base = ref None in
+  List.iter
+    (fun j ->
+      let streams =
+        Array.mapi
+          (fun i body -> Printf.sprintf "t%04d" i, Array.to_seq body)
+          bodies
+      in
+      Gc.compact ();
+      let (_, summary), t =
+        wall (fun () -> Csp.Tracecheck.check_streams ~workers:j checker streams)
+      in
+      let comparison =
+        match !stream_base with
+        | None -> Standalone
+        | Some base -> Speedup_vs_j1 (if t > 0. then base /. t else 0.)
+      in
+      let row =
+        record
+          (Printf.sprintf "tracecheck/stream/j%d" j)
+          t
+          ~events:summary.Csp.Tracecheck.events
+          ~streams:summary.Csp.Tracecheck.streams
+          ~accepted:summary.Csp.Tracecheck.accepted
+          ~events_per_sec:summary.Csp.Tracecheck.events_per_sec ~workers:j
+          ~comparison
+      in
+      if !stream_base = None then stream_base := Some row.wall_s)
+    [ 1; 2 ];
+  (* full-driver rows: parse + map + cursors over a generated corpus *)
+  let corpus = Filename.temp_file "bench_corpus" ".ndjson" in
+  ignore
+    (Ota.Corpus.generate ~seed:42 ~streams:400 ~until_ms:400 ~flawed_rate:0.25
+       ~path:corpus ());
+  let loaded = Cspm.Elaborate.load_string ota_trace_specs in
+  let map, requirements =
+    match
+      Serve.Trace_run.prepare ~script:loaded ~specs:[] ~dbc:None ~corpus ()
+    with
+    | Ok v -> v
+    | Error msg -> failwith msg
+  in
+  let corpus_base = ref None in
+  List.iter
+    (fun j ->
+      Gc.compact ();
+      let result, t =
+        wall (fun () ->
+            Serve.Trace_run.check_corpus ~workers:j ~map ~requirements
+              ~path:corpus ())
+      in
+      let report =
+        match result with Ok r -> r | Error msg -> failwith msg
+      in
+      let comparison =
+        match !corpus_base with
+        | None -> Standalone
+        | Some base -> Speedup_vs_j1 (if t > 0. then base /. t else 0.)
+      in
+      let row =
+        record
+          (Printf.sprintf "tracecheck/ota-corpus/j%d" j)
+          t ~events:report.Serve.Trace_run.events
+          ~streams:report.Serve.Trace_run.streams
+          ~accepted:report.Serve.Trace_run.streams_accepted
+          ~events_per_sec:report.Serve.Trace_run.events_per_sec ~workers:j
+          ~comparison
+      in
+      if !corpus_base = None then corpus_base := Some row.wall_s)
+    [ 1; 2 ];
+  Sys.remove corpus
+
 let run_rows () =
   let rows = ref [] in
   let record name f =
@@ -246,6 +415,7 @@ let run_rows () =
        workers = 1;
        par_speedup = 1.;
        comparison = Ratio_vs_check ratio;
+       extras = [];
      }
    in
    Format.printf "%-27s %9.2f ms  %s (%.0fx cheaper than the check)@."
@@ -337,6 +507,7 @@ let run_rows () =
        compile re-combines the whole interleaving per state); the staged
        pipeline makes them routine *)
     [ 2; 3; 4; 5; 8; 10; 12 ];
+  tracecheck_rows rows;
   List.rev !rows
 
 let json_of_rows rows =
@@ -353,6 +524,13 @@ let json_of_rows rows =
         | Standalone -> ""
         | Speedup_vs_j1 s -> Printf.sprintf ", \"speedup_vs_j1\": %.3f" s
         | Ratio_vs_check r -> Printf.sprintf ", \"ratio_vs_check\": %.3f" r
+      in
+      let comparison =
+        comparison
+        ^ String.concat ""
+            (List.map
+               (fun (k, v) -> Printf.sprintf ", %S: %.1f" k v)
+               row.extras)
       in
       Buffer.add_string buf
         (Printf.sprintf

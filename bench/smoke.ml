@@ -426,6 +426,132 @@ let check_checkpoint_resume () =
     Format.printf "checkpoint resume: interrupted then resumed -> %s@."
       (String.concat "; " final)
 
+(* One accept-everything requirement over the demo network's channels:
+   enough to drive the trace-check path end to end without depending on
+   the fault draw. *)
+let trace_spec_script =
+  "channel reqSw : {0..3}\n\
+   channel rptSw : {0..7}\n\
+   channel reqApp : {0..7}.{0..7}\n\
+   channel rptUpd : {0..7}\n\
+   SPEC_ANY = reqSw?p -> SPEC_ANY [] rptSw?v -> SPEC_ANY\n\
+   \  [] reqApp?v?t -> SPEC_ANY [] rptUpd?v -> SPEC_ANY\n"
+
+let check_tracecheck_throughput () =
+  (* the streaming engine's floor: single-domain trace containment on
+     the NS authentication spec must clear 100k events/s — a step is one
+     hashtable probe, so missing this means the engine regressed by
+     orders of magnitude, not that the host is slow *)
+  let defs, _impl = Security.Ns_protocol.build ~fixed:true in
+  let spec = Security.Ns_protocol.authentication_spec defs in
+  let checker =
+    match Csp.Tracecheck.compile defs spec with
+    | Ok c -> c
+    | Error msg -> fail "tracecheck smoke: compile failed: %s" msg
+  in
+  (* synthesize valid streams by walking the spec's own normal form, so
+     every verdict must come back Accepted *)
+  let norm = Csp.Normalise.normalise (Csp.Lts.compile defs spec) in
+  let stream i len =
+    let labels = ref [] in
+    let node = ref (Csp.Normalise.initial norm) in
+    (try
+       for k = 0 to len - 1 do
+         let vis =
+           List.filter
+             (fun (l, _) ->
+               match l with Csp.Event.Vis _ -> true | _ -> false)
+             (Csp.Normalise.afters norm !node)
+         in
+         match vis with
+         | [] -> raise Exit
+         | choices ->
+           let l, next = List.nth choices ((i + k) mod List.length choices) in
+           labels := l :: !labels;
+           node := next
+       done
+     with Exit -> ());
+    Array.of_list (List.rev !labels)
+  in
+  let streams =
+    Array.init 200 (fun i ->
+        Printf.sprintf "t%03d" i, Array.to_seq (stream i 1000))
+  in
+  let _, summary = Csp.Tracecheck.check_streams checker streams in
+  if summary.Csp.Tracecheck.rejected > 0 then
+    fail "tracecheck smoke: %d synthesized spec traces were rejected"
+      summary.Csp.Tracecheck.rejected;
+  if summary.Csp.Tracecheck.events < 10_000 then
+    fail "tracecheck smoke: synthesizer produced only %d events"
+      summary.Csp.Tracecheck.events;
+  if summary.Csp.Tracecheck.events_per_sec < 100_000. then
+    fail "tracecheck smoke: %.0f events/s is below the 100k floor"
+      summary.Csp.Tracecheck.events_per_sec;
+  Format.printf "tracecheck engine: %d events, %d streams, %.2fM events/s@."
+    summary.Csp.Tracecheck.events summary.Csp.Tracecheck.streams
+    (summary.Csp.Tracecheck.events_per_sec /. 1e6)
+
+let check_trace_schemas () =
+  (* can-trace/1 and trace-check/1 are contracts: a generated corpus must
+     read back with its header intact and zero malformed lines, and the
+     report document must carry its schema tag, its counts, and be
+     byte-stable across runs (timing fields aside) *)
+  let path = Filename.temp_file "smoke_corpus" ".ndjson" in
+  ignore (Ota.Corpus.generate ~seed:5 ~streams:8 ~until_ms:150 ~path ());
+  (match Serve.Trace_io.read_header ~path with
+   | Ok h when h.Serve.Trace_io.generator = Some Ota.Corpus.generator_name ->
+     ()
+   | Ok _ -> fail "trace schema smoke: corpus header lost its generator"
+   | Error msg -> fail "trace schema smoke: corpus header: %s" msg);
+  let loaded = Cspm.Elaborate.load_string trace_spec_script in
+  let map, requirements =
+    match
+      Serve.Trace_run.prepare ~script:loaded ~specs:[] ~dbc:None ~corpus:path
+        ()
+    with
+    | Ok v -> v
+    | Error msg -> fail "trace schema smoke: prepare: %s" msg
+  in
+  let run () =
+    match Serve.Trace_run.check_corpus ~map ~requirements ~path () with
+    | Ok r -> r
+    | Error msg -> fail "trace schema smoke: check_corpus: %s" msg
+  in
+  let report = run () in
+  if report.Serve.Trace_run.malformed > 0 then
+    fail "trace schema smoke: %d malformed lines in a fresh corpus"
+      report.Serve.Trace_run.malformed;
+  if not (Serve.Trace_run.passed report) then
+    fail "trace schema smoke: SPEC_ANY rejected a generated stream";
+  let doc = Obs.Json.to_string (Serve.Trace_run.json_of_report report) in
+  let json =
+    match Obs.Json.parse doc with
+    | Ok j -> j
+    | Error msg -> fail "trace schema smoke: report does not parse: %s" msg
+  in
+  (match Obs.Json.to_str (Option.get (Obs.Json.member "schema" json)) with
+   | Some "trace-check/1" -> ()
+   | _ -> fail "trace schema smoke: schema tag is not trace-check/1");
+  List.iter
+    (fun field ->
+      match Option.bind (Obs.Json.member field json) Obs.Json.to_int with
+      | Some _ -> ()
+      | None -> fail "trace schema smoke: report lacks integer field %S" field)
+    [
+      "streams"; "streams_accepted"; "streams_rejected"; "entries"; "events";
+      "skipped"; "faults"; "malformed";
+    ];
+  (match Obs.Json.member "requirements" json with
+   | Some (Obs.Json.List l) when List.length l = List.length requirements -> ()
+   | _ -> fail "trace schema smoke: requirements array missing or wrong size");
+  let stable r = Obs.Json.to_string (Serve.Trace_run.json_of_report ~timing:false r) in
+  if not (String.equal (stable report) (stable (run ()))) then
+    fail "trace schema smoke: two identical runs produced different documents";
+  Sys.remove path;
+  Format.printf
+    "trace schemas: %d entries -> %d events, report stable — schema ok@."
+    report.Serve.Trace_run.entries report.Serve.Trace_run.events
+
 let check_daemon () =
   (* the supervised runner end to end: a passing job, a failing job, and
      a job whose first deadline is far below one poll interval — it must
@@ -444,6 +570,8 @@ let check_daemon () =
     {
       Serve.Protocol.id;
       source = Serve.Protocol.Inline script;
+      kind = Serve.Protocol.Check;
+      version = Serve.Protocol.V2;
       deadline_s;
       workers = 1;
       max_states = None;
@@ -457,7 +585,20 @@ let check_daemon () =
   Serve.Runner.submit t
     (job ~deadline_s:1e-5 ~max_retries:30 ~reductions:"none" "slow"
        counter_script);
+  (* a trace-check job rides the same queue: generate a tiny corpus and
+     let the kind dispatch route it through Trace_run *)
+  let corpus_path = Filename.temp_file "smoke_corpus" ".ndjson" in
+  ignore
+    (Ota.Corpus.generate ~seed:5 ~streams:6 ~until_ms:150 ~path:corpus_path ());
+  Serve.Runner.submit t
+    {
+      (job "trace" trace_spec_script) with
+      Serve.Protocol.kind =
+        Serve.Protocol.Trace_check
+          { corpus = corpus_path; specs = []; dbc = None };
+    };
   Serve.Runner.drain t;
+  Sys.remove corpus_path;
   let evs = List.rev !events in
   let name j =
     match Obs.Json.member "event" j with
@@ -489,6 +630,26 @@ let check_daemon () =
   if verdicts "slow" <> [ "pass" ] then
     fail "daemon smoke: the resumed job should reach pass, got %s"
       (String.concat "," (verdicts "slow"));
+  (* the trace-check result carries stream verdict counts, not assertions *)
+  (match
+     List.find_opt (fun e -> name e = "result" && str "id" e = Some "trace") evs
+   with
+   | None -> fail "daemon smoke: no result event for the trace-check job"
+   | Some r ->
+     let count k =
+       match Obs.Json.member k r with
+       | Some (Obs.Json.Num f) -> int_of_float f
+       | _ -> fail "daemon smoke: trace-check result lacks %S" k
+     in
+     if count "streams" <> 6 || count "accepted" <> 6 || count "rejected" <> 0
+     then
+       fail "daemon smoke: trace-check verdicts %d/%d/%d, want 6/6/0"
+         (count "streams") (count "accepted") (count "rejected");
+     (match
+        Option.bind (Obs.Json.member "report" r) (Obs.Json.member "schema")
+      with
+      | Some (Obs.Json.Str "trace-check/1") -> ()
+      | _ -> fail "daemon smoke: trace-check report is not trace-check/1"));
   let retries =
     List.filter
       (fun e -> name e = "retrying" && str "id" e = Some "slow")
@@ -508,11 +669,11 @@ let check_daemon () =
        | Some (Obs.Json.Num f) -> int_of_float f
        | _ -> -1
      in
-     if count "done" <> 3 || count "failed" <> 0 then
-       fail "daemon smoke: drain counted %d done / %d failed, want 3/0"
+     if count "done" <> 4 || count "failed" <> 0 then
+       fail "daemon smoke: drain counted %d done / %d failed, want 4/0"
          (count "done") (count "failed")
    | _ -> fail "daemon smoke: the last event is not drained");
-  Format.printf "daemon: 3 jobs (%d resumed retries) -> clean drain@."
+  Format.printf "daemon: 4 jobs (%d resumed retries) -> clean drain@."
     (List.length retries)
 
 let () =
@@ -526,5 +687,7 @@ let () =
   check_lint_schema ();
   check_trace_stream ();
   check_checkpoint_resume ();
+  check_tracecheck_throughput ();
+  check_trace_schemas ();
   check_daemon ();
   print_endline "smoke: ok"

@@ -10,22 +10,57 @@ type entry = {
   frame : Frame.t;
 }
 
-type t = { mutable entries : entry list (* reverse chronological *) }
+(* Dynamic array, chronological order. The previous representation was a
+   reverse-chronological list, which forced [entries] (an O(n) reversal
+   plus a second O(n) list) onto every consumer; corpora of millions of
+   entries want in-order streaming without materialisation. *)
+type t = {
+  mutable store : entry array;
+  mutable len : int;
+}
 
-let create () = { entries = [] }
-let record t entry = t.entries <- entry :: t.entries
-let entries t = List.rev t.entries
+let dummy =
+  { time = 0; node = ""; direction = Tx; frame = Frame.make ~id:0 [] }
+
+let create () = { store = [||]; len = 0 }
+
+let record t entry =
+  let cap = Array.length t.store in
+  if t.len = cap then begin
+    let store = Array.make (max 16 (2 * cap)) dummy in
+    Array.blit t.store 0 store 0 t.len;
+    t.store <- store
+  end;
+  t.store.(t.len) <- entry;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let clear t =
+  t.store <- [||];
+  t.len <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.store.(i)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let entries t = List.rev (fold t ~init:[] (fun acc e -> e :: acc))
 
 let transmissions t =
-  List.filter (fun e -> e.direction = Tx) (entries t)
+  List.rev
+    (fold t ~init:[] (fun acc e ->
+         if e.direction = Tx then e :: acc else acc))
 
 let faults t =
-  List.filter
-    (fun e -> match e.direction with Fault _ -> true | _ -> false)
-    (entries t)
-
-let length t = List.length t.entries
-let clear t = t.entries <- []
+  List.rev
+    (fold t ~init:[] (fun acc e ->
+         match e.direction with Fault _ -> e :: acc | _ -> acc))
 
 let pp_entry ppf e =
   let dir =
@@ -41,3 +76,88 @@ let pp ppf t =
   Format.pp_print_list
     ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
     pp_entry ppf (entries t)
+
+(* can-trace/1 codec.
+
+   One entry per JSON object, compact keys, fixed field order so a
+   decode/encode round trip is byte-identical:
+     {"t":<us>,"n":<node>,"d":"tx"|"rx:<node>"|"fault:<kind>",
+      "id":<can id>,["ext":true,]"data":[<bytes>]}
+   ["ext"] is present only for extended-format frames; ["data"] always
+   carries exactly [dlc] bytes. *)
+
+let schema = "can-trace/1"
+
+let string_of_direction = function
+  | Tx -> "tx"
+  | Rx receiver -> "rx:" ^ receiver
+  | Fault kind -> "fault:" ^ kind
+
+let direction_of_string s =
+  let tagged prefix =
+    let lp = String.length prefix in
+    if
+      String.length s >= lp && String.sub s 0 lp = prefix
+    then Some (String.sub s lp (String.length s - lp))
+    else None
+  in
+  if s = "tx" then Ok Tx
+  else
+    match tagged "rx:" with
+    | Some receiver -> Ok (Rx receiver)
+    | None -> (
+      match tagged "fault:" with
+      | Some kind -> Ok (Fault kind)
+      | None -> Error (Printf.sprintf "unknown direction %S" s))
+
+let entry_to_json e =
+  let open Obs.Json in
+  let data =
+    List (Array.to_list (Array.map (fun b -> Num (float_of_int b)) e.frame.Frame.data))
+  in
+  let fields =
+    [
+      ("t", Num (float_of_int e.time));
+      ("n", Str e.node);
+      ("d", Str (string_of_direction e.direction));
+      ("id", Num (float_of_int e.frame.Frame.id));
+    ]
+    @ (if e.frame.Frame.extended then [ ("ext", Bool true) ] else [])
+    @ [ ("data", data) ]
+  in
+  Obj fields
+
+let entry_of_json json =
+  let open Obs.Json in
+  let field name conv =
+    match Option.bind (member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* time = field "t" to_int in
+  let* node = field "n" to_str in
+  let* dir_s = field "d" to_str in
+  let* direction = direction_of_string dir_s in
+  let* id = field "id" to_int in
+  let extended =
+    match member "ext" json with Some (Bool b) -> b | _ -> false
+  in
+  let* bytes =
+    match member "data" json with
+    | Some (List items) ->
+      List.fold_left
+        (fun acc item ->
+          let* acc = acc in
+          match to_int item with
+          | Some b -> Ok (b :: acc)
+          | None -> Error "non-integer data byte")
+        (Ok []) items
+      |> Result.map List.rev
+    | _ -> Error "missing or ill-typed field \"data\""
+  in
+  if time < 0 then Error "negative timestamp"
+  else
+    match Frame.make ~extended ~id bytes with
+    | frame -> Ok { time; node; direction; frame }
+    | exception Frame.Invalid_frame reason -> Error reason

@@ -1,5 +1,10 @@
 (** Chronological record of bus activity, for assertions and conformance
-    checking against extracted CSP models. *)
+    checking against extracted CSP models.
+
+    The log is a growable array in chronological order: {!record} is
+    amortised O(1), and {!iter}/{!fold} stream the entries without
+    materialising a list — the API large trace corpora are built on.
+    {!entries} remains for small logs and tests. *)
 
 type direction =
   | Tx  (** frame won arbitration and was transmitted *)
@@ -20,8 +25,16 @@ type t
 
 val create : unit -> t
 val record : t -> entry -> unit
+
+val iter : t -> (entry -> unit) -> unit
+(** In chronological order, O(1) extra memory. *)
+
+val fold : t -> init:'a -> ('a -> entry -> 'a) -> 'a
+(** In chronological order, O(1) extra memory. *)
+
 val entries : t -> entry list
-(** In chronological order. *)
+(** In chronological order. Materialises the whole log; prefer
+    {!iter}/{!fold} on large logs. *)
 
 val transmissions : t -> entry list
 (** Only [Tx] entries. *)
@@ -33,3 +46,21 @@ val length : t -> int
 val clear : t -> unit
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 can-trace/1 codec}
+
+    Stable NDJSON encoding of entries, one object per line:
+    [{"t":<us>,"n":<node>,"d":"tx"|"rx:<node>"|"fault:<kind>",
+    "id":<id>,["ext":true,]"data":[<bytes>]}]. Field order is fixed, so
+    [entry_of_json] followed by [entry_to_json] reproduces the input
+    byte-for-byte. Corpus files carry this schema tag in their header
+    line (see [Serve.Trace_io]). *)
+
+val schema : string
+(** ["can-trace/1"]. *)
+
+val entry_to_json : entry -> Obs.Json.t
+
+val entry_of_json : Obs.Json.t -> (entry, string) result
+(** Validates shape and frame invariants (id range, dlc, byte range);
+    never raises. *)

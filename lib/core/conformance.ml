@@ -4,32 +4,14 @@ type report = {
   rejected_at : int option;
 }
 
-let clamp_value config (s : Candb.Dbc_ast.signal) v =
-  let lo, hi, _ = Candb.To_cspm.clamped_range config s in
-  let size = hi - lo + 1 in
-  if v >= lo && v <= hi then v else lo + (((v - lo) mod size + size) mod size)
-
+(* The mapping itself lives in [Trace_rv] (shared with the streaming
+   trace checker); here we just derive the mapper from the system. *)
 let event_of_frame (system : Pipeline.system) frame =
-  match
-    Candb.Dbc_ast.find_message system.Pipeline.db frame.Canbus.Frame.id
-  with
-  | None -> None
-  | Some m ->
-    let data = Array.make 8 0 in
-    for i = 0 to frame.Canbus.Frame.dlc - 1 do
-      data.(i) <- Canbus.Frame.data_byte frame i
-    done;
-    let config = system.Pipeline.config.Extract.domain in
-    let args =
-      List.map
-        (fun (s : Candb.Dbc_ast.signal) ->
-          let capl_sig = Candb.To_capl.signal s in
-          let raw = Capl.Msgdb.decode_signal capl_sig data in
-          Csp.Value.Int (clamp_value config s raw))
-        m.Candb.Dbc_ast.signals
-    in
-    let chan = config.Candb.To_cspm.channel_prefix ^ m.Candb.Dbc_ast.msg_name in
-    Some (Csp.Event.event chan args)
+  let mapper =
+    Trace_rv.make ~domain:system.Pipeline.config.Extract.domain
+      system.Pipeline.db
+  in
+  Trace_rv.event_of_frame mapper frame
 
 let trace_accepted ?(unknown_ok = true) (system : Pipeline.system) frames =
   let defs = system.Pipeline.defs in
@@ -72,10 +54,11 @@ let trace_accepted ?(unknown_ok = true) (system : Pipeline.system) frames =
   let initial =
     tau_close [ Csp.Proc.const_fold ~tys fenv system.Pipeline.composed ]
   in
+  let mapper = Trace_rv.make ~domain:config system.Pipeline.db in
   let events =
     List.filter_map
       (fun f ->
-        match event_of_frame system f with
+        match Trace_rv.event_of_frame mapper f with
         | Some e -> Some (`Event e)
         | None -> if unknown_ok then None else Some `Unknown)
       frames

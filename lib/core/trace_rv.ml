@@ -1,0 +1,63 @@
+(* The frame -> spec-event mapping of the conformance checker, factored
+   into a precompiled table so the trace-containment engine can map
+   millions of logged entries without re-deriving signal decoders per
+   frame (and without needing a full [Pipeline.system] in hand — the
+   corpus checker has only a database and a spec script). *)
+
+type decoder = int array -> Csp.Value.t
+
+type t = {
+  by_id : (int, string * decoder list) Hashtbl.t;
+  channels : string list;
+}
+
+let clamp_value config (s : Candb.Dbc_ast.signal) v =
+  let lo, hi, _ = Candb.To_cspm.clamped_range config s in
+  let size = hi - lo + 1 in
+  if v >= lo && v <= hi then v else lo + (((v - lo) mod size + size) mod size)
+
+let make ?(domain = Candb.To_cspm.default_config) (db : Candb.Dbc_ast.t) =
+  let by_id = Hashtbl.create 16 in
+  let channels =
+    List.map
+      (fun (m : Candb.Dbc_ast.message) ->
+        let chan =
+          domain.Candb.To_cspm.channel_prefix ^ m.Candb.Dbc_ast.msg_name
+        in
+        let decoders =
+          List.map
+            (fun (s : Candb.Dbc_ast.signal) ->
+              let capl_sig = Candb.To_capl.signal s in
+              fun data ->
+                let raw = Capl.Msgdb.decode_signal capl_sig data in
+                Csp.Value.Int (clamp_value domain s raw))
+            m.Candb.Dbc_ast.signals
+        in
+        Hashtbl.replace by_id m.Candb.Dbc_ast.msg_id (chan, decoders);
+        chan)
+      db.Candb.Dbc_ast.messages
+  in
+  { by_id; channels = List.sort_uniq String.compare channels }
+
+let channels t = t.channels
+
+let event_of_frame t (frame : Canbus.Frame.t) =
+  match Hashtbl.find_opt t.by_id frame.Canbus.Frame.id with
+  | None -> None
+  | Some (chan, decoders) ->
+    let data = Array.make 8 0 in
+    for i = 0 to frame.Canbus.Frame.dlc - 1 do
+      data.(i) <- Canbus.Frame.data_byte frame i
+    done;
+    Some (Csp.Event.event chan (List.map (fun d -> d data) decoders))
+
+(* Only transmitted frames are observations: an [Rx] entry duplicates
+   the [Tx] that delivered it, and a [Fault] entry records interference,
+   not a bus-level event the specification's alphabet mentions. *)
+let label_of_entry t (e : Canbus.Trace_log.entry) =
+  match e.Canbus.Trace_log.direction with
+  | Canbus.Trace_log.Tx ->
+    Option.map
+      (fun ev -> Csp.Event.Vis ev)
+      (event_of_frame t e.Canbus.Trace_log.frame)
+  | Canbus.Trace_log.Rx _ | Canbus.Trace_log.Fault _ -> None

@@ -1,0 +1,33 @@
+(** Offline runtime verification glue: map recorded CAN traffic to
+    specification events, using the same channel naming and signal
+    clamping as the model extractor.
+
+    This is the alphabet half of the trace-containment pipeline: a
+    [Trace_rv.t] is a precompiled frame-id table built from a CAN
+    database and the extractor's domain configuration, so mapping a
+    logged entry is one hashtable probe plus signal decoding — no
+    [Pipeline.system] required. [Conformance.event_of_frame] is the
+    same mapping, derived from a full system. *)
+
+type t
+
+val make : ?domain:Candb.To_cspm.config -> Candb.Dbc_ast.t -> t
+(** [domain] defaults to [Candb.To_cspm.default_config] — the channel
+    names and clamped signal ranges the extractor produces with no
+    overrides. *)
+
+val channels : t -> string list
+(** Sorted channel names the mapper can produce — the observable
+    alphabet to hand to [Csp.Tracecheck.compile]. *)
+
+val event_of_frame : t -> Canbus.Frame.t -> Csp.Event.t option
+(** Channel from the database message name (prefixed per [domain]),
+    arguments from decoded signal values clamped exactly as the
+    extractor clamps signal domains. [None] for ids not in the
+    database. *)
+
+val label_of_entry : t -> Canbus.Trace_log.entry -> Csp.Event.label option
+(** The observation a log entry contributes to its stream's trace:
+    [Tx] frames map through {!event_of_frame}; [Rx] entries (delivery
+    duplicates of a [Tx]) and [Fault] entries (interference metadata)
+    are [None]. *)

@@ -1,0 +1,93 @@
+(* The scenario factory: mass-produce adversarial OTA trace corpora by
+   running the demo network under per-stream fault plans.
+
+   All randomness — fault-plan parameters, the flawed-ECU draw, and the
+   fault layer's own injection decisions — derives from one master seed
+   through [Fault.Rng] splits, so a corpus is reproducible byte-for-byte
+   (the determinism contract the fixed-seed corpus test enforces). One
+   simulation runs at a time and its log is streamed straight to the
+   writer, so generation is constant-memory in the number of streams. *)
+
+let generator_name = "ota-fault"
+
+type summary = {
+  streams : int;
+  entries : int;
+  faults : int;
+  flawed : int;
+}
+
+type stream_plan = {
+  plan : Canbus.Fault.plan;
+  stream_flawed : bool;
+}
+
+let draw_plan rng ~flawed_rate =
+  let r = Canbus.Fault.Rng.split rng in
+  let prob scale = Canbus.Fault.Rng.float r *. scale in
+  let babble =
+    if Canbus.Fault.Rng.float r < 0.1 then
+      Some
+        (Canbus.Fault.babble
+           ~period_us:(500 + Canbus.Fault.Rng.int r 2000)
+           ~count:(10 + Canbus.Fault.Rng.int r 40)
+           ())
+    else None
+  in
+  {
+    plan =
+      Canbus.Fault.plan
+        ~seed:(Canbus.Fault.Rng.int r 0x3FFFFFFF)
+        ~drop:(prob 0.3) ~corrupt:(prob 0.25) ~delay:(prob 0.3)
+        ~delay_us:(100 + Canbus.Fault.Rng.int r 400)
+        ~duplicate:(prob 0.2) ?babble ();
+    (* the flawed-ECU draw reuses the same per-stream split so adding
+       streams never perturbs earlier ones *)
+    stream_flawed = Canbus.Fault.Rng.float r < flawed_rate;
+  }
+
+let meta_of_plan { plan; stream_flawed } =
+  let open Obs.Json in
+  Obj
+    ([
+       ("drop", Num plan.Canbus.Fault.drop);
+       ("corrupt", Num plan.Canbus.Fault.corrupt);
+       ("delay", Num plan.Canbus.Fault.delay);
+       ("duplicate", Num plan.Canbus.Fault.duplicate);
+       ("babble", Bool (plan.Canbus.Fault.babble <> None));
+     ]
+    @ if stream_flawed then [ ("flawed", Bool true) ] else [])
+
+let stream_name i = Printf.sprintf "s%05d" i
+
+let generate ?(seed = 0) ?(streams = 100) ?(until_ms = 400)
+    ?(flawed_rate = 0.) ?(embed_dbc = true) ~path () =
+  let master = Canbus.Fault.Rng.make seed in
+  let header =
+    {
+      Serve.Trace_io.generator = Some generator_name;
+      seed = Some seed;
+      dbc = (if embed_dbc then Some Capl_sources.dbc else None);
+    }
+  in
+  Serve.Trace_io.with_writer ~path ~header (fun w ->
+      let entries = ref 0 and faults = ref 0 and flawed_n = ref 0 in
+      for i = 0 to streams - 1 do
+        let sp = draw_plan master ~flawed_rate in
+        let stream = stream_name i in
+        Serve.Trace_io.write_meta w ~stream (meta_of_plan sp);
+        if sp.stream_flawed then incr flawed_n;
+        let sim = Capl_sources.simulation ~flawed:sp.stream_flawed () in
+        let _fault =
+          Canbus.Fault.install (Capl.Simulation.bus sim) sp.plan
+        in
+        Capl.Simulation.start sim;
+        let _events = Capl.Simulation.run ~until_ms sim in
+        Canbus.Trace_log.iter (Capl.Simulation.log sim) (fun e ->
+            incr entries;
+            (match e.Canbus.Trace_log.direction with
+             | Canbus.Trace_log.Fault _ -> incr faults
+             | _ -> ());
+            Serve.Trace_io.write_entry w ~stream e)
+      done;
+      { streams; entries = !entries; faults = !faults; flawed = !flawed_n })

@@ -1,0 +1,44 @@
+(** Adversarial OTA trace corpora: the fault-injection layer as a
+    scenario factory.
+
+    Each stream of the corpus is one run of the paper's demonstration
+    network (VMG + target ECU) under a randomly drawn {!Canbus.Fault}
+    plan — drops, corruption, delay, duplication, the occasional
+    babbling idiot, and (at [flawed_rate]) the tag-skipping flawed ECU.
+    Every draw derives from the master [seed] via [Fault.Rng] splits,
+    one split per stream, so corpora are byte-identical across runs of
+    the same seed and adding streams never changes earlier ones.
+
+    Output is a [can-trace/1] file ({!Serve.Trace_io}) with the demo
+    CAN database embedded in the header (unless [embed_dbc:false]), so
+    a corpus is self-contained: [cspm_tracecheck check] needs only the
+    spec script. Each stream opens with a [meta] line recording its
+    fault plan — the ground truth the EXPERIMENTS walkthrough compares
+    verdict rates against. *)
+
+type summary = {
+  streams : int;
+  entries : int;  (** total trace-log entries written *)
+  faults : int;  (** entries recording injected faults *)
+  flawed : int;  (** streams that ran the flawed (no-tag-check) ECU *)
+}
+
+val generator_name : string
+(** ["ota-fault"], the header's [generator] tag. *)
+
+val stream_name : int -> string
+(** ["s%05d"] — the corpus stream identifier of stream [i]. *)
+
+val generate :
+  ?seed:int ->
+  ?streams:int ->
+  ?until_ms:int ->
+  ?flawed_rate:float ->
+  ?embed_dbc:bool ->
+  path:string ->
+  unit ->
+  summary
+(** Write a corpus of [streams] (default 100) runs of [until_ms]
+    (default 400) simulated milliseconds each to [path], atomically and
+    durably. One simulation is alive at a time and its log streams
+    straight to disk — generation is constant-memory in [streams]. *)

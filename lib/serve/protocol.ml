@@ -1,10 +1,25 @@
-let schema = "cspm-checkd/1"
+let schema = "cspm-checkd/2"
+let schema_v1 = "cspm-checkd/1"
+
+type version = V1 | V2
+
+let schema_of_version = function V1 -> schema_v1 | V2 -> schema
 
 type script_source = Inline of string | Path of string
+
+type kind =
+  | Check
+  | Trace_check of {
+      corpus : string;
+      specs : string list;
+      dbc : string option;
+    }
 
 type job = {
   id : string;
   source : script_source;
+  kind : kind;
+  version : version;
   deadline_s : float option;
   workers : int;
   max_states : int option;
@@ -24,60 +39,110 @@ let request_of_line line =
     let num k =
       match member k json with Some (Num f) -> Some f | _ -> None
     in
-    match str "schema" with
-    | Some s when not (String.equal s schema) ->
-      Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
-    | _ -> (
+    let version =
+      match str "schema" with
+      | Some s when String.equal s schema -> Ok V2
+      | Some s when String.equal s schema_v1 -> Ok V1
+      | Some s ->
+        Error
+          (Printf.sprintf "unsupported schema %S (want %S or %S)" s schema
+             schema_v1)
+      (* A schema-less request is a v1 client unless it uses a v2-only
+         field — "kind" did not exist in cspm-checkd/1. *)
+      | None -> Ok (if member "kind" json = None then V1 else V2)
+    in
+    match version with
+    | Error _ as e -> e
+    | Ok version -> (
       match str "op" with
-      | Some "health" -> Ok Health
-      | Some "drain" -> Ok Drain
+      | Some "health" -> Ok (Health, version)
+      | Some "drain" -> Ok (Drain, version)
       | Some "submit" -> (
         match str "id" with
         | None -> Error "submit needs a string \"id\""
         | Some id -> (
-          let submit source =
-            Ok
-              (Submit
-                 {
-                   id;
-                   source;
-                   deadline_s = num "deadline_s";
-                   workers = Option.value (int "workers") ~default:1;
-                   max_states = int "max_states";
-                   max_retries = int "max_retries";
-                   reductions = str "reductions";
-                 })
+          let kind =
+            match str "kind" with
+            | None | Some "check" -> Ok Check
+            | Some "trace-check" when version = V1 ->
+              Error
+                (Printf.sprintf
+                   "trace-check jobs need schema %S (got %S)" schema
+                   schema_v1)
+            | Some "trace-check" -> (
+              match str "corpus" with
+              | None -> Error "trace-check needs a string \"corpus\" path"
+              | Some corpus -> (
+                let dbc = str "dbc" in
+                match member "specs" json, str "spec" with
+                | Some _, Some _ ->
+                  Error "trace-check takes \"specs\" or \"spec\", not both"
+                | None, spec ->
+                  Ok
+                    (Trace_check
+                       { corpus; specs = Option.to_list spec; dbc })
+                | Some (List items), None ->
+                  let rec collect acc = function
+                    | [] -> Ok (List.rev acc)
+                    | Str s :: rest -> collect (s :: acc) rest
+                    | _ -> Error "\"specs\" must be a list of strings"
+                  in
+                  Result.map
+                    (fun specs -> Trace_check { corpus; specs; dbc })
+                    (collect [] items)
+                | Some _, None ->
+                  Error "\"specs\" must be a list of strings"))
+            | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
           in
-          match str "script", str "path" with
-          | None, None -> Error "submit needs \"script\" or \"path\""
-          | Some _, Some _ ->
-            Error "submit takes \"script\" or \"path\", not both"
-          | Some s, None -> submit (Inline s)
-          | None, Some p -> submit (Path p)))
+          match kind with
+          | Error _ as e -> e
+          | Ok kind -> (
+            let submit source =
+              Ok
+                ( Submit
+                    {
+                      id;
+                      source;
+                      kind;
+                      version;
+                      deadline_s = num "deadline_s";
+                      workers = Option.value (int "workers") ~default:1;
+                      max_states = int "max_states";
+                      max_retries = int "max_retries";
+                      reductions = str "reductions";
+                    },
+                  version )
+            in
+            match str "script", str "path" with
+            | None, None -> Error "submit needs \"script\" or \"path\""
+            | Some _, Some _ ->
+              Error "submit takes \"script\" or \"path\", not both"
+            | Some s, None -> submit (Inline s)
+            | None, Some p -> submit (Path p))))
       | Some op -> Error (Printf.sprintf "unknown op %S" op)
       | None -> Error "request has no \"op\""))
 
-let event name fields =
-  Obs.Json.Obj (("schema", Obs.Json.Str schema)
+let event ?(v = V2) name fields =
+  Obs.Json.Obj (("schema", Obs.Json.Str (schema_of_version v))
                 :: ("event", Obs.Json.Str name)
                 :: fields)
 
 let num n = Obs.Json.Num (float_of_int n)
 
-let accepted ~id ~queue_depth =
-  event "accepted"
+let accepted ?v ~id ~queue_depth () =
+  event ?v "accepted"
     [ "id", Obs.Json.Str id; "queue_depth", num queue_depth ]
 
-let rejected ~id ~reason =
-  event "rejected"
+let rejected ?v ~id ~reason () =
+  event ?v "rejected"
     ((match id with Some id -> [ "id", Obs.Json.Str id ] | None -> [])
     @ [ "reason", Obs.Json.Str reason ])
 
-let started ~id ~attempt =
-  event "started" [ "id", Obs.Json.Str id; "attempt", num attempt ]
+let started ?v ~id ~attempt () =
+  event ?v "started" [ "id", Obs.Json.Str id; "attempt", num attempt ]
 
-let retrying ~id ~attempt ~backoff_s ~resumed =
-  event "retrying"
+let retrying ?v ~id ~attempt ~backoff_s ~resumed () =
+  event ?v "retrying"
     [
       "id", Obs.Json.Str id;
       "attempt", num attempt;
@@ -85,22 +150,30 @@ let retrying ~id ~attempt ~backoff_s ~resumed =
       "resumed", Obs.Json.Bool resumed;
     ]
 
-let result ~id ~attempts ~interrupted ~report =
-  event "result"
+let result ?v ?verdicts ~id ~attempts ~interrupted ~report () =
+  event ?v "result"
     ([ "id", Obs.Json.Str id; "attempts", num attempts ]
     @ (if interrupted then [ "interrupted", Obs.Json.Bool true ] else [])
+    @ (match verdicts with
+       | Some (streams, accepted, rejected) ->
+         [
+           "streams", num streams;
+           "accepted", num accepted;
+           "rejected", num rejected;
+         ]
+       | None -> [])
     @ [ "report", report ])
 
-let failed ~id ~attempts ~reason =
-  event "failed"
+let failed ?v ~id ~attempts ~reason () =
+  event ?v "failed"
     [
       "id", Obs.Json.Str id;
       "attempts", num attempts;
       "reason", Obs.Json.Str reason;
     ]
 
-let health ?cache ~queued ~done_ ~failed ~retries ~draining () =
-  event "health"
+let health ?v ?cache ~queued ~done_ ~failed ~retries ~draining () =
+  event ?v "health"
     ([
        "queued", num queued;
        "done", num done_;
@@ -110,5 +183,5 @@ let health ?cache ~queued ~done_ ~failed ~retries ~draining () =
      ]
     @ match cache with Some j -> [ "cache", j ] | None -> [])
 
-let drained ~done_ ~failed =
-  event "drained" [ "done", num done_; "failed", num failed ]
+let drained ?v ~done_ ~failed () =
+  event ?v "drained" [ "done", num done_; "failed", num failed ]

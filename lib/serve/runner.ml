@@ -70,17 +70,19 @@ let note_failed t =
   Obs.set t.g_failed (float_of_int t.jobs_failed)
 
 let submit t (job : Protocol.job) =
+  let v = job.Protocol.version in
   if t.draining then
-    t.cfg.emit (Protocol.rejected ~id:(Some job.Protocol.id) ~reason:"draining")
+    t.cfg.emit
+      (Protocol.rejected ~v ~id:(Some job.Protocol.id) ~reason:"draining" ())
   else if Queue.length t.queue >= t.cfg.queue_limit then
     t.cfg.emit
-      (Protocol.rejected ~id:(Some job.Protocol.id) ~reason:"queue full")
+      (Protocol.rejected ~v ~id:(Some job.Protocol.id) ~reason:"queue full" ())
   else begin
     Queue.add job t.queue;
     Obs.set t.g_queue (float_of_int (Queue.length t.queue));
     t.cfg.emit
-      (Protocol.accepted ~id:job.Protocol.id
-         ~queue_depth:(Queue.length t.queue))
+      (Protocol.accepted ~v ~id:job.Protocol.id
+         ~queue_depth:(Queue.length t.queue) ())
   end
 
 let cache_stats_json cfg =
@@ -88,9 +90,9 @@ let cache_stats_json cfg =
     (fun c -> Csp.Cache.json_of_stats (Csp.Cache.stats c))
     cfg.cache
 
-let emit_health t =
+let emit_health ?v t =
   t.cfg.emit
-    (Protocol.health ?cache:(cache_stats_json t.cfg)
+    (Protocol.health ?v ?cache:(cache_stats_json t.cfg)
        ~queued:(Queue.length t.queue) ~done_:t.jobs_done
        ~failed:t.jobs_failed ~retries:t.retries ~draining:t.draining ())
 
@@ -189,8 +191,9 @@ let spill_checkpoint cfg job st =
      with Sys_error _ -> ())
   | None -> ()
 
-let run_job t (job : Protocol.job) =
+let run_check_job t (job : Protocol.job) =
   let cfg = t.cfg in
+  let v = job.Protocol.version in
   let retries =
     Option.value job.Protocol.max_retries ~default:cfg.default_retries
   in
@@ -200,7 +203,7 @@ let run_job t (job : Protocol.job) =
   in
   match load_job job, reductions with
   | Error reason, _ | _, Error reason ->
-    cfg.emit (Protocol.failed ~id:job.Protocol.id ~attempts:1 ~reason);
+    cfg.emit (Protocol.failed ~v ~id:job.Protocol.id ~attempts:1 ~reason ());
     note_failed t
   | Ok (source, loaded), Ok reductions ->
     let script_digest =
@@ -220,7 +223,7 @@ let run_job t (job : Protocol.job) =
        script order; each retry re-runs only from the first timed-out
        assertion onward. *)
     let rec attempt k ~start ~completed ~resume ~deadline_s =
-      cfg.emit (Protocol.started ~id:job.Protocol.id ~attempt:k);
+      cfg.emit (Protocol.started ~v ~id:job.Protocol.id ~attempt:k ());
       let config =
         let open Csp.Check_config in
         let c =
@@ -260,8 +263,8 @@ let run_job t (job : Protocol.job) =
           };
         let report = report_of (completed @ render start outcomes) in
         cfg.emit
-          (Protocol.result ~id:job.Protocol.id ~attempts:k ~interrupted:true
-             ~report);
+          (Protocol.result ~v ~id:job.Protocol.id ~attempts:k
+             ~interrupted:true ~report ());
         note_failed t
       | None -> (
         match (if k <= retries then first_timeout 0 outcomes else None) with
@@ -281,9 +284,9 @@ let run_job t (job : Protocol.job) =
           t.retries <- t.retries + 1;
           Obs.incr t.c_retries;
           cfg.emit
-            (Protocol.retrying ~id:job.Protocol.id ~attempt:(k + 1)
+            (Protocol.retrying ~v ~id:job.Protocol.id ~attempt:(k + 1)
                ~backoff_s:pause
-               ~resumed:(Option.is_some resume));
+               ~resumed:(Option.is_some resume) ());
           cfg.sleep pause;
           (* Double the per-attempt budget, but never past a configurable
              multiple of the job's own deadline — unbounded doubling let a
@@ -303,17 +306,81 @@ let run_job t (job : Protocol.job) =
           (* terminal verdict: the retry checkpoint is now stale state *)
           remove_checkpoint cfg job;
           cfg.emit
-            (Protocol.result ~id:job.Protocol.id ~attempts:k
-               ~interrupted:false ~report);
+            (Protocol.result ~v ~id:job.Protocol.id ~attempts:k
+               ~interrupted:false ~report ());
           note_done t)
     in
     attempt 1 ~start:0 ~completed:[] ~resume:None
       ~deadline_s:job.Protocol.deadline_s
 
+(* Trace-check jobs are a single pass over the corpus — no product
+   search, so no retries, checkpoints, or deadline doubling; an error
+   anywhere (script, database, unreadable corpus) is terminal. A failing
+   verdict is still a completed job: the report is the deliverable. *)
+let run_trace_job t (job : Protocol.job) ~corpus ~specs ~dbc =
+  let cfg = t.cfg in
+  let v = job.Protocol.version in
+  let fail reason =
+    cfg.emit (Protocol.failed ~v ~id:job.Protocol.id ~attempts:1 ~reason ());
+    note_failed t
+  in
+  match load_job job with
+  | Error reason -> fail reason
+  | Ok (_source, loaded) -> (
+    cfg.emit (Protocol.started ~v ~id:job.Protocol.id ~attempt:1 ());
+    let config =
+      let open Csp.Check_config in
+      let c = default |> with_obs cfg.obs in
+      let c =
+        match job.Protocol.max_states with
+        | Some n -> with_max_states n c
+        | None -> c
+      in
+      match cfg.cache with Some k -> with_cache k c | None -> c
+    in
+    let dbc_text =
+      match dbc with
+      | None -> Ok None
+      | Some path -> (
+        match read_file path with
+        | text -> Ok (Some text)
+        | exception Sys_error msg -> Error msg)
+    in
+    match
+      Result.bind dbc_text (fun dbc ->
+          Trace_run.prepare ~config ~script:loaded ~specs ~dbc ~corpus ())
+    with
+    | Error reason -> fail reason
+    | Ok (map, requirements) -> (
+      match
+        Trace_run.check_corpus
+          ~workers:(max 1 job.Protocol.workers)
+          ~obs:cfg.obs ~map ~requirements ~path:corpus ()
+      with
+      | Error reason -> fail reason
+      | Ok report ->
+        cfg.emit
+          (Protocol.result ~v
+             ~verdicts:
+               ( report.Trace_run.streams,
+                 report.Trace_run.streams_accepted,
+                 report.Trace_run.streams_rejected )
+             ~id:job.Protocol.id ~attempts:1 ~interrupted:false
+             ~report:(Trace_run.json_of_report report) ());
+        note_done t))
+
+let run_job t (job : Protocol.job) =
+  match job.Protocol.kind with
+  | Protocol.Check -> run_check_job t job
+  | Protocol.Trace_check { corpus; specs; dbc } ->
+    run_trace_job t job ~corpus ~specs ~dbc
+
 let fail_queued t reason =
   Queue.iter
     (fun (j : Protocol.job) ->
-      t.cfg.emit (Protocol.failed ~id:j.Protocol.id ~attempts:0 ~reason);
+      t.cfg.emit
+        (Protocol.failed ~v:j.Protocol.version ~id:j.Protocol.id ~attempts:0
+           ~reason ());
       note_failed t)
     t.queue;
   Queue.clear t.queue;
@@ -338,11 +405,11 @@ let run_pending t =
 let drain t =
   t.draining <- true;
   run_pending t;
-  t.cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+  t.cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed ())
 
-let request t = function
+let request ?v t = function
   | Protocol.Submit job -> submit t job
-  | Protocol.Health -> emit_health t
+  | Protocol.Health -> emit_health ?v t
   | Protocol.Drain -> t.draining <- true
 
 (* One reader domain feeds a mutex-protected inbox so the main loop can
@@ -385,14 +452,14 @@ let serve cfg ic =
     if Signals.tripped cfg.cancel then begin
       t.draining <- true;
       fail_queued t "daemon interrupted";
-      cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+      cfg.emit (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed ())
     end
     else
       match pop () with
       | Some line, _ ->
         (match Protocol.request_of_line line with
-        | Ok req -> request t req
-        | Error reason -> cfg.emit (Protocol.rejected ~id:None ~reason));
+        | Ok (req, v) -> request ~v t req
+        | Error reason -> cfg.emit (Protocol.rejected ~id:None ~reason ()));
         loop ()
       | None, eof -> (
         if eof then t.draining <- true;
@@ -404,7 +471,7 @@ let serve cfg ic =
         | None ->
           if t.draining then
             cfg.emit
-              (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed)
+              (Protocol.drained ~done_:t.jobs_done ~failed:t.jobs_failed ())
           else begin
             (* idle: nothing queued, input still open *)
             cfg.sleep 0.02;

@@ -6,6 +6,13 @@
     protocol's backpressure — and run one at a time on the calling
     domain, each with its own worker pool as requested.
 
+    The runner dispatches on {!Protocol.kind}: [Check] jobs run the
+    refinement engine with the retry/checkpoint machinery below;
+    [Trace_check] jobs stream a [can-trace/1] corpus through
+    {!Trace_run} — a single pass, so no retries or checkpoints; their
+    [result] events embed the ["trace-check/1"] report and carry
+    top-level stream/verdict counts.
+
     A job whose attempt exhausts its wall budget ([deadline_s], the
     per-job watchdog) is retried with exponential backoff and jitter, and
     the retry {e resumes} from the engine checkpoint the interrupted
@@ -72,9 +79,10 @@ val submit : t -> Protocol.job -> unit
 (** Enqueue, emitting [accepted] — or [rejected] when the queue is full
     or the runner is draining. Does not run the job. *)
 
-val request : t -> Protocol.request -> unit
+val request : ?v:Protocol.version -> t -> Protocol.request -> unit
 (** Apply one protocol request: [Submit] is {!submit}, [Health] emits a
-    health event, [Drain] stops further admissions. *)
+    health event (tagged [v], the version the request arrived under),
+    [Drain] stops further admissions. *)
 
 val run_pending : t -> unit
 (** Run queued jobs to completion, in order, emitting their events. If

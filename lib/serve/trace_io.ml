@@ -1,0 +1,124 @@
+let schema = Canbus.Trace_log.schema
+
+type header = {
+  generator : string option;
+  seed : int option;
+  dbc : string option;
+}
+
+let empty_header = { generator = None; seed = None; dbc = None }
+
+let header_to_json h =
+  let open Obs.Json in
+  Obj
+    (("schema", Str schema)
+    :: ((match h.generator with
+         | Some g -> [ ("generator", Str g) ]
+         | None -> [])
+       @ (match h.seed with
+          | Some s -> [ ("seed", Num (float_of_int s)) ]
+          | None -> [])
+       @ match h.dbc with Some d -> [ ("dbc", Str d) ] | None -> []))
+
+let header_of_line line =
+  let open Obs.Json in
+  match parse line with
+  | Error msg -> Error ("corpus header is not JSON: " ^ msg)
+  | Ok json -> (
+    let str k = Option.bind (member k json) to_str in
+    match str "schema" with
+    | Some s when String.equal s schema ->
+      Ok
+        {
+          generator = str "generator";
+          seed = Option.bind (member "seed" json) to_int;
+          dbc = str "dbc";
+        }
+    | Some s ->
+      Error (Printf.sprintf "unsupported corpus schema %S (want %S)" s schema)
+    | None -> Error "corpus header has no \"schema\"")
+
+type line =
+  | Meta of { stream : string; meta : Obs.Json.t }
+  | Entry of { stream : string; entry : Canbus.Trace_log.entry }
+  | Malformed of { stream : string option; reason : string }
+
+(* Classify one post-header line. Corrupt input comes back as
+   [Malformed] — attributed to its stream when the ["s"] field is still
+   recoverable — never as an exception: one truncated line must cost one
+   stream, not the batch (the [Cache] corrupt-file-degrades-to-miss
+   policy, applied to corpora). *)
+let parse_line raw =
+  let open Obs.Json in
+  match parse raw with
+  | Error msg -> Malformed { stream = None; reason = "not JSON: " ^ msg }
+  | Ok json -> (
+    let stream = Option.bind (member "s" json) to_str in
+    match stream with
+    | None -> Malformed { stream = None; reason = "line has no stream \"s\"" }
+    | Some stream -> (
+      match member "meta" json with
+      | Some meta -> Meta { stream; meta }
+      | None -> (
+        match Canbus.Trace_log.entry_of_json json with
+        | Ok entry -> Entry { stream; entry }
+        | Error reason -> Malformed { stream = Some stream; reason })))
+
+(* {1 Writing} *)
+
+type writer = { oc : out_channel }
+
+let write_json w json =
+  output_string w.oc (Obs.Json.to_string json);
+  output_char w.oc '\n'
+
+let write_meta w ~stream meta =
+  write_json w (Obs.Json.Obj [ ("s", Obs.Json.Str stream); ("meta", meta) ])
+
+let write_entry w ~stream entry =
+  match Canbus.Trace_log.entry_to_json entry with
+  | Obs.Json.Obj fields ->
+    write_json w (Obs.Json.Obj (("s", Obs.Json.Str stream) :: fields))
+  | json -> write_json w json
+
+let with_writer ~path ~header f =
+  let result = ref None in
+  Fsio.with_atomic_out ~path (fun oc ->
+      let w = { oc } in
+      write_json w (header_to_json header);
+      result := Some (f w));
+  match !result with
+  | Some r -> r
+  | None -> invalid_arg "Trace_io.with_writer: writer did not run"
+
+(* {1 Reading} *)
+
+let with_in path f =
+  match open_in_bin path with
+  | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> f ic)
+  | exception Sys_error msg -> Error msg
+
+let read_header ~path =
+  with_in path (fun ic ->
+      match input_line ic with
+      | exception End_of_file -> Error "empty corpus (no header line)"
+      | first -> header_of_line first)
+
+let fold ~path ~init f =
+  with_in path (fun ic ->
+      match input_line ic with
+      | exception End_of_file -> Error "empty corpus (no header line)"
+      | first -> (
+        match header_of_line first with
+        | Error _ as e -> e
+        | Ok header ->
+          let rec loop line_no acc =
+            match input_line ic with
+            | exception End_of_file -> Ok (acc, header)
+            | raw -> loop (line_no + 1) (f acc ~line_no (parse_line raw))
+          in
+          loop 2 init))
+
+let read ~path ~f =
+  Result.map snd
+    (fold ~path ~init:() (fun () ~line_no line -> f ~line_no line))

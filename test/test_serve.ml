@@ -101,7 +101,12 @@ let test_request_parse () =
      Serve.Protocol.request_of_line
        {|{"schema":"cspm-checkd/1","op":"submit","id":"j1","script":"assert STOP [T= STOP","deadline_s":2.5,"workers":2,"max_states":100,"max_retries":3}|}
    with
-   | Ok (Serve.Protocol.Submit j) ->
+   | Ok (Serve.Protocol.Submit j, v) ->
+     check_bool "explicit /1 schema parses as v1" true (v = Serve.Protocol.V1);
+     check_bool "job records its version" true
+       (j.Serve.Protocol.version = Serve.Protocol.V1);
+     check_bool "kind defaults to check" true
+       (j.Serve.Protocol.kind = Serve.Protocol.Check);
      check_string "id" "j1" j.Serve.Protocol.id;
      (match j.Serve.Protocol.source with
       | Serve.Protocol.Inline s ->
@@ -116,7 +121,9 @@ let test_request_parse () =
   (match
      Serve.Protocol.request_of_line {|{"op":"submit","id":"j2","path":"m.csp"}|}
    with
-   | Ok (Serve.Protocol.Submit j) ->
+   | Ok (Serve.Protocol.Submit j, v) ->
+     check_bool "schema-less kind-less submit stays v1" true
+       (v = Serve.Protocol.V1);
      check_bool "path source" true
        (j.Serve.Protocol.source = Serve.Protocol.Path "m.csp");
      check_int "workers default" 1 j.Serve.Protocol.workers;
@@ -128,10 +135,14 @@ let test_request_parse () =
    | Error msg -> Alcotest.fail msg);
   check_bool "health" true
     (Serve.Protocol.request_of_line {|{"op":"health"}|}
-    = Ok Serve.Protocol.Health);
+    = Ok (Serve.Protocol.Health, Serve.Protocol.V1));
   check_bool "drain" true
     (Serve.Protocol.request_of_line {|{"op":"drain"}|}
-    = Ok Serve.Protocol.Drain);
+    = Ok (Serve.Protocol.Drain, Serve.Protocol.V1));
+  check_bool "v2 health" true
+    (Serve.Protocol.request_of_line
+       {|{"schema":"cspm-checkd/2","op":"health"}|}
+    = Ok (Serve.Protocol.Health, Serve.Protocol.V2));
   let rejects line =
     match Serve.Protocol.request_of_line line with
     | Error _ -> ()
@@ -144,28 +155,114 @@ let test_request_parse () =
   rejects {|{"op":"reboot"}|};
   rejects {|{"schema":"other/9","op":"health"}|}
 
+let test_request_parse_v2 () =
+  (* an explicit kind implies v2 even without a schema tag *)
+  (match
+     Serve.Protocol.request_of_line
+       {|{"op":"submit","id":"t1","script":"SPEC = STOP","kind":"trace-check","corpus":"fleet.ndjson","specs":["SPEC_A","SPEC_B"],"dbc":"bus.dbc","workers":4}|}
+   with
+   | Ok (Serve.Protocol.Submit j, v) ->
+     check_bool "kind field implies v2" true (v = Serve.Protocol.V2);
+     (match j.Serve.Protocol.kind with
+      | Serve.Protocol.Trace_check { corpus; specs; dbc } ->
+        check_string "corpus" "fleet.ndjson" corpus;
+        check_bool "specs" true (specs = [ "SPEC_A"; "SPEC_B" ]);
+        check_bool "dbc" true (dbc = Some "bus.dbc")
+      | Serve.Protocol.Check -> Alcotest.fail "expected a trace-check job");
+     check_int "workers" 4 j.Serve.Protocol.workers
+   | Ok _ -> Alcotest.fail "parsed as the wrong request"
+   | Error msg -> Alcotest.fail msg);
+  (* singular "spec" is sugar for a one-element list *)
+  (match
+     Serve.Protocol.request_of_line
+       {|{"schema":"cspm-checkd/2","op":"submit","id":"t2","path":"m.csp","kind":"trace-check","corpus":"c.ndjson","spec":"SPEC_ONLY"}|}
+   with
+   | Ok (Serve.Protocol.Submit j, _) ->
+     check_bool "singular spec" true
+       (j.Serve.Protocol.kind
+       = Serve.Protocol.Trace_check
+           { corpus = "c.ndjson"; specs = [ "SPEC_ONLY" ]; dbc = None })
+   | Ok _ -> Alcotest.fail "parsed as the wrong request"
+   | Error msg -> Alcotest.fail msg);
+  (* an explicit kind:"check" is a v2 check job *)
+  (match
+     Serve.Protocol.request_of_line
+       {|{"op":"submit","id":"t3","path":"m.csp","kind":"check"}|}
+   with
+   | Ok (Serve.Protocol.Submit j, v) ->
+     check_bool "explicit check kind is v2" true
+       (v = Serve.Protocol.V2 && j.Serve.Protocol.kind = Serve.Protocol.Check)
+   | Ok _ -> Alcotest.fail "parsed as the wrong request"
+   | Error msg -> Alcotest.fail msg);
+  let rejects line =
+    match Serve.Protocol.request_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  (* trace-check under an explicit v1 schema *)
+  rejects
+    {|{"schema":"cspm-checkd/1","op":"submit","id":"t","path":"m.csp","kind":"trace-check","corpus":"c.ndjson"}|};
+  (* trace-check without a corpus *)
+  rejects {|{"op":"submit","id":"t","path":"m.csp","kind":"trace-check"}|};
+  (* both spellings of the spec list *)
+  rejects
+    {|{"op":"submit","id":"t","path":"m.csp","kind":"trace-check","corpus":"c","spec":"A","specs":["B"]}|};
+  (* an unknown kind *)
+  rejects {|{"op":"submit","id":"t","path":"m.csp","kind":"fuzz"}|}
+
 let test_events_tagged () =
+  (* default tagging is the current schema; ~v:V1 reproduces the v1
+     bytes, so a v1 job's event stream is unchanged *)
   List.iter
-    (fun (name, j) ->
-      check_string (name ^ " schema") "cspm-checkd/1"
+    (fun (name, j, j1) ->
+      check_string (name ^ " schema") "cspm-checkd/2"
         (Option.value (str "schema" j) ~default:"?");
+      check_string (name ^ " v1 schema") "cspm-checkd/1"
+        (Option.value (str "schema" j1) ~default:"?");
       check_string (name ^ " event tag") name (event_name j))
     [
-      "accepted", Serve.Protocol.accepted ~id:"j" ~queue_depth:1;
-      "rejected", Serve.Protocol.rejected ~id:None ~reason:"r";
-      "started", Serve.Protocol.started ~id:"j" ~attempt:1;
+      ( "accepted",
+        Serve.Protocol.accepted ~id:"j" ~queue_depth:1 (),
+        Serve.Protocol.accepted ~v:Serve.Protocol.V1 ~id:"j" ~queue_depth:1 ()
+      );
+      ( "rejected",
+        Serve.Protocol.rejected ~id:None ~reason:"r" (),
+        Serve.Protocol.rejected ~v:Serve.Protocol.V1 ~id:None ~reason:"r" ()
+      );
+      ( "started",
+        Serve.Protocol.started ~id:"j" ~attempt:1 (),
+        Serve.Protocol.started ~v:Serve.Protocol.V1 ~id:"j" ~attempt:1 () );
       ( "retrying",
         Serve.Protocol.retrying ~id:"j" ~attempt:2 ~backoff_s:0.1
-          ~resumed:true );
+          ~resumed:true (),
+        Serve.Protocol.retrying ~v:Serve.Protocol.V1 ~id:"j" ~attempt:2
+          ~backoff_s:0.1 ~resumed:true () );
       ( "result",
         Serve.Protocol.result ~id:"j" ~attempts:1 ~interrupted:false
-          ~report:Obs.Json.Null );
-      "failed", Serve.Protocol.failed ~id:"j" ~attempts:1 ~reason:"r";
+          ~report:Obs.Json.Null (),
+        Serve.Protocol.result ~v:Serve.Protocol.V1 ~id:"j" ~attempts:1
+          ~interrupted:false ~report:Obs.Json.Null () );
+      ( "failed",
+        Serve.Protocol.failed ~id:"j" ~attempts:1 ~reason:"r" (),
+        Serve.Protocol.failed ~v:Serve.Protocol.V1 ~id:"j" ~attempts:1
+          ~reason:"r" () );
       ( "health",
         Serve.Protocol.health ~queued:0 ~done_:0 ~failed:0 ~retries:0
-          ~draining:false () );
-      "drained", Serve.Protocol.drained ~done_:0 ~failed:0;
-    ]
+          ~draining:false (),
+        Serve.Protocol.health ~v:Serve.Protocol.V1 ~queued:0 ~done_:0
+          ~failed:0 ~retries:0 ~draining:false () );
+      ( "drained",
+        Serve.Protocol.drained ~done_:0 ~failed:0 (),
+        Serve.Protocol.drained ~v:Serve.Protocol.V1 ~done_:0 ~failed:0 () );
+    ];
+  (* a trace-check result carries its verdict counts as top-level fields *)
+  let r =
+    Serve.Protocol.result ~id:"t" ~attempts:1 ~interrupted:false
+      ~verdicts:(10, 8, 2) ~report:Obs.Json.Null ()
+  in
+  check_int "result streams" 10 (req "streams" r);
+  check_int "result accepted" 8 (req "accepted" r);
+  check_int "result rejected" 2 (req "rejected" r)
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
@@ -186,11 +283,13 @@ let big_script =
    SPEC = x?v -> SPEC [] y?v -> SPEC [] z?v -> SPEC\n\
    assert SPEC [T= SYS\n"
 
-let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ?reductions ~id
-    source =
+let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ?reductions
+    ?(kind = Serve.Protocol.Check) ?(version = Serve.Protocol.V2) ~id source =
   {
     Serve.Protocol.id;
     source;
+    kind;
+    version;
     deadline_s;
     workers;
     max_states;
@@ -447,6 +546,8 @@ let suite =
       Alcotest.test_case "cancellation token semantics" `Quick test_token;
       Alcotest.test_case "request parsing accepts/rejects correctly" `Quick
         test_request_parse;
+      Alcotest.test_case "v2 requests: kinds, spec lists, v1 rejections"
+        `Quick test_request_parse_v2;
       Alcotest.test_case "every event is schema-tagged" `Quick
         test_events_tagged;
       Alcotest.test_case "bounded queue: backpressure then clean drain"

@@ -1,0 +1,416 @@
+(* The streaming trace-containment engine and the corpus pipeline built
+   on it: cursor semantics (skip / tick / latch), an exhaustive qcheck
+   agreement property against the denotational trace semantics, the
+   can-trace/1 codec round-trip, fixed-seed corpus determinism,
+   malformed-line containment, and verdict identity across 1/2/4 worker
+   domains for both the raw engine and the corpus driver. *)
+
+open Csp
+open Helpers
+
+let alphabet = [ "a"; "b"; "c"; "done_" ]
+
+let compile_exn ?(alphabet = alphabet) defs p =
+  match Tracecheck.compile ~alphabet defs p with
+  | Ok t -> t
+  | Error msg -> Alcotest.failf "Tracecheck.compile: %s" msg
+
+let show_verdict = function
+  | Tracecheck.Accepted -> "accepted"
+  | Tracecheck.Rejected { position; offending; expected } ->
+    Format.asprintf "rejected@%d %a {%s}" position Event.pp_label offending
+      (String.concat ","
+         (List.map (Format.asprintf "%a" Event.pp_label) expected))
+
+let verdict_t = Alcotest.testable (Fmt.of_to_string show_verdict) ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Cursor semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_accept_reject () =
+  let defs = make_defs () in
+  let spec = send "a" 0 (send "b" 1 Proc.stop) in
+  let t = compile_exn defs spec in
+  let check tr = Tracecheck.check_trace t tr in
+  Alcotest.check verdict_t "empty" Tracecheck.Accepted (check []);
+  Alcotest.check verdict_t "prefix" Tracecheck.Accepted (check [ vis "a" 0 ]);
+  Alcotest.check verdict_t "full" Tracecheck.Accepted
+    (check [ vis "a" 0; vis "b" 1 ]);
+  (match check [ vis "b" 1 ] with
+  | Tracecheck.Rejected { position = 0; offending; expected = [ e ] } ->
+    Alcotest.check label "offending" (vis "b" 1) offending;
+    Alcotest.check label "expected" (vis "a" 0) e
+  | v -> Alcotest.failf "expected rejection at 0, got %s" (show_verdict v));
+  (match check [ vis "a" 0; vis "b" 0 ] with
+  | Tracecheck.Rejected { position = 1; _ } -> ()
+  | v -> Alcotest.failf "expected rejection at 1, got %s" (show_verdict v))
+
+let test_latch () =
+  let defs = make_defs () in
+  let spec = send "a" 0 Proc.stop in
+  let t = compile_exn defs spec in
+  (* once rejected, later (even valid-looking) labels change nothing *)
+  match Tracecheck.check_trace t [ vis "b" 1; vis "a" 0; vis "a" 0 ] with
+  | Tracecheck.Rejected { position = 0; _ } -> ()
+  | v -> Alcotest.failf "verdict did not latch: %s" (show_verdict v)
+
+let test_tick () =
+  let defs = make_defs () in
+  let spec = send "a" 0 Proc.skip in
+  let t = compile_exn defs spec in
+  Alcotest.check verdict_t "terminates" Tracecheck.Accepted
+    (Tracecheck.check_trace t [ vis "a" 0; Event.Tick ]);
+  (match Tracecheck.check_trace t [ Event.Tick ] with
+  | Tracecheck.Rejected { position = 0; _ } -> ()
+  | v -> Alcotest.failf "early tick accepted: %s" (show_verdict v));
+  match Tracecheck.check_trace t [ vis "a" 0; Event.Tick; vis "a" 0 ] with
+  | Tracecheck.Rejected { position = 2; _ } -> ()
+  | v -> Alcotest.failf "label after tick accepted: %s" (show_verdict v)
+
+let test_out_of_alphabet_skipped () =
+  let defs = make_defs () in
+  let spec = send "a" 0 Proc.stop in
+  let t = compile_exn ~alphabet:[ "a" ] defs spec in
+  let c = Tracecheck.start t in
+  let c = List.fold_left (Tracecheck.step t) c
+      [ vis "c" 0; vis "a" 0; vis "b" 2 ]
+  in
+  Alcotest.check verdict_t "b and c skipped" Tracecheck.Accepted
+    (Tracecheck.verdict c);
+  Alcotest.(check int) "consumed" 3 (Tracecheck.consumed c);
+  Alcotest.(check int) "skipped" 2 (Tracecheck.skipped c)
+
+(* ------------------------------------------------------------------ *)
+(* Agreement with the denotational trace semantics                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every candidate label over the standard environment. *)
+let candidate_labels =
+  [ vis "a" 0; vis "a" 1; vis "a" 2; vis "b" 0; vis "b" 1; vis "b" 2;
+    vis "c" 0; vis "c" 1; Event.Vis (ev0 "done_"); Event.Tick ]
+
+(* All label sequences of length <= 3 (1111 of them). *)
+let candidate_traces =
+  let rec extend traces n =
+    if n = 0 then traces
+    else
+      extend
+        (List.concat_map
+           (fun tr -> List.map (fun l -> l :: tr) candidate_labels)
+           traces
+         @ traces)
+        (n - 1)
+  in
+  List.map List.rev (extend [ [] ] 3)
+
+let trace_equal t1 t2 =
+  List.length t1 = List.length t2 && List.for_all2 Event.equal_label t1 t2
+
+(* [check_trace] accepts exactly the traces of the denotational
+   semantics: for random processes, exhaustively over every candidate
+   trace of length <= 3. This is the containment engine's version of
+   the operational-vs-denotational differential test. *)
+let agreement_test =
+  QCheck.Test.make ~count:80 ~name:"check_trace agrees with Traces.of_proc"
+    arb_proc (fun p ->
+      let defs = make_defs () in
+      match Traces.of_proc ~depth:4 defs p with
+      | exception Traces.Unguarded _ -> QCheck.assume_fail ()
+      | trace_set ->
+        let t = compile_exn defs p in
+        List.for_all
+          (fun tr ->
+            let accepted = Tracecheck.check_trace t tr = Tracecheck.Accepted in
+            let member = List.exists (trace_equal tr) trace_set in
+            if accepted <> member then
+              QCheck.Test.fail_reportf
+                "disagree on [%s] for %s: checker=%b oracle=%b"
+                (String.concat ", "
+                   (List.map (Format.asprintf "%a" Event.pp_label) tr))
+                (Proc.to_string p) accepted member
+            else true)
+          candidate_traces)
+
+(* ------------------------------------------------------------------ *)
+(* check_streams worker identity                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_workers_identical () =
+  let defs = make_defs () in
+  let spec = send "a" 0 (send "b" 1 Proc.skip) in
+  let t = compile_exn defs spec in
+  let streams =
+    Array.init 60 (fun i ->
+        let body =
+          match i mod 3 with
+          | 0 -> [ vis "a" 0; vis "b" 1; Event.Tick ]
+          | 1 -> [ vis "a" 0; vis "b" 0 ]
+          | _ -> [ vis "b" 1 ]
+        in
+        (Printf.sprintf "s%02d" i, List.to_seq body))
+  in
+  let render (results, (summary : Tracecheck.summary)) =
+    Printf.sprintf "streams=%d accepted=%d rejected=%d events=%d skipped=%d"
+      summary.streams summary.accepted summary.rejected summary.events
+      summary.skipped_events
+    :: (Array.to_list results
+       |> List.map (fun (r : Tracecheck.stream_result) ->
+              Printf.sprintf "%s %d %d %s" r.stream r.events r.skipped_events
+                (show_verdict r.verdict)))
+  in
+  let run w = Tracecheck.check_streams ~workers:w t streams in
+  let _, summary1 = run 1 in
+  Alcotest.(check int) "streams" 60 summary1.Tracecheck.streams;
+  Alcotest.(check int) "accepted" 20 summary1.Tracecheck.accepted;
+  Alcotest.(check int) "rejected" 40 summary1.Tracecheck.rejected;
+  let base = render (run 1) in
+  List.iter
+    (fun w ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "workers=%d identical" w)
+        base (render (run w)))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* can-trace/1 codec round-trip                                        *)
+(* ------------------------------------------------------------------ *)
+
+let gen_entry : Canbus.Trace_log.entry QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* time = int_range 0 1_000_000 in
+  let* node = oneofl [ "VMG"; "ECU"; "GW" ] in
+  let* direction =
+    oneofl
+      [ Canbus.Trace_log.Tx; Canbus.Trace_log.Rx "ECU";
+        Canbus.Trace_log.Fault "corrupt"; Canbus.Trace_log.Fault "drop" ]
+  in
+  let* extended = bool in
+  let* id = int_range 0 (if extended then 0x1FFFFFFF else 0x7FF) in
+  let* data = list_size (int_range 0 8) (int_range 0 255) in
+  return
+    {
+      Canbus.Trace_log.time;
+      node;
+      direction;
+      frame = Canbus.Frame.make ~extended ~id data;
+    }
+
+let codec_roundtrip_test =
+  QCheck.Test.make ~count:300 ~name:"can-trace/1 entry codec round-trips"
+    (QCheck.make gen_entry) (fun entry ->
+      let line = Obs.Json.to_string (Canbus.Trace_log.entry_to_json entry) in
+      match Obs.Json.parse line with
+      | Error msg -> QCheck.Test.fail_reportf "emitted unparseable %s: %s"
+                       line msg
+      | Ok json ->
+        (match Canbus.Trace_log.entry_of_json json with
+        | Error msg ->
+          QCheck.Test.fail_reportf "decode of %s failed: %s" line msg
+        | Ok entry' ->
+          let line' =
+            Obs.Json.to_string (Canbus.Trace_log.entry_to_json entry')
+          in
+          if line <> line' then
+            QCheck.Test.fail_reportf "not byte-identical: %s vs %s" line line'
+          else true))
+
+let test_entry_of_json_rejects () =
+  let bad s =
+    match Obs.Json.parse s with
+    | Error _ -> ()
+    | Ok json ->
+      (match Canbus.Trace_log.entry_of_json json with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid entry %s" s)
+  in
+  bad {|{"t":-1,"n":"VMG","d":"tx","id":257,"data":[1]}|};
+  bad {|{"t":0,"n":"VMG","d":"tx","id":4096,"data":[1]}|};
+  bad {|{"t":0,"n":"VMG","d":"tx","id":257,"data":[256]}|};
+  bad {|{"t":0,"n":"VMG","d":"sideways","id":257,"data":[]}|};
+  bad {|{"n":"VMG","d":"tx","id":257,"data":[]}|}
+
+(* ------------------------------------------------------------------ *)
+(* Corpus generator determinism                                        *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_tmp f =
+  let path = Filename.temp_file "tracecheck_test" ".ndjson" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_corpus_deterministic () =
+  with_tmp @@ fun p1 ->
+  with_tmp @@ fun p2 ->
+  let gen ~seed path =
+    Ota.Corpus.generate ~seed ~streams:6 ~until_ms:100 ~flawed_rate:0.5 ~path
+      ()
+  in
+  let s1 = gen ~seed:7 p1 in
+  let s2 = gen ~seed:7 p2 in
+  Alcotest.(check int) "streams" 6 s1.Ota.Corpus.streams;
+  Alcotest.(check int) "streams again" 6 s2.Ota.Corpus.streams;
+  Alcotest.(check bool) "same seed, byte-identical" true
+    (read_file p1 = read_file p2);
+  let _ = gen ~seed:8 p2 in
+  Alcotest.(check bool) "different seed, different bytes" false
+    (read_file p1 = read_file p2)
+
+(* ------------------------------------------------------------------ *)
+(* Malformed lines: contained, never raised                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_line () =
+  (match Serve.Trace_io.parse_line "not json at all" with
+  | Serve.Trace_io.Malformed { stream = None; _ } -> ()
+  | _ -> Alcotest.fail "garbage line not Malformed{stream=None}");
+  (match Serve.Trace_io.parse_line {|{"s":"s1","t":"soon"}|} with
+  | Serve.Trace_io.Malformed { stream = Some "s1"; _ } -> ()
+  | _ -> Alcotest.fail "bad entry did not recover its stream");
+  (match Serve.Trace_io.parse_line {|{"s":"s1","meta":{"drop":0.5}}|} with
+  | Serve.Trace_io.Meta { stream = "s1"; _ } -> ()
+  | _ -> Alcotest.fail "meta line not recognised");
+  match
+    Serve.Trace_io.parse_line
+      {|{"s":"s1","t":10,"n":"VMG","d":"tx","id":257,"data":[1]}|}
+  with
+  | Serve.Trace_io.Entry { stream = "s1"; entry } ->
+    Alcotest.(check int) "id" 257 entry.Canbus.Trace_log.frame.Canbus.Frame.id
+  | _ -> Alcotest.fail "entry line not recognised"
+
+(* A hand-built two-stream corpus with one recoverable and one
+   unrecoverable corrupt line: the bad stream is poisoned, the good one
+   still checked, nothing raises. *)
+let test_corrupt_stream_contained () =
+  with_tmp @@ fun path ->
+  let entry time id =
+    {
+      Canbus.Trace_log.time;
+      node = "VMG";
+      direction = Canbus.Trace_log.Tx;
+      frame = Canbus.Frame.make ~id [ 1 ];
+    }
+  in
+  Serve.Trace_io.with_writer ~path ~header:Serve.Trace_io.empty_header
+    (fun w ->
+      Serve.Trace_io.write_entry w ~stream:"good" (entry 10 0);
+      Serve.Trace_io.write_entry w ~stream:"bad" (entry 20 1);
+      Serve.Trace_io.write_entry w ~stream:"good" (entry 30 2));
+  (* append one corrupt line per failure mode, outside the atomic writer *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"s\":\"bad\",\"t\":\"not-a-time\"}\n";
+  output_string oc "utter garbage\n";
+  close_out oc;
+  let defs = make_defs () in
+  let spec =
+    Proc.prefix_items
+      ( "a",
+        [ Proc.In ("x", None) ],
+        Proc.prefix_items ("a", [ Proc.In ("y", None) ], Proc.stop) )
+  in
+  let t = compile_exn defs spec in
+  let map (e : Canbus.Trace_log.entry) =
+    match e.direction with
+    | Canbus.Trace_log.Tx -> Some (vis "a" (e.frame.Canbus.Frame.id mod 3))
+    | _ -> None
+  in
+  match
+    Serve.Trace_run.check_corpus ~map ~requirements:[ ("SPEC", t) ] ~path ()
+  with
+  | Error msg -> Alcotest.failf "check_corpus errored: %s" msg
+  | Ok report ->
+    Alcotest.(check int) "streams" 2 report.Serve.Trace_run.streams;
+    Alcotest.(check int) "malformed lines" 2 report.Serve.Trace_run.malformed;
+    Alcotest.(check bool) "not passed" false (Serve.Trace_run.passed report);
+    (match report.Serve.Trace_run.requirements with
+    | [ r ] ->
+      Alcotest.(check int) "accepted" 1 r.Serve.Trace_run.accepted;
+      Alcotest.(check int) "corrupt" 1 r.Serve.Trace_run.corrupt
+    | rs -> Alcotest.failf "expected 1 requirement, got %d" (List.length rs))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus driver: verdicts identical at any worker count               *)
+(* ------------------------------------------------------------------ *)
+
+let ota_specs =
+  "channel reqSw : {0..3}\n\
+   channel rptSw : {0..7}\n\
+   channel reqApp : {0..7}.{0..7}\n\
+   channel rptUpd : {0..7}\n\
+   secret = 5\n\
+   mac(v) = (v + secret) % 8\n\
+   ANY = reqSw?p -> ANY [] rptSw?v -> ANY [] reqApp?v?t -> ANY\n\
+   \      [] rptUpd?v -> ANY\n\
+   SPEC_ORDER = reqSw?p -> ANY\n\
+   pow2(n) = if n == 0 then 1 else 2 * pow2(n - 1)\n\
+   bit(m, v) = (m / pow2(v)) % 2\n\
+   grant(m, v) = if bit(m, v) == 1 then m else m + pow2(v)\n\
+   AUTH(m) =\n\
+   \  reqSw?p -> AUTH(m)\n\
+   \  [] rptSw?v -> AUTH(m)\n\
+   \  [] reqApp?v?t -> (if t == mac(v) then AUTH(grant(m, v)) else AUTH(m))\n\
+   \  [] ([] v : {0..7} @ bit(m, v) == 1 & rptUpd!v -> AUTH(m))\n\
+   SPEC_AUTH = AUTH(0)\n"
+
+let test_corpus_workers_identical () =
+  with_tmp @@ fun path ->
+  let summary =
+    Ota.Corpus.generate ~seed:11 ~streams:10 ~until_ms:150 ~flawed_rate:0.5
+      ~path ()
+  in
+  Alcotest.(check int) "streams generated" 10 summary.Ota.Corpus.streams;
+  let script = Cspm.Elaborate.load_string ota_specs in
+  let map, requirements =
+    match
+      Serve.Trace_run.prepare ~script ~specs:[] ~dbc:None ~corpus:path ()
+    with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "prepare: %s" msg
+  in
+  Alcotest.(check int) "two requirements" 2 (List.length requirements);
+  let doc w =
+    match Serve.Trace_run.check_corpus ~workers:w ~map ~requirements ~path ()
+    with
+    | Ok report ->
+      Obs.Json.to_string (Serve.Trace_run.json_of_report ~timing:false report)
+    | Error msg -> Alcotest.failf "check_corpus workers=%d: %s" w msg
+  in
+  let base = doc 1 in
+  List.iter
+    (fun w ->
+      Alcotest.(check string)
+        (Printf.sprintf "workers=%d byte-identical report" w)
+        base (doc w))
+    [ 2; 4 ]
+
+let suite =
+  ( "tracecheck",
+    [
+    Alcotest.test_case "accept and reject with positions" `Quick
+      test_accept_reject;
+    Alcotest.test_case "verdict latches after rejection" `Quick test_latch;
+    Alcotest.test_case "tick only at termination" `Quick test_tick;
+    Alcotest.test_case "out-of-alphabet events skipped" `Quick
+      test_out_of_alphabet_skipped;
+    QCheck_alcotest.to_alcotest agreement_test;
+    Alcotest.test_case "check_streams identical across workers" `Quick
+      test_workers_identical;
+    QCheck_alcotest.to_alcotest codec_roundtrip_test;
+    Alcotest.test_case "codec rejects invalid entries" `Quick
+      test_entry_of_json_rejects;
+    Alcotest.test_case "corpus generation is seed-deterministic" `Quick
+      test_corpus_deterministic;
+    Alcotest.test_case "parse_line classifies corrupt lines" `Quick
+      test_parse_line;
+    Alcotest.test_case "corrupt line poisons only its stream" `Quick
+      test_corrupt_stream_contained;
+    Alcotest.test_case "corpus verdicts identical across workers" `Quick
+      test_corpus_workers_identical;
+  ] )

@@ -173,6 +173,46 @@ let lint_digest path contents =
   in
   scan 0
 
+(* Durable-output discipline: [lib/serve] owns file writing — [Fsio] for
+   the atomic + durable primitive, [Trace_io] for the NDJSON corpus
+   codec on top of it. An [open_out] anywhere else under lib/ is a
+   torn-write and fsync bug waiting to happen (and for NDJSON, a second
+   ad-hoc codec); route it through [Serve.Fsio], or [Serve.Trace_io] for
+   can-trace/1 data. Reading is not confined — parsers legitimately open
+   their own inputs. Textual, like the other discipline lints. *)
+let banned_writers = [ "open_out"; "open_out_bin"; "open_out_gen" ]
+
+let lint_writers path contents =
+  let n = String.length contents in
+  let line_of pos =
+    let l = ref 1 in
+    String.iteri (fun j c -> if j < pos && c = '\n' then incr l) contents;
+    !l
+  in
+  List.iter
+    (fun name ->
+      let ln = String.length name in
+      let rec scan from =
+        if from < n then
+          match String.index_from_opt contents from name.[0] with
+          | None -> ()
+          | Some i ->
+            if
+              i + ln <= n
+              && String.sub contents i ln = name
+              && (i = 0 || not (is_ident_char contents.[i - 1]))
+              && (i + ln = n || not (is_ident_char contents.[i + ln]))
+            then
+              complain path (line_of i)
+                (Printf.sprintf
+                   "%s outside lib/serve (write through Serve.Fsio; NDJSON \
+                    corpora through Serve.Trace_io)"
+                   name);
+            scan (i + 1)
+      in
+      scan 0)
+    banned_writers
+
 (* Library code must not kill the process or trip the always-on assertion
    machinery: raise [Invalid_argument]/a domain exception and let the CLI
    decide the exit code. [exit] is only flagged in call position (next
@@ -276,7 +316,10 @@ let lint_file ~strict path =
       lint_termination path contents;
       if Filename.check_suffix path ".ml" then lint_interface path;
       if not (under_obs path) then lint_effects path contents;
-      if not (under_serve path) then lint_interruption path contents;
+      if not (under_serve path) then begin
+        lint_interruption path contents;
+        lint_writers path contents
+      end;
       if not (under_cache path) then lint_digest path contents
     end
   end
