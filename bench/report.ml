@@ -421,6 +421,40 @@ let run_rows () =
    Format.printf "%-27s %9.2f ms  %s (%.0fx cheaper than the check)@."
      row.name (row.wall_s *. 1e3) row.verdict ratio;
    rows := row :: !rows);
+  (* The implementation-level counterpart: the interprocedural CAPL
+     dataflow lint (CFG construction, definite-assignment and interval
+     fixpoints, and the taint pass) over the OTA case study's flawed
+     firmware — the static check that catches the tag-skipping ECU the
+     corpus check needs a fleet of traces to reject. *)
+  (let nodes =
+     List.map
+       (fun (name, src) -> name, Capl.Parser.program src)
+       Ota.Capl_sources.sources_flawed
+   in
+   let diags, t =
+     wall (fun () ->
+         Analysis.Valueflow.check_nodes nodes
+         @ Analysis.Taint.check_nodes nodes)
+   in
+   let ratio = if t > 0. then ns_base.wall_s /. t else 0. in
+   let row =
+     {
+       name = "analysis/ns-capl-dataflow";
+       wall_s = t;
+       search_wall_s = 0.;
+       impl_states = 0;
+       pairs = 0;
+       states_per_sec = 0.;
+       verdict = Printf.sprintf "%d diagnostics" (List.length diags);
+       workers = 1;
+       par_speedup = 1.;
+       comparison = Ratio_vs_check ratio;
+       extras = [];
+     }
+   in
+   Format.printf "%-27s %9.2f ms  %s (%.0fx cheaper than the check)@."
+     row.name (row.wall_s *. 1e3) row.verdict ratio;
+   rows := row :: !rows);
   (* Instrumentation overhead: the same NS check with a live JSONL sink,
      measured immediately after the silent row (before the /jN reruns —
      domain thrash on a small host poisons whatever follows it). Its wall

@@ -321,6 +321,36 @@ let check_lint_schema () =
   Format.printf "lint schema: %d cspm + %d capl diagnostics — schema ok@."
     cspm_total capl_total
 
+let check_dataflow_lint () =
+  (* The interprocedural dataflow lint must catch the tag-skipping ECU
+     (CAPL102 on the flawed firmware), stay silent on the conformant
+     one, and cost static-analysis money, not model-checking money. *)
+  let parse srcs =
+    List.map (fun (name, src) -> name, Capl.Parser.program src) srcs
+  in
+  let flawed = parse Ota.Capl_sources.sources_flawed
+  and fixed = parse Ota.Capl_sources.sources in
+  let t0 = Obs.now () in
+  let flawed_diags = Analysis.Capl_lint.lint_nodes flawed in
+  let fixed_diags = Analysis.Capl_lint.lint_nodes fixed in
+  let wall_ms = (Obs.now () -. t0) *. 1e3 in
+  let with_code code ds =
+    List.filter (fun d -> d.Analysis.Diag.code = code) ds
+  in
+  if with_code "CAPL102" flawed_diags = [] then
+    fail "dataflow smoke: the tag-skipping ECU drew no CAPL102";
+  let taint =
+    with_code "CAPL101" fixed_diags @ with_code "CAPL102" fixed_diags
+  in
+  if taint <> [] then
+    fail "dataflow smoke: conformant firmware drew %d taint diagnostic(s)"
+      (List.length taint);
+  if wall_ms >= 50. then
+    fail "dataflow smoke: linting both firmwares took %.1f ms (budget 50)"
+      wall_ms;
+  Format.printf
+    "dataflow lint: flawed firmware flagged, fixed clean, %.1f ms@." wall_ms
+
 let check_trace_stream () =
   (* the observability stream must (a) not change the verdict and (b) be
      line-by-line parseable JSON containing the pipeline spans *)
@@ -577,6 +607,8 @@ let check_daemon () =
       max_states = None;
       max_retries;
       reductions;
+      lint = false;
+      deny_warnings = false;
     }
   in
   Serve.Runner.submit t
@@ -685,6 +717,7 @@ let () =
   check_parallel_agreement ();
   check_json_output ();
   check_lint_schema ();
+  check_dataflow_lint ();
   check_trace_stream ();
   check_checkpoint_resume ();
   check_tracecheck_throughput ();

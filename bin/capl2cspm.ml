@@ -168,9 +168,14 @@ let lint_arg =
           "Lint the CAPL sources against the CAN database before \
            extraction: unknown messages, handlers nothing sends to, \
            outputs nothing handles, orphaned timers, use-before-init \
-           globals, unreachable statements, narrowing assignments, and \
-           unused variables. Diagnostics carry stable CAPL0xx codes and \
-           source positions; the generated model is unaffected.")
+           globals (definite-assignment dataflow), unreachable \
+           statements, narrowing assignments (interval-gated), unused \
+           variables, and interprocedural taint flows — secrets \
+           reaching the bus unencrypted (CAPL101) and received \
+           payloads reaching a bus write or protected sink without \
+           verification on every path (CAPL102). Diagnostics carry \
+           stable CAPL codes and source positions; the generated model \
+           is unaffected.")
 
 let deny_warnings_arg =
   Arg.(

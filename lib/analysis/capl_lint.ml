@@ -36,65 +36,6 @@ let key_matches a b =
   | K_name _, K_id _ | K_id _, K_name _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Width arithmetic for the narrowing check                            *)
-(* ------------------------------------------------------------------ *)
-
-let width_of_ty = function
-  | A.T_char | A.T_byte -> Some 8
-  | A.T_int | A.T_word -> Some 16
-  | A.T_long | A.T_dword -> Some 32
-  | A.T_int64 | A.T_qword -> Some 64
-  | A.T_float | A.T_double | A.T_void | A.T_message _ | A.T_timer
-  | A.T_ms_timer ->
-    None
-
-(* Smallest power-of-two width whose signed-or-unsigned range holds [n]:
-   255 fits a byte, -200 does not. *)
-let literal_width n =
-  let fits w =
-    let open Int64 in
-    let n = of_int n in
-    (compare n (neg (shift_left 1L (w - 1))) >= 0)
-    && compare n (shift_left 1L w) < 0
-  in
-  if fits 8 then 8 else if fits 16 then 16 else if fits 32 then 32 else 64
-
-(* Conservative width inference: [None] means "unknown, stay quiet". *)
-let rec expr_width ty_of e =
-  match e with
-  | A.E_int n -> Some (literal_width n)
-  | A.E_char _ -> Some 8
-  | A.E_ident x -> Option.bind (ty_of x) width_of_ty
-  | A.E_binop
-      ( ( A.B_add | A.B_sub | A.B_mul | A.B_div | A.B_mod | A.B_band
-        | A.B_bor | A.B_bxor ),
-        a,
-        b ) ->
-    (match expr_width ty_of a, expr_width ty_of b with
-     | Some x, Some y -> Some (max x y)
-     | _ -> None)
-  | A.E_binop ((A.B_shl | A.B_shr), a, _) -> expr_width ty_of a
-  | A.E_binop
-      ( ( A.B_land | A.B_lor | A.B_eq | A.B_neq | A.B_lt | A.B_le | A.B_gt
-        | A.B_ge ),
-        _,
-        _ ) ->
-    Some 8
-  | A.E_unop (A.U_neg, a) | A.E_unop (A.U_bnot, a) -> expr_width ty_of a
-  | A.E_unop (A.U_not, _) -> Some 8
-  | A.E_ternary (_, a, b) ->
-    (match expr_width ty_of a, expr_width ty_of b with
-     | Some x, Some y -> Some (max x y)
-     | _ -> None)
-  | _ -> None
-
-let describe_width e w =
-  match e with
-  | A.E_int n -> Printf.sprintf "literal %d (%d bits)" n w
-  | A.E_ident x -> Printf.sprintf "'%s' (%d bits)" x w
-  | _ -> Printf.sprintf "a %d-bit expression" w
-
-(* ------------------------------------------------------------------ *)
 (* Per-node walk                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -131,60 +72,21 @@ let walk_node db (node, (prog : A.program)) =
     (fun (v : A.var_decl) -> Hashtbl.replace globals v.A.var_name v)
     prog.A.variables;
   let global_used = Hashtbl.create 16 in
-  (* CAPL006 state: globals considered initialised so far. Message and
-     timer variables, arrays, and float/double state are excluded from
-     the check (they are structures or zero-initialised media, and
-     element-level tracking is out of scope). *)
-  let initialised = Hashtbl.create 16 in
-  let init_tracked (v : A.var_decl) =
-    v.A.var_dims = []
-    && (match v.A.var_ty with
-        | A.T_message _ | A.T_timer | A.T_ms_timer | A.T_void | A.T_float
-        | A.T_double ->
-          false
-        | _ -> true)
-  in
-  List.iter
-    (fun (v : A.var_decl) ->
-      if (not (init_tracked v)) || Option.is_some v.A.var_init then
-        Hashtbl.replace initialised v.A.var_name ())
-    prog.A.variables;
-  let flagged_uninit = Hashtbl.create 4 in
-  (* Narrowing initialisers of globals. *)
   let global_ty x =
     Option.map (fun (v : A.var_decl) -> v.A.var_ty) (Hashtbl.find_opt globals x)
   in
-  List.iter
-    (fun (v : A.var_decl) ->
-      match v.A.var_init, width_of_ty v.A.var_ty with
-      | Some init, Some w ->
-        (match expr_width global_ty init with
-         | Some wi when wi > w ->
-           diag ~pos:(d_pos v.A.var_pos) Diag.Warning "CAPL008"
-             (Printf.sprintf
-                "initialiser of '%s' may truncate: %s into %s (%d bits)"
-                v.A.var_name
-                (describe_width init wi)
-                (A.ty_name v.A.var_ty) w)
-         | _ -> ())
-      | _ -> ())
-    prog.A.variables;
 
   (* One body (handler or function): [pos] is the nearest enclosing
      position every body-level diagnostic inherits (CAPL statements carry
-     no positions of their own). [check_init] enables CAPL006 (off
-     inside functions — their call order is unknowable). [mark_init]
-     persists assignments into the cross-handler initialised set (start
-     handlers only). *)
-  let walk_body ~pos ~check_init ~mark_init ~params body =
+     no positions of their own). The initialisation and narrowing checks
+     that used to live in this walk are now {!Valueflow}'s dataflow
+     analyses; this walk only gathers usage facts and flags unreachable
+     statements. *)
+  let walk_body ~pos ~params body =
     let locals = Hashtbl.create 8 in
     let local_used = Hashtbl.create 8 in
     List.iter (fun (ty, p) -> Hashtbl.replace locals p ty) params;
     List.iter (fun (_, p) -> Hashtbl.replace local_used p ()) params;
-    let body_initialised = Hashtbl.create 8 in
-    let is_initialised x =
-      Hashtbl.mem initialised x || Hashtbl.mem body_initialised x
-    in
     let ty_of x =
       match Hashtbl.find_opt locals x with
       | Some ty -> Some ty
@@ -192,30 +94,9 @@ let walk_node db (node, (prog : A.program)) =
     in
     let use x =
       if Hashtbl.mem locals x then Hashtbl.replace local_used x ()
-      else if Hashtbl.mem globals x then begin
-        Hashtbl.replace global_used x ();
-        if
-          check_init
-          && (not (is_initialised x))
-          && not (Hashtbl.mem flagged_uninit x)
-        then begin
-          Hashtbl.replace flagged_uninit x ();
-          diag ~pos Diag.Warning "CAPL006"
-            (Printf.sprintf
-               "global '%s' may be read before it is initialised (no \
-                initialiser, and no 'on start' handler assigns it first)"
-               x)
-        end
-      end
+      else if Hashtbl.mem globals x then Hashtbl.replace global_used x ()
     in
-    let assign x =
-      if Hashtbl.mem locals x then Hashtbl.replace local_used x ()
-      else if Hashtbl.mem globals x then begin
-        Hashtbl.replace global_used x ();
-        Hashtbl.replace body_initialised x ();
-        if mark_init then Hashtbl.replace initialised x ()
-      end
-    in
+    let assign x = use x in
     let rec expr e =
       match e with
       | A.E_int _ | A.E_float _ | A.E_char _ | A.E_string _ | A.E_this -> ()
@@ -248,24 +129,7 @@ let walk_node db (node, (prog : A.program)) =
         (match lhs with
          | A.E_ident x ->
            if op <> A.A_eq then use x;
-           assign x;
-           if op = A.A_eq then begin
-             match width_of_ty' (ty_of x) with
-             | Some w ->
-               (match expr_width ty_of rhs with
-                | Some wi when wi > w ->
-                  diag ~pos Diag.Warning "CAPL008"
-                    (Printf.sprintf
-                       "assignment to '%s' may truncate: %s into %s"
-                       x
-                       (describe_width rhs wi)
-                       (match ty_of x with
-                        | Some ty ->
-                          Printf.sprintf "%s (%d bits)" (A.ty_name ty) w
-                        | None -> Printf.sprintf "%d bits" w))
-                | _ -> ())
-             | None -> ()
-           end
+           assign x
          | lhs -> expr lhs)
       | A.E_incr (_, _, lv) ->
         (match lv with
@@ -277,9 +141,6 @@ let walk_node db (node, (prog : A.program)) =
         expr c;
         expr a;
         expr b
-    and width_of_ty' = function
-      | Some ty -> width_of_ty ty
-      | None -> None
     in
     let rec stmts ss =
       let rec scan = function
@@ -309,19 +170,6 @@ let walk_node db (node, (prog : A.program)) =
         List.iter
           (fun (v : A.var_decl) ->
             Hashtbl.replace locals v.A.var_name v.A.var_ty;
-            (match v.A.var_init, width_of_ty v.A.var_ty with
-             | Some init, Some w ->
-               (match expr_width ty_of init with
-                | Some wi when wi > w ->
-                  diag ~pos:(d_pos v.A.var_pos) Diag.Warning "CAPL008"
-                    (Printf.sprintf
-                       "initialiser of '%s' may truncate: %s into %s (%d \
-                        bits)"
-                       v.A.var_name
-                       (describe_width init wi)
-                       (A.ty_name v.A.var_ty) w)
-                | _ -> ())
-             | _ -> ());
             Option.iter expr v.A.var_init)
           vars
       | A.S_if (c, t, f) ->
@@ -360,17 +208,14 @@ let walk_node db (node, (prog : A.program)) =
       locals
   in
 
-  (* Handlers: start handlers first (their assignments initialise
-     globals for every later handler), then the event handlers, then
-     functions. *)
+  (* Handlers: start handlers first (kept for stable fact order), then
+     the event handlers, then functions. *)
   let handlers_started, handlers_rest =
     List.partition (fun (h : A.handler) -> is_start h.A.event) prog.A.handlers
   in
   List.iter
     (fun (h : A.handler) ->
-      walk_body
-        ~pos:(d_pos h.A.handler_pos)
-        ~check_init:true ~mark_init:true ~params:[] h.A.body)
+      walk_body ~pos:(d_pos h.A.handler_pos) ~params:[] h.A.body)
     handlers_started;
   List.iter
     (fun (h : A.handler) ->
@@ -383,13 +228,11 @@ let walk_node db (node, (prog : A.program)) =
          facts.timer_handlers <- (t, pos) :: facts.timer_handlers;
          Hashtbl.replace global_used t ()
        | _ -> ());
-      walk_body ~pos ~check_init:true ~mark_init:false ~params:[] h.A.body)
+      walk_body ~pos ~params:[] h.A.body)
     handlers_rest;
   List.iter
     (fun (f : A.func) ->
-      walk_body
-        ~pos:(d_pos f.A.fn_pos)
-        ~check_init:false ~mark_init:false ~params:f.A.fn_params f.A.fn_body)
+      walk_body ~pos:(d_pos f.A.fn_pos) ~params:f.A.fn_params f.A.fn_body)
     prog.A.functions;
 
   (* CAPL001: message-typed declarations and handlers must exist in the
@@ -514,7 +357,10 @@ let lint_nodes ?db ?(obs = Obs.silent) nodes =
       in
       let facts = List.map (walk_node db) nodes in
       let diags =
-        List.concat_map (fun f -> f.diags) facts @ message_flow facts
+        List.concat_map (fun f -> f.diags) facts
+        @ message_flow facts
+        @ Valueflow.check_nodes ~obs nodes
+        @ Taint.check_nodes ~obs nodes
       in
       let diags = Diag.sort diags in
       Obs.add (Obs.counter obs "analysis.diags") (List.length diags);

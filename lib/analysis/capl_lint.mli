@@ -16,17 +16,32 @@
       [on timer] handler in the same node;
     - [CAPL005] (warning): an [on timer] handler whose timer nothing in
       the node ever arms — the handler can never fire;
-    - [CAPL006] (warning): a global without an initialiser is read before
-      any [on start]/[on preStart] handler assigns it;
+    - [CAPL006] (warning): a global without an initialiser is read on
+      some CFG path before every path assigns it (definite-assignment
+      dataflow, see {!Valueflow});
     - [CAPL007] (warning): statements after [return]/[break]/[continue]
       in the same block are unreachable;
     - [CAPL008] (warning): a narrowing initialiser or assignment (e.g.
-      [int]→[byte]) that may truncate;
-    - [CAPL009] (info): a variable (global or local) that is never used.
+      [int]→[byte]) whose value range may actually truncate (interval
+      propagation, see {!Valueflow});
+    - [CAPL009] (info): a variable (global or local) that is never used;
+    - [CAPL101] (warning): a secret-named value may reach the bus
+      unencrypted (taint dataflow, see {!Taint});
+    - [CAPL102] (warning): a received payload reaches a bus write or
+      protected sink without a verification guard on every path
+      (see {!Taint}).
 
     Message-flow checks ([CAPL002]/[CAPL003]) are cross-node: lint the
     whole node set of a system together with {!lint_nodes} so a message
-    output by one node and handled by another is not flagged. *)
+    output by one node and handled by another is not flagged.
+
+    [CAPL006], [CAPL008], [CAPL101] and [CAPL102] run on the
+    interprocedural dataflow framework under [dataflow/]: {!Cfg} builds
+    a control-flow graph per handler and function, {!Dataflow.solve}
+    computes a bounded worklist fixpoint over a caller-supplied
+    join-semilattice, and {!Callgraph} resolves [E_call] targets so
+    per-function summaries can be substituted at call sites. The
+    remaining codes stay on the original syntactic walk. *)
 
 val lint_nodes :
   ?db:Capl.Msgdb.t ->
@@ -36,8 +51,9 @@ val lint_nodes :
 (** Lint a set of named node programs as one closed system. Diagnostics
     carry the node name as their [file] and the nearest enclosing
     declaration/handler/function position. Sorted per {!Diag.sort}.
-    [obs] records an [analysis.capl_lint] span and bumps the
-    [analysis.diags] counter. Never raises on any well-typed AST. *)
+    [obs] records [analysis.capl_lint], [analysis.dataflow] and
+    [analysis.taint] spans and bumps the [analysis.diags] counter.
+    Never raises on any well-typed AST. *)
 
 val lint :
   ?db:Capl.Msgdb.t ->

@@ -1,0 +1,33 @@
+(** Context-insensitive call resolution for CAPL programs.
+
+    [E_call] targets resolve to program-defined functions, to the fixed
+    set of builtins the extraction semantics models, or to [Unknown] —
+    which interprocedural clients treat as bottom (no return dataflow,
+    no global effects), matching how extraction ignores them. *)
+
+type target =
+  | Defined of Capl.Ast.func
+  | Builtin of string
+  | Unknown of string
+
+val resolve : Capl.Ast.program -> string -> target
+
+val builtins : string list
+(** The builtin names [lib/capl/sem.ml] gives semantics to. *)
+
+val is_builtin : string -> bool
+
+val is_bus_write : string -> bool
+(** [true] exactly for [output] — the builtin that puts caller data on
+    the CAN bus; the taint pass's primary sink. *)
+
+val propagates : string -> bool
+(** Builtins whose return value derives from their arguments (taint
+    flows through); all others return environment data (bottom). *)
+
+val calls_in_body : Capl.Ast.stmt list -> string list
+(** Every callee name in a body, in source order, duplicates kept. *)
+
+val of_program : Capl.Ast.program -> (string * string list) list
+(** The call graph over defined functions: for each function (sorted by
+    name), the sorted, deduplicated callee names — defined or not. *)

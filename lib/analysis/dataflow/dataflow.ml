@@ -1,0 +1,111 @@
+(* Generic forward worklist fixpoint over {!Cfg}. The lattice and the
+   transfer function are values, not functor arguments, so clients can
+   close transfer functions over per-run environments (function
+   summaries, diagnostic sinks) without module gymnastics; a thin
+   [Forward] functor wraps the same engine for clients with a static
+   transfer.
+
+   Unreachable blocks are represented by [None] rather than by a
+   bottom element, so lattices only need [join]/[widen]/[equal] — the
+   engine never asks for a least element. Termination is enforced twice
+   over: after [widen_after] visits to a block the client's [widen] is
+   used in place of [join] (clients with finite lattices just pass
+   [join] again), and a global step budget proportional to the CFG size
+   cuts any fixpoint that still refuses to settle — the result is then
+   merely under-approximate, never divergent. *)
+
+type 'a lattice = {
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+  widen : 'a -> 'a -> 'a;
+}
+
+let widen_after = 8
+
+let solve (type a) ~(lattice : a lattice)
+    ~(transfer : Cfg.instr -> a -> a) ~(entry : a) (cfg : Cfg.t) :
+    a option array =
+  let nb = Array.length cfg.Cfg.blocks in
+  let input : a option array = Array.make nb None in
+  input.(cfg.Cfg.entry) <- Some entry;
+  let changes = Array.make nb 0 in
+  let max_steps = (64 * nb) + 1024 in
+  let steps = ref 0 in
+  let out b st =
+    List.fold_left
+      (fun st i -> transfer i st)
+      st cfg.Cfg.blocks.(b).Cfg.instrs
+  in
+  let queue = Queue.create () in
+  let queued = Array.make nb false in
+  let push b =
+    if not queued.(b) then begin
+      queued.(b) <- true;
+      Queue.add b queue
+    end
+  in
+  push cfg.Cfg.entry;
+  while (not (Queue.is_empty queue)) && !steps <= max_steps do
+    incr steps;
+    let b = Queue.take queue in
+    queued.(b) <- false;
+    match input.(b) with
+    | None -> ()
+    | Some st ->
+      let o = out b st in
+      List.iter
+        (fun s ->
+          let updated =
+            match input.(s) with
+            | None -> Some o
+            | Some old ->
+              let j = lattice.join old o in
+              let j =
+                if changes.(s) > widen_after then lattice.widen old j else j
+              in
+              if lattice.equal old j then None else Some j
+          in
+          match updated with
+          | None -> ()
+          | Some st' ->
+            input.(s) <- Some st';
+            changes.(s) <- changes.(s) + 1;
+            push s)
+        cfg.Cfg.blocks.(b).Cfg.succs
+  done;
+  input
+
+let fold_reachable ~(transfer : Cfg.instr -> 'a -> 'a) (cfg : Cfg.t)
+    (input : 'a option array) ~(f : 'acc -> Cfg.instr -> 'a -> 'acc)
+    (acc : 'acc) : 'acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun b st ->
+      match st with
+      | None -> ()
+      | Some st ->
+        let (_ : 'a) =
+          List.fold_left
+            (fun st i ->
+              acc := f !acc i st;
+              transfer i st)
+            st cfg.Cfg.blocks.(b).Cfg.instrs
+        in
+        ())
+    input;
+  !acc
+
+module type TRANSFER = sig
+  type state
+
+  val lattice : state lattice
+  val transfer : Cfg.instr -> state -> state
+end
+
+module Forward (T : TRANSFER) = struct
+  let solve ~entry cfg =
+    solve ~lattice:T.lattice ~transfer:T.transfer ~entry cfg
+
+  let fold_reachable cfg input ~f acc =
+    fold_reachable ~transfer:T.transfer cfg input ~f acc
+end

@@ -1,0 +1,59 @@
+(** Generic forward worklist fixpoint over {!Cfg}.
+
+    Unreachable blocks are [None] in the solution, so lattices need no
+    bottom element — only [join], [widen] and [equal]. Termination is
+    enforced unconditionally: after a block's input has changed more
+    than a fixed number of times, [widen] replaces [join] (finite
+    lattices simply pass [join] for both), and a global step budget
+    proportional to the CFG size bounds the loop even against a
+    non-monotone transfer — a cut-off fixpoint is under-approximate,
+    never divergent, and [solve] never raises. *)
+
+type 'a lattice = {
+  equal : 'a -> 'a -> bool;
+  join : 'a -> 'a -> 'a;
+  widen : 'a -> 'a -> 'a;  (** must eventually stabilise a growing chain *)
+}
+
+val solve :
+  lattice:'a lattice ->
+  transfer:(Cfg.instr -> 'a -> 'a) ->
+  entry:'a ->
+  Cfg.t ->
+  'a option array
+(** [solve ~lattice ~transfer ~entry cfg] returns the least fixpoint's
+    block {e input} states, indexed by block id; [None] marks a block
+    unreachable from [entry]. The state flowing out of the body is the
+    entry of [cfg.exit_id]. *)
+
+val fold_reachable :
+  transfer:(Cfg.instr -> 'a -> 'a) ->
+  Cfg.t ->
+  'a option array ->
+  f:('acc -> Cfg.instr -> 'a -> 'acc) ->
+  'acc ->
+  'acc
+(** Replay every reachable block from its solved input state, calling
+    [f acc instr state_before] on each instruction in execution order.
+    This is how clients emit diagnostics exactly once per program point
+    (emitting during the fixpoint would duplicate them per visit). *)
+
+(** Functorised face of the same engine, for clients whose transfer
+    needs no runtime environment. *)
+module type TRANSFER = sig
+  type state
+
+  val lattice : state lattice
+  val transfer : Cfg.instr -> state -> state
+end
+
+module Forward (T : TRANSFER) : sig
+  val solve : entry:T.state -> Cfg.t -> T.state option array
+
+  val fold_reachable :
+    Cfg.t ->
+    T.state option array ->
+    f:('acc -> Cfg.instr -> T.state -> 'acc) ->
+    'acc ->
+    'acc
+end

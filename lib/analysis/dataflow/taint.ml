@@ -1,0 +1,637 @@
+(* Interprocedural security taint over CAPL: who can see key material,
+   and does received data get checked before it is acted on.
+
+   Sources: reads of variables whose names match the secret markers
+   ([Secret]), and the triggering message's payload ([this],
+   [this.field]) in message handlers ([Payload]). Taint flows through
+   assignments, arithmetic, member/array access, methods, and calls;
+   message objects are tracked at object granularity (a write to
+   [m.field] weak-updates [m]). Two sink families: the [output] builtin
+   (bus write) and calls whose names match the flash/apply markers
+   (protected operations). Findings:
+
+   - CAPL101 — a [Secret] reaches the bus without passing a
+     sanitizer-marker call ([encrypt]/[mac]/...).
+   - CAPL102 — a [Payload] reaches a sink on some path where no
+     verify-marker call ([valid]/[verify]/...) has executed. The
+     [verified] bit is a must-property (joins with AND), so one
+     unchecked path through a handler is enough to warn; conversely,
+     assignments made under a standing verification are "laundered" —
+     the stored value stops being a suspect payload.
+
+   Functions are analysed once against symbolic entry taint ([Param i]
+   for parameters, [Global g] for globals) and summarised (return
+   taint, weak global writes, interior sinks, whether the function
+   always verifies); call sites substitute actual taint for the
+   symbolic kinds, so the analysis is context-insensitive but still
+   interprocedural, and recursion just iterates summaries to a capped
+   fixpoint. Handlers communicate through globals: their exit taints
+   are joined and re-run to a capped outer fixpoint, which is what
+   catches a payload stored by one handler and transmitted by
+   another. *)
+
+module A = Capl.Ast
+
+type kind =
+  | Secret of string  (** origin: the secret-named variable *)
+  | Payload of string  (** origin: ["this"] or ["this.field"] *)
+  | Param of int  (** symbolic, in function summaries only *)
+  | Global of string  (** symbolic, in function summaries only *)
+
+let kind_rank = function
+  | Secret _ -> 0
+  | Payload _ -> 1
+  | Param _ -> 2
+  | Global _ -> 3
+
+let kind_compare a b =
+  match a, b with
+  | Secret x, Secret y | Payload x, Payload y | Global x, Global y ->
+    String.compare x y
+  | Param i, Param j -> Int.compare i j
+  | _ -> Int.compare (kind_rank a) (kind_rank b)
+
+module KSet = Set.Make (struct
+  type t = kind
+
+  let compare = kind_compare
+end)
+
+module SMap = Map.Make (String)
+
+type config = {
+  secret_markers : string list;
+  sanitizer_markers : string list;
+  verify_markers : string list;
+  sink_markers : string list;
+}
+
+let default_config =
+  {
+    secret_markers = [ "secret"; "key"; "password"; "pin"; "token"; "cred" ];
+    sanitizer_markers = [ "encrypt"; "mac"; "sign"; "hash"; "cipher" ];
+    verify_markers = [ "valid"; "verify"; "check"; "auth" ];
+    sink_markers = [ "flash"; "apply"; "install"; "program" ];
+  }
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else at (i + 1)
+  in
+  nn > 0 && at 0
+
+let matches markers name =
+  let n = String.lowercase_ascii name in
+  List.exists (fun m -> contains n m) markers
+
+(* ------------------------------------------------------------------ *)
+(* The lattice                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  vars : KSet.t SMap.t;  (** absent = untainted *)
+  verified : bool;  (** must-property: true on every path to here *)
+}
+
+let lookup x st =
+  match SMap.find_opt x st.vars with
+  | Some s -> s
+  | None -> KSet.empty
+
+let state_equal a b =
+  Bool.equal a.verified b.verified && SMap.equal KSet.equal a.vars b.vars
+
+let state_join a b =
+  {
+    vars = SMap.union (fun _ x y -> Some (KSet.union x y)) a.vars b.vars;
+    verified = a.verified && b.verified;
+  }
+
+(* Finite lattice (kinds are drawn from the program's identifiers), so
+   widening is just the join. *)
+let lattice : state Dataflow.lattice =
+  { equal = state_equal; join = state_join; widen = state_join }
+
+let launder st t =
+  if st.verified then
+    KSet.filter
+      (function
+        | Payload _ -> false
+        | _ -> true)
+      t
+  else t
+
+(* ------------------------------------------------------------------ *)
+(* Function summaries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type sink_hit = {
+  sink_desc : string;
+  sink_bus : bool;  (** [output] vs a protected (flash-style) call *)
+  sink_taint : KSet.t;
+  sink_verified : bool;
+}
+
+let sink_compare a b =
+  let c = String.compare a.sink_desc b.sink_desc in
+  if c <> 0 then c
+  else
+    let c = Bool.compare a.sink_bus b.sink_bus in
+    if c <> 0 then c
+    else
+      let c = Bool.compare a.sink_verified b.sink_verified in
+      if c <> 0 then c else KSet.compare a.sink_taint b.sink_taint
+
+type summary = {
+  ret : KSet.t;  (** symbolic over [Param]/[Global] *)
+  writes : KSet.t SMap.t;  (** weak global writes, symbolic *)
+  sinks : sink_hit list;  (** interior sinks, symbolic, sorted *)
+  verifies : bool;  (** every path through the body verifies *)
+}
+
+let empty_summary =
+  { ret = KSet.empty; writes = SMap.empty; sinks = []; verifies = false }
+
+let summary_equal a b =
+  KSet.equal a.ret b.ret
+  && SMap.equal KSet.equal a.writes b.writes
+  && Bool.equal a.verifies b.verifies
+  && List.length a.sinks = List.length b.sinks
+  && List.for_all2 (fun x y -> sink_compare x y = 0) a.sinks b.sinks
+
+(* ------------------------------------------------------------------ *)
+(* Transfer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  config : config;
+  prog : A.program;
+  summaries : (string, summary) Hashtbl.t;
+  this_payload : bool;  (** in a message handler: [this] is attacker data *)
+  record_sink : (sink_hit -> unit) option;  (** set during replay only *)
+  record_ret : (KSet.t -> unit) option;  (** set during function replay *)
+}
+
+let rec eval ctx st (e : A.expr) : KSet.t * state =
+  match e with
+  | A.E_int _ | A.E_float _ | A.E_char _ | A.E_string _ -> KSet.empty, st
+  | A.E_ident x ->
+    let t = lookup x st in
+    let t =
+      if matches ctx.config.secret_markers x then KSet.add (Secret x) t else t
+    in
+    t, st
+  | A.E_this ->
+    ( (if ctx.this_payload then KSet.singleton (Payload "this")
+       else KSet.empty),
+      st )
+  | A.E_member (A.E_this, f) ->
+    ( (if ctx.this_payload then KSet.singleton (Payload ("this." ^ f))
+       else KSet.empty),
+      st )
+  | A.E_member (b, _) -> eval ctx st b
+  | A.E_index (b, i) ->
+    let tb, st = eval ctx st b in
+    let ti, st = eval ctx st i in
+    KSet.union tb ti, st
+  | A.E_method (b, _, args) ->
+    let tb, st = eval ctx st b in
+    let ts, st = eval_list ctx st args in
+    List.fold_left KSet.union tb ts, st
+  | A.E_unop (_, a) -> eval ctx st a
+  | A.E_binop (_, a, b) ->
+    let ta, st = eval ctx st a in
+    let tb, st = eval ctx st b in
+    KSet.union ta tb, st
+  | A.E_ternary (c, a, b) ->
+    let _, st = eval ctx st c in
+    let ta, st = eval ctx st a in
+    let tb, st = eval ctx st b in
+    KSet.union ta tb, st
+  | A.E_incr (_, _, lv) ->
+    (match lv with
+     | A.E_ident x -> lookup x st, st
+     | lv -> eval ctx st lv)
+  | A.E_assign (op, lhs, rhs) ->
+    let tr, st = eval ctx st rhs in
+    let tr = launder st tr in
+    (match lhs with
+     | A.E_ident x ->
+       let t = if op = A.A_eq then tr else KSet.union tr (lookup x st) in
+       t, { st with vars = SMap.add x t st.vars }
+     | A.E_member (A.E_this, _) -> tr, st
+     | A.E_member (base, _) | A.E_index (base, _) ->
+       (* writing a field/element taints the whole object (weak) *)
+       let st =
+         match base with
+         | A.E_ident x ->
+           { st with vars = SMap.add x (KSet.union tr (lookup x st)) st.vars }
+         | _ ->
+           let _, st = eval ctx st base in
+           st
+       in
+       let st =
+         match lhs with
+         | A.E_index (_, i) ->
+           let _, st = eval ctx st i in
+           st
+         | _ -> st
+       in
+       tr, st
+     | lhs ->
+       let _, st = eval ctx st lhs in
+       tr, st)
+  | A.E_call (fn, args) -> eval_call ctx st fn args
+
+and eval_list ctx st args =
+  let st = ref st in
+  let ts =
+    List.map
+      (fun a ->
+        let t, st' = eval ctx !st a in
+        st := st';
+        t)
+      args
+  in
+  ts, !st
+
+and eval_call ctx st fn args =
+  let ts, st = eval_list ctx st args in
+  let joined_args = List.fold_left KSet.union KSet.empty ts in
+  let record hit =
+    match ctx.record_sink with
+    | Some f -> f hit
+    | None -> ()
+  in
+  if Callgraph.is_bus_write fn then
+    record
+      {
+        sink_desc =
+          (match args with
+           | A.E_ident v :: _ -> Printf.sprintf "output of '%s'" v
+           | _ -> "output");
+        sink_bus = true;
+        sink_taint = joined_args;
+        sink_verified = st.verified;
+      }
+  else if matches ctx.config.sink_markers fn then
+    record
+      {
+        sink_desc = Printf.sprintf "call to '%s'" fn;
+        sink_bus = false;
+        sink_taint = joined_args;
+        sink_verified = st.verified;
+      };
+  let ret, st =
+    if matches ctx.config.sanitizer_markers fn then KSet.empty, st
+    else
+      match Callgraph.resolve ctx.prog fn with
+      | Callgraph.Builtin b ->
+        (if Callgraph.propagates b then joined_args else KSet.empty), st
+      | Callgraph.Unknown _ -> KSet.empty, st
+      | Callgraph.Defined f ->
+        let summ =
+          match Hashtbl.find_opt ctx.summaries f.A.fn_name with
+          | Some s -> s
+          | None -> empty_summary
+        in
+        let subst t =
+          KSet.fold
+            (fun k acc ->
+              match k with
+              | Param i ->
+                (match List.nth_opt ts i with
+                 | Some t -> KSet.union t acc
+                 | None -> acc)
+              | Global g ->
+                let t = lookup g st in
+                let t =
+                  if matches ctx.config.secret_markers g then
+                    KSet.add (Secret g) t
+                  else t
+                in
+                KSet.union t acc
+              | k -> KSet.add k acc)
+            t KSet.empty
+        in
+        (* the callee's interior sinks fire here, in caller context *)
+        List.iter
+          (fun h ->
+            record
+              {
+                h with
+                sink_desc =
+                  Printf.sprintf "%s (via call to '%s')" h.sink_desc
+                    f.A.fn_name;
+                sink_taint = launder st (subst h.sink_taint);
+                sink_verified = h.sink_verified || st.verified;
+              })
+          summ.sinks;
+        let st =
+          SMap.fold
+            (fun g t st ->
+              let t = launder st (subst t) in
+              { st with vars = SMap.add g (KSet.union t (lookup g st)) st.vars })
+            summ.writes st
+        in
+        launder st (subst summ.ret), st
+  in
+  let callee_verifies =
+    match Callgraph.resolve ctx.prog fn with
+    | Callgraph.Defined f ->
+      (match Hashtbl.find_opt ctx.summaries f.A.fn_name with
+       | Some s -> s.verifies
+       | None -> false)
+    | _ -> false
+  in
+  let st =
+    if matches ctx.config.verify_markers fn || callee_verifies then
+      { st with verified = true }
+    else st
+  in
+  ret, st
+
+let transfer ctx (i : Cfg.instr) st =
+  match i with
+  | Cfg.I_expr e | Cfg.I_branch e | Cfg.I_switch e | Cfg.I_case e ->
+    let _, st = eval ctx st e in
+    st
+  | Cfg.I_decl v ->
+    (match v.A.var_init with
+     | None -> { st with vars = SMap.add v.A.var_name KSet.empty st.vars }
+     | Some e ->
+       let t, st = eval ctx st e in
+       let t = launder st t in
+       { st with vars = SMap.add v.A.var_name t st.vars })
+  | Cfg.I_return e ->
+    (match e with
+     | None -> st
+     | Some e ->
+       let t, st = eval ctx st e in
+       (match ctx.record_ret with
+        | Some f -> f (launder st t)
+        | None -> ());
+       st)
+
+(* ------------------------------------------------------------------ *)
+(* Summary computation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let global_names prog =
+  List.map (fun (v : A.var_decl) -> v.A.var_name) prog.A.variables
+
+let analyze_function config prog summaries (f : A.func) cfg : summary =
+  let ctx =
+    {
+      config;
+      prog;
+      summaries;
+      this_payload = false;
+      record_sink = None;
+      record_ret = None;
+    }
+  in
+  let entry =
+    let vars =
+      List.fold_left
+        (fun m g -> SMap.add g (KSet.singleton (Global g)) m)
+        SMap.empty (global_names prog)
+    in
+    let vars =
+      List.fold_left
+        (fun (i, m) (_, p) -> i + 1, SMap.add p (KSet.singleton (Param i)) m)
+        (0, vars) f.A.fn_params
+      |> snd
+    in
+    { vars; verified = false }
+  in
+  let input = Dataflow.solve ~lattice ~transfer:(transfer ctx) ~entry cfg in
+  let sinks = ref [] in
+  let ret = ref KSet.empty in
+  let replay_ctx =
+    {
+      ctx with
+      record_sink = Some (fun h -> sinks := h :: !sinks);
+      record_ret = Some (fun t -> ret := KSet.union t !ret);
+    }
+  in
+  Dataflow.fold_reachable
+    ~transfer:(transfer replay_ctx)
+    cfg input
+    ~f:(fun () _ _ -> ())
+    ();
+  let writes, verifies =
+    match input.(cfg.Cfg.exit_id) with
+    | None -> SMap.empty, false
+    | Some exit_st ->
+      let globals = global_names prog in
+      ( SMap.filter
+          (fun g t ->
+            List.mem g globals
+            && not (KSet.equal t (KSet.singleton (Global g))))
+          exit_st.vars,
+        exit_st.verified )
+  in
+  {
+    ret = !ret;
+    writes;
+    sinks = List.sort_uniq sink_compare !sinks;
+    verifies;
+  }
+
+let compute_summaries config (prog : A.program) =
+  let summaries = Hashtbl.create 8 in
+  List.iter
+    (fun (f : A.func) -> Hashtbl.replace summaries f.A.fn_name empty_summary)
+    prog.A.functions;
+  let cfgs =
+    List.map (fun (f : A.func) -> f, Cfg.build f.A.fn_body) prog.A.functions
+  in
+  let max_rounds = 8 + (2 * List.length prog.A.functions) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun ((f : A.func), cfg) ->
+        let s = analyze_function config prog summaries f cfg in
+        let old = Hashtbl.find summaries f.A.fn_name in
+        if not (summary_equal old s) then begin
+          Hashtbl.replace summaries f.A.fn_name s;
+          changed := true
+        end)
+      cfgs
+  done;
+  summaries
+
+(* ------------------------------------------------------------------ *)
+(* Whole-node analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let d_pos (p : A.pos) : Diag.pos = { Diag.line = p.A.line; col = p.A.col }
+
+let emit_hit node pos hit acc =
+  let origins keep =
+    KSet.fold
+      (fun k acc ->
+        match keep k with
+        | Some o -> o :: acc
+        | None -> acc)
+      hit.sink_taint []
+    |> List.sort_uniq String.compare
+  in
+  let secrets =
+    origins (function
+      | Secret s -> Some s
+      | _ -> None)
+  in
+  let payloads =
+    origins (function
+      | Payload p -> Some p
+      | _ -> None)
+  in
+  let acc =
+    if hit.sink_bus && secrets <> [] then
+      Diag.make ~file:node ~pos Diag.Warning ~code:"CAPL101"
+        (Printf.sprintf "%s may leak secret %s onto the bus unencrypted"
+           hit.sink_desc
+           (String.concat ", " (List.map (Printf.sprintf "'%s'") secrets)))
+      :: acc
+    else acc
+  in
+  if payloads <> [] && not hit.sink_verified then
+    Diag.make ~file:node ~pos Diag.Warning ~code:"CAPL102"
+      (Printf.sprintf
+         "%s carries received payload (%s) not verified on every path"
+         hit.sink_desc
+         (String.concat ", " payloads))
+    :: acc
+  else acc
+
+let check_node config (node, (prog : A.program)) : Diag.t list =
+  let summaries = compute_summaries config prog in
+  let base_ctx =
+    {
+      config;
+      prog;
+      summaries;
+      this_payload = false;
+      record_sink = None;
+      record_ret = None;
+    }
+  in
+  let handler_ctx (h : A.handler) =
+    let this_payload =
+      match h.A.event with
+      | A.Ev_message _ -> true
+      | _ -> false
+    in
+    { base_ctx with this_payload }
+  in
+  let handler_cfgs =
+    List.map (fun (h : A.handler) -> h, Cfg.build h.A.body) prog.A.handlers
+  in
+  (* globals start with their initialisers' taint *)
+  let initial_global_taint =
+    List.fold_left
+      (fun m (v : A.var_decl) ->
+        match v.A.var_init with
+        | None -> m
+        | Some e ->
+          let t, _ =
+            eval base_ctx { vars = SMap.empty; verified = false } e
+          in
+          if KSet.is_empty t then m else SMap.add v.A.var_name t m)
+      SMap.empty prog.A.variables
+  in
+  let global_taint = ref initial_global_taint in
+  let entry_state () =
+    {
+      vars =
+        List.fold_left
+          (fun m g ->
+            match SMap.find_opt g !global_taint with
+            | Some t -> SMap.add g t m
+            | None -> m)
+          SMap.empty (global_names prog);
+      verified = false;
+    }
+  in
+  let solve_handler (h, cfg) =
+    let ctx = handler_ctx h in
+    ctx, Dataflow.solve ~lattice ~transfer:(transfer ctx) ~entry:(entry_state ()) cfg
+  in
+  (* outer fixpoint: handlers exchange taint through globals *)
+  let gnames = global_names prog in
+  let max_rounds = 8 + (2 * List.length prog.A.handlers) in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun (h, cfg) ->
+        let ctx, input = solve_handler (h, cfg) in
+        (* join every reachable block's OUT state into the global map:
+           a handler that stores a payload and then loops still
+           publishes the store *)
+        Array.iteri
+          (fun b st ->
+            match st with
+            | None -> ()
+            | Some st ->
+              let out =
+                List.fold_left
+                  (fun st i -> transfer ctx i st)
+                  st cfg.Cfg.blocks.(b).Cfg.instrs
+              in
+              List.iter
+                (fun g ->
+                  let t = lookup g out in
+                  if not (KSet.is_empty t) then begin
+                    let old =
+                      match SMap.find_opt g !global_taint with
+                      | Some t -> t
+                      | None -> KSet.empty
+                    in
+                    let joined = KSet.union old t in
+                    if not (KSet.equal old joined) then begin
+                      global_taint := SMap.add g joined !global_taint;
+                      changed := true
+                    end
+                  end)
+                gnames)
+          input)
+      handler_cfgs
+  done;
+  (* final pass: replay each handler against the stable global taint and
+     collect sink hits as diagnostics *)
+  let diags = ref [] in
+  List.iter
+    (fun ((h : A.handler), cfg) ->
+      let ctx, input = solve_handler (h, cfg) in
+      let pos = d_pos h.A.handler_pos in
+      let replay_ctx =
+        {
+          ctx with
+          record_sink = Some (fun hit -> diags := emit_hit node pos hit !diags);
+        }
+      in
+      Dataflow.fold_reachable
+        ~transfer:(transfer replay_ctx)
+        cfg input
+        ~f:(fun () _ _ -> ())
+        ())
+    handler_cfgs;
+  !diags
+
+let check_nodes ?(config = default_config) ?(obs = Obs.silent) nodes =
+  Obs.span obs "analysis.taint" (fun () ->
+      Diag.sort (List.concat_map (check_node config) nodes))
+
+let check ?config ?obs ?(name = "<capl>") prog =
+  check_nodes ?config ?obs [ name, prog ]

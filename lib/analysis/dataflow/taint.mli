@@ -1,0 +1,53 @@
+(** Interprocedural security taint over CAPL programs.
+
+    Sources are configurable name markers: reads of secret-named
+    variables taint with [Secret], and the triggering message's payload
+    ([this], [this.field]) taints with [Payload] inside message
+    handlers. Taint propagates through assignments, arithmetic,
+    member/array access and calls (message objects at object
+    granularity); sanitizer-marker calls ([encrypt]/[mac]/...) return
+    clean, verify-marker calls ([valid]/[verify]/...) set a
+    must-verified bit that both guards sinks and launders subsequent
+    stores. Sinks are the [output] builtin (bus write) and calls
+    matching the flash/apply markers (protected operations).
+
+    Findings — both {!Diag.Warning}s, so [--deny-warnings] blocks them:
+    - [CAPL101]: a secret reaches the bus unsanitised.
+    - [CAPL102]: received payload reaches a sink on at least one CFG
+      path with no verify call before it.
+
+    Functions are summarised once against symbolic entry taint and
+    substituted at call sites (context-insensitive interprocedural;
+    recursion iterates summaries to a capped fixpoint). Handlers
+    exchange taint through globals via a capped outer fixpoint, so a
+    payload stored by one handler and sent by another is caught. All
+    fixpoints are bounded; the analysis never raises and always
+    terminates. *)
+
+type config = {
+  secret_markers : string list;
+  sanitizer_markers : string list;
+  verify_markers : string list;
+  sink_markers : string list;
+}
+(** Case-insensitive substring markers matched against identifier and
+    callee names. *)
+
+val default_config : config
+(** secret: [secret key password pin token cred]; sanitizers:
+    [encrypt mac sign hash cipher]; verifiers: [valid verify check
+    auth]; protected sinks: [flash apply install program]. *)
+
+val check_nodes :
+  ?config:config ->
+  ?obs:Obs.t ->
+  (string * Capl.Ast.program) list ->
+  Diag.t list
+(** Run the taint pass per node (span ["analysis.taint"]); diagnostics
+    carry the node name as their file and the enclosing handler's
+    position. Sorted and deduplicated. *)
+
+val check :
+  ?config:config -> ?obs:Obs.t -> ?name:string -> Capl.Ast.program ->
+  Diag.t list
+(** Single-program convenience wrapper over {!check_nodes}. *)

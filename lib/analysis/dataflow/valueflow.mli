@@ -1,0 +1,28 @@
+(** Definite assignment and value-range propagation over CAPL — the
+    dataflow implementations of two diagnostics that used to be
+    syntactic guesses, with unchanged codes, messages and positions:
+
+    - [CAPL006] (uninitialised global read) on a must-assigned
+      analysis: a suspect global counts as set only when every CFG path
+      to the read assigns it, and calls are credited through
+      interprocedural must-assign summaries. Start handlers establish
+      the baseline for every other handler, as before; the check stays
+      off inside functions (their call order is unknowable).
+    - [CAPL008] (narrowing assignment) gated by interval propagation:
+      the old type-width heuristic still nominates candidates, and a
+      warning survives only when the value range is unknown or actually
+      out of range — [int w = 5; byte b; b = w] is no longer flagged,
+      [int w = 70000; b = w] still is. Stores clamp to the declared
+      type's storage range, mirroring the extraction semantics'
+      masking.
+
+    All fixpoints are bounded; the pass never raises and always
+    terminates. *)
+
+val check_nodes :
+  ?obs:Obs.t -> (string * Capl.Ast.program) list -> Diag.t list
+(** Run both analyses per node (span ["analysis.dataflow"]). Sorted and
+    deduplicated. *)
+
+val check : ?obs:Obs.t -> ?name:string -> Capl.Ast.program -> Diag.t list
+(** Single-program convenience wrapper over {!check_nodes}. *)

@@ -24,8 +24,15 @@ let severity_label = function
   | Warning -> "warning"
   | Info -> "info"
 
-(* Severity is deliberately not part of the order: a report reads like a
-   compiler's output, top to bottom through the source. *)
+(* The order reads like a compiler's output, top to bottom through the
+   source; severity only breaks ties between otherwise-identical
+   findings (most severe first), so two diagnostics differing in
+   nothing but severity both survive {!sort}'s dedup. *)
+let severity_rank = function
+  | Error -> 0
+  | Warning -> 1
+  | Info -> 2
+
 let compare a b =
   let cmp_file =
     Option.compare String.compare a.file b.file
@@ -43,7 +50,12 @@ let compare a b =
     else
       let cmp_code = String.compare a.code b.code in
       if cmp_code <> 0 then cmp_code
-      else String.compare a.message b.message
+      else
+        let cmp_sev =
+          Int.compare (severity_rank a.severity) (severity_rank b.severity)
+        in
+        if cmp_sev <> 0 then cmp_sev
+        else String.compare a.message b.message
 
 let sort diags =
   let sorted = List.sort compare diags in

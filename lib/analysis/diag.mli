@@ -5,8 +5,10 @@
     Every finding carries a stable code ([CAPL001], [CSPM002], ...) so
     golden tests, editors, and suppression lists can key on it; the
     human-readable message may be reworded freely, the code and its
-    meaning may not. Output is sorted by (file, position, code, message),
-    so a diagnostic report is deterministic for a given input. *)
+    meaning may not. Output is sorted by (file, position, code,
+    severity, message), so a diagnostic report is deterministic for a
+    given input — including across files, since the file name leads the
+    key. *)
 
 type severity =
   | Error  (** a defect the downstream stage would reject or miscompile *)
@@ -36,7 +38,9 @@ val severity_label : severity -> string
 (** ["error"], ["warning"], ["info"] — used by both renderers. *)
 
 val compare : t -> t -> int
-(** Report order: file, position, code, message. *)
+(** Report order: file, position, code, severity (most severe first),
+    message. Severity participates so two findings identical in every
+    other component are still distinct to {!sort}'s dedup. *)
 
 val sort : t list -> t list
 (** Sort by {!compare} and drop exact duplicates. *)

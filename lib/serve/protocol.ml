@@ -25,6 +25,8 @@ type job = {
   max_states : int option;
   max_retries : int option;
   reductions : string option;
+  lint : bool;
+  deny_warnings : bool;
 }
 
 type request = Submit of job | Health | Drain
@@ -36,6 +38,9 @@ let request_of_line line =
   | Ok json -> (
     let str k = Option.bind (member k json) to_str in
     let int k = Option.bind (member k json) to_int in
+    let bool k =
+      match member k json with Some (Bool b) -> b | _ -> false
+    in
     let num k =
       match member k json with Some (Num f) -> Some f | _ -> None
     in
@@ -110,6 +115,8 @@ let request_of_line line =
                       max_states = int "max_states";
                       max_retries = int "max_retries";
                       reductions = str "reductions";
+                      lint = bool "lint" || bool "deny_warnings";
+                      deny_warnings = bool "deny_warnings";
                     },
                   version )
             in
@@ -150,7 +157,7 @@ let retrying ?v ~id ~attempt ~backoff_s ~resumed () =
       "resumed", Obs.Json.Bool resumed;
     ]
 
-let result ?v ?verdicts ~id ~attempts ~interrupted ~report () =
+let result ?v ?verdicts ?diagnostics ~id ~attempts ~interrupted ~report () =
   event ?v "result"
     ([ "id", Obs.Json.Str id; "attempts", num attempts ]
     @ (if interrupted then [ "interrupted", Obs.Json.Bool true ] else [])
@@ -162,15 +169,20 @@ let result ?v ?verdicts ~id ~attempts ~interrupted ~report () =
            "rejected", num rejected;
          ]
        | None -> [])
+    @ (match diagnostics with
+       | Some d -> [ "diagnostics", d ]
+       | None -> [])
     @ [ "report", report ])
 
-let failed ?v ~id ~attempts ~reason () =
+let failed ?v ?diagnostics ~id ~attempts ~reason () =
   event ?v "failed"
-    [
-      "id", Obs.Json.Str id;
-      "attempts", num attempts;
-      "reason", Obs.Json.Str reason;
-    ]
+    ([
+       "id", Obs.Json.Str id;
+       "attempts", num attempts;
+       "reason", Obs.Json.Str reason;
+     ]
+    @
+    match diagnostics with Some d -> [ "diagnostics", d ] | None -> [])
 
 let health ?v ?cache ~queued ~done_ ~failed ~retries ~draining () =
   event ?v "health"

@@ -31,7 +31,13 @@
       "workers": 2,          // optional, default 1
       "max_states": 100000,  // optional
       "max_retries": 3,      // optional (check only)
-      "reductions": "none" } // optional (check only)
+      "reductions": "none",  // optional (check only)
+      "lint": true,          // optional (check only): run the static
+                             // analyses first; findings ride on the
+                             // result/failed event as "diagnostics"
+      "deny_warnings": true } // optional (check only): implies "lint";
+                             // blocking findings fail the job before
+                             // any checking runs
     { "op": "health" }
     { "op": "drain" }
     v}
@@ -91,6 +97,13 @@ type job = {
           unparseable value fails the job with a [failed] event before
           any attempt runs. Retries resume under the same setting, so
           checkpoints always match. Check jobs only. *)
+  lint : bool;
+      (** run the static analyses over the loaded script before
+          checking; set whenever [deny_warnings] is. Check jobs only. *)
+  deny_warnings : bool;
+      (** treat warning diagnostics as blocking, mirroring the CLI's
+          [--deny-warnings]: a blocking report fails the job (with the
+          diagnostics attached) before any attempt runs *)
 }
 
 type request = Submit of job | Health | Drain
@@ -118,14 +131,21 @@ val retrying :
 val result :
   ?v:version ->
   ?verdicts:int * int * int ->
+  ?diagnostics:Obs.Json.t ->
   id:string -> attempts:int -> interrupted:bool -> report:Obs.Json.t ->
   unit -> Obs.Json.t
 (** [verdicts] is [(streams, accepted, rejected)] — the stream counts a
-    trace-check job surfaces at the top level of its result event. *)
+    trace-check job surfaces at the top level of its result event.
+    [diagnostics] is the ["diagnostics/1"] document of a lint-enabled
+    job whose findings did not block. *)
 
 val failed :
-  ?v:version -> id:string -> attempts:int -> reason:string -> unit ->
+  ?v:version ->
+  ?diagnostics:Obs.Json.t ->
+  id:string -> attempts:int -> reason:string -> unit ->
   Obs.Json.t
+(** [diagnostics] carries the blocking ["diagnostics/1"] report when a
+    lint gate failed the job. *)
 
 val health :
   ?v:version ->

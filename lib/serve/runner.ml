@@ -205,7 +205,28 @@ let run_check_job t (job : Protocol.job) =
   | Error reason, _ | _, Error reason ->
     cfg.emit (Protocol.failed ~v ~id:job.Protocol.id ~attempts:1 ~reason ());
     note_failed t
-  | Ok (source, loaded), Ok reductions ->
+  | Ok (source, loaded), Ok reductions -> (
+    (* The lint gate mirrors the CLI's --lint/--deny-warnings: blocking
+       findings fail the job before any search attempt spends budget,
+       with the full report attached for the client. Non-blocking
+       findings ride along on the result event instead. *)
+    let lint_report =
+      if job.Protocol.lint then
+        Some (Analysis.Cspm_analyze.analyze_loaded ~obs:cfg.obs loaded)
+      else None
+    in
+    match lint_report with
+    | Some ds
+      when Analysis.Diag.blocking
+             ~deny_warnings:job.Protocol.deny_warnings ds ->
+      cfg.emit
+        (Protocol.failed ~v
+           ~diagnostics:(Analysis.Diag.json_of_list ds)
+           ~id:job.Protocol.id ~attempts:1 ~reason:"blocking diagnostics"
+           ());
+      note_failed t
+    | lint_report ->
+    let diagnostics = Option.map Analysis.Diag.json_of_list lint_report in
     let script_digest =
       Csp.Cache.script_digest
         (source ^ "\x00reductions="
@@ -263,7 +284,7 @@ let run_check_job t (job : Protocol.job) =
           };
         let report = report_of (completed @ render start outcomes) in
         cfg.emit
-          (Protocol.result ~v ~id:job.Protocol.id ~attempts:k
+          (Protocol.result ~v ?diagnostics ~id:job.Protocol.id ~attempts:k
              ~interrupted:true ~report ());
         note_failed t
       | None -> (
@@ -306,12 +327,12 @@ let run_check_job t (job : Protocol.job) =
           (* terminal verdict: the retry checkpoint is now stale state *)
           remove_checkpoint cfg job;
           cfg.emit
-            (Protocol.result ~v ~id:job.Protocol.id ~attempts:k
+            (Protocol.result ~v ?diagnostics ~id:job.Protocol.id ~attempts:k
                ~interrupted:false ~report ());
           note_done t)
     in
     attempt 1 ~start:0 ~completed:[] ~resume:None
-      ~deadline_s:job.Protocol.deadline_s
+      ~deadline_s:job.Protocol.deadline_s)
 
 (* Trace-check jobs are a single pass over the corpus — no product
    search, so no retries, checkpoints, or deadline doubling; an error

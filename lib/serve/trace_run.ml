@@ -38,6 +38,7 @@ type report = {
   wall_s : float;
   events_per_sec : float;
   requirements : requirement_report list;
+  rejected_by_fault : (string * int) list;
 }
 
 let passed r =
@@ -97,6 +98,8 @@ let json_of_report ?(timing = true) r =
                             q.samples) );
                    ])
                r.requirements) );
+        ( "rejected_by_fault",
+          Obj (List.map (fun (k, n) -> k, num n) r.rejected_by_fault) );
         ("verdict", Str (if passed r then "pass" else "fail"));
       ])
 
@@ -124,18 +127,41 @@ let pp_report ppf r =
              | es -> String.concat ", " es))
         q.samples)
     r.requirements;
+  (match r.rejected_by_fault with
+   | [] -> ()
+   | by ->
+     Format.fprintf ppf "  rejected streams by declared fault: %s@,"
+       (String.concat ", "
+          (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) by)));
   Format.fprintf ppf "verdict: %s@]" (if passed r then "pass" else "fail")
 
 (* One pre-parsed corpus line: everything the sequential cursor stage
    needs, computed in parallel. *)
 type parsed =
   | P_entry of { stream : string; label : Csp.Event.label option; fault : bool }
-  | P_meta
+  | P_meta of { stream : string option; kinds : string list }
   | P_bad of { stream : string option; reason : string }
+
+(* The fault kinds a generator declared for a stream: the meta object's
+   fields with a positive number or [true] — e.g. the {!Ota.Corpus}
+   plan's [drop]/[corrupt]/[delay]/[duplicate] probabilities, its
+   [babble] flag, and the [flawed]-ECU marker. *)
+let kinds_of_meta = function
+  | Obs.Json.Obj fields ->
+    List.filter_map
+      (fun (k, v) ->
+        match v with
+        | Obs.Json.Num n when n > 0. -> Some k
+        | Obs.Json.Bool true -> Some k
+        | _ -> None)
+      fields
+    |> List.sort_uniq String.compare
+  | _ -> []
 
 let parse_raw map raw =
   match Trace_io.parse_line raw with
-  | Trace_io.Meta _ -> P_meta
+  | Trace_io.Meta { stream; meta } ->
+    P_meta { stream = Some stream; kinds = kinds_of_meta meta }
   | Trace_io.Malformed { stream; reason } -> P_bad { stream; reason }
   | Trace_io.Entry { stream; entry } ->
     P_entry
@@ -197,8 +223,17 @@ let check_corpus ?(workers = 1) ?(obs = Obs.silent) ?(batch = 8192)
           order := stream :: !order;
           st
       in
+      (* Declared fault kinds per stream, kept apart from [states]: a
+         meta line alone must not make a stream exist (or count). *)
+      let metas : (string, string list) Hashtbl.t = Hashtbl.create 64 in
       let advance line_no = function
-        | P_meta -> ()
+        | P_meta { stream = None; _ } -> ()
+        | P_meta { stream = Some stream; kinds } ->
+          let prior =
+            Option.value ~default:[] (Hashtbl.find_opt metas stream)
+          in
+          Hashtbl.replace metas stream
+            (List.sort_uniq String.compare (kinds @ prior))
         | P_bad { stream; reason } ->
           totals.malformed <- totals.malformed + 1;
           (match stream with
@@ -231,7 +266,7 @@ let check_corpus ?(workers = 1) ?(obs = Obs.silent) ?(batch = 8192)
       in
       (* Parse a slice of the batch on each domain; replay in order. *)
       let parse_batch lines n =
-        let out = Array.make n P_meta in
+        let out = Array.make n (P_meta { stream = None; kinds = [] }) in
         let chunks = max 1 (min workers n) in
         let per = (n + chunks - 1) / chunks in
         let fill c =
@@ -289,6 +324,27 @@ let check_corpus ?(workers = 1) ?(obs = Obs.silent) ?(batch = 8192)
                 and corrupt = Array.make nreq 0
                 and samples = Array.make nreq [] in
                 let streams_accepted = ref 0 in
+                (* Attribution: each rejected/corrupt stream counts once
+                   under every fault kind its meta declared ("none" when
+                   the generator declared nothing) — so the report says
+                   which injected faults the specs actually caught. *)
+                let by_fault : (string, int) Hashtbl.t =
+                  Hashtbl.create 16
+                in
+                let attribute stream =
+                  let kinds =
+                    match Hashtbl.find_opt metas stream with
+                    | Some (_ :: _ as ks) -> ks
+                    | Some [] | None -> [ "none" ]
+                  in
+                  List.iter
+                    (fun k ->
+                      Hashtbl.replace by_fault k
+                        (1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt by_fault k)))
+                    kinds
+                in
                 List.iter
                   (fun stream ->
                     let st = Hashtbl.find states stream in
@@ -318,7 +374,8 @@ let check_corpus ?(workers = 1) ?(obs = Obs.silent) ?(batch = 8192)
                               }
                               :: samples.(r))
                     done;
-                    if !clean then incr streams_accepted)
+                    if !clean then incr streams_accepted
+                    else attribute stream)
                   streams;
                 let requirements =
                   List.mapi
@@ -362,6 +419,12 @@ let check_corpus ?(workers = 1) ?(obs = Obs.silent) ?(batch = 8192)
                     wall_s;
                     events_per_sec;
                     requirements;
+                    rejected_by_fault =
+                      List.sort
+                        (fun (a, _) (b, _) -> String.compare a b)
+                        (Hashtbl.fold
+                           (fun k n acc -> (k, n) :: acc)
+                           by_fault []);
                   })))
 
 (* Resolve a trace-check job's pieces: the event mapper from the CAN

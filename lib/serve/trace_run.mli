@@ -46,6 +46,11 @@ type report = {
   wall_s : float;
   events_per_sec : float;
   requirements : requirement_report list;
+  rejected_by_fault : (string * int) list;
+      (** how many rejected/corrupt streams declared each fault kind in
+          their meta line (a stream with several kinds counts under each;
+          ["none"] collects streams whose generator declared nothing).
+          Sorted by kind; empty when every stream passed. *)
 }
 
 val passed : report -> bool
@@ -56,7 +61,9 @@ val report_schema : string
 
 val json_of_report : ?timing:bool -> report -> Obs.Json.t
 (** The stable ["trace-check/1"] document. [timing:false] (default
-    [true]) omits the wall-clock fields — the byte-comparable form. *)
+    [true]) omits the wall-clock fields — the byte-comparable form.
+    [rejected_by_fault] is rendered as an object keyed by fault kind —
+    an additive extension; prior consumers are unaffected. *)
 
 val pp_report : Format.formatter -> report -> unit
 

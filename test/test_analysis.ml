@@ -46,6 +46,20 @@ let test_diag_basics () =
   in
   check_string "pp format" "f.csp:3:7: warning[X009]: m" rendered
 
+let test_diag_severity_tiebreak () =
+  (* identical in every component but severity: both survive dedup, and
+     the more severe one leads — so cross-file report order is total *)
+  let d sev =
+    Diag.make ~file:"n" ~pos:{ Diag.line = 1; col = 1 } sev ~code:"X001" "m"
+  in
+  let sorted = Diag.sort [ d Diag.Warning; d Diag.Error ] in
+  check_int "both survive" 2 (List.length sorted);
+  check_bool "error first" true
+    ((List.hd sorted).Diag.severity = Diag.Error);
+  (* and the order is independent of input order *)
+  let flipped = Diag.sort [ d Diag.Error; d Diag.Warning ] in
+  check_bool "deterministic across input orders" true (sorted = flipped)
+
 let test_diag_json () =
   let diags =
     [
@@ -168,6 +182,79 @@ let test_capl_use_before_init () =
     lint_src "variables { int g = 0; }\non message * { g = g + 1; }\n"
   in
   check_int "initialiser initialises" 0 (count_code "CAPL006" diags)
+
+let test_capl_path_sensitive_init () =
+  (* the dataflow CAPL006: an assignment under a condition covers only
+     one path, so the read after the join is still suspect... *)
+  let diags =
+    lint_src "variables { int g; int c = 1; }\n\
+              on start { if (c) { g = 1; } g = g + 1; }\n"
+  in
+  check_bool "one-armed if leaves a path uninitialised" true
+    (has "CAPL006" diags);
+  (* ...while assigning on both arms initialises on every path *)
+  let diags =
+    lint_src "variables { int g; int c = 1; }\n\
+              on start { if (c) { g = 1; } else { g = 2; } g = g + 1; }\n"
+  in
+  check_int "both-armed if is clean" 0 (count_code "CAPL006" diags);
+  (* interprocedural: a called function's unconditional assignment
+     counts through its must-assign summary *)
+  let diags =
+    lint_src "variables { int g; }\n\
+              void setup() { g = 0; }\n\
+              on start { setup(); g = g + 1; }\n"
+  in
+  check_int "call credited via must-assign summary" 0
+    (count_code "CAPL006" diags)
+
+let test_capl_interval_narrowing () =
+  (* the interval-gated CAPL008: a narrowing store whose value provably
+     fits is no longer noise... *)
+  let diags = lint_src "on start { int w = 5; byte b; b = w; }\n" in
+  check_int "provably fitting narrowing is clean" 0
+    (count_code "CAPL008" diags);
+  (* ...but a cross-handler reassignment makes the range unknown at the
+     store, so the old warning survives *)
+  let diags =
+    lint_src "variables { int w = 5; byte b = 7; }\n\
+              on timer t { w = 30000; }\n\
+              on start { b = w; }\n"
+  in
+  check_bool "cross-handler hazard still warns" true (has "CAPL008" diags)
+
+let test_capl_taint_secret () =
+  (* CAPL101: a secret-named global reaching output() unencrypted *)
+  let diags =
+    lint_src "variables { message Req mReq; int netKey = 42; }\n\
+              on start { mReq.cmd = netKey; output(mReq); }\n"
+  in
+  check_bool "plaintext key leak flagged" true (has "CAPL101" diags);
+  (* routing it through a sanitizer-named call clears the taint *)
+  let diags =
+    lint_src "variables { message Req mReq; int netKey = 42; }\n\
+              on start { mReq.cmd = encryptByte(netKey); output(mReq); }\n"
+  in
+  check_int "encrypted key is clean" 0 (count_code "CAPL101" diags)
+
+let test_capl_taint_verify () =
+  (* CAPL102 on the paper's case study: the tag-skipping ECU forwards
+     this.version on every path without calling valid(), the conformant
+     one guards every use — the flaw the 63 s corpus check rejects
+     dynamically is caught here statically. *)
+  let parse srcs =
+    List.map (fun (n, src) -> n, Capl.Parser.program src) srcs
+  in
+  let flawed = Capl_lint.lint_nodes (parse Ota.Capl_sources.sources_flawed) in
+  check_int "both unverified outputs flagged" 2
+    (count_code "CAPL102" flawed);
+  check_bool "attributed to the ECU node" true
+    (List.for_all
+       (fun d -> d.Diag.code <> "CAPL102" || d.Diag.file = Some "ECU")
+       flawed);
+  let fixed = Capl_lint.lint_nodes (parse Ota.Capl_sources.sources) in
+  check_int "conformant firmware draws no taint diagnostics" 0
+    (count_code "CAPL101" fixed + count_code "CAPL102" fixed)
 
 let test_capl_dead_code () =
   let diags = lint_src "void f() { return; f(); }\non start { f(); }\n" in
@@ -446,7 +533,9 @@ let gen_capl_program : Capl.Ast.program QCheck.Gen.t =
                  map (fun v -> E_member (E_ident v, "cmd")) ident;
                  map2
                    (fun f args -> E_call (f, args))
-                   (oneofl [ "output"; "setTimer"; "cancelTimer"; "foo" ])
+                   (oneofl
+                      [ "output"; "setTimer"; "cancelTimer"; "foo";
+                        "helper" ])
                    (list_size (int_range 0 2) (self (n / 2)));
                ])
   in
@@ -476,6 +565,21 @@ let gen_capl_program : Capl.Ast.program QCheck.Gen.t =
                    (fun c a b -> S_if (c, a, b))
                    expr (self (n / 2)) (option (self (n / 2)));
                  map2 (fun c b -> S_while (c, b)) expr (self (n - 1));
+                 map2 (fun b c -> S_do_while (b, c)) (self (n - 1)) expr;
+                 map2
+                   (fun (i, c) (st, b) -> S_for (i, c, st, b))
+                   (pair
+                      (option (map (fun e -> S_expr e) expr))
+                      (option expr))
+                   (pair (option expr) (self (n - 1)));
+                 map2
+                   (fun e cases -> S_switch (e, cases))
+                   expr
+                   (list_size (int_range 0 3)
+                      (map2
+                         (fun l b -> { case_label = l; case_body = b })
+                         (option expr)
+                         (list_size (int_range 0 2) (self (n / 2)))));
                  map (fun ss -> S_block ss)
                    (list_size (int_range 0 3) (self (n / 2)));
                ])
@@ -523,10 +627,25 @@ let capl_never_raises =
       let _ = Capl_lint.lint ~db:(demo_db ()) prog in
       true)
 
+(* The dataflow passes on their own: every solve — CFG fixpoints, the
+   interprocedural summary rounds, the cross-handler global round — is
+   bounded, so the analyses return on any program the generator can
+   assemble (loops, switches with fallthrough, recursive "helper"
+   calls) rather than iterating forever or raising. *)
+let capl_dataflow_terminates =
+  QCheck.Test.make ~count:200
+    ~name:"capl dataflow fixpoints terminate on random programs"
+    arb_capl_program (fun prog ->
+      let _ = Valueflow.check prog in
+      let _ = Taint.check prog in
+      true)
+
 let suite =
   ( "analysis",
     [
       Alcotest.test_case "Diag ordering, blocking, pp" `Quick test_diag_basics;
+      Alcotest.test_case "Diag severity tiebreak" `Quick
+        test_diag_severity_tiebreak;
       Alcotest.test_case "Diag JSON document" `Quick test_diag_json;
       Alcotest.test_case "CAPL001 unknown message" `Quick
         test_capl_unknown_message;
@@ -535,8 +654,15 @@ let suite =
       Alcotest.test_case "CAPL004/005 timers" `Quick test_capl_timers;
       Alcotest.test_case "CAPL006 use before init" `Quick
         test_capl_use_before_init;
+      Alcotest.test_case "CAPL006 path-sensitive init" `Quick
+        test_capl_path_sensitive_init;
       Alcotest.test_case "CAPL007 dead code" `Quick test_capl_dead_code;
       Alcotest.test_case "CAPL008 narrowing" `Quick test_capl_narrowing;
+      Alcotest.test_case "CAPL008 interval gating" `Quick
+        test_capl_interval_narrowing;
+      Alcotest.test_case "CAPL101 secret leak" `Quick test_capl_taint_secret;
+      Alcotest.test_case "CAPL102 unverified payload" `Quick
+        test_capl_taint_verify;
       Alcotest.test_case "CAPL009 unused variables" `Quick test_capl_unused;
       Alcotest.test_case "positions and node labels" `Quick
         test_capl_positions_and_file;
@@ -556,4 +682,5 @@ let suite =
       Alcotest.test_case "obs span and counter" `Quick test_obs_instrumentation;
       QCheck_alcotest.to_alcotest cspm_never_raises;
       QCheck_alcotest.to_alcotest capl_never_raises;
+      QCheck_alcotest.to_alcotest capl_dataflow_terminates;
     ] )

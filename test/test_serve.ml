@@ -284,7 +284,8 @@ let big_script =
    assert SPEC [T= SYS\n"
 
 let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ?reductions
-    ?(kind = Serve.Protocol.Check) ?(version = Serve.Protocol.V2) ~id source =
+    ?(kind = Serve.Protocol.Check) ?(version = Serve.Protocol.V2)
+    ?(lint = false) ?(deny_warnings = false) ~id source =
   {
     Serve.Protocol.id;
     source;
@@ -295,6 +296,8 @@ let job ?deadline_s ?max_retries ?max_states ?(workers = 1) ?reductions
     max_states;
     max_retries;
     reductions;
+    lint = lint || deny_warnings;
+    deny_warnings;
   }
 
 (* A runner whose emit appends to a list and whose sleep records the
@@ -341,6 +344,55 @@ let test_backpressure_and_drain () =
   let last = List.nth (events ()) (List.length (events ()) - 1) in
   check_string "late submission rejected" "draining"
     (Option.value (str "reason" last) ~default:"?")
+
+(* The daemon-side lint gate: a script with warning-level findings runs
+   normally under plain lint (diagnostics ride on the result event) and
+   is failed before any attempt under deny_warnings, with the blocking
+   report attached — the daemon twin of the CLI's exit-4 path. *)
+let test_lint_gate () =
+  let warny =
+    "channel a : {0..1}\n\
+     channel ghost : {0..1}\n\
+     P = a!0 -> P\n\
+     assert P :[deadlock free]\n"
+  in
+  let t, events, _ = make_runner () in
+  Serve.Runner.submit t
+    (job ~id:"lax" ~lint:true (Serve.Protocol.Inline warny));
+  Serve.Runner.submit t
+    (job ~id:"strict" ~deny_warnings:true (Serve.Protocol.Inline warny));
+  Serve.Runner.drain t;
+  let result =
+    match List.filter (fun e -> event_name e = "result") (events ()) with
+    | [ r ] -> r
+    | rs -> Alcotest.failf "expected 1 result event, got %d" (List.length rs)
+  in
+  check_string "the lint-only job still checked" "lax"
+    (Option.value (str "id" result) ~default:"?");
+  (match Obs.Json.member "diagnostics" result with
+   | Some d ->
+     check_string "non-blocking findings ride on the result"
+       "diagnostics/1"
+       (Option.value (str "schema" d) ~default:"?")
+   | None -> Alcotest.fail "result event lacks diagnostics");
+  let failed =
+    match List.filter (fun e -> event_name e = "failed") (events ()) with
+    | [ f ] -> f
+    | fs -> Alcotest.failf "expected 1 failed event, got %d" (List.length fs)
+  in
+  check_string "deny-warnings blocks before any attempt"
+    "blocking diagnostics"
+    (Option.value (str "reason" failed) ~default:"?");
+  (match Obs.Json.member "diagnostics" failed with
+   | Some d ->
+     check_bool "blocking report is attached and non-empty" true
+       (match Obs.Json.member "summary" d with
+        | Some s -> (
+          match Obs.Json.member "warnings" s with
+          | Some (Obs.Json.Num n) -> n > 0.
+          | _ -> false)
+        | None -> false)
+   | None -> Alcotest.fail "failed event lacks diagnostics")
 
 let test_load_failure () =
   let t, events, _ = make_runner () in
@@ -554,6 +606,8 @@ let suite =
         `Quick test_backpressure_and_drain;
       Alcotest.test_case "unloadable scripts fail with a reason" `Quick
         test_load_failure;
+      Alcotest.test_case "lint gate blocks and attaches diagnostics" `Quick
+        test_lint_gate;
       Alcotest.test_case "deadline retry resumes to the full verdict" `Quick
         test_retry_resumes_to_verdict;
       Alcotest.test_case "exhausted retries report inconclusive" `Quick

@@ -335,6 +335,72 @@ let test_corrupt_stream_contained () =
       Alcotest.(check int) "corrupt" 1 r.Serve.Trace_run.corrupt
     | rs -> Alcotest.failf "expected 1 requirement, got %d" (List.length rs))
 
+(* Rejected streams are attributed to the fault kinds their meta lines
+   declared; a stream without a meta (or with an all-zero one) lands in
+   the "none" bucket, and a meta line alone never makes a stream exist. *)
+let test_rejection_attribution () =
+  with_tmp @@ fun path ->
+  let entry time id =
+    {
+      Canbus.Trace_log.time;
+      node = "VMG";
+      direction = Canbus.Trace_log.Tx;
+      frame = Canbus.Frame.make ~id [ 1 ];
+    }
+  in
+  let meta fields = Obs.Json.Obj fields in
+  Serve.Trace_io.with_writer ~path ~header:Serve.Trace_io.empty_header
+    (fun w ->
+      Serve.Trace_io.write_meta w ~stream:"bad1"
+        (meta
+           [ "drop", Obs.Json.Num 0.2; "corrupt", Obs.Json.Num 0.;
+             "babble", Obs.Json.Bool true ]);
+      Serve.Trace_io.write_meta w ~stream:"ghost"
+        (meta [ "drop", Obs.Json.Num 0.9 ]);
+      (* "ok" stays within the spec's two events; the others overrun *)
+      Serve.Trace_io.write_entry w ~stream:"ok" (entry 10 0);
+      List.iter
+        (fun t ->
+          Serve.Trace_io.write_entry w ~stream:"bad1" (entry t 1);
+          Serve.Trace_io.write_entry w ~stream:"bad2" (entry t 2))
+        [ 20; 30; 40 ])
+  ;
+  let defs = make_defs () in
+  let spec =
+    Proc.prefix_items
+      ( "a",
+        [ Proc.In ("x", None) ],
+        Proc.prefix_items ("a", [ Proc.In ("y", None) ], Proc.stop) )
+  in
+  let t = compile_exn defs spec in
+  let map (e : Canbus.Trace_log.entry) =
+    match e.direction with
+    | Canbus.Trace_log.Tx -> Some (vis "a" (e.frame.Canbus.Frame.id mod 3))
+    | _ -> None
+  in
+  match
+    Serve.Trace_run.check_corpus ~map ~requirements:[ ("SPEC", t) ] ~path ()
+  with
+  | Error msg -> Alcotest.failf "check_corpus errored: %s" msg
+  | Ok report ->
+    Alcotest.(check int)
+      "meta alone creates no stream" 3 report.Serve.Trace_run.streams;
+    Alcotest.(check int)
+      "two rejected" 2 report.Serve.Trace_run.streams_rejected;
+    Alcotest.(check (list (pair string int)))
+      "attribution buckets"
+      [ "babble", 1; "drop", 1; "none", 1 ]
+      report.Serve.Trace_run.rejected_by_fault;
+    (* the JSON document carries the same buckets, additively *)
+    (match
+       Obs.Json.member "rejected_by_fault"
+         (Serve.Trace_run.json_of_report ~timing:false report)
+     with
+     | Some (Obs.Json.Obj fields) ->
+       Alcotest.(check (list string))
+         "json keys" [ "babble"; "drop"; "none" ] (List.map fst fields)
+     | _ -> Alcotest.fail "report JSON lacks rejected_by_fault object")
+
 (* ------------------------------------------------------------------ *)
 (* Corpus driver: verdicts identical at any worker count               *)
 (* ------------------------------------------------------------------ *)
@@ -411,6 +477,8 @@ let suite =
       test_parse_line;
     Alcotest.test_case "corrupt line poisons only its stream" `Quick
       test_corrupt_stream_contained;
+    Alcotest.test_case "rejections attributed to declared faults" `Quick
+      test_rejection_attribution;
     Alcotest.test_case "corpus verdicts identical across workers" `Quick
       test_corpus_workers_identical;
   ] )

@@ -275,6 +275,58 @@ let lint_termination path contents =
   in
   scan 0
 
+(* Structural-identity discipline: [Proc.t] and [Expr.t] are hash-consed
+   (resp. interned), so the polymorphic operations are wrong on them —
+   [Stdlib.compare]/[Hashtbl.hash] see unique ids and cached hash fields,
+   making equal terms compare unequal across interners, and they walk the
+   whole DAG as a tree. Under lib/csp, a line that reaches for a generic
+   operation while naming [Proc.]/[Expr.], or a comparator-functor body
+   whose [type t] is [Proc.t]/[Expr.t], must use the modules' own
+   [compare]/[equal]/[hash]. The defining modules are exempt: they are
+   the one place the representation may be inspected. *)
+let under_csp path = List.mem "csp" (String.split_on_char '/' path)
+
+let defines_identity path =
+  match Filename.basename path with
+  | "proc.ml" | "proc.mli" | "expr.ml" | "expr.mli" -> true
+  | _ -> false
+
+let poly_ops =
+  [
+    "Stdlib.compare";
+    "Hashtbl.hash";
+    "List.sort compare";
+    "sort_uniq compare";
+    "stable_sort compare";
+  ]
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m > 0 && go 0
+
+let lint_poly_compare path contents =
+  let window = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lno = i + 1 in
+      if contains line "= Proc.t" || contains line "= Expr.t" then
+        window := 6;
+      let hazard =
+        List.exists (contains line) poly_ops
+        || (!window > 0
+            && (contains line "= compare" || contains line "= (=)"))
+      in
+      if
+        hazard
+        && (!window > 0 || contains line "Proc." || contains line "Expr.")
+      then
+        complain path lno
+          "polymorphic compare/hash on hash-consed terms (use \
+           Proc.compare/equal/hash or the Expr equivalents)";
+      if !window > 0 then decr window)
+    (String.split_on_char '\n' contents)
+
 (* Every implementation under lib/ carries an interface: the .mli is where
    invariants live and what keeps internal helpers out of the dependency
    surface. Pure-AST modules (basename ending in "ast.ml") are exempt —
@@ -320,7 +372,9 @@ let lint_file ~strict path =
         lint_interruption path contents;
         lint_writers path contents
       end;
-      if not (under_cache path) then lint_digest path contents
+      if not (under_cache path) then lint_digest path contents;
+      if under_csp path && not (defines_identity path) then
+        lint_poly_compare path contents
     end
   end
 
